@@ -1,0 +1,65 @@
+//! Figure 2 — diameter of the Gaussian Tree `T_m` versus `m`.
+
+use gcube_topology::GaussianTree;
+
+/// One point of the Figure-2 series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiameterPoint {
+    /// Tree order `m` (the "dimension" axis of the figure).
+    pub m: u32,
+    /// Exact diameter `D(T_m)`.
+    pub diameter: u32,
+    /// Node count `2^m`.
+    pub nodes: u64,
+}
+
+/// Compute the exact diameter series for `m ∈ [1, max_m]` (double BFS per
+/// tree — exact for trees).
+pub fn series(max_m: u32) -> Vec<DiameterPoint> {
+    (1..=max_m)
+        .map(|m| {
+            let t = GaussianTree::new(m).expect("m within width cap");
+            DiameterPoint { m, diameter: t.diameter(), nodes: 1u64 << m }
+        })
+        .collect()
+}
+
+/// The exact prefix of the series, pinned from an independent computation;
+/// used by tests and recorded in EXPERIMENTS.md.
+pub const KNOWN_PREFIX: [u32; 16] = [1, 3, 7, 11, 23, 27, 33, 37, 51, 55, 61, 65, 77, 81, 87, 91];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_matches_known_prefix() {
+        let s = series(16);
+        assert_eq!(s.len(), 16);
+        for (i, p) in s.iter().enumerate() {
+            assert_eq!(p.m, (i + 1) as u32);
+            assert_eq!(p.diameter, KNOWN_PREFIX[i], "D(T_{})", p.m);
+            assert_eq!(p.nodes, 1u64 << p.m);
+        }
+    }
+
+    #[test]
+    fn growth_is_monotone() {
+        let s = series(14);
+        for w in s.windows(2) {
+            assert!(w[1].diameter > w[0].diameter);
+        }
+    }
+
+    #[test]
+    fn jumps_occur_after_powers_of_two() {
+        // The structural signature: the biggest increments land at
+        // m = 2^j + 1, where the new dimension-(2^j) edge attaches the fresh
+        // copy far from the old path's midpoint.
+        let s = series(16);
+        let inc = |m: usize| s[m - 1].diameter - s[m - 2].diameter;
+        assert!(inc(5) > inc(4));
+        assert!(inc(9) > inc(8));
+        assert!(inc(17.min(s.len())) >= inc(16.min(s.len() - 1)) || s.len() < 17);
+    }
+}

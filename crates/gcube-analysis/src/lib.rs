@@ -1,0 +1,19 @@
+//! Analytic series and result-table rendering for the paper's figures.
+//!
+//! * [`diameter`] — the Gaussian Tree diameter series of Figure 2;
+//! * [`tolerance`] — the `log2 T(GC(α,n))` tolerable-fault series of
+//!   Figure 4;
+//! * [`structure`] — topology statistics tables (degrees, availability,
+//!   link counts) that quantify the "interconnection density scales with
+//!   `M`" motivation of §1;
+//! * [`robustness`] — the unified fault-tolerance metrics the paper's §7
+//!   future work calls for (connectivity vs. algorithmic robustness under
+//!   random faults);
+//! * [`tables`] — plain-text/CSV rendering shared by the `gcube-bench`
+//!   figure binaries.
+
+pub mod diameter;
+pub mod robustness;
+pub mod structure;
+pub mod tables;
+pub mod tolerance;

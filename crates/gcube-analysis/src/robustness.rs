@@ -1,0 +1,219 @@
+//! Fault-tolerance metrics — the paper's §7 future work, implemented.
+//!
+//! The paper closes by calling for *"a new unified metric … to measure the
+//! fault-tolerance ability of interconnection networks so that it is fair
+//! despite their different routing algorithms and different methods of
+//! fault categorization"*. This module provides two complementary metrics:
+//!
+//! * [`connectivity_robustness`] — **algorithm-independent**: the expected
+//!   fraction of healthy node pairs that remain connected under `k` uniform
+//!   random node faults (Monte Carlo). Comparable across *any* topologies
+//!   because it depends only on the graph.
+//! * [`algorithmic_robustness`] — **algorithm-specific**: the fraction of
+//!   healthy pairs the FTGCR strategy actually delivers under the same
+//!   fault model, plus how often the Theorem-5 precondition holds. The gap
+//!   between the two metrics quantifies how much of the topology's
+//!   intrinsic robustness the routing strategy realises.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gcube_routing::faults::theorem5_precondition;
+use gcube_routing::{ftgcr, FaultSet};
+use gcube_topology::{search, GaussianCube, NodeId, Topology};
+
+/// Result of a connectivity robustness estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConnectivityRobustness {
+    /// Faults injected per trial.
+    pub k: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Mean fraction of healthy ordered pairs still connected.
+    pub pair_connectivity: f64,
+    /// Fraction of trials in which the healthy subgraph stayed connected.
+    pub fully_connected_ratio: f64,
+}
+
+/// Monte Carlo pairwise connectivity under `k` uniform random node faults.
+///
+/// Per trial: draw `k` distinct faulty nodes, BFS from a sample of healthy
+/// sources, and measure the fraction of healthy nodes reached.
+pub fn connectivity_robustness<T: Topology + ?Sized>(
+    topo: &T,
+    k: usize,
+    trials: usize,
+    seed: u64,
+) -> ConnectivityRobustness {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = topo.num_nodes();
+    let mut pair_sum = 0.0;
+    let mut fully = 0usize;
+    for _ in 0..trials {
+        let faults = random_node_faults(n, k, &mut rng);
+        let healthy_total = n - k as u64;
+        // Sample up to 8 healthy sources for the pairwise estimate.
+        let mut reached_fracs = Vec::new();
+        let mut all_connected = true;
+        let mut sources = 0;
+        let mut v = rng.gen_range(0..n);
+        while sources < 8.min(healthy_total as usize) {
+            v = (v + 1) % n;
+            if faults.is_node_faulty(NodeId(v)) {
+                continue;
+            }
+            let dist = search::bfs_distances(topo, NodeId(v), &faults);
+            let reached = (0..n)
+                .filter(|&u| {
+                    !faults.is_node_faulty(NodeId(u)) && dist[u as usize] != u32::MAX
+                })
+                .count() as u64;
+            reached_fracs.push(reached as f64 / healthy_total as f64);
+            if reached != healthy_total {
+                all_connected = false;
+            }
+            sources += 1;
+        }
+        pair_sum += reached_fracs.iter().sum::<f64>() / reached_fracs.len() as f64;
+        fully += usize::from(all_connected);
+    }
+    ConnectivityRobustness {
+        k,
+        trials,
+        pair_connectivity: pair_sum / trials as f64,
+        fully_connected_ratio: fully as f64 / trials as f64,
+    }
+}
+
+/// Result of an algorithmic robustness estimate for FTGCR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlgorithmicRobustness {
+    /// Faults injected per trial.
+    pub k: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Fraction of sampled healthy pairs FTGCR delivered.
+    pub delivery_ratio: f64,
+    /// Fraction of trials whose fault set satisfied the Theorem-5
+    /// precondition.
+    pub precondition_ratio: f64,
+    /// Mean detour (hops above the fault-free optimum) over delivered pairs.
+    pub mean_detour: f64,
+}
+
+/// Monte Carlo FTGCR delivery under `k` uniform random node faults,
+/// sampling `pairs_per_trial` healthy (s, d) pairs per fault set.
+pub fn algorithmic_robustness(
+    gc: &GaussianCube,
+    k: usize,
+    trials: usize,
+    pairs_per_trial: usize,
+    seed: u64,
+) -> AlgorithmicRobustness {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa15e);
+    let n = gc.num_nodes();
+    let mut delivered = 0usize;
+    let mut attempted = 0usize;
+    let mut precond = 0usize;
+    let mut detour_sum = 0u64;
+    for _ in 0..trials {
+        let faults = random_node_faults(n, k, &mut rng);
+        precond += usize::from(theorem5_precondition(gc, &faults));
+        for _ in 0..pairs_per_trial {
+            let s = loop {
+                let v = NodeId(rng.gen_range(0..n));
+                if !faults.is_node_faulty(v) {
+                    break v;
+                }
+            };
+            let d = loop {
+                let v = NodeId(rng.gen_range(0..n));
+                if !faults.is_node_faulty(v) && v != s {
+                    break v;
+                }
+            };
+            attempted += 1;
+            if let Ok((route, _)) = ftgcr::route(gc, &faults, s, d) {
+                delivered += 1;
+                let opt = gcube_routing::ffgcr::route_len(gc, s, d) as usize;
+                detour_sum += (route.hops().saturating_sub(opt)) as u64;
+            }
+        }
+    }
+    AlgorithmicRobustness {
+        k,
+        trials,
+        delivery_ratio: delivered as f64 / attempted.max(1) as f64,
+        precondition_ratio: precond as f64 / trials.max(1) as f64,
+        mean_detour: if delivered == 0 { 0.0 } else { detour_sum as f64 / delivered as f64 },
+    }
+}
+
+fn random_node_faults(n: u64, k: usize, rng: &mut StdRng) -> FaultSet {
+    let mut faults = FaultSet::new();
+    let mut placed = 0;
+    while placed < k.min(n as usize / 2) {
+        let v = NodeId(rng.gen_range(0..n));
+        if !faults.is_node_faulty(v) {
+            faults.add_node(v);
+            placed += 1;
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::Hypercube;
+
+    #[test]
+    fn zero_faults_is_fully_connected() {
+        let q = Hypercube::new(6).unwrap();
+        let r = connectivity_robustness(&q, 0, 5, 1);
+        assert_eq!(r.pair_connectivity, 1.0);
+        assert_eq!(r.fully_connected_ratio, 1.0);
+    }
+
+    #[test]
+    fn robustness_degrades_with_fault_count() {
+        let gc = GaussianCube::new(8, 4).unwrap();
+        let r1 = connectivity_robustness(&gc, 2, 20, 7);
+        let r2 = connectivity_robustness(&gc, 24, 20, 7);
+        assert!(r1.pair_connectivity >= r2.pair_connectivity);
+        assert!(r1.pair_connectivity > 0.9, "2 faults in 256 nodes: {}", r1.pair_connectivity);
+    }
+
+    #[test]
+    fn hypercube_more_robust_than_diluted_cube() {
+        // The unified metric's headline comparison: at equal node count and
+        // fault count, the denser network keeps more pairs connected.
+        let dense = GaussianCube::new(8, 1).unwrap();
+        let sparse = GaussianCube::new(8, 4).unwrap();
+        let rd = connectivity_robustness(&dense, 16, 30, 11);
+        let rs = connectivity_robustness(&sparse, 16, 30, 11);
+        assert!(
+            rd.pair_connectivity >= rs.pair_connectivity,
+            "dense {} < sparse {}",
+            rd.pair_connectivity,
+            rs.pair_connectivity
+        );
+    }
+
+    #[test]
+    fn ftgcr_delivers_nearly_all_single_fault_pairs() {
+        let gc = GaussianCube::new(8, 2).unwrap();
+        let r = algorithmic_robustness(&gc, 1, 10, 20, 3);
+        assert!(r.delivery_ratio > 0.95, "delivery {}", r.delivery_ratio);
+        assert!(r.precondition_ratio > 0.9, "precondition {}", r.precondition_ratio);
+        assert!(r.mean_detour < 4.0, "detour {}", r.mean_detour);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let gc = GaussianCube::new(7, 2).unwrap();
+        let a = connectivity_robustness(&gc, 3, 10, 42);
+        let b = connectivity_robustness(&gc, 3, 10, 42);
+        assert_eq!(a, b);
+    }
+}

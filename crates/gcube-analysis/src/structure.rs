@@ -1,0 +1,85 @@
+//! Topology structure statistics: the "interconnection density scales with
+//! `M`" motivation of §1, quantified.
+
+use gcube_topology::props::{degree_stats, node_availability};
+use gcube_topology::{GaussianCube, Topology};
+
+/// Structure summary for one `GC(n, M)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StructureRow {
+    /// Dimension.
+    pub n: u32,
+    /// Modulus.
+    pub modulus: u64,
+    /// Nodes (`2^n`).
+    pub nodes: u64,
+    /// Undirected links.
+    pub links: u64,
+    /// Minimum degree.
+    pub min_degree: u32,
+    /// Maximum degree.
+    pub max_degree: u32,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Network node availability (`min degree − 1`).
+    pub availability: u32,
+}
+
+/// Compute the structure row for `GC(n, M)`.
+pub fn structure_row(n: u32, modulus: u64) -> StructureRow {
+    let gc = GaussianCube::new(n, modulus).expect("valid GC parameters");
+    let ds = degree_stats(&gc);
+    StructureRow {
+        n,
+        modulus,
+        nodes: gc.num_nodes(),
+        links: gc.num_links(),
+        min_degree: ds.min,
+        max_degree: ds.max,
+        mean_degree: ds.mean,
+        availability: node_availability(&gc),
+    }
+}
+
+/// The density sweep used in the README/EXPERIMENTS discussion.
+pub fn density_sweep(ns: &[u32], moduli: &[u64]) -> Vec<StructureRow> {
+    let mut out = Vec::new();
+    for &n in ns {
+        for &m in moduli {
+            out.push(structure_row(n, m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_row() {
+        let r = structure_row(6, 1);
+        assert_eq!(r.links, 6 * 32);
+        assert_eq!((r.min_degree, r.max_degree), (6, 6));
+        assert_eq!(r.availability, 5);
+    }
+
+    #[test]
+    fn density_decreases_with_modulus() {
+        let rows = density_sweep(&[10], &[1, 2, 4, 8]);
+        for w in rows.windows(2) {
+            assert!(w[1].links <= w[0].links);
+            assert!(w[1].mean_degree <= w[0].mean_degree);
+        }
+    }
+
+    #[test]
+    fn availability_is_low_for_diluted_cubes() {
+        // The paper's §1 obstacle: availability stays small however large n
+        // grows, once M ≥ 2.
+        for n in [8u32, 10, 12] {
+            let r = structure_row(n, 4);
+            assert!(r.availability <= 4, "GC({n},4) availability {}", r.availability);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text and CSV table rendering for the figure binaries.
+//!
+//! No third-party serialisation: the benches print aligned text to stdout
+//! and write CSV files under `results/` with `std` alone.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row; must match the header arity.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity must match headers");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned text (right-aligned numeric style).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>w$}", w = width[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting needed for our numeric content; commas in
+    /// cells are rejected).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            assert!(!c.contains(','), "CSV cells must not contain commas");
+            c.to_string()
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV rendering to a file, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Format a float with fixed decimals, rendering non-finite values as "-".
+pub fn num(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["n", "value"]);
+        t.row(["6", "1.50"]).row(["14", "12.25"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("n") && lines[0].contains("value"));
+        assert!(lines[2].ends_with("1.50"));
+        assert!(lines[3].ends_with("12.25"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new(["a"]).row(["1", "2"]);
+    }
+
+    #[test]
+    fn csv_file_write() {
+        let dir = std::env::temp_dir().join("gcube_table_test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(["x"]);
+        t.row(["9"]);
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n9\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(num(f64::NEG_INFINITY, 2), "-");
+        assert_eq!(num(f64::NAN, 1), "-");
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the routing algorithms: PC, CT, FFGCR,
+//! FTGCR, FREH and the hypercube substrate. These quantify the paper's §1
+//! complexity claims (plan computation is `O((n/2^α)² log)`‑ish, message
+//! overhead `O(n)`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+
+use gcube_routing::hypercube_ft::{route_adaptive, safety_levels, VirtualCube};
+use gcube_routing::{ct, faults::FaultSet, ffgcr, freh, ftgcr, pc};
+use gcube_topology::{ExchangedHypercube, GaussianCube, GaussianTree, LinkId, NodeId};
+
+fn bench_pc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pc_path");
+    for m in [4u32, 8, 12, 16] {
+        let tree = GaussianTree::new(m).unwrap();
+        let s = NodeId(0);
+        let d = NodeId((1u64 << m) - 1);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| pc::pc_path(&tree, black_box(s), black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ct_walk");
+    for m in [4u32, 6, 8] {
+        let tree = GaussianTree::new(m).unwrap();
+        let dests: BTreeSet<NodeId> = (0..(1u64 << m)).step_by(3).map(NodeId).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| ct::ct_walk(&tree, black_box(NodeId(0)), black_box(&dests)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ffgcr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ffgcr_route");
+    for (n, m) in [(10u32, 2u64), (12, 4), (14, 4), (16, 8)] {
+        let gc = GaussianCube::new(n, m).unwrap();
+        let s = NodeId(0);
+        let d = NodeId(gc_last(n));
+        g.bench_with_input(BenchmarkId::new("gc", format!("n{n}_m{m}")), &n, |b, _| {
+            b.iter(|| ffgcr::route(&gc, black_box(s), black_box(d)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn gc_last(n: u32) -> u64 {
+    (1u64 << n) - 1
+}
+
+fn bench_ftgcr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftgcr_route");
+    for (n, m, fault_count) in [(10u32, 2u64, 0usize), (10, 2, 2), (12, 4, 2), (14, 4, 2)] {
+        let gc = GaussianCube::new(n, m).unwrap();
+        let mut f = FaultSet::new();
+        // Deterministic A-category faults away from the endpoints.
+        for i in 0..fault_count {
+            let v = NodeId((37 + 101 * i as u64) % gc_last(n));
+            if let Some(&dim) = gcube_topology::Topology::link_dims(&gc, v)
+                .iter()
+                .find(|&&dim| dim >= gc.alpha())
+            {
+                f.add_link(LinkId::new(v, dim));
+            }
+        }
+        let s = NodeId(0);
+        let d = NodeId(gc_last(n));
+        g.bench_with_input(
+            BenchmarkId::new("gc", format!("n{n}_m{m}_f{fault_count}")),
+            &n,
+            |b, _| b.iter(|| ftgcr::route(&gc, black_box(&f), black_box(s), black_box(d)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_freh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("freh_route");
+    for (s_dim, t_dim) in [(3u32, 3u32), (4, 4), (5, 5)] {
+        let eh = ExchangedHypercube::new(s_dim, t_dim).unwrap();
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(2), 0));
+        let r = NodeId(0);
+        let d = NodeId((1u64 << (s_dim + t_dim + 1)) - 1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("s{s_dim}_t{t_dim}")),
+            &s_dim,
+            |b, _| b.iter(|| freh::route(&eh, black_box(&f), black_box(r), black_box(d)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_hypercube_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypercube_substrate");
+    for n in [6u32, 8, 10] {
+        let mut cube = VirtualCube::plain(n);
+        cube.set_link_fault(0, 0);
+        cube.set_node_fault(5);
+        g.bench_with_input(BenchmarkId::new("safety_levels", n), &n, |b, _| {
+            b.iter(|| safety_levels(black_box(&cube)))
+        });
+        g.bench_with_input(BenchmarkId::new("route_adaptive", n), &n, |b, _| {
+            b.iter(|| route_adaptive(black_box(&cube), 1, (1 << n) - 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pc,
+    bench_ct,
+    bench_ffgcr,
+    bench_ftgcr,
+    bench_freh,
+    bench_hypercube_substrate
+);
+criterion_main!(benches);

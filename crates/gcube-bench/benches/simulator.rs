@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the cycle-driven simulator: cost per simulated
+//! cycle and end-to-end mini sweeps (the engine behind Figures 5–8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gcube_sim::{FaultFreeGcr, FaultTolerantGcr, SimConfig, Simulator};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_run");
+    g.sample_size(10);
+    for n in [6u32, 8, 10] {
+        let cfg = SimConfig::new(n, 2).with_cycles(100, 1_000, 10).with_rate(0.01);
+        g.bench_with_input(BenchmarkId::new("ffgcr", n), &cfg, |b, cfg| {
+            b.iter(|| Simulator::new(black_box(cfg.clone()), &FaultFreeGcr).run())
+        });
+    }
+    for n in [6u32, 8] {
+        let cfg = SimConfig::new(n, 2)
+            .with_cycles(100, 1_000, 10)
+            .with_rate(0.01)
+            .with_faults(1);
+        g.bench_with_input(BenchmarkId::new("ftgcr_one_fault", n), &cfg, |b, cfg| {
+            b.iter(|| Simulator::new(black_box(cfg.clone()), &FaultTolerantGcr).run())
+        });
+    }
+    g.finish();
+}
+
+fn bench_route_computation_rate(c: &mut Criterion) {
+    // Measures pure route-computation throughput at the injection path.
+    use gcube_routing::{ffgcr, FaultSet};
+    use gcube_topology::{GaussianCube, NodeId};
+    let mut g = c.benchmark_group("route_computation");
+    for n in [8u32, 12, 14] {
+        let gc = GaussianCube::new(n, 2).unwrap();
+        let _f = FaultSet::new();
+        g.bench_with_input(BenchmarkId::new("ffgcr_all_dims", n), &n, |b, _| {
+            let d = NodeId((1u64 << n) - 1);
+            b.iter(|| ffgcr::route(&gc, black_box(NodeId(0)), black_box(d)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_route_computation_rate);
+criterion_main!(benches);

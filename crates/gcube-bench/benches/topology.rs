@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the topology substrate: neighbour generation,
+//! BFS, tree diameters — the primitives everything else leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gcube_topology::{search, GaussianCube, GaussianTree, NoFaults, NodeId, Topology};
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neighbors");
+    for (n, m) in [(12u32, 1u64), (12, 4), (16, 4), (20, 8)] {
+        let gc = GaussianCube::new(n, m).unwrap();
+        g.bench_with_input(BenchmarkId::new("gc", format!("n{n}_m{m}")), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in (0..gc.num_nodes()).step_by(97) {
+                    acc += gc.neighbors(black_box(NodeId(v))).len() as u64;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfs");
+    g.sample_size(20);
+    for (n, m) in [(12u32, 2u64), (14, 2), (16, 4)] {
+        let gc = GaussianCube::new(n, m).unwrap();
+        g.bench_with_input(BenchmarkId::new("gc", format!("n{n}_m{m}")), &n, |b, _| {
+            b.iter(|| search::bfs_distances(&gc, black_box(NodeId(0)), &NoFaults))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_diameter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_diameter");
+    g.sample_size(10);
+    for m in [12u32, 14, 16] {
+        let t = GaussianTree::new(m).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(&t).diameter())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_neighbors, bench_bfs, bench_tree_diameter);
+criterion_main!(benches);

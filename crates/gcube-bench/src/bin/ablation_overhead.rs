@@ -1,0 +1,112 @@
+//! Ablation: FTGCR's detour overhead versus the omniscient optimum.
+//!
+//! For `GC(9, 2)` with `k` random node faults (precondition-satisfying
+//! draws), compare three routers on sampled healthy pairs:
+//!
+//! * masked BFS — the omniscient optimum under the faults;
+//! * FTGCR — the paper's strategy (global fault view);
+//! * distributed FTGCR — hop-by-hop under the paper's local-knowledge model.
+//!
+//! Reports mean/max extra hops over the fault-free optimum for each, i.e.
+//! how much of the overhead is intrinsic (BFS row) and how much each
+//! strategy adds on top.
+
+use gcube_analysis::tables::{num, Table};
+use gcube_bench::results_dir;
+use gcube_routing::dftgcr::route_distributed;
+use gcube_routing::faults::theorem5_precondition;
+use gcube_routing::knowledge::exchange_rounds;
+use gcube_routing::{ffgcr, ftgcr, FaultSet};
+use gcube_topology::{search, GaussianCube, NodeId, Topology};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[derive(Default)]
+struct Acc {
+    sum: u64,
+    max: u64,
+    n: u64,
+}
+impl Acc {
+    fn push(&mut self, v: u64) {
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.n += 1;
+    }
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+}
+
+fn main() {
+    let gc = GaussianCube::new(9, 2).unwrap();
+    let mut table = Table::new([
+        "k_faults",
+        "pairs",
+        "bfs_mean_extra",
+        "bfs_max_extra",
+        "ftgcr_mean_extra",
+        "ftgcr_max_extra",
+        "dftgcr_mean_extra",
+        "dftgcr_max_extra",
+    ]);
+    let mut rng = Rng(0x0eadbeef);
+    for k in [1usize, 2, 3] {
+        let (mut bfs, mut omni, mut dist) = (Acc::default(), Acc::default(), Acc::default());
+        let mut trials = 0;
+        while trials < 20 {
+            let mut truth = FaultSet::new();
+            while truth.len() < k {
+                truth.add_node(NodeId(rng.next() % gc.num_nodes()));
+            }
+            if !theorem5_precondition(&gc, &truth) {
+                continue;
+            }
+            trials += 1;
+            let km = exchange_rounds(&gc, &truth);
+            for _ in 0..60 {
+                let s = NodeId(rng.next() % gc.num_nodes());
+                let d = NodeId(rng.next() % gc.num_nodes());
+                if truth.is_node_faulty(s) || truth.is_node_faulty(d) || s == d {
+                    continue;
+                }
+                let opt_ff = ffgcr::route_len(&gc, s, d) as u64;
+                let Some(masked) = search::distance(&gc, s, d, &truth) else { continue };
+                bfs.push(u64::from(masked) - opt_ff.min(u64::from(masked)));
+                if let Ok((r, _)) = ftgcr::route(&gc, &truth, s, d) {
+                    omni.push(r.hops() as u64 - opt_ff.min(r.hops() as u64));
+                }
+                if let Ok((r, _)) = route_distributed(&gc, &truth, &km, s, d) {
+                    dist.push(r.hops() as u64 - opt_ff.min(r.hops() as u64));
+                }
+            }
+        }
+        table.row([
+            k.to_string(),
+            bfs.n.to_string(),
+            num(bfs.mean(), 3),
+            bfs.max.to_string(),
+            num(omni.mean(), 3),
+            omni.max.to_string(),
+            num(dist.mean(), 3),
+            dist.max.to_string(),
+        ]);
+    }
+    println!("Detour-overhead ablation — GC(9,2), k random node faults\n");
+    print!("{}", table.render());
+    let path = results_dir().join("ablation_overhead.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,58 @@
+//! Ablation: the classic saturation curve — average latency versus offered
+//! load — for `GC(8, 2)` under FFGCR, across traffic patterns. Quantifies
+//! where the paper's chosen operating point (low load, uniform traffic)
+//! sits relative to network saturation, and how adversarial permutations
+//! shift the knee.
+
+use gcube_analysis::tables::{num, Table};
+use gcube_bench::{results_dir, threads};
+use gcube_sim::traffic::TrafficPattern;
+use gcube_sim::{run_sweep, FaultFreeGcr, SimConfig};
+
+fn main() {
+    let rates = [0.001f64, 0.003, 0.01, 0.03, 0.06, 0.1, 0.15];
+    let patterns = [
+        ("uniform", TrafficPattern::Uniform),
+        ("complement", TrafficPattern::BitComplement),
+        ("reversal", TrafficPattern::BitReversal),
+        ("transpose", TrafficPattern::Transpose),
+    ];
+    let mut table = Table::new([
+        "pattern",
+        "rate",
+        "avg_latency",
+        "avg_hops",
+        "throughput",
+        "delivered",
+        "undrained",
+    ]);
+    for (name, pat) in patterns {
+        let configs: Vec<SimConfig> = rates
+            .iter()
+            .map(|&r| {
+                SimConfig::new(8, 2)
+                    .with_cycles(400, 6_000, 50)
+                    .with_rate(r)
+                    .with_pattern(pat)
+                    .with_seed(0x5a7 + (r * 1e6) as u64)
+            })
+            .collect();
+        let points = run_sweep(&configs, &FaultFreeGcr, threads());
+        for p in &points {
+            table.row([
+                name.to_string(),
+                num(p.config.injection_rate, 3),
+                num(p.metrics.avg_latency(), 2),
+                num(p.metrics.avg_hops(), 2),
+                num(p.metrics.throughput(), 4),
+                p.metrics.delivered.to_string(),
+                p.metrics.in_flight_at_end.to_string(),
+            ]);
+        }
+    }
+    println!("Saturation ablation — GC(8,2), FFGCR\n");
+    print!("{}", table.render());
+    let path = results_dir().join("ablation_saturation.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

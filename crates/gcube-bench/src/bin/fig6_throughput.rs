@@ -1,0 +1,23 @@
+//! Figure 6 — `log2` throughput versus dimension in fault-free `GC(n, M)`,
+//! same sweep as Figure 5.
+
+use gcube_analysis::tables::{num, Table};
+use gcube_bench::{fault_free_sweep, results_dir};
+
+fn main() {
+    let points = fault_free_sweep();
+    let mut table = Table::new(["n", "M", "throughput_pkts_per_cycle", "log2_throughput"]);
+    for p in &points {
+        table.row([
+            p.config.n.to_string(),
+            p.config.modulus.to_string(),
+            num(p.metrics.throughput(), 4),
+            num(p.metrics.log2_throughput(), 3),
+        ]);
+    }
+    println!("Figure 6 — log2 throughput vs dimension (fault-free, FFGCR)\n");
+    print!("{}", table.render());
+    let path = results_dir().join("fig6_throughput.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

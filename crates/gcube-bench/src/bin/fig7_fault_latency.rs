@@ -1,0 +1,26 @@
+//! Figure 7 — the influence of one faulty node on average latency:
+//! `GC(n, 2)`, `n ∈ [5, 13]`, FTGCR, no-fault vs one faulty node.
+
+use gcube_analysis::tables::{num, Table};
+use gcube_bench::{fault_impact_sweep, results_dir};
+
+fn main() {
+    let (healthy, faulty) = fault_impact_sweep();
+    let mut table =
+        Table::new(["n", "latency_no_fault", "latency_one_fault", "hops_no_fault", "hops_one_fault"]);
+    for (h, f) in healthy.iter().zip(&faulty) {
+        assert_eq!(h.config.n, f.config.n);
+        table.row([
+            h.config.n.to_string(),
+            num(h.metrics.avg_latency(), 3),
+            num(f.metrics.avg_latency(), 3),
+            num(h.metrics.avg_hops(), 3),
+            num(f.metrics.avg_hops(), 3),
+        ]);
+    }
+    println!("Figure 7 — fault influence on average latency (GC(n,2), FTGCR)\n");
+    print!("{}", table.render());
+    let path = results_dir().join("fig7_fault_latency.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

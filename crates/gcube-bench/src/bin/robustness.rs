@@ -1,0 +1,43 @@
+//! Unified fault-tolerance metric sweep (the paper's §7 future work):
+//! connectivity robustness vs. FTGCR's algorithmic robustness under `k`
+//! uniform random node faults, across the modulus family.
+
+use gcube_analysis::robustness::{algorithmic_robustness, connectivity_robustness};
+use gcube_analysis::tables::{num, Table};
+use gcube_bench::results_dir;
+use gcube_topology::GaussianCube;
+
+fn main() {
+    let n = 8u32;
+    let trials = 30;
+    let mut table = Table::new([
+        "M",
+        "k_faults",
+        "pair_connectivity",
+        "fully_connected",
+        "ftgcr_delivery",
+        "precondition_ok",
+        "mean_detour",
+    ]);
+    println!("Unified robustness metrics on GC({n}, M), {trials} trials per point\n");
+    for &m in &[1u64, 2, 4] {
+        let gc = GaussianCube::new(n, m).unwrap();
+        for &k in &[1usize, 2, 4, 8, 16] {
+            let conn = connectivity_robustness(&gc, k, trials, 0xb0b + m);
+            let alg = algorithmic_robustness(&gc, k, trials, 12, 0xa1 ^ m);
+            table.row([
+                m.to_string(),
+                k.to_string(),
+                num(conn.pair_connectivity, 4),
+                num(conn.fully_connected_ratio, 3),
+                num(alg.delivery_ratio, 4),
+                num(alg.precondition_ratio, 3),
+                num(alg.mean_detour, 3),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    let path = results_dir().join("robustness.csv");
+    table.write_csv(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

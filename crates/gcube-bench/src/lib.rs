@@ -1,0 +1,109 @@
+//! Shared plumbing for the figure-regeneration binaries (`src/bin/fig*.rs`)
+//! and the Criterion micro-benchmarks (`benches/`).
+//!
+//! Every figure of the paper's evaluation maps to one binary:
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig1_gaussian_graphs`  | Fig. 1 — topologies of `G_2, G_3, G_4` |
+//! | `fig2_tree_diameter`    | Fig. 2 — `D(T_m)` vs `m` |
+//! | `fig4_max_faults`       | Fig. 4 — `log2 T(GC(α,n))` vs `n` |
+//! | `fig5_latency`          | Fig. 5 — avg latency vs `n`, `M ∈ {1,2,4}` |
+//! | `fig6_throughput`       | Fig. 6 — log2 throughput vs `n` |
+//! | `fig7_fault_latency`    | Fig. 7 — latency, no-fault vs one fault |
+//! | `fig8_fault_throughput` | Fig. 8 — throughput, no-fault vs one fault |
+//! | `all_figures`           | runs everything, writes `results/*.csv` |
+//!
+//! (Figure 3 is a worked example of the CT algorithm; it is reproduced by
+//! `examples/topology_explorer.rs` rather than a measurement binary.)
+
+use std::path::PathBuf;
+
+use gcube_sim::{run_sweep, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm, SimConfig, SweepPoint};
+
+/// Where the figure binaries drop their CSVs (`results/` at the workspace
+/// root, overridable with `GCUBE_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("GCUBE_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // Walk up from the crate dir to the workspace root.
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    here.parent()
+        .and_then(|p| p.parent())
+        .map(|ws| ws.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Number of sweep worker threads (respects `GCUBE_THREADS`).
+pub fn threads() -> usize {
+    std::env::var("GCUBE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
+}
+
+/// Simulation scale knob: `GCUBE_QUICK=1` shrinks cycle counts ~5x for CI.
+pub fn quick() -> bool {
+    std::env::var("GCUBE_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The Figure 5/6 sweep: fault-free `GC(n, M)`, `n ∈ [6, 14]`,
+/// `M ∈ {1, 2, 4}`, FFGCR.
+pub fn fault_free_sweep() -> Vec<SweepPoint> {
+    let (inject, drain, warmup) = if quick() { (120, 2_000, 20) } else { (600, 10_000, 100) };
+    let mut configs = Vec::new();
+    for &m in &[1u64, 2, 4] {
+        for n in 6..=14u32 {
+            configs.push(
+                SimConfig::new(n, m)
+                    .with_cycles(inject, drain, warmup)
+                    .with_rate(0.005)
+                    .with_seed(0xf15_0000 + u64::from(n) * 16 + m),
+            );
+        }
+    }
+    run_sweep(&configs, &FaultFreeGcr, threads())
+}
+
+/// The Figure 7/8 sweep: `GC(n, 2)`, `n ∈ [5, 13]`, FTGCR, zero vs one
+/// faulty node.
+pub fn fault_impact_sweep() -> (Vec<SweepPoint>, Vec<SweepPoint>) {
+    let (inject, drain, warmup) = if quick() { (120, 2_000, 20) } else { (600, 10_000, 100) };
+    let mk = |faults: usize| -> Vec<SimConfig> {
+        (5..=13u32)
+            .map(|n| {
+                SimConfig::new(n, 2)
+                    .with_cycles(inject, drain, warmup)
+                    .with_rate(0.005)
+                    .with_faults(faults)
+                    .with_seed(0xf78_0000 + u64::from(n))
+            })
+            .collect()
+    };
+    let healthy = run_sweep(&mk(0), &FaultTolerantGcr, threads());
+    let faulty = run_sweep(&mk(1), &FaultTolerantGcr, threads());
+    (healthy, faulty)
+}
+
+/// Convenience: run one algorithm over one config (used by benches).
+pub fn run_one(config: SimConfig, algorithm: &dyn RoutingAlgorithm) -> SweepPoint {
+    let mut v = run_sweep(std::slice::from_ref(&config), algorithm, 1);
+    v.remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_resolves() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn threads_positive() {
+        assert!(threads() >= 1);
+    }
+}

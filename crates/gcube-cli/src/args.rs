@@ -1,0 +1,314 @@
+//! Hand-rolled argument parsing for the `gcube` CLI (no external parser —
+//! the offline dependency budget is spent on the science crates).
+
+use std::fmt;
+
+use gcube_sim::traffic::TrafficPattern;
+use gcube_topology::{LinkId, NodeId};
+
+/// Parsed CLI command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `gcube topology <n> <M>` — structure summary.
+    Topology {
+        /// Dimension.
+        n: u32,
+        /// Modulus.
+        modulus: u64,
+    },
+    /// `gcube route <n> <M> <s> <d> [--fault-node V]* [--fault-link V:DIM]*
+    /// [--fault-free]` — compute and print a route.
+    Route {
+        /// Dimension.
+        n: u32,
+        /// Modulus.
+        modulus: u64,
+        /// Source label.
+        s: u64,
+        /// Destination label.
+        d: u64,
+        /// Faulty nodes.
+        fault_nodes: Vec<NodeId>,
+        /// Faulty links.
+        fault_links: Vec<LinkId>,
+        /// Use FFGCR (fault-oblivious) instead of FTGCR.
+        fault_free: bool,
+    },
+    /// `gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K]
+    /// [--pattern P] [--seed S]` — run the cycle simulator.
+    Simulate {
+        /// Dimension.
+        n: u32,
+        /// Modulus.
+        modulus: u64,
+        /// Injection rate.
+        rate: f64,
+        /// Injection cycles.
+        cycles: u64,
+        /// Faulty node count.
+        faults: usize,
+        /// Traffic pattern.
+        pattern: TrafficPattern,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `gcube diameter [max_m]` — Figure 2 series.
+    Diameter {
+        /// Largest tree order.
+        max_m: u32,
+    },
+    /// `gcube tolerance [max_n]` — Figure 4 series.
+    Tolerance {
+        /// Largest dimension.
+        max_n: u32,
+    },
+    /// `gcube robustness <n> <M> <k>` — unified fault-tolerance metrics.
+    Robustness {
+        /// Dimension.
+        n: u32,
+        /// Modulus.
+        modulus: u64,
+        /// Faults per trial.
+        k: usize,
+    },
+    /// `gcube help`.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage banner printed by `gcube help` and on errors.
+pub const USAGE: &str = "\
+gcube — Gaussian Cube fault-tolerant routing (ICPP 2003 reproduction)
+
+USAGE:
+  gcube topology <n> <M>
+  gcube route <n> <M> <src> <dst> [--fault-node V]... [--fault-link V:DIM]... [--fault-free]
+  gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K] [--pattern P] [--seed S]
+  gcube diameter [max_m]
+  gcube tolerance [max_n]
+  gcube robustness <n> <M> <k>
+  gcube help
+
+PATTERNS: uniform (default), complement, reversal, transpose
+Node labels are decimal or binary with a 0b prefix.";
+
+fn parse_label(s: &str) -> Result<u64, ParseError> {
+    let parsed = if let Some(bin) = s.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2)
+    } else {
+        s.parse::<u64>()
+    };
+    parsed.map_err(|_| ParseError(format!("invalid node label: {s}")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError(format!("invalid {what}: {s}")))
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "topology" => {
+            let n = parse_num(next(&mut it, "n")?, "dimension n")?;
+            let modulus = parse_num(next(&mut it, "M")?, "modulus M")?;
+            reject_extra(&mut it)?;
+            Ok(Command::Topology { n, modulus })
+        }
+        "route" => {
+            let n = parse_num(next(&mut it, "n")?, "dimension n")?;
+            let modulus = parse_num(next(&mut it, "M")?, "modulus M")?;
+            let s = parse_label(next(&mut it, "src")?)?;
+            let d = parse_label(next(&mut it, "dst")?)?;
+            let mut fault_nodes = Vec::new();
+            let mut fault_links = Vec::new();
+            let mut fault_free = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--fault-node" => {
+                        fault_nodes.push(NodeId(parse_label(next(&mut it, "fault node")?)?));
+                    }
+                    "--fault-link" => {
+                        let spec = next(&mut it, "fault link")?;
+                        let (v, dim) = spec
+                            .split_once(':')
+                            .ok_or_else(|| ParseError(format!("fault link must be V:DIM, got {spec}")))?;
+                        fault_links.push(LinkId::new(
+                            NodeId(parse_label(v)?),
+                            parse_num(dim, "link dimension")?,
+                        ));
+                    }
+                    "--fault-free" => fault_free = true,
+                    other => return Err(ParseError(format!("unknown flag: {other}"))),
+                }
+            }
+            Ok(Command::Route { n, modulus, s, d, fault_nodes, fault_links, fault_free })
+        }
+        "simulate" => {
+            let n = parse_num(next(&mut it, "n")?, "dimension n")?;
+            let modulus = parse_num(next(&mut it, "M")?, "modulus M")?;
+            let mut rate = 0.005f64;
+            let mut cycles = 600u64;
+            let mut faults = 0usize;
+            let mut pattern = TrafficPattern::Uniform;
+            let mut seed = 0x6ca5u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--rate" => rate = parse_num(next(&mut it, "rate")?, "rate")?,
+                    "--cycles" => cycles = parse_num(next(&mut it, "cycles")?, "cycles")?,
+                    "--faults" => faults = parse_num(next(&mut it, "faults")?, "faults")?,
+                    "--seed" => seed = parse_num(next(&mut it, "seed")?, "seed")?,
+                    "--pattern" => {
+                        pattern = match next(&mut it, "pattern")?.as_str() {
+                            "uniform" => TrafficPattern::Uniform,
+                            "complement" => TrafficPattern::BitComplement,
+                            "reversal" => TrafficPattern::BitReversal,
+                            "transpose" => TrafficPattern::Transpose,
+                            p => return Err(ParseError(format!("unknown pattern: {p}"))),
+                        }
+                    }
+                    other => return Err(ParseError(format!("unknown flag: {other}"))),
+                }
+            }
+            Ok(Command::Simulate { n, modulus, rate, cycles, faults, pattern, seed })
+        }
+        "diameter" => {
+            let max_m = match it.next() {
+                Some(v) => parse_num(v, "max_m")?,
+                None => 14,
+            };
+            reject_extra(&mut it)?;
+            Ok(Command::Diameter { max_m })
+        }
+        "tolerance" => {
+            let max_n = match it.next() {
+                Some(v) => parse_num(v, "max_n")?,
+                None => 24,
+            };
+            reject_extra(&mut it)?;
+            Ok(Command::Tolerance { max_n })
+        }
+        "robustness" => {
+            let n = parse_num(next(&mut it, "n")?, "dimension n")?;
+            let modulus = parse_num(next(&mut it, "M")?, "modulus M")?;
+            let k = parse_num(next(&mut it, "k")?, "fault count k")?;
+            reject_extra(&mut it)?;
+            Ok(Command::Robustness { n, modulus, k })
+        }
+        other => Err(ParseError(format!("unknown command: {other}\n\n{USAGE}"))),
+    }
+}
+
+fn next<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    what: &str,
+) -> Result<&'a String, ParseError> {
+    it.next().ok_or_else(|| ParseError(format!("missing argument: {what}\n\n{USAGE}")))
+}
+
+fn reject_extra(it: &mut std::slice::Iter<'_, String>) -> Result<(), ParseError> {
+    match it.next() {
+        Some(extra) => Err(ParseError(format!("unexpected argument: {extra}"))),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_topology() {
+        assert_eq!(
+            parse(&argv("topology 8 4")),
+            Ok(Command::Topology { n: 8, modulus: 4 })
+        );
+        assert!(parse(&argv("topology 8")).is_err());
+        assert!(parse(&argv("topology 8 4 9")).is_err());
+    }
+
+    #[test]
+    fn parses_route_with_faults() {
+        let c = parse(&argv("route 8 4 0 0b1011 --fault-node 6 --fault-link 2:2 --fault-free"))
+            .unwrap();
+        match c {
+            Command::Route { n, modulus, s, d, fault_nodes, fault_links, fault_free } => {
+                assert_eq!((n, modulus, s, d), (8, 4, 0, 0b1011));
+                assert_eq!(fault_nodes, vec![NodeId(6)]);
+                assert_eq!(fault_links, vec![LinkId::new(NodeId(2), 2)]);
+                assert!(fault_free);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simulate_defaults_and_flags() {
+        let c = parse(&argv("simulate 10 2")).unwrap();
+        match c {
+            Command::Simulate { n, modulus, rate, faults, pattern, .. } => {
+                assert_eq!((n, modulus), (10, 2));
+                assert_eq!(rate, 0.005);
+                assert_eq!(faults, 0);
+                assert_eq!(pattern, TrafficPattern::Uniform);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let c = parse(&argv("simulate 8 2 --rate 0.02 --faults 1 --pattern complement"))
+            .unwrap();
+        match c {
+            Command::Simulate { rate, faults, pattern, .. } => {
+                assert_eq!(rate, 0.02);
+                assert_eq!(faults, 1);
+                assert_eq!(pattern, TrafficPattern::BitComplement);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_series_commands() {
+        assert_eq!(parse(&argv("diameter")), Ok(Command::Diameter { max_m: 14 }));
+        assert_eq!(parse(&argv("diameter 10")), Ok(Command::Diameter { max_m: 10 }));
+        assert_eq!(parse(&argv("tolerance 20")), Ok(Command::Tolerance { max_n: 20 }));
+        assert_eq!(
+            parse(&argv("robustness 8 2 4")),
+            Ok(Command::Robustness { n: 8, modulus: 2, k: 4 })
+        );
+    }
+
+    #[test]
+    fn binary_labels() {
+        assert_eq!(parse_label("0b1010").unwrap(), 10);
+        assert_eq!(parse_label("42").unwrap(), 42);
+        assert!(parse_label("0bxyz").is_err());
+        assert!(parse_label("twelve").is_err());
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        let e = parse(&argv("frobnicate")).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        assert!(e.0.contains("USAGE"));
+        let e = parse(&argv("route 8 4 0 1 --fault-link nodim")).unwrap_err();
+        assert!(e.0.contains("V:DIM"));
+        assert_eq!(parse(&[]), Ok(Command::Help));
+    }
+}

@@ -1,0 +1,209 @@
+//! `gcube` — command-line interface to the Gaussian Cube reproduction.
+//!
+//! ```sh
+//! gcube topology 10 4
+//! gcube route 10 4 0 0b1011010110 --fault-node 6
+//! gcube simulate 10 2 --rate 0.01 --faults 1
+//! gcube diameter 14
+//! gcube robustness 8 2 4
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{parse, Command, USAGE};
+use gcube_analysis::robustness::{algorithmic_robustness, connectivity_robustness};
+use gcube_analysis::tables::{num, Table};
+use gcube_analysis::{diameter, structure, tolerance};
+use gcube_routing::faults::{categorize, theorem5_precondition};
+use gcube_routing::{collective, ffgcr, ftgcr, FaultSet};
+use gcube_sim::{FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm, SimConfig, Simulator};
+use gcube_topology::classes::dims;
+use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv) {
+        Ok(cmd) => match run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Topology { n, modulus } => topology(n, modulus),
+        Command::Route { n, modulus, s, d, fault_nodes, fault_links, fault_free } => {
+            route(n, modulus, s, d, fault_nodes, fault_links, fault_free)
+        }
+        Command::Simulate { n, modulus, rate, cycles, faults, pattern, seed } => {
+            simulate(n, modulus, rate, cycles, faults, pattern, seed)
+        }
+        Command::Diameter { max_m } => {
+            let mut t = Table::new(["m", "nodes", "diameter"]);
+            for p in diameter::series(max_m.min(20)) {
+                t.row([p.m.to_string(), p.nodes.to_string(), p.diameter.to_string()]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+        Command::Tolerance { max_n } => {
+            let mut t = Table::new(["n", "alpha", "T_paper", "log2_T", "T_guaranteed"]);
+            for p in tolerance::series(max_n.min(30)) {
+                t.row([
+                    p.n.to_string(),
+                    p.alpha.to_string(),
+                    p.t_paper.to_string(),
+                    num(p.log2_t_paper, 3),
+                    p.t_guaranteed.to_string(),
+                ]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+        Command::Robustness { n, modulus, k } => {
+            let gc = GaussianCube::new(n, modulus).map_err(|e| e.to_string())?;
+            if n > 14 {
+                return Err("robustness Monte Carlo supports n <= 14".into());
+            }
+            let conn = connectivity_robustness(&gc, k, 30, 0xc11);
+            let alg = algorithmic_robustness(&gc, k, 30, 12, 0xc11);
+            println!("GC({n}, {modulus}) with {k} random node faults (30 trials):");
+            println!("  pair connectivity  : {:.4}", conn.pair_connectivity);
+            println!("  fully connected    : {:.3}", conn.fully_connected_ratio);
+            println!("  FTGCR delivery     : {:.4}", alg.delivery_ratio);
+            println!("  Thm-5 precondition : {:.3}", alg.precondition_ratio);
+            println!("  mean detour (hops) : {:.3}", alg.mean_detour);
+            Ok(())
+        }
+    }
+}
+
+fn topology(n: u32, modulus: u64) -> Result<(), String> {
+    let gc = GaussianCube::new(n, modulus).map_err(|e| e.to_string())?;
+    let row = structure::structure_row(n, modulus);
+    println!("GC({n}, {modulus}):  α = {}", gc.alpha());
+    println!("  nodes        : {}", row.nodes);
+    println!("  links        : {}", row.links);
+    println!(
+        "  degree       : min {} / mean {:.2} / max {}",
+        row.min_degree, row.mean_degree, row.max_degree
+    );
+    println!("  availability : {}", row.availability);
+    let tree = GaussianTree::new(gc.alpha()).map_err(|e| e.to_string())?;
+    println!(
+        "  projection   : T_{} ({} classes, tree diameter {})",
+        gc.alpha(),
+        tree.num_nodes(),
+        tree.diameter()
+    );
+    for k in 0..(1u64 << gc.alpha()) {
+        println!("  Dim(α,{k})     : {:?}", dims(n, gc.alpha(), k));
+    }
+    // Broadcast depth from node 0 as a latency indicator.
+    let bt = collective::broadcast_tree(&gc, NodeId(0)).map_err(|e| e.to_string())?;
+    println!("  broadcast    : depth {} from node 0", bt.max_depth());
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn route(
+    n: u32,
+    modulus: u64,
+    s: u64,
+    d: u64,
+    fault_nodes: Vec<NodeId>,
+    fault_links: Vec<gcube_topology::LinkId>,
+    fault_free: bool,
+) -> Result<(), String> {
+    let gc = GaussianCube::new(n, modulus).map_err(|e| e.to_string())?;
+    let mut faults = FaultSet::new();
+    for v in fault_nodes {
+        faults.add_node(v);
+    }
+    for l in fault_links {
+        faults.add_link(l);
+    }
+    let (s, d) = (NodeId(s), NodeId(d));
+    if !faults.is_empty() {
+        let counts = categorize(&gc, &faults);
+        println!("faults: {counts:?}; Theorem-5 precondition: {}", theorem5_precondition(&gc, &faults));
+    }
+    if fault_free {
+        let r = ffgcr::route(&gc, s, d).map_err(|e| e.to_string())?;
+        println!("FFGCR {} -> {} ({} hops, optimal):", s.to_binary(n), d.to_binary(n), r.hops());
+        println!("  {r}");
+    } else {
+        let (r, stats) = ftgcr::route(&gc, &faults, s, d).map_err(|e| e.to_string())?;
+        let opt = ffgcr::route_len(&gc, s, d);
+        println!(
+            "FTGCR {} -> {} ({} hops; fault-free optimum {opt}):",
+            s.to_binary(n),
+            d.to_binary(n),
+            r.hops()
+        );
+        println!("  {r}");
+        println!(
+            "  crossings {}, masked columns {}, repairs {} moves / {} bounces{}",
+            stats.crossings,
+            stats.masked_columns,
+            stats.flip_moves,
+            stats.bounces_inserted,
+            if stats.bfs_fallback { " [BFS fallback]" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn simulate(
+    n: u32,
+    modulus: u64,
+    rate: f64,
+    cycles: u64,
+    faults: usize,
+    pattern: gcube_sim::traffic::TrafficPattern,
+    seed: u64,
+) -> Result<(), String> {
+    if n > 14 {
+        return Err("simulation supports n <= 14 (16k nodes)".into());
+    }
+    let cfg = SimConfig::new(n, modulus)
+        .with_rate(rate)
+        .with_cycles(cycles, cycles * 20, cycles / 10)
+        .with_faults(faults)
+        .with_pattern(pattern)
+        .with_seed(seed);
+    let algo: &dyn RoutingAlgorithm =
+        if faults == 0 { &FaultFreeGcr } else { &FaultTolerantGcr };
+    let sim = Simulator::new(cfg, algo);
+    if faults > 0 {
+        let list: Vec<String> = sim.faults().faulty_nodes().map(|v| v.to_string()).collect();
+        println!("faulty nodes: {}", list.join(", "));
+    }
+    let m = sim.run();
+    println!("algorithm        : {}", algo.name());
+    println!("injected         : {}", m.injected);
+    println!("delivered        : {}", m.delivered);
+    println!("route failures   : {}", m.route_failures);
+    println!("avg latency      : {:.3} cycles", m.avg_latency());
+    println!("avg hops         : {:.3}", m.avg_hops());
+    println!("throughput       : {:.4} pkts/cycle (log2 {:.3})", m.throughput(), m.log2_throughput());
+    println!("measured cycles  : {}", m.cycles);
+    if m.in_flight_at_end > 0 {
+        println!("WARNING: {} packets undrained (raise --cycles?)", m.in_flight_at_end);
+    }
+    Ok(())
+}

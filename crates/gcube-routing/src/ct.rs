@@ -1,0 +1,256 @@
+//! Algorithm 2 — Closed-Traverse (CT) and FindBP in the Gaussian Tree.
+//!
+//! CT starts at a node `r`, visits every member of a destination set `D`,
+//! and returns to `r`. Its walk is optimal — every edge of the Steiner tree
+//! of `{r} ∪ D` is traversed exactly twice — because it never backtracks to
+//! a parent while destinations remain in the subtree (the paper's
+//! optimality principle).
+//!
+//! `FindBP(L, r, dᵢ)` locates the *branch point*: the node of the already
+//! chosen trunk path `L` at which the walk must fork to reach `dᵢ`. The
+//! paper computes it by the same leftmost-bit recursion as PC, without
+//! materialising the path `r → dᵢ`; [`find_bp`] mirrors that, and
+//! [`branch_point_reference`] provides the brute-force oracle (the deepest
+//! node of `L` on the tree path `r → dᵢ`) the tests compare against.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use gcube_topology::{GaussianTree, LinkId, NodeId};
+
+use crate::pc::pc_path;
+
+/// FindBP (paper, §4): the node of trunk `L` (a tree path starting at `r`)
+/// where the route towards `d` leaves `L`.
+///
+/// `on_l` must answer membership in `L` (the paper's `CheckIn`). The paper
+/// only invokes FindBP for destinations **not covered by `L`** (on-trunk
+/// destinations need no branch point); callers must respect that contract.
+pub fn find_bp(
+    tree: &GaussianTree,
+    on_l: &impl Fn(NodeId) -> bool,
+    r: NodeId,
+    d: NodeId,
+) -> NodeId {
+    debug_assert!(on_l(r), "FindBP requires r ∈ L");
+    let Some(c) = r.leftmost_differing_dim(d) else {
+        return r; // d == r
+    };
+    if c == 0 {
+        // r and d are neighbours; the fork happens at r itself.
+        return r;
+    }
+    // The unique dim-c edge the path r → d must cross (cf. PC).
+    let upper = (r.0 >> (c + 1)) << (c + 1);
+    let w0 = NodeId(upper | u64::from(c));
+    let w1 = w0.flip(c);
+    let (v1, v2) = if r.bit(c) { (w1, w0) } else { (w0, w1) };
+    debug_assert_eq!(tree.edge_dim(v1, v2), Some(c));
+    match (on_l(v1), on_l(v2)) {
+        (true, false) => v1,
+        (true, true) => find_bp(tree, on_l, v2, d),
+        (false, false) => find_bp(tree, on_l, r, v1),
+        // The paper notes this case is impossible: L is a path from r, so it
+        // cannot contain v2 without passing v1.
+        (false, true) => unreachable!("L contains v2 without v1 — L is not a path from r"),
+    }
+}
+
+/// Brute-force branch point: the last node of the tree path `r → d` that
+/// still lies on `L`. Used as the testing oracle for [`find_bp`].
+pub fn branch_point_reference(
+    tree: &GaussianTree,
+    l_set: &HashSet<NodeId>,
+    r: NodeId,
+    d: NodeId,
+) -> NodeId {
+    let path = pc_path(tree, r, d);
+    *path
+        .iter()
+        .take_while(|n| l_set.contains(n))
+        .last()
+        .expect("r itself is on L")
+}
+
+/// Closed-Traverse: a walk starting and ending at `r` that visits every node
+/// in `dests`. Optimal: exactly `2 × |Steiner(r ∪ dests)|` hops.
+///
+/// Deterministic variant of the paper's algorithm: the trunk destination is
+/// the *farthest* member of `dests` (the paper picks one at random; any
+/// choice yields an optimal walk, and determinism keeps tests and the
+/// simulator reproducible).
+pub fn ct_walk(tree: &GaussianTree, r: NodeId, dests: &BTreeSet<NodeId>) -> Vec<NodeId> {
+    let mut walk = vec![r];
+    let mut remaining: BTreeSet<NodeId> = dests.iter().copied().filter(|&d| d != r).collect();
+    if remaining.is_empty() {
+        return walk;
+    }
+    // Trunk: path to the farthest destination.
+    let d0 = *remaining
+        .iter()
+        .max_by_key(|&&d| pc_path(tree, r, d).len())
+        .expect("non-empty");
+    remaining.remove(&d0);
+    let trunk = pc_path(tree, r, d0);
+    let l_set: HashSet<NodeId> = trunk.iter().copied().collect();
+
+    // Branch table B(·): destinations that fork off each trunk node.
+    let mut branches: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for d in remaining {
+        if !l_set.contains(&d) {
+            let b = find_bp(tree, &|v| l_set.contains(&v), r, d);
+            branches.entry(b).or_default().insert(d);
+        }
+        // Destinations already on the trunk are covered by walking it.
+    }
+
+    // Walk the trunk out, taking closed side trips at branch points …
+    for (i, &node) in trunk.iter().enumerate() {
+        if i > 0 {
+            walk.push(node);
+        }
+        if let Some(side) = branches.get(&node) {
+            let sub = ct_walk(tree, node, side);
+            walk.extend_from_slice(&sub[1..]);
+        }
+    }
+    // … then return along the trunk.
+    for &node in trunk.iter().rev().skip(1) {
+        walk.push(node);
+    }
+    walk
+}
+
+/// The edge set of the Steiner tree of `{r} ∪ dests` in `tree`: the union of
+/// the tree-path edges from `r` to each destination. (In a tree this union
+/// *is* the minimal connecting subtree.)
+pub fn steiner_edges(
+    tree: &GaussianTree,
+    r: NodeId,
+    dests: &BTreeSet<NodeId>,
+) -> HashSet<LinkId> {
+    let mut edges = HashSet::new();
+    for &d in dests {
+        let p = pc_path(tree, r, d);
+        for w in p.windows(2) {
+            let dim = tree.edge_dim(w[0], w[1]).expect("tree path hop");
+            edges.insert(LinkId::new(w[0], dim));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::Topology;
+
+    fn check_walk(tree: &GaussianTree, r: NodeId, dests: &BTreeSet<NodeId>) {
+        let walk = ct_walk(tree, r, dests);
+        assert_eq!(walk[0], r, "walk starts at r");
+        assert_eq!(*walk.last().unwrap(), r, "walk returns to r");
+        for w in walk.windows(2) {
+            assert!(tree.edge_dim(w[0], w[1]).is_some(), "invalid hop {} -> {}", w[0], w[1]);
+        }
+        let visited: HashSet<NodeId> = walk.iter().copied().collect();
+        for d in dests {
+            assert!(visited.contains(d), "walk misses destination {d}");
+        }
+        // Optimality: 2 × Steiner edges.
+        let steiner = steiner_edges(tree, r, dests);
+        assert_eq!(
+            walk.len() - 1,
+            2 * steiner.len(),
+            "walk is not optimal for r={r}, dests={dests:?}"
+        );
+    }
+
+    #[test]
+    fn empty_destination_set() {
+        let t = GaussianTree::new(4).unwrap();
+        assert_eq!(ct_walk(&t, NodeId(3), &BTreeSet::new()), vec![NodeId(3)]);
+        let only_r: BTreeSet<_> = [NodeId(3)].into_iter().collect();
+        assert_eq!(ct_walk(&t, NodeId(3), &only_r), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn single_destination_walk_is_out_and_back() {
+        let t = GaussianTree::new(4).unwrap();
+        let d: BTreeSet<_> = [NodeId(0b1011)].into_iter().collect();
+        let walk = ct_walk(&t, NodeId(0), &d);
+        let dist = t.dist(NodeId(0), NodeId(0b1011)) as usize;
+        assert_eq!(walk.len() - 1, 2 * dist);
+        check_walk(&t, NodeId(0), &d);
+    }
+
+    #[test]
+    fn exhaustive_pairs_and_triples_small_tree() {
+        let t = GaussianTree::new(4).unwrap();
+        for r in 0..16u64 {
+            for a in 0..16u64 {
+                for b in (a..16u64).step_by(3) {
+                    let dests: BTreeSet<_> = [NodeId(a), NodeId(b)].into_iter().collect();
+                    check_walk(&t, NodeId(r), &dests);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_destination_sets() {
+        let t = GaussianTree::new(6).unwrap();
+        let cases: Vec<BTreeSet<NodeId>> = vec![
+            (0..8u64).map(NodeId).collect(),
+            (0..64u64).step_by(5).map(NodeId).collect(),
+            [63u64, 1, 32, 17].into_iter().map(NodeId).collect(),
+            (0..64u64).map(NodeId).collect(), // visit every node
+        ];
+        for dests in cases {
+            check_walk(&t, NodeId(0), &dests);
+            check_walk(&t, NodeId(21), &dests);
+        }
+    }
+
+    #[test]
+    fn find_bp_matches_reference_exhaustively() {
+        let t = GaussianTree::new(5).unwrap();
+        for r in (0..32u64).step_by(3) {
+            for d0 in 0..32u64 {
+                let trunk = pc_path(&t, NodeId(r), NodeId(d0));
+                let l_set: HashSet<NodeId> = trunk.iter().copied().collect();
+                for d in 0..32u64 {
+                    if l_set.contains(&NodeId(d)) {
+                        continue; // FindBP's contract: d is off-trunk
+                    }
+                    let got = find_bp(&t, &|v| l_set.contains(&v), NodeId(r), NodeId(d));
+                    let want = branch_point_reference(&t, &l_set, NodeId(r), NodeId(d));
+                    assert_eq!(got, want, "r={r} d0={d0} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_point_lies_on_path_to_destination() {
+        // The branch point is always on the tree path r → d (it is where the
+        // walk leaves the trunk).
+        let t = GaussianTree::new(5).unwrap();
+        let trunk = pc_path(&t, NodeId(0), NodeId(21));
+        let l_set: HashSet<NodeId> = trunk.iter().copied().collect();
+        for d in 0..32u64 {
+            if l_set.contains(&NodeId(d)) {
+                continue;
+            }
+            let bp = find_bp(&t, &|v| l_set.contains(&v), NodeId(0), NodeId(d));
+            assert!(l_set.contains(&bp));
+            assert!(pc_path(&t, NodeId(0), NodeId(d)).contains(&bp));
+        }
+    }
+
+    #[test]
+    fn steiner_edges_of_full_tree() {
+        let t = GaussianTree::new(4).unwrap();
+        let all: BTreeSet<_> = (0..16u64).map(NodeId).collect();
+        // Steiner tree spanning every node = the whole tree: 15 edges.
+        assert_eq!(steiner_edges(&t, NodeId(0), &all).len() as u64, t.num_nodes() - 1);
+    }
+}

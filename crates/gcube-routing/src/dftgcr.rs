@@ -1,0 +1,248 @@
+//! Distributed FTGCR: per-hop routing under *local* fault knowledge.
+//!
+//! The source-routed [`crate::ftgcr`] assumes the planner sees the whole
+//! fault set. The paper's model is weaker (§6 assumption 4): a node knows
+//! its incident link status and the B/C faults related to its own ending
+//! class — the knowledge the exchange protocol of [`crate::knowledge`]
+//! actually delivers. This module routes under exactly that model:
+//!
+//! * every node holds its converged [`KnowledgeMap`] entry;
+//! * the packet header carries the fault items learned so far — at most
+//!   the total number of faults, echoing the paper's claim 5 ("at most `F`
+//!   n-bit node addresses");
+//! * each node merges its knowledge into the header; whenever the header
+//!   *grows* (or no plan exists), the node re-plans the rest of the journey
+//!   with [`crate::ftgcr`] under the header's view and forwards along it.
+//!
+//! **Termination is provable**: the header grows at most `F` times; between
+//! growth events every node on the path shares the plan's view, so the
+//! packet follows one fixed plan and strictly approaches the destination.
+//! Every hop is physically safe because a node's own incident observations
+//! are always in its knowledge, hence in the view its plan avoided.
+
+use std::collections::HashSet;
+
+use gcube_topology::{GaussianCube, NodeId, Topology};
+
+use crate::faults::FaultSet;
+use crate::ftgcr;
+use crate::knowledge::{FaultItem, KnowledgeMap};
+use crate::route::{Route, RoutingError};
+
+/// Statistics of a distributed routing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistributedStats {
+    /// Plans computed (1 = the source plan sufficed end to end).
+    pub replans: u32,
+    /// Fault items the header carried at delivery (≤ total faults).
+    pub header_items: usize,
+}
+
+/// Build a [`FaultSet`] view from header items.
+fn view_of(items: &HashSet<FaultItem>) -> FaultSet {
+    let mut f = FaultSet::new();
+    for item in items {
+        match item {
+            FaultItem::Node(v) => f.add_node(*v),
+            FaultItem::Link(l) => f.add_link(*l),
+        }
+    }
+    f
+}
+
+/// Route from `s` to `d` hop by hop under local knowledge.
+///
+/// `truth` is the ground-truth fault set (used only to seed the knowledge
+/// map and for final validation in tests — the decisions never read it);
+/// `km` is the converged per-node knowledge from
+/// [`crate::knowledge::exchange_rounds`].
+pub fn route_distributed(
+    gc: &GaussianCube,
+    truth: &FaultSet,
+    km: &KnowledgeMap,
+    s: NodeId,
+    d: NodeId,
+) -> Result<(Route, DistributedStats), RoutingError> {
+    if !gc.contains(s) {
+        return Err(RoutingError::OutOfRange(s));
+    }
+    if !gc.contains(d) {
+        return Err(RoutingError::OutOfRange(d));
+    }
+    if truth.is_node_faulty(s) {
+        return Err(RoutingError::SourceFaulty(s));
+    }
+    if truth.is_node_faulty(d) {
+        return Err(RoutingError::DestFaulty(d));
+    }
+    let mut stats = DistributedStats::default();
+    let mut header: HashSet<FaultItem> = HashSet::new();
+    let mut path = vec![s];
+    let mut cur = s;
+    // Plan = remaining node sequence; pos = index of cur within it.
+    let mut plan: Vec<NodeId> = Vec::new();
+    let mut pos = 0usize;
+    // Termination bound: (F + 1) plans, each bounded by the FTGCR budget.
+    let budget = (truth.len() + 2) * (gc.n() as usize * 4 + 8 * truth.len() + 16) + 16;
+    while cur != d {
+        if path.len() > budget {
+            return Err(RoutingError::DetourBudgetExceeded { stuck_at: cur });
+        }
+        // 1. Merge this node's knowledge into the header.
+        let before = header.len();
+        header.extend(km.known_by(cur).iter().copied());
+        let grew = header.len() > before;
+        // 2. (Re-)plan when the view changed or no plan is active.
+        if grew || plan.is_empty() || pos + 1 >= plan.len() {
+            let view = view_of(&header);
+            let (r, _) = ftgcr::route(gc, &view, cur, d)?;
+            plan = r.nodes().to_vec();
+            pos = 0;
+            stats.replans += 1;
+        }
+        // 3. Follow the plan one hop. The hop is incident to `cur`, whose
+        //    own observations are in the header, so the plan avoided any
+        //    dead incident link: the hop is physically usable.
+        let next = plan[pos + 1];
+        debug_assert!(
+            {
+                let dims = cur.differing_dims(next);
+                dims.len() == 1
+                    && gc.has_link(cur, dims[0])
+                    && truth.is_link_usable(gcube_topology::LinkId::new(cur, dims[0]))
+            },
+            "local knowledge must make every taken hop safe"
+        );
+        cur = next;
+        pos += 1;
+        path.push(cur);
+    }
+    stats.header_items = header.len();
+    Ok((Route::new(path), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::theorem5_precondition;
+    use crate::ffgcr;
+    use crate::knowledge::exchange_rounds;
+    use gcube_topology::LinkId;
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    #[test]
+    fn fault_free_distributed_is_optimal_with_one_plan() {
+        let gc = GaussianCube::new(8, 4).unwrap();
+        let truth = FaultSet::new();
+        let km = exchange_rounds(&gc, &truth);
+        for (s, d) in [(0u64, 255u64), (37, 200), (128, 1)] {
+            let (r, stats) = route_distributed(&gc, &truth, &km, NodeId(s), NodeId(d)).unwrap();
+            r.validate(&gc, &truth).unwrap();
+            assert_eq!(r.hops() as u32, ffgcr::route_len(&gc, NodeId(s), NodeId(d)));
+            assert_eq!(stats.replans, 1, "fault-free: the source plan suffices");
+            assert_eq!(stats.header_items, 0);
+        }
+    }
+
+    #[test]
+    fn single_fault_delivered_with_local_knowledge() {
+        let gc = GaussianCube::new(8, 2).unwrap();
+        let mut rng = Rng(0xd1f);
+        for _ in 0..8 {
+            let mut truth = FaultSet::new();
+            truth.add_node(NodeId(rng.next() % gc.num_nodes()));
+            if !theorem5_precondition(&gc, &truth) {
+                continue;
+            }
+            let km = exchange_rounds(&gc, &truth);
+            for _ in 0..40 {
+                let s = NodeId(rng.next() % gc.num_nodes());
+                let d = NodeId(rng.next() % gc.num_nodes());
+                if truth.is_node_faulty(s) || truth.is_node_faulty(d) || s == d {
+                    continue;
+                }
+                let (r, stats) = route_distributed(&gc, &truth, &km, s, d)
+                    .unwrap_or_else(|e| panic!("{s}->{d}: {e} truth={truth:?}"));
+                r.validate(&gc, &truth).unwrap();
+                assert!(stats.header_items <= truth.len(), "claim 5: header ≤ F items");
+                // Local knowledge costs at most a bounded premium over the
+                // omniscient router.
+                let (omni, _) = ftgcr::route(&gc, &truth, s, d).unwrap();
+                assert!(
+                    r.hops() <= omni.hops() + 2 * gc.n() as usize,
+                    "{s}->{d}: distributed {} vs omniscient {}",
+                    r.hops(),
+                    omni.hops()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_faults_learned_en_route() {
+        // An A-category link fault is known only inside its GEEC; remote
+        // sources plan straight through it and must adapt on arrival.
+        let gc = GaussianCube::new(9, 2).unwrap();
+        let mut truth = FaultSet::new();
+        truth.add_link(LinkId::new(NodeId(0b110), 2));
+        let km = exchange_rounds(&gc, &truth);
+        let mut rng = Rng(0x11f);
+        let mut adapted = 0;
+        for _ in 0..60 {
+            let s = NodeId(rng.next() % gc.num_nodes());
+            let d = NodeId(rng.next() % gc.num_nodes());
+            if s == d {
+                continue;
+            }
+            let (r, stats) = route_distributed(&gc, &truth, &km, s, d).unwrap();
+            r.validate(&gc, &truth).unwrap();
+            if stats.replans > 1 {
+                adapted += 1;
+            }
+        }
+        // At least some pairs must have needed an en-route replan.
+        assert!(adapted >= 1, "no pair ever adapted, test is vacuous");
+    }
+
+    #[test]
+    fn distributed_matches_omniscient_when_source_knows() {
+        // If the source's own class holds the fault, its first plan already
+        // sees it: distributed == omniscient, one plan.
+        let gc = GaussianCube::new(8, 2).unwrap();
+        let mut truth = FaultSet::new();
+        // Fault in class of node 2 (even → class 0).
+        truth.add_link(LinkId::new(NodeId(2), 2));
+        let km = exchange_rounds(&gc, &truth);
+        let s = NodeId(2); // same GEEC — knows the fault
+        let d = NodeId(0b1111_1110);
+        let (r, stats) = route_distributed(&gc, &truth, &km, s, d).unwrap();
+        let (omni, _) = ftgcr::route(&gc, &truth, s, d).unwrap();
+        assert_eq!(r.hops(), omni.hops());
+        assert_eq!(stats.replans, 1);
+    }
+
+    #[test]
+    fn rejects_faulty_endpoints() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let mut truth = FaultSet::new();
+        truth.add_node(NodeId(5));
+        let km = exchange_rounds(&gc, &truth);
+        assert!(matches!(
+            route_distributed(&gc, &truth, &km, NodeId(5), NodeId(0)),
+            Err(RoutingError::SourceFaulty(_))
+        ));
+        assert!(matches!(
+            route_distributed(&gc, &truth, &km, NodeId(0), NodeId(5)),
+            Err(RoutingError::DestFaulty(_))
+        ));
+    }
+}

@@ -1,0 +1,527 @@
+//! The paper's fault model: fault sets, the A/B/C taxonomy (Definitions
+//! 3–5), the per-subcube tolerance bound `N(α,k)` and aggregate bound
+//! `T(GC)` (Theorem 3 / Figure 4), and the Theorem-5 precondition over
+//! exchanged-hypercube crossings.
+//!
+//! * **A-category** — a *link* fault in a dimension `c ≥ α`. Such faults
+//!   only perturb routing *inside* a `GEEC(α,k,t)` subcube.
+//! * **B-category** — an error whose failed links all lie in dimensions
+//!   `< α`: either a link fault with `c < α`, or a node fault at a node with
+//!   no incident link in any dimension `≥ α`.
+//! * **C-category** — a node fault that breaks links on both sides of `α`.
+//!
+//! B and C faults can block a Gaussian-tree edge crossing; Theorem 5 bounds
+//! how many the strategy absorbs by viewing each crossing neighbourhood as
+//! an exchanged hypercube.
+
+use std::collections::HashSet;
+
+use gcube_topology::classes::{dim_count, dims, n_bound_paper, subcube_pos};
+use gcube_topology::{GaussianCube, GaussianTree, LinkId, LinkMask, NodeId, Topology};
+
+/// A set of faulty nodes and faulty links.
+///
+/// Per the simulator's assumption (3), a faulty node makes all of its
+/// incident links faulty; [`FaultSet::is_link_usable`] accounts for that.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    nodes: HashSet<NodeId>,
+    links: HashSet<LinkId>,
+}
+
+impl FaultSet {
+    /// An empty (fault-free) set.
+    pub fn new() -> FaultSet {
+        FaultSet::default()
+    }
+
+    /// Mark a node faulty.
+    pub fn add_node(&mut self, n: NodeId) {
+        self.nodes.insert(n);
+    }
+
+    /// Mark a link faulty.
+    pub fn add_link(&mut self, l: LinkId) {
+        self.links.insert(l);
+    }
+
+    /// Whether the node itself is faulty.
+    #[inline]
+    pub fn is_node_faulty(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Whether the link itself was marked faulty (endpoint faults *not*
+    /// considered; see [`FaultSet::is_link_usable`]).
+    #[inline]
+    pub fn is_link_faulty(&self, l: LinkId) -> bool {
+        self.links.contains(&l)
+    }
+
+    /// Whether a packet may traverse this link: the link is healthy and so
+    /// are both endpoints.
+    pub fn is_link_usable(&self, l: LinkId) -> bool {
+        let (a, b) = l.endpoints();
+        !self.links.contains(&l) && !self.nodes.contains(&a) && !self.nodes.contains(&b)
+    }
+
+    /// Faulty nodes, in arbitrary order.
+    pub fn faulty_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Explicitly faulty links (not counting links killed by node faults).
+    pub fn faulty_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// Total number of faulty components (nodes + explicit links).
+    pub fn len(&self) -> usize {
+        self.nodes.len() + self.links.len()
+    }
+
+    /// Whether the set is empty (fault-free network).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.links.is_empty()
+    }
+}
+
+impl LinkMask for FaultSet {
+    #[inline]
+    fn node_ok(&self, node: NodeId) -> bool {
+        !self.nodes.contains(&node)
+    }
+    #[inline]
+    fn link_ok(&self, link: LinkId) -> bool {
+        !self.links.contains(&link)
+    }
+}
+
+/// The paper's fault taxonomy (Definitions 3–5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultCategory {
+    /// Link fault in a dimension `≥ α`.
+    A,
+    /// All incurred link failures lie in dimensions `< α`.
+    B,
+    /// Node fault breaking links in dimensions both `< α` and `≥ α`.
+    C,
+}
+
+/// Classify a faulty link (Definition 3/4): A iff its dimension is `≥ α`.
+pub fn link_category(gc: &GaussianCube, l: LinkId) -> FaultCategory {
+    if l.dim >= gc.alpha() {
+        FaultCategory::A
+    } else {
+        FaultCategory::B
+    }
+}
+
+/// Classify a faulty node (Definition 4/5): C iff it owns a link in a
+/// dimension `≥ α` (it always owns the dimension-0 link, so it also breaks
+/// links `< α`); otherwise B.
+pub fn node_category(gc: &GaussianCube, n: NodeId) -> FaultCategory {
+    let has_high = (gc.alpha()..gc.n()).any(|c| gc.has_link(n, c));
+    if has_high {
+        FaultCategory::C
+    } else {
+        FaultCategory::B
+    }
+}
+
+/// Counts of faults by category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CategoryCounts {
+    /// A-category (high-dimension link) faults.
+    pub a: usize,
+    /// B-category faults.
+    pub b: usize,
+    /// C-category (node) faults.
+    pub c: usize,
+}
+
+/// Categorise every fault in the set.
+pub fn categorize(gc: &GaussianCube, faults: &FaultSet) -> CategoryCounts {
+    let mut counts = CategoryCounts::default();
+    for l in faults.faulty_links() {
+        match link_category(gc, l) {
+            FaultCategory::A => counts.a += 1,
+            _ => counts.b += 1,
+        }
+    }
+    for n in faults.faulty_nodes() {
+        match node_category(gc, n) {
+            FaultCategory::C => counts.c += 1,
+            _ => counts.b += 1,
+        }
+    }
+    counts
+}
+
+/// Whether the fault set contains only A-category faults (Theorem 3's
+/// standing assumption).
+pub fn only_a_category(gc: &GaussianCube, faults: &FaultSet) -> bool {
+    faults.faulty_nodes().next().is_none()
+        && faults.faulty_links().all(|l| link_category(gc, l) == FaultCategory::A)
+}
+
+/// Number of faulty components charged to the subcube `GEEC(α, k, t)`:
+/// faulty member nodes plus faulty links among the subcube's dimensions.
+pub fn faults_in_geec(gc: &GaussianCube, faults: &FaultSet, k: u64, t: u64) -> usize {
+    let mut count = 0;
+    for n in faults.faulty_nodes() {
+        let pos = subcube_pos(gc, n);
+        if pos.k == k && pos.t == t {
+            count += 1;
+        }
+    }
+    let dim_set = dims(gc.n(), gc.alpha(), k);
+    for l in faults.faulty_links() {
+        if dim_set.contains(&l.dim) {
+            let pos = subcube_pos(gc, l.lo);
+            if pos.k == k && pos.t == t {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Theorem 3 precondition (with the paper's bound): only A-category faults,
+/// and every `GEEC(α,k,t)` holds fewer than `N(α,k)` of them.
+pub fn theorem3_precondition_paper(gc: &GaussianCube, faults: &FaultSet) -> bool {
+    theorem3_precondition_inner(gc, faults, |k| n_bound_paper(gc.n(), gc.alpha(), k))
+}
+
+/// Theorem 3 precondition with the *guaranteed* bound (DESIGN.md §3): fewer
+/// than `|Dim(α,k)|` faults per subcube, the link connectivity of the
+/// embedded hypercube. This is what the test-suite enforces.
+pub fn theorem3_precondition_guaranteed(gc: &GaussianCube, faults: &FaultSet) -> bool {
+    theorem3_precondition_inner(gc, faults, |k| dim_count(gc.n(), gc.alpha(), k))
+}
+
+fn theorem3_precondition_inner(
+    gc: &GaussianCube,
+    faults: &FaultSet,
+    bound: impl Fn(u64) -> u32,
+) -> bool {
+    if !only_a_category(gc, faults) {
+        return false;
+    }
+    // Only subcubes actually containing faults need checking.
+    let mut checked: HashSet<(u64, u64)> = HashSet::new();
+    for l in faults.faulty_links() {
+        let pos = subcube_pos(gc, l.lo);
+        if checked.insert((pos.k, pos.t)) {
+            let b = bound(pos.k);
+            if faults_in_geec(gc, faults, pos.k, pos.t) as u32 >= b.max(1) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The paper's tolerable-fault aggregate (Theorem 3 / Figure 4):
+/// `T(GC) = Σ_k (N(α,k) − 1) · #subcubes(k)` — each of the `2^(n−α−|Dim|)`
+/// subcubes of class `k` can absorb `N(α,k) − 1 = |Dim(α,k)|` link faults.
+pub fn max_tolerable_faults_paper(n: u32, alpha: u32) -> u64 {
+    let mut total = 0u64;
+    for k in 0..(1u64 << alpha) {
+        let d = dim_count(n, alpha, k);
+        let per = u64::from(n_bound_paper(n, alpha, k).saturating_sub(1));
+        let subcubes = 1u64 << (n - alpha - d);
+        total += per * subcubes;
+    }
+    total
+}
+
+/// The strictly guaranteed variant: `|Dim(α,k)| − 1` faults per subcube
+/// (below the embedded cube's link connectivity).
+pub fn max_tolerable_faults_guaranteed(n: u32, alpha: u32) -> u64 {
+    let mut total = 0u64;
+    for k in 0..(1u64 << alpha) {
+        let d = dim_count(n, alpha, k);
+        let per = u64::from(d.saturating_sub(1));
+        let subcubes = 1u64 << (n - alpha - d);
+        total += per * subcubes;
+    }
+    total
+}
+
+/// Fault counts around one Gaussian-tree edge crossing `(p, q)` restricted
+/// to the `k̃`-indexed exchanged-hypercube block `G(p, q, k̃)` (paper §5):
+/// `e_s` in the class-`p` side, `e_t` in the class-`q` side, and `e'`
+/// faulty crossing links not incident to an already-faulty node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrossingFaults {
+    /// Faulty components in the class-`p` cubes of the block.
+    pub e_s: usize,
+    /// Faulty components in the class-`q` cubes of the block.
+    pub e_t: usize,
+    /// Faulty crossing (dimension `c₀ < α`) links with healthy endpoints.
+    pub e_cross: usize,
+}
+
+/// The block index `k̃` of a node relative to a tree edge `(p,q)`: the
+/// packed bits of all dimensions outside `[0,α) ∪ Dim(p) ∪ Dim(q)`.
+pub fn crossing_block_index(gc: &GaussianCube, p_class: u64, q_class: u64, node: NodeId) -> u64 {
+    let (n, alpha) = (gc.n(), gc.alpha());
+    let dp = dims(n, alpha, p_class);
+    let dq = dims(n, alpha, q_class);
+    let mut idx = 0u64;
+    let mut bit = 0;
+    for c in alpha..n {
+        if !dp.contains(&c) && !dq.contains(&c) {
+            if node.bit(c) {
+                idx |= 1 << bit;
+            }
+            bit += 1;
+        }
+    }
+    idx
+}
+
+/// Count the crossing-relevant faults for tree edge `(p, q)` within block
+/// `k̃` (Theorem 5's `e_s`, `e_t`, `e'`).
+pub fn crossing_faults(
+    gc: &GaussianCube,
+    faults: &FaultSet,
+    p_class: u64,
+    q_class: u64,
+    block: u64,
+) -> CrossingFaults {
+    let alpha = gc.alpha();
+    let tree = GaussianTree::new(alpha).expect("alpha within cap");
+    let c0 = tree
+        .edge_dim(NodeId(p_class), NodeId(q_class))
+        .expect("(p,q) must be a tree edge");
+    let dp = dims(gc.n(), alpha, p_class);
+    let dq = dims(gc.n(), alpha, q_class);
+    let mut out = CrossingFaults::default();
+    let in_block = |n: NodeId| crossing_block_index(gc, p_class, q_class, n) == block;
+    for n in faults.faulty_nodes() {
+        let k = gc.ending_class(n);
+        if in_block(n) {
+            if k == p_class {
+                out.e_s += 1;
+            } else if k == q_class {
+                out.e_t += 1;
+            }
+        }
+    }
+    for l in faults.faulty_links() {
+        let (a, b) = l.endpoints();
+        if !in_block(a) {
+            continue;
+        }
+        let ka = gc.ending_class(a);
+        if l.dim == c0 && (ka == p_class || ka == q_class) {
+            if !faults.is_node_faulty(a) && !faults.is_node_faulty(b) {
+                out.e_cross += 1;
+            }
+        } else if ka == p_class && dp.contains(&l.dim) {
+            out.e_s += 1;
+        } else if ka == q_class && dq.contains(&l.dim) {
+            out.e_t += 1;
+        }
+    }
+    out
+}
+
+/// Theorem 5 precondition: for every tree edge `(p, q)` and every block
+/// `k̃`: `e_s + e' < |Dim(p)|` and `e_t + e' < |Dim(q)|`.
+pub fn theorem5_precondition(gc: &GaussianCube, faults: &FaultSet) -> bool {
+    let (n, alpha) = (gc.n(), gc.alpha());
+    let tree = GaussianTree::new(alpha).expect("alpha within cap");
+    for edge in tree.links() {
+        let (p, q) = edge.endpoints();
+        let dp = dim_count(n, alpha, p.0);
+        let dq = dim_count(n, alpha, q.0);
+        let free = dp + dq;
+        let blocks = 1u64 << (n - alpha - free);
+        for block in 0..blocks {
+            let cf = crossing_faults(gc, faults, p.0, q.0, block);
+            // A zero-dimensional side cannot detour at all, so it tolerates
+            // zero faults (hence the `.max(1)` floor on the strict bound).
+            if (cf.e_s + cf.e_cross) as u32 >= dp.max(1)
+                || (cf.e_t + cf.e_cross) as u32 >= dq.max(1)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gc84() -> GaussianCube {
+        GaussianCube::new(8, 4).unwrap()
+    }
+
+    #[test]
+    fn fault_set_basics() {
+        let mut f = FaultSet::new();
+        assert!(f.is_empty());
+        f.add_node(NodeId(3));
+        f.add_link(LinkId::new(NodeId(0), 0));
+        assert_eq!(f.len(), 2);
+        assert!(f.is_node_faulty(NodeId(3)));
+        assert!(!f.is_node_faulty(NodeId(4)));
+        assert!(f.is_link_faulty(LinkId::new(NodeId(1), 0)));
+        // Link incident to a faulty node is unusable even if not marked.
+        f.add_node(NodeId(8));
+        assert!(!f.is_link_usable(LinkId::new(NodeId(8), 0)));
+        assert!(f.is_link_usable(LinkId::new(NodeId(16), 4)));
+    }
+
+    #[test]
+    fn link_categories_split_at_alpha() {
+        let gc = gc84(); // α = 2
+        assert_eq!(link_category(&gc, LinkId::new(NodeId(0), 0)), FaultCategory::B);
+        assert_eq!(link_category(&gc, LinkId::new(NodeId(1), 1)), FaultCategory::B);
+        assert_eq!(link_category(&gc, LinkId::new(NodeId(2), 2)), FaultCategory::A);
+        assert_eq!(link_category(&gc, LinkId::new(NodeId(0), 4)), FaultCategory::A);
+    }
+
+    #[test]
+    fn node_categories_follow_dim_sets() {
+        let gc = gc84(); // α = 2; Dim(0)={4}, Dim(1)={5}, Dim(2)={2,6}, Dim(3)={3,7}
+        // Every class of GC(8,4) has at least one high dimension, so every
+        // node fault is C-category.
+        for v in 0..gc.num_nodes() {
+            assert_eq!(node_category(&gc, NodeId(v)), FaultCategory::C);
+        }
+        // In GC(3, 4) (α = 2, dims {2} only): only class-2 nodes own a high
+        // link; other node faults are B-category.
+        let small = GaussianCube::new(3, 4).unwrap();
+        assert_eq!(node_category(&small, NodeId(0b000)), FaultCategory::B);
+        assert_eq!(node_category(&small, NodeId(0b001)), FaultCategory::B);
+        assert_eq!(node_category(&small, NodeId(0b010)), FaultCategory::C);
+        assert_eq!(node_category(&small, NodeId(0b011)), FaultCategory::B);
+    }
+
+    #[test]
+    fn categorize_counts() {
+        let gc = gc84();
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(0), 4)); // A
+        f.add_link(LinkId::new(NodeId(0), 0)); // B
+        f.add_node(NodeId(5)); // C
+        let c = categorize(&gc, &f);
+        assert_eq!(c, CategoryCounts { a: 1, b: 1, c: 1 });
+        assert!(!only_a_category(&gc, &f));
+        let mut fa = FaultSet::new();
+        fa.add_link(LinkId::new(NodeId(0), 4));
+        assert!(only_a_category(&gc, &fa));
+    }
+
+    #[test]
+    fn faults_in_geec_counts_members_only() {
+        let gc = gc84();
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(0), 4)); // class 0, dim 4
+        let pos = subcube_pos(&gc, NodeId(0));
+        assert_eq!(faults_in_geec(&gc, &f, pos.k, pos.t), 1);
+        assert_eq!(faults_in_geec(&gc, &f, pos.k, pos.t + 1), 0);
+        // A tree-link (dim < α) fault is charged to no GEEC.
+        let mut fb = FaultSet::new();
+        fb.add_link(LinkId::new(NodeId(0), 0));
+        assert_eq!(faults_in_geec(&gc, &fb, pos.k, pos.t), 0);
+    }
+
+    #[test]
+    fn theorem3_preconditions() {
+        let gc = GaussianCube::new(10, 4).unwrap(); // Dim(2)={2,6}, |Dim|=2
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(0b0000000010), 2));
+        assert!(theorem3_precondition_guaranteed(&gc, &f));
+        assert!(theorem3_precondition_paper(&gc, &f));
+        // Two A faults in the same GEEC: guaranteed bound fails, paper bound
+        // (< N = 3) still holds.
+        f.add_link(LinkId::new(NodeId(0b0000000010), 6));
+        assert!(!theorem3_precondition_guaranteed(&gc, &f));
+        assert!(theorem3_precondition_paper(&gc, &f));
+        // Any node fault voids Theorem 3 entirely.
+        let mut fnode = FaultSet::new();
+        fnode.add_node(NodeId(0));
+        assert!(!theorem3_precondition_paper(&gc, &fnode));
+    }
+
+    #[test]
+    fn tolerable_fault_counts_grow_with_n() {
+        for alpha in 1..=4u32 {
+            let mut prev = 0;
+            for n in (alpha + 2)..=24 {
+                let t = max_tolerable_faults_paper(n, alpha);
+                assert!(t >= prev, "T must be monotone in n (α={alpha}, n={n})");
+                assert!(
+                    max_tolerable_faults_guaranteed(n, alpha) <= t,
+                    "guaranteed bound cannot exceed the paper bound"
+                );
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn tolerable_faults_match_hand_count() {
+        // GC(8, 4): Dim sizes per class = [1, 1, 2, 2]; subcubes per class =
+        // 2^(6-|Dim|). Paper bound: Σ |Dim| · 2^(6-|Dim|)
+        //   = 1·32 + 1·32 + 2·16 + 2·16 = 128.
+        assert_eq!(max_tolerable_faults_paper(8, 2), 128);
+        // Guaranteed: Σ (|Dim|-1)·2^(6-|Dim|) = 0 + 0 + 16 + 16 = 32.
+        assert_eq!(max_tolerable_faults_guaranteed(8, 2), 32);
+    }
+
+    #[test]
+    fn crossing_faults_empty_without_faults() {
+        let gc = GaussianCube::new(8, 8).unwrap();
+        let tree = GaussianTree::new(3).unwrap();
+        for edge in tree.links() {
+            let (p, q) = edge.endpoints();
+            let cf = crossing_faults(&gc, &FaultSet::new(), p.0, q.0, 0);
+            assert_eq!(cf, CrossingFaults::default());
+        }
+    }
+
+    #[test]
+    fn crossing_faults_classify_sides() {
+        // GC(10, 4), α=2: tree edge (2, 3) via dim 0. Dim(2)={2,6},
+        // Dim(3)={3,7}. No other high dims outside the union ∪{2,3,6,7} in
+        // [2,9]: {4,5,8,9} remain → 4 block bits.
+        let gc = GaussianCube::new(10, 4).unwrap();
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(0b10), 2)); // class-2 side, block 0
+        f.add_link(LinkId::new(NodeId(0b11), 3)); // class-3 side, block 0
+        f.add_link(LinkId::new(NodeId(0b10), 0)); // crossing link 2<->3
+        let cf = crossing_faults(&gc, &f, 2, 3, 0);
+        assert_eq!(cf, CrossingFaults { e_s: 1, e_t: 1, e_cross: 1 });
+        // Same faults seen from a different block: nothing.
+        let cf1 = crossing_faults(&gc, &f, 2, 3, 1);
+        assert_eq!(cf1, CrossingFaults::default());
+    }
+
+    #[test]
+    fn theorem5_trivially_true_without_faults() {
+        let gc = GaussianCube::new(9, 4).unwrap();
+        assert!(theorem5_precondition(&gc, &FaultSet::new()));
+    }
+
+    #[test]
+    fn theorem5_detects_saturated_crossing() {
+        // GC(10, 4): two A faults inside one class-2 subcube saturate
+        // e_s + e' < |Dim(2)| = 2 for the (2,3) crossing.
+        let gc = GaussianCube::new(10, 4).unwrap();
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(0b10), 2));
+        f.add_link(LinkId::new(NodeId(0b10), 6));
+        assert!(!theorem5_precondition(&gc, &f));
+        let mut f1 = FaultSet::new();
+        f1.add_link(LinkId::new(NodeId(0b10), 2));
+        assert!(theorem5_precondition(&gc, &f1));
+    }
+}

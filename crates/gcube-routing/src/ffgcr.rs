@@ -1,0 +1,247 @@
+//! Algorithm 3 — Fault-Free Gaussian Cube Routing (FFGCR).
+//!
+//! FFGCR routes from `s` to `d` in `GC(n, 2^α)` by projecting onto the
+//! Gaussian Tree `T_α`:
+//!
+//! 1. every differing dimension `c ≥ α` can only be flipped at a node of
+//!    ending class `c mod 2^α` — so the route's tree projection must visit
+//!    the class set `S`;
+//! 2. plan the optimal tree walk from `s mod 2^α` to `d mod 2^α` covering
+//!    `S`: trunk = PC path, off-trunk classes reached by CT side trips at
+//!    their FindBP branch points;
+//! 3. realise the walk in GC: each tree edge is one GC hop in a dimension
+//!    `< α` (always available — every class member owns the link), and on
+//!    first arrival at class `k` flip all pending dimensions `≡ k (mod 2^α)`.
+//!
+//! **Optimality.** Any GC route projects to a tree walk covering `S`
+//! (dimension-`<α` hops are exactly tree edges; dimension-`≥α` hops are tree
+//! self-loops), so `dist(s,d) = optimal-walk-length + |P|`. FFGCR achieves
+//! both terms, hence equals the BFS distance — verified exhaustively and by
+//! property tests.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use gcube_topology::classes::flips_by_class;
+use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
+
+use crate::ct::{ct_walk, find_bp};
+use crate::pc::pc_path;
+use crate::route::{Route, RoutingError};
+
+/// The source-computable plan behind an FFGCR route (paper §4: "for each
+/// source and destination pair in a tree, there is a set of nodes which the
+/// packet must cover … which can be calculated at the source").
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The tree walk (sequence of ending classes), trunk plus side trips.
+    pub tree_walk: Vec<NodeId>,
+    /// Dimensions `≥ α` to flip, grouped by the ending class that owns them.
+    pub flips: BTreeMap<u64, Vec<u32>>,
+}
+
+impl Plan {
+    /// Total route length this plan will realise.
+    pub fn hops(&self) -> usize {
+        self.tree_walk.len() - 1 + self.flips.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// An optimal tree walk from `s` to `d` covering `required`, built the
+/// FFGCR way: PC trunk + CT side trips at FindBP branch points.
+pub fn tree_walk_covering(
+    tree: &GaussianTree,
+    s: NodeId,
+    d: NodeId,
+    required: &BTreeSet<NodeId>,
+) -> Vec<NodeId> {
+    let trunk = pc_path(tree, s, d);
+    let l_set: HashSet<NodeId> = trunk.iter().copied().collect();
+    let mut branches: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+    for &req in required {
+        if !l_set.contains(&req) {
+            let b = find_bp(tree, &|v| l_set.contains(&v), s, req);
+            branches.entry(b).or_default().insert(req);
+        }
+    }
+    let mut walk = Vec::with_capacity(trunk.len());
+    for &node in trunk.iter() {
+        walk.push(node);
+        if let Some(side) = branches.get(&node) {
+            let sub = ct_walk(tree, node, side);
+            walk.extend_from_slice(&sub[1..]);
+        }
+    }
+    walk
+}
+
+/// Compute the FFGCR plan for `(s, d)`.
+pub fn plan(gc: &GaussianCube, s: NodeId, d: NodeId) -> Plan {
+    let alpha = gc.alpha();
+    let tree = GaussianTree::new(alpha).expect("alpha within width cap");
+    let flips: BTreeMap<u64, Vec<u32>> = flips_by_class(gc, s, d).into_iter().collect();
+    let required: BTreeSet<NodeId> = flips.keys().map(|&k| NodeId(k)).collect();
+    let ts = NodeId(gc.ending_class(s));
+    let td = NodeId(gc.ending_class(d));
+    let tree_walk = tree_walk_covering(&tree, ts, td, &required);
+    Plan { tree_walk, flips }
+}
+
+/// Route from `s` to `d` in a fault-free `GC(n, 2^α)` (Algorithm 3).
+///
+/// Returns an optimal route (length = BFS distance).
+pub fn route(gc: &GaussianCube, s: NodeId, d: NodeId) -> Result<Route, RoutingError> {
+    if !gc.contains(s) {
+        return Err(RoutingError::OutOfRange(s));
+    }
+    if !gc.contains(d) {
+        return Err(RoutingError::OutOfRange(d));
+    }
+    let p = plan(gc, s, d);
+    realize(gc, s, d, &p)
+}
+
+/// Turn a plan into the concrete GC node sequence.
+fn realize(gc: &GaussianCube, s: NodeId, d: NodeId, plan: &Plan) -> Result<Route, RoutingError> {
+    let alpha = gc.alpha();
+    let tree = GaussianTree::new(alpha).expect("alpha within width cap");
+    let mut nodes = Vec::with_capacity(plan.hops() + 1);
+    let mut cur = s;
+    nodes.push(cur);
+    let mut flipped: HashSet<u64> = HashSet::new();
+    for (i, &k) in plan.tree_walk.iter().enumerate() {
+        if i > 0 {
+            let prev = plan.tree_walk[i - 1];
+            let c = tree
+                .edge_dim(prev, k)
+                .expect("plan walk follows tree edges");
+            debug_assert!(gc.has_link(cur, c), "tree-edge link must exist at every member");
+            cur = cur.flip(c);
+            nodes.push(cur);
+        }
+        if flipped.insert(k.0) {
+            if let Some(dims) = plan.flips.get(&k.0) {
+                for &c in dims {
+                    debug_assert!(gc.has_link(cur, c), "flip dim {c} must exist in class {k}");
+                    cur = cur.flip(c);
+                    nodes.push(cur);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(cur, d, "plan realisation must land on the destination");
+    if cur != d {
+        return Err(RoutingError::Unreachable { from: s, to: d });
+    }
+    Ok(Route::new(nodes))
+}
+
+/// The length FFGCR will produce for `(s, d)` — the GC distance — without
+/// materialising the route.
+pub fn route_len(gc: &GaussianCube, s: NodeId, d: NodeId) -> u32 {
+    plan(gc, s, d).hops() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::search;
+    use gcube_topology::NoFaults;
+
+    #[test]
+    fn trivial_routes() {
+        let gc = GaussianCube::new(8, 4).unwrap();
+        let r = route(&gc, NodeId(5), NodeId(5)).unwrap();
+        assert_eq!(r.hops(), 0);
+        let r = route(&gc, NodeId(4), NodeId(5)).unwrap();
+        assert_eq!(r.hops(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let gc = GaussianCube::new(4, 2).unwrap();
+        assert!(route(&gc, NodeId(16), NodeId(0)).is_err());
+        assert!(route(&gc, NodeId(0), NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn routes_are_valid_gc_paths() {
+        let gc = GaussianCube::new(9, 4).unwrap();
+        for s in (0..512u64).step_by(37) {
+            for d in (0..512u64).step_by(29) {
+                let r = route(&gc, NodeId(s), NodeId(d)).unwrap();
+                r.validate(&gc, &NoFaults).unwrap();
+                assert_eq!(r.source(), NodeId(s));
+                assert_eq!(r.dest(), NodeId(d));
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_optimality_small_cubes() {
+        // The headline property: FFGCR length == BFS distance for EVERY pair.
+        for (n, m) in [(6u32, 1u64), (6, 2), (6, 4), (7, 8), (8, 4), (5, 16)] {
+            let gc = GaussianCube::new(n, m).unwrap();
+            for s in 0..gc.num_nodes() {
+                let dist = search::bfs_distances(&gc, NodeId(s), &NoFaults);
+                for d in 0..gc.num_nodes() {
+                    let r = route(&gc, NodeId(s), NodeId(d)).unwrap();
+                    r.validate(&gc, &NoFaults).unwrap();
+                    assert_eq!(
+                        r.hops() as u32,
+                        dist[d as usize],
+                        "suboptimal FFGCR in GC({n},{m}) for {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m1_routes_are_hamming_length() {
+        // α = 0 degenerates to hypercube routing: the tree is a single node
+        // and every dimension is flipped "in place".
+        let gc = GaussianCube::new(10, 1).unwrap();
+        for (s, d) in [(0u64, 1023u64), (37, 512), (999, 999), (123, 321)] {
+            let r = route(&gc, NodeId(s), NodeId(d)).unwrap();
+            assert_eq!(r.hops() as u32, NodeId(s).hamming(NodeId(d)));
+        }
+    }
+
+    #[test]
+    fn plan_hops_match_route_hops() {
+        let gc = GaussianCube::new(10, 8).unwrap();
+        for (s, d) in [(0u64, 1023u64), (81, 700), (512, 513)] {
+            let p = plan(&gc, NodeId(s), NodeId(d));
+            let r = route(&gc, NodeId(s), NodeId(d)).unwrap();
+            assert_eq!(p.hops(), r.hops());
+            assert_eq!(route_len(&gc, NodeId(s), NodeId(d)) as usize, r.hops());
+        }
+    }
+
+    #[test]
+    fn walk_covering_visits_required() {
+        let tree = GaussianTree::new(4).unwrap();
+        let required: BTreeSet<_> = [NodeId(9), NodeId(6), NodeId(15)].into_iter().collect();
+        let walk = tree_walk_covering(&tree, NodeId(0), NodeId(5), &required);
+        assert_eq!(walk[0], NodeId(0));
+        assert_eq!(*walk.last().unwrap(), NodeId(5));
+        let visited: HashSet<_> = walk.iter().copied().collect();
+        for r in &required {
+            assert!(visited.contains(r));
+        }
+        for w in walk.windows(2) {
+            assert!(tree.edge_dim(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn message_overhead_is_linear() {
+        // §1 claim 1: message overhead O(n) — the plan carries one tree walk
+        // (≤ 2·|T_α| nodes) and at most n flip dimensions.
+        let gc = GaussianCube::new(14, 4).unwrap();
+        let p = plan(&gc, NodeId(0), NodeId((1 << 14) - 1));
+        let alpha_nodes = 1usize << gc.alpha();
+        assert!(p.tree_walk.len() <= 2 * alpha_nodes);
+        assert!(p.flips.values().map(Vec::len).sum::<usize>() <= 14);
+    }
+}

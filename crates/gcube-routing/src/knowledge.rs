@@ -1,0 +1,262 @@
+//! Distributed fault-status exchange (paper §1, claims 4–5; §6 assumption 4).
+//!
+//! The paper asserts each node needs *"at most `⌈n/2^α⌉ + 1` rounds of fault
+//! status exchange with its neighbors"* and stores *"at most F n-bit node
+//! addresses, where F is the number of faults related to nodes whose least
+//! significant α bits are the same as the current node"*.
+//!
+//! This module simulates that protocol synchronously: each healthy node
+//! starts knowing only its incident status (which of its links are dead,
+//! which neighbours are silent) and repeatedly exchanges its fault list
+//! with its healthy neighbours **inside its own `GEEC` subcube** (the links
+//! in dimensions `Dim(α, k)`). Flooding a `|Dim|`-dimensional hypercube
+//! takes `|Dim| = ⌈n/2^α⌉`-ish rounds, matching the paper's bound — which
+//! the tests verify, along with the storage bound.
+
+use std::collections::{HashMap, HashSet};
+
+use gcube_topology::classes::dims;
+use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
+
+use crate::faults::FaultSet;
+
+/// One fault as propagated by the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultItem {
+    /// A faulty node (a "silent" neighbour).
+    Node(NodeId),
+    /// A faulty link with healthy endpoints.
+    Link(LinkId),
+}
+
+/// The converged knowledge of every healthy node, plus protocol accounting.
+#[derive(Clone, Debug)]
+pub struct KnowledgeMap {
+    known: HashMap<NodeId, HashSet<FaultItem>>,
+    rounds: u32,
+}
+
+impl KnowledgeMap {
+    /// Rounds of neighbour exchange until no node learned anything new.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The fault items `node` ended up knowing (empty set for faulty nodes,
+    /// which do not participate).
+    pub fn known_by(&self, node: NodeId) -> &HashSet<FaultItem> {
+        static EMPTY: std::sync::OnceLock<HashSet<FaultItem>> = std::sync::OnceLock::new();
+        self.known.get(&node).unwrap_or_else(|| EMPTY.get_or_init(HashSet::new))
+    }
+
+    /// Whether `node` knows about this fault item.
+    pub fn knows(&self, node: NodeId, item: FaultItem) -> bool {
+        self.known_by(node).contains(&item)
+    }
+
+    /// The largest fault list any node stores (paper claim 5's `F`).
+    pub fn max_storage(&self) -> usize {
+        self.known.values().map(HashSet::len).max().unwrap_or(0)
+    }
+}
+
+/// Locally observable faults at `v`: dead incident links and silent
+/// neighbours, over *all* of `v`'s dimensions.
+fn local_observation(gc: &GaussianCube, faults: &FaultSet, v: NodeId) -> HashSet<FaultItem> {
+    let mut out = HashSet::new();
+    for c in gc.link_dims(v) {
+        let u = v.flip(c);
+        if faults.is_node_faulty(u) {
+            out.insert(FaultItem::Node(u));
+        } else if faults.is_link_faulty(LinkId::new(v, c)) {
+            out.insert(FaultItem::Link(LinkId::new(v, c)));
+        }
+    }
+    out
+}
+
+/// Run the synchronous exchange protocol to convergence.
+///
+/// Messages travel only over healthy links in the node's subcube dimensions
+/// `Dim(α, k)` — the channel set the paper's bound is stated for. Returns
+/// every node's converged knowledge and the number of rounds taken.
+pub fn exchange_rounds(gc: &GaussianCube, faults: &FaultSet) -> KnowledgeMap {
+    let n = gc.num_nodes();
+    let alpha = gc.alpha();
+    let mut known: HashMap<NodeId, HashSet<FaultItem>> = HashMap::new();
+    for v in 0..n {
+        let v = NodeId(v);
+        if !faults.is_node_faulty(v) {
+            known.insert(v, local_observation(gc, faults, v));
+        }
+    }
+    let mut rounds = 0;
+    loop {
+        let mut next = known.clone();
+        let mut changed = false;
+        for v in 0..n {
+            let v = NodeId(v);
+            if faults.is_node_faulty(v) {
+                continue;
+            }
+            let k = gc.ending_class(v);
+            for c in dims(gc.n(), alpha, k) {
+                let u = v.flip(c);
+                if faults.is_node_faulty(u) || faults.is_link_faulty(LinkId::new(v, c)) {
+                    continue; // the channel itself is down
+                }
+                // v receives u's current list.
+                let incoming: Vec<FaultItem> = known[&u].iter().copied().collect();
+                let mine = next.get_mut(&v).expect("healthy node present");
+                for item in incoming {
+                    changed |= mine.insert(item);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        known = next;
+        rounds += 1;
+    }
+    KnowledgeMap { known, rounds }
+}
+
+/// Faults "related to" ending class `k` (paper claim 5): faulty nodes of
+/// class `k`, plus faulty links with an endpoint in class `k`.
+pub fn class_related_faults(gc: &GaussianCube, faults: &FaultSet, k: u64) -> usize {
+    let mut count = 0;
+    for v in faults.faulty_nodes() {
+        if gc.ending_class(v) == k {
+            count += 1;
+        }
+    }
+    for l in faults.faulty_links() {
+        let (a, b) = l.endpoints();
+        if faults.is_node_faulty(a) || faults.is_node_faulty(b) {
+            continue;
+        }
+        if gc.ending_class(a) == k || gc.ending_class(b) == k {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::classes::{dim_count, subcube_pos};
+
+    fn gc() -> GaussianCube {
+        GaussianCube::new(10, 4).unwrap()
+    }
+
+    #[test]
+    fn no_faults_converges_immediately() {
+        let g = gc();
+        let km = exchange_rounds(&g, &FaultSet::new());
+        assert_eq!(km.rounds(), 0);
+        assert_eq!(km.max_storage(), 0);
+    }
+
+    #[test]
+    fn rounds_bounded_by_paper_claim() {
+        // Claim 4: at most ⌈n/2^α⌉ + 1 rounds. Flooding a GEEC of dimension
+        // |Dim(α,k)| ≤ ⌈n/2^α⌉ converges within its diameter.
+        let g = gc();
+        let bound = (0..(1u64 << g.alpha()))
+            .map(|k| dim_count(g.n(), g.alpha(), k))
+            .max()
+            .unwrap()
+            + 1;
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(0b10), 2));
+        f.add_node(NodeId(0b0110));
+        f.add_link(LinkId::new(NodeId(0b11), 3));
+        let km = exchange_rounds(&g, &f);
+        assert!(
+            km.rounds() <= bound,
+            "rounds {} exceed the paper bound {bound}",
+            km.rounds()
+        );
+    }
+
+    #[test]
+    fn every_geec_member_learns_its_subcube_faults() {
+        // An A-category fault becomes known to every healthy member of its
+        // GEEC (the knowledge FTGCR's flip stages rely on).
+        let g = gc();
+        let mut f = FaultSet::new();
+        let fault_link = LinkId::new(NodeId(0b10), 2); // class 2, dims {2,6}
+        f.add_link(fault_link);
+        let km = exchange_rounds(&g, &f);
+        let pos = subcube_pos(&g, NodeId(0b10));
+        for coord in 0..4u64 {
+            let member = gcube_topology::classes::node_at(
+                &g,
+                gcube_topology::classes::SubcubePos { k: pos.k, t: pos.t, coord },
+            );
+            assert!(
+                km.knows(member, FaultItem::Link(fault_link)),
+                "member {member} should know the fault"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_nodes_do_not_participate() {
+        let g = gc();
+        let mut f = FaultSet::new();
+        f.add_node(NodeId(42));
+        let km = exchange_rounds(&g, &f);
+        assert!(km.known_by(NodeId(42)).is_empty());
+        // Its subcube neighbours observe it as silent.
+        let dims_of = dims(g.n(), g.alpha(), g.ending_class(NodeId(42)));
+        for &c in &dims_of {
+            let nb = NodeId(42).flip(c);
+            assert!(km.knows(nb, FaultItem::Node(NodeId(42))));
+        }
+    }
+
+    #[test]
+    fn storage_is_bounded_by_related_faults_plus_adjacent() {
+        // Claim 5, operationalised: a node's list only ever contains faults
+        // observable inside its own GEEC or incident to itself — bounded by
+        // the faults related to its class plus its own degree.
+        let g = gc();
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(NodeId(0b10), 2));
+        f.add_link(LinkId::new(NodeId(0b10), 6));
+        f.add_node(NodeId(0b1010));
+        let km = exchange_rounds(&g, &f);
+        for v in 0..g.num_nodes() {
+            let v = NodeId(v);
+            if f.is_node_faulty(v) {
+                continue;
+            }
+            let k = g.ending_class(v);
+            let related = class_related_faults(&g, &f, k);
+            assert!(
+                km.known_by(v).len() <= related + g.degree(v) as usize,
+                "node {v} stores {} items, related {} + degree {}",
+                km.known_by(v).len(),
+                related,
+                g.degree(v)
+            );
+        }
+    }
+
+    #[test]
+    fn class_related_fault_counting() {
+        let g = gc();
+        let mut f = FaultSet::new();
+        f.add_node(NodeId(0b0110)); // class 2
+        f.add_link(LinkId::new(NodeId(0b10), 6)); // both endpoints class 2, healthy
+        f.add_link(LinkId::new(NodeId(0b01), 0)); // classes 1 and 0
+        assert_eq!(class_related_faults(&g, &f, 2), 2);
+        assert_eq!(class_related_faults(&g, &f, 1), 1);
+        assert_eq!(class_related_faults(&g, &f, 0), 1);
+        assert_eq!(class_related_faults(&g, &f, 3), 0);
+    }
+}

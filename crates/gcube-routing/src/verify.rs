@@ -1,0 +1,393 @@
+//! Route-set verification: hop-bound accounting, livelock evidence, and
+//! Dally–Seitz channel-dependency-graph (CDG) deadlock analysis.
+//!
+//! The paper claims its strategy "generates deadlock-free routes" and is
+//! livelock-free (§1, §7). Under the simulator's assumptions the network is
+//! packet-switched with eager readership (service faster than arrival), so
+//! routes cannot deadlock on buffers; for wormhole-style analysis this
+//! module builds the CDG of a route *set* — directed channels are `(node,
+//! dim, direction)`; an edge connects consecutive channels of some route —
+//! and checks acyclicity. E-cube routing on the hypercube is the classic
+//! acyclic baseline (tested). FFGCR's CDG turns out to be **cyclic** (the
+//! tree walk uses edges in both directions), so wormhole switching would
+//! need virtual channels — [`assign_virtual_channels`] computes how many
+//! and produces a valid per-hop assignment.
+
+use std::collections::{HashMap, HashSet};
+
+use gcube_topology::NodeId;
+
+use crate::route::Route;
+
+/// A directed channel: the ordered use of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Channel {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+/// The channel dependency graph of a set of routes.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelDependencyGraph {
+    edges: HashMap<Channel, HashSet<Channel>>,
+    channels: HashSet<Channel>,
+}
+
+impl ChannelDependencyGraph {
+    /// Build the CDG from routes: each consecutive channel pair of each
+    /// route adds a dependency edge.
+    pub fn from_routes<'a>(routes: impl IntoIterator<Item = &'a Route>) -> Self {
+        let mut g = ChannelDependencyGraph::default();
+        for r in routes {
+            let nodes = r.nodes();
+            let mut prev: Option<Channel> = None;
+            for w in nodes.windows(2) {
+                let ch = Channel { from: w[0], to: w[1] };
+                g.channels.insert(ch);
+                if let Some(p) = prev {
+                    g.edges.entry(p).or_default().insert(ch);
+                }
+                prev = Some(ch);
+            }
+        }
+        g
+    }
+
+    /// Number of distinct channels used.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum()
+    }
+
+    /// Whether the dependency graph is acyclic (Dally–Seitz condition for
+    /// wormhole deadlock freedom).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// A cycle of channels if one exists (diagnostic aid).
+    pub fn find_cycle(&self) -> Option<Vec<Channel>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: HashMap<Channel, Mark> =
+            self.channels.iter().map(|&c| (c, Mark::White)).collect();
+        let mut order: Vec<Channel> = self.channels.iter().copied().collect();
+        order.sort_unstable();
+        // Pre-sort successor lists for determinism.
+        let succs_of = |c: Channel| -> Vec<Channel> {
+            let mut v: Vec<Channel> =
+                self.edges.get(&c).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            v.sort_unstable();
+            v
+        };
+        for start in order {
+            if marks[&start] != Mark::White {
+                continue;
+            }
+            // Iterative DFS: each frame keeps its successor list + cursor.
+            marks.insert(start, Mark::Grey);
+            let mut stack: Vec<(Channel, Vec<Channel>, usize)> =
+                vec![(start, succs_of(start), 0)];
+            while let Some(frame) = stack.last_mut() {
+                let (ch, succs, idx) = (frame.0, &frame.1, frame.2);
+                if idx < succs.len() {
+                    let nx = succs[idx];
+                    frame.2 += 1;
+                    match marks[&nx] {
+                        Mark::Grey => {
+                            // Reconstruct the cycle from the stack.
+                            let mut cyc: Vec<Channel> = stack.iter().map(|f| f.0).collect();
+                            if let Some(pos) = cyc.iter().position(|&c| c == nx) {
+                                cyc.drain(..pos);
+                            }
+                            cyc.push(nx);
+                            return Some(cyc);
+                        }
+                        Mark::White => {
+                            marks.insert(nx, Mark::Grey);
+                            let s = succs_of(nx);
+                            stack.push((nx, s, 0));
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    marks.insert(ch, Mark::Black);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Evidence of livelock-freedom for a single route: it is finite and its
+/// length is within `bound` hops.
+pub fn within_hop_bound(route: &Route, bound: usize) -> bool {
+    route.hops() <= bound
+}
+
+/// Count how many times the route revisits nodes (0 for a simple path;
+/// fault detours may revisit — this quantifies them).
+pub fn revisit_count(route: &Route) -> usize {
+    let mut seen = HashSet::new();
+    route.nodes().iter().filter(|&&n| !seen.insert(n)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ffgcr;
+    use crate::hypercube_ft::{ecube_route, VirtualCube};
+    use gcube_topology::GaussianCube;
+    use gcube_topology::Topology;
+
+    fn coords_to_route(coords: &[u64]) -> Route {
+        Route::new(coords.iter().map(|&c| NodeId(c)).collect())
+    }
+
+    #[test]
+    fn ecube_cdg_is_acyclic() {
+        // Classic result: dimension-ordered routing has an acyclic CDG.
+        let cube = VirtualCube::plain(4);
+        let mut routes = Vec::new();
+        for s in 0..16u64 {
+            for d in 0..16u64 {
+                routes.push(coords_to_route(&ecube_route(&cube, s, d)));
+            }
+        }
+        let cdg = ChannelDependencyGraph::from_routes(&routes);
+        assert!(cdg.channel_count() > 0);
+        assert!(cdg.is_acyclic(), "e-cube CDG must be acyclic");
+    }
+
+    #[test]
+    fn reversed_pair_creates_cycle() {
+        // Two head-on routes over the same two links in opposite orders form
+        // the canonical 2-cycle.
+        let r1 = Route::new(vec![NodeId(0), NodeId(1), NodeId(3)]);
+        let r2 = Route::new(vec![NodeId(3), NodeId(1), NodeId(0)]);
+        let r3 = Route::new(vec![NodeId(1), NodeId(3), NodeId(1)]);
+        let cdg = ChannelDependencyGraph::from_routes([&r1, &r2, &r3]);
+        // r3 uses 1->3 then 3->1; r2 uses 3->1 then 1->0 … build an actual
+        // cycle: 1->3 depends on 3->1 (r3), and make 3->1 depend on 1->3:
+        let r4 = Route::new(vec![NodeId(3), NodeId(1), NodeId(3)]);
+        let cdg2 = ChannelDependencyGraph::from_routes([&r3, &r4]);
+        assert!(!cdg2.is_acyclic());
+        assert!(cdg2.find_cycle().is_some());
+        // The first graph has no guaranteed cycle claim; just exercise it.
+        let _ = cdg.is_acyclic();
+    }
+
+    #[test]
+    fn ffgcr_cdg_has_cycles_under_wormhole_model() {
+        // Measured finding (recorded in EXPERIMENTS.md): all-pairs FFGCR
+        // routes on GC(6,4) produce a CYCLIC channel dependency graph — the
+        // tree walk traverses edges in both directions and side trips
+        // interleave, so the Dally–Seitz wormhole condition does NOT hold.
+        // The paper's deadlock-freedom claim rests on its packet-switched,
+        // eager-readership model (assumption 2 of §6), where buffers drain
+        // faster than they fill; the simulator reproduces that model.
+        let gc = GaussianCube::new(6, 4).unwrap();
+        let mut routes = Vec::new();
+        for s in 0..gc.num_nodes() {
+            for d in 0..gc.num_nodes() {
+                routes.push(ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap());
+            }
+        }
+        let cdg = ChannelDependencyGraph::from_routes(&routes);
+        let cycle = cdg.find_cycle();
+        assert!(cycle.is_some(), "expected a wormhole-model cycle in the FFGCR CDG");
+        // The cycle is a genuine closed chain of dependencies.
+        let cyc = cycle.unwrap();
+        assert!(cyc.len() >= 2);
+        assert_eq!(cyc.first(), cyc.last());
+    }
+
+    #[test]
+    fn bound_and_revisit_helpers() {
+        let r = Route::new(vec![NodeId(0), NodeId(1), NodeId(0), NodeId(2)]);
+        assert!(within_hop_bound(&r, 3));
+        assert!(!within_hop_bound(&r, 2));
+        assert_eq!(revisit_count(&r), 1);
+        let simple = Route::new(vec![NodeId(0), NodeId(1)]);
+        assert_eq!(revisit_count(&simple), 0);
+    }
+}
+
+/// A virtual-channel assignment making a route set wormhole-deadlock-free.
+///
+/// Motivation: [`ChannelDependencyGraph`] shows FFGCR's raw CDG is cyclic
+/// (see the test below), so wormhole switching would need virtual channels.
+/// This computes a valid assignment greedily: each packet's hops get
+/// non-decreasing VC indices, and a hop escalates to the next VC exactly
+/// when staying would close a cycle inside the current VC's dependency
+/// graph. Per-VC CDGs are then acyclic *by construction* — Dally–Seitz
+/// grants deadlock freedom — and `num_vcs` reports how many channels the
+/// route set needs (e-cube needs 1; FFGCR typically 2–3).
+#[derive(Clone, Debug)]
+pub struct VcAssignment {
+    /// `vcs[i][j]` = virtual channel of route `i`'s hop `j`.
+    pub vcs: Vec<Vec<u32>>,
+    /// Number of distinct virtual channels used.
+    pub num_vcs: u32,
+}
+
+/// Greedily assign virtual channels to the route set (see [`VcAssignment`]).
+pub fn assign_virtual_channels(routes: &[Route]) -> VcAssignment {
+    /// Incremental DAG with cycle refusal: edges are only inserted if they
+    /// keep the graph acyclic (checked by reachability).
+    #[derive(Default)]
+    struct Dag {
+        succ: HashMap<Channel, HashSet<Channel>>,
+    }
+    impl Dag {
+        fn reaches(&self, from: Channel, to: Channel) -> bool {
+            if from == to {
+                return true;
+            }
+            let mut stack = vec![from];
+            let mut seen = HashSet::new();
+            while let Some(u) = stack.pop() {
+                if !seen.insert(u) {
+                    continue;
+                }
+                if let Some(next) = self.succ.get(&u) {
+                    for &v in next {
+                        if v == to {
+                            return true;
+                        }
+                        stack.push(v);
+                    }
+                }
+            }
+            false
+        }
+        /// Insert `a -> b` unless it would close a cycle. Returns success.
+        fn try_insert(&mut self, a: Channel, b: Channel) -> bool {
+            if self.reaches(b, a) {
+                return false;
+            }
+            self.succ.entry(a).or_default().insert(b);
+            true
+        }
+    }
+
+    let mut dags: Vec<Dag> = Vec::new();
+    let mut vcs: Vec<Vec<u32>> = Vec::new();
+    for route in routes {
+        let nodes = route.nodes();
+        let mut route_vcs = Vec::with_capacity(route.hops());
+        let mut cur_vc = 0usize;
+        let mut prev: Option<Channel> = None;
+        for w in nodes.windows(2) {
+            let ch = Channel { from: w[0], to: w[1] };
+            if let Some(p) = prev {
+                // Try to keep the dependency p -> ch inside the current VC;
+                // escalate until a VC accepts it.
+                loop {
+                    if dags.len() <= cur_vc {
+                        dags.push(Dag::default());
+                    }
+                    if dags[cur_vc].try_insert(p, ch) {
+                        break;
+                    }
+                    cur_vc += 1;
+                }
+            }
+            route_vcs.push(cur_vc as u32);
+            prev = Some(ch);
+        }
+        vcs.push(route_vcs);
+    }
+    VcAssignment { vcs, num_vcs: dags.len().max(1) as u32 }
+}
+
+#[cfg(test)]
+mod vc_tests {
+    use super::*;
+    use crate::ffgcr;
+    use crate::hypercube_ft::{ecube_route, VirtualCube};
+    use gcube_topology::{GaussianCube, NodeId, Topology};
+
+    fn validate_assignment(routes: &[Route], assignment: &VcAssignment) {
+        // 1. Monotone per route. 2. Per-VC CDG acyclic.
+        let mut per_vc: Vec<Vec<Route>> = vec![Vec::new(); assignment.num_vcs as usize];
+        for (route, vcs) in routes.iter().zip(&assignment.vcs) {
+            assert_eq!(vcs.len(), route.hops());
+            for w in vcs.windows(2) {
+                assert!(w[0] <= w[1], "VC must not decrease along a route");
+            }
+            // Split the route at VC boundaries; each fragment's dependency
+            // chain lives inside one VC.
+            let nodes = route.nodes();
+            let mut start = 0usize;
+            for j in 1..=vcs.len() {
+                if j == vcs.len() || vcs[j] != vcs[start] {
+                    let frag = Route::new(nodes[start..=j].to_vec());
+                    per_vc[vcs[start] as usize].push(frag);
+                    start = j;
+                }
+            }
+        }
+        for (vc, frags) in per_vc.iter().enumerate() {
+            let cdg = ChannelDependencyGraph::from_routes(frags.iter());
+            assert!(cdg.is_acyclic(), "VC {vc} dependency graph has a cycle");
+        }
+    }
+
+    #[test]
+    fn ecube_needs_one_vc() {
+        let cube = VirtualCube::plain(4);
+        let mut routes = Vec::new();
+        for s in 0..16u64 {
+            for d in 0..16u64 {
+                if s != d {
+                    routes.push(Route::new(
+                        ecube_route(&cube, s, d).into_iter().map(NodeId).collect(),
+                    ));
+                }
+            }
+        }
+        let a = assign_virtual_channels(&routes);
+        assert_eq!(a.num_vcs, 1, "dimension-ordered routing is already acyclic");
+        validate_assignment(&routes, &a);
+    }
+
+    #[test]
+    fn ffgcr_needs_few_vcs() {
+        // The actionable counterpart of the cyclic-CDG finding: a small
+        // number of virtual channels restores wormhole deadlock freedom.
+        let gc = GaussianCube::new(6, 4).unwrap();
+        let mut routes = Vec::new();
+        for s in 0..gc.num_nodes() {
+            for d in 0..gc.num_nodes() {
+                if s != d {
+                    routes.push(ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap());
+                }
+            }
+        }
+        let a = assign_virtual_channels(&routes);
+        assert!(a.num_vcs >= 2, "cyclic CDG must force >1 VC");
+        assert!(a.num_vcs <= 6, "greedy should stay small, got {}", a.num_vcs);
+        validate_assignment(&routes, &a);
+    }
+
+    #[test]
+    fn head_on_pair_needs_two_vcs() {
+        let r1 = Route::new(vec![NodeId(1), NodeId(3), NodeId(1)]);
+        let r2 = Route::new(vec![NodeId(3), NodeId(1), NodeId(3)]);
+        let a = assign_virtual_channels(&[r1.clone(), r2.clone()]);
+        assert_eq!(a.num_vcs, 2);
+        validate_assignment(&[r1, r2], &a);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the routing crate.
+
+use std::collections::{BTreeSet, HashSet};
+
+use proptest::prelude::*;
+
+use gcube_routing::collective::{broadcast_tree, multicast_walk};
+use gcube_routing::ct::{ct_walk, steiner_edges};
+use gcube_routing::faults::{link_category, node_category, FaultCategory, FaultSet};
+use gcube_routing::pc::pc_path;
+use gcube_routing::verify::{assign_virtual_channels, ChannelDependencyGraph};
+use gcube_routing::{ffgcr, Route};
+use gcube_topology::{search, GaussianCube, GaussianTree, LinkId, NoFaults, NodeId, Topology};
+
+fn arb_tree() -> impl Strategy<Value = GaussianTree> {
+    (1u32..=10).prop_map(|m| GaussianTree::new(m).unwrap())
+}
+
+fn arb_gc() -> impl Strategy<Value = GaussianCube> {
+    (3u32..=12).prop_flat_map(|n| {
+        (Just(n), 0u32..=4.min(n)).prop_map(|(n, a)| GaussianCube::from_alpha(n, a).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// PC produces the unique tree path: valid, simple, BFS-length.
+    #[test]
+    fn pc_is_the_tree_path((tree, s, d) in arb_tree().prop_flat_map(|t| {
+        let n = t.num_nodes();
+        (Just(t), 0..n, 0..n)
+    })) {
+        let p = pc_path(&tree, NodeId(s), NodeId(d));
+        prop_assert_eq!(p[0], NodeId(s));
+        prop_assert_eq!(*p.last().unwrap(), NodeId(d));
+        let unique: HashSet<_> = p.iter().collect();
+        prop_assert_eq!(unique.len(), p.len(), "simple path");
+        for w in p.windows(2) {
+            prop_assert!(tree.edge_dim(w[0], w[1]).is_some());
+        }
+        let bfs = search::distance(&tree, NodeId(s), NodeId(d), &NoFaults).unwrap();
+        prop_assert_eq!((p.len() - 1) as u32, bfs);
+    }
+
+    /// CT closed walks are optimal: 2 × Steiner edges, covering everything.
+    #[test]
+    fn ct_walk_is_optimal((tree, r, dests) in arb_tree().prop_flat_map(|t| {
+        let n = t.num_nodes();
+        (Just(t), 0..n, proptest::collection::btree_set(0..n, 0..6))
+    })) {
+        let dests: BTreeSet<NodeId> = dests.into_iter().map(NodeId).collect();
+        let walk = ct_walk(&tree, NodeId(r), &dests);
+        prop_assert_eq!(walk[0], NodeId(r));
+        prop_assert_eq!(*walk.last().unwrap(), NodeId(r));
+        let visited: HashSet<NodeId> = walk.iter().copied().collect();
+        for d in &dests {
+            prop_assert!(visited.contains(d));
+        }
+        let steiner = steiner_edges(&tree, NodeId(r), &dests);
+        prop_assert_eq!(walk.len() - 1, 2 * steiner.len());
+    }
+
+    /// Fault taxonomy is a partition: links are A xor B, nodes are B xor C,
+    /// and the split matches the α boundary.
+    #[test]
+    fn categories_partition((gc, v, c) in arb_gc().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        let w = gc.n();
+        (Just(gc), 0..n, 0..w)
+    })) {
+        let l = LinkId::new(NodeId(v), c);
+        let lc = link_category(&gc, l);
+        prop_assert_eq!(lc == FaultCategory::A, c >= gc.alpha());
+        let nc = node_category(&gc, NodeId(v));
+        prop_assert!(nc == FaultCategory::B || nc == FaultCategory::C);
+        let has_high = (gc.alpha()..gc.n()).any(|cc| gc.has_link(NodeId(v), cc));
+        prop_assert_eq!(nc == FaultCategory::C, has_high);
+    }
+
+    /// Multicast walks cover their destinations and sit between the two
+    /// bounds (farthest destination ≤ walk ≤ 2 × independent sum, by the
+    /// triangle inequality on the greedy legs).
+    #[test]
+    fn multicast_bounds((gc, dests) in arb_gc().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), proptest::collection::btree_set(0..n, 1..5))
+    })) {
+        let dests: BTreeSet<NodeId> = dests.into_iter().map(NodeId).collect();
+        let walk = multicast_walk(&gc, NodeId(0), &dests).unwrap();
+        walk.validate(&gc, &NoFaults).unwrap();
+        let visited: HashSet<NodeId> = walk.nodes().iter().copied().collect();
+        for d in &dests {
+            prop_assert!(visited.contains(d));
+        }
+        let far = dests.iter().map(|&d| ffgcr::route_len(&gc, NodeId(0), d)).max().unwrap();
+        let sum: u64 = dests.iter().map(|&d| u64::from(ffgcr::route_len(&gc, NodeId(0), d))).sum();
+        prop_assert!(walk.hops() as u32 >= far);
+        prop_assert!(walk.hops() as u64 <= 2 * sum.max(1));
+    }
+
+    /// Broadcast trees are spanning, valid, depth-optimal.
+    #[test]
+    fn broadcast_tree_properties((gc, root) in arb_gc().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), 0..n)
+    })) {
+        let t = broadcast_tree(&gc, NodeId(root)).unwrap();
+        t.validate(&gc).unwrap();
+        prop_assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 1);
+        let ecc = search::eccentricity(&gc, NodeId(root), &NoFaults).unwrap();
+        prop_assert_eq!(t.max_depth(), ecc);
+    }
+
+    /// VC assignment on random route sets: monotone per route, per-VC CDG
+    /// acyclic (checked by fragment re-split).
+    #[test]
+    fn vc_assignment_valid((gc, pairs) in arb_gc().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), proptest::collection::vec((0..n, 0..n), 1..12))
+    })) {
+        let routes: Vec<Route> = pairs
+            .into_iter()
+            .map(|(s, d)| ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap())
+            .collect();
+        let a = assign_virtual_channels(&routes);
+        prop_assert!(a.num_vcs >= 1);
+        let mut per_vc: Vec<Vec<Route>> = vec![Vec::new(); a.num_vcs as usize];
+        for (route, vcs) in routes.iter().zip(&a.vcs) {
+            prop_assert_eq!(vcs.len(), route.hops());
+            for w in vcs.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            let nodes = route.nodes();
+            let mut start = 0usize;
+            for j in 1..=vcs.len() {
+                if j == vcs.len() || vcs[j] != vcs[start] {
+                    per_vc[vcs[start] as usize].push(Route::new(nodes[start..=j].to_vec()));
+                    start = j;
+                }
+            }
+        }
+        for frags in &per_vc {
+            let cdg = ChannelDependencyGraph::from_routes(frags.iter());
+            prop_assert!(cdg.is_acyclic());
+        }
+    }
+
+    /// Fault-set link usability composes node and link health.
+    #[test]
+    fn link_usability((v, c, fv) in (0u64..256, 0u32..8, 0u64..256)) {
+        let mut f = FaultSet::new();
+        f.add_node(NodeId(fv));
+        let l = LinkId::new(NodeId(v), c);
+        let (a, b) = l.endpoints();
+        prop_assert_eq!(
+            f.is_link_usable(l),
+            a != NodeId(fv) && b != NodeId(fv)
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulation configuration.
+
+use crate::traffic::TrafficPattern;
+
+/// Parameters of one simulation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Network dimension `n` of `GC(n, M)`.
+    pub n: u32,
+    /// Modulus `M` (power of two).
+    pub modulus: u64,
+    /// Cycles during which packets are injected.
+    pub inject_cycles: u64,
+    /// Extra cycles allowed for in-flight packets to drain afterwards.
+    pub drain_cycles: u64,
+    /// Warm-up cycles excluded from the statistics.
+    pub warmup_cycles: u64,
+    /// Per-node per-cycle Bernoulli injection probability.
+    pub injection_rate: f64,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+    /// Number of faulty nodes to inject (chosen pseudo-randomly, never the
+    /// whole network; sources/destinations are always drawn healthy).
+    pub faulty_nodes: usize,
+    /// Spatial traffic pattern (paper: uniform).
+    pub pattern: TrafficPattern,
+    /// Per-node queue capacity. `None` models the paper's eager readership
+    /// (unbounded buffers); `Some(k)` enables backpressure: a packet only
+    /// moves if the target queue has room, and full queues block injection.
+    pub buffer_capacity: Option<usize>,
+}
+
+impl SimConfig {
+    /// A small default workload: moderate load, deterministic seed.
+    pub fn new(n: u32, modulus: u64) -> SimConfig {
+        SimConfig {
+            n,
+            modulus,
+            inject_cycles: 600,
+            drain_cycles: 2_000,
+            warmup_cycles: 100,
+            injection_rate: 0.01,
+            seed: 0x6ca5_517e_5eed,
+            faulty_nodes: 0,
+            pattern: TrafficPattern::Uniform,
+            buffer_capacity: None,
+        }
+    }
+
+    /// Builder-style: set the injection rate.
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.injection_rate = rate;
+        self
+    }
+
+    /// Builder-style: set the number of faulty nodes.
+    #[must_use]
+    pub fn with_faults(mut self, faulty_nodes: usize) -> Self {
+        self.faulty_nodes = faulty_nodes;
+        self
+    }
+
+    /// Builder-style: set the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set injection/drain/warmup cycle counts.
+    #[must_use]
+    pub fn with_cycles(mut self, inject: u64, drain: u64, warmup: u64) -> Self {
+        self.inject_cycles = inject;
+        self.drain_cycles = drain;
+        self.warmup_cycles = warmup;
+        self
+    }
+
+    /// Builder-style: set the spatial traffic pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Builder-style: bound per-node buffers (enables backpressure).
+    #[must_use]
+    pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
+        self.buffer_capacity = Some(capacity);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::new(8, 2)
+            .with_rate(0.05)
+            .with_faults(1)
+            .with_seed(42)
+            .with_cycles(100, 50, 10);
+        assert_eq!(c.n, 8);
+        assert_eq!(c.modulus, 2);
+        assert_eq!(c.injection_rate, 0.05);
+        assert_eq!(c.faulty_nodes, 1);
+        assert_eq!(c.seed, 42);
+        assert_eq!((c.inject_cycles, c.drain_cycles, c.warmup_cycles), (100, 50, 10));
+    }
+}

@@ -1,0 +1,350 @@
+//! The cycle-driven simulation engine.
+//!
+//! Store-and-forward with FIFO queues: each cycle, every node may forward
+//! the head of its queue onto the requested output link; each *directed*
+//! link carries at most one packet per cycle; a packet reaching its
+//! destination is sinked immediately (eager readership). Node service
+//! order rotates each cycle so no node is systematically favoured.
+//!
+//! Buffers are unbounded by default — the paper's eager-readership model.
+//! With [`crate::config::SimConfig::with_buffer_capacity`] the engine
+//! switches to backpressure: packets move only into queues with room and
+//! full sources refuse injections. That mode exists to *demonstrate* the
+//! assumption's importance: tight buffers genuinely deadlock under load
+//! (see `finite_buffers_apply_backpressure_and_can_deadlock`).
+
+use std::collections::{HashSet, VecDeque};
+
+use gcube_routing::FaultSet;
+use gcube_topology::{GaussianCube, NodeId, Topology};
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use crate::packet::Packet;
+use crate::strategy::RoutingAlgorithm;
+use crate::traffic::{place_node_faults, TrafficGen};
+
+/// A deterministic cycle-driven simulator for one `GC(n, M)` instance.
+pub struct Simulator<'a> {
+    gc: GaussianCube,
+    faults: FaultSet,
+    config: SimConfig,
+    algorithm: &'a dyn RoutingAlgorithm,
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator; places `config.faulty_nodes` node faults.
+    pub fn new(config: SimConfig, algorithm: &'a dyn RoutingAlgorithm) -> Simulator<'a> {
+        let gc = GaussianCube::new(config.n, config.modulus)
+            .expect("simulation config must describe a valid Gaussian Cube");
+        let faults = place_node_faults(&gc, config.faulty_nodes, config.seed);
+        Simulator { gc, faults, config, algorithm }
+    }
+
+    /// The fault set in effect (for inspection).
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The simulated cube.
+    pub fn cube(&self) -> &GaussianCube {
+        &self.gc
+    }
+
+    /// Run to completion and return the metrics.
+    pub fn run(&self) -> Metrics {
+        let n_nodes = self.gc.num_nodes();
+        let mut queues: Vec<VecDeque<Packet>> = (0..n_nodes).map(|_| VecDeque::new()).collect();
+        let mut traffic = TrafficGen::with_pattern(
+            self.config.seed,
+            self.config.injection_rate,
+            self.config.pattern,
+        );
+        let capacity = self.config.buffer_capacity;
+        let mut metrics = Metrics {
+            nodes: n_nodes,
+            ..Metrics::default()
+        };
+        let mut next_id = 0u64;
+        let total_cycles = self.config.inject_cycles + self.config.drain_cycles;
+        let warmup = self.config.warmup_cycles.min(self.config.inject_cycles);
+        let mut in_flight = 0u64;
+
+        for cycle in 0..total_cycles {
+            let measuring = cycle >= warmup;
+            // 1. Injection phase.
+            if cycle < self.config.inject_cycles {
+                for v in 0..n_nodes {
+                    let src = NodeId(v);
+                    if self.faults.is_node_faulty(src) || !traffic.fires() {
+                        continue;
+                    }
+                    if let Some(cap) = capacity {
+                        if queues[v as usize].len() >= cap {
+                            // Backpressure: the source buffer is full.
+                            if measuring {
+                                metrics.blocked_injections += 1;
+                            }
+                            continue;
+                        }
+                    }
+                    let Some(dst) = traffic.pick_dest(&self.gc, &self.faults, src) else {
+                        continue;
+                    };
+                    match self.algorithm.compute_route(&self.gc, &self.faults, src, dst) {
+                        Ok(route) => {
+                            let pkt = Packet {
+                                id: next_id,
+                                injected_at: cycle,
+                                hop_idx: 0,
+                                route,
+                            };
+                            next_id += 1;
+                            if measuring {
+                                metrics.injected += 1;
+                            }
+                            if pkt.arrived() {
+                                // src == dst cannot happen (pick_dest), but a
+                                // zero-hop route would sink immediately.
+                                if measuring {
+                                    metrics.delivered += 1;
+                                }
+                            } else {
+                                in_flight += 1;
+                                queues[v as usize].push_back(pkt);
+                            }
+                        }
+                        Err(_) => {
+                            if measuring {
+                                metrics.route_failures += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. Forwarding phase: one packet per directed link per cycle.
+            //    Rotate the service order for fairness.
+            let mut used_links: HashSet<(NodeId, NodeId)> = HashSet::new();
+            let offset = (cycle % n_nodes) as usize;
+            let mut moves: Vec<Packet> = Vec::new();
+            // Backpressure accounting: occupancy snapshot plus arrivals
+            // granted this cycle (departures free their slot next cycle —
+            // conservative store-and-forward).
+            let mut arriving = vec![0usize; n_nodes as usize];
+            for i in 0..n_nodes as usize {
+                let v = (i + offset) % n_nodes as usize;
+                let Some(head) = queues[v].front() else { continue };
+                let from = head.current();
+                let to = head.next_hop().expect("queued packets have a next hop");
+                if used_links.contains(&(from, to)) {
+                    continue; // link busy this cycle; wait
+                }
+                let sinks = head.hop_idx + 2 == head.route.nodes().len();
+                if let Some(cap) = capacity {
+                    // A packet sinking at its destination always fits
+                    // (eager readership at the consumer); otherwise the
+                    // target buffer must have room.
+                    if !sinks
+                        && queues[to.0 as usize].len() + arriving[to.0 as usize] >= cap
+                    {
+                        continue; // backpressure: wait for room
+                    }
+                }
+                if !sinks {
+                    arriving[to.0 as usize] += 1;
+                }
+                used_links.insert((from, to));
+                let mut pkt = queues[v].pop_front().expect("head exists");
+                pkt.hop_idx += 1;
+                moves.push(pkt);
+            }
+            for pkt in moves {
+                let measured_pkt = measuring && pkt.injected_at >= warmup;
+                if measured_pkt {
+                    metrics.total_hops += 1;
+                }
+                if pkt.arrived() {
+                    in_flight -= 1;
+                    if measured_pkt {
+                        metrics.delivered += 1;
+                        metrics.total_latency += cycle + 1 - pkt.injected_at;
+                    }
+                } else {
+                    // Keep FIFO order at the receiving node; the packet can
+                    // move again no earlier than next cycle.
+                    let cur = pkt.current().0 as usize;
+                    queues[cur].push_back(pkt);
+                }
+            }
+
+            if cycle >= self.config.inject_cycles && in_flight == 0 {
+                metrics.cycles = cycle + 1 - warmup;
+                metrics.in_flight_at_end = 0;
+                return metrics;
+            }
+        }
+        metrics.cycles = total_cycles - warmup;
+        metrics.in_flight_at_end = in_flight;
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{FaultFreeGcr, FaultTolerantGcr};
+
+    fn small_config() -> SimConfig {
+        SimConfig::new(6, 2).with_cycles(200, 2_000, 20).with_rate(0.02)
+    }
+
+    #[test]
+    fn conservation_packets_in_equals_out() {
+        let sim = Simulator::new(small_config(), &FaultFreeGcr);
+        let m = sim.run();
+        assert!(m.injected > 0, "workload must inject packets");
+        assert_eq!(m.route_failures, 0);
+        // Every measured packet is either delivered or still in flight.
+        assert_eq!(m.in_flight_at_end, 0, "drain period must empty the network");
+        assert_eq!(m.delivered, m.injected);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Simulator::new(small_config(), &FaultFreeGcr).run();
+        let b = Simulator::new(small_config(), &FaultFreeGcr).run();
+        assert_eq!(a, b);
+        let c = Simulator::new(small_config().with_seed(777), &FaultFreeGcr).run();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn latency_at_least_route_length() {
+        // Latency per packet ≥ hops; with low load close to hops.
+        let sim = Simulator::new(small_config().with_rate(0.001), &FaultFreeGcr);
+        let m = sim.run();
+        assert!(m.avg_latency() >= m.avg_hops());
+        // Uncongested: latency within 1.5x of hop count.
+        assert!(m.avg_latency() <= 1.5 * m.avg_hops() + 1.0);
+    }
+
+    #[test]
+    fn faulty_network_still_delivers_with_ftgcr() {
+        let cfg = small_config().with_faults(1);
+        let sim = Simulator::new(cfg, &FaultTolerantGcr);
+        assert_eq!(sim.faults().faulty_nodes().count(), 1);
+        let m = sim.run();
+        assert_eq!(m.delivered, m.injected, "FTGCR must deliver all packets");
+        assert_eq!(m.route_failures, 0);
+    }
+
+    #[test]
+    fn fault_raises_latency_on_average() {
+        // The Figure 7 effect, in miniature: faults force detours, so mean
+        // latency (averaged over seeds — a single seed is noisy because the
+        // faulty node also stops injecting) must not drop.
+        let mean = |faults: usize| -> f64 {
+            let mut total = 0.0;
+            for seed in 0..6u64 {
+                let cfg = small_config().with_seed(1000 + seed).with_faults(faults);
+                total += Simulator::new(cfg, &FaultTolerantGcr).run().avg_latency();
+            }
+            total / 6.0
+        };
+        let base = mean(0);
+        let faulty = mean(2);
+        assert!(
+            faulty >= base * 0.98,
+            "mean latency should not drop with faults: base={base:.3} faulty={faulty:.3}"
+        );
+    }
+
+    #[test]
+    fn permutation_traffic_runs_and_drains() {
+        use crate::traffic::TrafficPattern;
+        for pat in [
+            TrafficPattern::BitComplement,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Transpose,
+        ] {
+            let cfg = small_config().with_pattern(pat);
+            let m = Simulator::new(cfg, &FaultFreeGcr).run();
+            assert!(m.injected > 0, "{pat:?} must inject");
+            assert_eq!(m.delivered, m.injected, "{pat:?} must drain fully");
+        }
+    }
+
+    #[test]
+    fn bit_complement_has_longest_latency() {
+        use crate::traffic::TrafficPattern;
+        // Complement partners are at maximal distance: latency must exceed
+        // the uniform workload's at equal rate.
+        let uni = Simulator::new(small_config(), &FaultFreeGcr).run();
+        let comp = Simulator::new(
+            small_config().with_pattern(TrafficPattern::BitComplement),
+            &FaultFreeGcr,
+        )
+        .run();
+        assert!(
+            comp.avg_hops() > uni.avg_hops(),
+            "complement hops {} must exceed uniform {}",
+            comp.avg_hops(),
+            uni.avg_hops()
+        );
+    }
+
+    #[test]
+    fn finite_buffers_apply_backpressure_and_can_deadlock() {
+        // This test documents WHY the paper assumes eager readership
+        // (assumption 2 of §6): with tight finite buffers and no consumption
+        // guarantee, store-and-forward traffic deadlocks — head packets
+        // point at each other's full queues and nothing ever moves again.
+        // (warmup = 0 so the conservation ledger covers every packet.)
+        let cfg = SimConfig::new(6, 2)
+            .with_cycles(200, 2_000, 0)
+            .with_rate(0.2)
+            .with_buffer_capacity(2);
+        let m = Simulator::new(cfg, &FaultFreeGcr).run();
+        assert!(m.blocked_injections > 0, "tight buffers must block injections");
+        assert_eq!(m.delivered + m.in_flight_at_end, m.injected, "conservation");
+        assert!(
+            m.in_flight_at_end > 0,
+            "expected a buffer deadlock at this load; delivered={} injected={}",
+            m.delivered,
+            m.injected
+        );
+        // Unbounded buffers (the paper's model): same load, no blocking,
+        // full drain.
+        let m2 = Simulator::new(
+            SimConfig::new(6, 2).with_cycles(200, 2_000, 0).with_rate(0.2),
+            &FaultFreeGcr,
+        )
+        .run();
+        assert_eq!(m2.blocked_injections, 0);
+        assert_eq!(m2.in_flight_at_end, 0);
+        assert_eq!(m2.delivered, m2.injected);
+    }
+
+    #[test]
+    fn backpressure_conserves_packets_at_gentle_load() {
+        // At loads where no deadlock forms, finite buffers still deliver
+        // everything they accepted.
+        for cap in [4usize, 8] {
+            let cfg = SimConfig::new(6, 2)
+                .with_cycles(200, 4_000, 0)
+                .with_rate(0.005)
+                .with_buffer_capacity(cap);
+            let m = Simulator::new(cfg, &FaultFreeGcr).run();
+            assert_eq!(m.delivered + m.in_flight_at_end, m.injected, "cap {cap}");
+            assert_eq!(m.in_flight_at_end, 0, "cap {cap}: gentle load must drain");
+        }
+    }
+
+    #[test]
+    fn higher_load_does_not_lower_throughput() {
+        let low = Simulator::new(small_config().with_rate(0.002), &FaultFreeGcr).run();
+        let high = Simulator::new(small_config().with_rate(0.02), &FaultFreeGcr).run();
+        assert!(high.throughput() > low.throughput());
+    }
+}

@@ -1,0 +1,35 @@
+//! Cycle-driven network simulator for Gaussian Cubes (paper §6).
+//!
+//! Reproduces the paper's evaluation model:
+//!
+//! 1. source and destination nodes are non-faulty;
+//! 2. *eager readership*: packet service is faster than packet arrival —
+//!    modelled as store-and-forward with unbounded FIFO queues, one packet
+//!    per directed link per cycle, and instantaneous sinking at the
+//!    destination;
+//! 3. a faulty node makes all of its incident links faulty;
+//! 4. nodes know their incident link status and the B/C faults of their
+//!    ending class (the routing algorithms consume the global [`FaultSet`]
+//!    accordingly).
+//!
+//! Metrics match the paper: **average latency** `LP/DP` (total latency of
+//! delivered packets over their count, in cycles) and **throughput**
+//! `DP/PT` (delivered packets per cycle of total processing time), plotted
+//! as `log2` in Figures 6 and 8.
+//!
+//! [`FaultSet`]: gcube_routing::FaultSet
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod packet;
+pub mod runner;
+pub mod strategy;
+pub mod traffic;
+
+pub use config::SimConfig;
+pub use engine::Simulator;
+pub use metrics::Metrics;
+pub use runner::{run_sweep, SweepPoint};
+pub use strategy::{EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm};
+pub use traffic::TrafficPattern;

@@ -1,0 +1,108 @@
+//! Simulation metrics, matching the paper's definitions.
+
+/// Aggregated statistics of one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Packets injected (after warm-up).
+    pub injected: u64,
+    /// Packets delivered (after warm-up).
+    pub delivered: u64,
+    /// Sum of per-packet latencies, in cycles (`LP` in the paper).
+    pub total_latency: u64,
+    /// Sum of per-packet hop counts.
+    pub total_hops: u64,
+    /// Packets whose route computation failed (unreachable destination) —
+    /// zero under the theorem preconditions.
+    pub route_failures: u64,
+    /// Injections refused because the source buffer was full (only with
+    /// finite buffers; zero under the paper's eager-readership model).
+    pub blocked_injections: u64,
+    /// Packets still in flight when the simulation ended.
+    pub in_flight_at_end: u64,
+    /// Measured cycles (`PT` basis; injection + drain, minus warm-up).
+    pub cycles: u64,
+    /// Nodes in the network.
+    pub nodes: u64,
+}
+
+impl Metrics {
+    /// Average latency `LP / DP` in cycles (paper, Figure 5/7).
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Throughput `DP / PT` in packets per cycle (paper, Figure 6/8).
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.cycles as f64
+        }
+    }
+
+    /// `log2` of throughput — the paper plots this "for clearer comparison".
+    pub fn log2_throughput(&self) -> f64 {
+        let t = self.throughput();
+        if t > 0.0 {
+            t.log2()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn avg_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Delivery ratio among injected packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let m = Metrics {
+            injected: 100,
+            delivered: 80,
+            total_latency: 800,
+            total_hops: 400,
+            route_failures: 0,
+            blocked_injections: 0,
+            in_flight_at_end: 20,
+            cycles: 40,
+            nodes: 64,
+        };
+        assert_eq!(m.avg_latency(), 10.0);
+        assert_eq!(m.throughput(), 2.0);
+        assert_eq!(m.log2_throughput(), 1.0);
+        assert_eq!(m.avg_hops(), 5.0);
+        assert_eq!(m.delivery_ratio(), 0.8);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let m = Metrics::default();
+        assert_eq!(m.avg_latency(), 0.0);
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.log2_throughput(), f64::NEG_INFINITY);
+        assert_eq!(m.delivery_ratio(), 1.0);
+    }
+}

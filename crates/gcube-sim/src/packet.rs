@@ -1,0 +1,67 @@
+//! Packets and their in-flight state.
+
+use gcube_routing::Route;
+use gcube_topology::NodeId;
+
+/// A unicast packet with its precomputed (source-routed) trajectory.
+///
+/// The paper's algorithms compute the whole plan at the source (message
+/// overhead `O(n)`), so source routing is the faithful simulation model;
+/// fault detours are already baked into the route by FTGCR.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Unique id (injection order).
+    pub id: u64,
+    /// Injection cycle.
+    pub injected_at: u64,
+    /// Position within the route: index of the node currently holding the
+    /// packet.
+    pub hop_idx: usize,
+    /// The full trajectory, source and destination inclusive.
+    pub route: Route,
+}
+
+impl Packet {
+    /// The node currently buffering the packet.
+    #[inline]
+    pub fn current(&self) -> NodeId {
+        self.route.nodes()[self.hop_idx]
+    }
+
+    /// The next node on the trajectory, or `None` if at the destination.
+    #[inline]
+    pub fn next_hop(&self) -> Option<NodeId> {
+        self.route.nodes().get(self.hop_idx + 1).copied()
+    }
+
+    /// Whether the packet has reached its destination.
+    #[inline]
+    pub fn arrived(&self) -> bool {
+        self.hop_idx + 1 == self.route.nodes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_progression() {
+        let route = Route::new(vec![NodeId(0), NodeId(1), NodeId(3)]);
+        let mut p = Packet { id: 0, injected_at: 5, hop_idx: 0, route };
+        assert_eq!(p.current(), NodeId(0));
+        assert_eq!(p.next_hop(), Some(NodeId(1)));
+        assert!(!p.arrived());
+        p.hop_idx = 2;
+        assert_eq!(p.current(), NodeId(3));
+        assert_eq!(p.next_hop(), None);
+        assert!(p.arrived());
+    }
+
+    #[test]
+    fn zero_hop_packet_is_arrived() {
+        let route = Route::new(vec![NodeId(7)]);
+        let p = Packet { id: 1, injected_at: 0, hop_idx: 0, route };
+        assert!(p.arrived());
+    }
+}

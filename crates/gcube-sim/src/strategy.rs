@@ -1,0 +1,132 @@
+//! Routing strategies pluggable into the simulator.
+
+use gcube_routing::{ffgcr, ftgcr, FaultSet, Route, RoutingError};
+use gcube_topology::{GaussianCube, NodeId};
+
+/// A routing algorithm the simulator can drive.
+pub trait RoutingAlgorithm: Sync {
+    /// Short name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Compute the full trajectory for a packet.
+    fn compute_route(
+        &self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<Route, RoutingError>;
+}
+
+/// FFGCR (Algorithm 3): optimal, fault-oblivious. Used for the fault-free
+/// sweeps of Figures 5 and 6.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultFreeGcr;
+
+impl RoutingAlgorithm for FaultFreeGcr {
+    fn name(&self) -> &'static str {
+        "FFGCR"
+    }
+    fn compute_route(
+        &self,
+        gc: &GaussianCube,
+        _faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<Route, RoutingError> {
+        ffgcr::route(gc, s, d)
+    }
+}
+
+/// FTGCR (Theorem 5): the fault-tolerant strategy. Used for Figures 7/8.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultTolerantGcr;
+
+impl RoutingAlgorithm for FaultTolerantGcr {
+    fn name(&self) -> &'static str {
+        "FTGCR"
+    }
+    fn compute_route(
+        &self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<Route, RoutingError> {
+        ftgcr::route(gc, faults, s, d).map(|(r, _)| r)
+    }
+}
+
+/// Dimension-ordered e-cube on the binary hypercube (`M = 1` only):
+/// the classic baseline the paper's family generalises.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EcubeBaseline;
+
+impl RoutingAlgorithm for EcubeBaseline {
+    fn name(&self) -> &'static str {
+        "e-cube"
+    }
+    fn compute_route(
+        &self,
+        gc: &GaussianCube,
+        _faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<Route, RoutingError> {
+        assert!(gc.is_hypercube(), "e-cube baseline requires M = 1");
+        let mut nodes = vec![s];
+        let mut cur = s;
+        for c in 0..gc.n() {
+            if cur.bit(c) != d.bit(c) {
+                cur = cur.flip(c);
+                nodes.push(cur);
+            }
+        }
+        Ok(Route::new(nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::NoFaults;
+
+    #[test]
+    fn strategies_produce_valid_routes() {
+        let gc = GaussianCube::new(7, 4).unwrap();
+        let f = FaultSet::new();
+        for s in (0..128u64).step_by(17) {
+            for d in (0..128u64).step_by(13) {
+                let r1 = FaultFreeGcr.compute_route(&gc, &f, NodeId(s), NodeId(d)).unwrap();
+                r1.validate(&gc, &NoFaults).unwrap();
+                let r2 = FaultTolerantGcr.compute_route(&gc, &f, NodeId(s), NodeId(d)).unwrap();
+                r2.validate(&gc, &NoFaults).unwrap();
+                assert_eq!(r1.hops(), r2.hops(), "fault-free FTGCR must stay optimal");
+            }
+        }
+    }
+
+    #[test]
+    fn ecube_on_hypercube() {
+        let gc = GaussianCube::new(6, 1).unwrap();
+        let r = EcubeBaseline
+            .compute_route(&gc, &FaultSet::new(), NodeId(0), NodeId(0b101101))
+            .unwrap();
+        r.validate(&gc, &NoFaults).unwrap();
+        assert_eq!(r.hops() as u32, NodeId(0).hamming(NodeId(0b101101)));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires M = 1")]
+    fn ecube_rejects_diluted_cubes() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let _ = EcubeBaseline.compute_route(&gc, &FaultSet::new(), NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FaultFreeGcr.name(), "FFGCR");
+        assert_eq!(FaultTolerantGcr.name(), "FTGCR");
+        assert_eq!(EcubeBaseline.name(), "e-cube");
+    }
+}

@@ -1,0 +1,235 @@
+//! Traffic generation and fault placement.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gcube_routing::FaultSet;
+use gcube_topology::{GaussianCube, NodeId, Topology};
+
+/// Spatial traffic pattern: how a source chooses its destination.
+///
+/// `Uniform` is the paper's workload; the permutation patterns are the
+/// classic adversarial workloads of the interconnection literature, exposed
+/// for the ablation benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Uniform random healthy destination (the paper's model).
+    #[default]
+    Uniform,
+    /// Destination = bitwise complement of the source.
+    BitComplement,
+    /// Destination = bit-reversed source label.
+    BitReversal,
+    /// Destination = label rotated by half the width (a transpose-style
+    /// permutation).
+    Transpose,
+}
+
+impl TrafficPattern {
+    /// The deterministic partner of `src` under this pattern (`None` for
+    /// `Uniform`).
+    pub fn partner(self, n_bits: u32, src: NodeId) -> Option<NodeId> {
+        let mask = if n_bits >= 64 { u64::MAX } else { (1u64 << n_bits) - 1 };
+        match self {
+            TrafficPattern::Uniform => None,
+            TrafficPattern::BitComplement => Some(NodeId(!src.0 & mask)),
+            TrafficPattern::BitReversal => {
+                let mut v = 0u64;
+                for i in 0..n_bits {
+                    if src.bit(i) {
+                        v |= 1 << (n_bits - 1 - i);
+                    }
+                }
+                Some(NodeId(v))
+            }
+            TrafficPattern::Transpose => {
+                let half = n_bits / 2;
+                let rotated = ((src.0 << half) | (src.0 >> (n_bits - half))) & mask;
+                Some(NodeId(rotated))
+            }
+        }
+    }
+}
+
+/// Deterministic traffic source: Bernoulli injection with pattern-driven
+/// destinations (uniform random healthy destinations by default — the
+/// paper's synthetic workload).
+pub struct TrafficGen {
+    rng: StdRng,
+    rate: f64,
+    pattern: TrafficPattern,
+}
+
+impl TrafficGen {
+    /// Create a generator with the given per-node per-cycle rate.
+    pub fn new(seed: u64, rate: f64) -> TrafficGen {
+        Self::with_pattern(seed, rate, TrafficPattern::Uniform)
+    }
+
+    /// Create a generator with an explicit spatial pattern.
+    pub fn with_pattern(seed: u64, rate: f64, pattern: TrafficPattern) -> TrafficGen {
+        TrafficGen { rng: StdRng::seed_from_u64(seed), rate, pattern }
+    }
+
+    /// Whether `src` injects a packet this cycle.
+    pub fn fires(&mut self) -> bool {
+        self.rng.gen_bool(self.rate.clamp(0.0, 1.0))
+    }
+
+    /// The destination for a packet injected at `src`: the pattern partner
+    /// if healthy and distinct, otherwise a uniform random healthy node.
+    /// Returns `None` if no healthy destination exists at all.
+    pub fn pick_dest(
+        &mut self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        src: NodeId,
+    ) -> Option<NodeId> {
+        if let Some(p) = self.pattern.partner(gc.n(), src) {
+            if p != src && !faults.is_node_faulty(p) {
+                return Some(p);
+            }
+            return None; // permutation partner unusable: this source is silent
+        }
+        let n = gc.num_nodes();
+        for _ in 0..64 {
+            let d = NodeId(self.rng.gen_range(0..n));
+            if d != src && !faults.is_node_faulty(d) {
+                return Some(d);
+            }
+        }
+        // Dense-fault fallback: scan.
+        (0..n).map(NodeId).find(|&d| d != src && !faults.is_node_faulty(d))
+    }
+}
+
+/// Place `count` distinct faulty nodes pseudo-randomly (assumption 3: a
+/// faulty node kills all its incident links, which [`FaultSet`] models).
+pub fn place_node_faults(gc: &GaussianCube, count: usize, seed: u64) -> FaultSet {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfau64.rotate_left(32));
+    let mut faults = FaultSet::new();
+    let n = gc.num_nodes();
+    let count = count.min((n as usize).saturating_sub(2));
+    let mut placed = 0;
+    while placed < count {
+        let v = NodeId(rng.gen_range(0..n));
+        if !faults.is_node_faulty(v) {
+            faults.add_node(v);
+            placed += 1;
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let f = FaultSet::new();
+        let run = |seed| {
+            let mut t = TrafficGen::new(seed, 0.5);
+            (0..100)
+                .map(|_| {
+                    let fire = t.fires();
+                    let dest = t.pick_dest(&gc, &f, NodeId(0)).unwrap();
+                    (fire, dest)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn dest_avoids_source_and_faults() {
+        let gc = GaussianCube::new(5, 2).unwrap();
+        let faults = place_node_faults(&gc, 5, 99);
+        let mut t = TrafficGen::new(1, 1.0);
+        for _ in 0..200 {
+            let d = t.pick_dest(&gc, &faults, NodeId(3)).unwrap();
+            assert_ne!(d, NodeId(3));
+            assert!(!faults.is_node_faulty(d));
+        }
+    }
+
+    #[test]
+    fn fault_placement_counts() {
+        let gc = GaussianCube::new(7, 2).unwrap();
+        for count in [0usize, 1, 4, 10] {
+            let f = place_node_faults(&gc, count, 42);
+            assert_eq!(f.faulty_nodes().count(), count);
+            assert_eq!(f.faulty_links().count(), 0);
+        }
+        // Deterministic in the seed.
+        assert_eq!(place_node_faults(&gc, 3, 5), place_node_faults(&gc, 3, 5));
+    }
+
+    #[test]
+    fn rate_bounds() {
+        let mut always = TrafficGen::new(0, 1.0);
+        assert!((0..50).all(|_| always.fires()));
+        let mut never = TrafficGen::new(0, 0.0);
+        assert!((0..50).all(|_| !never.fires()));
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+
+    #[test]
+    fn patterns_are_involutions_or_permutations() {
+        let n = 8u32;
+        for pat in [
+            TrafficPattern::BitComplement,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Transpose,
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..(1u64 << n) {
+                let p = pat.partner(n, NodeId(v)).unwrap();
+                assert!(p.0 < (1 << n), "partner in range");
+                assert!(seen.insert(p), "{pat:?} must be a permutation");
+            }
+        }
+        // Complement and reversal are involutions.
+        for v in 0..(1u64 << n) {
+            let c = TrafficPattern::BitComplement.partner(n, NodeId(v)).unwrap();
+            assert_eq!(TrafficPattern::BitComplement.partner(n, c).unwrap(), NodeId(v));
+            let r = TrafficPattern::BitReversal.partner(n, NodeId(v)).unwrap();
+            assert_eq!(TrafficPattern::BitReversal.partner(n, r).unwrap(), NodeId(v));
+        }
+    }
+
+    #[test]
+    fn partner_examples() {
+        assert_eq!(
+            TrafficPattern::BitComplement.partner(4, NodeId(0b0101)),
+            Some(NodeId(0b1010))
+        );
+        assert_eq!(
+            TrafficPattern::BitReversal.partner(4, NodeId(0b0011)),
+            Some(NodeId(0b1100))
+        );
+        assert_eq!(
+            TrafficPattern::Transpose.partner(4, NodeId(0b0011)),
+            Some(NodeId(0b1100))
+        );
+        assert_eq!(TrafficPattern::Uniform.partner(4, NodeId(3)), None);
+    }
+
+    #[test]
+    fn pattern_generator_uses_partner() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let f = FaultSet::new();
+        let mut t = TrafficGen::with_pattern(1, 1.0, TrafficPattern::BitComplement);
+        assert_eq!(t.pick_dest(&gc, &f, NodeId(0)), Some(NodeId(63)));
+        // Faulty partner silences the source.
+        let mut faults = FaultSet::new();
+        faults.add_node(NodeId(63));
+        assert_eq!(t.pick_dest(&gc, &faults, NodeId(0)), None);
+    }
+}

@@ -1,0 +1,302 @@
+//! Node and link addressing.
+//!
+//! Every topology in this workspace labels its `2^w` nodes with `w`-bit
+//! integers, and every link flips exactly one bit. A link is therefore fully
+//! identified by its lower endpoint (the one whose flipped bit is 0) and the
+//! dimension of the flipped bit.
+
+use std::fmt;
+
+/// A node label: a `w`-bit integer for a topology of label width `w`.
+///
+/// `NodeId` is deliberately a thin wrapper over `u64`; all bit manipulation
+/// used by the paper's algorithms (ending classes, dimension flips, Hamming
+/// distances) is provided as methods so call sites read like the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Bit `c` of the label.
+    #[inline]
+    pub fn bit(self, c: u32) -> bool {
+        (self.0 >> c) & 1 == 1
+    }
+
+    /// The label with bit `c` flipped — the neighbour across dimension `c`.
+    #[inline]
+    #[must_use]
+    pub fn flip(self, c: u32) -> NodeId {
+        NodeId(self.0 ^ (1u64 << c))
+    }
+
+    /// The label with bit `c` forced to `v`.
+    #[inline]
+    #[must_use]
+    pub fn with_bit(self, c: u32, v: bool) -> NodeId {
+        if v {
+            NodeId(self.0 | (1u64 << c))
+        } else {
+            NodeId(self.0 & !(1u64 << c))
+        }
+    }
+
+    /// The value of the `k` least significant bits (`k = 0` yields 0).
+    ///
+    /// This is the paper's `a_{k-1} … a_1 a_0` — the quantity Theorem 1's link
+    /// condition and the ending-class map are defined on.
+    #[inline]
+    pub fn low_bits(self, k: u32) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << k) - 1)
+        }
+    }
+
+    /// Bits `[lo, hi]` inclusive, shifted down to start at bit 0.
+    #[inline]
+    pub fn bit_range(self, lo: u32, hi: u32) -> u64 {
+        debug_assert!(lo <= hi && hi < 64);
+        let width = hi - lo + 1;
+        let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        (self.0 >> lo) & mask
+    }
+
+    /// Hamming distance between two labels.
+    #[inline]
+    pub fn hamming(self, other: NodeId) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Dimensions (bit positions) in which the two labels differ, ascending.
+    pub fn differing_dims(self, other: NodeId) -> Vec<u32> {
+        let mut r = self.0 ^ other.0;
+        let mut dims = Vec::with_capacity(r.count_ones() as usize);
+        while r != 0 {
+            let c = r.trailing_zeros();
+            dims.push(c);
+            r &= r - 1;
+        }
+        dims
+    }
+
+    /// The highest set bit of `self XOR other`, i.e. the paper's "dimension
+    /// corresponding to the leftmost 1 in `R = s ⊕ d`". `None` if equal.
+    #[inline]
+    pub fn leftmost_differing_dim(self, other: NodeId) -> Option<u32> {
+        let r = self.0 ^ other.0;
+        if r == 0 {
+            None
+        } else {
+            Some(63 - r.leading_zeros())
+        }
+    }
+
+    /// Render the label as a `width`-bit binary string (MSB first), matching
+    /// the paper's `a_{n-1} a_{n-2} … a_1 a_0` notation.
+    pub fn to_binary(self, width: u32) -> String {
+        (0..width)
+            .rev()
+            .map(|c| if self.bit(c) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A link identifier: the endpoint whose bit `dim` is 0, plus the dimension.
+///
+/// Normalising on the lower endpoint makes `LinkId` canonical: both endpoints
+/// of an (undirected) link map to the same `LinkId`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LinkId {
+    /// The endpoint with bit `dim` equal to 0.
+    pub lo: NodeId,
+    /// The dimension the link spans.
+    pub dim: u32,
+}
+
+impl LinkId {
+    /// Canonical link id for the link incident to `node` in dimension `dim`.
+    #[inline]
+    pub fn new(node: NodeId, dim: u32) -> LinkId {
+        LinkId {
+            lo: node.with_bit(dim, false),
+            dim,
+        }
+    }
+
+    /// Both endpoints, lower first.
+    #[inline]
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.lo.flip(self.dim))
+    }
+
+    /// The endpoint that is not `node` (which must be one of the endpoints).
+    #[inline]
+    pub fn other(self, node: NodeId) -> NodeId {
+        debug_assert!(node == self.lo || node == self.lo.flip(self.dim));
+        node.flip(self.dim)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.endpoints();
+        write!(f, "({a} <-> {b} @dim {})", self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_accessors() {
+        let p = NodeId(0b1011_0101);
+        assert!(p.bit(0));
+        assert!(!p.bit(1));
+        assert!(p.bit(2));
+        assert!(p.bit(7));
+        assert!(!p.bit(63));
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let p = NodeId(0b1010);
+        for c in 0..16 {
+            assert_eq!(p.flip(c).flip(c), p);
+            assert_eq!(p.hamming(p.flip(c)), 1);
+        }
+    }
+
+    #[test]
+    fn with_bit_sets_and_clears() {
+        let p = NodeId(0b1010);
+        assert_eq!(p.with_bit(0, true), NodeId(0b1011));
+        assert_eq!(p.with_bit(1, false), NodeId(0b1000));
+        assert_eq!(p.with_bit(1, true), p);
+    }
+
+    #[test]
+    fn low_bits_edges() {
+        let p = NodeId(0b110110);
+        assert_eq!(p.low_bits(0), 0);
+        assert_eq!(p.low_bits(1), 0);
+        assert_eq!(p.low_bits(2), 0b10);
+        assert_eq!(p.low_bits(3), 0b110);
+        assert_eq!(p.low_bits(64), p.0);
+    }
+
+    #[test]
+    fn bit_range_extracts() {
+        let p = NodeId(0b11010110);
+        assert_eq!(p.bit_range(0, 3), 0b0110);
+        assert_eq!(p.bit_range(4, 7), 0b1101);
+        assert_eq!(p.bit_range(2, 5), 0b0101);
+    }
+
+    #[test]
+    fn hamming_and_differing_dims() {
+        let a = NodeId(0b1100);
+        let b = NodeId(0b0101);
+        assert_eq!(a.hamming(b), 2);
+        assert_eq!(a.differing_dims(b), vec![0, 3]);
+        assert!(a.differing_dims(a).is_empty());
+    }
+
+    #[test]
+    fn leftmost_differing() {
+        assert_eq!(NodeId(0b1000).leftmost_differing_dim(NodeId(0)), Some(3));
+        assert_eq!(NodeId(5).leftmost_differing_dim(NodeId(5)), None);
+        assert_eq!(NodeId(0b101).leftmost_differing_dim(NodeId(0b100)), Some(0));
+    }
+
+    #[test]
+    fn binary_rendering() {
+        assert_eq!(NodeId(0b101).to_binary(5), "00101");
+        assert_eq!(NodeId(0).to_binary(3), "000");
+    }
+
+    #[test]
+    fn link_id_canonical() {
+        let a = NodeId(0b1010);
+        let b = a.flip(2);
+        assert_eq!(LinkId::new(a, 2), LinkId::new(b, 2));
+        let l = LinkId::new(a, 2);
+        let (lo, hi) = l.endpoints();
+        assert!(!lo.bit(2) && hi.bit(2));
+        assert_eq!(l.other(a), b);
+        assert_eq!(l.other(b), a);
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+
+    #[test]
+    fn bit_range_full_width() {
+        let p = NodeId(u64::MAX);
+        assert_eq!(p.bit_range(0, 63), u64::MAX);
+        assert_eq!(p.bit_range(63, 63), 1);
+        assert_eq!(NodeId(0).bit_range(0, 63), 0);
+    }
+
+    #[test]
+    fn flip_high_bits() {
+        let p = NodeId(0);
+        assert_eq!(p.flip(63), NodeId(1u64 << 63));
+        assert_eq!(p.flip(63).flip(63), p);
+    }
+
+    #[test]
+    fn differing_dims_full_disagreement() {
+        let dims = NodeId(0).differing_dims(NodeId(u64::MAX));
+        assert_eq!(dims.len(), 64);
+        assert_eq!(dims[0], 0);
+        assert_eq!(dims[63], 63);
+    }
+
+    #[test]
+    fn ordering_follows_label_value() {
+        assert!(NodeId(3) < NodeId(10));
+        let mut v = vec![NodeId(5), NodeId(1), NodeId(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn link_id_display_and_order() {
+        let l = LinkId::new(NodeId(6), 0);
+        let shown = l.to_string();
+        assert!(shown.contains("dim 0"));
+        assert!(LinkId::new(NodeId(0), 0) < LinkId::new(NodeId(0), 1));
+    }
+
+    #[test]
+    fn from_u64_and_display() {
+        let p: NodeId = 42u64.into();
+        assert_eq!(p, NodeId(42));
+        assert_eq!(p.to_string(), "42");
+        assert_eq!(format!("{p:?}"), "NodeId(42)");
+    }
+}

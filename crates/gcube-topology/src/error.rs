@@ -1,0 +1,71 @@
+//! Error type shared by topology constructors.
+
+use std::fmt;
+
+/// Errors raised when constructing a topology with invalid parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The dimension/label width is outside the supported range.
+    DimensionOutOfRange {
+        /// Requested width.
+        requested: u32,
+        /// Maximum supported width.
+        max: u32,
+    },
+    /// `GC(n, M)` requires `M ≥ 1`.
+    ZeroModulus,
+    /// `GC(n, M)` is only connected when `M` is a power of two; the strict
+    /// constructor rejects other moduli (use
+    /// [`crate::gaussian_cube::general`] for the decomposed general case).
+    ModulusNotPowerOfTwo {
+        /// The offending modulus.
+        modulus: u64,
+    },
+    /// A node label exceeds the topology's label width.
+    NodeOutOfRange {
+        /// The offending label.
+        node: u64,
+        /// The label width of the topology.
+        width: u32,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DimensionOutOfRange { requested, max } => {
+                write!(f, "dimension {requested} out of range (max {max})")
+            }
+            TopologyError::ZeroModulus => write!(f, "Gaussian Cube modulus must be >= 1"),
+            TopologyError::ModulusNotPowerOfTwo { modulus } => write!(
+                f,
+                "Gaussian Cube modulus {modulus} is not a power of two; \
+                 the network would be disconnected (see paper §2)"
+            ),
+            TopologyError::NodeOutOfRange { node, width } => {
+                write!(f, "node label {node} does not fit in {width} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            TopologyError::DimensionOutOfRange { requested: 99, max: 32 }.to_string(),
+            TopologyError::ZeroModulus.to_string(),
+            TopologyError::ModulusNotPowerOfTwo { modulus: 6 }.to_string(),
+            TopologyError::NodeOutOfRange { node: 1024, width: 10 }.to_string(),
+        ];
+        assert!(msgs[0].contains("99"));
+        assert!(msgs[1].contains("modulus"));
+        assert!(msgs[2].contains('6'));
+        assert!(msgs[3].contains("1024"));
+    }
+}

@@ -1,0 +1,249 @@
+//! The Exchanged Hypercube `EH(s, t)` (paper Definition 7).
+//!
+//! Nodes are `(s + t + 1)`-bit labels `a_{s}…a_{1} b_{t}…b_{1} c` with an
+//! `a`-part (high `s` bits), a `b`-part (middle `t` bits) and a class bit `c`
+//! (bit 0). Links:
+//!
+//! * dimension 0 (the *exchange* links): every node ↔ its bit-0 flip;
+//! * dimensions `1..=t`: only between `1`-ending nodes (same `a`-part,
+//!   Hamming-1 `b`-parts) — the `t`-dimensional cubes `B_t`, one per
+//!   `a`-value;
+//! * dimensions `t+1..=s+t`: only between `0`-ending nodes — the
+//!   `s`-dimensional cubes `B_s`, one per `b`-value.
+//!
+//! `EH(s,t)` matters because the neighbourhood of a Gaussian-tree edge
+//! `(p, q)` inside `GC(n, 2^α)` is isomorphic to `EH(|Dim(p)|, |Dim(q)|)`
+//! (paper §5); the fault-tolerant crossing algorithm FREH (Algorithm 4) is
+//! stated on this topology.
+
+use crate::addr::NodeId;
+use crate::error::TopologyError;
+use crate::hypercube::MAX_WIDTH;
+use crate::topology::Topology;
+
+/// The exchanged hypercube `EH(s, t)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExchangedHypercube {
+    s: u32,
+    t: u32,
+}
+
+impl ExchangedHypercube {
+    /// Create `EH(s, t)`. The paper requires `s ≥ 1, t ≥ 1`.
+    pub fn new(s: u32, t: u32) -> Result<Self, TopologyError> {
+        if s == 0 || t == 0 || s + t + 1 > MAX_WIDTH {
+            return Err(TopologyError::DimensionOutOfRange {
+                requested: s + t + 1,
+                max: MAX_WIDTH,
+            });
+        }
+        Ok(ExchangedHypercube { s, t })
+    }
+
+    /// The `s` parameter (dimension of the `0`-ending cubes).
+    #[inline]
+    pub fn s(&self) -> u32 {
+        self.s
+    }
+
+    /// The `t` parameter (dimension of the `1`-ending cubes).
+    #[inline]
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// The class bit: `false` = `0`-ending (lives in an `s`-cube), `true` =
+    /// `1`-ending (lives in a `t`-cube).
+    #[inline]
+    pub fn class_bit(&self, v: NodeId) -> bool {
+        v.bit(0)
+    }
+
+    /// The `a`-part `v[s+t : t+1]`.
+    #[inline]
+    pub fn a_part(&self, v: NodeId) -> u64 {
+        v.bit_range(self.t + 1, self.s + self.t)
+    }
+
+    /// The `b`-part `v[t : 1]`.
+    #[inline]
+    pub fn b_part(&self, v: NodeId) -> u64 {
+        v.bit_range(1, self.t)
+    }
+
+    /// Assemble a node from its parts.
+    pub fn node(&self, a: u64, b: u64, class: bool) -> NodeId {
+        debug_assert!(a < (1u64 << self.s) && b < (1u64 << self.t));
+        NodeId((a << (self.t + 1)) | (b << 1) | u64::from(class))
+    }
+
+    /// Shortest-path distance in `EH(s,t)`.
+    ///
+    /// Between same-class nodes with equal "other part" the route stays in
+    /// one cube; otherwise it must use exchange links. Derivation: fixing the
+    /// `a`-part requires class 0, fixing the `b`-part requires class 1, and
+    /// each class change costs one exchange hop.
+    pub fn dist(&self, u: NodeId, v: NodeId) -> u32 {
+        let (au, bu, cu) = (self.a_part(u), self.b_part(u), self.class_bit(u));
+        let (av, bv, cv) = (self.a_part(v), self.b_part(v), self.class_bit(v));
+        let ha = (au ^ av).count_ones();
+        let hb = (bu ^ bv).count_ones();
+        if u == v {
+            return 0;
+        }
+        if cu == cv {
+            if ha == 0 && hb == 0 {
+                // Same a, b, same class, different node impossible.
+                unreachable!("identical parts imply identical nodes");
+            }
+            // Stay-in-class requires the other part equal; otherwise bounce
+            // through the other class: 2 exchange hops.
+            if cu {
+                // class 1: b-part freely fixable; a-part needs a round trip.
+                if ha == 0 {
+                    hb
+                } else {
+                    ha + hb + 2
+                }
+            } else if hb == 0 {
+                ha
+            } else {
+                ha + hb + 2
+            }
+        } else {
+            // One exchange hop, plus both parts fixed in their own class.
+            ha + hb + 1
+        }
+    }
+}
+
+impl Topology for ExchangedHypercube {
+    #[inline]
+    fn label_width(&self) -> u32 {
+        self.s + self.t + 1
+    }
+
+    #[inline]
+    fn has_link(&self, node: NodeId, dim: u32) -> bool {
+        if dim == 0 {
+            return true;
+        }
+        if dim <= self.t {
+            // b-part links exist only between 1-ending nodes.
+            node.bit(0)
+        } else if dim <= self.s + self.t {
+            // a-part links exist only between 0-ending nodes.
+            !node.bit(0)
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search;
+    use crate::topology::NoFaults;
+
+    #[test]
+    fn constructor_rejects_degenerate_params() {
+        assert!(ExchangedHypercube::new(0, 1).is_err());
+        assert!(ExchangedHypercube::new(1, 0).is_err());
+        assert!(ExchangedHypercube::new(2, 3).is_ok());
+    }
+
+    #[test]
+    fn part_extraction_round_trips() {
+        let eh = ExchangedHypercube::new(3, 2).unwrap();
+        for a in 0..8u64 {
+            for b in 0..4u64 {
+                for c in [false, true] {
+                    let v = eh.node(a, b, c);
+                    assert_eq!(eh.a_part(v), a);
+                    assert_eq!(eh.b_part(v), b);
+                    assert_eq!(eh.class_bit(v), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_ending_nodes_form_s_cubes() {
+        // Definition: the 0-ending nodes comprise 2^t s-dimensional cubes,
+        // one per b-value; within a cube only the a-part varies.
+        let eh = ExchangedHypercube::new(3, 2).unwrap();
+        for v in 0..eh.num_nodes() {
+            let v = NodeId(v);
+            if !eh.class_bit(v) {
+                let nbrs = eh.neighbors(v);
+                // Degree: s cube links + 1 exchange link.
+                assert_eq!(nbrs.len() as u32, eh.s() + 1);
+                for u in nbrs {
+                    if eh.class_bit(u) {
+                        // the unique exchange neighbour keeps both parts
+                        assert_eq!(eh.a_part(u), eh.a_part(v));
+                        assert_eq!(eh.b_part(u), eh.b_part(v));
+                    } else {
+                        assert_eq!(eh.b_part(u), eh.b_part(v));
+                        assert_eq!((eh.a_part(u) ^ eh.a_part(v)).count_ones(), 1);
+                    }
+                }
+            } else {
+                assert_eq!(eh.degree(v), eh.t() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn link_symmetry() {
+        let eh = ExchangedHypercube::new(2, 3).unwrap();
+        for v in 0..eh.num_nodes() {
+            for c in 0..eh.label_width() {
+                assert_eq!(eh.has_link(NodeId(v), c), eh.has_link(NodeId(v).flip(c), c));
+            }
+        }
+    }
+
+    #[test]
+    fn connected_and_link_count() {
+        // |E| = 2^(s+t) exchange links + 2^t * s*2^(s-1) + 2^s * t*2^(t-1).
+        for (s, t) in [(1, 1), (2, 2), (3, 2), (2, 3)] {
+            let eh = ExchangedHypercube::new(s, t).unwrap();
+            assert!(search::is_connected(&eh, &NoFaults));
+            let expect = (1u64 << (s + t))
+                + (1u64 << t) * (u64::from(s) << (s - 1))
+                + (1u64 << s) * (u64::from(t) << (t - 1));
+            assert_eq!(eh.num_links(), expect, "EH({s},{t}) link count");
+        }
+    }
+
+    #[test]
+    fn closed_form_distance_matches_bfs() {
+        for (s, t) in [(1, 1), (2, 2), (3, 2), (2, 3), (4, 2)] {
+            let eh = ExchangedHypercube::new(s, t).unwrap();
+            for u in 0..eh.num_nodes() {
+                let dist = search::bfs_distances(&eh, NodeId(u), &NoFaults);
+                for v in 0..eh.num_nodes() {
+                    assert_eq!(
+                        dist[v as usize],
+                        eh.dist(NodeId(u), NodeId(v)),
+                        "EH({s},{t}) dist({u:b},{v:b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphic_to_swapped_parameters() {
+        // EH(s,t) ≅ EH(t,s) by swapping a/b parts and complementing the class
+        // bit (paper, Case II of Algorithm 4).
+        let eh1 = ExchangedHypercube::new(3, 2).unwrap();
+        let eh2 = ExchangedHypercube::new(2, 3).unwrap();
+        let map = |v: NodeId| -> NodeId {
+            eh2.node(eh1.b_part(v), eh1.a_part(v), !eh1.class_bit(v))
+        };
+        assert!(crate::gaussian_cube::general::is_isomorphic_under(&eh1, &eh2, map));
+    }
+}

@@ -1,0 +1,416 @@
+//! The binary Gaussian Cube `GC(n, M)` (paper §2).
+//!
+//! `GC(n, M)` has `2^n` nodes with `n`-bit labels. Nodes `p` and `q = p ⊕ 2^c`
+//! are linked iff both lie in the congruence class `[c]_{M'}` with
+//! `M' = min(2^c, M)` — the *original* definition. The paper's Theorem 1
+//! rewrites this as a purely local condition on `p`'s least-significant bits:
+//!
+//! * every node has a link in dimension 0;
+//! * for `c ∈ [1, α]` (`α = log2 M`): `p` has a link in dimension `c` iff its
+//!   low `c` bits equal `c mod 2^c`;
+//! * for `c ∈ (α, n)`: iff its low `α` bits equal `c mod 2^α`.
+//!
+//! [`GaussianCube`] implements the Theorem-1 form (fast, local);
+//! [`link_by_congruence`] implements the original definition so the
+//! equivalence can be tested exhaustively. For non-power-of-two `M` the
+//! network is disconnected (§2); [`general::components`] computes the
+//! decomposition.
+
+use crate::addr::NodeId;
+use crate::error::TopologyError;
+use crate::hypercube::MAX_WIDTH;
+use crate::topology::Topology;
+
+/// The binary Gaussian Cube `GC(n, 2^α)`.
+///
+/// Constructed via [`GaussianCube::new`] from `(n, M)`; `M` must be a power
+/// of two so the network is connected (the paper reduces every other case to
+/// this one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaussianCube {
+    n: u32,
+    alpha: u32,
+}
+
+impl GaussianCube {
+    /// Create `GC(n, modulus)`. Requires `n ≥ 1`, `modulus` a power of two
+    /// with `modulus ≥ 1`.
+    pub fn new(n: u32, modulus: u64) -> Result<Self, TopologyError> {
+        if n == 0 || n > MAX_WIDTH {
+            return Err(TopologyError::DimensionOutOfRange { requested: n, max: MAX_WIDTH });
+        }
+        if modulus == 0 {
+            return Err(TopologyError::ZeroModulus);
+        }
+        if !modulus.is_power_of_two() {
+            return Err(TopologyError::ModulusNotPowerOfTwo { modulus });
+        }
+        Ok(GaussianCube { n, alpha: modulus.trailing_zeros() })
+    }
+
+    /// Create `GC(n, 2^alpha)` directly from the exponent `α`.
+    pub fn from_alpha(n: u32, alpha: u32) -> Result<Self, TopologyError> {
+        if alpha >= 64 {
+            return Err(TopologyError::DimensionOutOfRange { requested: alpha, max: 63 });
+        }
+        Self::new(n, 1u64 << alpha)
+    }
+
+    /// Network dimension `n` (label width).
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// The modulus `M = 2^α`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        1u64 << self.alpha
+    }
+
+    /// `α = log2 M` — the paper's scaling parameter.
+    #[inline]
+    pub fn alpha(&self) -> u32 {
+        self.alpha
+    }
+
+    /// The ending class `k = p mod 2^α` of a node (Definition 2).
+    #[inline]
+    pub fn ending_class(&self, p: NodeId) -> u64 {
+        p.low_bits(self.alpha)
+    }
+
+    /// Whether this instance degenerates to the binary hypercube (`M = 1`).
+    #[inline]
+    pub fn is_hypercube(&self) -> bool {
+        self.alpha == 0
+    }
+}
+
+impl Topology for GaussianCube {
+    #[inline]
+    fn label_width(&self) -> u32 {
+        self.n
+    }
+
+    /// Theorem 1: the local link condition.
+    #[inline]
+    fn has_link(&self, node: NodeId, dim: u32) -> bool {
+        if dim >= self.n {
+            return false;
+        }
+        if dim == 0 {
+            return true;
+        }
+        let k = dim.min(self.alpha);
+        // `c mod 2^k` with k = min(c, α); for k = c this is just c because
+        // c < 2^c for all c ≥ 1.
+        let want = u64::from(dim) & ((1u64 << k) - 1);
+        node.low_bits(k) == want
+    }
+}
+
+/// The *original* congruence-class link definition from §2, for any `M ≥ 1`
+/// (not just powers of two).
+///
+/// Nodes `p` and `q = p ⊕ 2^c` are linked iff **both** `p ≡ c` and `q ≡ c`
+/// modulo `M' = min(2^c, M)`. For power-of-two `M` the second condition is
+/// implied by the first (`M'` divides `2^c`), but for general `M` it is not —
+/// which is exactly why such networks lose all links in high dimensions and
+/// disconnect (§2).
+pub fn link_by_congruence(n: u32, modulus: u64, p: NodeId, dim: u32) -> bool {
+    assert!(modulus >= 1, "modulus must be >= 1");
+    if dim >= n {
+        return false;
+    }
+    let m_prime = if dim >= 63 {
+        modulus // 2^dim overflows; it certainly exceeds any practical modulus
+    } else {
+        modulus.min(1u64 << dim)
+    };
+    let q = p.flip(dim);
+    let want = u64::from(dim) % m_prime;
+    p.0 % m_prime == want && q.0 % m_prime == want
+}
+
+/// Decomposition of `GC(n, M)` for general (possibly non-power-of-two) `M`.
+///
+/// §2 of the paper shows: no link spans any dimension `c > ⌊log2 M⌋` when `M`
+/// is not a power of two, so the network separates into disconnected
+/// subnetworks, one per assignment of the top `n - 1 - ⌊log2 M⌋` bits, and
+/// each subnetwork is isomorphic to `GC(⌊log2 M⌋ + 1, 2^⌊log2 M⌋)`.
+pub mod general {
+    use super::*;
+    use crate::search;
+    use crate::topology::{LinkMask, NoFaults};
+
+    /// `GC(n, M)` under the congruence definition, as a [`Topology`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct GeneralGaussianCube {
+        /// Label width.
+        pub n: u32,
+        /// Arbitrary modulus `M ≥ 1`.
+        pub modulus: u64,
+    }
+
+    impl GeneralGaussianCube {
+        /// Create a general-`M` Gaussian Cube (no power-of-two requirement).
+        pub fn new(n: u32, modulus: u64) -> Result<Self, TopologyError> {
+            if n == 0 || n > MAX_WIDTH {
+                return Err(TopologyError::DimensionOutOfRange { requested: n, max: MAX_WIDTH });
+            }
+            if modulus == 0 {
+                return Err(TopologyError::ZeroModulus);
+            }
+            Ok(GeneralGaussianCube { n, modulus })
+        }
+    }
+
+    impl Topology for GeneralGaussianCube {
+        fn label_width(&self) -> u32 {
+            self.n
+        }
+        fn has_link(&self, node: NodeId, dim: u32) -> bool {
+            link_by_congruence(self.n, self.modulus, node, dim)
+        }
+    }
+
+    /// Connected components of `GC(n, M)` under the congruence definition.
+    pub fn components(n: u32, modulus: u64) -> Result<Vec<Vec<NodeId>>, TopologyError> {
+        let g = GeneralGaussianCube::new(n, modulus)?;
+        Ok(search::components(&g, &NoFaults))
+    }
+
+    /// Number of components predicted by §2 for non-power-of-two `M`:
+    /// `2^(n - 1 - ⌊log2 M⌋)` (and 1 for power-of-two `M ≤ 2^(n-1)`).
+    pub fn predicted_component_count(n: u32, modulus: u64) -> u64 {
+        if modulus.is_power_of_two() {
+            return 1;
+        }
+        let floor_log = 63 - modulus.leading_zeros();
+        if floor_log + 1 >= n {
+            1
+        } else {
+            1u64 << (n - 1 - floor_log)
+        }
+    }
+
+    /// Check two topologies of equal width are isomorphic under an explicit
+    /// label map `f` (used to verify the `G_i ≅ GC(⌊log2 M⌋+1, …)` claim).
+    pub fn is_isomorphic_under<TA, TB, F>(a: &TA, b: &TB, f: F) -> bool
+    where
+        TA: Topology,
+        TB: Topology,
+        F: Fn(NodeId) -> NodeId,
+    {
+        if a.num_nodes() != b.num_nodes() {
+            return false;
+        }
+        for v in 0..a.num_nodes() {
+            let v = NodeId(v);
+            let mut an: Vec<NodeId> = a.neighbors(v).into_iter().map(&f).collect();
+            let mut bn = b.neighbors(f(v));
+            an.sort_unstable();
+            bn.sort_unstable();
+            if an != bn {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Verify all healthy-node reachability statements needed by tests.
+    pub fn masked_connected<T: Topology, M: LinkMask>(topo: &T, mask: &M) -> bool {
+        search::is_connected(topo, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search;
+    use crate::topology::NoFaults;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(GaussianCube::new(0, 2).is_err());
+        assert!(GaussianCube::new(8, 0).is_err());
+        assert!(GaussianCube::new(8, 6).is_err());
+        assert!(GaussianCube::new(8, 1).is_ok());
+        assert!(GaussianCube::new(8, 8).is_ok());
+        assert_eq!(GaussianCube::from_alpha(8, 3).unwrap(), GaussianCube::new(8, 8).unwrap());
+    }
+
+    #[test]
+    fn m1_is_binary_hypercube() {
+        let gc = GaussianCube::new(6, 1).unwrap();
+        assert!(gc.is_hypercube());
+        for v in 0..gc.num_nodes() {
+            assert_eq!(gc.degree(NodeId(v)), 6);
+        }
+        assert_eq!(gc.num_links(), 6 * 32);
+    }
+
+    #[test]
+    fn theorem1_matches_congruence_definition_exhaustively() {
+        // The headline equivalence: Theorem 1's local condition reproduces
+        // the original congruence-class definition for every node, dimension,
+        // and power-of-two modulus.
+        for n in 1..=9u32 {
+            for alpha in 0..=n {
+                let m = 1u64 << alpha;
+                let gc = GaussianCube::new(n, m).unwrap();
+                for v in 0..gc.num_nodes() {
+                    for c in 0..n {
+                        assert_eq!(
+                            gc.has_link(NodeId(v), c),
+                            link_by_congruence(n, m, NodeId(v), c),
+                            "mismatch at n={n} M={m} v={v:b} c={c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_condition_is_symmetric() {
+        let gc = GaussianCube::new(9, 4).unwrap();
+        for v in 0..gc.num_nodes() {
+            for c in 0..9 {
+                assert_eq!(gc.has_link(NodeId(v), c), gc.has_link(NodeId(v).flip(c), c));
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_has_dim0_link() {
+        for alpha in 0..4 {
+            let gc = GaussianCube::from_alpha(8, alpha).unwrap();
+            for v in 0..gc.num_nodes() {
+                assert!(gc.has_link(NodeId(v), 0));
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_modulus_gives_connected_network() {
+        for n in 2..=10u32 {
+            for alpha in 0..=3.min(n) {
+                let gc = GaussianCube::from_alpha(n, alpha).unwrap();
+                assert!(
+                    search::is_connected(&gc, &NoFaults),
+                    "GC({n}, 2^{alpha}) should be connected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_modulus_disconnects_as_predicted() {
+        for n in 4..=8u32 {
+            for m in [3u64, 5, 6, 7] {
+                let comps = general::components(n, m).unwrap();
+                assert_eq!(
+                    comps.len() as u64,
+                    general::predicted_component_count(n, m),
+                    "GC({n}, {m}) component count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn general_components_are_isomorphic_to_small_gc() {
+        // §2: each component of GC(n, M) for non-power-of-two M is isomorphic
+        // to GC(⌊log2 M⌋ + 1, 2^⌊log2 M⌋); the component is identified by its
+        // high bits and the low ⌊log2 M⌋+1 bits are the small cube's label.
+        let n = 6u32;
+        let m = 5u64; // ⌊log2 5⌋ = 2 → components of size 2^3, shape GC(3, 4)
+        let floor_log = 2u32;
+        let small = GaussianCube::new(floor_log + 1, 1 << floor_log).unwrap();
+        let comps = general::components(n, m).unwrap();
+        for comp in comps {
+            assert_eq!(comp.len() as u64, small.num_nodes());
+            let high = comp[0].0 >> (floor_log + 1);
+            // All members share their high bits.
+            assert!(comp.iter().all(|p| p.0 >> (floor_log + 1) == high));
+            // And the labelled map low-bits -> GC(3,4) is an isomorphism on
+            // this component.
+            let g = general::GeneralGaussianCube::new(n, m).unwrap();
+            for p in &comp {
+                let small_label = NodeId(p.low_bits(floor_log + 1));
+                let mut got: Vec<u64> = g
+                    .neighbors(*p)
+                    .into_iter()
+                    .map(|q| q.low_bits(floor_log + 1))
+                    .collect();
+                let mut want: Vec<u64> =
+                    small.neighbors(small_label).into_iter().map(|q| q.0).collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "component structure mismatch at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_drops_as_modulus_grows() {
+        // Larger M dilutes links: total link count is non-increasing in α.
+        let n = 10u32;
+        let mut prev = u64::MAX;
+        for alpha in 0..=4 {
+            let gc = GaussianCube::from_alpha(n, alpha).unwrap();
+            let links = gc.num_links();
+            assert!(links <= prev, "links must not grow with alpha");
+            prev = links;
+        }
+    }
+
+    #[test]
+    fn ending_class_is_low_alpha_bits() {
+        let gc = GaussianCube::new(8, 4).unwrap();
+        assert_eq!(gc.ending_class(NodeId(0b10110110)), 0b10);
+        assert_eq!(gc.ending_class(NodeId(0b111)), 0b11);
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn alpha_at_or_above_width_degenerates_to_tree() {
+        // When 2^α ≥ 2^(n-1), every dimension c ∈ [1, n) has min(c, α) = c,
+        // so GC(n, 2^α) coincides with the Gaussian Graph G_n.
+        use crate::gaussian_tree::GaussianTree;
+        let n = 6u32;
+        let gc = GaussianCube::from_alpha(n, n).unwrap();
+        let t = GaussianTree::new(n).unwrap();
+        for v in 0..gc.num_nodes() {
+            for c in 0..n {
+                assert_eq!(gc.has_link(NodeId(v), c), t.has_link(NodeId(v), c));
+            }
+        }
+        assert_eq!(gc.num_links(), t.num_links());
+    }
+
+    #[test]
+    fn max_width_cube_constructs() {
+        let gc = GaussianCube::new(crate::hypercube::MAX_WIDTH, 2).unwrap();
+        assert_eq!(gc.num_nodes(), 1u64 << crate::hypercube::MAX_WIDTH);
+        // Predicate stays O(1); spot-check a few links.
+        assert!(gc.has_link(NodeId(0), 0));
+        assert!(gc.has_link(NodeId(1), 31)); // 31 % 2 == 1 == low bit
+        assert!(!gc.has_link(NodeId(0), 31));
+    }
+
+    #[test]
+    fn modulus_one_alias() {
+        assert_eq!(
+            GaussianCube::new(5, 1).unwrap(),
+            GaussianCube::from_alpha(5, 0).unwrap()
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The Gaussian Graph `G_m` / Gaussian Tree `T_m` (paper §3).
+//!
+//! `G_m` has `2^m` nodes labelled with `m`-bit strings; nodes `x` and
+//! `x ⊕ 2^c` are adjacent iff `c = 0`, or `c ∈ [1, m-1]` and the low `c` bits
+//! of `x` equal `c mod 2^c` (which is just `c`, since `c < 2^c`). Theorem 2
+//! proves `G_m` is a tree; this module verifies that computationally (edge
+//! counts per dimension, connectivity) and provides the tree operations the
+//! routing algorithms need: distances, paths-to-root orientation, and the
+//! diameter series of Figure 2.
+//!
+//! `T_α` is the quotient of `GC(n, 2^α)` by the "same low `α` bits"
+//! equivalence: each tree node *is* a k-ending class, and each tree edge is
+//! realised by a whole bundle of GC links in one dimension `< α`.
+
+use crate::addr::NodeId;
+use crate::error::TopologyError;
+use crate::hypercube::MAX_WIDTH;
+use crate::search;
+use crate::topology::{NoFaults, Topology};
+
+/// The Gaussian Tree `T_m` over `2^m` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaussianTree {
+    m: u32,
+}
+
+impl GaussianTree {
+    /// Create `T_m`. `m = 0` is the single-node tree.
+    pub fn new(m: u32) -> Result<Self, TopologyError> {
+        if m > MAX_WIDTH {
+            return Err(TopologyError::DimensionOutOfRange { requested: m, max: MAX_WIDTH });
+        }
+        Ok(GaussianTree { m })
+    }
+
+    /// The order parameter `m` (label width).
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Whether tree nodes `a` and `b` are adjacent, and if so in which
+    /// dimension. Returns `None` for non-adjacent pairs (including `a == b`).
+    pub fn edge_dim(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let diff = a.0 ^ b.0;
+        if diff == 0 || !diff.is_power_of_two() {
+            return None;
+        }
+        let c = diff.trailing_zeros();
+        self.has_link(a, c).then_some(c)
+    }
+
+    /// Number of edges spanning dimension `i`: `E_m(i) = 2^(m-1-i)` for
+    /// `i ∈ [0, m-1]` (proof step 3 of Theorem 2).
+    pub fn edges_in_dim(&self, i: u32) -> u64 {
+        if self.m == 0 || i >= self.m {
+            0
+        } else {
+            1u64 << (self.m - 1 - i)
+        }
+    }
+
+    /// Tree distance between two nodes (via BFS; for the algorithmic path see
+    /// the routing crate's `pc` module, which is tested to agree).
+    pub fn dist(&self, a: NodeId, b: NodeId) -> u32 {
+        search::distance(self, a, b, &NoFaults).expect("a tree is connected")
+    }
+
+    /// Exact diameter via double BFS (a tree-exact method) — Figure 2's
+    /// quantity.
+    pub fn diameter(&self) -> u32 {
+        if self.m == 0 {
+            0
+        } else {
+            search::diameter_tree(self)
+        }
+    }
+
+    /// The parent of `node` when the tree is rooted at `root`: the unique
+    /// neighbour closer to `root`. `None` for the root itself.
+    pub fn parent_towards(&self, node: NodeId, root: NodeId) -> Option<NodeId> {
+        if node == root {
+            return None;
+        }
+        let dist = search::bfs_distances(self, root, &NoFaults);
+        let dn = dist[node.0 as usize];
+        self.neighbors(node)
+            .into_iter()
+            .find(|v| dist[v.0 as usize] + 1 == dn)
+    }
+}
+
+impl Topology for GaussianTree {
+    #[inline]
+    fn label_width(&self) -> u32 {
+        self.m
+    }
+
+    #[inline]
+    fn has_link(&self, node: NodeId, dim: u32) -> bool {
+        if dim >= self.m {
+            return false;
+        }
+        if dim == 0 {
+            return true;
+        }
+        // Low `dim` bits must equal `dim mod 2^dim = dim` (c < 2^c for c ≥ 1).
+        node.low_bits(dim) == u64::from(dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{components, is_connected};
+
+    #[test]
+    fn theorem2_gaussian_graph_is_a_tree() {
+        // Lemma 1: connected + (2^m - 1) edges ⇒ tree.
+        for m in 0..=14u32 {
+            let t = GaussianTree::new(m).unwrap();
+            assert!(is_connected(&t, &NoFaults), "G_{m} must be connected");
+            let expect_edges = t.num_nodes() - 1;
+            assert_eq!(t.num_links(), expect_edges, "G_{m} edge count");
+        }
+    }
+
+    #[test]
+    fn edges_per_dimension_closed_form() {
+        for m in 1..=12u32 {
+            let t = GaussianTree::new(m).unwrap();
+            let mut per_dim = vec![0u64; m as usize];
+            for l in t.links() {
+                per_dim[l.dim as usize] += 1;
+            }
+            for i in 0..m {
+                assert_eq!(per_dim[i as usize], t.edges_in_dim(i), "E_{m}({i})");
+            }
+            assert_eq!(per_dim.iter().sum::<u64>(), (1u64 << m) - 1);
+        }
+    }
+
+    #[test]
+    fn figure1_topologies_match_paper() {
+        // Figure 1 shows G_2, G_3, G_4. Check G_2 and G_3 edge sets exactly.
+        let g2 = GaussianTree::new(2).unwrap();
+        let mut e2: Vec<(u64, u64)> =
+            g2.links().iter().map(|l| (l.lo.0, l.lo.flip(l.dim).0)).collect();
+        e2.sort_unstable();
+        assert_eq!(e2, vec![(0b00, 0b01), (0b01, 0b11), (0b10, 0b11)]);
+
+        let g3 = GaussianTree::new(3).unwrap();
+        let mut e3: Vec<(u64, u64)> =
+            g3.links().iter().map(|l| (l.lo.0, l.lo.flip(l.dim).0)).collect();
+        e3.sort_unstable();
+        assert_eq!(
+            e3,
+            vec![
+                (0b000, 0b001),
+                (0b001, 0b011),
+                (0b010, 0b011),
+                (0b010, 0b110),
+                (0b100, 0b101),
+                (0b101, 0b111),
+                (0b110, 0b111),
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_dim_detects_adjacency() {
+        let t = GaussianTree::new(3).unwrap();
+        assert_eq!(t.edge_dim(NodeId(0b010), NodeId(0b110)), Some(2));
+        assert_eq!(t.edge_dim(NodeId(0b110), NodeId(0b010)), Some(2));
+        assert_eq!(t.edge_dim(NodeId(0b000), NodeId(0b010)), None); // dim-1 needs low bit 1
+        assert_eq!(t.edge_dim(NodeId(0b000), NodeId(0b011)), None); // two bits differ
+        assert_eq!(t.edge_dim(NodeId(0b000), NodeId(0b000)), None);
+    }
+
+    #[test]
+    fn small_diameters() {
+        // Hand-checked: T_1 is an edge; T_2 and T_3 are paths of 4 and 8
+        // nodes (trace Figure 1's edge lists), so their diameters are 3, 7.
+        assert_eq!(GaussianTree::new(0).unwrap().diameter(), 0);
+        assert_eq!(GaussianTree::new(1).unwrap().diameter(), 1);
+        assert_eq!(GaussianTree::new(2).unwrap().diameter(), 3);
+        assert_eq!(GaussianTree::new(3).unwrap().diameter(), 7);
+    }
+
+    #[test]
+    fn diameter_series_figure2() {
+        // Figure 2 plots D(T_m) vs m. The exact series (computed once,
+        // pinned here): near-linear growth with jumps just past powers of
+        // two, where the dim-(2^j) edge attaches the new copy far from the
+        // old path's centre.
+        let expect = [1u32, 3, 7, 11, 23, 27, 33, 37, 51, 55, 61, 65, 77];
+        for (i, &want) in expect.iter().enumerate() {
+            let m = (i + 1) as u32;
+            assert_eq!(GaussianTree::new(m).unwrap().diameter(), want, "D(T_{m})");
+        }
+    }
+
+    #[test]
+    fn double_bfs_matches_exact_diameter() {
+        for m in 1..=9u32 {
+            let t = GaussianTree::new(m).unwrap();
+            assert_eq!(Some(t.diameter()), search::diameter_exact(&t, 4));
+        }
+    }
+
+    #[test]
+    fn parent_orientation() {
+        let t = GaussianTree::new(3).unwrap();
+        let root = NodeId(0);
+        assert_eq!(t.parent_towards(root, root), None);
+        // Every non-root node has exactly one parent, and following parents
+        // reaches the root in dist() steps.
+        for v in 1..8u64 {
+            let mut cur = NodeId(v);
+            let mut steps = 0;
+            while let Some(p) = t.parent_towards(cur, root) {
+                cur = p;
+                steps += 1;
+                assert!(steps <= 8);
+            }
+            assert_eq!(cur, root);
+            assert_eq!(steps, t.dist(NodeId(v), root));
+        }
+    }
+
+    #[test]
+    fn single_component() {
+        let t = GaussianTree::new(6).unwrap();
+        assert_eq!(components(&t, &NoFaults).len(), 1);
+    }
+}

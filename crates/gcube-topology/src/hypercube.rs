@@ -1,0 +1,124 @@
+//! The binary hypercube `Q_n`.
+//!
+//! `Q_n` is the substrate of the paper's fault-tolerance analysis: every
+//! `k`-ending-`t`-equivalent graph `GEEC(k,t)` embedded in a Gaussian Cube is
+//! a binary hypercube (Theorem 3), and the sides of an exchanged hypercube
+//! are binary hypercubes too.
+
+use crate::addr::NodeId;
+use crate::error::TopologyError;
+use crate::topology::Topology;
+
+/// Maximum supported label width for any topology in this workspace.
+pub const MAX_WIDTH: u32 = 32;
+
+/// The binary hypercube `Q_n`: `2^n` nodes, links in every dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hypercube {
+    n: u32,
+}
+
+impl Hypercube {
+    /// Create `Q_n`. `n` may be 0 (a single node).
+    pub fn new(n: u32) -> Result<Self, TopologyError> {
+        if n > MAX_WIDTH {
+            return Err(TopologyError::DimensionOutOfRange { requested: n, max: MAX_WIDTH });
+        }
+        Ok(Hypercube { n })
+    }
+
+    /// The dimension `n`.
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Hypercube distance = Hamming distance.
+    #[inline]
+    pub fn dist(&self, a: NodeId, b: NodeId) -> u32 {
+        a.hamming(b)
+    }
+}
+
+impl Topology for Hypercube {
+    #[inline]
+    fn label_width(&self) -> u32 {
+        self.n
+    }
+
+    #[inline]
+    fn has_link(&self, _node: NodeId, dim: u32) -> bool {
+        dim < self.n
+    }
+
+    #[inline]
+    fn degree(&self, _node: NodeId) -> u32 {
+        self.n
+    }
+
+    fn num_links(&self) -> u64 {
+        // n * 2^(n-1)
+        if self.n == 0 {
+            0
+        } else {
+            u64::from(self.n) << (self.n - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search;
+    use crate::topology::NoFaults;
+
+    #[test]
+    fn rejects_oversized_dimension() {
+        assert!(Hypercube::new(MAX_WIDTH + 1).is_err());
+        assert!(Hypercube::new(MAX_WIDTH).is_ok());
+    }
+
+    #[test]
+    fn q0_is_a_single_node() {
+        let q = Hypercube::new(0).unwrap();
+        assert_eq!(q.num_nodes(), 1);
+        assert_eq!(q.num_links(), 0);
+        assert_eq!(q.degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn degree_and_link_count() {
+        for n in 1..=6 {
+            let q = Hypercube::new(n).unwrap();
+            assert_eq!(q.num_links(), u64::from(n) << (n - 1));
+            for v in 0..q.num_nodes() {
+                assert_eq!(q.degree(NodeId(v)), n);
+                assert_eq!(q.neighbors(NodeId(v)).len() as u32, n);
+            }
+            // Generic num_links agrees with the closed form.
+            let generic: u64 = (0..q.num_nodes())
+                .map(|v| u64::from(Topology::link_dims(&q, NodeId(v)).len() as u32))
+                .sum();
+            assert_eq!(generic / 2, q.num_links());
+        }
+    }
+
+    #[test]
+    fn link_symmetry() {
+        let q = Hypercube::new(5).unwrap();
+        for v in 0..q.num_nodes() {
+            for c in 0..5 {
+                assert_eq!(q.has_link(NodeId(v), c), q.has_link(NodeId(v).flip(c), c));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_hamming_and_matches_bfs() {
+        let q = Hypercube::new(5).unwrap();
+        let d = search::bfs_distances(&q, NodeId(0b10101), &NoFaults);
+        for v in 0..q.num_nodes() {
+            assert_eq!(d[v as usize], q.dist(NodeId(0b10101), NodeId(v)));
+        }
+    }
+}

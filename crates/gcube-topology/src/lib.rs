@@ -1,0 +1,44 @@
+//! Interconnection-network topologies for the Gaussian Cube reproduction.
+//!
+//! This crate implements every topology the paper *"A Fault-tolerant Routing
+//! Strategy for Gaussian Cube Using Gaussian Tree"* (Loh & Zhang, ICPP 2003)
+//! defines or depends on:
+//!
+//! * [`GaussianCube`] — the binary Gaussian Cube `GC(n, M)` (§2 of the paper),
+//!   with both the original congruence-class link definition and the local
+//!   Theorem-1 characterisation.
+//! * [`GaussianTree`] — the Gaussian Graph `G_m`, proved (and here verified)
+//!   to be a tree `T_m` (§3).
+//! * [`Hypercube`] — the binary hypercube `Q_n`, the substrate in which the
+//!   embedded `GEEC(k,t)` subcubes live (§5).
+//! * [`ExchangedHypercube`] — `EH(s,t)` (Definition 7), the local structure of
+//!   a Gaussian-tree edge crossing.
+//!
+//! All of these are *bit-flip graphs*: every edge connects two labels that
+//! differ in exactly one bit. The [`Topology`] trait captures that shape and
+//! lets the generic search engine in [`search`] (BFS, components, diameters,
+//! fault-masked shortest paths) work across all of them.
+//!
+//! The [`classes`] module implements the paper's decomposition machinery:
+//! k-ending classes `EC(k)`, the per-class high-dimension sets `Dim(α,k)`,
+//! and the embedded subcubes `GEEC(k,t)` with coordinate maps in both
+//! directions.
+
+pub mod addr;
+pub mod classes;
+pub mod error;
+pub mod exchanged;
+pub mod gaussian_cube;
+pub mod gaussian_tree;
+pub mod hypercube;
+pub mod props;
+pub mod search;
+pub mod topology;
+
+pub use addr::{LinkId, NodeId};
+pub use error::TopologyError;
+pub use exchanged::ExchangedHypercube;
+pub use gaussian_cube::GaussianCube;
+pub use gaussian_tree::GaussianTree;
+pub use hypercube::Hypercube;
+pub use topology::{LinkMask, NoFaults, Topology};

@@ -1,0 +1,131 @@
+//! Structural properties and statistics of topologies.
+//!
+//! The paper motivates Gaussian Cubes by their tunable interconnection
+//! density and explains the fault-tolerance difficulty via their low *network
+//! node availability* (the maximum number of faulty neighbours a node can
+//! tolerate without being disconnected). This module computes those
+//! quantities so the claims can be checked and reported.
+
+use crate::addr::NodeId;
+use crate::topology::Topology;
+
+/// Degree statistics of a topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum node degree.
+    pub min: u32,
+    /// Maximum node degree.
+    pub max: u32,
+    /// Mean node degree.
+    pub mean: f64,
+}
+
+/// Compute degree statistics by scanning every node.
+pub fn degree_stats<T: Topology + ?Sized>(topo: &T) -> DegreeStats {
+    let mut min = u32::MAX;
+    let mut max = 0u32;
+    let mut total = 0u64;
+    for v in 0..topo.num_nodes() {
+        let d = topo.degree(NodeId(v));
+        min = min.min(d);
+        max = max.max(d);
+        total += u64::from(d);
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: total as f64 / topo.num_nodes() as f64,
+    }
+}
+
+/// Network node availability: `min degree - 1` — the most faulty neighbours
+/// any node is guaranteed to survive without disconnection (paper §1).
+pub fn node_availability<T: Topology + ?Sized>(topo: &T) -> u32 {
+    degree_stats(topo).min.saturating_sub(1)
+}
+
+/// Histogram of node degrees (index = degree).
+pub fn degree_histogram<T: Topology + ?Sized>(topo: &T) -> Vec<u64> {
+    let mut hist = vec![0u64; topo.label_width() as usize + 1];
+    for v in 0..topo.num_nodes() {
+        hist[topo.degree(NodeId(v)) as usize] += 1;
+    }
+    hist
+}
+
+/// Count of links per dimension (index = dimension).
+pub fn links_per_dim<T: Topology + ?Sized>(topo: &T) -> Vec<u64> {
+    let mut per = vec![0u64; topo.label_width() as usize];
+    for v in 0..topo.num_nodes() {
+        let node = NodeId(v);
+        for c in 0..topo.label_width() {
+            if !node.bit(c) && topo.has_link(node, c) {
+                per[c as usize] += 1;
+            }
+        }
+    }
+    per
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian_cube::GaussianCube;
+    use crate::gaussian_tree::GaussianTree;
+    use crate::hypercube::Hypercube;
+
+    #[test]
+    fn hypercube_degrees_are_uniform() {
+        let q = Hypercube::new(5).unwrap();
+        let s = degree_stats(&q);
+        assert_eq!(s, DegreeStats { min: 5, max: 5, mean: 5.0 });
+        assert_eq!(node_availability(&q), 4);
+        let hist = degree_histogram(&q);
+        assert_eq!(hist[5], 32);
+        assert_eq!(hist.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn gaussian_cube_availability_is_low() {
+        // The paper's core obstacle: GC min degree can be very small
+        // regardless of n — e.g. a node in a class with empty Dim set and
+        // only tree links.
+        let gc = GaussianCube::new(10, 4).unwrap();
+        let s = degree_stats(&gc);
+        assert!(s.min < 5, "GC(10,4) should have low-degree nodes, got {}", s.min);
+        assert!(s.max <= 10);
+        assert_eq!(node_availability(&gc), s.min - 1);
+    }
+
+    #[test]
+    fn gc_m1_is_degree_n() {
+        let gc = GaussianCube::new(7, 1).unwrap();
+        assert_eq!(degree_stats(&gc), DegreeStats { min: 7, max: 7, mean: 7.0 });
+    }
+
+    #[test]
+    fn tree_links_per_dim_match_closed_form() {
+        let t = GaussianTree::new(8).unwrap();
+        let per = links_per_dim(&t);
+        for i in 0..8u32 {
+            assert_eq!(per[i as usize], t.edges_in_dim(i));
+        }
+    }
+
+    #[test]
+    fn links_per_dim_sums_to_num_links() {
+        let gc = GaussianCube::new(8, 2).unwrap();
+        assert_eq!(links_per_dim(&gc).iter().sum::<u64>(), gc.num_links());
+    }
+
+    #[test]
+    fn mean_degree_drops_with_modulus() {
+        let mut prev = f64::INFINITY;
+        for alpha in 0..=3 {
+            let gc = GaussianCube::from_alpha(9, alpha).unwrap();
+            let mean = degree_stats(&gc).mean;
+            assert!(mean <= prev);
+            prev = mean;
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Generic graph search over any [`Topology`], with optional fault masking.
+//!
+//! These routines are the reference oracle for the routing algorithms: BFS
+//! distances certify FFGCR's optimality, connectivity checks certify the
+//! tree/decomposition theorems, and exact diameters regenerate Figure 2.
+
+use std::collections::VecDeque;
+
+use crate::addr::{LinkId, NodeId};
+use crate::topology::{LinkMask, Topology};
+
+/// Distance value for unreachable nodes in [`bfs_distances`] output.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src` to every node, honouring the fault mask.
+///
+/// Nodes that are faulty, or unreachable through non-faulty nodes/links,
+/// get [`UNREACHABLE`]. A faulty `src` yields an all-unreachable vector.
+pub fn bfs_distances<T, M>(topo: &T, src: NodeId, mask: &M) -> Vec<u32>
+where
+    T: Topology + ?Sized,
+    M: LinkMask + ?Sized,
+{
+    let n = topo.num_nodes() as usize;
+    let mut dist = vec![UNREACHABLE; n];
+    if !topo.contains(src) || !mask.node_ok(src) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src.0 as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.0 as usize];
+        for c in 0..topo.label_width() {
+            if !topo.has_link(u, c) || !mask.link_ok(LinkId::new(u, c)) {
+                continue;
+            }
+            let v = u.flip(c);
+            if !mask.node_ok(v) {
+                continue;
+            }
+            let dv = &mut dist[v.0 as usize];
+            if *dv == UNREACHABLE {
+                *dv = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path distance between `s` and `d` under the mask, if connected.
+pub fn distance<T, M>(topo: &T, s: NodeId, d: NodeId, mask: &M) -> Option<u32>
+where
+    T: Topology + ?Sized,
+    M: LinkMask + ?Sized,
+{
+    shortest_path(topo, s, d, mask).map(|p| (p.len() - 1) as u32)
+}
+
+/// A shortest path from `s` to `d` (inclusive of both), honouring the mask.
+///
+/// Returns `None` if `d` is unreachable. Uses a BFS from `d` and walks
+/// downhill from `s`, so the returned path is deterministic (lowest flipping
+/// dimension first among ties).
+pub fn shortest_path<T, M>(topo: &T, s: NodeId, d: NodeId, mask: &M) -> Option<Vec<NodeId>>
+where
+    T: Topology + ?Sized,
+    M: LinkMask + ?Sized,
+{
+    if !topo.contains(s) || !topo.contains(d) {
+        return None;
+    }
+    let dist = bfs_distances(topo, d, mask);
+    if dist[s.0 as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut path = Vec::with_capacity(dist[s.0 as usize] as usize + 1);
+    let mut cur = s;
+    path.push(cur);
+    while cur != d {
+        let dcur = dist[cur.0 as usize];
+        let mut advanced = false;
+        for c in 0..topo.label_width() {
+            if !topo.has_link(cur, c) || !mask.link_ok(LinkId::new(cur, c)) {
+                continue;
+            }
+            let v = cur.flip(c);
+            if mask.node_ok(v) && dist[v.0 as usize] == dcur - 1 {
+                cur = v;
+                path.push(cur);
+                advanced = true;
+                break;
+            }
+        }
+        debug_assert!(advanced, "BFS downhill walk must always advance");
+        if !advanced {
+            return None;
+        }
+    }
+    Some(path)
+}
+
+/// Whether the whole topology is connected under the mask.
+///
+/// With a non-trivial mask, "connected" means: all non-faulty nodes are
+/// mutually reachable (faulty nodes are ignored).
+pub fn is_connected<T, M>(topo: &T, mask: &M) -> bool
+where
+    T: Topology + ?Sized,
+    M: LinkMask + ?Sized,
+{
+    let first_ok = (0..topo.num_nodes()).map(NodeId).find(|&v| mask.node_ok(v));
+    let Some(src) = first_ok else { return true };
+    let dist = bfs_distances(topo, src, mask);
+    (0..topo.num_nodes())
+        .map(NodeId)
+        .filter(|&v| mask.node_ok(v))
+        .all(|v| dist[v.0 as usize] != UNREACHABLE)
+}
+
+/// Connected components (of non-faulty nodes), each sorted ascending.
+/// Components are ordered by their smallest member.
+pub fn components<T, M>(topo: &T, mask: &M) -> Vec<Vec<NodeId>>
+where
+    T: Topology + ?Sized,
+    M: LinkMask + ?Sized,
+{
+    let n = topo.num_nodes() as usize;
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for v in 0..topo.num_nodes() {
+        let v = NodeId(v);
+        if seen[v.0 as usize] || !mask.node_ok(v) {
+            continue;
+        }
+        let dist = bfs_distances(topo, v, mask);
+        let mut comp = Vec::new();
+        for (u, &du) in dist.iter().enumerate() {
+            if du != UNREACHABLE {
+                seen[u] = true;
+                comp.push(NodeId(u as u64));
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+/// Eccentricity of `src`: max finite BFS distance. `None` if the graph seen
+/// from `src` is empty (faulty source).
+pub fn eccentricity<T, M>(topo: &T, src: NodeId, mask: &M) -> Option<u32>
+where
+    T: Topology + ?Sized,
+    M: LinkMask + ?Sized,
+{
+    let dist = bfs_distances(topo, src, mask);
+    dist.iter().copied().filter(|&d| d != UNREACHABLE).max()
+}
+
+/// Exact diameter by running a BFS from every node, parallelised across a
+/// fixed worker pool with `crossbeam::scope`.
+///
+/// Suitable up to ~2^20 nodes. Returns `None` for a disconnected topology.
+pub fn diameter_exact<T>(topo: &T, threads: usize) -> Option<u32>
+where
+    T: Topology + Sync + ?Sized,
+{
+    use crate::topology::NoFaults;
+    let n = topo.num_nodes();
+    if !is_connected(topo, &NoFaults) {
+        return None;
+    }
+    let threads = threads.max(1);
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    let best = std::sync::atomic::AtomicU32::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let v = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if v >= n {
+                    break;
+                }
+                if let Some(e) = eccentricity(topo, NodeId(v), &NoFaults) {
+                    best.fetch_max(e, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("diameter worker panicked");
+    Some(best.load(std::sync::atomic::Ordering::Relaxed))
+}
+
+/// Diameter of a *tree* topology by the classic double-BFS: two sweeps
+/// instead of `2^m`, exact because BFS eccentricity from any node reaches an
+/// endpoint of a longest path in a tree.
+pub fn diameter_tree<T>(topo: &T) -> u32
+where
+    T: Topology + ?Sized,
+{
+    use crate::topology::NoFaults;
+    let d0 = bfs_distances(topo, NodeId(0), &NoFaults);
+    let (far, _) = d0
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .expect("tree has at least one node");
+    let d1 = bfs_distances(topo, NodeId(far as u64), &NoFaults);
+    d1.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+}
+
+/// Mean shortest-path distance over all ordered reachable pairs.
+pub fn mean_distance<T>(topo: &T) -> f64
+where
+    T: Topology + ?Sized,
+{
+    use crate::topology::NoFaults;
+    let mut total: u64 = 0;
+    let mut pairs: u64 = 0;
+    for v in 0..topo.num_nodes() {
+        let dist = bfs_distances(topo, NodeId(v), &NoFaults);
+        for &d in &dist {
+            if d != UNREACHABLE && d > 0 {
+                total += u64::from(d);
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::Hypercube;
+    use crate::topology::NoFaults;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bfs_distances_on_q3_match_hamming() {
+        let q = Hypercube::new(3).unwrap();
+        for s in 0..8 {
+            let dist = bfs_distances(&q, NodeId(s), &NoFaults);
+            for d in 0..8 {
+                assert_eq!(dist[d as usize], NodeId(s).hamming(NodeId(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_valid_and_optimal() {
+        let q = Hypercube::new(4).unwrap();
+        for s in 0..16 {
+            for d in 0..16 {
+                let p = shortest_path(&q, NodeId(s), NodeId(d), &NoFaults).unwrap();
+                assert_eq!(p.first(), Some(&NodeId(s)));
+                assert_eq!(p.last(), Some(&NodeId(d)));
+                assert_eq!(p.len() as u32 - 1, NodeId(s).hamming(NodeId(d)));
+                for w in p.windows(2) {
+                    assert_eq!(w[0].hamming(w[1]), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_bfs_routes_around_fault() {
+        // Q_2 with node 01 faulty: 00 -> 11 must go through 10 (dist 2 still),
+        // but 00 -> 01 is unreachable.
+        struct OneFault;
+        impl LinkMask for OneFault {
+            fn node_ok(&self, n: NodeId) -> bool {
+                n != NodeId(0b01)
+            }
+            fn link_ok(&self, _l: LinkId) -> bool {
+                true
+            }
+        }
+        let q = Hypercube::new(2).unwrap();
+        let dist = bfs_distances(&q, NodeId(0), &OneFault);
+        assert_eq!(dist[0b11], 2);
+        assert_eq!(dist[0b01], UNREACHABLE);
+    }
+
+    #[test]
+    fn masked_link_fault_forces_detour() {
+        struct LinkFault;
+        impl LinkMask for LinkFault {
+            fn node_ok(&self, _n: NodeId) -> bool {
+                true
+            }
+            fn link_ok(&self, l: LinkId) -> bool {
+                l != LinkId::new(NodeId(0), 0)
+            }
+        }
+        let q = Hypercube::new(2).unwrap();
+        // 00 -> 01 now takes 3 hops: 00,10,11,01.
+        assert_eq!(distance(&q, NodeId(0), NodeId(1), &LinkFault), Some(3));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let q = Hypercube::new(3).unwrap();
+        assert!(is_connected(&q, &NoFaults));
+        let comps = components(&q, &NoFaults);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 8);
+        let all: HashSet<_> = comps[0].iter().copied().collect();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn diameter_of_hypercube_is_n() {
+        for n in 1..=8 {
+            let q = Hypercube::new(n).unwrap();
+            assert_eq!(diameter_exact(&q, 4), Some(n));
+        }
+    }
+
+    #[test]
+    fn mean_distance_of_q2() {
+        // Q_2 pair distances: 8 ordered pairs at distance 1, 4 at distance 2.
+        let q = Hypercube::new(2).unwrap();
+        let mean = mean_distance(&q);
+        assert!((mean - (8.0 + 8.0) / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eccentricity_of_faulty_source_is_none() {
+        struct AllFaulty;
+        impl LinkMask for AllFaulty {
+            fn node_ok(&self, _n: NodeId) -> bool {
+                false
+            }
+            fn link_ok(&self, _l: LinkId) -> bool {
+                false
+            }
+        }
+        let q = Hypercube::new(2).unwrap();
+        assert_eq!(eccentricity(&q, NodeId(0), &AllFaulty), None);
+        assert!(is_connected(&q, &AllFaulty)); // vacuously: no healthy nodes
+    }
+}

@@ -1,0 +1,159 @@
+//! The [`Topology`] trait: the common shape of every network in this crate.
+//!
+//! All topologies the paper uses — Gaussian Cube, Gaussian Tree, binary
+//! hypercube and exchanged hypercube — are *bit-flip graphs* on `2^w` labels:
+//! every link connects two labels differing in exactly one bit. A topology is
+//! therefore fully described by its label width and a predicate
+//! `has_link(node, dim)`.
+
+use crate::addr::{LinkId, NodeId};
+
+/// A network whose `2^label_width()` nodes are bit strings and whose links
+/// each flip exactly one bit.
+pub trait Topology {
+    /// Number of bits in a node label (`n` for `GC(n,M)` and `Q_n`, `m` for
+    /// `T_m`, `s+t+1` for `EH(s,t)`).
+    fn label_width(&self) -> u32;
+
+    /// Whether `node` has a link in dimension `dim`.
+    ///
+    /// Implementations must be symmetric under the flip: for all valid
+    /// `node`, `dim`: `has_link(node, dim) == has_link(node.flip(dim), dim)`.
+    /// (This holds by construction for every topology in the paper and is
+    /// asserted by each implementation's tests.)
+    fn has_link(&self, node: NodeId, dim: u32) -> bool;
+
+    /// Number of nodes, `2^label_width()`.
+    #[inline]
+    fn num_nodes(&self) -> u64 {
+        1u64 << self.label_width()
+    }
+
+    /// Whether `node` is a valid label for this topology.
+    #[inline]
+    fn contains(&self, node: NodeId) -> bool {
+        node.0 < self.num_nodes()
+    }
+
+    /// The dimensions in which `node` has links, ascending.
+    fn link_dims(&self, node: NodeId) -> Vec<u32> {
+        (0..self.label_width())
+            .filter(|&c| self.has_link(node, c))
+            .collect()
+    }
+
+    /// Degree of `node`.
+    fn degree(&self, node: NodeId) -> u32 {
+        (0..self.label_width())
+            .filter(|&c| self.has_link(node, c))
+            .count() as u32
+    }
+
+    /// All neighbours of `node`, in ascending dimension order.
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.label_width())
+            .filter(|&c| self.has_link(node, c))
+            .map(|c| node.flip(c))
+            .collect()
+    }
+
+    /// Total number of (undirected) links. O(nodes × width) by default.
+    fn num_links(&self) -> u64 {
+        let mut total = 0u64;
+        for v in 0..self.num_nodes() {
+            total += u64::from(self.degree(NodeId(v)));
+        }
+        total / 2
+    }
+
+    /// Iterate all links, each reported once via its canonical [`LinkId`].
+    fn links(&self) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        for v in 0..self.num_nodes() {
+            let node = NodeId(v);
+            for c in 0..self.label_width() {
+                if !node.bit(c) && self.has_link(node, c) {
+                    out.push(LinkId::new(node, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A predicate masking out faulty nodes and links during graph search.
+///
+/// The routing crate's fault sets implement this; [`NoFaults`] is the trivial
+/// all-healthy mask used for fault-free analysis.
+pub trait LinkMask {
+    /// Whether `node` is usable (non-faulty).
+    fn node_ok(&self, node: NodeId) -> bool;
+    /// Whether `link` is usable (non-faulty, and both endpoints non-faulty is
+    /// *not* implied — callers combine with [`LinkMask::node_ok`]).
+    fn link_ok(&self, link: LinkId) -> bool;
+}
+
+/// The trivial mask: everything healthy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl LinkMask for NoFaults {
+    #[inline]
+    fn node_ok(&self, _node: NodeId) -> bool {
+        true
+    }
+    #[inline]
+    fn link_ok(&self, _link: LinkId) -> bool {
+        true
+    }
+}
+
+impl<M: LinkMask + ?Sized> LinkMask for &M {
+    #[inline]
+    fn node_ok(&self, node: NodeId) -> bool {
+        (**self).node_ok(node)
+    }
+    #[inline]
+    fn link_ok(&self, link: LinkId) -> bool {
+        (**self).link_ok(link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-node path graph: width 1, the single dim-0 link.
+    struct Path2;
+    impl Topology for Path2 {
+        fn label_width(&self) -> u32 {
+            1
+        }
+        fn has_link(&self, _node: NodeId, dim: u32) -> bool {
+            dim == 0
+        }
+    }
+
+    #[test]
+    fn default_methods_on_tiny_topology() {
+        let t = Path2;
+        assert_eq!(t.num_nodes(), 2);
+        assert!(t.contains(NodeId(1)));
+        assert!(!t.contains(NodeId(2)));
+        assert_eq!(t.link_dims(NodeId(0)), vec![0]);
+        assert_eq!(t.degree(NodeId(0)), 1);
+        assert_eq!(t.neighbors(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(t.num_links(), 1);
+        assert_eq!(t.links(), vec![LinkId::new(NodeId(0), 0)]);
+    }
+
+    #[test]
+    fn no_faults_mask_accepts_everything() {
+        let m = NoFaults;
+        assert!(m.node_ok(NodeId(42)));
+        assert!(m.link_ok(LinkId::new(NodeId(42), 3)));
+        // Reference impl forwards.
+        let r = &m;
+        assert!(r.node_ok(NodeId(0)));
+    }
+}

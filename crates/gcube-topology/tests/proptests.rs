@@ -1,0 +1,115 @@
+//! Property-based tests for the topology crate.
+//!
+//! These check the structural theorems of the paper on randomly drawn
+//! parameters and nodes, complementing the exhaustive small-instance tests
+//! inside each module.
+
+use gcube_topology::classes::{node_at, subcube_pos};
+use gcube_topology::gaussian_cube::link_by_congruence;
+use gcube_topology::search;
+use gcube_topology::{
+    ExchangedHypercube, GaussianCube, GaussianTree, NoFaults, NodeId, Topology,
+};
+use proptest::prelude::*;
+
+/// Strategy: a Gaussian Cube with 2 ≤ n ≤ 16 and α ≤ min(n, 5).
+fn arb_gc() -> impl Strategy<Value = GaussianCube> {
+    (2u32..=16).prop_flat_map(|n| {
+        (Just(n), 0u32..=n.min(5)).prop_map(|(n, alpha)| GaussianCube::from_alpha(n, alpha).unwrap())
+    })
+}
+
+fn arb_node(width: u32) -> impl Strategy<Value = NodeId> {
+    (0..(1u64 << width)).prop_map(NodeId)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Theorem 1: the local link condition equals the congruence definition.
+    #[test]
+    fn theorem1_equivalence((gc, v) in arb_gc().prop_flat_map(|gc| {
+        let w = gc.n();
+        (Just(gc), arb_node(w))
+    })) {
+        for c in 0..gc.n() {
+            prop_assert_eq!(
+                gc.has_link(v, c),
+                link_by_congruence(gc.n(), gc.modulus(), v, c)
+            );
+        }
+    }
+
+    /// Link predicates are symmetric under the bit flip.
+    #[test]
+    fn link_symmetry((gc, v) in arb_gc().prop_flat_map(|gc| {
+        let w = gc.n();
+        (Just(gc), arb_node(w))
+    })) {
+        for c in 0..gc.n() {
+            prop_assert_eq!(gc.has_link(v, c), gc.has_link(v.flip(c), c));
+        }
+    }
+
+    /// The subcube decomposition round-trips for every node.
+    #[test]
+    fn subcube_round_trip((gc, v) in arb_gc().prop_flat_map(|gc| {
+        let w = gc.n();
+        (Just(gc), arb_node(w))
+    })) {
+        let pos = subcube_pos(&gc, v);
+        prop_assert_eq!(node_at(&gc, pos), v);
+        prop_assert_eq!(pos.k, gc.ending_class(v));
+    }
+
+    /// Gaussian graphs are trees: connected with 2^m - 1 edges (Theorem 2).
+    #[test]
+    fn gaussian_graph_is_tree(m in 1u32..=12) {
+        let t = GaussianTree::new(m).unwrap();
+        prop_assert!(search::is_connected(&t, &NoFaults));
+        prop_assert_eq!(t.num_links(), t.num_nodes() - 1);
+    }
+
+    /// Exchanged hypercube closed-form distance agrees with BFS on random
+    /// pairs.
+    #[test]
+    fn eh_distance_matches_bfs(
+        (s, t, u, v) in (1u32..=4, 1u32..=4).prop_flat_map(|(s, t)| {
+            let w = s + t + 1;
+            (Just(s), Just(t), arb_node(w), arb_node(w))
+        })
+    ) {
+        let eh = ExchangedHypercube::new(s, t).unwrap();
+        let bfs = search::distance(&eh, u, v, &NoFaults).unwrap();
+        prop_assert_eq!(bfs, eh.dist(u, v));
+        prop_assert_eq!(eh.dist(u, v), eh.dist(v, u));
+    }
+
+    /// BFS distance in GC is a metric on random triples (triangle
+    /// inequality + symmetry).
+    #[test]
+    fn gc_distance_is_a_metric((gc, a, b, c) in arb_gc().prop_flat_map(|gc| {
+        let w = gc.n().min(10);
+        // Cap size so three BFS runs stay fast.
+        let gc = GaussianCube::from_alpha(w, gc.alpha().min(w)).unwrap();
+        (Just(gc), arb_node(w), arb_node(w), arb_node(w))
+    })) {
+        let dab = search::distance(&gc, a, b, &NoFaults).unwrap();
+        let dba = search::distance(&gc, b, a, &NoFaults).unwrap();
+        let dbc = search::distance(&gc, b, c, &NoFaults).unwrap();
+        let dac = search::distance(&gc, a, c, &NoFaults).unwrap();
+        prop_assert_eq!(dab, dba);
+        prop_assert!(dac <= dab + dbc);
+    }
+
+    /// Degrees never exceed n, and the dim-0 link always exists.
+    #[test]
+    fn degrees_bounded((gc, v) in arb_gc().prop_flat_map(|gc| {
+        let w = gc.n();
+        (Just(gc), arb_node(w))
+    })) {
+        prop_assert!(gc.degree(v) <= gc.n());
+        prop_assert!(gc.has_link(v, 0));
+        prop_assert_eq!(gc.degree(v) as usize, gc.neighbors(v).len());
+    }
+}

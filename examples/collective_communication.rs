@@ -1,0 +1,63 @@
+//! Collective communication on a Gaussian Cube: multicast, broadcast and
+//! gather — the primitives the paper's introduction credits the GC family
+//! with supporting efficiently.
+//!
+//! ```sh
+//! cargo run --example collective_communication
+//! ```
+
+use std::collections::BTreeSet;
+
+use gcube::routing::collective::{
+    binomial_broadcast_schedule, broadcast_tree, gather_schedule, independent_unicast_cost,
+    multicast_walk,
+};
+use gcube::topology::{GaussianCube, NodeId, Topology};
+
+fn main() {
+    let gc = GaussianCube::new(10, 4).expect("valid parameters");
+    println!("network: GC(10, 4) — {} nodes\n", gc.num_nodes());
+
+    // ---- Multicast: one walk covering a destination set. -----------------
+    let dests: BTreeSet<NodeId> =
+        [37u64, 613, 1000, 1001, 1003, 128].into_iter().map(NodeId).collect();
+    let walk = multicast_walk(&gc, NodeId(0), &dests).unwrap();
+    let indep = independent_unicast_cost(&gc, NodeId(0), &dests);
+    println!("multicast from 0 to {} destinations:", dests.len());
+    println!("  chained walk : {} hops", walk.hops());
+    println!("  unicast sum  : {indep} hops");
+    println!(
+        "  saving       : {:.0}%",
+        100.0 * (1.0 - walk.hops() as f64 / indep as f64)
+    );
+
+    // ---- Broadcast: spanning tree + single-port schedule. -----------------
+    let tree = broadcast_tree(&gc, NodeId(0)).unwrap();
+    println!("\nbroadcast from node 0:");
+    println!("  BFS tree depth (all-port rounds) : {}", tree.max_depth());
+    let schedule = binomial_broadcast_schedule(&gc, NodeId(0)).unwrap();
+    println!("  single-port rounds               : {}", schedule.len());
+    println!(
+        "  messages in first three rounds   : {:?}",
+        schedule.iter().take(3).map(Vec::len).collect::<Vec<_>>()
+    );
+    let total: usize = schedule.iter().map(Vec::len).sum();
+    assert_eq!(total as u64, gc.num_nodes() - 1, "everyone informed exactly once");
+
+    // ---- Gather: leaves-to-root with single-port aggregation. -------------
+    let rounds = gather_schedule(&gc, NodeId(0)).unwrap();
+    println!("\ngather to node 0:");
+    println!("  rounds                            : {}", rounds.len());
+    let total: usize = rounds.iter().map(Vec::len).sum();
+    println!("  total messages                    : {total}");
+    assert_eq!(total as u64, gc.num_nodes() - 1);
+
+    // How does dilution affect collective latency? Compare against M = 1.
+    let dense = GaussianCube::new(10, 1).unwrap();
+    let dense_rounds = binomial_broadcast_schedule(&dense, NodeId(0)).unwrap();
+    println!(
+        "\ndilution cost: broadcast takes {} rounds on GC(10,4) vs {} on the hypercube GC(10,1)",
+        schedule.len(),
+        dense_rounds.len()
+    );
+}

@@ -1,0 +1,63 @@
+//! Network simulation demo: the paper's §6 evaluation in miniature —
+//! latency and throughput of `GC(n, M)` under Bernoulli traffic, fault-free
+//! versus one faulty node.
+//!
+//! ```sh
+//! cargo run --release --example network_simulation
+//! ```
+
+use gcube::sim::{FaultFreeGcr, FaultTolerantGcr, SimConfig, Simulator};
+
+fn main() {
+    println!("cycle-driven simulation (store-and-forward, eager readership)\n");
+    println!(
+        "{:>3} {:>3} {:>7} {:>12} {:>12} {:>11} {:>10}",
+        "n", "M", "faults", "avg latency", "avg hops", "throughput", "delivered"
+    );
+
+    // Fault-free scaling: dimension up, latency up; throughput up.
+    for (n, m) in [(6u32, 1u64), (6, 2), (6, 4), (8, 2), (10, 2)] {
+        let cfg = SimConfig::new(n, m).with_cycles(400, 5_000, 50).with_rate(0.005);
+        let metrics = Simulator::new(cfg, &FaultFreeGcr).run();
+        println!(
+            "{:>3} {:>3} {:>7} {:>12.3} {:>12.3} {:>11.4} {:>10}",
+            n,
+            m,
+            0,
+            metrics.avg_latency(),
+            metrics.avg_hops(),
+            metrics.throughput(),
+            metrics.delivered
+        );
+        assert_eq!(metrics.delivered, metrics.injected, "fault-free: everything arrives");
+    }
+
+    println!();
+
+    // One faulty node (the paper's Figure 7/8 scenario): FTGCR still
+    // delivers everything, at slightly higher latency.
+    for n in [6u32, 8, 10] {
+        let cfg = SimConfig::new(n, 2)
+            .with_cycles(400, 5_000, 50)
+            .with_rate(0.005)
+            .with_faults(1);
+        let sim = Simulator::new(cfg, &FaultTolerantGcr);
+        let faulty_node = sim.faults().faulty_nodes().next().unwrap();
+        let metrics = sim.run();
+        println!(
+            "{:>3} {:>3} {:>7} {:>12.3} {:>12.3} {:>11.4} {:>10}   (faulty node: {})",
+            n,
+            2,
+            1,
+            metrics.avg_latency(),
+            metrics.avg_hops(),
+            metrics.throughput(),
+            metrics.delivered,
+            faulty_node
+        );
+        assert_eq!(metrics.delivered, metrics.injected, "FTGCR: everything arrives");
+        assert_eq!(metrics.route_failures, 0);
+    }
+
+    println!("\n(run the full Figure 5-8 sweeps with `cargo run --release -p gcube-bench --bin all_figures`)");
+}

@@ -1,0 +1,75 @@
+//! Topology explorer: draw the Gaussian Graphs of Figure 1, walk through
+//! the decomposition machinery (ending classes, `Dim` sets, embedded
+//! subcubes), and reproduce the paper's Figure-3 closed-traversal example.
+//!
+//! ```sh
+//! cargo run --example topology_explorer
+//! ```
+
+use std::collections::BTreeSet;
+
+use gcube::routing::ct::{ct_walk, steiner_edges};
+use gcube::routing::pc::pc_path;
+use gcube::topology::classes::{dims, equivalent_class_count, subcube_pos};
+use gcube::topology::{GaussianCube, GaussianTree, NodeId, Topology};
+
+fn main() {
+    // ---- Figure 1: Gaussian Graphs G_2 .. G_4 are trees. ----------------
+    for m in 2..=4u32 {
+        let t = GaussianTree::new(m).unwrap();
+        println!("G_{m} ({} nodes, {} edges — a tree):", t.num_nodes(), t.num_links());
+        for l in t.links() {
+            let (a, b) = l.endpoints();
+            println!("  {} - {}   (dimension {})", a.to_binary(m), b.to_binary(m), l.dim);
+        }
+    }
+
+    // ---- Figure 2, in miniature: the diameter series. --------------------
+    print!("\nD(T_m) for m = 1..12:");
+    for m in 1..=12u32 {
+        print!(" {}", GaussianTree::new(m).unwrap().diameter());
+    }
+    println!();
+
+    // ---- The decomposition of GC(10, 4). ---------------------------------
+    let gc = GaussianCube::new(10, 4).unwrap();
+    println!("\nGC(10, 4) decomposition (α = 2):");
+    for k in 0..4u64 {
+        let d = dims(gc.n(), gc.alpha(), k);
+        println!(
+            "  ending class EC({k}): Dim = {:?} → {} embedded Q_{} subcubes",
+            d,
+            equivalent_class_count(&gc, k),
+            d.len()
+        );
+    }
+    let p = NodeId(0b10_1101_0110);
+    let pos = subcube_pos(&gc, p);
+    println!(
+        "  node {} lives in GEEC(k={}, t={}) at corner {:b}",
+        p.to_binary(10),
+        pos.k,
+        pos.t,
+        pos.coord
+    );
+
+    // ---- Figure 3: the CT branch-point example. ---------------------------
+    // Root r, one trunk destination and two off-trunk destinations sharing
+    // a branch point, as in the paper's sketch.
+    let tree = GaussianTree::new(4).unwrap();
+    let r = NodeId(0);
+    let dests: BTreeSet<NodeId> =
+        [NodeId(0b1011), NodeId(0b0110), NodeId(0b1111)].into_iter().collect();
+    let walk = ct_walk(&tree, r, &dests);
+    println!("\nCT closed traversal in T_4 from {} over {:?}:", r, dests);
+    let rendered: Vec<String> = walk.iter().map(|n| n.to_binary(4)).collect();
+    println!("  walk ({} hops): {}", walk.len() - 1, rendered.join(" -> "));
+    let steiner = steiner_edges(&tree, r, &dests).len();
+    println!("  Steiner edges: {steiner} → optimal closed walk = {} hops ✓", 2 * steiner);
+    assert_eq!(walk.len() - 1, 2 * steiner);
+
+    // And the trunk the walk was built on.
+    let trunk = pc_path(&tree, r, NodeId(0b1111));
+    let trunk_str: Vec<String> = trunk.iter().map(|n| n.to_binary(4)).collect();
+    println!("  PC trunk to 1111: {}", trunk_str.join(" -> "));
+}

@@ -1,0 +1,51 @@
+//! # gcube — Fault-tolerant routing for Gaussian Cubes via Gaussian Trees
+//!
+//! A full reproduction of Loh & Zhang, *"A Fault-tolerant Routing Strategy
+//! for Gaussian Cube Using Gaussian Tree"* (ICPP 2003), as a Rust workspace.
+//!
+//! This facade crate re-exports the public API of the four member crates:
+//!
+//! * [`topology`] — the Gaussian Cube `GC(n, M)`, Gaussian Tree `T_m`,
+//!   binary hypercube `Q_n` and exchanged hypercube `EH(s,t)`, plus generic
+//!   BFS/diameter/connectivity machinery.
+//! * [`routing`] — the paper's algorithms: PC (tree path construction), CT
+//!   (closed traversal), FFGCR (fault-free Gaussian Cube routing), FREH
+//!   (fault-tolerant exchanged-hypercube routing) and FTGCR (the full
+//!   fault-tolerant strategy), with the A/B/C fault taxonomy.
+//! * [`sim`] — a cycle-driven network simulator reproducing the paper's
+//!   latency/throughput evaluation (Figures 5–8).
+//! * [`analysis`] — closed-form series and table rendering for Figures 2
+//!   and 4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gcube::topology::{GaussianCube, NodeId};
+//! use gcube::routing::ffgcr;
+//!
+//! let gc = GaussianCube::new(8, 4).unwrap();
+//! let route = ffgcr::route(&gc, NodeId(0b0000_0000), NodeId(0b1011_0101)).unwrap();
+//! assert!(route.hops() > 0);
+//! ```
+//!
+//! The README's fault-tolerant example, kept honest as a doctest:
+//!
+//! ```
+//! use gcube::topology::{GaussianCube, NodeId};
+//! use gcube::routing::{ffgcr, ftgcr, FaultSet};
+//!
+//! let gc = GaussianCube::new(10, 4)?;              // 1024 nodes, α = 2
+//! let route = ffgcr::route(&gc, NodeId(0), NodeId(0b1011010110))?; // optimal
+//!
+//! let mut faults = FaultSet::new();
+//! faults.add_node(NodeId(0b0000000110));           // a C-category node fault
+//! let (ft_route, stats) = ftgcr::route(&gc, &faults, NodeId(0), NodeId(613))?;
+//! assert!(ft_route.nodes().iter().all(|&v| !faults.is_node_faulty(v)));
+//! # let _ = stats;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use gcube_analysis as analysis;
+pub use gcube_routing as routing;
+pub use gcube_sim as sim;
+pub use gcube_topology as topology;

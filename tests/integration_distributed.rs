@@ -1,0 +1,105 @@
+//! Integration tests for the distributed execution model: fault-status
+//! exchange (paper claims 4–5) driving hop-by-hop FTGCR.
+
+use gcube::routing::dftgcr::route_distributed;
+use gcube::routing::faults::theorem5_precondition;
+use gcube::routing::knowledge::exchange_rounds;
+use gcube::routing::{ftgcr, FaultSet};
+use gcube::topology::classes::dim_count;
+use gcube::topology::{GaussianCube, LinkId, NodeId, Topology};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn exchange_rounds_within_paper_bound_across_family() {
+    // Claim 4: at most ⌈n/2^α⌉ + 1 rounds, for several (n, α) and fault
+    // shapes.
+    let mut rng = Rng(0xeb0c);
+    for (n, m) in [(8u32, 2u64), (9, 4), (10, 8)] {
+        let gc = GaussianCube::new(n, m).unwrap();
+        let bound = (0..m).map(|k| dim_count(n, gc.alpha(), k)).max().unwrap() + 1;
+        for _ in 0..5 {
+            let mut f = FaultSet::new();
+            for _ in 0..1 + rng.next() % 3 {
+                let v = NodeId(rng.next() % gc.num_nodes());
+                if rng.next().is_multiple_of(2) {
+                    f.add_node(v);
+                } else {
+                    let ds = gc.link_dims(v);
+                    f.add_link(LinkId::new(v, ds[(rng.next() % ds.len() as u64) as usize]));
+                }
+            }
+            let km = exchange_rounds(&gc, &f);
+            assert!(
+                km.rounds() <= bound,
+                "GC({n},{m}): {} rounds > bound {bound}",
+                km.rounds()
+            );
+            assert!(km.max_storage() <= f.len() + gc.n() as usize);
+        }
+    }
+}
+
+#[test]
+fn distributed_and_omniscient_agree_on_delivery() {
+    // Whenever the omniscient router delivers under a precondition-valid
+    // fault set, so must the local-knowledge router, and its overhead stays
+    // bounded.
+    let gc = GaussianCube::new(9, 2).unwrap();
+    let mut rng = Rng(0xd157);
+    let mut compared = 0;
+    for _ in 0..10 {
+        let mut truth = FaultSet::new();
+        truth.add_node(NodeId(rng.next() % gc.num_nodes()));
+        if !theorem5_precondition(&gc, &truth) {
+            continue;
+        }
+        let km = exchange_rounds(&gc, &truth);
+        for _ in 0..25 {
+            let s = NodeId(rng.next() % gc.num_nodes());
+            let d = NodeId(rng.next() % gc.num_nodes());
+            if truth.is_node_faulty(s) || truth.is_node_faulty(d) || s == d {
+                continue;
+            }
+            let (omni, _) = ftgcr::route(&gc, &truth, s, d).unwrap();
+            let (dist, stats) = route_distributed(&gc, &truth, &km, s, d).unwrap();
+            dist.validate(&gc, &truth).unwrap();
+            assert!(dist.hops() <= omni.hops() + 2 * gc.n() as usize);
+            assert!(stats.header_items <= truth.len());
+            compared += 1;
+        }
+    }
+    assert!(compared > 50, "too few comparisons ({compared})");
+}
+
+#[test]
+fn header_never_carries_more_than_total_faults() {
+    // Claim 5 end-to-end: whatever the journey, the header holds at most
+    // the global fault count of items.
+    let gc = GaussianCube::new(8, 4).unwrap();
+    let mut truth = FaultSet::new();
+    truth.add_link(LinkId::new(NodeId(0b10), 2));
+    truth.add_link(LinkId::new(NodeId(0b0110), 6));
+    truth.add_node(NodeId(0b1001));
+    let km = exchange_rounds(&gc, &truth);
+    let mut rng = Rng(0x5ca1e);
+    for _ in 0..80 {
+        let s = NodeId(rng.next() % gc.num_nodes());
+        let d = NodeId(rng.next() % gc.num_nodes());
+        if truth.is_node_faulty(s) || truth.is_node_faulty(d) || s == d {
+            continue;
+        }
+        if let Ok((r, stats)) = route_distributed(&gc, &truth, &km, s, d) {
+            r.validate(&gc, &truth).unwrap();
+            assert!(stats.header_items <= truth.len());
+        }
+    }
+}

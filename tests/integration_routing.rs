@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: the routing pipeline against the topology
+//! substrate's BFS oracle, across parameter ranges wider than any single
+//! crate's unit tests.
+
+use gcube::routing::faults::{theorem3_precondition_guaranteed, theorem5_precondition};
+use gcube::routing::{ffgcr, freh, ftgcr, FaultSet};
+use gcube::topology::{search, ExchangedHypercube, GaussianCube, LinkId, NoFaults, NodeId, Topology};
+
+/// Deterministic xorshift for reproducible sampling.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn ffgcr_matches_bfs_across_the_family() {
+    // The optimality identity across many (n, M) combinations on sampled
+    // pairs — the paper family's headline invariant.
+    let mut rng = Rng(0x5eed_cafe);
+    for n in 4..=12u32 {
+        for alpha in 0..=4.min(n) {
+            let gc = GaussianCube::from_alpha(n, alpha).unwrap();
+            for _ in 0..40 {
+                let s = NodeId(rng.next() % gc.num_nodes());
+                let d = NodeId(rng.next() % gc.num_nodes());
+                let route = ffgcr::route(&gc, s, d).unwrap();
+                route.validate(&gc, &NoFaults).unwrap();
+                let bfs = search::distance(&gc, s, d, &NoFaults).unwrap();
+                assert_eq!(
+                    route.hops() as u32,
+                    bfs,
+                    "GC({n},2^{alpha}) {s}->{d}: FFGCR must be optimal"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ftgcr_fault_free_is_ffgcr_everywhere() {
+    let mut rng = Rng(0xfeed_beef);
+    let empty = FaultSet::new();
+    for (n, m) in [(9u32, 2u64), (10, 4), (11, 8), (12, 2)] {
+        let gc = GaussianCube::new(n, m).unwrap();
+        for _ in 0..30 {
+            let s = NodeId(rng.next() % gc.num_nodes());
+            let d = NodeId(rng.next() % gc.num_nodes());
+            let (ft, stats) = ftgcr::route(&gc, &empty, s, d).unwrap();
+            let ff = ffgcr::route(&gc, s, d).unwrap();
+            assert_eq!(ft.hops(), ff.hops());
+            assert!(!stats.bfs_fallback);
+        }
+    }
+}
+
+#[test]
+fn single_node_fault_never_strands_packets() {
+    // The Figure 7/8 premise at integration scale: a single faulty node in
+    // GC(n, 2) leaves every healthy pair routable by FTGCR.
+    let mut rng = Rng(0x0ddba11);
+    for n in [8u32, 9, 10, 11] {
+        let gc = GaussianCube::new(n, 2).unwrap();
+        for _ in 0..4 {
+            let mut faults = FaultSet::new();
+            faults.add_node(NodeId(rng.next() % gc.num_nodes()));
+            if !theorem5_precondition(&gc, &faults) {
+                continue;
+            }
+            for _ in 0..60 {
+                let s = NodeId(rng.next() % gc.num_nodes());
+                let d = NodeId(rng.next() % gc.num_nodes());
+                if faults.is_node_faulty(s) || faults.is_node_faulty(d) {
+                    continue;
+                }
+                let (route, _) = ftgcr::route(&gc, &faults, s, d)
+                    .unwrap_or_else(|e| panic!("GC({n},2) {s}->{d}: {e}"));
+                route.validate(&gc, &faults).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn a_faults_cost_at_most_two_hops_each() {
+    // Theorem-3 regime at integration scale: detour ≤ 2 hops per fault per
+    // class visit (conservatively 4F), usually far less.
+    let mut rng = Rng(0xa5a5_a5a5);
+    for n in [9u32, 10] {
+        let gc = GaussianCube::new(n, 4).unwrap();
+        let mut tested = 0;
+        for _ in 0..40 {
+            let mut faults = FaultSet::new();
+            for _ in 0..1 + rng.next() % 2 {
+                let v = NodeId(rng.next() % gc.num_nodes());
+                let high: Vec<u32> =
+                    gc.link_dims(v).into_iter().filter(|&c| c >= gc.alpha()).collect();
+                if let Some(&dim) = high.first() {
+                    faults.add_link(LinkId::new(v, dim));
+                }
+            }
+            if faults.is_empty() || !theorem3_precondition_guaranteed(&gc, &faults) {
+                continue;
+            }
+            tested += 1;
+            for _ in 0..30 {
+                let s = NodeId(rng.next() % gc.num_nodes());
+                let d = NodeId(rng.next() % gc.num_nodes());
+                let (route, _) = ftgcr::route(&gc, &faults, s, d).unwrap();
+                route.validate(&gc, &faults).unwrap();
+                let opt = ffgcr::route_len(&gc, s, d) as usize;
+                assert!(
+                    route.hops() <= opt + 4 * faults.len(),
+                    "GC({n},4) {s}->{d}: {} vs opt {opt} with {} faults",
+                    route.hops(),
+                    faults.len()
+                );
+            }
+        }
+        assert!(tested >= 10, "not enough precondition-satisfying samples");
+    }
+}
+
+#[test]
+fn freh_and_ftgcr_agree_on_the_crossing_abstraction() {
+    // The EH view of a tree-edge crossing is the same machine FREH runs on:
+    // route in EH(s,t) and in the corresponding GC crossing block; both
+    // must deliver under the same fault picture.
+    let eh = ExchangedHypercube::new(3, 3).unwrap();
+    let mut faults = FaultSet::new();
+    faults.add_link(LinkId::new(NodeId(4), 0));
+    faults.add_node(NodeId(0b0010101));
+    let mut rng = Rng(0xc0ffee);
+    for _ in 0..200 {
+        let r = NodeId(rng.next() % eh.num_nodes());
+        let d = NodeId(rng.next() % eh.num_nodes());
+        if faults.is_node_faulty(r) || faults.is_node_faulty(d) {
+            continue;
+        }
+        let reachable = search::distance(&eh, r, d, &faults).is_some();
+        match freh::route(&eh, &faults, r, d) {
+            Ok((route, _)) => {
+                assert!(reachable);
+                route.validate(&eh, &faults).unwrap();
+            }
+            Err(_) => assert!(!reachable),
+        }
+    }
+}
+
+#[test]
+fn routes_stay_inside_the_topology() {
+    // Paranoid end-to-end validation: every hop of every produced route is
+    // a genuine GC link (Theorem 1 predicate), across all three route
+    // producers.
+    let gc = GaussianCube::new(9, 8).unwrap();
+    let mut faults = FaultSet::new();
+    faults.add_node(NodeId(77));
+    let mut rng = Rng(0x7007);
+    for _ in 0..100 {
+        let s = NodeId(rng.next() % gc.num_nodes());
+        let d = NodeId(rng.next() % gc.num_nodes());
+        if faults.is_node_faulty(s) || faults.is_node_faulty(d) {
+            continue;
+        }
+        let ff = ffgcr::route(&gc, s, d).unwrap();
+        for w in ff.nodes().windows(2) {
+            let dims = w[0].differing_dims(w[1]);
+            assert_eq!(dims.len(), 1);
+            assert!(gc.has_link(w[0], dims[0]));
+        }
+        if let Ok((ft, _)) = ftgcr::route(&gc, &faults, s, d) {
+            ft.validate(&gc, &faults).unwrap();
+        }
+    }
+}

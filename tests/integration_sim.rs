@@ -1,0 +1,104 @@
+//! Integration tests for the simulator: miniature versions of the paper's
+//! Figure 5–8 trends, asserted as *shapes* (who is higher, what grows).
+
+use gcube::sim::{FaultFreeGcr, FaultTolerantGcr, SimConfig, Simulator};
+
+fn cfg(n: u32, m: u64) -> SimConfig {
+    SimConfig::new(n, m).with_cycles(300, 4_000, 50).with_rate(0.004)
+}
+
+#[test]
+fn figure5_shape_latency_grows_with_dimension() {
+    // Larger networks → longer paths → higher average latency.
+    let lat: Vec<f64> = [6u32, 9, 12]
+        .iter()
+        .map(|&n| Simulator::new(cfg(n, 2), &FaultFreeGcr).run().avg_latency())
+        .collect();
+    assert!(lat[1] > lat[0], "latency n=9 ({}) should exceed n=6 ({})", lat[1], lat[0]);
+    assert!(lat[2] > lat[1], "latency n=12 ({}) should exceed n=9 ({})", lat[2], lat[1]);
+}
+
+#[test]
+fn figure5_shape_latency_grows_with_modulus() {
+    // Link dilution: larger M → sparser network → longer paths. The paper
+    // notes the M effect dominates the dimension effect.
+    let lat: Vec<f64> = [1u64, 2, 4]
+        .iter()
+        .map(|&m| Simulator::new(cfg(9, m), &FaultFreeGcr).run().avg_latency())
+        .collect();
+    assert!(lat[1] > lat[0], "M=2 latency ({}) should exceed M=1 ({})", lat[1], lat[0]);
+    assert!(lat[2] > lat[1], "M=4 latency ({}) should exceed M=2 ({})", lat[2], lat[1]);
+}
+
+#[test]
+fn figure6_shape_throughput_grows_with_dimension() {
+    // More nodes generating and carrying packets in parallel → higher
+    // network throughput (packets per cycle).
+    let thr: Vec<f64> = [6u32, 9, 12]
+        .iter()
+        .map(|&n| Simulator::new(cfg(n, 2), &FaultFreeGcr).run().throughput())
+        .collect();
+    assert!(thr[1] > thr[0]);
+    assert!(thr[2] > thr[1]);
+    // log2 spacing is roughly the dimension increment (node count doubles
+    // per dimension at fixed injection rate).
+    let l0 = thr[0].log2();
+    let l2 = thr[2].log2();
+    assert!((l2 - l0) > 3.0, "log2 throughput should gain >3 bits over 6 dims");
+}
+
+#[test]
+fn figure7_shape_fault_raises_latency() {
+    // Averaged over seeds: one faulty node raises (never lowers) latency.
+    let mean = |faults: usize| {
+        (0..5u64)
+            .map(|s| {
+                let c = cfg(8, 2).with_seed(9000 + s).with_faults(faults);
+                Simulator::new(c, &FaultTolerantGcr).run().avg_latency()
+            })
+            .sum::<f64>()
+            / 5.0
+    };
+    let healthy = mean(0);
+    let faulty = mean(1);
+    assert!(
+        faulty >= healthy * 0.99,
+        "one fault should not reduce latency: {healthy} -> {faulty}"
+    );
+}
+
+#[test]
+fn figure8_shape_fault_lowers_throughput_or_keeps_delivery() {
+    // With one fault the same offered load must still be fully delivered
+    // (FTGCR), so throughput changes only via longer routes; delivery ratio
+    // stays 1.
+    for seed in 0..3u64 {
+        let c = cfg(8, 2).with_seed(7100 + seed).with_faults(1);
+        let m = Simulator::new(c, &FaultTolerantGcr).run();
+        assert_eq!(m.delivered, m.injected);
+        assert_eq!(m.route_failures, 0);
+        assert!((m.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn uncongested_latency_tracks_mean_distance() {
+    // At very low load, latency ≈ mean route length + 1-ish; verifies the
+    // simulator's timing accounting end to end.
+    let c = cfg(8, 2).with_rate(0.0005);
+    let m = Simulator::new(c, &FaultFreeGcr).run();
+    assert!(m.delivered > 0);
+    assert!(m.avg_latency() >= m.avg_hops());
+    assert!(m.avg_latency() <= m.avg_hops() * 1.25 + 1.0);
+}
+
+#[test]
+fn deterministic_across_thread_counts() {
+    use gcube::sim::run_sweep;
+    let configs = vec![cfg(6, 2), cfg(7, 2), cfg(8, 4)];
+    let serial = run_sweep(&configs, &FaultFreeGcr, 1);
+    let parallel = run_sweep(&configs, &FaultFreeGcr, 8);
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end property tests across the whole stack.
+
+use proptest::prelude::*;
+
+use gcube::routing::faults::theorem5_precondition;
+use gcube::routing::{ffgcr, ftgcr, FaultSet};
+use gcube::topology::{search, GaussianCube, NoFaults, NodeId, Topology};
+
+fn arb_cube() -> impl Strategy<Value = GaussianCube> {
+    (4u32..=11).prop_flat_map(|n| {
+        (Just(n), 0u32..=3.min(n)).prop_map(|(n, a)| GaussianCube::from_alpha(n, a).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FFGCR is optimal for random cubes and pairs (the projection lemma).
+    #[test]
+    fn ffgcr_is_optimal((gc, s, d) in arb_cube().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), 0..n, 0..n)
+    })) {
+        let (s, d) = (NodeId(s), NodeId(d));
+        let route = ffgcr::route(&gc, s, d).unwrap();
+        route.validate(&gc, &NoFaults).unwrap();
+        prop_assert!(route.is_simple(), "fault-free optimal routes are simple paths");
+        let bfs = search::distance(&gc, s, d, &NoFaults).unwrap();
+        prop_assert_eq!(route.hops() as u32, bfs);
+    }
+
+    /// Under a random single node fault satisfying Theorem 5, FTGCR
+    /// delivers every healthy pair with a valid, fault-avoiding route.
+    #[test]
+    fn ftgcr_survives_single_fault((gc, f, s, d) in arb_cube().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), 0..n, 0..n, 0..n)
+    })) {
+        let (fv, s, d) = (NodeId(f), NodeId(s), NodeId(d));
+        prop_assume!(fv != s && fv != d);
+        let mut faults = FaultSet::new();
+        faults.add_node(fv);
+        prop_assume!(theorem5_precondition(&gc, &faults));
+        let (route, _) = ftgcr::route(&gc, &faults, s, d).unwrap();
+        route.validate(&gc, &faults).unwrap();
+        prop_assert!(route.nodes().iter().all(|&v| v != fv));
+        // Bounded overhead versus the fault-free optimum.
+        let opt = ffgcr::route_len(&gc, s, d) as usize;
+        prop_assert!(route.hops() <= opt + 8, "hops {} opt {opt}", route.hops());
+    }
+
+    /// Route symmetry of costs: |route(s,d)| == |route(d,s)| in the
+    /// fault-free setting (distances are symmetric).
+    #[test]
+    fn ffgcr_cost_symmetric((gc, s, d) in arb_cube().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), 0..n, 0..n)
+    })) {
+        let fwd = ffgcr::route_len(&gc, NodeId(s), NodeId(d));
+        let bwd = ffgcr::route_len(&gc, NodeId(d), NodeId(s));
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Triangle inequality of FFGCR costs (they are distances).
+    #[test]
+    fn ffgcr_cost_triangle((gc, a, b, c) in arb_cube().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), 0..n, 0..n, 0..n)
+    })) {
+        let ab = ffgcr::route_len(&gc, NodeId(a), NodeId(b));
+        let bc = ffgcr::route_len(&gc, NodeId(b), NodeId(c));
+        let ac = ffgcr::route_len(&gc, NodeId(a), NodeId(c));
+        prop_assert!(ac <= ab + bc);
+    }
+}
