@@ -19,7 +19,11 @@ pub fn series(max_m: u32) -> Vec<DiameterPoint> {
     (1..=max_m)
         .map(|m| {
             let t = GaussianTree::new(m).expect("m within width cap");
-            DiameterPoint { m, diameter: t.diameter(), nodes: 1u64 << m }
+            DiameterPoint {
+                m,
+                diameter: t.diameter(),
+                nodes: 1u64 << m,
+            }
         })
         .collect()
 }

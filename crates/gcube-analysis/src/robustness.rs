@@ -64,9 +64,7 @@ pub fn connectivity_robustness<T: Topology + ?Sized>(
             }
             let dist = search::bfs_distances(topo, NodeId(v), &faults);
             let reached = (0..n)
-                .filter(|&u| {
-                    !faults.is_node_faulty(NodeId(u)) && dist[u as usize] != u32::MAX
-                })
+                .filter(|&u| !faults.is_node_faulty(NodeId(u)) && dist[u as usize] != u32::MAX)
                 .count() as u64;
             reached_fracs.push(reached as f64 / healthy_total as f64);
             if reached != healthy_total {
@@ -145,7 +143,11 @@ pub fn algorithmic_robustness(
         trials,
         delivery_ratio: delivered as f64 / attempted.max(1) as f64,
         precondition_ratio: precond as f64 / trials.max(1) as f64,
-        mean_detour: if delivered == 0 { 0.0 } else { detour_sum as f64 / delivered as f64 },
+        mean_detour: if delivered == 0 {
+            0.0
+        } else {
+            detour_sum as f64 / delivered as f64
+        },
     }
 }
 
@@ -181,7 +183,11 @@ mod tests {
         let r1 = connectivity_robustness(&gc, 2, 20, 7);
         let r2 = connectivity_robustness(&gc, 24, 20, 7);
         assert!(r1.pair_connectivity >= r2.pair_connectivity);
-        assert!(r1.pair_connectivity > 0.9, "2 faults in 256 nodes: {}", r1.pair_connectivity);
+        assert!(
+            r1.pair_connectivity > 0.9,
+            "2 faults in 256 nodes: {}",
+            r1.pair_connectivity
+        );
     }
 
     #[test]
@@ -205,7 +211,11 @@ mod tests {
         let gc = GaussianCube::new(8, 2).unwrap();
         let r = algorithmic_robustness(&gc, 1, 10, 20, 3);
         assert!(r.delivery_ratio > 0.95, "delivery {}", r.delivery_ratio);
-        assert!(r.precondition_ratio > 0.9, "precondition {}", r.precondition_ratio);
+        assert!(
+            r.precondition_ratio > 0.9,
+            "precondition {}",
+            r.precondition_ratio
+        );
         assert!(r.mean_detour < 4.0, "detour {}", r.mean_detour);
     }
 

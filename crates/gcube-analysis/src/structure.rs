@@ -79,7 +79,11 @@ mod tests {
         // grows, once M ≥ 2.
         for n in [8u32, 10, 12] {
             let r = structure_row(n, 4);
-            assert!(r.availability <= 4, "GC({n},4) availability {}", r.availability);
+            assert!(
+                r.availability <= 4,
+                "GC({n},4) availability {}",
+                r.availability
+            );
         }
     }
 }

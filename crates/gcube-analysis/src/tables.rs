@@ -17,13 +17,20 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row; must match the header arity.
     pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row arity must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
         self.rows.push(row);
         self
     }
@@ -78,7 +85,14 @@ impl Table {
             assert!(!c.contains(','), "CSV cells must not contain commas");
             c.to_string()
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

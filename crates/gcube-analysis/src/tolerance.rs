@@ -28,7 +28,11 @@ pub fn series(max_n: u32) -> Vec<TolerancePoint> {
                 n,
                 alpha,
                 t_paper,
-                log2_t_paper: if t_paper > 0 { (t_paper as f64).log2() } else { f64::NEG_INFINITY },
+                log2_t_paper: if t_paper > 0 {
+                    (t_paper as f64).log2()
+                } else {
+                    f64::NEG_INFINITY
+                },
                 t_guaranteed: max_tolerable_faults_guaranteed(n, alpha),
             });
         }
@@ -55,8 +59,7 @@ mod tests {
             // shorter and a little steeper).
             let first = line.first().unwrap();
             let last = line.last().unwrap();
-            let slope =
-                (last.log2_t_paper - first.log2_t_paper) / f64::from(last.n - first.n);
+            let slope = (last.log2_t_paper - first.log2_t_paper) / f64::from(last.n - first.n);
             assert!(
                 (0.4..=1.3).contains(&slope),
                 "α={alpha} slope {slope} outside the expected band"
@@ -67,7 +70,10 @@ mod tests {
         // smaller subcubes, which wins for large n: at n = 24 the α = 2 line
         // is far above α = 1, while at small n the ordering differs.
         let at = |n: u32, alpha: u32| {
-            s.iter().find(|p| p.n == n && p.alpha == alpha).unwrap().t_paper
+            s.iter()
+                .find(|p| p.n == n && p.alpha == alpha)
+                .unwrap()
+                .t_paper
         };
         assert!(at(24, 2) > at(24, 1));
         assert!(at(10, 2) > at(10, 4));

@@ -14,8 +14,10 @@ fn bench_multicast(c: &mut Criterion) {
     let mut g = c.benchmark_group("multicast_walk");
     for (n, m, fanout) in [(8u32, 2u64, 8usize), (10, 2, 16), (10, 4, 16)] {
         let gc = GaussianCube::new(n, m).unwrap();
-        let dests: BTreeSet<NodeId> =
-            (1..gc_limit(n)).step_by(gc_limit(n) as usize / fanout).map(NodeId).collect();
+        let dests: BTreeSet<NodeId> = (1..gc_limit(n))
+            .step_by(gc_limit(n) as usize / fanout)
+            .map(NodeId)
+            .collect();
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_m{m}_d{}", dests.len())),
             &n,
@@ -34,15 +36,21 @@ fn bench_broadcast(c: &mut Criterion) {
     g.sample_size(20);
     for (n, m) in [(8u32, 2u64), (10, 2), (12, 4)] {
         let gc = GaussianCube::new(n, m).unwrap();
-        g.bench_with_input(BenchmarkId::new("tree", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| broadcast_tree(&gc, black_box(NodeId(0))).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("schedule", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| binomial_broadcast_schedule(&gc, black_box(NodeId(0))).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("gather", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| gather_schedule(&gc, black_box(NodeId(0))).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tree", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| broadcast_tree(&gc, black_box(NodeId(0))).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("schedule", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| binomial_broadcast_schedule(&gc, black_box(NodeId(0))).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gather", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| gather_schedule(&gc, black_box(NodeId(0))).unwrap()),
+        );
     }
     g.finish();
 }

@@ -9,7 +9,9 @@ fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_run");
     g.sample_size(10);
     for n in [6u32, 8, 10] {
-        let cfg = SimConfig::new(n, 2).with_cycles(100, 1_000, 10).with_rate(0.01);
+        let cfg = SimConfig::new(n, 2)
+            .with_cycles(100, 1_000, 10)
+            .with_rate(0.01);
         g.bench_with_input(BenchmarkId::new("ffgcr", n), &cfg, |b, cfg| {
             b.iter(|| Simulator::new(black_box(cfg.clone()), &FaultFreeGcr).run())
         });

@@ -83,7 +83,9 @@ fn main() {
                     continue;
                 }
                 let opt_ff = ffgcr::route_len(&gc, s, d) as u64;
-                let Some(masked) = search::distance(&gc, s, d, &truth) else { continue };
+                let Some(masked) = search::distance(&gc, s, d, &truth) else {
+                    continue;
+                };
                 bfs.push(u64::from(masked) - opt_ff.min(u64::from(masked)));
                 if let Ok((r, _)) = ftgcr::route(&gc, &truth, s, d) {
                     omni.push(r.hops() as u64 - opt_ff.min(r.hops() as u64));

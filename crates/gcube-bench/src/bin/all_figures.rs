@@ -4,7 +4,9 @@
 
 use gcube_analysis::tables::{num, Table};
 use gcube_analysis::{diameter, structure, tolerance};
-use gcube_bench::{fault_free_sweep, fault_impact_sweep, results_dir};
+use gcube_bench::{
+    churn_rates, churn_sweep, fault_free_sweep, fault_impact_sweep, log2_cell, results_dir,
+};
 use gcube_topology::{GaussianTree, Topology};
 
 fn main() {
@@ -18,10 +20,16 @@ fn main() {
         let t = GaussianTree::new(m).unwrap();
         for l in t.links() {
             let (a, b) = l.endpoints();
-            fig1.row([m.to_string(), l.dim.to_string(), a.0.to_string(), b.0.to_string()]);
+            fig1.row([
+                m.to_string(),
+                l.dim.to_string(),
+                a.0.to_string(),
+                b.0.to_string(),
+            ]);
         }
     }
-    fig1.write_csv(&dir.join("fig1_gaussian_graphs.csv")).unwrap();
+    fig1.write_csv(&dir.join("fig1_gaussian_graphs.csv"))
+        .unwrap();
     println!("[fig1] G_2..G_4 edge lists: {} edges total", fig1.len());
 
     // Figure 2: tree diameters.
@@ -47,7 +55,9 @@ fn main() {
     println!("[fig4] log2 T(GC(α,n)) for α in 1..=4, n ≤ 24");
 
     // Structure table (supporting §1 density discussion).
-    let mut st = Table::new(["n", "M", "nodes", "links", "min_deg", "max_deg", "mean_deg", "avail"]);
+    let mut st = Table::new([
+        "n", "M", "nodes", "links", "min_deg", "max_deg", "mean_deg", "avail",
+    ]);
     for r in structure::density_sweep(&[6, 8, 10, 12], &[1, 2, 4, 8]) {
         st.row([
             r.n.to_string(),
@@ -79,7 +89,7 @@ fn main() {
             p.config.n.to_string(),
             p.config.modulus.to_string(),
             num(p.metrics.throughput(), 4),
-            num(p.metrics.log2_throughput(), 3),
+            log2_cell(p.metrics.log2_throughput()),
         ]);
     }
     fig5.write_csv(&dir.join("fig5_latency.csv")).unwrap();
@@ -99,14 +109,37 @@ fn main() {
         ]);
         fig8.row([
             h.config.n.to_string(),
-            num(h.metrics.log2_throughput(), 3),
-            num(f.metrics.log2_throughput(), 3),
+            log2_cell(h.metrics.log2_throughput()),
+            log2_cell(f.metrics.log2_throughput()),
         ]);
     }
     fig7.write_csv(&dir.join("fig7_fault_latency.csv")).unwrap();
-    fig8.write_csv(&dir.join("fig8_fault_throughput.csv")).unwrap();
+    fig8.write_csv(&dir.join("fig8_fault_throughput.csv"))
+        .unwrap();
     print!("{}", fig7.render());
     print!("{}", fig8.render());
+
+    // Beyond the paper: degradation under dynamic fault churn.
+    println!("[churn] running degradation-under-churn sweep (GC(9,2))…");
+    let churn = churn_sweep();
+    let mut ct = Table::new([
+        "churn_rate",
+        "fault_events",
+        "delivery_ratio",
+        "rerouted_packets",
+    ]);
+    for (rate, p) in churn_rates().iter().zip(&churn) {
+        let m = p.report.metrics;
+        ct.row([
+            num(*rate, 3),
+            m.fault_events.to_string(),
+            num(m.delivery_ratio(), 4),
+            m.rerouted_packets.to_string(),
+        ]);
+    }
+    ct.write_csv(&dir.join("churn_degradation_summary.csv"))
+        .unwrap();
+    print!("{}", ct.render());
 
     println!("\nall figures written to {}", dir.display());
 }

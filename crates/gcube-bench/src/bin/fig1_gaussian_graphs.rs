@@ -13,7 +13,11 @@ fn main() {
         let t = GaussianTree::new(m).expect("small m");
         println!("G_{m}: {} nodes, {} edges", t.num_nodes(), t.num_links());
         assert!(gcube_topology::search::is_connected(&t, &NoFaults));
-        assert_eq!(t.num_links(), t.num_nodes() - 1, "Theorem 2: G_{m} is a tree");
+        assert_eq!(
+            t.num_links(),
+            t.num_nodes() - 1,
+            "Theorem 2: G_{m} is a tree"
+        );
         for dim in 0..m {
             let edges: Vec<String> = t
                 .links()
@@ -33,8 +37,9 @@ fn main() {
             println!("  dim {dim} ({} edges): {}", edges.len(), edges.join(" "));
         }
         // Show each node's degree for the drawing.
-        let degs: Vec<String> =
-            (0..t.num_nodes()).map(|v| format!("{}:{}", v, t.degree(NodeId(v)))).collect();
+        let degs: Vec<String> = (0..t.num_nodes())
+            .map(|v| format!("{}:{}", v, t.degree(NodeId(v))))
+            .collect();
         println!("  degrees: {}\n", degs.join(" "));
     }
     let path = results_dir().join("fig1_gaussian_graphs.csv");

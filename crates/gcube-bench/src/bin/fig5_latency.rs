@@ -6,8 +6,14 @@ use gcube_bench::{fault_free_sweep, results_dir};
 
 fn main() {
     let points = fault_free_sweep();
-    let mut table =
-        Table::new(["n", "M", "avg_latency_cycles", "avg_hops", "delivered", "injected"]);
+    let mut table = Table::new([
+        "n",
+        "M",
+        "avg_latency_cycles",
+        "avg_hops",
+        "delivered",
+        "injected",
+    ]);
     for p in &points {
         table.row([
             p.config.n.to_string(),

@@ -2,7 +2,7 @@
 //! same sweep as Figure 5.
 
 use gcube_analysis::tables::{num, Table};
-use gcube_bench::{fault_free_sweep, results_dir};
+use gcube_bench::{fault_free_sweep, log2_cell, results_dir};
 
 fn main() {
     let points = fault_free_sweep();
@@ -12,7 +12,7 @@ fn main() {
             p.config.n.to_string(),
             p.config.modulus.to_string(),
             num(p.metrics.throughput(), 4),
-            num(p.metrics.log2_throughput(), 3),
+            log2_cell(p.metrics.log2_throughput()),
         ]);
     }
     println!("Figure 6 — log2 throughput vs dimension (fault-free, FFGCR)\n");

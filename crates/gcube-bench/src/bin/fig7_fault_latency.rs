@@ -6,8 +6,13 @@ use gcube_bench::{fault_impact_sweep, results_dir};
 
 fn main() {
     let (healthy, faulty) = fault_impact_sweep();
-    let mut table =
-        Table::new(["n", "latency_no_fault", "latency_one_fault", "hops_no_fault", "hops_one_fault"]);
+    let mut table = Table::new([
+        "n",
+        "latency_no_fault",
+        "latency_one_fault",
+        "hops_no_fault",
+        "hops_one_fault",
+    ]);
     for (h, f) in healthy.iter().zip(&faulty) {
         assert_eq!(h.config.n, f.config.n);
         table.row([

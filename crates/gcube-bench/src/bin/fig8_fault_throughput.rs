@@ -2,7 +2,7 @@
 //! `GC(n, 2)`, `n ∈ [5, 13]`, FTGCR, no-fault vs one faulty node.
 
 use gcube_analysis::tables::{num, Table};
-use gcube_bench::{fault_impact_sweep, results_dir};
+use gcube_bench::{fault_impact_sweep, log2_cell, results_dir};
 
 fn main() {
     let (healthy, faulty) = fault_impact_sweep();
@@ -17,8 +17,8 @@ fn main() {
         assert_eq!(h.config.n, f.config.n);
         table.row([
             h.config.n.to_string(),
-            num(h.metrics.log2_throughput(), 3),
-            num(f.metrics.log2_throughput(), 3),
+            log2_cell(h.metrics.log2_throughput()),
+            log2_cell(f.metrics.log2_throughput()),
             num(h.metrics.throughput(), 4),
             num(f.metrics.throughput(), 4),
         ]);

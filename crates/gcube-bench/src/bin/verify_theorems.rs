@@ -58,7 +58,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    report.check("theorem1", t1_ok, format!("{pairs_checked} (node, dim) pairs"));
+    report.check(
+        "theorem1",
+        t1_ok,
+        format!("{pairs_checked} (node, dim) pairs"),
+    );
 
     // 2. Theorem 2.
     let mut t2_ok = true;
@@ -79,9 +83,7 @@ fn main() -> ExitCode {
             let dist = search::bfs_distances(&gc, NodeId(s), &NoFaults);
             for d in 0..gc.num_nodes() {
                 let r = ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap();
-                if r.hops() as u32 != dist[d as usize]
-                    || r.validate(&gc, &NoFaults).is_err()
-                {
+                if r.hops() as u32 != dist[d as usize] || r.validate(&gc, &NoFaults).is_err() {
                     ok = false;
                 }
                 pairs += 1;
@@ -117,8 +119,7 @@ fn main() -> ExitCode {
                     }
                     match ftgcr::route(&gc, &faults, NodeId(s), NodeId(d)) {
                         Ok((r, _)) => {
-                            if r.validate(&gc, &faults).is_err()
-                                || r.nodes().contains(&NodeId(fv))
+                            if r.validate(&gc, &faults).is_err() || r.nodes().contains(&NodeId(fv))
                             {
                                 ok = false;
                             }

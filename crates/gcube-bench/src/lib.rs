@@ -12,6 +12,7 @@
 //! | `fig6_throughput`       | Fig. 6 — log2 throughput vs `n` |
 //! | `fig7_fault_latency`    | Fig. 7 — latency, no-fault vs one fault |
 //! | `fig8_fault_throughput` | Fig. 8 — throughput, no-fault vs one fault |
+//! | `churn_degradation`     | beyond the paper: delivery under fault churn |
 //! | `all_figures`           | runs everything, writes `results/*.csv` |
 //!
 //! (Figure 3 is a worked example of the CT algorithm; it is reproduced by
@@ -19,7 +20,16 @@
 
 use std::path::PathBuf;
 
-use gcube_sim::{run_sweep, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm, SimConfig, SweepPoint};
+use gcube_sim::{
+    run_churn_sweep, run_sweep, CategoryMix, ChurnPoint, FaultFreeGcr, FaultKind, FaultSchedule,
+    FaultTolerantGcr, KnowledgeModel, RoutingAlgorithm, SimConfig, SweepPoint,
+};
+
+/// Format an optional `log2` value for a table cell (`n/a` when the
+/// underlying quantity was zero and the logarithm is undefined).
+pub fn log2_cell(v: Option<f64>) -> String {
+    v.map_or_else(|| "n/a".to_string(), |x| gcube_analysis::tables::num(x, 3))
+}
 
 /// Where the figure binaries drop their CSVs (`results/` at the workspace
 /// root, overridable with `GCUBE_RESULTS_DIR`).
@@ -51,7 +61,11 @@ pub fn quick() -> bool {
 /// The Figure 5/6 sweep: fault-free `GC(n, M)`, `n ∈ [6, 14]`,
 /// `M ∈ {1, 2, 4}`, FFGCR.
 pub fn fault_free_sweep() -> Vec<SweepPoint> {
-    let (inject, drain, warmup) = if quick() { (120, 2_000, 20) } else { (600, 10_000, 100) };
+    let (inject, drain, warmup) = if quick() {
+        (120, 2_000, 20)
+    } else {
+        (600, 10_000, 100)
+    };
     let mut configs = Vec::new();
     for &m in &[1u64, 2, 4] {
         for n in 6..=14u32 {
@@ -69,7 +83,11 @@ pub fn fault_free_sweep() -> Vec<SweepPoint> {
 /// The Figure 7/8 sweep: `GC(n, 2)`, `n ∈ [5, 13]`, FTGCR, zero vs one
 /// faulty node.
 pub fn fault_impact_sweep() -> (Vec<SweepPoint>, Vec<SweepPoint>) {
-    let (inject, drain, warmup) = if quick() { (120, 2_000, 20) } else { (600, 10_000, 100) };
+    let (inject, drain, warmup) = if quick() {
+        (120, 2_000, 20)
+    } else {
+        (600, 10_000, 100)
+    };
     let mk = |faults: usize| -> Vec<SimConfig> {
         (5..=13u32)
             .map(|n| {
@@ -84,6 +102,46 @@ pub fn fault_impact_sweep() -> (Vec<SweepPoint>, Vec<SweepPoint>) {
     let healthy = run_sweep(&mk(0), &FaultTolerantGcr, threads());
     let faulty = run_sweep(&mk(1), &FaultTolerantGcr, threads());
     (healthy, faulty)
+}
+
+/// The degradation-under-churn sweep: `GC(9, 2)`, FTGCR with online
+/// recovery, transient faults arriving at increasing Bernoulli rates under
+/// the paper-delay knowledge model. Returns one [`ChurnPoint`] per churn
+/// rate, in increasing-rate order.
+pub fn churn_sweep() -> Vec<ChurnPoint> {
+    let (inject, drain) = if quick() {
+        (400, 4_000)
+    } else {
+        (2_000, 10_000)
+    };
+    let configs: Vec<SimConfig> = churn_rates()
+        .into_iter()
+        .map(|churn| {
+            SimConfig::new(9, 2)
+                .with_cycles(inject, drain, 0)
+                .with_rate(0.01)
+                .with_seed(0xc09_0000)
+                .with_knowledge(KnowledgeModel::PaperDelay)
+                .with_window(inject / 10)
+                .with_schedule(if churn == 0.0 {
+                    FaultSchedule::None
+                } else {
+                    FaultSchedule::Bernoulli {
+                        rate: churn,
+                        kind: FaultKind::Transient { repair_after: 200 },
+                        mix: CategoryMix::default(),
+                        node_fraction: 0.5,
+                    }
+                })
+        })
+        .collect();
+    run_churn_sweep(&configs, &FaultTolerantGcr, threads())
+}
+
+/// The churn arrival rates used by [`churn_sweep`], aligned with its
+/// output order.
+pub fn churn_rates() -> [f64; 6] {
+    [0.0, 0.002, 0.005, 0.01, 0.02, 0.05]
 }
 
 /// Convenience: run one algorithm over one config (used by benches).

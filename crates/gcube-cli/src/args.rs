@@ -4,7 +4,35 @@
 use std::fmt;
 
 use gcube_sim::traffic::TrafficPattern;
+use gcube_sim::{CategoryMix, FaultKind, FaultSchedule, FaultTarget, KnowledgeModel, TimedFault};
 use gcube_topology::{LinkId, NodeId};
+
+/// Dynamic-fault options of `gcube simulate` (all default to "off").
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnArgs {
+    /// Fault events applied mid-run.
+    pub schedule: FaultSchedule,
+    /// Knowledge-convergence model.
+    pub knowledge: KnowledgeModel,
+    /// Per-packet hop budget override.
+    pub ttl: Option<u64>,
+    /// Per-packet local re-route budget.
+    pub reroute_budget: u32,
+    /// Delivery-ratio window width in cycles.
+    pub window: u64,
+}
+
+impl Default for ChurnArgs {
+    fn default() -> ChurnArgs {
+        ChurnArgs {
+            schedule: FaultSchedule::None,
+            knowledge: KnowledgeModel::Oracle,
+            ttl: None,
+            reroute_budget: 8,
+            window: 100,
+        }
+    }
+}
 
 /// Parsed CLI command.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,7 +63,8 @@ pub enum Command {
         fault_free: bool,
     },
     /// `gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K]
-    /// [--pattern P] [--seed S]` — run the cycle simulator.
+    /// [--pattern P] [--seed S]` plus the churn flags (see [`USAGE`]) —
+    /// run the cycle simulator.
     Simulate {
         /// Dimension.
         n: u32,
@@ -51,6 +80,8 @@ pub enum Command {
         pattern: TrafficPattern,
         /// RNG seed.
         seed: u64,
+        /// Dynamic-fault options.
+        churn: ChurnArgs,
     },
     /// `gcube diameter [max_m]` — Figure 2 series.
     Diameter {
@@ -95,12 +126,25 @@ USAGE:
   gcube topology <n> <M>
   gcube route <n> <M> <src> <dst> [--fault-node V]... [--fault-link V:DIM]... [--fault-free]
   gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K] [--pattern P] [--seed S]
+                 [--churn R | --fault-at SPEC]... [--fault-kind KIND] [--mix A:B:C]
+                 [--node-fraction F] [--knowledge MODEL] [--ttl T]
+                 [--reroute-budget B] [--window W]
   gcube diameter [max_m]
   gcube tolerance [max_n]
   gcube robustness <n> <M> <k>
   gcube help
 
 PATTERNS: uniform (default), complement, reversal, transpose
+CHURN (dynamic faults applied while packets are in flight):
+  --churn R            per-cycle Bernoulli fault-arrival probability
+  --fault-at SPEC      scripted event, CYCLE:node:V or CYCLE:link:V:DIM (repeatable)
+  --fault-kind KIND    permanent (default) | transient:REPAIR | intermittent:DOWN:PERIOD
+  --mix A:B:C          category placement weights for --churn (default 1:1:1)
+  --node-fraction F    probability a --churn arrival hits a node, not a link (default 0.5)
+  --knowledge MODEL    oracle (default) | paper | measured — stale-view convergence
+  --ttl T              per-packet hop budget (default 4n+16)
+  --reroute-budget B   local re-routes per packet before dropping (default 8)
+  --window W           delivery-ratio window width in cycles (default 100)
 Node labels are decimal or binary with a 0b prefix.";
 
 fn parse_label(s: &str) -> Result<u64, ParseError> {
@@ -113,7 +157,73 @@ fn parse_label(s: &str) -> Result<u64, ParseError> {
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
-    s.parse().map_err(|_| ParseError(format!("invalid {what}: {s}")))
+    s.parse()
+        .map_err(|_| ParseError(format!("invalid {what}: {s}")))
+}
+
+/// `permanent` | `transient:REPAIR` | `intermittent:DOWN:PERIOD`.
+fn parse_kind(s: &str) -> Result<FaultKind, ParseError> {
+    let mut parts = s.split(':');
+    match parts.next() {
+        Some("permanent") => match parts.next() {
+            None => Ok(FaultKind::Permanent),
+            Some(_) => Err(ParseError(format!("permanent takes no parameters: {s}"))),
+        },
+        Some("transient") => {
+            let repair_after = parse_num(parts.next().unwrap_or(""), "transient repair delay")?;
+            Ok(FaultKind::Transient { repair_after })
+        }
+        Some("intermittent") => {
+            let down_for = parse_num(parts.next().unwrap_or(""), "intermittent down time")?;
+            let period = parse_num(parts.next().unwrap_or(""), "intermittent period")?;
+            if period <= down_for {
+                return Err(ParseError(format!(
+                    "intermittent period must exceed its down time: {s}"
+                )));
+            }
+            Ok(FaultKind::Intermittent { down_for, period })
+        }
+        _ => Err(ParseError(format!(
+            "fault kind must be permanent, transient:REPAIR or intermittent:DOWN:PERIOD, got {s}"
+        ))),
+    }
+}
+
+/// `A:B:C` category weights.
+fn parse_mix(s: &str) -> Result<CategoryMix, ParseError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [a, b, c] = parts.as_slice() else {
+        return Err(ParseError(format!("mix must be A:B:C, got {s}")));
+    };
+    Ok(CategoryMix {
+        a: parse_num(a, "A-category weight")?,
+        b: parse_num(b, "B-category weight")?,
+        c: parse_num(c, "C-category weight")?,
+    })
+}
+
+/// `CYCLE:node:V` or `CYCLE:link:V:DIM`; the persistence comes from the
+/// session-wide `--fault-kind`.
+fn parse_timed(s: &str, kind: FaultKind) -> Result<TimedFault, ParseError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        [cycle, "node", v] => Ok(TimedFault {
+            cycle: parse_num(cycle, "event cycle")?,
+            target: FaultTarget::Node(NodeId(parse_label(v)?)),
+            kind,
+        }),
+        [cycle, "link", v, dim] => Ok(TimedFault {
+            cycle: parse_num(cycle, "event cycle")?,
+            target: FaultTarget::Link(LinkId::new(
+                NodeId(parse_label(v)?),
+                parse_num(dim, "link dimension")?,
+            )),
+            kind,
+        }),
+        _ => Err(ParseError(format!(
+            "fault event must be CYCLE:node:V or CYCLE:link:V:DIM, got {s}"
+        ))),
+    }
 }
 
 /// Parse an argument vector (without the program name).
@@ -143,9 +253,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     }
                     "--fault-link" => {
                         let spec = next(&mut it, "fault link")?;
-                        let (v, dim) = spec
-                            .split_once(':')
-                            .ok_or_else(|| ParseError(format!("fault link must be V:DIM, got {spec}")))?;
+                        let (v, dim) = spec.split_once(':').ok_or_else(|| {
+                            ParseError(format!("fault link must be V:DIM, got {spec}"))
+                        })?;
                         fault_links.push(LinkId::new(
                             NodeId(parse_label(v)?),
                             parse_num(dim, "link dimension")?,
@@ -155,7 +265,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     other => return Err(ParseError(format!("unknown flag: {other}"))),
                 }
             }
-            Ok(Command::Route { n, modulus, s, d, fault_nodes, fault_links, fault_free })
+            Ok(Command::Route {
+                n,
+                modulus,
+                s,
+                d,
+                fault_nodes,
+                fault_links,
+                fault_free,
+            })
         }
         "simulate" => {
             let n = parse_num(next(&mut it, "n")?, "dimension n")?;
@@ -165,6 +283,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut faults = 0usize;
             let mut pattern = TrafficPattern::Uniform;
             let mut seed = 0x6ca5u64;
+            let mut churn = ChurnArgs::default();
+            let mut churn_rate: Option<f64> = None;
+            let mut kind = FaultKind::Permanent;
+            let mut mix = CategoryMix::default();
+            let mut node_fraction = 0.5f64;
+            // Raw --fault-at specs are re-parsed once --fault-kind is known
+            // (flags may come in any order).
+            let mut raw_events: Vec<String> = Vec::new();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--rate" => rate = parse_num(next(&mut it, "rate")?, "rate")?,
@@ -180,10 +306,64 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             p => return Err(ParseError(format!("unknown pattern: {p}"))),
                         }
                     }
+                    "--churn" => {
+                        churn_rate = Some(parse_num(next(&mut it, "churn rate")?, "churn rate")?)
+                    }
+                    "--fault-at" => raw_events.push(next(&mut it, "fault event")?.clone()),
+                    "--fault-kind" => kind = parse_kind(next(&mut it, "fault kind")?)?,
+                    "--mix" => mix = parse_mix(next(&mut it, "category mix")?)?,
+                    "--node-fraction" => {
+                        node_fraction = parse_num(next(&mut it, "node fraction")?, "node fraction")?
+                    }
+                    "--knowledge" => {
+                        churn.knowledge = match next(&mut it, "knowledge model")?.as_str() {
+                            "oracle" => KnowledgeModel::Oracle,
+                            "paper" => KnowledgeModel::PaperDelay,
+                            "measured" => KnowledgeModel::Measured,
+                            m => return Err(ParseError(format!("unknown knowledge model: {m}"))),
+                        }
+                    }
+                    "--ttl" => churn.ttl = Some(parse_num(next(&mut it, "ttl")?, "ttl")?),
+                    "--reroute-budget" => {
+                        churn.reroute_budget =
+                            parse_num(next(&mut it, "reroute budget")?, "reroute budget")?
+                    }
+                    "--window" => churn.window = parse_num(next(&mut it, "window")?, "window")?,
                     other => return Err(ParseError(format!("unknown flag: {other}"))),
                 }
             }
-            Ok(Command::Simulate { n, modulus, rate, cycles, faults, pattern, seed })
+            if churn_rate.is_some() && !raw_events.is_empty() {
+                return Err(ParseError(
+                    "--churn and --fault-at are mutually exclusive".into(),
+                ));
+            }
+            if let Some(r) = churn_rate {
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(ParseError(format!("churn rate must be in [0, 1], got {r}")));
+                }
+                churn.schedule = FaultSchedule::Bernoulli {
+                    rate: r,
+                    kind,
+                    mix,
+                    node_fraction,
+                };
+            } else if !raw_events.is_empty() {
+                let events = raw_events
+                    .iter()
+                    .map(|s| parse_timed(s, kind))
+                    .collect::<Result<Vec<_>, _>>()?;
+                churn.schedule = FaultSchedule::Scripted(events);
+            }
+            Ok(Command::Simulate {
+                n,
+                modulus,
+                rate,
+                cycles,
+                faults,
+                pattern,
+                seed,
+                churn,
+            })
         }
         "diameter" => {
             let max_m = match it.next() {
@@ -212,11 +392,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
 }
 
-fn next<'a>(
-    it: &mut std::slice::Iter<'a, String>,
-    what: &str,
-) -> Result<&'a String, ParseError> {
-    it.next().ok_or_else(|| ParseError(format!("missing argument: {what}\n\n{USAGE}")))
+fn next<'a>(it: &mut std::slice::Iter<'a, String>, what: &str) -> Result<&'a String, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("missing argument: {what}\n\n{USAGE}")))
 }
 
 fn reject_extra(it: &mut std::slice::Iter<'_, String>) -> Result<(), ParseError> {
@@ -246,10 +424,20 @@ mod tests {
 
     #[test]
     fn parses_route_with_faults() {
-        let c = parse(&argv("route 8 4 0 0b1011 --fault-node 6 --fault-link 2:2 --fault-free"))
-            .unwrap();
+        let c = parse(&argv(
+            "route 8 4 0 0b1011 --fault-node 6 --fault-link 2:2 --fault-free",
+        ))
+        .unwrap();
         match c {
-            Command::Route { n, modulus, s, d, fault_nodes, fault_links, fault_free } => {
+            Command::Route {
+                n,
+                modulus,
+                s,
+                d,
+                fault_nodes,
+                fault_links,
+                fault_free,
+            } => {
                 assert_eq!((n, modulus, s, d), (8, 4, 0, 0b1011));
                 assert_eq!(fault_nodes, vec![NodeId(6)]);
                 assert_eq!(fault_links, vec![LinkId::new(NodeId(2), 2)]);
@@ -263,18 +451,34 @@ mod tests {
     fn parses_simulate_defaults_and_flags() {
         let c = parse(&argv("simulate 10 2")).unwrap();
         match c {
-            Command::Simulate { n, modulus, rate, faults, pattern, .. } => {
+            Command::Simulate {
+                n,
+                modulus,
+                rate,
+                faults,
+                pattern,
+                churn,
+                ..
+            } => {
                 assert_eq!((n, modulus), (10, 2));
                 assert_eq!(rate, 0.005);
                 assert_eq!(faults, 0);
                 assert_eq!(pattern, TrafficPattern::Uniform);
+                assert_eq!(churn, ChurnArgs::default());
             }
             other => panic!("wrong command: {other:?}"),
         }
-        let c = parse(&argv("simulate 8 2 --rate 0.02 --faults 1 --pattern complement"))
-            .unwrap();
+        let c = parse(&argv(
+            "simulate 8 2 --rate 0.02 --faults 1 --pattern complement",
+        ))
+        .unwrap();
         match c {
-            Command::Simulate { rate, faults, pattern, .. } => {
+            Command::Simulate {
+                rate,
+                faults,
+                pattern,
+                ..
+            } => {
                 assert_eq!(rate, 0.02);
                 assert_eq!(faults, 1);
                 assert_eq!(pattern, TrafficPattern::BitComplement);
@@ -284,13 +488,103 @@ mod tests {
     }
 
     #[test]
+    fn parses_simulate_bernoulli_churn() {
+        let c = parse(&argv(
+            "simulate 8 2 --churn 0.02 --fault-kind transient:40 --mix 2:1:0.5 \
+             --node-fraction 0.3 --knowledge paper --ttl 64 --reroute-budget 4 --window 50",
+        ))
+        .unwrap();
+        let Command::Simulate { churn, .. } = c else {
+            panic!("wrong command: {c:?}")
+        };
+        assert_eq!(
+            churn.schedule,
+            FaultSchedule::Bernoulli {
+                rate: 0.02,
+                kind: FaultKind::Transient { repair_after: 40 },
+                mix: CategoryMix {
+                    a: 2.0,
+                    b: 1.0,
+                    c: 0.5
+                },
+                node_fraction: 0.3,
+            }
+        );
+        assert_eq!(churn.knowledge, KnowledgeModel::PaperDelay);
+        assert_eq!(churn.ttl, Some(64));
+        assert_eq!(churn.reroute_budget, 4);
+        assert_eq!(churn.window, 50);
+    }
+
+    #[test]
+    fn parses_simulate_scripted_churn() {
+        // --fault-kind after --fault-at must still apply (order-free flags).
+        let c = parse(&argv(
+            "simulate 8 2 --fault-at 300:node:9 --fault-at 400:link:0b10:3 \
+             --fault-kind intermittent:5:20 --knowledge measured",
+        ))
+        .unwrap();
+        let Command::Simulate { churn, .. } = c else {
+            panic!("wrong command: {c:?}")
+        };
+        let kind = FaultKind::Intermittent {
+            down_for: 5,
+            period: 20,
+        };
+        assert_eq!(
+            churn.schedule,
+            FaultSchedule::Scripted(vec![
+                TimedFault {
+                    cycle: 300,
+                    target: FaultTarget::Node(NodeId(9)),
+                    kind
+                },
+                TimedFault {
+                    cycle: 400,
+                    target: FaultTarget::Link(LinkId::new(NodeId(0b10), 3)),
+                    kind,
+                },
+            ])
+        );
+        assert_eq!(churn.knowledge, KnowledgeModel::Measured);
+    }
+
+    #[test]
+    fn rejects_bad_churn_flags() {
+        for bad in [
+            "simulate 8 2 --churn 0.1 --fault-at 10:node:1", // mutually exclusive
+            "simulate 8 2 --churn 1.5",                      // rate out of range
+            "simulate 8 2 --fault-at 10:disk:1",             // unknown target
+            "simulate 8 2 --fault-kind transient",           // missing parameter
+            "simulate 8 2 --fault-kind intermittent:9:9",    // period <= down
+            "simulate 8 2 --mix 1:2",                        // not three weights
+            "simulate 8 2 --knowledge psychic",              // unknown model
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
     fn parses_series_commands() {
-        assert_eq!(parse(&argv("diameter")), Ok(Command::Diameter { max_m: 14 }));
-        assert_eq!(parse(&argv("diameter 10")), Ok(Command::Diameter { max_m: 10 }));
-        assert_eq!(parse(&argv("tolerance 20")), Ok(Command::Tolerance { max_n: 20 }));
+        assert_eq!(
+            parse(&argv("diameter")),
+            Ok(Command::Diameter { max_m: 14 })
+        );
+        assert_eq!(
+            parse(&argv("diameter 10")),
+            Ok(Command::Diameter { max_m: 10 })
+        );
+        assert_eq!(
+            parse(&argv("tolerance 20")),
+            Ok(Command::Tolerance { max_n: 20 })
+        );
         assert_eq!(
             parse(&argv("robustness 8 2 4")),
-            Ok(Command::Robustness { n: 8, modulus: 2, k: 4 })
+            Ok(Command::Robustness {
+                n: 8,
+                modulus: 2,
+                k: 4
+            })
         );
     }
 

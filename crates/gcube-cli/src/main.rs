@@ -12,7 +12,7 @@ mod args;
 
 use std::process::ExitCode;
 
-use args::{parse, Command, USAGE};
+use args::{parse, ChurnArgs, Command, USAGE};
 use gcube_analysis::robustness::{algorithmic_robustness, connectivity_robustness};
 use gcube_analysis::tables::{num, Table};
 use gcube_analysis::{diameter, structure, tolerance};
@@ -46,12 +46,25 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Topology { n, modulus } => topology(n, modulus),
-        Command::Route { n, modulus, s, d, fault_nodes, fault_links, fault_free } => {
-            route(n, modulus, s, d, fault_nodes, fault_links, fault_free)
-        }
-        Command::Simulate { n, modulus, rate, cycles, faults, pattern, seed } => {
-            simulate(n, modulus, rate, cycles, faults, pattern, seed)
-        }
+        Command::Route {
+            n,
+            modulus,
+            s,
+            d,
+            fault_nodes,
+            fault_links,
+            fault_free,
+        } => route(n, modulus, s, d, fault_nodes, fault_links, fault_free),
+        Command::Simulate {
+            n,
+            modulus,
+            rate,
+            cycles,
+            faults,
+            pattern,
+            seed,
+            churn,
+        } => simulate(n, modulus, rate, cycles, faults, pattern, seed, churn),
         Command::Diameter { max_m } => {
             let mut t = Table::new(["m", "nodes", "diameter"]);
             for p in diameter::series(max_m.min(20)) {
@@ -140,11 +153,19 @@ fn route(
     let (s, d) = (NodeId(s), NodeId(d));
     if !faults.is_empty() {
         let counts = categorize(&gc, &faults);
-        println!("faults: {counts:?}; Theorem-5 precondition: {}", theorem5_precondition(&gc, &faults));
+        println!(
+            "faults: {counts:?}; Theorem-5 precondition: {}",
+            theorem5_precondition(&gc, &faults)
+        );
     }
     if fault_free {
         let r = ffgcr::route(&gc, s, d).map_err(|e| e.to_string())?;
-        println!("FFGCR {} -> {} ({} hops, optimal):", s.to_binary(n), d.to_binary(n), r.hops());
+        println!(
+            "FFGCR {} -> {} ({} hops, optimal):",
+            s.to_binary(n),
+            d.to_binary(n),
+            r.hops()
+        );
         println!("  {r}");
     } else {
         let (r, stats) = ftgcr::route(&gc, &faults, s, d).map_err(|e| e.to_string())?;
@@ -162,12 +183,17 @@ fn route(
             stats.masked_columns,
             stats.flip_moves,
             stats.bounces_inserted,
-            if stats.bfs_fallback { " [BFS fallback]" } else { "" }
+            if stats.bfs_fallback {
+                " [BFS fallback]"
+            } else {
+                ""
+            }
         );
     }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate(
     n: u32,
     modulus: u64,
@@ -176,34 +202,99 @@ fn simulate(
     faults: usize,
     pattern: gcube_sim::traffic::TrafficPattern,
     seed: u64,
+    churn: ChurnArgs,
 ) -> Result<(), String> {
     if n > 14 {
         return Err("simulation supports n <= 14 (16k nodes)".into());
     }
-    let cfg = SimConfig::new(n, modulus)
+    let dynamic = !churn.schedule.is_none();
+    let mut cfg = SimConfig::new(n, modulus)
         .with_rate(rate)
         .with_cycles(cycles, cycles * 20, cycles / 10)
         .with_faults(faults)
         .with_pattern(pattern)
-        .with_seed(seed);
-    let algo: &dyn RoutingAlgorithm =
-        if faults == 0 { &FaultFreeGcr } else { &FaultTolerantGcr };
+        .with_seed(seed)
+        .with_schedule(churn.schedule)
+        .with_knowledge(churn.knowledge)
+        .with_reroute_budget(churn.reroute_budget)
+        .with_window(churn.window);
+    if let Some(ttl) = churn.ttl {
+        cfg = cfg.with_ttl(ttl);
+    }
+    // Any fault — static or dynamic — needs the fault-tolerant strategy.
+    let algo: &dyn RoutingAlgorithm = if faults == 0 && !dynamic {
+        &FaultFreeGcr
+    } else {
+        &FaultTolerantGcr
+    };
     let sim = Simulator::new(cfg, algo);
     if faults > 0 {
         let list: Vec<String> = sim.faults().faulty_nodes().map(|v| v.to_string()).collect();
         println!("faulty nodes: {}", list.join(", "));
     }
-    let m = sim.run();
+    let r = sim.run_report();
+    let m = r.metrics;
     println!("algorithm        : {}", algo.name());
     println!("injected         : {}", m.injected);
     println!("delivered        : {}", m.delivered);
     println!("route failures   : {}", m.route_failures);
     println!("avg latency      : {:.3} cycles", m.avg_latency());
     println!("avg hops         : {:.3}", m.avg_hops());
-    println!("throughput       : {:.4} pkts/cycle (log2 {:.3})", m.throughput(), m.log2_throughput());
+    let log2 = m
+        .log2_throughput()
+        .map_or_else(|| "n/a".into(), |v| format!("{v:.3}"));
+    println!(
+        "throughput       : {:.4} pkts/cycle (log2 {log2})",
+        m.throughput()
+    );
     println!("measured cycles  : {}", m.cycles);
+    if dynamic {
+        println!("fault events     : {}", m.fault_events);
+        println!(
+            "dropped          : {} ({} by TTL)",
+            m.dropped, m.ttl_expired
+        );
+        println!("rerouted packets : {}", m.rerouted_packets);
+        println!("detour hops      : {}", m.rerouted_hops);
+        println!(
+            "stale knowledge  : {} cycles over {} reconvergences",
+            m.stale_cycles, m.reconvergences
+        );
+        println!("delivery windows (cycles: delivered/resolved ratio):");
+        for w in &r.windows {
+            println!(
+                "  {:>6}..{:<6} inj {:>5}  dlv {:>5}  drop {:>4}  ratio {:.3}",
+                w.start,
+                w.end,
+                w.injected,
+                w.delivered,
+                w.dropped,
+                w.delivery_ratio()
+            );
+        }
+        if !r.trace.is_empty() {
+            println!("fault trace ({} events):", r.trace.len());
+            for e in r.trace.iter().take(20) {
+                let what = match e.target {
+                    gcube_sim::FaultTarget::Node(v) => format!("node {v}"),
+                    gcube_sim::FaultTarget::Link(l) => format!("link {l}"),
+                };
+                let act = match e.action {
+                    gcube_sim::FaultAction::Fail => "fail",
+                    gcube_sim::FaultAction::Repair => "repair",
+                };
+                println!("  cycle {:>6}: {act:<6} {what}", e.cycle);
+            }
+            if r.trace.len() > 20 {
+                println!("  ... {} more", r.trace.len() - 20);
+            }
+        }
+    }
     if m.in_flight_at_end > 0 {
-        println!("WARNING: {} packets undrained (raise --cycles?)", m.in_flight_at_end);
+        println!(
+            "WARNING: {} packets undrained (raise --cycles?)",
+            m.in_flight_at_end
+        );
     }
     Ok(())
 }

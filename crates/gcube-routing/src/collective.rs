@@ -68,7 +68,10 @@ pub fn multicast_walk(
 /// Sum of independent unicast lengths from `s` to each destination — the
 /// baseline [`multicast_walk`] is measured against.
 pub fn independent_unicast_cost(gc: &GaussianCube, s: NodeId, dests: &BTreeSet<NodeId>) -> u64 {
-    dests.iter().map(|&d| u64::from(ffgcr::route_len(gc, s, d))).sum()
+    dests
+        .iter()
+        .map(|&d| u64::from(ffgcr::route_len(gc, s, d)))
+        .sum()
 }
 
 /// A spanning broadcast tree rooted at `s`: `parent[v]` is the node that
@@ -144,8 +147,15 @@ pub fn broadcast_tree(gc: &GaussianCube, s: NodeId) -> Result<BroadcastTree, Rou
             }
         }
     }
-    debug_assert!(depth.iter().all(|&d| d != u32::MAX), "a healthy GC is connected");
-    Ok(BroadcastTree { root: s, parent, depth })
+    debug_assert!(
+        depth.iter().all(|&d| d != u32::MAX),
+        "a healthy GC is connected"
+    );
+    Ok(BroadcastTree {
+        root: s,
+        parent,
+        depth,
+    })
 }
 
 /// A single-port broadcast schedule: in each round, every *informed* node
@@ -259,8 +269,7 @@ mod tests {
     #[test]
     fn multicast_visits_everything() {
         let gc = GaussianCube::new(8, 4).unwrap();
-        let dests: BTreeSet<NodeId> =
-            [3u64, 77, 200, 255, 128].into_iter().map(NodeId).collect();
+        let dests: BTreeSet<NodeId> = [3u64, 77, 200, 255, 128].into_iter().map(NodeId).collect();
         let walk = multicast_walk(&gc, NodeId(0), &dests).unwrap();
         walk.validate(&gc, &NoFaults).unwrap();
         let visited: HashSet<NodeId> = walk.nodes().iter().copied().collect();
@@ -285,10 +294,16 @@ mod tests {
         let empty = BTreeSet::new();
         assert_eq!(multicast_walk(&gc, NodeId(5), &empty).unwrap().hops(), 0);
         let only_self: BTreeSet<_> = [NodeId(5)].into_iter().collect();
-        assert_eq!(multicast_walk(&gc, NodeId(5), &only_self).unwrap().hops(), 0);
+        assert_eq!(
+            multicast_walk(&gc, NodeId(5), &only_self).unwrap().hops(),
+            0
+        );
         let one: BTreeSet<_> = [NodeId(9)].into_iter().collect();
         let w = multicast_walk(&gc, NodeId(5), &one).unwrap();
-        assert_eq!(w.hops() as u32, search::distance(&gc, NodeId(5), NodeId(9), &NoFaults).unwrap());
+        assert_eq!(
+            w.hops() as u32,
+            search::distance(&gc, NodeId(5), NodeId(9), &NoFaults).unwrap()
+        );
     }
 
     #[test]
@@ -296,8 +311,10 @@ mod tests {
         // Clustered destinations share long prefixes of their routes: the
         // greedy chain must beat independent unicasts strictly.
         let gc = GaussianCube::new(10, 2).unwrap();
-        let dests: BTreeSet<NodeId> =
-            [1000u64, 1001, 1003, 1007, 960].into_iter().map(NodeId).collect();
+        let dests: BTreeSet<NodeId> = [1000u64, 1001, 1003, 1007, 960]
+            .into_iter()
+            .map(NodeId)
+            .collect();
         let walk = multicast_walk(&gc, NodeId(0), &dests).unwrap();
         let indep = independent_unicast_cost(&gc, NodeId(0), &dests);
         assert!(
@@ -313,7 +330,11 @@ mod tests {
             let gc = GaussianCube::new(n, m).unwrap();
             let t = broadcast_tree(&gc, NodeId(1)).unwrap();
             t.validate(&gc).unwrap();
-            assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 1, "only the root");
+            assert_eq!(
+                t.parent.iter().filter(|p| p.is_none()).count(),
+                1,
+                "only the root"
+            );
             let ecc = search::eccentricity(&gc, NodeId(1), &NoFaults).unwrap();
             assert_eq!(t.max_depth(), ecc, "BFS tree depth = eccentricity");
             // Every non-root node's parent is strictly shallower.
@@ -338,7 +359,10 @@ mod tests {
             for &(from, to) in round {
                 assert!(informed.contains(&from), "sender must already know");
                 assert!(!informed.contains(&to), "receiver must be new");
-                assert!(this_round_senders.insert(from), "single-port: one send per round");
+                assert!(
+                    this_round_senders.insert(from),
+                    "single-port: one send per round"
+                );
                 let dims = from.differing_dims(to);
                 assert_eq!(dims.len(), 1);
                 assert!(gc.has_link(from, dims[0]));
@@ -350,7 +374,11 @@ mod tests {
         assert!(rounds.len() as u32 >= 7);
         // And the schedule shouldn't be catastrophically deep.
         let depth = broadcast_tree(&gc, NodeId(0)).unwrap().max_depth();
-        assert!(rounds.len() as u32 <= depth + 8, "rounds {} depth {depth}", rounds.len());
+        assert!(
+            rounds.len() as u32 <= depth + 8,
+            "rounds {} depth {depth}",
+            rounds.len()
+        );
     }
 
     #[test]

@@ -123,11 +123,7 @@ pub fn ct_walk(tree: &GaussianTree, r: NodeId, dests: &BTreeSet<NodeId>) -> Vec<
 /// The edge set of the Steiner tree of `{r} ∪ dests` in `tree`: the union of
 /// the tree-path edges from `r` to each destination. (In a tree this union
 /// *is* the minimal connecting subtree.)
-pub fn steiner_edges(
-    tree: &GaussianTree,
-    r: NodeId,
-    dests: &BTreeSet<NodeId>,
-) -> HashSet<LinkId> {
+pub fn steiner_edges(tree: &GaussianTree, r: NodeId, dests: &BTreeSet<NodeId>) -> HashSet<LinkId> {
     let mut edges = HashSet::new();
     for &d in dests {
         let p = pc_path(tree, r, d);
@@ -149,7 +145,12 @@ mod tests {
         assert_eq!(walk[0], r, "walk starts at r");
         assert_eq!(*walk.last().unwrap(), r, "walk returns to r");
         for w in walk.windows(2) {
-            assert!(tree.edge_dim(w[0], w[1]).is_some(), "invalid hop {} -> {}", w[0], w[1]);
+            assert!(
+                tree.edge_dim(w[0], w[1]).is_some(),
+                "invalid hop {} -> {}",
+                w[0],
+                w[1]
+            );
         }
         let visited: HashSet<NodeId> = walk.iter().copied().collect();
         for d in dests {
@@ -251,6 +252,9 @@ mod tests {
         let t = GaussianTree::new(4).unwrap();
         let all: BTreeSet<_> = (0..16u64).map(NodeId).collect();
         // Steiner tree spanning every node = the whole tree: 15 edges.
-        assert_eq!(steiner_edges(&t, NodeId(0), &all).len() as u64, t.num_nodes() - 1);
+        assert_eq!(
+            steiner_edges(&t, NodeId(0), &all).len() as u64,
+            t.num_nodes() - 1
+        );
     }
 }

@@ -173,7 +173,10 @@ mod tests {
                 let (r, stats) = route_distributed(&gc, &truth, &km, s, d)
                     .unwrap_or_else(|e| panic!("{s}->{d}: {e} truth={truth:?}"));
                 r.validate(&gc, &truth).unwrap();
-                assert!(stats.header_items <= truth.len(), "claim 5: header ≤ F items");
+                assert!(
+                    stats.header_items <= truth.len(),
+                    "claim 5: header ≤ F items"
+                );
                 // Local knowledge costs at most a bounded premium over the
                 // omniscient router.
                 let (omni, _) = ftgcr::route(&gc, &truth, s, d).unwrap();

@@ -45,6 +45,20 @@ impl FaultSet {
         self.links.insert(l);
     }
 
+    /// Repair a node: it participates in routing again. Returns whether the
+    /// node was faulty. Links that were *explicitly* marked faulty stay
+    /// faulty — only the implicit "faulty endpoint kills the link" effect
+    /// is lifted.
+    pub fn remove_node(&mut self, n: NodeId) -> bool {
+        self.nodes.remove(&n)
+    }
+
+    /// Repair an explicitly faulty link. Returns whether it was marked.
+    /// The link may still be unusable if an endpoint is a faulty node.
+    pub fn remove_link(&mut self, l: LinkId) -> bool {
+        self.links.remove(&l)
+    }
+
     /// Whether the node itself is faulty.
     #[inline]
     pub fn is_node_faulty(&self, n: NodeId) -> bool {
@@ -162,7 +176,9 @@ pub fn categorize(gc: &GaussianCube, faults: &FaultSet) -> CategoryCounts {
 /// standing assumption).
 pub fn only_a_category(gc: &GaussianCube, faults: &FaultSet) -> bool {
     faults.faulty_nodes().next().is_none()
-        && faults.faulty_links().all(|l| link_category(gc, l) == FaultCategory::A)
+        && faults
+            .faulty_links()
+            .all(|l| link_category(gc, l) == FaultCategory::A)
 }
 
 /// Number of faulty components charged to the subcube `GEEC(α, k, t)`:
@@ -381,17 +397,29 @@ mod tests {
     #[test]
     fn link_categories_split_at_alpha() {
         let gc = gc84(); // α = 2
-        assert_eq!(link_category(&gc, LinkId::new(NodeId(0), 0)), FaultCategory::B);
-        assert_eq!(link_category(&gc, LinkId::new(NodeId(1), 1)), FaultCategory::B);
-        assert_eq!(link_category(&gc, LinkId::new(NodeId(2), 2)), FaultCategory::A);
-        assert_eq!(link_category(&gc, LinkId::new(NodeId(0), 4)), FaultCategory::A);
+        assert_eq!(
+            link_category(&gc, LinkId::new(NodeId(0), 0)),
+            FaultCategory::B
+        );
+        assert_eq!(
+            link_category(&gc, LinkId::new(NodeId(1), 1)),
+            FaultCategory::B
+        );
+        assert_eq!(
+            link_category(&gc, LinkId::new(NodeId(2), 2)),
+            FaultCategory::A
+        );
+        assert_eq!(
+            link_category(&gc, LinkId::new(NodeId(0), 4)),
+            FaultCategory::A
+        );
     }
 
     #[test]
     fn node_categories_follow_dim_sets() {
         let gc = gc84(); // α = 2; Dim(0)={4}, Dim(1)={5}, Dim(2)={2,6}, Dim(3)={3,7}
-        // Every class of GC(8,4) has at least one high dimension, so every
-        // node fault is C-category.
+                         // Every class of GC(8,4) has at least one high dimension, so every
+                         // node fault is C-category.
         for v in 0..gc.num_nodes() {
             assert_eq!(node_category(&gc, NodeId(v)), FaultCategory::C);
         }
@@ -499,7 +527,14 @@ mod tests {
         f.add_link(LinkId::new(NodeId(0b11), 3)); // class-3 side, block 0
         f.add_link(LinkId::new(NodeId(0b10), 0)); // crossing link 2<->3
         let cf = crossing_faults(&gc, &f, 2, 3, 0);
-        assert_eq!(cf, CrossingFaults { e_s: 1, e_t: 1, e_cross: 1 });
+        assert_eq!(
+            cf,
+            CrossingFaults {
+                e_s: 1,
+                e_t: 1,
+                e_cross: 1
+            }
+        );
         // Same faults seen from a different block: nothing.
         let cf1 = crossing_faults(&gc, &f, 2, 3, 1);
         assert_eq!(cf1, CrossingFaults::default());

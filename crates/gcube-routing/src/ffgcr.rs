@@ -114,7 +114,10 @@ fn realize(gc: &GaussianCube, s: NodeId, d: NodeId, plan: &Plan) -> Result<Route
             let c = tree
                 .edge_dim(prev, k)
                 .expect("plan walk follows tree edges");
-            debug_assert!(gc.has_link(cur, c), "tree-edge link must exist at every member");
+            debug_assert!(
+                gc.has_link(cur, c),
+                "tree-edge link must exist at every member"
+            );
             cur = cur.flip(c);
             nodes.push(cur);
         }

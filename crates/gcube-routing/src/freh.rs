@@ -104,7 +104,11 @@ where
             }
             v
         };
-        debug_assert_eq!(clear(r), clear(d), "r and d must lie in the same crossing block");
+        debug_assert_eq!(
+            clear(r),
+            clear(d),
+            "r and d must lie in the same crossing block"
+        );
     }
     if !mask.node_ok(r) || !mask.node_ok(d) {
         return None;
@@ -141,9 +145,9 @@ where
         if !cross_ok(mask, cur, cross_dim) && masked.insert(cur) {
             stats.masked_columns += 1;
         }
-        let Some(w) =
-            best_usable_column(mask, &vc, cur, ideal, other, d, cross_dim, &masked, &landings)
-        else {
+        let Some(w) = best_usable_column(
+            mask, &vc, cur, ideal, other, d, cross_dim, &masked, &landings,
+        ) else {
             break; // no usable column on this side: fallback
         };
         if w != cur {
@@ -257,7 +261,10 @@ where
         let own: &[u32] = if x.bit(cross_dim) { dims1 } else { dims0 };
         let mut out = Vec::with_capacity(own.len() + 1);
         for &dim in own.iter().chain(std::iter::once(&cross_dim)) {
-            debug_assert!(host.has_link(x, dim), "block structure must provide the link");
+            debug_assert!(
+                host.has_link(x, dim),
+                "block structure must provide the link"
+            );
             if mask.link_ok(LinkId::new(x, dim)) && mask.node_ok(x.flip(dim)) {
                 out.push(x.flip(dim));
             }
@@ -434,8 +441,8 @@ mod tests {
                         if f.is_node_faulty(NodeId(d)) {
                             continue;
                         }
-                        let (route, stats) = route(&e, &f, NodeId(r), NodeId(d))
-                            .unwrap_or_else(|err| {
+                        let (route, stats) =
+                            route(&e, &f, NodeId(r), NodeId(d)).unwrap_or_else(|err| {
                                 panic!("EH({s},{t}) {r}->{d} failed: {err} faults={f:?}")
                             });
                         route.validate(&e, &f).unwrap();
@@ -445,7 +452,8 @@ mod tests {
                         let dist_masked = search::distance(&e, NodeId(r), NodeId(d), &f)
                             .expect("precondition keeps healthy pairs connected")
                             as usize;
-                        let bound = (h + 2 * total_faults + 2).max(dist_masked + 2 * total_faults + 2);
+                        let bound =
+                            (h + 2 * total_faults + 2).max(dist_masked + 2 * total_faults + 2);
                         assert!(
                             route.hops() <= bound,
                             "hop bound violated: {r}->{d} hops={} H={h} opt={dist_masked} \
@@ -455,7 +463,10 @@ mod tests {
                     }
                 }
             }
-            assert!(tested > 10, "sampler produced too few precondition-satisfying sets");
+            assert!(
+                tested > 10,
+                "sampler produced too few precondition-satisfying sets"
+            );
             // The block-BFS fallback is a rare escape hatch, not the common
             // path.
             assert!(
@@ -480,7 +491,10 @@ mod tests {
         let (route, _) = route(&e, &f, NodeId(34), NodeId(35)).unwrap();
         route.validate(&e, &f).unwrap();
         let optimal = search::distance(&e, NodeId(34), NodeId(35), &f).unwrap();
-        assert_eq!(optimal, 7, "the true masked distance refutes the paper bound");
+        assert_eq!(
+            optimal, 7,
+            "the true masked distance refutes the paper bound"
+        );
         assert_eq!(route.hops(), 7, "FREH finds the optimum here");
         assert_eq!(e.dist(NodeId(34), NodeId(35)), 1);
     }
@@ -503,8 +517,7 @@ mod tests {
                 if f.is_node_faulty(NodeId(d)) {
                     continue;
                 }
-                let reachable =
-                    search::distance(&e, NodeId(r), NodeId(d), &f).is_some();
+                let reachable = search::distance(&e, NodeId(r), NodeId(d), &f).is_some();
                 match route(&e, &f, NodeId(r), NodeId(d)) {
                     Ok((rt, _)) => {
                         assert!(reachable);
@@ -594,15 +607,28 @@ mod diagnostics {
     }
 
     fn precondition_holds(e: &ExchangedHypercube, f: &FaultSet) -> bool {
-        let mut fs = 0usize; let mut ft = 0usize; let mut fx = 0usize;
+        let mut fs = 0usize;
+        let mut ft = 0usize;
+        let mut fx = 0usize;
         for n in f.faulty_nodes() {
-            if e.class_bit(n) { ft += 1; } else { fs += 1; }
+            if e.class_bit(n) {
+                ft += 1;
+            } else {
+                fs += 1;
+            }
         }
         for l in f.faulty_links() {
             let (a, b) = l.endpoints();
-            if f.is_node_faulty(a) || f.is_node_faulty(b) { continue; }
-            if l.dim == 0 { fx += 1; }
-            else if e.class_bit(a) { ft += 1; } else { fs += 1; }
+            if f.is_node_faulty(a) || f.is_node_faulty(b) {
+                continue;
+            }
+            if l.dim == 0 {
+                fx += 1;
+            } else if e.class_bit(a) {
+                ft += 1;
+            } else {
+                fs += 1;
+            }
         }
         (fs + fx) < e.s() as usize && (ft + fx) < e.t() as usize
     }
@@ -624,16 +650,26 @@ mod diagnostics {
                     let dim = dims[(rng.next() % dims.len() as u64) as usize];
                     f.add_link(LinkId::new(v, dim));
                 }
-                if !precondition_holds(&e, &f) { continue; }
+                if !precondition_holds(&e, &f) {
+                    continue;
+                }
                 for r in 0..e.num_nodes() {
-                    if f.is_node_faulty(NodeId(r)) { continue; }
+                    if f.is_node_faulty(NodeId(r)) {
+                        continue;
+                    }
                     for d in 0..e.num_nodes() {
-                        if f.is_node_faulty(NodeId(d)) { continue; }
+                        if f.is_node_faulty(NodeId(d)) {
+                            continue;
+                        }
                         let (route, stats) = route(&e, &f, NodeId(r), NodeId(d)).unwrap();
                         let h = e.dist(NodeId(r), NodeId(d)) as usize;
                         if stats.bfs_fallback || route.hops() > h + 2 * f.len() + 2 {
-                            println!("EH({s},{t}) {r}->{d} hops={} H={h} F={} fb={} faults={f:?}",
-                                route.hops(), f.len(), stats.bfs_fallback);
+                            println!(
+                                "EH({s},{t}) {r}->{d} hops={} H={h} F={} fb={} faults={f:?}",
+                                route.hops(),
+                                f.len(),
+                                stats.bfs_fallback
+                            );
                             println!("route: {route}");
                             let bfsd = search::distance(&e, NodeId(r), NodeId(d), &f);
                             println!("masked bfs dist: {bfsd:?}");

@@ -129,7 +129,12 @@ fn repair_exec_plan(
         // Candidate moves: shift one dim of class kk between two of its
         // visits a ≤ bad_i < b; this toggles that bit in corners[a..b].
         let visit_indices = |kk: u64, ep: &ExecPlan| -> Vec<usize> {
-            ep.walk.iter().enumerate().filter(|(_, &w)| w == kk).map(|(i, _)| i).collect()
+            ep.walk
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w == kk)
+                .map(|(i, _)| i)
+                .collect()
         };
         let classes: HashSet<u64> = ep.walk.iter().copied().collect();
         for &kk in &classes {
@@ -436,7 +441,10 @@ mod tests {
                 }
             }
         }
-        assert!(tested >= 20, "sampler produced too few valid fault sets ({tested})");
+        assert!(
+            tested >= 20,
+            "sampler produced too few valid fault sets ({tested})"
+        );
     }
 
     #[test]
@@ -480,7 +488,10 @@ mod tests {
                 }
             }
         }
-        assert!(tested >= 15, "sampler produced too few valid fault sets ({tested})");
+        assert!(
+            tested >= 15,
+            "sampler produced too few valid fault sets ({tested})"
+        );
     }
 
     #[test]
@@ -571,8 +582,14 @@ mod diagnostics {
         let mut worst = 0usize;
         let mut worst_case = None;
         for v in (0..gc.num_nodes()).step_by(13) {
-            let high: Vec<u32> = gc.link_dims(NodeId(v)).into_iter().filter(|&c| c >= 1).collect();
-            if high.is_empty() { continue; }
+            let high: Vec<u32> = gc
+                .link_dims(NodeId(v))
+                .into_iter()
+                .filter(|&c| c >= 1)
+                .collect();
+            if high.is_empty() {
+                continue;
+            }
             for &dim in &high {
                 let mut f = FaultSet::new();
                 f.add_link(LinkId::new(NodeId(v), dim));

@@ -69,7 +69,12 @@ impl VirtualCube {
                 }
             }
         }
-        VirtualCube { base, dims: dims.to_vec(), node_faulty, link_faulty }
+        VirtualCube {
+            base,
+            dims: dims.to_vec(),
+            node_faulty,
+            link_faulty,
+        }
     }
 
     /// A plain fault-free `Q_n` as a virtual cube (for baselines/tests).
@@ -119,7 +124,11 @@ impl VirtualCube {
                 c |= 1 << i;
             }
         }
-        debug_assert_eq!(self.node(c), node, "node is not a member of this virtual cube");
+        debug_assert_eq!(
+            self.node(c),
+            node,
+            "node is not a member of this virtual cube"
+        );
         c
     }
 
@@ -420,7 +429,9 @@ mod tests {
         // pattern of up to 3 faults drawn from a deterministic sample.
         let mut seed = 0xdeadbeefu64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for _trial in 0..100 {
@@ -458,7 +469,9 @@ mod tests {
         let n = 4u32;
         let mut rng_state = 0x12345678u64;
         let mut next = move || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng_state >> 33
         };
         for _trial in 0..200 {
@@ -476,8 +489,7 @@ mod tests {
                     assert_cube_walk(&cube, &p, s, d);
                     let h = (s ^ d).count_ones() as usize;
                     assert!(
-                        p.len() - 1 <= h + 2 * stats.spares_used as usize
-                            || stats.backtracked,
+                        p.len() - 1 <= h + 2 * stats.spares_used as usize || stats.backtracked,
                         "hop accounting violated"
                     );
                 }

@@ -46,7 +46,9 @@ impl KnowledgeMap {
     /// which do not participate).
     pub fn known_by(&self, node: NodeId) -> &HashSet<FaultItem> {
         static EMPTY: std::sync::OnceLock<HashSet<FaultItem>> = std::sync::OnceLock::new();
-        self.known.get(&node).unwrap_or_else(|| EMPTY.get_or_init(HashSet::new))
+        self.known
+            .get(&node)
+            .unwrap_or_else(|| EMPTY.get_or_init(HashSet::new))
     }
 
     /// Whether `node` knows about this fault item.
@@ -195,7 +197,11 @@ mod tests {
         for coord in 0..4u64 {
             let member = gcube_topology::classes::node_at(
                 &g,
-                gcube_topology::classes::SubcubePos { k: pos.k, t: pos.t, coord },
+                gcube_topology::classes::SubcubePos {
+                    k: pos.k,
+                    t: pos.t,
+                    coord,
+                },
             );
             assert!(
                 km.knows(member, FaultItem::Link(fault_link)),

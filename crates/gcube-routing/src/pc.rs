@@ -18,7 +18,10 @@ use gcube_topology::{GaussianTree, NodeId, Topology};
 /// # Panics
 /// Panics if `s` or `d` is out of range for the tree.
 pub fn pc_path(tree: &GaussianTree, s: NodeId, d: NodeId) -> Vec<NodeId> {
-    assert!(s.0 < tree.num_nodes() && d.0 < tree.num_nodes(), "nodes out of range");
+    assert!(
+        s.0 < tree.num_nodes() && d.0 < tree.num_nodes(),
+        "nodes out of range"
+    );
     let mut out = Vec::new();
     out.push(s);
     pc_extend(tree, s, d, &mut out);
@@ -92,8 +95,14 @@ mod tests {
     fn trivial_and_neighbour_paths() {
         let t = GaussianTree::new(3).unwrap();
         assert_eq!(pc_path(&t, NodeId(5), NodeId(5)), vec![NodeId(5)]);
-        assert_eq!(pc_path(&t, NodeId(4), NodeId(5)), vec![NodeId(4), NodeId(5)]);
-        assert_eq!(pc_path(&t, NodeId(5), NodeId(4)), vec![NodeId(5), NodeId(4)]);
+        assert_eq!(
+            pc_path(&t, NodeId(4), NodeId(5)),
+            vec![NodeId(4), NodeId(5)]
+        );
+        assert_eq!(
+            pc_path(&t, NodeId(5), NodeId(4)),
+            vec![NodeId(5), NodeId(4)]
+        );
     }
 
     #[test]
@@ -135,7 +144,10 @@ mod tests {
         let t = GaussianTree::new(6).unwrap();
         for s in (0..64).step_by(7) {
             for d in (0..64).step_by(5) {
-                assert_eq!(pc_dist(&t, NodeId(s), NodeId(d)), t.dist(NodeId(s), NodeId(d)));
+                assert_eq!(
+                    pc_dist(&t, NodeId(s), NodeId(d)),
+                    t.dist(NodeId(s), NodeId(d))
+                );
             }
         }
     }

@@ -87,7 +87,9 @@ impl Route {
                 return Err(RoutingError::InvalidHop { from: a, to: b });
             }
             if !mask.link_ok(LinkId::new(a, dims[0])) {
-                return Err(RoutingError::FaultyLinkOnRoute { link: LinkId::new(a, dims[0]) });
+                return Err(RoutingError::FaultyLinkOnRoute {
+                    link: LinkId::new(a, dims[0]),
+                });
             }
         }
         Ok(())
@@ -160,7 +162,10 @@ impl fmt::Display for RoutingError {
                 write!(f, "no healthy route from {from} to {to}")
             }
             RoutingError::DetourBudgetExceeded { stuck_at } => {
-                write!(f, "detour budget exceeded at {stuck_at} (preconditions violated)")
+                write!(
+                    f,
+                    "detour budget exceeded at {stuck_at} (preconditions violated)"
+                )
             }
             RoutingError::InvalidHop { from, to } => {
                 write!(f, "hop {from} -> {to} is not a link of the topology")
@@ -216,7 +221,10 @@ mod tests {
         let q = Hypercube::new(2).unwrap();
         // 0 -> 3 flips two bits at once.
         let r = Route::new(vec![NodeId(0), NodeId(3)]);
-        assert!(matches!(r.validate(&q, &NoFaults), Err(RoutingError::InvalidHop { .. })));
+        assert!(matches!(
+            r.validate(&q, &NoFaults),
+            Err(RoutingError::InvalidHop { .. })
+        ));
         // Out of range node.
         let r = Route::new(vec![NodeId(0), NodeId(8)]);
         assert!(r.validate(&q, &NoFaults).is_err());
@@ -258,6 +266,8 @@ mod tests {
     fn display_formats() {
         let r = Route::new(vec![NodeId(0), NodeId(1)]);
         assert_eq!(r.to_string(), "0 -> 1");
-        assert!(RoutingError::SourceFaulty(NodeId(7)).to_string().contains('7'));
+        assert!(RoutingError::SourceFaulty(NodeId(7))
+            .to_string()
+            .contains('7'));
     }
 }

@@ -44,7 +44,10 @@ impl ChannelDependencyGraph {
             let nodes = r.nodes();
             let mut prev: Option<Channel> = None;
             for w in nodes.windows(2) {
-                let ch = Channel { from: w[0], to: w[1] };
+                let ch = Channel {
+                    from: w[0],
+                    to: w[1],
+                };
                 g.channels.insert(ch);
                 if let Some(p) = prev {
                     g.edges.entry(p).or_default().insert(ch);
@@ -85,8 +88,11 @@ impl ChannelDependencyGraph {
         order.sort_unstable();
         // Pre-sort successor lists for determinism.
         let succs_of = |c: Channel| -> Vec<Channel> {
-            let mut v: Vec<Channel> =
-                self.edges.get(&c).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let mut v: Vec<Channel> = self
+                .edges
+                .get(&c)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
             v.sort_unstable();
             v
         };
@@ -96,8 +102,7 @@ impl ChannelDependencyGraph {
             }
             // Iterative DFS: each frame keeps its successor list + cursor.
             marks.insert(start, Mark::Grey);
-            let mut stack: Vec<(Channel, Vec<Channel>, usize)> =
-                vec![(start, succs_of(start), 0)];
+            let mut stack: Vec<(Channel, Vec<Channel>, usize)> = vec![(start, succs_of(start), 0)];
             while let Some(frame) = stack.last_mut() {
                 let (ch, succs, idx) = (frame.0, &frame.1, frame.2);
                 if idx < succs.len() {
@@ -206,7 +211,10 @@ mod tests {
         }
         let cdg = ChannelDependencyGraph::from_routes(&routes);
         let cycle = cdg.find_cycle();
-        assert!(cycle.is_some(), "expected a wormhole-model cycle in the FFGCR CDG");
+        assert!(
+            cycle.is_some(),
+            "expected a wormhole-model cycle in the FFGCR CDG"
+        );
         // The cycle is a genuine closed chain of dependencies.
         let cyc = cycle.unwrap();
         assert!(cyc.len() >= 2);
@@ -290,7 +298,10 @@ pub fn assign_virtual_channels(routes: &[Route]) -> VcAssignment {
         let mut cur_vc = 0usize;
         let mut prev: Option<Channel> = None;
         for w in nodes.windows(2) {
-            let ch = Channel { from: w[0], to: w[1] };
+            let ch = Channel {
+                from: w[0],
+                to: w[1],
+            };
             if let Some(p) = prev {
                 // Try to keep the dependency p -> ch inside the current VC;
                 // escalate until a VC accepts it.
@@ -309,7 +320,10 @@ pub fn assign_virtual_channels(routes: &[Route]) -> VcAssignment {
         }
         vcs.push(route_vcs);
     }
-    VcAssignment { vcs, num_vcs: dags.len().max(1) as u32 }
+    VcAssignment {
+        vcs,
+        num_vcs: dags.len().max(1) as u32,
+    }
 }
 
 #[cfg(test)]
@@ -378,7 +392,11 @@ mod vc_tests {
         }
         let a = assign_virtual_channels(&routes);
         assert!(a.num_vcs >= 2, "cyclic CDG must force >1 VC");
-        assert!(a.num_vcs <= 6, "greedy should stay small, got {}", a.num_vcs);
+        assert!(
+            a.num_vcs <= 6,
+            "greedy should stay small, got {}",
+            a.num_vcs
+        );
         validate_assignment(&routes, &a);
     }
 

@@ -158,4 +158,58 @@ proptest! {
             a != NodeId(fv) && b != NodeId(fv)
         );
     }
+
+    /// Model-based add/repair round-trips: after every operation in an
+    /// arbitrary interleaving, `FaultSet` agrees with a reference model on
+    /// membership and on `is_link_usable` for every probed link.
+    #[test]
+    fn fault_set_matches_model_under_churn(ops in proptest::collection::vec(
+        (0u8..4, 0u64..64, 0u32..6),
+        1..40,
+    )) {
+        let mut f = FaultSet::new();
+        let mut nodes: HashSet<NodeId> = HashSet::new();
+        let mut links: HashSet<LinkId> = HashSet::new();
+        for (kind, v, c) in ops {
+            let node = NodeId(v);
+            let link = LinkId::new(node, c);
+            match kind {
+                0 => { f.add_node(node); nodes.insert(node); }
+                1 => { prop_assert_eq!(f.remove_node(node), nodes.remove(&node)); }
+                2 => { f.add_link(link); links.insert(link); }
+                _ => { prop_assert_eq!(f.remove_link(link), links.remove(&link)); }
+            }
+            prop_assert_eq!(f.len(), nodes.len() + links.len());
+            prop_assert_eq!(f.is_empty(), nodes.is_empty() && links.is_empty());
+            prop_assert_eq!(f.is_node_faulty(node), nodes.contains(&node));
+            prop_assert_eq!(f.is_link_faulty(link), links.contains(&link));
+            let (a, b) = link.endpoints();
+            prop_assert_eq!(
+                f.is_link_usable(link),
+                !links.contains(&link) && !nodes.contains(&a) && !nodes.contains(&b)
+            );
+        }
+    }
+
+    /// Failing then repairing the same components restores the empty set,
+    /// and usability of every incident link returns with it.
+    #[test]
+    fn repair_round_trip_restores_usability((v, c) in (0u64..256, 0u32..8)) {
+        let node = NodeId(v);
+        let link = LinkId::new(node, c);
+        let mut f = FaultSet::new();
+        f.add_node(node);
+        f.add_link(link);
+        prop_assert!(!f.is_link_usable(link));
+        // Repairing the link alone is not enough while the endpoint is dead.
+        prop_assert!(f.remove_link(link));
+        prop_assert!(!f.is_link_usable(link), "faulty endpoint still kills the link");
+        prop_assert!(f.remove_node(node));
+        prop_assert!(f.is_link_usable(link));
+        prop_assert!(f.is_empty());
+        prop_assert_eq!(&f, &FaultSet::new());
+        // Double repair reports nothing to remove.
+        prop_assert!(!f.remove_node(node));
+        prop_assert!(!f.remove_link(link));
+    }
 }

@@ -1,6 +1,29 @@
 //! Simulation configuration.
 
+use crate::injection::FaultSchedule;
 use crate::traffic::TrafficPattern;
+
+/// How quickly routing nodes learn about fault events (paper §6
+/// assumption 4 and claim 4).
+///
+/// The paper assumes each node's fault knowledge is current, reached via
+/// *"at most `⌈n/2^α⌉ + 1` rounds of fault status exchange"*. Under
+/// dynamic faults that assumption has a cost: between a fault event and
+/// the end of the exchange, nodes route on a stale view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KnowledgeModel {
+    /// Every node sees the ground truth instantly (the seed engine's
+    /// implicit model; no staleness).
+    #[default]
+    Oracle,
+    /// After each fault event the view lags the truth for the paper's
+    /// claim-4 bound, `⌈n/2^α⌉ + 1` cycles, then snaps to it.
+    PaperDelay,
+    /// The lag is measured by actually running the synchronous exchange
+    /// protocol ([`gcube_routing::knowledge::exchange_rounds`]) against
+    /// the new ground truth.
+    Measured,
+}
 
 /// Parameters of one simulation run.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +51,18 @@ pub struct SimConfig {
     /// (unbounded buffers); `Some(k)` enables backpressure: a packet only
     /// moves if the target queue has room, and full queues block injection.
     pub buffer_capacity: Option<usize>,
+    /// Dynamic fault events applied while the run is in progress.
+    pub schedule: FaultSchedule,
+    /// How fast routing knowledge converges after a fault event.
+    pub knowledge: KnowledgeModel,
+    /// Maximum local re-route attempts per packet before it is dropped.
+    pub reroute_budget: u32,
+    /// Per-packet hop budget; `None` derives a generous default from the
+    /// network dimension (`4n + 16`). A packet exceeding it is dropped.
+    pub ttl: Option<u64>,
+    /// Width, in cycles, of the delivery-ratio windows in
+    /// [`crate::metrics::ChurnReport`].
+    pub window: u64,
 }
 
 impl SimConfig {
@@ -44,7 +79,17 @@ impl SimConfig {
             faulty_nodes: 0,
             pattern: TrafficPattern::Uniform,
             buffer_capacity: None,
+            schedule: FaultSchedule::None,
+            knowledge: KnowledgeModel::Oracle,
+            reroute_budget: 8,
+            ttl: None,
+            window: 100,
         }
+    }
+
+    /// Effective per-packet hop budget.
+    pub fn effective_ttl(&self) -> u64 {
+        self.ttl.unwrap_or(4 * u64::from(self.n) + 16)
     }
 
     /// Builder-style: set the injection rate.
@@ -90,6 +135,41 @@ impl SimConfig {
         self.buffer_capacity = Some(capacity);
         self
     }
+
+    /// Builder-style: set the dynamic fault schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Builder-style: set the knowledge-convergence model.
+    #[must_use]
+    pub fn with_knowledge(mut self, knowledge: KnowledgeModel) -> Self {
+        self.knowledge = knowledge;
+        self
+    }
+
+    /// Builder-style: set the per-packet re-route budget.
+    #[must_use]
+    pub fn with_reroute_budget(mut self, budget: u32) -> Self {
+        self.reroute_budget = budget;
+        self
+    }
+
+    /// Builder-style: set the per-packet hop budget.
+    #[must_use]
+    pub fn with_ttl(mut self, ttl: u64) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Builder-style: set the delivery-ratio window width (cycles).
+    #[must_use]
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +188,26 @@ mod tests {
         assert_eq!(c.injection_rate, 0.05);
         assert_eq!(c.faulty_nodes, 1);
         assert_eq!(c.seed, 42);
-        assert_eq!((c.inject_cycles, c.drain_cycles, c.warmup_cycles), (100, 50, 10));
+        assert_eq!(
+            (c.inject_cycles, c.drain_cycles, c.warmup_cycles),
+            (100, 50, 10)
+        );
+    }
+
+    #[test]
+    fn churn_builders_and_defaults() {
+        let c = SimConfig::new(8, 2);
+        assert_eq!(c.schedule, FaultSchedule::None);
+        assert_eq!(c.knowledge, KnowledgeModel::Oracle);
+        assert_eq!(c.effective_ttl(), 4 * 8 + 16);
+        let c = c
+            .with_knowledge(KnowledgeModel::PaperDelay)
+            .with_reroute_budget(3)
+            .with_ttl(99)
+            .with_window(50);
+        assert_eq!(c.knowledge, KnowledgeModel::PaperDelay);
+        assert_eq!(c.reroute_budget, 3);
+        assert_eq!(c.effective_ttl(), 99);
+        assert_eq!(c.window, 50);
     }
 }

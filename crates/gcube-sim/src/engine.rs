@@ -12,14 +12,38 @@
 //! full sources refuse injections. That mode exists to *demonstrate* the
 //! assumption's importance: tight buffers genuinely deadlock under load
 //! (see `finite_buffers_apply_backpressure_and_can_deadlock`).
+//!
+//! # Dynamic faults and online recovery
+//!
+//! With a [`FaultSchedule`], the network changes *while packets are in
+//! flight*. The engine then tracks two fault sets:
+//!
+//! - the **truth** — what is actually broken, mutated by the
+//!   [`FaultInjector`] before each cycle;
+//! - the **view** — what routing decisions see. Under
+//!   [`KnowledgeModel::Oracle`] the two coincide; otherwise the view lags
+//!   each fault event by the paper's claim-4 exchange bound
+//!   (`⌈n/2^α⌉ + 1` cycles) or by the measured protocol rounds, and
+//!   packets are planned against stale knowledge.
+//!
+//! A packet whose next hop is dead in the truth cannot move. Its holder
+//! observes the failure (the component is added to the view immediately —
+//! neighbours of a fault notice the silence first) and the engine replans
+//! the packet locally from its current node with the session's routing
+//! algorithm, burning one cycle and one unit of its re-route budget.
+//! Packets are dropped — and counted — when the budget or the TTL is
+//! exhausted, when no recovery route exists, or when the node buffering
+//! them dies.
 
 use std::collections::{HashSet, VecDeque};
 
+use gcube_routing::knowledge::exchange_rounds;
 use gcube_routing::FaultSet;
-use gcube_topology::{GaussianCube, NodeId, Topology};
+use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
 
-use crate::config::SimConfig;
-use crate::metrics::Metrics;
+use crate::config::{KnowledgeModel, SimConfig};
+use crate::injection::FaultInjector;
+use crate::metrics::{ChurnReport, Metrics, WindowStat};
 use crate::packet::Packet;
 use crate::strategy::RoutingAlgorithm;
 use crate::traffic::{place_node_faults, TrafficGen};
@@ -32,16 +56,31 @@ pub struct Simulator<'a> {
     algorithm: &'a dyn RoutingAlgorithm,
 }
 
+/// Why a packet was removed from the network without being delivered.
+enum DropCause {
+    /// The node buffering it failed.
+    Stranded,
+    /// No recovery route, or the re-route budget ran out.
+    Unrecoverable,
+    /// The hop budget ran out.
+    TtlExpired,
+}
+
 impl<'a> Simulator<'a> {
     /// Build a simulator; places `config.faulty_nodes` node faults.
     pub fn new(config: SimConfig, algorithm: &'a dyn RoutingAlgorithm) -> Simulator<'a> {
         let gc = GaussianCube::new(config.n, config.modulus)
             .expect("simulation config must describe a valid Gaussian Cube");
         let faults = place_node_faults(&gc, config.faulty_nodes, config.seed);
-        Simulator { gc, faults, config, algorithm }
+        Simulator {
+            gc,
+            faults,
+            config,
+            algorithm,
+        }
     }
 
-    /// The fault set in effect (for inspection).
+    /// The fault set in effect at cycle zero (for inspection).
     pub fn faults(&self) -> &FaultSet {
         &self.faults
     }
@@ -51,8 +90,27 @@ impl<'a> Simulator<'a> {
         &self.gc
     }
 
-    /// Run to completion and return the metrics.
+    /// The view's convergence lag after a fault event, in cycles.
+    fn knowledge_delay(&self, truth: &FaultSet) -> u64 {
+        match self.config.knowledge {
+            KnowledgeModel::Oracle => 0,
+            KnowledgeModel::PaperDelay => {
+                // Claim 4: at most ⌈n/2^α⌉ + 1 exchange rounds.
+                let d = 1u64 << self.gc.alpha();
+                u64::from(self.gc.n()).div_ceil(d) + 1
+            }
+            KnowledgeModel::Measured => exchange_rounds(&self.gc, truth).rounds().max(1) as u64,
+        }
+    }
+
+    /// Run to completion and return the aggregate metrics.
     pub fn run(&self) -> Metrics {
+        self.run_report().metrics
+    }
+
+    /// Run to completion and return metrics plus the churn time series
+    /// (per-window delivery ratios and the applied fault-event trace).
+    pub fn run_report(&self) -> ChurnReport {
         let n_nodes = self.gc.num_nodes();
         let mut queues: Vec<VecDeque<Packet>> = (0..n_nodes).map(|_| VecDeque::new()).collect();
         let mut traffic = TrafficGen::with_pattern(
@@ -69,14 +127,82 @@ impl<'a> Simulator<'a> {
         let total_cycles = self.config.inject_cycles + self.config.drain_cycles;
         let warmup = self.config.warmup_cycles.min(self.config.inject_cycles);
         let mut in_flight = 0u64;
+        let ttl = self.config.effective_ttl();
+        let window = self.config.window.max(1);
+        let mut windows: Vec<WindowStat> = Vec::new();
 
+        // Ground truth vs. routing view (see module docs). With no
+        // schedule and an oracle view these stay identical to the static
+        // fault set, and the run is bit-for-bit the seed engine's.
+        let mut truth = self.faults.clone();
+        let mut view = self.faults.clone();
+        let mut injector =
+            FaultInjector::new(&self.gc, self.config.schedule.clone(), self.config.seed);
+        let dynamic = !self.config.schedule.is_none();
+        // Cycle at which the view next snaps to the truth, if an exchange
+        // is in progress.
+        let mut converge_at: Option<u64> = None;
+
+        let mut ended_at = total_cycles;
         for cycle in 0..total_cycles {
             let measuring = cycle >= warmup;
-            // 1. Injection phase.
+            let widx = (cycle / window) as usize;
+            if windows.len() <= widx {
+                windows.push(WindowStat {
+                    start: widx as u64 * window,
+                    end: (widx as u64 + 1) * window,
+                    ..WindowStat::default()
+                });
+            }
+
+            // 0. Fault events: mutate the truth, strand queued packets on
+            //    dead nodes, restart the knowledge exchange.
+            if dynamic {
+                let applied = injector.step(cycle, &mut truth);
+                if applied > 0 {
+                    metrics.fault_events += applied as u64;
+                    for (v, queue) in queues.iter_mut().enumerate() {
+                        if truth.is_node_faulty(NodeId(v as u64)) && !queue.is_empty() {
+                            for pkt in queue.split_off(0) {
+                                in_flight -= 1;
+                                self.count_drop(
+                                    &mut metrics,
+                                    &mut windows[widx],
+                                    &pkt,
+                                    DropCause::Stranded,
+                                    measuring,
+                                    warmup,
+                                );
+                            }
+                        }
+                    }
+                    let delay = self.knowledge_delay(&truth);
+                    if delay == 0 {
+                        view = truth.clone();
+                    } else {
+                        // A new event during an ongoing exchange restarts
+                        // it: convergence is measured from the last change.
+                        converge_at = Some(cycle + delay);
+                    }
+                }
+                if let Some(t) = converge_at {
+                    if cycle >= t {
+                        view = truth.clone();
+                        converge_at = None;
+                        metrics.reconvergences += 1;
+                    } else {
+                        metrics.stale_cycles += 1;
+                    }
+                }
+            }
+
+            // 1. Injection phase. Sources route on the *view*: right
+            //    after a fault event they may plan through a dead
+            //    component and only find out en route.
             if cycle < self.config.inject_cycles {
                 for v in 0..n_nodes {
                     let src = NodeId(v);
-                    if self.faults.is_node_faulty(src) || !traffic.fires() {
+                    if truth.is_node_faulty(src) || !traffic.fires() {
                         continue;
                     }
                     if let Some(cap) = capacity {
@@ -88,27 +214,24 @@ impl<'a> Simulator<'a> {
                             continue;
                         }
                     }
-                    let Some(dst) = traffic.pick_dest(&self.gc, &self.faults, src) else {
+                    let Some(dst) = traffic.pick_dest(&self.gc, &view, src) else {
                         continue;
                     };
-                    match self.algorithm.compute_route(&self.gc, &self.faults, src, dst) {
+                    match self.algorithm.compute_route(&self.gc, &view, src, dst) {
                         Ok(route) => {
-                            let pkt = Packet {
-                                id: next_id,
-                                injected_at: cycle,
-                                hop_idx: 0,
-                                route,
-                            };
+                            let pkt = Packet::new(next_id, cycle, route);
                             next_id += 1;
                             if measuring {
                                 metrics.injected += 1;
                             }
+                            windows[widx].injected += 1;
                             if pkt.arrived() {
                                 // src == dst cannot happen (pick_dest), but a
                                 // zero-hop route would sink immediately.
                                 if measuring {
                                     metrics.delivered += 1;
                                 }
+                                windows[widx].delivered += 1;
                             } else {
                                 in_flight += 1;
                                 queues[v as usize].push_back(pkt);
@@ -134,9 +257,52 @@ impl<'a> Simulator<'a> {
             let mut arriving = vec![0usize; n_nodes as usize];
             for i in 0..n_nodes as usize {
                 let v = (i + offset) % n_nodes as usize;
-                let Some(head) = queues[v].front() else { continue };
+                let Some(head) = queues[v].front() else {
+                    continue;
+                };
                 let from = head.current();
                 let to = head.next_hop().expect("queued packets have a next hop");
+                if dynamic {
+                    let dim = (from.0 ^ to.0).trailing_zeros();
+                    let link = LinkId::new(from, dim);
+                    if !truth.is_link_usable(link) {
+                        // The planned hop is dead: the holder observes the
+                        // failure and the engine recovers or drops. Either
+                        // way this packet spends the cycle here.
+                        let cause = self.recover(&mut queues[v], &mut view, &truth, link, to);
+                        if let Some((pkt, cause)) = cause {
+                            in_flight -= 1;
+                            self.count_drop(
+                                &mut metrics,
+                                &mut windows[widx],
+                                &pkt,
+                                cause,
+                                measuring,
+                                warmup,
+                            );
+                        } else if queues[v].front().is_some_and(|p| p.reroutes == 1) {
+                            let measured_pkt = measuring
+                                && queues[v].front().is_some_and(|p| p.injected_at >= warmup);
+                            if measured_pkt {
+                                metrics.rerouted_packets += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    if head.hops_taken >= ttl {
+                        let pkt = queues[v].pop_front().expect("head exists");
+                        in_flight -= 1;
+                        self.count_drop(
+                            &mut metrics,
+                            &mut windows[widx],
+                            &pkt,
+                            DropCause::TtlExpired,
+                            measuring,
+                            warmup,
+                        );
+                        continue;
+                    }
+                }
                 if used_links.contains(&(from, to)) {
                     continue; // link busy this cycle; wait
                 }
@@ -145,9 +311,7 @@ impl<'a> Simulator<'a> {
                     // A packet sinking at its destination always fits
                     // (eager readership at the consumer); otherwise the
                     // target buffer must have room.
-                    if !sinks
-                        && queues[to.0 as usize].len() + arriving[to.0 as usize] >= cap
-                    {
+                    if !sinks && queues[to.0 as usize].len() + arriving[to.0 as usize] >= cap {
                         continue; // backpressure: wait for room
                     }
                 }
@@ -157,6 +321,7 @@ impl<'a> Simulator<'a> {
                 used_links.insert((from, to));
                 let mut pkt = queues[v].pop_front().expect("head exists");
                 pkt.hop_idx += 1;
+                pkt.hops_taken += 1;
                 moves.push(pkt);
             }
             for pkt in moves {
@@ -166,9 +331,11 @@ impl<'a> Simulator<'a> {
                 }
                 if pkt.arrived() {
                     in_flight -= 1;
+                    windows[widx].delivered += 1;
                     if measured_pkt {
                         metrics.delivered += 1;
                         metrics.total_latency += cycle + 1 - pkt.injected_at;
+                        metrics.rerouted_hops += pkt.detour_hops();
                     }
                 } else {
                     // Keep FIFO order at the receiving node; the packet can
@@ -179,24 +346,99 @@ impl<'a> Simulator<'a> {
             }
 
             if cycle >= self.config.inject_cycles && in_flight == 0 {
-                metrics.cycles = cycle + 1 - warmup;
-                metrics.in_flight_at_end = 0;
-                return metrics;
+                ended_at = cycle + 1;
+                break;
             }
         }
-        metrics.cycles = total_cycles - warmup;
+
+        metrics.cycles = ended_at - warmup;
         metrics.in_flight_at_end = in_flight;
-        metrics
+        windows.truncate((ended_at as usize).div_ceil(window as usize));
+        if let Some(last) = windows.last_mut() {
+            last.end = last.end.min(ended_at);
+        }
+        ChurnReport {
+            metrics,
+            windows,
+            trace: injector.trace().to_vec(),
+        }
+    }
+
+    /// Handle the head packet of `queue` whose next hop just proved dead.
+    ///
+    /// Publishes the observed failure into the view, then either replans
+    /// the packet in place (returning `None`) or pops and returns it with
+    /// the drop cause.
+    fn recover(
+        &self,
+        queue: &mut VecDeque<Packet>,
+        view: &mut FaultSet,
+        truth: &FaultSet,
+        link: LinkId,
+        to: NodeId,
+    ) -> Option<(Packet, DropCause)> {
+        // Local discovery: the blocked node learns exactly which component
+        // failed and that knowledge enters the routing view at once.
+        if truth.is_node_faulty(to) {
+            view.add_node(to);
+        } else {
+            view.add_link(link);
+        }
+        let head = queue
+            .front_mut()
+            .expect("recover is called on a non-empty queue");
+        if head.hops_taken >= self.config.effective_ttl() {
+            let pkt = queue.pop_front().expect("head exists");
+            return Some((pkt, DropCause::TtlExpired));
+        }
+        if head.reroutes >= self.config.reroute_budget {
+            let pkt = queue.pop_front().expect("head exists");
+            return Some((pkt, DropCause::Unrecoverable));
+        }
+        let from = head.current();
+        let dest = *head.route.nodes().last().expect("routes are non-empty");
+        match self.algorithm.compute_route(&self.gc, view, from, dest) {
+            Ok(route) => {
+                head.replan(route);
+                None
+            }
+            Err(_) => {
+                let pkt = queue.pop_front().expect("head exists");
+                Some((pkt, DropCause::Unrecoverable))
+            }
+        }
+    }
+
+    /// Account one dropped packet in the aggregate and window counters.
+    fn count_drop(
+        &self,
+        metrics: &mut Metrics,
+        window: &mut WindowStat,
+        pkt: &Packet,
+        cause: DropCause,
+        measuring: bool,
+        warmup: u64,
+    ) {
+        window.dropped += 1;
+        if measuring && pkt.injected_at >= warmup {
+            metrics.dropped += 1;
+            if matches!(cause, DropCause::TtlExpired) {
+                metrics.ttl_expired += 1;
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::injection::{FaultKind, FaultTarget, TimedFault};
     use crate::strategy::{FaultFreeGcr, FaultTolerantGcr};
 
     fn small_config() -> SimConfig {
-        SimConfig::new(6, 2).with_cycles(200, 2_000, 20).with_rate(0.02)
+        SimConfig::new(6, 2)
+            .with_cycles(200, 2_000, 20)
+            .with_rate(0.02)
     }
 
     #[test]
@@ -217,6 +459,29 @@ mod tests {
         assert_eq!(a, b);
         let c = Simulator::new(small_config().with_seed(777), &FaultFreeGcr).run();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn static_runs_report_no_churn_counters() {
+        let r = Simulator::new(small_config(), &FaultFreeGcr).run_report();
+        let m = r.metrics;
+        assert_eq!(
+            (
+                m.dropped,
+                m.ttl_expired,
+                m.rerouted_packets,
+                m.rerouted_hops
+            ),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(
+            (m.fault_events, m.stale_cycles, m.reconvergences),
+            (0, 0, 0)
+        );
+        assert!(r.trace.is_empty());
+        assert!(!r.windows.is_empty());
+        let resolved: u64 = r.windows.iter().map(|w| w.delivered).sum();
+        assert!(resolved >= m.delivered, "windows count warm-up packets too");
     }
 
     #[test]
@@ -306,7 +571,10 @@ mod tests {
             .with_rate(0.2)
             .with_buffer_capacity(2);
         let m = Simulator::new(cfg, &FaultFreeGcr).run();
-        assert!(m.blocked_injections > 0, "tight buffers must block injections");
+        assert!(
+            m.blocked_injections > 0,
+            "tight buffers must block injections"
+        );
         assert_eq!(m.delivered + m.in_flight_at_end, m.injected, "conservation");
         assert!(
             m.in_flight_at_end > 0,
@@ -317,7 +585,9 @@ mod tests {
         // Unbounded buffers (the paper's model): same load, no blocking,
         // full drain.
         let m2 = Simulator::new(
-            SimConfig::new(6, 2).with_cycles(200, 2_000, 0).with_rate(0.2),
+            SimConfig::new(6, 2)
+                .with_cycles(200, 2_000, 0)
+                .with_rate(0.2),
             &FaultFreeGcr,
         )
         .run();
@@ -346,5 +616,160 @@ mod tests {
         let low = Simulator::new(small_config().with_rate(0.002), &FaultFreeGcr).run();
         let high = Simulator::new(small_config().with_rate(0.02), &FaultFreeGcr).run();
         assert!(high.throughput() > low.throughput());
+    }
+
+    // --- dynamic fault tests -------------------------------------------
+
+    /// A scripted mid-run permanent node fault with a stale view: packets
+    /// already in flight (or planned before the view converges) must be
+    /// re-routed around it, and traffic keeps being delivered afterwards.
+    #[test]
+    fn midrun_node_fault_triggers_online_recovery() {
+        use crate::injection::FaultSchedule;
+        let victim = NodeId(9);
+        let cfg = SimConfig::new(6, 2)
+            .with_cycles(600, 4_000, 0)
+            .with_rate(0.05)
+            .with_knowledge(KnowledgeModel::PaperDelay)
+            .with_schedule(FaultSchedule::Scripted(vec![TimedFault {
+                cycle: 300,
+                target: FaultTarget::Node(victim),
+                kind: FaultKind::Permanent,
+            }]));
+        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        let m = r.metrics;
+        assert_eq!(r.trace.len(), 1, "exactly one event must apply");
+        assert_eq!(m.fault_events, 1);
+        assert!(m.stale_cycles > 0, "PaperDelay must expose a stale window");
+        assert_eq!(m.reconvergences, 1);
+        assert!(
+            m.rerouted_packets > 0 || m.dropped > 0,
+            "in-flight traffic must hit the dead node and recover or drop"
+        );
+        assert!(
+            m.delivered + m.dropped + m.in_flight_at_end == m.injected,
+            "conservation with drops: {} + {} + {} != {}",
+            m.delivered,
+            m.dropped,
+            m.in_flight_at_end,
+            m.injected
+        );
+        assert!(
+            m.delivery_ratio() > 0.9,
+            "one dead node must not collapse delivery: {}",
+            m.delivery_ratio()
+        );
+        // After reconvergence the network routes around the fault: the
+        // final window must be fully delivered again.
+        let last = r.windows.last().unwrap();
+        assert!(
+            last.delivery_ratio() > 0.99,
+            "delivery must recover after reconvergence: {:?}",
+            last
+        );
+    }
+
+    /// ISSUE acceptance: a transient link fault causes a delivery dip in
+    /// its windows and full recovery after its repair.
+    #[test]
+    fn transient_fault_dips_then_recovers() {
+        use crate::injection::FaultSchedule;
+        let victim = NodeId(9);
+        let cfg = SimConfig::new(6, 2)
+            .with_cycles(900, 4_000, 0)
+            .with_rate(0.05)
+            .with_window(300)
+            .with_reroute_budget(0) // no recovery: staleness shows as drops
+            .with_knowledge(KnowledgeModel::PaperDelay)
+            .with_schedule(FaultSchedule::Scripted(vec![TimedFault {
+                cycle: 300,
+                target: FaultTarget::Node(victim),
+                kind: FaultKind::Transient { repair_after: 150 },
+            }]));
+        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        assert_eq!(r.trace.len(), 2, "failure and repair must both apply");
+        let dip = &r.windows[1]; // cycles 300..600: the fault is live
+        assert!(
+            dip.dropped > 0 && dip.delivery_ratio() < 1.0,
+            "the faulty window must show a dip: {dip:?}"
+        );
+        // All post-repair windows are clean again.
+        for w in &r.windows[2..] {
+            assert!(
+                w.delivery_ratio() > 0.995,
+                "delivery must fully recover after repair: {w:?}"
+            );
+        }
+        assert_eq!(r.metrics.in_flight_at_end, 0);
+    }
+
+    /// Same seed and schedule ⇒ identical event trace, metrics, and
+    /// windows, bit for bit (ISSUE acceptance).
+    #[test]
+    fn churn_runs_are_deterministic() {
+        use crate::injection::{CategoryMix, FaultSchedule};
+        let cfg = || {
+            SimConfig::new(6, 2)
+                .with_cycles(400, 4_000, 0)
+                .with_rate(0.03)
+                .with_knowledge(KnowledgeModel::Measured)
+                .with_schedule(FaultSchedule::Bernoulli {
+                    rate: 0.01,
+                    kind: FaultKind::Transient { repair_after: 80 },
+                    mix: CategoryMix::default(),
+                    node_fraction: 0.5,
+                })
+        };
+        let a = Simulator::new(cfg(), &FaultTolerantGcr).run_report();
+        let b = Simulator::new(cfg(), &FaultTolerantGcr).run_report();
+        assert!(!a.trace.is_empty(), "the Bernoulli schedule must fire");
+        assert_eq!(a, b, "same seed + schedule must reproduce bit for bit");
+        let c = Simulator::new(cfg().with_seed(99), &FaultTolerantGcr).run_report();
+        assert_ne!(
+            a.trace, c.trace,
+            "a different seed must change the event trace"
+        );
+    }
+
+    /// Empty schedule + oracle view must reproduce the static engine
+    /// exactly — the dynamic loop is a strict superset, not a fork.
+    #[test]
+    fn empty_schedule_matches_static_run() {
+        let static_cfg = small_config().with_faults(1);
+        let m1 = Simulator::new(static_cfg.clone(), &FaultTolerantGcr).run();
+        let m2 = Simulator::new(
+            static_cfg.with_knowledge(KnowledgeModel::Oracle),
+            &FaultTolerantGcr,
+        )
+        .run();
+        assert_eq!(m1, m2);
+    }
+
+    /// The TTL genuinely bounds packet lifetimes: with a hostile tiny TTL
+    /// packets die instead of wandering forever.
+    #[test]
+    fn ttl_bounds_packet_lifetimes() {
+        use crate::injection::FaultSchedule;
+        let cfg = SimConfig::new(6, 2)
+            .with_cycles(400, 2_000, 0)
+            .with_rate(0.05)
+            .with_ttl(2) // shorter than most routes
+            .with_schedule(FaultSchedule::Scripted(vec![TimedFault {
+                cycle: 0,
+                target: FaultTarget::Node(NodeId(9)),
+                kind: FaultKind::Permanent,
+            }]))
+            .with_knowledge(KnowledgeModel::PaperDelay);
+        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        assert!(r.metrics.ttl_expired > 0, "a 2-hop TTL must expire packets");
+        assert_eq!(
+            r.metrics.delivered + r.metrics.dropped + r.metrics.in_flight_at_end,
+            r.metrics.injected,
+            "conservation with TTL drops"
+        );
+        assert_eq!(
+            r.metrics.in_flight_at_end, 0,
+            "expired packets must not linger"
+        );
     }
 }

@@ -17,19 +17,32 @@
 //! `DP/PT` (delivered packets per cycle of total processing time), plotted
 //! as `log2` in Figures 6 and 8.
 //!
+//! Beyond the paper's static evaluation, the [`injection`] module adds
+//! *dynamic* fault churn — seeded timed fault events (permanent,
+//! transient, intermittent) applied while packets are in flight — and the
+//! engine recovers online: local re-routes under a budget and TTL, with a
+//! stale-knowledge window modelling the paper's claim-4 fault-status
+//! exchange. See [`engine`] for the recovery semantics and
+//! [`metrics::ChurnReport`] for the degradation time series.
+//!
 //! [`FaultSet`]: gcube_routing::FaultSet
 
 pub mod config;
 pub mod engine;
+pub mod injection;
 pub mod metrics;
 pub mod packet;
 pub mod runner;
 pub mod strategy;
 pub mod traffic;
 
-pub use config::SimConfig;
+pub use config::{KnowledgeModel, SimConfig};
 pub use engine::Simulator;
-pub use metrics::Metrics;
-pub use runner::{run_sweep, SweepPoint};
+pub use injection::{
+    CategoryMix, FaultAction, FaultEvent, FaultInjector, FaultKind, FaultSchedule, FaultTarget,
+    TimedFault,
+};
+pub use metrics::{ChurnReport, Metrics, WindowStat};
+pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
 pub use strategy::{EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm};
 pub use traffic::TrafficPattern;

@@ -1,4 +1,7 @@
-//! Simulation metrics, matching the paper's definitions.
+//! Simulation metrics, matching the paper's definitions, plus the
+//! degradation counters introduced by dynamic fault injection.
+
+use crate::injection::FaultEvent;
 
 /// Aggregated statistics of one simulation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -23,6 +26,24 @@ pub struct Metrics {
     pub cycles: u64,
     /// Nodes in the network.
     pub nodes: u64,
+    /// Packets lost to dynamic faults, all causes: stranded on a node
+    /// that died, no recovery route, re-route budget exhausted, or TTL
+    /// expiry (the latter also counted in [`Metrics::ttl_expired`]).
+    pub dropped: u64,
+    /// Drops caused specifically by the per-packet hop budget.
+    pub ttl_expired: u64,
+    /// Packets that performed at least one mid-flight local re-route.
+    pub rerouted_packets: u64,
+    /// Extra links traversed beyond each delivered packet's
+    /// injection-time plan (detour cost of online recovery).
+    pub rerouted_hops: u64,
+    /// Fault events (failures and repairs) applied during the run.
+    pub fault_events: u64,
+    /// Cycles during which at least one fault was not yet reflected in
+    /// the routing view (stale-knowledge exposure).
+    pub stale_cycles: u64,
+    /// Times the routing view re-converged onto the ground truth.
+    pub reconvergences: u64,
 }
 
 impl Metrics {
@@ -44,14 +65,13 @@ impl Metrics {
         }
     }
 
-    /// `log2` of throughput — the paper plots this "for clearer comparison".
-    pub fn log2_throughput(&self) -> f64 {
+    /// `log2` of throughput — the paper plots this "for clearer
+    /// comparison". `None` when nothing was delivered (the logarithm is
+    /// undefined); callers decide how to render that, instead of having
+    /// `-inf` leak into tables.
+    pub fn log2_throughput(&self) -> Option<f64> {
         let t = self.throughput();
-        if t > 0.0 {
-            t.log2()
-        } else {
-            f64::NEG_INFINITY
-        }
+        (t > 0.0).then(|| t.log2())
     }
 
     /// Mean hops per delivered packet.
@@ -71,6 +91,59 @@ impl Metrics {
             self.delivered as f64 / self.injected as f64
         }
     }
+
+    /// Fraction of injected packets lost to dynamic faults.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.injected as f64
+        }
+    }
+}
+
+/// Delivery statistics over one fixed-width window of cycles.
+///
+/// Windows count *every* packet (warm-up included) because they describe
+/// the run as a time series, not the steady state.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowStat {
+    /// First cycle of the window (inclusive).
+    pub start: u64,
+    /// Last cycle of the window (exclusive).
+    pub end: u64,
+    /// Packets injected during the window.
+    pub injected: u64,
+    /// Packets delivered during the window (counted at arrival time).
+    pub delivered: u64,
+    /// Packets dropped during the window.
+    pub dropped: u64,
+}
+
+impl WindowStat {
+    /// Delivered over delivered-plus-dropped: the fraction of packets
+    /// *resolved* this window that made it. `1.0` for an idle window.
+    pub fn delivery_ratio(&self) -> f64 {
+        let resolved = self.delivered + self.dropped;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / resolved as f64
+        }
+    }
+}
+
+/// Full outcome of a churn run: steady-state metrics plus the time
+/// series needed to see degradation and recovery.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChurnReport {
+    /// Aggregate counters (identical to what [`crate::Simulator::run`]
+    /// returns).
+    pub metrics: Metrics,
+    /// Per-window delivery statistics, in time order.
+    pub windows: Vec<WindowStat>,
+    /// Every fault event applied, in application order.
+    pub trace: Vec<FaultEvent>,
 }
 
 #[cfg(test)]
@@ -84,17 +157,17 @@ mod tests {
             delivered: 80,
             total_latency: 800,
             total_hops: 400,
-            route_failures: 0,
-            blocked_injections: 0,
             in_flight_at_end: 20,
             cycles: 40,
             nodes: 64,
+            ..Metrics::default()
         };
         assert_eq!(m.avg_latency(), 10.0);
         assert_eq!(m.throughput(), 2.0);
-        assert_eq!(m.log2_throughput(), 1.0);
+        assert_eq!(m.log2_throughput(), Some(1.0));
         assert_eq!(m.avg_hops(), 5.0);
         assert_eq!(m.delivery_ratio(), 0.8);
+        assert_eq!(m.drop_ratio(), 0.0);
     }
 
     #[test]
@@ -102,7 +175,26 @@ mod tests {
         let m = Metrics::default();
         assert_eq!(m.avg_latency(), 0.0);
         assert_eq!(m.throughput(), 0.0);
-        assert_eq!(m.log2_throughput(), f64::NEG_INFINITY);
+        assert_eq!(m.log2_throughput(), None, "no -inf for silent runs");
         assert_eq!(m.delivery_ratio(), 1.0);
+        assert_eq!(m.drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn window_ratio_counts_resolved_packets() {
+        let w = WindowStat {
+            start: 0,
+            end: 100,
+            injected: 50,
+            delivered: 30,
+            dropped: 10,
+        };
+        assert!((w.delivery_ratio() - 0.75).abs() < 1e-12);
+        let idle = WindowStat {
+            start: 100,
+            end: 200,
+            ..WindowStat::default()
+        };
+        assert_eq!(idle.delivery_ratio(), 1.0);
     }
 }

@@ -9,7 +9,7 @@ use parking_lot::Mutex;
 
 use crate::config::SimConfig;
 use crate::engine::Simulator;
-use crate::metrics::Metrics;
+use crate::metrics::{ChurnReport, Metrics};
 use crate::strategy::RoutingAlgorithm;
 
 /// One point of a sweep: the configuration and its measured metrics.
@@ -58,6 +58,53 @@ pub fn run_sweep(
         .collect()
 }
 
+/// One point of a churn sweep: the configuration and its full report
+/// (metrics plus the degradation time series).
+#[derive(Clone, Debug)]
+pub struct ChurnPoint {
+    /// Configuration simulated.
+    pub config: SimConfig,
+    /// Strategy name.
+    pub algorithm: &'static str,
+    /// Full churn report.
+    pub report: ChurnReport,
+}
+
+/// Like [`run_sweep`], but keeping each run's [`ChurnReport`] so callers
+/// can plot degradation-under-churn curves. Input order is preserved.
+pub fn run_churn_sweep(
+    configs: &[SimConfig],
+    algorithm: &dyn RoutingAlgorithm,
+    threads: usize,
+) -> Vec<ChurnPoint> {
+    let threads = threads.max(1);
+    let results: Mutex<Vec<Option<ChurnPoint>>> = Mutex::new(vec![None; configs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(configs.len().max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let sim = Simulator::new(configs[i].clone(), algorithm);
+                let report = sim.run_report();
+                results.lock()[i] = Some(ChurnPoint {
+                    config: configs[i].clone(),
+                    algorithm: algorithm.name(),
+                    report,
+                });
+            });
+        }
+    })
+    .expect("churn sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|p| p.expect("every churn point filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,7 +114,11 @@ mod tests {
     fn sweep_preserves_order_and_matches_serial() {
         let configs: Vec<SimConfig> = [5u32, 6, 7]
             .iter()
-            .map(|&n| SimConfig::new(n, 2).with_cycles(100, 1_000, 10).with_rate(0.01))
+            .map(|&n| {
+                SimConfig::new(n, 2)
+                    .with_cycles(100, 1_000, 10)
+                    .with_rate(0.01)
+            })
             .collect();
         let parallel = run_sweep(&configs, &FaultFreeGcr, 4);
         assert_eq!(parallel.len(), 3);
@@ -85,5 +136,34 @@ mod tests {
     fn empty_sweep() {
         let out = run_sweep(&[], &FaultFreeGcr, 4);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn churn_sweep_matches_serial_reports() {
+        use crate::config::KnowledgeModel;
+        use crate::injection::{CategoryMix, FaultKind, FaultSchedule};
+        use crate::strategy::FaultTolerantGcr;
+        let schedule = FaultSchedule::Bernoulli {
+            rate: 0.02,
+            kind: FaultKind::Transient { repair_after: 50 },
+            mix: CategoryMix::default(),
+            node_fraction: 0.5,
+        };
+        let configs: Vec<SimConfig> = [5u32, 6]
+            .iter()
+            .map(|&n| {
+                SimConfig::new(n, 2)
+                    .with_cycles(150, 1_500, 0)
+                    .with_rate(0.02)
+                    .with_schedule(schedule.clone())
+                    .with_knowledge(KnowledgeModel::PaperDelay)
+            })
+            .collect();
+        let parallel = run_churn_sweep(&configs, &FaultTolerantGcr, 4);
+        assert_eq!(parallel.len(), 2);
+        for (i, p) in parallel.iter().enumerate() {
+            let serial = Simulator::new(configs[i].clone(), &FaultTolerantGcr).run_report();
+            assert_eq!(p.report, serial, "thread schedule must not change results");
+        }
     }
 }

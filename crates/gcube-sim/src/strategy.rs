@@ -97,9 +97,13 @@ mod tests {
         let f = FaultSet::new();
         for s in (0..128u64).step_by(17) {
             for d in (0..128u64).step_by(13) {
-                let r1 = FaultFreeGcr.compute_route(&gc, &f, NodeId(s), NodeId(d)).unwrap();
+                let r1 = FaultFreeGcr
+                    .compute_route(&gc, &f, NodeId(s), NodeId(d))
+                    .unwrap();
                 r1.validate(&gc, &NoFaults).unwrap();
-                let r2 = FaultTolerantGcr.compute_route(&gc, &f, NodeId(s), NodeId(d)).unwrap();
+                let r2 = FaultTolerantGcr
+                    .compute_route(&gc, &f, NodeId(s), NodeId(d))
+                    .unwrap();
                 r2.validate(&gc, &NoFaults).unwrap();
                 assert_eq!(r1.hops(), r2.hops(), "fault-free FTGCR must stay optimal");
             }

@@ -29,7 +29,11 @@ impl TrafficPattern {
     /// The deterministic partner of `src` under this pattern (`None` for
     /// `Uniform`).
     pub fn partner(self, n_bits: u32, src: NodeId) -> Option<NodeId> {
-        let mask = if n_bits >= 64 { u64::MAX } else { (1u64 << n_bits) - 1 };
+        let mask = if n_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n_bits) - 1
+        };
         match self {
             TrafficPattern::Uniform => None,
             TrafficPattern::BitComplement => Some(NodeId(!src.0 & mask)),
@@ -68,7 +72,11 @@ impl TrafficGen {
 
     /// Create a generator with an explicit spatial pattern.
     pub fn with_pattern(seed: u64, rate: f64, pattern: TrafficPattern) -> TrafficGen {
-        TrafficGen { rng: StdRng::seed_from_u64(seed), rate, pattern }
+        TrafficGen {
+            rng: StdRng::seed_from_u64(seed),
+            rate,
+            pattern,
+        }
     }
 
     /// Whether `src` injects a packet this cycle.
@@ -98,8 +106,17 @@ impl TrafficGen {
                 return Some(d);
             }
         }
-        // Dense-fault fallback: scan.
-        (0..n).map(NodeId).find(|&d| d != src && !faults.is_node_faulty(d))
+        self.fallback_scan(n, faults, src)
+    }
+
+    /// Dense-fault fallback: scan from a seeded random offset so heavily
+    /// faulted networks don't funnel all residual traffic onto the
+    /// lowest-numbered healthy nodes.
+    fn fallback_scan(&mut self, n: u64, faults: &FaultSet, src: NodeId) -> Option<NodeId> {
+        let start = self.rng.gen_range(0..n);
+        (0..n)
+            .map(|i| NodeId((start + i) % n))
+            .find(|&d| d != src && !faults.is_node_faulty(d))
     }
 }
 
@@ -168,6 +185,28 @@ mod tests {
     }
 
     #[test]
+    fn dense_fault_fallback_is_unbiased() {
+        // Only three healthy nodes survive; the scan must not always hand
+        // the lowest-numbered one to every source.
+        let gc = GaussianCube::new(5, 2).unwrap();
+        let mut faults = FaultSet::new();
+        let healthy = [NodeId(5), NodeId(20), NodeId(29)];
+        for v in 0..gc.num_nodes() {
+            if !healthy.contains(&NodeId(v)) {
+                faults.add_node(NodeId(v));
+            }
+        }
+        let mut t = TrafficGen::new(11, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let d = t.fallback_scan(gc.num_nodes(), &faults, NodeId(5)).unwrap();
+            assert!(d == NodeId(20) || d == NodeId(29));
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 2, "both healthy candidates must be reachable");
+    }
+
+    #[test]
     fn rate_bounds() {
         let mut always = TrafficGen::new(0, 1.0);
         assert!((0..50).all(|_| always.fires()));
@@ -198,9 +237,15 @@ mod pattern_tests {
         // Complement and reversal are involutions.
         for v in 0..(1u64 << n) {
             let c = TrafficPattern::BitComplement.partner(n, NodeId(v)).unwrap();
-            assert_eq!(TrafficPattern::BitComplement.partner(n, c).unwrap(), NodeId(v));
+            assert_eq!(
+                TrafficPattern::BitComplement.partner(n, c).unwrap(),
+                NodeId(v)
+            );
             let r = TrafficPattern::BitReversal.partner(n, NodeId(v)).unwrap();
-            assert_eq!(TrafficPattern::BitReversal.partner(n, r).unwrap(), NodeId(v));
+            assert_eq!(
+                TrafficPattern::BitReversal.partner(n, r).unwrap(),
+                NodeId(v)
+            );
         }
     }
 

@@ -60,7 +60,11 @@ impl NodeId {
     pub fn bit_range(self, lo: u32, hi: u32) -> u64 {
         debug_assert!(lo <= hi && hi < 64);
         let width = hi - lo + 1;
-        let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         (self.0 >> lo) & mask
     }
 

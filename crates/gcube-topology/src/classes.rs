@@ -47,7 +47,11 @@ pub fn n_bound_paper(n: u32, alpha: u32, k: u64) -> u32 {
     let period = 1u64 << alpha;
     let nn = u64::from(n);
     // ⌈(n-k)/2^α⌉, clipped at 0 for classes beyond the label width.
-    let ceil = if k >= nn { 0 } else { (nn - k).div_ceil(period) };
+    let ceil = if k >= nn {
+        0
+    } else {
+        (nn - k).div_ceil(period)
+    };
     let delta = u64::from(k < u64::from(alpha));
     (ceil + 1).saturating_sub(delta) as u32
 }
@@ -117,14 +121,19 @@ pub fn node_at(gc: &GaussianCube, pos: SubcubePos) -> NodeId {
 pub fn ending_class_nodes(gc: &GaussianCube, k: u64) -> Vec<NodeId> {
     let alpha = gc.alpha();
     let step = 1u64 << alpha;
-    (0..gc.num_nodes()).step_by(step as usize).map(|base| NodeId(base | k)).collect()
+    (0..gc.num_nodes())
+        .step_by(step as usize)
+        .map(|base| NodeId(base | k))
+        .collect()
 }
 
 /// All nodes of the equivalent class `EEC(α, k, t)` (ascending coordinate
 /// order) — the vertex set of the embedded hypercube `GEEC(α, k, t)`.
 pub fn equivalent_class_nodes(gc: &GaussianCube, k: u64, t: u64) -> Vec<NodeId> {
     let d = dim_count(gc.n(), gc.alpha(), k);
-    (0..(1u64 << d)).map(|coord| node_at(gc, SubcubePos { k, t, coord })).collect()
+    (0..(1u64 << d))
+        .map(|coord| node_at(gc, SubcubePos { k, t, coord }))
+        .collect()
 }
 
 /// Number of distinct `t` values for class `k`, i.e. how many `GEEC(α,k,·)`

@@ -58,10 +58,18 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let msgs = [
-            TopologyError::DimensionOutOfRange { requested: 99, max: 32 }.to_string(),
+            TopologyError::DimensionOutOfRange {
+                requested: 99,
+                max: 32,
+            }
+            .to_string(),
             TopologyError::ZeroModulus.to_string(),
             TopologyError::ModulusNotPowerOfTwo { modulus: 6 }.to_string(),
-            TopologyError::NodeOutOfRange { node: 1024, width: 10 }.to_string(),
+            TopologyError::NodeOutOfRange {
+                node: 1024,
+                width: 10,
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains("99"));
         assert!(msgs[1].contains("modulus"));

@@ -241,9 +241,10 @@ mod tests {
         // bit (paper, Case II of Algorithm 4).
         let eh1 = ExchangedHypercube::new(3, 2).unwrap();
         let eh2 = ExchangedHypercube::new(2, 3).unwrap();
-        let map = |v: NodeId| -> NodeId {
-            eh2.node(eh1.b_part(v), eh1.a_part(v), !eh1.class_bit(v))
-        };
-        assert!(crate::gaussian_cube::general::is_isomorphic_under(&eh1, &eh2, map));
+        let map =
+            |v: NodeId| -> NodeId { eh2.node(eh1.b_part(v), eh1.a_part(v), !eh1.class_bit(v)) };
+        assert!(crate::gaussian_cube::general::is_isomorphic_under(
+            &eh1, &eh2, map
+        ));
     }
 }

@@ -37,7 +37,10 @@ impl GaussianCube {
     /// with `modulus ≥ 1`.
     pub fn new(n: u32, modulus: u64) -> Result<Self, TopologyError> {
         if n == 0 || n > MAX_WIDTH {
-            return Err(TopologyError::DimensionOutOfRange { requested: n, max: MAX_WIDTH });
+            return Err(TopologyError::DimensionOutOfRange {
+                requested: n,
+                max: MAX_WIDTH,
+            });
         }
         if modulus == 0 {
             return Err(TopologyError::ZeroModulus);
@@ -45,13 +48,19 @@ impl GaussianCube {
         if !modulus.is_power_of_two() {
             return Err(TopologyError::ModulusNotPowerOfTwo { modulus });
         }
-        Ok(GaussianCube { n, alpha: modulus.trailing_zeros() })
+        Ok(GaussianCube {
+            n,
+            alpha: modulus.trailing_zeros(),
+        })
     }
 
     /// Create `GC(n, 2^alpha)` directly from the exponent `α`.
     pub fn from_alpha(n: u32, alpha: u32) -> Result<Self, TopologyError> {
         if alpha >= 64 {
-            return Err(TopologyError::DimensionOutOfRange { requested: alpha, max: 63 });
+            return Err(TopologyError::DimensionOutOfRange {
+                requested: alpha,
+                max: 63,
+            });
         }
         Self::new(n, 1u64 << alpha)
     }
@@ -157,7 +166,10 @@ pub mod general {
         /// Create a general-`M` Gaussian Cube (no power-of-two requirement).
         pub fn new(n: u32, modulus: u64) -> Result<Self, TopologyError> {
             if n == 0 || n > MAX_WIDTH {
-                return Err(TopologyError::DimensionOutOfRange { requested: n, max: MAX_WIDTH });
+                return Err(TopologyError::DimensionOutOfRange {
+                    requested: n,
+                    max: MAX_WIDTH,
+                });
             }
             if modulus == 0 {
                 return Err(TopologyError::ZeroModulus);
@@ -238,7 +250,10 @@ mod tests {
         assert!(GaussianCube::new(8, 6).is_err());
         assert!(GaussianCube::new(8, 1).is_ok());
         assert!(GaussianCube::new(8, 8).is_ok());
-        assert_eq!(GaussianCube::from_alpha(8, 3).unwrap(), GaussianCube::new(8, 8).unwrap());
+        assert_eq!(
+            GaussianCube::from_alpha(8, 3).unwrap(),
+            GaussianCube::new(8, 8).unwrap()
+        );
     }
 
     #[test]
@@ -345,8 +360,11 @@ mod tests {
                     .into_iter()
                     .map(|q| q.low_bits(floor_log + 1))
                     .collect();
-                let mut want: Vec<u64> =
-                    small.neighbors(small_label).into_iter().map(|q| q.0).collect();
+                let mut want: Vec<u64> = small
+                    .neighbors(small_label)
+                    .into_iter()
+                    .map(|q| q.0)
+                    .collect();
                 got.sort_unstable();
                 want.sort_unstable();
                 assert_eq!(got, want, "component structure mismatch at {p}");

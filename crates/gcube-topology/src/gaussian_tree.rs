@@ -28,7 +28,10 @@ impl GaussianTree {
     /// Create `T_m`. `m = 0` is the single-node tree.
     pub fn new(m: u32) -> Result<Self, TopologyError> {
         if m > MAX_WIDTH {
-            return Err(TopologyError::DimensionOutOfRange { requested: m, max: MAX_WIDTH });
+            return Err(TopologyError::DimensionOutOfRange {
+                requested: m,
+                max: MAX_WIDTH,
+            });
         }
         Ok(GaussianTree { m })
     }
@@ -144,14 +147,20 @@ mod tests {
     fn figure1_topologies_match_paper() {
         // Figure 1 shows G_2, G_3, G_4. Check G_2 and G_3 edge sets exactly.
         let g2 = GaussianTree::new(2).unwrap();
-        let mut e2: Vec<(u64, u64)> =
-            g2.links().iter().map(|l| (l.lo.0, l.lo.flip(l.dim).0)).collect();
+        let mut e2: Vec<(u64, u64)> = g2
+            .links()
+            .iter()
+            .map(|l| (l.lo.0, l.lo.flip(l.dim).0))
+            .collect();
         e2.sort_unstable();
         assert_eq!(e2, vec![(0b00, 0b01), (0b01, 0b11), (0b10, 0b11)]);
 
         let g3 = GaussianTree::new(3).unwrap();
-        let mut e3: Vec<(u64, u64)> =
-            g3.links().iter().map(|l| (l.lo.0, l.lo.flip(l.dim).0)).collect();
+        let mut e3: Vec<(u64, u64)> = g3
+            .links()
+            .iter()
+            .map(|l| (l.lo.0, l.lo.flip(l.dim).0))
+            .collect();
         e3.sort_unstable();
         assert_eq!(
             e3,

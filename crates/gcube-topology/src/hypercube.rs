@@ -22,7 +22,10 @@ impl Hypercube {
     /// Create `Q_n`. `n` may be 0 (a single node).
     pub fn new(n: u32) -> Result<Self, TopologyError> {
         if n > MAX_WIDTH {
-            return Err(TopologyError::DimensionOutOfRange { requested: n, max: MAX_WIDTH });
+            return Err(TopologyError::DimensionOutOfRange {
+                requested: n,
+                max: MAX_WIDTH,
+            });
         }
         Ok(Hypercube { n })
     }

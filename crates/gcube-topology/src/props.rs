@@ -78,7 +78,14 @@ mod tests {
     fn hypercube_degrees_are_uniform() {
         let q = Hypercube::new(5).unwrap();
         let s = degree_stats(&q);
-        assert_eq!(s, DegreeStats { min: 5, max: 5, mean: 5.0 });
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 5,
+                max: 5,
+                mean: 5.0
+            }
+        );
         assert_eq!(node_availability(&q), 4);
         let hist = degree_histogram(&q);
         assert_eq!(hist[5], 32);
@@ -92,7 +99,11 @@ mod tests {
         // only tree links.
         let gc = GaussianCube::new(10, 4).unwrap();
         let s = degree_stats(&gc);
-        assert!(s.min < 5, "GC(10,4) should have low-degree nodes, got {}", s.min);
+        assert!(
+            s.min < 5,
+            "GC(10,4) should have low-degree nodes, got {}",
+            s.min
+        );
         assert!(s.max <= 10);
         assert_eq!(node_availability(&gc), s.min - 1);
     }
@@ -100,7 +111,14 @@ mod tests {
     #[test]
     fn gc_m1_is_degree_n() {
         let gc = GaussianCube::new(7, 1).unwrap();
-        assert_eq!(degree_stats(&gc), DegreeStats { min: 7, max: 7, mean: 7.0 });
+        assert_eq!(
+            degree_stats(&gc),
+            DegreeStats {
+                min: 7,
+                max: 7,
+                mean: 7.0
+            }
+        );
     }
 
     #[test]

@@ -207,7 +207,11 @@ where
         .max_by_key(|(_, &d)| d)
         .expect("tree has at least one node");
     let d1 = bfs_distances(topo, NodeId(far as u64), &NoFaults);
-    d1.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    d1.iter()
+        .copied()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Mean shortest-path distance over all ordered reachable pairs.

@@ -7,15 +7,14 @@
 use gcube_topology::classes::{node_at, subcube_pos};
 use gcube_topology::gaussian_cube::link_by_congruence;
 use gcube_topology::search;
-use gcube_topology::{
-    ExchangedHypercube, GaussianCube, GaussianTree, NoFaults, NodeId, Topology,
-};
+use gcube_topology::{ExchangedHypercube, GaussianCube, GaussianTree, NoFaults, NodeId, Topology};
 use proptest::prelude::*;
 
 /// Strategy: a Gaussian Cube with 2 ≤ n ≤ 16 and α ≤ min(n, 5).
 fn arb_gc() -> impl Strategy<Value = GaussianCube> {
     (2u32..=16).prop_flat_map(|n| {
-        (Just(n), 0u32..=n.min(5)).prop_map(|(n, alpha)| GaussianCube::from_alpha(n, alpha).unwrap())
+        (Just(n), 0u32..=n.min(5))
+            .prop_map(|(n, alpha)| GaussianCube::from_alpha(n, alpha).unwrap())
     })
 }
 

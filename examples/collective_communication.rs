@@ -19,8 +19,10 @@ fn main() {
     println!("network: GC(10, 4) — {} nodes\n", gc.num_nodes());
 
     // ---- Multicast: one walk covering a destination set. -----------------
-    let dests: BTreeSet<NodeId> =
-        [37u64, 613, 1000, 1001, 1003, 128].into_iter().map(NodeId).collect();
+    let dests: BTreeSet<NodeId> = [37u64, 613, 1000, 1001, 1003, 128]
+        .into_iter()
+        .map(NodeId)
+        .collect();
     let walk = multicast_walk(&gc, NodeId(0), &dests).unwrap();
     let indep = independent_unicast_cost(&gc, NodeId(0), &dests);
     println!("multicast from 0 to {} destinations:", dests.len());
@@ -42,7 +44,11 @@ fn main() {
         schedule.iter().take(3).map(Vec::len).collect::<Vec<_>>()
     );
     let total: usize = schedule.iter().map(Vec::len).sum();
-    assert_eq!(total as u64, gc.num_nodes() - 1, "everyone informed exactly once");
+    assert_eq!(
+        total as u64,
+        gc.num_nodes() - 1,
+        "everyone informed exactly once"
+    );
 
     // ---- Gather: leaves-to-root with single-port aggregation. -------------
     let rounds = gather_schedule(&gc, NodeId(0)).unwrap();

@@ -6,9 +6,7 @@
 //! cargo run --example fault_tolerant_routing
 //! ```
 
-use gcube::routing::faults::{
-    categorize, theorem3_precondition_guaranteed, theorem5_precondition,
-};
+use gcube::routing::faults::{categorize, theorem3_precondition_guaranteed, theorem5_precondition};
 use gcube::routing::{ffgcr, ftgcr, FaultSet};
 use gcube::topology::{GaussianCube, LinkId, NodeId};
 
@@ -33,7 +31,10 @@ fn main() {
     faults_c.add_node(NodeId(0b0000_0110));
     let counts = categorize(&gc, &faults_c);
     println!("\nscenario 2: one faulty node — {counts:?}");
-    println!("  Theorem 5 precondition: {}", theorem5_precondition(&gc, &faults_c));
+    println!(
+        "  Theorem 5 precondition: {}",
+        theorem5_precondition(&gc, &faults_c)
+    );
     demo_route(&gc, &faults_c, NodeId(0), NodeId(0b10_0111_0110));
 
     // --- Scenario 3: mixed faults (B link + C node + A link). ------------
@@ -43,7 +44,10 @@ fn main() {
     faults_mix.add_link(LinkId::new(NodeId(0b10), 6)); // A
     let counts = categorize(&gc, &faults_mix);
     println!("\nscenario 3: mixed — {counts:?}");
-    println!("  Theorem 5 precondition: {}", theorem5_precondition(&gc, &faults_mix));
+    println!(
+        "  Theorem 5 precondition: {}",
+        theorem5_precondition(&gc, &faults_mix)
+    );
     demo_route(&gc, &faults_mix, NodeId(1), NodeId(0b11_1100_1101));
 }
 
@@ -51,7 +55,9 @@ fn demo_route(gc: &GaussianCube, faults: &FaultSet, s: NodeId, d: NodeId) {
     let optimal = ffgcr::route_len(gc, s, d);
     match ftgcr::route(gc, faults, s, d) {
         Ok((route, stats)) => {
-            route.validate(gc, faults).expect("route avoids every fault");
+            route
+                .validate(gc, faults)
+                .expect("route avoids every fault");
             println!(
                 "  {} -> {}: {} hops (fault-free optimum {optimal}, detour +{})",
                 s,

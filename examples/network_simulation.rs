@@ -17,7 +17,9 @@ fn main() {
 
     // Fault-free scaling: dimension up, latency up; throughput up.
     for (n, m) in [(6u32, 1u64), (6, 2), (6, 4), (8, 2), (10, 2)] {
-        let cfg = SimConfig::new(n, m).with_cycles(400, 5_000, 50).with_rate(0.005);
+        let cfg = SimConfig::new(n, m)
+            .with_cycles(400, 5_000, 50)
+            .with_rate(0.005);
         let metrics = Simulator::new(cfg, &FaultFreeGcr).run();
         println!(
             "{:>3} {:>3} {:>7} {:>12.3} {:>12.3} {:>11.4} {:>10}",
@@ -29,7 +31,10 @@ fn main() {
             metrics.throughput(),
             metrics.delivered
         );
-        assert_eq!(metrics.delivered, metrics.injected, "fault-free: everything arrives");
+        assert_eq!(
+            metrics.delivered, metrics.injected,
+            "fault-free: everything arrives"
+        );
     }
 
     println!();
@@ -55,7 +60,10 @@ fn main() {
             metrics.delivered,
             faulty_node
         );
-        assert_eq!(metrics.delivered, metrics.injected, "FTGCR: everything arrives");
+        assert_eq!(
+            metrics.delivered, metrics.injected,
+            "FTGCR: everything arrives"
+        );
         assert_eq!(metrics.route_failures, 0);
     }
 

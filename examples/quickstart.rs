@@ -13,7 +13,11 @@ fn main() {
     // GC(8, 4): 256 nodes, modulus M = 4 (α = 2).
     let gc = GaussianCube::new(8, 4).expect("valid parameters");
     let stats = degree_stats(&gc);
-    println!("GC(n=8, M=4): {} nodes, {} links", gc.num_nodes(), gc.num_links());
+    println!(
+        "GC(n=8, M=4): {} nodes, {} links",
+        gc.num_nodes(),
+        gc.num_links()
+    );
     println!(
         "degrees: min {} / mean {:.2} / max {} (binary hypercube would be 8)",
         stats.min, stats.mean, stats.max
@@ -41,7 +45,9 @@ fn main() {
     );
 
     let route = ffgcr::route(&gc, s, d).expect("fault-free routing always succeeds");
-    route.validate(&gc, &NoFaults).expect("route uses real links");
+    route
+        .validate(&gc, &NoFaults)
+        .expect("route uses real links");
     println!("route ({} hops): {}", route.hops(), route);
     println!("optimal: FFGCR length always equals the BFS distance (tested exhaustively)");
     println!("simple path: {}", route.is_simple());

@@ -17,10 +17,19 @@ fn main() {
     // ---- Figure 1: Gaussian Graphs G_2 .. G_4 are trees. ----------------
     for m in 2..=4u32 {
         let t = GaussianTree::new(m).unwrap();
-        println!("G_{m} ({} nodes, {} edges — a tree):", t.num_nodes(), t.num_links());
+        println!(
+            "G_{m} ({} nodes, {} edges — a tree):",
+            t.num_nodes(),
+            t.num_links()
+        );
         for l in t.links() {
             let (a, b) = l.endpoints();
-            println!("  {} - {}   (dimension {})", a.to_binary(m), b.to_binary(m), l.dim);
+            println!(
+                "  {} - {}   (dimension {})",
+                a.to_binary(m),
+                b.to_binary(m),
+                l.dim
+            );
         }
     }
 
@@ -58,14 +67,22 @@ fn main() {
     // a branch point, as in the paper's sketch.
     let tree = GaussianTree::new(4).unwrap();
     let r = NodeId(0);
-    let dests: BTreeSet<NodeId> =
-        [NodeId(0b1011), NodeId(0b0110), NodeId(0b1111)].into_iter().collect();
+    let dests: BTreeSet<NodeId> = [NodeId(0b1011), NodeId(0b0110), NodeId(0b1111)]
+        .into_iter()
+        .collect();
     let walk = ct_walk(&tree, r, &dests);
     println!("\nCT closed traversal in T_4 from {} over {:?}:", r, dests);
     let rendered: Vec<String> = walk.iter().map(|n| n.to_binary(4)).collect();
-    println!("  walk ({} hops): {}", walk.len() - 1, rendered.join(" -> "));
+    println!(
+        "  walk ({} hops): {}",
+        walk.len() - 1,
+        rendered.join(" -> ")
+    );
     let steiner = steiner_edges(&tree, r, &dests).len();
-    println!("  Steiner edges: {steiner} → optimal closed walk = {} hops ✓", 2 * steiner);
+    println!(
+        "  Steiner edges: {steiner} → optimal closed walk = {} hops ✓",
+        2 * steiner
+    );
     assert_eq!(walk.len() - 1, 2 * steiner);
 
     // And the trunk the walk was built on.

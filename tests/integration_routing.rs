@@ -4,7 +4,9 @@
 
 use gcube::routing::faults::{theorem3_precondition_guaranteed, theorem5_precondition};
 use gcube::routing::{ffgcr, freh, ftgcr, FaultSet};
-use gcube::topology::{search, ExchangedHypercube, GaussianCube, LinkId, NoFaults, NodeId, Topology};
+use gcube::topology::{
+    search, ExchangedHypercube, GaussianCube, LinkId, NoFaults, NodeId, Topology,
+};
 
 /// Deterministic xorshift for reproducible sampling.
 struct Rng(u64);
@@ -97,8 +99,11 @@ fn a_faults_cost_at_most_two_hops_each() {
             let mut faults = FaultSet::new();
             for _ in 0..1 + rng.next() % 2 {
                 let v = NodeId(rng.next() % gc.num_nodes());
-                let high: Vec<u32> =
-                    gc.link_dims(v).into_iter().filter(|&c| c >= gc.alpha()).collect();
+                let high: Vec<u32> = gc
+                    .link_dims(v)
+                    .into_iter()
+                    .filter(|&c| c >= gc.alpha())
+                    .collect();
                 if let Some(&dim) = high.first() {
                     faults.add_link(LinkId::new(v, dim));
                 }

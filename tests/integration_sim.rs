@@ -4,7 +4,9 @@
 use gcube::sim::{FaultFreeGcr, FaultTolerantGcr, SimConfig, Simulator};
 
 fn cfg(n: u32, m: u64) -> SimConfig {
-    SimConfig::new(n, m).with_cycles(300, 4_000, 50).with_rate(0.004)
+    SimConfig::new(n, m)
+        .with_cycles(300, 4_000, 50)
+        .with_rate(0.004)
 }
 
 #[test]
@@ -14,8 +16,18 @@ fn figure5_shape_latency_grows_with_dimension() {
         .iter()
         .map(|&n| Simulator::new(cfg(n, 2), &FaultFreeGcr).run().avg_latency())
         .collect();
-    assert!(lat[1] > lat[0], "latency n=9 ({}) should exceed n=6 ({})", lat[1], lat[0]);
-    assert!(lat[2] > lat[1], "latency n=12 ({}) should exceed n=9 ({})", lat[2], lat[1]);
+    assert!(
+        lat[1] > lat[0],
+        "latency n=9 ({}) should exceed n=6 ({})",
+        lat[1],
+        lat[0]
+    );
+    assert!(
+        lat[2] > lat[1],
+        "latency n=12 ({}) should exceed n=9 ({})",
+        lat[2],
+        lat[1]
+    );
 }
 
 #[test]
@@ -26,8 +38,18 @@ fn figure5_shape_latency_grows_with_modulus() {
         .iter()
         .map(|&m| Simulator::new(cfg(9, m), &FaultFreeGcr).run().avg_latency())
         .collect();
-    assert!(lat[1] > lat[0], "M=2 latency ({}) should exceed M=1 ({})", lat[1], lat[0]);
-    assert!(lat[2] > lat[1], "M=4 latency ({}) should exceed M=2 ({})", lat[2], lat[1]);
+    assert!(
+        lat[1] > lat[0],
+        "M=2 latency ({}) should exceed M=1 ({})",
+        lat[1],
+        lat[0]
+    );
+    assert!(
+        lat[2] > lat[1],
+        "M=4 latency ({}) should exceed M=2 ({})",
+        lat[2],
+        lat[1]
+    );
 }
 
 #[test]
@@ -44,7 +66,10 @@ fn figure6_shape_throughput_grows_with_dimension() {
     // per dimension at fixed injection rate).
     let l0 = thr[0].log2();
     let l2 = thr[2].log2();
-    assert!((l2 - l0) > 3.0, "log2 throughput should gain >3 bits over 6 dims");
+    assert!(
+        (l2 - l0) > 3.0,
+        "log2 throughput should gain >3 bits over 6 dims"
+    );
 }
 
 #[test]

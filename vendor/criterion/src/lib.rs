@@ -1,0 +1,253 @@
+//! Offline drop-in subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark API,
+//! vendored because the build environment has no registry access.
+//!
+//! Implements the `harness = false` entry points this workspace's benches
+//! use — [`criterion_group!`], [`criterion_main!`], benchmark groups,
+//! [`BenchmarkId`], `Bencher::iter` and [`black_box`] — with a simple
+//! measurement loop: warm up briefly, then time batches until a fixed
+//! wall-clock budget is spent and report the mean iteration time. No
+//! statistics, plots, or baselines; output is one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    /// Per-benchmark measurement budget.
+    measurement_time: Duration,
+    /// Accepted for API compatibility; the timing loop is budget-driven.
+    #[allow(dead_code)]
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here (filters, baselines); this subset
+    /// accepts and ignores them.
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Shrink or grow the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.to_string(), self.measurement_time, f);
+        self
+    }
+}
+
+/// A named set of benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; this subset sizes runs by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmark `f` with `input` threaded through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.0, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure taking only the bencher.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.measurement_time, f);
+        self
+    }
+
+    /// End the group (upstream finalizes reports here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing loop handle (subset of `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called in a loop; the measured routine's result is
+    /// black-boxed so the optimizer cannot delete it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, budget: Duration, mut f: F) {
+    // Calibration pass: one iteration, to size batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let batch = (budget.as_nanos() / 10 / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < budget {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += batch;
+    }
+    let mean = total.as_nanos() as f64 / iters as f64;
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench {label:<48} {:>12} iters  mean {}",
+        iters,
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a function running a list of benchmark functions (subset of
+/// upstream's `criterion_group!`; the `name = ..; config = ..` form is also
+/// accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut hits = 0u64;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &x| {
+                b.iter(|| {
+                    hits += 1;
+                    black_box(x + 1)
+                })
+            });
+            g.finish();
+        }
+        assert!(hits > 0, "the measured closure must actually run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("n4_m2").0, "n4_m2");
+    }
+}

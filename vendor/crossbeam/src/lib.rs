@@ -1,0 +1,92 @@
+//! Offline drop-in subset of the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) scoped-thread API,
+//! vendored because the build environment has no registry access.
+//!
+//! [`scope`] delegates to `std::thread::scope` (stable since 1.63), which
+//! provides the same guarantee crossbeam pioneered: spawned threads may
+//! borrow from the enclosing stack frame and are joined before `scope`
+//! returns. One behavioural difference: if a worker panics, the panic is
+//! resumed on the scoping thread instead of being returned as `Err`, so the
+//! `Result` returned here is always `Ok`. Callers that `.expect()` the
+//! result (the only pattern in this workspace) observe identical outcomes:
+//! a panic either way.
+
+use std::any::Any;
+use std::thread;
+
+/// A handle for spawning scoped threads (subset of
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope handle again,
+    /// like crossbeam's, so workers can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all are joined before the
+/// call returns (subset of `crossbeam::scope`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, matching the upstream layout.
+pub mod thread_mod {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        scope(|s| {
+            let sum = &sum;
+            for chunk in data.chunks(2) {
+                s.spawn(move |_| {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let hits = AtomicU64::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}
