@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the ending-class plan cache: walk hit vs miss
+//! cost, and cached vs uncached route-planning throughput (the ISSUE's
+//! ≥2x criterion at `n = 12`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gcube_routing::{ffgcr, ftgcr, FaultSet, PlanCache};
+use gcube_topology::{GaussianCube, LinkId, NodeId};
+
+/// Deterministic pair stream covering many ending-class combinations.
+fn pair(n: u32, i: u64) -> (NodeId, NodeId) {
+    let mask = (1u64 << n) - 1;
+    let x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (NodeId(x & mask), NodeId((x >> 21) & mask))
+}
+
+fn bench_walk_hit_miss(c: &mut Criterion) {
+    let gc = GaussianCube::new(12, 4).unwrap();
+    let (s, d) = (NodeId(0), NodeId((1 << 12) - 1));
+    let mut g = c.benchmark_group("plan_cache");
+    // Miss: a fresh cache pays one tree walk + table build.
+    g.bench_function("route_miss", |b| {
+        b.iter(|| {
+            let cache = PlanCache::new(&gc);
+            black_box(cache.route(&gc, s, d).unwrap())
+        })
+    });
+    // Hit: the same pair served from the warm cache.
+    let cache = PlanCache::new(&gc);
+    cache.route(&gc, s, d).unwrap();
+    g.bench_function("route_hit", |b| {
+        b.iter(|| black_box(cache.route(&gc, black_box(s), black_box(d)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_route_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_throughput");
+    for n in [10u32, 12, 14] {
+        let gc = GaussianCube::new(n, 4).unwrap();
+        g.bench_with_input(BenchmarkId::new("ffgcr_uncached", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let (s, d) = pair(n, i);
+                black_box(ffgcr::route(&gc, s, d).unwrap())
+            })
+        });
+        let cache = PlanCache::new(&gc);
+        g.bench_with_input(BenchmarkId::new("ffgcr_cached", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let (s, d) = pair(n, i);
+                black_box(ffgcr::route_cached(&gc, s, d, &cache).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ftgcr_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_throughput_faulty");
+    let n = 12u32;
+    let gc = GaussianCube::new(n, 4).unwrap();
+    let mut faults = FaultSet::new();
+    faults.add_node(NodeId(77));
+    faults.add_link(LinkId::new(NodeId(2048), 0));
+    g.bench_function("ftgcr_uncached", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let (s, d) = pair(n, i);
+            black_box(ftgcr::route(&gc, &faults, s, d))
+        })
+    });
+    let cache = PlanCache::new(&gc);
+    g.bench_function("ftgcr_cached", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let (s, d) = pair(n, i);
+            black_box(ftgcr::route_cached(&gc, &faults, s, d, &cache))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_hit_miss,
+    bench_route_throughput,
+    bench_ftgcr_throughput
+);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use gcube_sim::{FaultFreeGcr, FaultTolerantGcr, SimConfig, Simulator};
+use gcube_sim::{CachedFfgcr, FaultFreeGcr, FaultTolerantGcr, SimConfig, Simulator};
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_run");
@@ -44,5 +44,27 @@ fn bench_route_computation_rate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_route_computation_rate);
+fn bench_engine_cached(c: &mut Criterion) {
+    // Full-engine cycles at scale with the plan-cached strategy: the
+    // allocation-free forwarding loop plus amortised planning.
+    let mut g = c.benchmark_group("engine_cached");
+    g.sample_size(10);
+    let algo = CachedFfgcr::new();
+    for n in [10u32, 12, 14, 16] {
+        let cfg = SimConfig::new(n, 4)
+            .with_cycles(50, 500, 0)
+            .with_rate(0.005);
+        g.bench_with_input(BenchmarkId::new("cached_ffgcr", n), &cfg, |b, cfg| {
+            b.iter(|| Simulator::new(black_box(cfg.clone()), &algo).run())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_route_computation_rate,
+    bench_engine_cached
+);
 criterion_main!(benches);

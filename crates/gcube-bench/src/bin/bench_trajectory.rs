@@ -1,0 +1,176 @@
+//! Performance trajectory of the routing hot path, written to
+//! `BENCH_routing.json` (workspace root, `GCUBE_RESULTS_DIR`-aware).
+//!
+//! Measures with plain wall-clock timers (no Criterion harness) so it can
+//! run in CI and leave a machine-readable record:
+//!
+//! * route-planning throughput at `n = 12`, uncached vs plan-cached FFGCR
+//!   (the ISSUE's ≥2x criterion) and FTGCR under a small fault set;
+//! * the plan-cache hit rate over the measured pair stream;
+//! * full-engine cycles per second at `n ∈ {10, 12, 14}` with the cached
+//!   strategy.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gcube_bench::{quick, results_dir};
+use gcube_routing::{ffgcr, ftgcr, FaultSet, PlanCache};
+use gcube_sim::{CachedFfgcr, SimConfig, Simulator};
+use gcube_topology::{GaussianCube, LinkId, NodeId};
+
+/// Deterministic pair stream covering many ending-class combinations.
+fn pair(n: u32, i: u64) -> (NodeId, NodeId) {
+    let mask = (1u64 << n) - 1;
+    let x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (NodeId(x & mask), NodeId((x >> 21) & mask))
+}
+
+struct RoutePlanning {
+    pairs: u64,
+    uncached_per_sec: f64,
+    cached_per_sec: f64,
+    speedup: f64,
+    cache_hit_rate: f64,
+}
+
+fn measure_route_planning(n: u32, pairs: u64, faulty: bool) -> RoutePlanning {
+    let gc = GaussianCube::new(n, 4).unwrap();
+    let mut faults = FaultSet::new();
+    if faulty {
+        faults.add_node(NodeId(77));
+        faults.add_link(LinkId::new(NodeId(1 << (n - 1)), 0));
+    }
+
+    let t0 = Instant::now();
+    for i in 0..pairs {
+        let (s, d) = pair(n, i + 1);
+        if faulty {
+            let _ = std::hint::black_box(ftgcr::route(&gc, &faults, s, d));
+        } else {
+            std::hint::black_box(ffgcr::route(&gc, s, d).unwrap());
+        }
+    }
+    let uncached = t0.elapsed().as_secs_f64();
+
+    let cache = PlanCache::new(&gc);
+    let t1 = Instant::now();
+    for i in 0..pairs {
+        let (s, d) = pair(n, i + 1);
+        if faulty {
+            let _ = std::hint::black_box(ftgcr::route_cached(&gc, &faults, s, d, &cache));
+        } else {
+            std::hint::black_box(ffgcr::route_cached(&gc, s, d, &cache).unwrap());
+        }
+    }
+    let cached = t1.elapsed().as_secs_f64();
+
+    let stats = cache.stats();
+    RoutePlanning {
+        pairs,
+        uncached_per_sec: pairs as f64 / uncached,
+        cached_per_sec: pairs as f64 / cached,
+        speedup: uncached / cached,
+        cache_hit_rate: stats.hit_rate(),
+    }
+}
+
+struct EnginePoint {
+    n: u32,
+    cycles: u64,
+    cycles_per_sec: f64,
+}
+
+fn measure_engine(n: u32, inject: u64) -> EnginePoint {
+    let algo = CachedFfgcr::new();
+    let cfg = SimConfig::new(n, 4)
+        .with_cycles(inject, inject * 10, 0)
+        .with_rate(0.005);
+    let t0 = Instant::now();
+    let m = Simulator::new(cfg, &algo).run();
+    let elapsed = t0.elapsed().as_secs_f64();
+    EnginePoint {
+        n,
+        cycles: m.cycles,
+        cycles_per_sec: m.cycles as f64 / elapsed,
+    }
+}
+
+fn json_route(out: &mut String, key: &str, r: &RoutePlanning) {
+    let _ = write!(
+        out,
+        "  \"{key}\": {{\n    \"pairs\": {},\n    \"uncached_routes_per_sec\": {:.0},\n    \"cached_routes_per_sec\": {:.0},\n    \"speedup\": {:.2},\n    \"cache_hit_rate\": {:.4}\n  }}",
+        r.pairs, r.uncached_per_sec, r.cached_per_sec, r.speedup, r.cache_hit_rate
+    );
+}
+
+fn main() {
+    let pairs: u64 = if quick() { 20_000 } else { 100_000 };
+    let n = 12u32;
+
+    println!("route planning on GC({n}, 4), {pairs} pairs per mode\n");
+    let ff = measure_route_planning(n, pairs, false);
+    println!(
+        "  FFGCR  uncached {:>10.0}/s  cached {:>10.0}/s  speedup {:.2}x  hit rate {:.2}%",
+        ff.uncached_per_sec,
+        ff.cached_per_sec,
+        ff.speedup,
+        100.0 * ff.cache_hit_rate
+    );
+    let ft = measure_route_planning(n, pairs, true);
+    println!(
+        "  FTGCR  uncached {:>10.0}/s  cached {:>10.0}/s  speedup {:.2}x  hit rate {:.2}%",
+        ft.uncached_per_sec,
+        ft.cached_per_sec,
+        ft.speedup,
+        100.0 * ft.cache_hit_rate
+    );
+
+    let inject = if quick() { 30 } else { 100 };
+    println!("\nfull engine, cached FFGCR, {inject} inject cycles");
+    let engine: Vec<EnginePoint> = [10u32, 12, 14]
+        .iter()
+        .map(|&n| {
+            let p = measure_engine(n, inject);
+            println!(
+                "  n={:<2}  {:>6} cycles  {:>10.0} cycles/s",
+                p.n, p.cycles, p.cycles_per_sec
+            );
+            p
+        })
+        .collect();
+
+    // Hand-rolled JSON: the workspace has no serde, and the schema is flat.
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"bench_trajectory\",");
+    let _ = writeln!(out, "  \"cube\": \"GC({n}, 4)\",");
+    let _ = writeln!(out, "  \"quick\": {},", quick());
+    json_route(&mut out, "ffgcr", &ff);
+    out.push_str(",\n");
+    json_route(&mut out, "ftgcr_two_faults", &ft);
+    out.push_str(",\n  \"engine_cached_ffgcr\": [\n");
+    for (i, p) in engine.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {}, \"cycles\": {}, \"cycles_per_sec\": {:.0}}}{}",
+            p.n,
+            p.cycles,
+            p.cycles_per_sec,
+            if i + 1 < engine.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    let dir = results_dir();
+    let path = dir
+        .parent()
+        .map(|ws| ws.join("BENCH_routing.json"))
+        .unwrap_or_else(|| dir.join("BENCH_routing.json"));
+    std::fs::write(&path, &out).expect("write BENCH_routing.json");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        ff.speedup >= 2.0,
+        "ISSUE acceptance: cached FFGCR planning must be >= 2x at n = 12, got {:.2}x",
+        ff.speedup
+    );
+}

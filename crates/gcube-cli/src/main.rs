@@ -18,7 +18,7 @@ use gcube_analysis::tables::{num, Table};
 use gcube_analysis::{diameter, structure, tolerance};
 use gcube_routing::faults::{categorize, theorem5_precondition};
 use gcube_routing::{collective, ffgcr, ftgcr, FaultSet};
-use gcube_sim::{FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm, SimConfig, Simulator};
+use gcube_sim::{CachedFfgcr, CachedFtgcr, RoutingAlgorithm, SimConfig, Simulator};
 use gcube_topology::classes::dims;
 use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
 
@@ -222,10 +222,13 @@ fn simulate(
         cfg = cfg.with_ttl(ttl);
     }
     // Any fault — static or dynamic — needs the fault-tolerant strategy.
+    // Both run plan-cached: identical routes, amortised planning.
+    let ffgcr = CachedFfgcr::new();
+    let ftgcr = CachedFtgcr::new();
     let algo: &dyn RoutingAlgorithm = if faults == 0 && !dynamic {
-        &FaultFreeGcr
+        &ffgcr
     } else {
-        &FaultTolerantGcr
+        &ftgcr
     };
     let sim = Simulator::new(cfg, algo);
     if faults > 0 {

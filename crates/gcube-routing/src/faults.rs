@@ -23,11 +23,25 @@ use gcube_topology::{GaussianCube, GaussianTree, LinkId, LinkMask, NodeId, Topol
 ///
 /// Per the simulator's assumption (3), a faulty node makes all of its
 /// incident links faulty; [`FaultSet::is_link_usable`] accounts for that.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The set carries a [`generation`](FaultSet::generation) change stamp so
+/// observers (the simulator's routing view) can detect "nothing changed
+/// since I last looked" without comparing the whole set. Equality ignores
+/// the stamp: two sets are equal iff their faults are.
+#[derive(Clone, Debug, Default)]
 pub struct FaultSet {
     nodes: HashSet<NodeId>,
     links: HashSet<LinkId>,
+    generation: u64,
 }
+
+impl PartialEq for FaultSet {
+    fn eq(&self, other: &FaultSet) -> bool {
+        self.nodes == other.nodes && self.links == other.links
+    }
+}
+
+impl Eq for FaultSet {}
 
 impl FaultSet {
     /// An empty (fault-free) set.
@@ -37,12 +51,16 @@ impl FaultSet {
 
     /// Mark a node faulty.
     pub fn add_node(&mut self, n: NodeId) {
-        self.nodes.insert(n);
+        if self.nodes.insert(n) {
+            self.generation += 1;
+        }
     }
 
     /// Mark a link faulty.
     pub fn add_link(&mut self, l: LinkId) {
-        self.links.insert(l);
+        if self.links.insert(l) {
+            self.generation += 1;
+        }
     }
 
     /// Repair a node: it participates in routing again. Returns whether the
@@ -50,13 +68,44 @@ impl FaultSet {
     /// faulty — only the implicit "faulty endpoint kills the link" effect
     /// is lifted.
     pub fn remove_node(&mut self, n: NodeId) -> bool {
-        self.nodes.remove(&n)
+        let removed = self.nodes.remove(&n);
+        if removed {
+            self.generation += 1;
+        }
+        removed
     }
 
     /// Repair an explicitly faulty link. Returns whether it was marked.
     /// The link may still be unusable if an endpoint is a faulty node.
     pub fn remove_link(&mut self, l: LinkId) -> bool {
-        self.links.remove(&l)
+        let removed = self.links.remove(&l);
+        if removed {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// The change stamp: bumped on every *effective* mutation (inserting a
+    /// fault already present, or removing one that is absent, leaves it
+    /// untouched). [`FaultSet::sync_from`] adopts the source's stamp, so
+    /// the value is a change detector, not a monotone counter.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Make `self` an exact copy of `other` — contents and generation —
+    /// reusing `self`'s hash-table allocations instead of cloning.
+    ///
+    /// After the call `self.generation() == other.generation()`; a consumer
+    /// that records the pair of stamps at sync time can skip future syncs
+    /// while both stamps are unchanged.
+    pub fn sync_from(&mut self, other: &FaultSet) {
+        self.nodes.clear();
+        self.nodes.extend(other.nodes.iter().copied());
+        self.links.clear();
+        self.links.extend(other.links.iter().copied());
+        self.generation = other.generation;
     }
 
     /// Whether the node itself is faulty.
@@ -392,6 +441,54 @@ mod tests {
         f.add_node(NodeId(8));
         assert!(!f.is_link_usable(LinkId::new(NodeId(8), 0)));
         assert!(f.is_link_usable(LinkId::new(NodeId(16), 4)));
+    }
+
+    #[test]
+    fn generation_tracks_effective_mutations_only() {
+        let mut f = FaultSet::new();
+        assert_eq!(f.generation(), 0);
+        f.add_node(NodeId(3));
+        assert_eq!(f.generation(), 1);
+        f.add_node(NodeId(3)); // already present: no change
+        assert_eq!(f.generation(), 1);
+        f.add_link(LinkId::new(NodeId(0), 0));
+        assert_eq!(f.generation(), 2);
+        assert!(!f.remove_node(NodeId(99))); // absent: no change
+        assert_eq!(f.generation(), 2);
+        assert!(f.remove_node(NodeId(3)));
+        assert_eq!(f.generation(), 3);
+        assert!(f.remove_link(LinkId::new(NodeId(0), 0)));
+        assert_eq!(f.generation(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_generation() {
+        let mut a = FaultSet::new();
+        a.add_node(NodeId(1));
+        let mut b = FaultSet::new();
+        b.add_node(NodeId(2));
+        b.remove_node(NodeId(2));
+        b.add_node(NodeId(1));
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a, b, "same faults must compare equal despite stamps");
+    }
+
+    #[test]
+    fn sync_from_copies_contents_and_stamp() {
+        let mut truth = FaultSet::new();
+        truth.add_node(NodeId(7));
+        truth.add_link(LinkId::new(NodeId(2), 1));
+        let mut view = FaultSet::new();
+        view.add_node(NodeId(42)); // stale local observation
+        view.sync_from(&truth);
+        assert_eq!(view, truth);
+        assert_eq!(view.generation(), truth.generation());
+        assert!(!view.is_node_faulty(NodeId(42)));
+        // Repairs propagate too (the clear-and-extend path).
+        truth.remove_node(NodeId(7));
+        view.sync_from(&truth);
+        assert_eq!(view, truth);
+        assert!(!view.is_node_faulty(NodeId(7)));
     }
 
     #[test]

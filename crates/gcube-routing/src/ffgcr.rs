@@ -26,6 +26,7 @@ use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
 
 use crate::ct::{ct_walk, find_bp};
 use crate::pc::pc_path;
+use crate::plan_cache::PlanCache;
 use crate::route::{Route, RoutingError};
 
 /// The source-computable plan behind an FFGCR route (paper §4: "for each
@@ -98,6 +99,19 @@ pub fn route(gc: &GaussianCube, s: NodeId, d: NodeId) -> Result<Route, RoutingEr
     }
     let p = plan(gc, s, d);
     realize(gc, s, d, &p)
+}
+
+/// FFGCR served from a [`PlanCache`]: the identical node sequence to
+/// [`route`] (property-tested), with the tree walk memoised by
+/// `(EC(s), EC(d), required-class mask)` and realised as an XOR replay.
+pub fn route_cached(
+    gc: &GaussianCube,
+    s: NodeId,
+    d: NodeId,
+    cache: &PlanCache,
+) -> Result<Route, RoutingError> {
+    debug_assert!(cache.matches(gc), "cache must be built for this cube");
+    cache.route(gc, s, d)
 }
 
 /// Turn a plan into the concrete GC node sequence.

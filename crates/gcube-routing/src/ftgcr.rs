@@ -26,7 +26,7 @@
 //! the paper grants a source (assumption 4 of §6: status of B/C faults for
 //! same-ending nodes).
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use gcube_topology::classes::dims;
 use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
@@ -35,6 +35,7 @@ use crate::faults::FaultSet;
 use crate::ffgcr;
 use crate::freh::{route_crossing, CrossingStats};
 use crate::hypercube_ft::{route_adaptive, to_host_path, VirtualCube};
+use crate::plan_cache::PlanCache;
 use crate::route::{Route, RoutingError};
 
 /// Statistics aggregated over a full FTGCR route.
@@ -136,7 +137,10 @@ fn repair_exec_plan(
                 .map(|(i, _)| i)
                 .collect()
         };
-        let classes: HashSet<u64> = ep.walk.iter().copied().collect();
+        // Deterministic candidate order: HashSet iteration order varies
+        // per instance, which would make repeated calls repair the same
+        // plan differently.
+        let classes: BTreeSet<u64> = ep.walk.iter().copied().collect();
         for &kk in &classes {
             let vis = visit_indices(kk, &ep);
             for &a in &vis {
@@ -261,6 +265,31 @@ pub fn route(
     s: NodeId,
     d: NodeId,
 ) -> Result<(Route, FtgcrStats), RoutingError> {
+    route_impl(gc, faults, s, d, None)
+}
+
+/// FTGCR with the plan stage served from a [`PlanCache`]: identical output
+/// to [`route`] (property-tested), with the tree walk memoised instead of
+/// recomputed per packet. Fault repair and crossing detours stay
+/// per-packet — the cache is keyed purely by topology, so fault events
+/// never invalidate it.
+pub fn route_cached(
+    gc: &GaussianCube,
+    faults: &FaultSet,
+    s: NodeId,
+    d: NodeId,
+    cache: &PlanCache,
+) -> Result<(Route, FtgcrStats), RoutingError> {
+    route_impl(gc, faults, s, d, Some(cache))
+}
+
+fn route_impl(
+    gc: &GaussianCube,
+    faults: &FaultSet,
+    s: NodeId,
+    d: NodeId,
+    cache: Option<&PlanCache>,
+) -> Result<(Route, FtgcrStats), RoutingError> {
     if !gc.contains(s) {
         return Err(RoutingError::OutOfRange(s));
     }
@@ -285,8 +314,31 @@ pub fn route(
         return Ok((Route::new(to_host_path(&vc, &coords)), stats));
     }
 
-    let plan = ffgcr::plan(gc, s, d);
-    let ep = default_exec_plan(&plan);
+    // The default schedule flips each class's pending dimensions at its
+    // first visit, whether replayed from the cache or rebuilt from scratch
+    // — both paths produce the identical ExecPlan.
+    let (ep, plan_hops) = match cache.filter(|c| c.is_active() && c.matches(gc)) {
+        Some(c) => {
+            let (walk, high) = c.walk_and_flips(gc, s, d);
+            let mut flips_at = vec![0u64; walk.classes.len()];
+            for (i, &k) in walk.classes.iter().enumerate() {
+                if walk.first_visit[i] {
+                    flips_at[i] = c.class_dims(k) & high;
+                }
+            }
+            let plan_hops = walk.tree_hops() + high.count_ones() as usize;
+            let ep = ExecPlan {
+                walk: walk.classes.clone(),
+                flips_at,
+            };
+            (ep, plan_hops)
+        }
+        None => {
+            let plan = ffgcr::plan(gc, s, d);
+            let hops = plan.hops();
+            (default_exec_plan(&plan), hops)
+        }
+    };
     let ep = repair_exec_plan(gc, faults, s, ep, &mut stats)
         .ok_or(RoutingError::Unreachable { from: s, to: d })?;
     let corners = ep.corners(gc, s);
@@ -297,7 +349,7 @@ pub fn route(
     let mut cur = s;
 
     // Per-crossing hop budget: plan size + generous fault allowance.
-    let budget = (plan.hops() + 2 * faults.len() + 8) * 4 + 16;
+    let budget = (plan_hops + 2 * faults.len() + 8) * 4 + 16;
 
     for (i, &k) in ep.walk.iter().enumerate() {
         let target = corners[i];
@@ -533,6 +585,45 @@ mod tests {
             r.validate(&gc, &f).unwrap();
             assert!(r.nodes().iter().all(|&v| v != NodeId(0b0110)));
         }
+    }
+
+    #[test]
+    fn cached_ftgcr_equals_uncached_under_faults() {
+        use crate::plan_cache::PlanCache;
+        let gc = GaussianCube::new(8, 4).unwrap();
+        let cache = PlanCache::new(&gc);
+        let mut rng = Rng(0xfeedface12345678);
+        for _trial in 0..40 {
+            let mut f = FaultSet::new();
+            for _ in 0..rng.next() % 3 {
+                f.add_node(NodeId(rng.next() % gc.num_nodes()));
+            }
+            for _ in 0..rng.next() % 3 {
+                let v = NodeId(rng.next() % gc.num_nodes());
+                let ds = gc.link_dims(v);
+                f.add_link(LinkId::new(v, ds[(rng.next() % ds.len() as u64) as usize]));
+            }
+            for s in (0..gc.num_nodes()).step_by(23) {
+                for d in (0..gc.num_nodes()).step_by(31) {
+                    let plain = route(&gc, &f, NodeId(s), NodeId(d));
+                    let cached = route_cached(&gc, &f, NodeId(s), NodeId(d), &cache);
+                    match (plain, cached) {
+                        (Ok((r1, st1)), Ok((r2, st2))) => {
+                            assert_eq!(r1.nodes(), r2.nodes(), "{s}->{d} with {f:?}");
+                            assert_eq!(st1, st2);
+                        }
+                        (Err(e1), Err(e2)) => assert_eq!(
+                            format!("{e1}"),
+                            format!("{e2}"),
+                            "{s}->{d}: error paths must agree"
+                        ),
+                        (a, b) => panic!("{s}->{d}: cached/uncached diverge: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+        let st = cache.stats();
+        assert!(st.hits > 0, "repeat keys must hit the cache: {st:?}");
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!
 //! Beyond the §5 pipeline:
 //!
+//! * [`plan_cache`] — the ending-class plan cache: Theorem 2 makes the
+//!   tree walk a function of `(EC(s), EC(d), required classes)` alone, so
+//!   per-packet planning memoises down to a lookup plus an XOR replay;
 //! * [`knowledge`] — the distributed fault-status exchange protocol behind
 //!   the paper's claims 4–5 (rounds of neighbour exchange, bounded
 //!   per-node fault lists);
@@ -48,8 +51,10 @@ pub mod ftgcr;
 pub mod hypercube_ft;
 pub mod knowledge;
 pub mod pc;
+pub mod plan_cache;
 pub mod route;
 pub mod verify;
 
 pub use faults::{FaultCategory, FaultSet};
+pub use plan_cache::{CacheStats, CachedWalk, PlanCache};
 pub use route::{Route, RoutingError};

@@ -1,0 +1,340 @@
+//! The ending-class plan cache — the perf layer over Algorithms 1/3.
+//!
+//! Theorem 2's projection argument says an FFGCR plan is determined by the
+//! route's *tree-level* data alone: the endpoint ending classes `EC(s)`,
+//! `EC(d)` and the set of classes that own a pending high-dimension flip
+//! (`{c mod 2^α : c ≥ α, bit c of s ⊕ d set}`). Nothing else about the
+//! concrete pair enters the walk construction — `2^n` node pairs collapse
+//! onto at most `2^α · 2^α · 2^{2^α}` distinct planning problems, and in
+//! practice onto the handful of keys live traffic actually exercises.
+//!
+//! [`PlanCache`] memoises the tree walk (PC trunk + CT side trips, with
+//! per-step edge dimensions and first-visit flags precomputed) under the
+//! key `(EC(s), EC(d), required-class mask)`. Realising a concrete route
+//! then reduces to an XOR replay: walk the cached class sequence, flipping
+//! each class's pending dimensions (`Dim(α,k) ∩ (s ⊕ d)`, ascending) at
+//! its first visit. No sets, no maps, no tree search — the only allocation
+//! is the output route itself.
+//!
+//! The packed mask needs `2^α ≤ 64`; wider spines (α > 6, rare — the paper
+//! evaluates α ≤ 4) transparently fall back to the uncached planner. The
+//! cache is keyed purely by topology, so fault events never invalidate it:
+//! fault handling (FTGCR's plan repair and crossing detours) stays
+//! per-packet, downstream of the cached walk. See DESIGN.md §8.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gcube_topology::classes::{class_dim_masks, required_class_mask};
+use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
+
+use crate::ffgcr;
+use crate::route::{Route, RoutingError};
+
+/// Largest `α` the packed cache key supports: the required-class set must
+/// fit a 64-bit mask, so `2^α ≤ 64`.
+pub const MAX_CACHED_ALPHA: u32 = 6;
+
+/// One memoised tree walk, preprocessed for allocation-free replay.
+#[derive(Clone, Debug)]
+pub struct CachedWalk {
+    /// The ending-class sequence (PC trunk plus CT side trips).
+    pub classes: Vec<u64>,
+    /// `edge_dims[i]` is the dimension (`< α`) crossing
+    /// `classes[i] → classes[i+1]`; length `classes.len() - 1`.
+    pub edge_dims: Vec<u32>,
+    /// Whether position `i` is the walk's first visit of `classes[i]` —
+    /// where FFGCR schedules that class's dimension flips.
+    pub first_visit: Vec<bool>,
+}
+
+impl CachedWalk {
+    /// Tree hops of the walk (excludes intra-class flips).
+    #[inline]
+    pub fn tree_hops(&self) -> usize {
+        self.edge_dims.len()
+    }
+}
+
+/// Snapshot of the cache's hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a memoised walk.
+    pub hits: u64,
+    /// Lookups that had to build the walk.
+    pub misses: u64,
+    /// Distinct keys currently memoised.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (`1.0` for an untouched cache).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoised planner for one cube shape `GC(n, 2^α)`.
+///
+/// Thread-safe: lookups take a short internal lock on the walk map and
+/// share walks via `Arc`, so one cache can serve a whole sweep.
+#[derive(Debug)]
+pub struct PlanCache {
+    n: u32,
+    alpha: u32,
+    tree: GaussianTree,
+    /// `Dim(α, k)` per class as a dimension bitmask (empty when inactive).
+    class_dim_mask: Vec<u64>,
+    walks: Mutex<HashMap<(u64, u64, u64), Arc<CachedWalk>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Build a cache for `gc`'s shape. Cheap: the walk map starts empty
+    /// and fills on demand.
+    pub fn new(gc: &GaussianCube) -> PlanCache {
+        let (n, alpha) = (gc.n(), gc.alpha());
+        let class_dim_mask = if alpha <= MAX_CACHED_ALPHA {
+            class_dim_masks(n, alpha)
+        } else {
+            Vec::new()
+        };
+        PlanCache {
+            n,
+            alpha,
+            tree: GaussianTree::new(alpha).expect("alpha within width cap"),
+            class_dim_mask,
+            walks: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this cache was built for `gc`'s shape.
+    #[inline]
+    pub fn matches(&self, gc: &GaussianCube) -> bool {
+        self.n == gc.n() && self.alpha == gc.alpha()
+    }
+
+    /// Whether the packed key applies (`α ≤ 6`). When `false`, [`route`]
+    /// transparently delegates to the uncached planner.
+    ///
+    /// [`route`]: PlanCache::route
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.alpha <= MAX_CACHED_ALPHA
+    }
+
+    /// `Dim(α, k)` as a dimension bitmask. Panics when inactive.
+    #[inline]
+    pub fn class_dims(&self, k: u64) -> u64 {
+        self.class_dim_mask[k as usize]
+    }
+
+    /// The memoised walk from class `ks` to `kd` covering the classes in
+    /// `required` (a class bitmask), built on first use.
+    pub fn walk(&self, ks: u64, kd: u64, required: u64) -> Arc<CachedWalk> {
+        let key = (ks, kd, required);
+        if let Some(w) = self.walks.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(w);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Built outside the lock: a racing builder produces the identical
+        // walk, and `or_insert` keeps whichever landed first.
+        let built = Arc::new(self.build_walk(ks, kd, required));
+        Arc::clone(self.walks.lock().entry(key).or_insert(built))
+    }
+
+    fn build_walk(&self, ks: u64, kd: u64, required: u64) -> CachedWalk {
+        let req: BTreeSet<NodeId> = (0..64u64)
+            .filter(|&k| required >> k & 1 == 1)
+            .map(NodeId)
+            .collect();
+        let walk = ffgcr::tree_walk_covering(&self.tree, NodeId(ks), NodeId(kd), &req);
+        let edge_dims = walk
+            .windows(2)
+            .map(|w| {
+                self.tree
+                    .edge_dim(w[0], w[1])
+                    .expect("walk follows tree edges")
+            })
+            .collect();
+        let mut seen = 0u64;
+        let first_visit = walk
+            .iter()
+            .map(|k| {
+                let bit = 1u64 << k.0;
+                let first = seen & bit == 0;
+                seen |= bit;
+                first
+            })
+            .collect();
+        CachedWalk {
+            classes: walk.into_iter().map(|k| k.0).collect(),
+            edge_dims,
+            first_visit,
+        }
+    }
+
+    /// The cached walk plus the high-dimension flip mask
+    /// (`(s ⊕ d)` restricted to dimensions `≥ α`) for a concrete pair —
+    /// the two ingredients FTGCR's executor builds its schedule from.
+    pub fn walk_and_flips(
+        &self,
+        gc: &GaussianCube,
+        s: NodeId,
+        d: NodeId,
+    ) -> (Arc<CachedWalk>, u64) {
+        debug_assert!(self.is_active() && self.matches(gc));
+        let high = (s.0 ^ d.0) >> self.alpha << self.alpha;
+        let required = required_class_mask(self.alpha, s, d);
+        (
+            self.walk(gc.ending_class(s), gc.ending_class(d), required),
+            high,
+        )
+    }
+
+    /// FFGCR through the cache: the node sequence is identical to
+    /// [`ffgcr::route`]'s (property-tested), at cache-lookup + XOR-replay
+    /// cost. The output route is the only allocation.
+    pub fn route(&self, gc: &GaussianCube, s: NodeId, d: NodeId) -> Result<Route, RoutingError> {
+        if !gc.contains(s) {
+            return Err(RoutingError::OutOfRange(s));
+        }
+        if !gc.contains(d) {
+            return Err(RoutingError::OutOfRange(d));
+        }
+        if !self.is_active() {
+            return ffgcr::route(gc, s, d);
+        }
+        let (walk, high) = self.walk_and_flips(gc, s, d);
+        let mut nodes = Vec::with_capacity(walk.classes.len() + high.count_ones() as usize);
+        let mut cur = s;
+        nodes.push(cur);
+        for (i, &k) in walk.classes.iter().enumerate() {
+            if i > 0 {
+                cur = cur.flip(walk.edge_dims[i - 1]);
+                nodes.push(cur);
+            }
+            if walk.first_visit[i] {
+                // This class's pending flips, ascending — the same order
+                // ffgcr::realize uses.
+                let mut pending = self.class_dim_mask[k as usize] & high;
+                while pending != 0 {
+                    let c = pending.trailing_zeros();
+                    pending &= pending - 1;
+                    cur = cur.flip(c);
+                    nodes.push(cur);
+                }
+            }
+        }
+        debug_assert_eq!(cur, d, "cached realisation must land on the destination");
+        if cur != d {
+            return Err(RoutingError::Unreachable { from: s, to: d });
+        }
+        Ok(Route::new(nodes))
+    }
+
+    /// Snapshot the hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.walks.lock().len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::NoFaults;
+
+    #[test]
+    fn cached_routes_equal_uncached_exhaustively() {
+        for (n, m) in [(6u32, 1u64), (6, 2), (6, 4), (7, 8), (5, 16)] {
+            let gc = GaussianCube::new(n, m).unwrap();
+            let cache = PlanCache::new(&gc);
+            for s in 0..gc.num_nodes() {
+                for d in 0..gc.num_nodes() {
+                    let cached = cache.route(&gc, NodeId(s), NodeId(d)).unwrap();
+                    let plain = ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap();
+                    assert_eq!(
+                        cached.nodes(),
+                        plain.nodes(),
+                        "GC({n},{m}) {s}->{d}: cached route must be identical"
+                    );
+                    cached.validate(&gc, &NoFaults).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let gc = GaussianCube::new(8, 4).unwrap();
+        let cache = PlanCache::new(&gc);
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.route(&gc, NodeId(0), NodeId(255)).unwrap();
+        let after_first = cache.stats();
+        assert_eq!(after_first.hits, 0);
+        assert!(after_first.misses >= 1 && after_first.entries >= 1);
+        // Same pair again: pure hit.
+        cache.route(&gc, NodeId(0), NodeId(255)).unwrap();
+        let after_second = cache.stats();
+        assert_eq!(after_second.hits, after_first.hits + 1);
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hit_rate() > 0.0);
+        // A pair with the same classes and required set shares the entry.
+        let (s2, d2) = (NodeId(0b0100), NodeId(0b0100 ^ 255));
+        assert_eq!(gc.ending_class(s2), gc.ending_class(NodeId(0)));
+        cache.route(&gc, s2, d2).unwrap();
+        assert_eq!(cache.stats().hits, after_second.hits + 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let gc = GaussianCube::new(4, 2).unwrap();
+        let cache = PlanCache::new(&gc);
+        assert!(cache.route(&gc, NodeId(16), NodeId(0)).is_err());
+        assert!(cache.route(&gc, NodeId(0), NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn wide_spine_falls_back_to_uncached() {
+        // α = 7 > MAX_CACHED_ALPHA: the cache must stay correct by
+        // delegating to the plain planner.
+        let gc = GaussianCube::new(8, 128).unwrap();
+        let cache = PlanCache::new(&gc);
+        assert!(!cache.is_active());
+        for (s, d) in [(0u64, 255u64), (17, 200), (99, 99)] {
+            let cached = cache.route(&gc, NodeId(s), NodeId(d)).unwrap();
+            let plain = ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap();
+            assert_eq!(cached.nodes(), plain.nodes());
+        }
+        assert_eq!(cache.stats().entries, 0, "fallback must not populate");
+    }
+
+    #[test]
+    fn alpha_zero_degenerates_to_hamming_replay() {
+        let gc = GaussianCube::new(10, 1).unwrap();
+        let cache = PlanCache::new(&gc);
+        assert!(cache.is_active());
+        for (s, d) in [(0u64, 1023u64), (37, 512), (123, 321)] {
+            let cached = cache.route(&gc, NodeId(s), NodeId(d)).unwrap();
+            let plain = ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap();
+            assert_eq!(cached.nodes(), plain.nodes());
+            assert_eq!(cached.hops() as u32, NodeId(s).hamming(NodeId(d)));
+        }
+    }
+}

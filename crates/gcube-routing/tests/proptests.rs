@@ -9,7 +9,7 @@ use gcube_routing::ct::{ct_walk, steiner_edges};
 use gcube_routing::faults::{link_category, node_category, FaultCategory, FaultSet};
 use gcube_routing::pc::pc_path;
 use gcube_routing::verify::{assign_virtual_channels, ChannelDependencyGraph};
-use gcube_routing::{ffgcr, Route};
+use gcube_routing::{ffgcr, ftgcr, PlanCache, Route};
 use gcube_topology::{search, GaussianCube, GaussianTree, LinkId, NoFaults, NodeId, Topology};
 
 fn arb_tree() -> impl Strategy<Value = GaussianTree> {
@@ -188,6 +188,61 @@ proptest! {
                 f.is_link_usable(link),
                 !links.contains(&link) && !nodes.contains(&a) && !nodes.contains(&b)
             );
+        }
+    }
+
+    /// ISSUE acceptance: plan-cached FFGCR is *route-identical* to the
+    /// uncached algorithm for arbitrary cubes and pairs — the cache is an
+    /// optimisation, never a behaviour change.
+    #[test]
+    fn cached_ffgcr_equals_uncached((gc, s, d) in arb_gc().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), 0..n, 0..n)
+    })) {
+        let cache = PlanCache::new(&gc);
+        let plain = ffgcr::route(&gc, NodeId(s), NodeId(d)).unwrap();
+        let cached = ffgcr::route_cached(&gc, NodeId(s), NodeId(d), &cache).unwrap();
+        prop_assert_eq!(plain.nodes(), cached.nodes());
+        // And again, so the second call is served from the cache.
+        let hit = ffgcr::route_cached(&gc, NodeId(s), NodeId(d), &cache).unwrap();
+        prop_assert_eq!(plain.nodes(), hit.nodes());
+    }
+
+    /// ISSUE acceptance: plan-cached FTGCR matches the uncached strategy
+    /// under arbitrary fault sets — identical route or identical error.
+    #[test]
+    fn cached_ftgcr_equals_uncached((gc, s, d, fault_nodes, fault_links) in arb_gc().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        let w = gc.n();
+        (
+            Just(gc),
+            0..n,
+            0..n,
+            proptest::collection::vec(0..n, 0..4),
+            proptest::collection::vec((0..n, 0..w), 0..4),
+        )
+    })) {
+        let (s, d) = (NodeId(s), NodeId(d));
+        let mut faults = FaultSet::new();
+        for v in fault_nodes {
+            let v = NodeId(v);
+            if v != s && v != d {
+                faults.add_node(v);
+            }
+        }
+        for (v, c) in fault_links {
+            faults.add_link(LinkId::new(NodeId(v), c));
+        }
+        let cache = PlanCache::new(&gc);
+        let plain = ftgcr::route(&gc, &faults, s, d);
+        let cached = ftgcr::route_cached(&gc, &faults, s, d, &cache);
+        match (plain, cached) {
+            (Ok((r1, st1)), Ok((r2, st2))) => {
+                prop_assert_eq!(r1.nodes(), r2.nodes());
+                prop_assert_eq!(st1, st2);
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1.to_string(), e2.to_string()),
+            (p, c) => prop_assert!(false, "divergence: plain={p:?} cached={c:?}"),
         }
     }
 

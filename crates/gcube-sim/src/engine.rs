@@ -35,7 +35,7 @@
 //! exhausted, when no recovery route exists, or when the node buffering
 //! them dies.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use gcube_routing::knowledge::exchange_rounds;
 use gcube_routing::FaultSet;
@@ -136,12 +136,29 @@ impl<'a> Simulator<'a> {
         // fault set, and the run is bit-for-bit the seed engine's.
         let mut truth = self.faults.clone();
         let mut view = self.faults.clone();
+        // Generation stamps of (truth, view) at the last sync: when neither
+        // set changed since, reconvergence skips the copy entirely.
+        let mut synced = (truth.generation(), view.generation());
         let mut injector =
             FaultInjector::new(&self.gc, self.config.schedule.clone(), self.config.seed);
         let dynamic = !self.config.schedule.is_none();
         // Cycle at which the view next snaps to the truth, if an exchange
         // is in progress.
         let mut converge_at: Option<u64> = None;
+
+        // Reusable per-cycle scratch, allocated once for the whole run:
+        // the forwarding hot path is allocation-free.
+        let n_dims = self.gc.n() as usize;
+        // One slot per directed link (node × dimension), stamped with the
+        // cycle's generation when used — an O(1)-clear replacement for a
+        // per-cycle HashSet<(NodeId, NodeId)>.
+        let mut link_stamp: Vec<u32> = vec![0; n_nodes as usize * n_dims];
+        let mut stamp_gen: u32 = 0;
+        let mut moves: Vec<Packet> = Vec::new();
+        // Backpressure scratch: arrivals granted this cycle per node, with
+        // a touched-list so resetting costs O(arrivals), not O(nodes).
+        let mut arriving: Vec<u32> = vec![0; n_nodes as usize];
+        let mut arrival_nodes: Vec<usize> = Vec::new();
 
         let mut ended_at = total_cycles;
         for cycle in 0..total_cycles {
@@ -178,7 +195,7 @@ impl<'a> Simulator<'a> {
                     }
                     let delay = self.knowledge_delay(&truth);
                     if delay == 0 {
-                        view = truth.clone();
+                        sync_view(&mut view, &truth, &mut synced);
                     } else {
                         // A new event during an ongoing exchange restarts
                         // it: convergence is measured from the last change.
@@ -187,7 +204,7 @@ impl<'a> Simulator<'a> {
                 }
                 if let Some(t) = converge_at {
                     if cycle >= t {
-                        view = truth.clone();
+                        sync_view(&mut view, &truth, &mut synced);
                         converge_at = None;
                         metrics.reconvergences += 1;
                     } else {
@@ -221,6 +238,7 @@ impl<'a> Simulator<'a> {
                         Ok(route) => {
                             let pkt = Packet::new(next_id, cycle, route);
                             next_id += 1;
+                            metrics.injected_total += 1;
                             if measuring {
                                 metrics.injected += 1;
                             }
@@ -228,6 +246,7 @@ impl<'a> Simulator<'a> {
                             if pkt.arrived() {
                                 // src == dst cannot happen (pick_dest), but a
                                 // zero-hop route would sink immediately.
+                                metrics.delivered_total += 1;
                                 if measuring {
                                     metrics.delivered += 1;
                                 }
@@ -238,6 +257,7 @@ impl<'a> Simulator<'a> {
                             }
                         }
                         Err(_) => {
+                            metrics.route_failures_total += 1;
                             if measuring {
                                 metrics.route_failures += 1;
                             }
@@ -246,24 +266,42 @@ impl<'a> Simulator<'a> {
                 }
             }
 
-            // 2. Forwarding phase: one packet per directed link per cycle.
+            // 2. Forwarding phase: one packet per directed link per cycle,
+            //    tracked in the generation-stamped (node, dim) table.
             //    Rotate the service order for fairness.
-            let mut used_links: HashSet<(NodeId, NodeId)> = HashSet::new();
+            stamp_gen = stamp_gen.wrapping_add(1);
+            if stamp_gen == 0 {
+                // u32 wrap: old stamps could alias the new generation.
+                link_stamp.fill(0);
+                stamp_gen = 1;
+            }
             let offset = (cycle % n_nodes) as usize;
-            let mut moves: Vec<Packet> = Vec::new();
-            // Backpressure accounting: occupancy snapshot plus arrivals
-            // granted this cycle (departures free their slot next cycle —
-            // conservative store-and-forward).
-            let mut arriving = vec![0usize; n_nodes as usize];
             for i in 0..n_nodes as usize {
                 let v = (i + offset) % n_nodes as usize;
                 let Some(head) = queues[v].front() else {
                     continue;
                 };
                 let from = head.current();
-                let to = head.next_hop().expect("queued packets have a next hop");
+                let Some(to) = head.next_hop() else {
+                    // A recovery replan can find the packet already at its
+                    // destination (the original route passed through it on
+                    // the way elsewhere): sink it instead of forwarding.
+                    let pkt = queues[v].pop_front().expect("head exists");
+                    in_flight -= 1;
+                    metrics.delivered_total += 1;
+                    windows[widx].delivered += 1;
+                    if measuring && pkt.injected_at >= warmup {
+                        metrics.delivered += 1;
+                        metrics.total_latency += cycle - pkt.injected_at;
+                        metrics.rerouted_hops += pkt.detour_hops();
+                        if pkt.reroutes > 0 {
+                            metrics.rerouted_packets += 1;
+                        }
+                    }
+                    continue;
+                };
+                let dim = (from.0 ^ to.0).trailing_zeros();
                 if dynamic {
-                    let dim = (from.0 ^ to.0).trailing_zeros();
                     let link = LinkId::new(from, dim);
                     if !truth.is_link_usable(link) {
                         // The planned hop is dead: the holder observes the
@@ -280,62 +318,70 @@ impl<'a> Simulator<'a> {
                                 measuring,
                                 warmup,
                             );
-                        } else if queues[v].front().is_some_and(|p| p.reroutes == 1) {
-                            let measured_pkt = measuring
-                                && queues[v].front().is_some_and(|p| p.injected_at >= warmup);
-                            if measured_pkt {
-                                metrics.rerouted_packets += 1;
-                            }
                         }
                         continue;
                     }
-                    if head.hops_taken >= ttl {
-                        let pkt = queues[v].pop_front().expect("head exists");
-                        in_flight -= 1;
-                        self.count_drop(
-                            &mut metrics,
-                            &mut windows[widx],
-                            &pkt,
-                            DropCause::TtlExpired,
-                            measuring,
-                            warmup,
-                        );
-                        continue;
-                    }
                 }
-                if used_links.contains(&(from, to)) {
+                // The TTL applies to static runs too: a packet out of hop
+                // budget dies here whether or not faults are in play.
+                if head.hops_taken >= ttl {
+                    let pkt = queues[v].pop_front().expect("head exists");
+                    in_flight -= 1;
+                    self.count_drop(
+                        &mut metrics,
+                        &mut windows[widx],
+                        &pkt,
+                        DropCause::TtlExpired,
+                        measuring,
+                        warmup,
+                    );
+                    continue;
+                }
+                let slot = v * n_dims + dim as usize;
+                if link_stamp[slot] == stamp_gen {
                     continue; // link busy this cycle; wait
                 }
                 let sinks = head.hop_idx + 2 == head.route.nodes().len();
                 if let Some(cap) = capacity {
                     // A packet sinking at its destination always fits
                     // (eager readership at the consumer); otherwise the
-                    // target buffer must have room.
-                    if !sinks && queues[to.0 as usize].len() + arriving[to.0 as usize] >= cap {
+                    // target buffer must have room. Arrivals granted this
+                    // cycle count against the room; departures free their
+                    // slot next cycle — conservative store-and-forward.
+                    if !sinks
+                        && queues[to.0 as usize].len() + arriving[to.0 as usize] as usize >= cap
+                    {
                         continue; // backpressure: wait for room
                     }
                 }
                 if !sinks {
+                    if arriving[to.0 as usize] == 0 {
+                        arrival_nodes.push(to.0 as usize);
+                    }
                     arriving[to.0 as usize] += 1;
                 }
-                used_links.insert((from, to));
+                link_stamp[slot] = stamp_gen;
                 let mut pkt = queues[v].pop_front().expect("head exists");
                 pkt.hop_idx += 1;
                 pkt.hops_taken += 1;
                 moves.push(pkt);
             }
-            for pkt in moves {
+            for pkt in moves.drain(..) {
                 let measured_pkt = measuring && pkt.injected_at >= warmup;
                 if measured_pkt {
                     metrics.total_hops += 1;
                 }
                 if pkt.arrived() {
                     in_flight -= 1;
+                    metrics.delivered_total += 1;
                     windows[widx].delivered += 1;
                     if measured_pkt {
                         metrics.delivered += 1;
                         metrics.total_latency += cycle + 1 - pkt.injected_at;
                         metrics.rerouted_hops += pkt.detour_hops();
+                        if pkt.reroutes > 0 {
+                            metrics.rerouted_packets += 1;
+                        }
                     }
                 } else {
                     // Keep FIFO order at the receiving node; the packet can
@@ -344,6 +390,10 @@ impl<'a> Simulator<'a> {
                     queues[cur].push_back(pkt);
                 }
             }
+            for &t in &arrival_nodes {
+                arriving[t] = 0;
+            }
+            arrival_nodes.clear();
 
             if cycle >= self.config.inject_cycles && in_flight == 0 {
                 ended_at = cycle + 1;
@@ -410,6 +460,11 @@ impl<'a> Simulator<'a> {
     }
 
     /// Account one dropped packet in the aggregate and window counters.
+    ///
+    /// A packet that ever re-routed counts towards `rerouted_packets` here
+    /// — at its final resolution — so packets rerouted more than once,
+    /// rerouted while queued behind another packet, or dropped after
+    /// rerouting are all counted exactly once.
     fn count_drop(
         &self,
         metrics: &mut Metrics,
@@ -420,12 +475,26 @@ impl<'a> Simulator<'a> {
         warmup: u64,
     ) {
         window.dropped += 1;
+        metrics.dropped_total += 1;
         if measuring && pkt.injected_at >= warmup {
             metrics.dropped += 1;
             if matches!(cause, DropCause::TtlExpired) {
                 metrics.ttl_expired += 1;
             }
+            if pkt.reroutes > 0 {
+                metrics.rerouted_packets += 1;
+            }
         }
+    }
+}
+
+/// Re-synchronise the routing view onto the ground truth, skipping the
+/// copy when neither set changed since the last sync (their generation
+/// stamps still match the recorded pair).
+fn sync_view(view: &mut FaultSet, truth: &FaultSet, synced: &mut (u64, u64)) {
+    if *synced != (truth.generation(), view.generation()) {
+        view.sync_from(truth);
+        *synced = (truth.generation(), view.generation());
     }
 }
 
@@ -771,5 +840,130 @@ mod tests {
             r.metrics.in_flight_at_end, 0,
             "expired packets must not linger"
         );
+    }
+
+    /// The TTL applies to *static* runs too: a hop budget shorter than the
+    /// routes must expire packets even with no fault schedule (previously
+    /// the check only ran in dynamic mode, silently ignoring the setting).
+    #[test]
+    fn static_ttl_is_enforced() {
+        let cfg = SimConfig::new(6, 2)
+            .with_cycles(200, 2_000, 0)
+            .with_rate(0.05)
+            .with_ttl(2);
+        let r = Simulator::new(cfg, &FaultFreeGcr).run_report();
+        let m = r.metrics;
+        assert!(
+            m.ttl_expired > 0,
+            "a 2-hop TTL must expire packets in a static run"
+        );
+        assert_eq!(m.dropped, m.ttl_expired, "TTL is the only drop cause here");
+        assert_eq!(
+            m.delivered + m.dropped + m.in_flight_at_end,
+            m.injected,
+            "conservation with static TTL drops"
+        );
+        // Short routes still make it through.
+        assert!(m.delivered > 0, "routes within the TTL must still deliver");
+    }
+
+    /// The cached strategies are drop-in replacements: same seed and
+    /// config must reproduce the uncached engine output bit for bit, both
+    /// fault-free and under churn.
+    #[test]
+    fn cached_strategies_match_uncached_in_engine() {
+        use crate::injection::FaultSchedule;
+        use crate::strategy::{CachedFfgcr, CachedFtgcr};
+
+        let a = Simulator::new(small_config(), &FaultFreeGcr).run_report();
+        let b = Simulator::new(small_config(), &CachedFfgcr::new()).run_report();
+        assert_eq!(a, b, "cached FFGCR must match uncached in the engine");
+
+        let churn_cfg = || {
+            SimConfig::new(6, 2)
+                .with_cycles(600, 4_000, 0)
+                .with_rate(0.05)
+                .with_knowledge(KnowledgeModel::PaperDelay)
+                .with_schedule(FaultSchedule::Scripted(vec![TimedFault {
+                    cycle: 300,
+                    target: FaultTarget::Node(NodeId(9)),
+                    kind: FaultKind::Permanent,
+                }]))
+        };
+        let c = Simulator::new(churn_cfg(), &FaultTolerantGcr).run_report();
+        let cached = CachedFtgcr::new();
+        let d = Simulator::new(churn_cfg(), &cached).run_report();
+        assert_eq!(c, d, "cached FTGCR must match uncached under churn");
+        let stats = cached.stats().expect("cache was used");
+        assert!(stats.hits > 0, "repeat pairs must hit the cache");
+    }
+
+    /// The whole-run ledger balances exactly, warm-up included, and the
+    /// window time series sums to the same totals.
+    #[test]
+    fn whole_run_ledger_balances() {
+        use crate::injection::FaultSchedule;
+        let cfg = SimConfig::new(6, 2)
+            .with_cycles(600, 4_000, 100)
+            .with_rate(0.05)
+            .with_knowledge(KnowledgeModel::PaperDelay)
+            .with_schedule(FaultSchedule::Scripted(vec![TimedFault {
+                cycle: 300,
+                target: FaultTarget::Node(NodeId(9)),
+                kind: FaultKind::Permanent,
+            }]));
+        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        let m = r.metrics;
+        assert!(
+            m.injected_total > m.injected,
+            "warm-up packets must appear in the total but not the measured count"
+        );
+        assert_eq!(
+            m.injected_total,
+            m.delivered_total + m.dropped_total + m.in_flight_at_end,
+            "whole-run conservation"
+        );
+        assert_eq!(
+            r.windows.iter().map(|w| w.injected).sum::<u64>(),
+            m.injected_total
+        );
+        assert_eq!(
+            r.windows.iter().map(|w| w.delivered).sum::<u64>(),
+            m.delivered_total
+        );
+        assert_eq!(
+            r.windows.iter().map(|w| w.dropped).sum::<u64>(),
+            m.dropped_total
+        );
+    }
+
+    /// `rerouted_packets` counts each re-routed packet exactly once at its
+    /// final resolution, so it can never exceed the resolved-packet count
+    /// and never misses a packet that recovered while queued.
+    #[test]
+    fn rerouted_packets_counted_per_packet() {
+        use crate::injection::FaultSchedule;
+        // High rate so recovery often happens behind another queued packet
+        // (the case the old queue-head heuristic missed).
+        let cfg = SimConfig::new(6, 2)
+            .with_cycles(600, 4_000, 0)
+            .with_rate(0.2)
+            .with_knowledge(KnowledgeModel::PaperDelay)
+            .with_schedule(FaultSchedule::Scripted(vec![TimedFault {
+                cycle: 300,
+                target: FaultTarget::Node(NodeId(9)),
+                kind: FaultKind::Permanent,
+            }]));
+        let m = Simulator::new(cfg, &FaultTolerantGcr).run();
+        assert!(m.rerouted_packets > 0, "the dead node must force re-routes");
+        assert!(
+            m.rerouted_packets <= m.delivered + m.dropped,
+            "a packet resolves once: rerouted {} > resolved {}",
+            m.rerouted_packets,
+            m.delivered + m.dropped
+        );
+        // Every re-routed packet took at least one detour hop, so the hop
+        // total must cover the packet count.
+        assert!(m.rerouted_hops >= m.rerouted_packets);
     }
 }

@@ -44,5 +44,7 @@ pub use injection::{
 };
 pub use metrics::{ChurnReport, Metrics, WindowStat};
 pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
-pub use strategy::{EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm};
+pub use strategy::{
+    CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm,
+};
 pub use traffic::TrafficPattern;

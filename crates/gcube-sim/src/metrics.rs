@@ -32,7 +32,9 @@ pub struct Metrics {
     pub dropped: u64,
     /// Drops caused specifically by the per-packet hop budget.
     pub ttl_expired: u64,
-    /// Packets that performed at least one mid-flight local re-route.
+    /// Packets that performed at least one mid-flight local re-route,
+    /// counted once per packet at its final resolution (delivery or
+    /// drop), not per re-route event.
     pub rerouted_packets: u64,
     /// Extra links traversed beyond each delivered packet's
     /// injection-time plan (detour cost of online recovery).
@@ -44,6 +46,18 @@ pub struct Metrics {
     pub stale_cycles: u64,
     /// Times the routing view re-converged onto the ground truth.
     pub reconvergences: u64,
+    /// Whole-run packet ledger: every successful injection, warm-up
+    /// included (unlike [`Metrics::injected`], which starts counting
+    /// after warm-up). Satisfies
+    /// `injected_total == delivered_total + dropped_total + in_flight_at_end`.
+    pub injected_total: u64,
+    /// Whole-run deliveries, warm-up included.
+    pub delivered_total: u64,
+    /// Whole-run drops, warm-up included.
+    pub dropped_total: u64,
+    /// Whole-run route-computation failures, warm-up included. These
+    /// never create packets, so they sit outside the conservation sum.
+    pub route_failures_total: u64,
 }
 
 impl Metrics {

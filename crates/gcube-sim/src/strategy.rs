@@ -1,7 +1,10 @@
 //! Routing strategies pluggable into the simulator.
 
-use gcube_routing::{ffgcr, ftgcr, FaultSet, Route, RoutingError};
+use std::sync::Arc;
+
+use gcube_routing::{ffgcr, ftgcr, CacheStats, FaultSet, PlanCache, Route, RoutingError};
 use gcube_topology::{GaussianCube, NodeId};
+use parking_lot::RwLock;
 
 /// A routing algorithm the simulator can drive.
 pub trait RoutingAlgorithm: Sync {
@@ -54,6 +57,110 @@ impl RoutingAlgorithm for FaultTolerantGcr {
         d: NodeId,
     ) -> Result<Route, RoutingError> {
         ftgcr::route(gc, faults, s, d).map(|(r, _)| r)
+    }
+}
+
+/// Lazily builds (and rebuilds on cube change) the [`PlanCache`] shared by
+/// the cached strategies. A read lock covers the hot path so concurrent
+/// sweep workers never serialise on a hit.
+#[derive(Debug, Default)]
+struct SharedCache {
+    cache: RwLock<Option<Arc<PlanCache>>>,
+}
+
+impl SharedCache {
+    fn cache_for(&self, gc: &GaussianCube) -> Arc<PlanCache> {
+        {
+            let guard = self.cache.read();
+            if let Some(c) = guard.as_ref() {
+                if c.matches(gc) {
+                    return Arc::clone(c);
+                }
+            }
+        }
+        let mut guard = self.cache.write();
+        if let Some(c) = guard.as_ref() {
+            if c.matches(gc) {
+                return Arc::clone(c);
+            }
+        }
+        let built = Arc::new(PlanCache::new(gc));
+        *guard = Some(Arc::clone(&built));
+        built
+    }
+
+    fn stats(&self) -> Option<CacheStats> {
+        self.cache.read().as_ref().map(|c| c.stats())
+    }
+}
+
+/// FFGCR served from a [`PlanCache`]: identical routes to [`FaultFreeGcr`]
+/// (property-tested), with the tree walk memoised per ending-class pair.
+#[derive(Debug, Default)]
+pub struct CachedFfgcr {
+    shared: SharedCache,
+}
+
+impl CachedFfgcr {
+    /// Create a strategy with an empty cache; it fills on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit/miss counters of the underlying cache (`None` before first use).
+    pub fn stats(&self) -> Option<CacheStats> {
+        self.shared.stats()
+    }
+}
+
+impl RoutingAlgorithm for CachedFfgcr {
+    fn name(&self) -> &'static str {
+        "FFGCR+cache"
+    }
+    fn compute_route(
+        &self,
+        gc: &GaussianCube,
+        _faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<Route, RoutingError> {
+        self.shared.cache_for(gc).route(gc, s, d)
+    }
+}
+
+/// FTGCR with the fault-free planning stage served from a [`PlanCache`];
+/// fault repair stays per-packet, so behaviour is identical to
+/// [`FaultTolerantGcr`] (property-tested).
+#[derive(Debug, Default)]
+pub struct CachedFtgcr {
+    shared: SharedCache,
+}
+
+impl CachedFtgcr {
+    /// Create a strategy with an empty cache; it fills on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit/miss counters of the underlying cache (`None` before first use).
+    pub fn stats(&self) -> Option<CacheStats> {
+        self.shared.stats()
+    }
+}
+
+impl RoutingAlgorithm for CachedFtgcr {
+    fn name(&self) -> &'static str {
+        "FTGCR+cache"
+    }
+    fn compute_route(
+        &self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<Route, RoutingError> {
+        let cache = self.shared.cache_for(gc);
+        ftgcr::route_cached(gc, faults, s, d, &cache).map(|(r, _)| r)
     }
 }
 

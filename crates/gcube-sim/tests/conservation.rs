@@ -1,0 +1,114 @@
+//! Property test: the engine never loses or invents a packet.
+//!
+//! Whatever the configuration — load, warm-up, TTL, re-route budget,
+//! knowledge model, static faults, dynamic churn — the whole-run ledger
+//! must balance exactly:
+//!
+//! `injected_total == delivered_total + dropped_total + in_flight_at_end`
+//!
+//! and the per-window time series must sum to the same totals. Route
+//! failures never create packets, so they sit outside the sum.
+
+use proptest::prelude::*;
+
+use gcube_sim::{CategoryMix, FaultKind, FaultSchedule, KnowledgeModel, SimConfig, Simulator};
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::Permanent),
+        (20u64..200).prop_map(|repair_after| FaultKind::Transient { repair_after }),
+        (10u64..50, 60u64..200)
+            .prop_map(|(down_for, period)| FaultKind::Intermittent { down_for, period }),
+    ]
+}
+
+fn arb_schedule() -> impl Strategy<Value = FaultSchedule> {
+    prop_oneof![
+        Just(FaultSchedule::None),
+        (0.002f64..0.05, arb_kind(), 0.0f64..=1.0).prop_map(|(rate, kind, node_fraction)| {
+            FaultSchedule::Bernoulli {
+                rate,
+                kind,
+                mix: CategoryMix::default(),
+                node_fraction,
+            }
+        }),
+    ]
+}
+
+fn arb_knowledge() -> impl Strategy<Value = KnowledgeModel> {
+    prop_oneof![
+        Just(KnowledgeModel::Oracle),
+        Just(KnowledgeModel::PaperDelay),
+        Just(KnowledgeModel::Measured),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        5u32..=7,                                  // n
+        prop_oneof![Just(1u64), Just(2), Just(4)], // modulus
+        0.005f64..0.1,                             // rate
+        100u64..400,                               // inject cycles
+        0u64..100,                                 // warmup
+        any::<u64>(),                              // seed
+        0usize..2,                                 // static faults
+        arb_schedule(),
+        arb_knowledge(),
+        prop_oneof![Just(None), (2u64..60).prop_map(Some)], // ttl
+        0u32..6,                                            // reroute budget
+    )
+        .prop_map(
+            |(n, m, rate, inject, warmup, seed, faults, schedule, knowledge, ttl, budget)| {
+                let mut cfg = SimConfig::new(n, m)
+                    .with_cycles(inject, inject * 20, warmup)
+                    .with_rate(rate)
+                    .with_seed(seed)
+                    .with_faults(faults)
+                    .with_schedule(schedule)
+                    .with_knowledge(knowledge)
+                    .with_reroute_budget(budget)
+                    .with_window(100);
+                if let Some(t) = ttl {
+                    cfg = cfg.with_ttl(t);
+                }
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packets_are_conserved(cfg in arb_config()) {
+        let uses_ftgcr = cfg.faulty_nodes > 0 || !cfg.schedule.is_none();
+        let r = if uses_ftgcr {
+            Simulator::new(cfg, &gcube_sim::CachedFtgcr::new()).run_report()
+        } else {
+            Simulator::new(cfg, &gcube_sim::CachedFfgcr::new()).run_report()
+        };
+        let m = r.metrics;
+
+        // The whole-run ledger balances exactly.
+        prop_assert_eq!(
+            m.injected_total,
+            m.delivered_total + m.dropped_total + m.in_flight_at_end,
+            "ledger: {} != {} + {} + {}",
+            m.injected_total, m.delivered_total, m.dropped_total, m.in_flight_at_end
+        );
+
+        // The window time series tells the same story.
+        prop_assert_eq!(r.windows.iter().map(|w| w.injected).sum::<u64>(), m.injected_total);
+        prop_assert_eq!(r.windows.iter().map(|w| w.delivered).sum::<u64>(), m.delivered_total);
+        prop_assert_eq!(r.windows.iter().map(|w| w.dropped).sum::<u64>(), m.dropped_total);
+
+        // Measured counters are a subset of the totals.
+        prop_assert!(m.injected <= m.injected_total);
+        prop_assert!(m.delivered <= m.delivered_total);
+        prop_assert!(m.dropped <= m.dropped_total);
+        prop_assert!(m.route_failures <= m.route_failures_total);
+        prop_assert!(m.ttl_expired <= m.dropped);
+        prop_assert!(m.rerouted_packets <= m.delivered + m.dropped);
+    }
+}

@@ -165,6 +165,42 @@ pub fn required_tree_nodes(gc: &GaussianCube, s: NodeId, d: NodeId) -> Vec<u64> 
     need
 }
 
+/// `Dim(α, k)` for every class at once, indexed by `k` — the precomputed
+/// class table the routing plan cache replays flips from.
+pub fn class_dim_lists(n: u32, alpha: u32) -> Vec<Vec<u32>> {
+    (0..(1u64 << alpha)).map(|k| dims(n, alpha, k)).collect()
+}
+
+/// `Dim(α, k)` for every class as dimension bitmasks: entry `k` has bit `c`
+/// set iff `c ∈ Dim(α, k)`. Intersecting entry `k` with `s ⊕ d` yields
+/// exactly the flips class `k` owes a route, in ascending dimension order
+/// under a trailing-zeros scan.
+pub fn class_dim_masks(n: u32, alpha: u32) -> Vec<u64> {
+    (0..(1u64 << alpha))
+        .map(|k| {
+            dims(n, alpha, k)
+                .into_iter()
+                .fold(0u64, |m, c| m | (1u64 << c))
+        })
+        .collect()
+}
+
+/// [`required_tree_nodes`] packed as a class bitmask: bit `k` is set iff
+/// class `k` owns a differing dimension `≥ α` between `s` and `d`. Only
+/// valid when `2^α ≤ 64` (`α ≤ 6`) — the plan-cache key regime.
+pub fn required_class_mask(alpha: u32, s: NodeId, d: NodeId) -> u64 {
+    debug_assert!(alpha <= 6, "packed class mask requires 2^α ≤ 64");
+    let period = 1u64 << alpha;
+    let mut rest = (s.0 ^ d.0) & !(period - 1);
+    let mut mask = 0u64;
+    while rest != 0 {
+        let c = u64::from(rest.trailing_zeros());
+        mask |= 1u64 << (c % period);
+        rest &= rest - 1;
+    }
+    mask
+}
+
 /// The differing dimensions `≥ α` between `s` and `d`, grouped by the ending
 /// class in which they must be flipped. Returns `(class, dims)` pairs with
 /// ascending classes.
@@ -321,6 +357,41 @@ mod tests {
                     p.0,
                     l.dim
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn class_tables_match_per_class_dims() {
+        for n in 1..=16u32 {
+            for alpha in 0..=4.min(n) {
+                let lists = class_dim_lists(n, alpha);
+                let masks = class_dim_masks(n, alpha);
+                assert_eq!(lists.len(), 1 << alpha);
+                assert_eq!(masks.len(), 1 << alpha);
+                for k in 0..(1u64 << alpha) {
+                    assert_eq!(lists[k as usize], dims(n, alpha, k));
+                    let want = dims(n, alpha, k)
+                        .into_iter()
+                        .fold(0u64, |m, c| m | (1u64 << c));
+                    assert_eq!(masks[k as usize], want, "n={n} α={alpha} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn required_class_mask_matches_required_tree_nodes() {
+        for (n, m) in [(6u32, 1u64), (7, 2), (8, 4), (9, 8), (10, 16)] {
+            let gc = GaussianCube::new(n, m).unwrap();
+            for s in (0..gc.num_nodes()).step_by(7) {
+                for d in (0..gc.num_nodes()).step_by(11) {
+                    let mask = required_class_mask(gc.alpha(), NodeId(s), NodeId(d));
+                    let want = required_tree_nodes(&gc, NodeId(s), NodeId(d))
+                        .into_iter()
+                        .fold(0u64, |acc, k| acc | (1u64 << k));
+                    assert_eq!(mask, want, "GC({n},{m}) {s}->{d}");
+                }
             }
         }
     }
