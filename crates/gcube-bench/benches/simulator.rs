@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use gcube_sim::{CachedFfgcr, FaultFreeGcr, FaultTolerantGcr, SimConfig, Simulator};
+use gcube_sim::{CachedFfgcr, FaultFreeGcr, FaultTolerantGcr, MemorySink, SimConfig, Simulator};
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_run");
@@ -61,10 +61,35 @@ fn bench_engine_cached(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_tracing(c: &mut Criterion) {
+    // The flight recorder must cost nothing when off: `run_report` goes
+    // through the monomorphised NullSink path, which compiles event
+    // construction out. `traced` bounds the cost of recording every event
+    // into memory.
+    let mut g = c.benchmark_group("tracing");
+    g.sample_size(10);
+    let algo = CachedFfgcr::new();
+    let cfg = SimConfig::new(10, 4)
+        .with_cycles(50, 500, 0)
+        .with_rate(0.005);
+    g.bench_with_input(BenchmarkId::new("off_null_sink", 10), &cfg, |b, cfg| {
+        b.iter(|| Simulator::new(black_box(cfg.clone()), &algo).run_report())
+    });
+    g.bench_with_input(BenchmarkId::new("on_memory_sink", 10), &cfg, |b, cfg| {
+        b.iter(|| {
+            let mut sink = MemorySink::new();
+            let r = Simulator::new(black_box(cfg.clone()), &algo).run_traced(&mut sink);
+            black_box((r, sink.events().len()))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_route_computation_rate,
-    bench_engine_cached
+    bench_engine_cached,
+    bench_tracing
 );
 criterion_main!(benches);

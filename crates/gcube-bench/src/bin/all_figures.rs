@@ -126,15 +126,24 @@ fn main() {
         "churn_rate",
         "fault_events",
         "delivery_ratio",
+        "completion_ratio",
         "rerouted_packets",
+        "latency_p50",
+        "latency_p95",
+        "latency_p99",
     ]);
+    let pctl = |v: Option<u64>| v.map_or_else(|| "-".into(), |x| x.to_string());
     for (rate, p) in churn_rates().iter().zip(&churn) {
         let m = p.report.metrics;
         ct.row([
             num(*rate, 3),
             m.fault_events.to_string(),
             num(m.delivery_ratio(), 4),
+            num(m.completion_ratio(), 4),
             m.rerouted_packets.to_string(),
+            pctl(m.latency_hist.p50()),
+            pctl(m.latency_hist.p95()),
+            pctl(m.latency_hist.p99()),
         ]);
     }
     ct.write_csv(&dir.join("churn_degradation_summary.csv"))

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use gcube_bench::{quick, results_dir};
 use gcube_routing::{ffgcr, ftgcr, FaultSet, PlanCache};
-use gcube_sim::{CachedFfgcr, SimConfig, Simulator};
+use gcube_sim::{CachedFfgcr, MemorySink, SimConfig, Simulator};
 use gcube_topology::{GaussianCube, LinkId, NodeId};
 
 /// Deterministic pair stream covering many ending-class combinations.
@@ -95,6 +95,46 @@ fn measure_engine(n: u32, inject: u64) -> EnginePoint {
     }
 }
 
+struct TracingCost {
+    n: u32,
+    untraced_cycles_per_sec: f64,
+    traced_cycles_per_sec: f64,
+    events: u64,
+    overhead_ratio: f64,
+}
+
+/// Cost of the flight recorder: the same workload through the zero-cost
+/// `NullSink` path (`run_report`) and through a recording `MemorySink`.
+/// The untraced figure is the one that must stay within noise of the
+/// committed `BENCH_routing.json` engine numbers.
+fn measure_tracing(n: u32, inject: u64) -> TracingCost {
+    let algo = CachedFfgcr::new();
+    let cfg = || {
+        SimConfig::new(n, 4)
+            .with_cycles(inject, inject * 10, 0)
+            .with_rate(0.005)
+    };
+    // Warm the plan cache so neither side pays first-run planning.
+    Simulator::new(cfg(), &algo).run();
+
+    let t0 = Instant::now();
+    let m = Simulator::new(cfg(), &algo).run_report().metrics;
+    let untraced = t0.elapsed().as_secs_f64();
+
+    let mut sink = MemorySink::new();
+    let t1 = Instant::now();
+    Simulator::new(cfg(), &algo).run_traced(&mut sink);
+    let traced = t1.elapsed().as_secs_f64();
+
+    TracingCost {
+        n,
+        untraced_cycles_per_sec: m.cycles as f64 / untraced,
+        traced_cycles_per_sec: m.cycles as f64 / traced,
+        events: sink.events().len() as u64,
+        overhead_ratio: traced / untraced,
+    }
+}
+
 fn json_route(out: &mut String, key: &str, r: &RoutePlanning) {
     let _ = write!(
         out,
@@ -139,6 +179,16 @@ fn main() {
         })
         .collect();
 
+    let tracing = measure_tracing(12, inject);
+    println!(
+        "\ntracing cost, n=12: off {:>10.0} cycles/s  on {:>10.0} cycles/s  \
+         ({} events, {:.2}x)",
+        tracing.untraced_cycles_per_sec,
+        tracing.traced_cycles_per_sec,
+        tracing.events,
+        tracing.overhead_ratio
+    );
+
     // Hand-rolled JSON: the workspace has no serde, and the schema is flat.
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"bench_trajectory\",");
@@ -158,7 +208,16 @@ fn main() {
             if i + 1 < engine.len() { "," } else { "" }
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let _ = write!(
+        out,
+        "  \"tracing\": {{\n    \"n\": {},\n    \"untraced_cycles_per_sec\": {:.0},\n    \"traced_cycles_per_sec\": {:.0},\n    \"events\": {},\n    \"overhead_ratio\": {:.3}\n  }}\n}}\n",
+        tracing.n,
+        tracing.untraced_cycles_per_sec,
+        tracing.traced_cycles_per_sec,
+        tracing.events,
+        tracing.overhead_ratio
+    );
 
     let dir = results_dir();
     let path = dir

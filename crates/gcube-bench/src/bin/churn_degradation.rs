@@ -26,13 +26,22 @@ fn main() {
         "fault_events",
         "delivery_ratio",
         "drop_ratio",
+        "completion_ratio",
         "ttl_expired",
+        "dropped_stranded",
+        "dropped_unrecoverable",
+        "suppressed_injections",
         "rerouted_packets",
         "detour_hops",
         "avg_latency",
+        "latency_p50",
+        "latency_p95",
+        "latency_p99",
+        "latency_max",
         "stale_cycles",
         "reconvergences",
     ]);
+    let pctl = |v: Option<u64>| v.map_or_else(|| "-".into(), |x| x.to_string());
     for (rate, p) in rates.iter().zip(&points) {
         let m = p.report.metrics;
         table.row([
@@ -40,10 +49,18 @@ fn main() {
             m.fault_events.to_string(),
             num(m.delivery_ratio(), 4),
             num(m.drop_ratio(), 4),
+            num(m.completion_ratio(), 4),
             m.ttl_expired.to_string(),
+            m.dropped_stranded.to_string(),
+            m.dropped_unrecoverable.to_string(),
+            m.suppressed_injections.to_string(),
             m.rerouted_packets.to_string(),
             m.rerouted_hops.to_string(),
             num(m.avg_latency(), 3),
+            pctl(m.latency_hist.p50()),
+            pctl(m.latency_hist.p95()),
+            pctl(m.latency_hist.p99()),
+            m.latency_hist.max().to_string(),
             m.stale_cycles.to_string(),
             m.reconvergences.to_string(),
         ]);

@@ -82,6 +82,12 @@ pub enum Command {
         seed: u64,
         /// Dynamic-fault options.
         churn: ChurnArgs,
+        /// Write a JSONL flight-recorder trace to this path.
+        trace: Option<String>,
+        /// Print latency/hop percentiles alongside the averages.
+        percentiles: bool,
+        /// Re-execute the run and check it replays event-for-event.
+        verify_replay: bool,
     },
     /// `gcube diameter [max_m]` — Figure 2 series.
     Diameter {
@@ -129,6 +135,7 @@ USAGE:
                  [--churn R | --fault-at SPEC]... [--fault-kind KIND] [--mix A:B:C]
                  [--node-fraction F] [--knowledge MODEL] [--ttl T]
                  [--reroute-budget B] [--window W]
+                 [--trace PATH] [--percentiles] [--verify-replay]
   gcube diameter [max_m]
   gcube tolerance [max_n]
   gcube robustness <n> <M> <k>
@@ -145,6 +152,12 @@ CHURN (dynamic faults applied while packets are in flight):
   --ttl T              per-packet hop budget (default 4n+16)
   --reroute-budget B   local re-routes per packet before dropping (default 8)
   --window W           delivery-ratio window width in cycles (default 100)
+OBSERVABILITY:
+  --trace PATH         record every packet event (inject/hop/stale-view/
+                       reroute/drop/deliver) as JSONL to PATH
+  --percentiles        print p50/p95/p99/max latency and hop percentiles
+  --verify-replay      re-execute the run and assert it replays
+                       event-for-event (determinism check)
 Node labels are decimal or binary with a 0b prefix.";
 
 fn parse_label(s: &str) -> Result<u64, ParseError> {
@@ -288,6 +301,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut kind = FaultKind::Permanent;
             let mut mix = CategoryMix::default();
             let mut node_fraction = 0.5f64;
+            let mut trace: Option<String> = None;
+            let mut percentiles = false;
+            let mut verify_replay = false;
             // Raw --fault-at specs are re-parsed once --fault-kind is known
             // (flags may come in any order).
             let mut raw_events: Vec<String> = Vec::new();
@@ -329,8 +345,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             parse_num(next(&mut it, "reroute budget")?, "reroute budget")?
                     }
                     "--window" => churn.window = parse_num(next(&mut it, "window")?, "window")?,
+                    "--trace" => trace = Some(next(&mut it, "trace path")?.clone()),
+                    "--percentiles" => percentiles = true,
+                    "--verify-replay" => verify_replay = true,
                     other => return Err(ParseError(format!("unknown flag: {other}"))),
                 }
+            }
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(ParseError(format!(
+                    "injection rate must be a probability in [0, 1], got {rate}"
+                )));
             }
             if churn_rate.is_some() && !raw_events.is_empty() {
                 return Err(ParseError(
@@ -363,6 +387,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 pattern,
                 seed,
                 churn,
+                trace,
+                percentiles,
+                verify_replay,
             })
         }
         "diameter" => {
@@ -562,6 +589,54 @@ mod tests {
         ] {
             assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
         }
+    }
+
+    #[test]
+    fn rejects_out_of_range_injection_rate() {
+        // Used to be silently clamped by the engine; now a parse error.
+        for bad in [
+            "simulate 8 2 --rate 1.2",
+            "simulate 8 2 --rate -0.5",
+            "simulate 8 2 --rate NaN",
+            "simulate 8 2 --rate inf",
+        ] {
+            let e = parse(&argv(bad)).unwrap_err();
+            assert!(e.0.contains("injection rate"), "must reject: {bad} ({e})");
+        }
+        assert!(parse(&argv("simulate 8 2 --rate 1.0")).is_ok());
+        assert!(parse(&argv("simulate 8 2 --rate 0")).is_ok());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let c = parse(&argv(
+            "simulate 8 2 --trace run.jsonl --percentiles --verify-replay",
+        ))
+        .unwrap();
+        let Command::Simulate {
+            trace,
+            percentiles,
+            verify_replay,
+            ..
+        } = c
+        else {
+            panic!("wrong command: {c:?}")
+        };
+        assert_eq!(trace.as_deref(), Some("run.jsonl"));
+        assert!(percentiles);
+        assert!(verify_replay);
+        // All default to off.
+        let Command::Simulate {
+            trace,
+            percentiles,
+            verify_replay,
+            ..
+        } = parse(&argv("simulate 8 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(trace, None);
+        assert!(!percentiles && !verify_replay);
     }
 
     #[test]

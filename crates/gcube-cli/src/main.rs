@@ -18,7 +18,10 @@ use gcube_analysis::tables::{num, Table};
 use gcube_analysis::{diameter, structure, tolerance};
 use gcube_routing::faults::{categorize, theorem5_precondition};
 use gcube_routing::{collective, ffgcr, ftgcr, FaultSet};
-use gcube_sim::{CachedFfgcr, CachedFtgcr, RoutingAlgorithm, SimConfig, Simulator};
+use gcube_sim::{
+    CachedFfgcr, CachedFtgcr, JsonlSink, MemorySink, RoutingAlgorithm, SimConfig, Simulator,
+    TraceSink,
+};
 use gcube_topology::classes::dims;
 use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
 
@@ -64,7 +67,24 @@ fn run(cmd: Command) -> Result<(), String> {
             pattern,
             seed,
             churn,
-        } => simulate(n, modulus, rate, cycles, faults, pattern, seed, churn),
+            trace,
+            percentiles,
+            verify_replay,
+        } => simulate(
+            n,
+            modulus,
+            rate,
+            cycles,
+            faults,
+            pattern,
+            seed,
+            churn,
+            SimulateOutput {
+                trace,
+                percentiles,
+                verify_replay,
+            },
+        ),
         Command::Diameter { max_m } => {
             let mut t = Table::new(["m", "nodes", "diameter"]);
             for p in diameter::series(max_m.min(20)) {
@@ -193,6 +213,13 @@ fn route(
     Ok(())
 }
 
+/// Observability options of `gcube simulate`.
+struct SimulateOutput {
+    trace: Option<String>,
+    percentiles: bool,
+    verify_replay: bool,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn simulate(
     n: u32,
@@ -203,6 +230,7 @@ fn simulate(
     pattern: gcube_sim::traffic::TrafficPattern,
     seed: u64,
     churn: ChurnArgs,
+    out: SimulateOutput,
 ) -> Result<(), String> {
     if n > 14 {
         return Err("simulation supports n <= 14 (16k nodes)".into());
@@ -230,19 +258,71 @@ fn simulate(
     } else {
         &ftgcr
     };
-    let sim = Simulator::new(cfg, algo);
+    let sim = Simulator::try_new(cfg.clone(), algo).map_err(|e| e.to_string())?;
     if faults > 0 {
         let list: Vec<String> = sim.faults().faulty_nodes().map(|v| v.to_string()).collect();
         println!("faulty nodes: {}", list.join(", "));
     }
-    let r = sim.run_report();
+    // With tracing or replay verification on, record the flight into
+    // memory; otherwise the zero-cost NullSink path runs.
+    let recording = out.trace.is_some() || out.verify_replay;
+    let mut sink = MemorySink::new();
+    let r = if recording {
+        sim.run_traced(&mut sink)
+    } else {
+        sim.run_report()
+    };
+    if out.verify_replay {
+        // Re-execute against a fresh cache and compare event-for-event.
+        let fresh = CachedFtgcr::new();
+        let fresh_ff = CachedFfgcr::new();
+        let fresh_algo: &dyn RoutingAlgorithm = if faults == 0 && !dynamic {
+            &fresh_ff
+        } else {
+            &fresh
+        };
+        let count =
+            gcube_sim::verify_replay(cfg, fresh_algo, sink.events()).map_err(|e| e.to_string())?;
+        println!("replay verified  : {count} events match");
+    }
+    if let Some(path) = &out.trace {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+        for e in sink.events() {
+            jsonl.record(e);
+        }
+        let written = jsonl
+            .finish()
+            .map_err(|e| format!("trace write to {path} failed: {e}"))?;
+        println!("trace written    : {written} events -> {path}");
+    }
     let m = r.metrics;
     println!("algorithm        : {}", algo.name());
     println!("injected         : {}", m.injected);
     println!("delivered        : {}", m.delivered);
+    if m.suppressed_injections_total > 0 {
+        println!(
+            "suppressed inj   : {} measured / {} total (permutation partner faulty)",
+            m.suppressed_injections, m.suppressed_injections_total
+        );
+    }
     println!("route failures   : {}", m.route_failures);
     println!("avg latency      : {:.3} cycles", m.avg_latency());
     println!("avg hops         : {:.3}", m.avg_hops());
+    if out.percentiles {
+        let fmt = |h: &gcube_sim::Histogram| {
+            format!(
+                "p50 {} / p95 {} / p99 {} / max {}",
+                h.p50().map_or_else(|| "-".into(), |v| v.to_string()),
+                h.p95().map_or_else(|| "-".into(), |v| v.to_string()),
+                h.p99().map_or_else(|| "-".into(), |v| v.to_string()),
+                h.max()
+            )
+        };
+        println!("latency pctl     : {}", fmt(&m.latency_hist));
+        println!("hops pctl        : {}", fmt(&m.hops_hist));
+    }
     let log2 = m
         .log2_throughput()
         .map_or_else(|| "n/a".into(), |v| format!("{v:.3}"));
@@ -254,8 +334,13 @@ fn simulate(
     if dynamic {
         println!("fault events     : {}", m.fault_events);
         println!(
-            "dropped          : {} ({} by TTL)",
-            m.dropped, m.ttl_expired
+            "dropped          : {} (ttl {}, stranded {}, unrecoverable {})",
+            m.dropped, m.ttl_expired, m.dropped_stranded, m.dropped_unrecoverable
+        );
+        println!(
+            "delivery ratio   : {:.4} of resolved ({:.4} of injected)",
+            m.delivery_ratio(),
+            m.completion_ratio()
         );
         println!("rerouted packets : {}", m.rerouted_packets);
         println!("detour hops      : {}", m.rerouted_hops);

@@ -1,7 +1,24 @@
 //! Simulation configuration.
 
+use std::fmt;
+
 use crate::injection::FaultSchedule;
 use crate::traffic::TrafficPattern;
+
+/// A configuration the simulator refuses to run, with a user-facing
+/// message. Returned by [`SimConfig::validate`] and
+/// [`crate::Simulator::try_new`] — invalid parameters fail loudly instead
+/// of being silently clamped (a typo'd `--rate 1.2` used to run as `1.0`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How quickly routing nodes learn about fault events (paper §6
 /// assumption 4 and claim 4).
@@ -90,6 +107,27 @@ impl SimConfig {
     /// Effective per-packet hop budget.
     pub fn effective_ttl(&self) -> u64 {
         self.ttl.unwrap_or(4 * u64::from(self.n) + 16)
+    }
+
+    /// Check the parameters the engine would otherwise have to guess
+    /// about. In particular the injection rate must be a probability:
+    /// it used to be silently clamped into `[0, 1]`, so `--rate 1.2`
+    /// ran as `1.0` with no warning.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.injection_rate.is_finite() || !(0.0..=1.0).contains(&self.injection_rate) {
+            return Err(ConfigError(format!(
+                "injection rate must be a probability in [0, 1], got {}",
+                self.injection_rate
+            )));
+        }
+        if let FaultSchedule::Bernoulli { rate, .. } = &self.schedule {
+            if !rate.is_finite() || !(0.0..=1.0).contains(rate) {
+                return Err(ConfigError(format!(
+                    "churn rate must be a probability in [0, 1], got {rate}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Builder-style: set the injection rate.
@@ -209,5 +247,32 @@ mod tests {
         assert_eq!(c.reroute_budget, 3);
         assert_eq!(c.effective_ttl(), 99);
         assert_eq!(c.window, 50);
+    }
+
+    #[test]
+    fn validate_accepts_probability_rates() {
+        for rate in [0.0, 0.005, 0.5, 1.0] {
+            assert_eq!(SimConfig::new(6, 2).with_rate(rate).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rates() {
+        for rate in [1.2, -0.1, f64::NAN, f64::INFINITY] {
+            let err = SimConfig::new(6, 2).with_rate(rate).validate().unwrap_err();
+            assert!(err.0.contains("injection rate"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_churn_rate() {
+        use crate::injection::{CategoryMix, FaultKind};
+        let cfg = SimConfig::new(6, 2).with_schedule(FaultSchedule::Bernoulli {
+            rate: 2.0,
+            kind: FaultKind::Permanent,
+            mix: CategoryMix::default(),
+            node_fraction: 0.5,
+        });
+        assert!(cfg.validate().unwrap_err().0.contains("churn rate"));
     }
 }

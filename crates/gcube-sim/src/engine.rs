@@ -41,11 +41,12 @@ use gcube_routing::knowledge::exchange_rounds;
 use gcube_routing::FaultSet;
 use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
 
-use crate::config::{KnowledgeModel, SimConfig};
+use crate::config::{ConfigError, KnowledgeModel, SimConfig};
 use crate::injection::FaultInjector;
 use crate::metrics::{ChurnReport, Metrics, WindowStat};
 use crate::packet::Packet;
 use crate::strategy::RoutingAlgorithm;
+use crate::trace::{DropCause, NullSink, TraceEvent, TraceEventKind, TraceSink};
 use crate::traffic::{place_node_faults, TrafficGen};
 
 /// A deterministic cycle-driven simulator for one `GC(n, M)` instance.
@@ -56,28 +57,36 @@ pub struct Simulator<'a> {
     algorithm: &'a dyn RoutingAlgorithm,
 }
 
-/// Why a packet was removed from the network without being delivered.
-enum DropCause {
-    /// The node buffering it failed.
-    Stranded,
-    /// No recovery route, or the re-route budget ran out.
-    Unrecoverable,
-    /// The hop budget ran out.
-    TtlExpired,
-}
-
 impl<'a> Simulator<'a> {
     /// Build a simulator; places `config.faulty_nodes` node faults.
+    ///
+    /// Panics on an invalid configuration (bad cube parameters or an
+    /// out-of-range injection rate); use [`Simulator::try_new`] to handle
+    /// those as errors.
     pub fn new(config: SimConfig, algorithm: &'a dyn RoutingAlgorithm) -> Simulator<'a> {
+        match Self::try_new(config, algorithm) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid simulation config: {e}"),
+        }
+    }
+
+    /// Fallible constructor: validates the configuration (including the
+    /// injection rate, which used to be silently clamped) before building
+    /// anything.
+    pub fn try_new(
+        config: SimConfig,
+        algorithm: &'a dyn RoutingAlgorithm,
+    ) -> Result<Simulator<'a>, ConfigError> {
+        config.validate()?;
         let gc = GaussianCube::new(config.n, config.modulus)
-            .expect("simulation config must describe a valid Gaussian Cube");
+            .map_err(|e| ConfigError(format!("invalid Gaussian Cube: {e}")))?;
         let faults = place_node_faults(&gc, config.faulty_nodes, config.seed);
-        Simulator {
+        Ok(Simulator {
             gc,
             faults,
             config,
             algorithm,
-        }
+        })
     }
 
     /// The fault set in effect at cycle zero (for inspection).
@@ -111,6 +120,16 @@ impl<'a> Simulator<'a> {
     /// Run to completion and return metrics plus the churn time series
     /// (per-window delivery ratios and the applied fault-event trace).
     pub fn run_report(&self) -> ChurnReport {
+        // NullSink's `enabled()` is a constant `false`: this
+        // monomorphisation contains no tracing code at all.
+        self.run_traced(&mut NullSink)
+    }
+
+    /// Run to completion with a flight recorder attached: every per-packet
+    /// event (inject, hop, stale-view exposure, reroute, drop, deliver) is
+    /// streamed into `sink` in deterministic engine order. Metrics are
+    /// identical to [`Simulator::run_report`].
+    pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> ChurnReport {
         let n_nodes = self.gc.num_nodes();
         let mut queues: Vec<VecDeque<Packet>> = (0..n_nodes).map(|_| VecDeque::new()).collect();
         let mut traffic = TrafficGen::with_pattern(
@@ -182,13 +201,16 @@ impl<'a> Simulator<'a> {
                         if truth.is_node_faulty(NodeId(v as u64)) && !queue.is_empty() {
                             for pkt in queue.split_off(0) {
                                 in_flight -= 1;
-                                self.count_drop(
+                                count_drop(
                                     &mut metrics,
                                     &mut windows[widx],
                                     &pkt,
                                     DropCause::Stranded,
                                     measuring,
                                     warmup,
+                                    cycle,
+                                    NodeId(v as u64),
+                                    sink,
                                 );
                             }
                         }
@@ -232,6 +254,14 @@ impl<'a> Simulator<'a> {
                         }
                     }
                     let Some(dst) = traffic.pick_dest(&self.gc, &view, src) else {
+                        // The offered load just shrank by one packet —
+                        // count it instead of silently skewing throughput
+                        // comparisons (permutation partner faulty/self, or
+                        // no healthy destination at all).
+                        metrics.suppressed_injections_total += 1;
+                        if measuring {
+                            metrics.suppressed_injections += 1;
+                        }
                         continue;
                     };
                     match self.algorithm.compute_route(&self.gc, &view, src, dst) {
@@ -243,14 +273,38 @@ impl<'a> Simulator<'a> {
                                 metrics.injected += 1;
                             }
                             windows[widx].injected += 1;
+                            if sink.enabled() {
+                                sink.record(&TraceEvent {
+                                    cycle,
+                                    packet: pkt.id,
+                                    node: src,
+                                    kind: TraceEventKind::Inject {
+                                        dst,
+                                        planned_hops: pkt.planned_hops,
+                                    },
+                                });
+                            }
                             if pkt.arrived() {
                                 // src == dst cannot happen (pick_dest), but a
                                 // zero-hop route would sink immediately.
                                 metrics.delivered_total += 1;
                                 if measuring {
                                     metrics.delivered += 1;
+                                    metrics.latency_hist.record(0);
+                                    metrics.hops_hist.record(0);
                                 }
                                 windows[widx].delivered += 1;
+                                if sink.enabled() {
+                                    sink.record(&TraceEvent {
+                                        cycle,
+                                        packet: pkt.id,
+                                        node: src,
+                                        kind: TraceEventKind::Deliver {
+                                            latency: 0,
+                                            hops: 0,
+                                        },
+                                    });
+                                }
                             } else {
                                 in_flight += 1;
                                 queues[v as usize].push_back(pkt);
@@ -293,10 +347,23 @@ impl<'a> Simulator<'a> {
                     if measuring && pkt.injected_at >= warmup {
                         metrics.delivered += 1;
                         metrics.total_latency += cycle - pkt.injected_at;
+                        metrics.latency_hist.record(cycle - pkt.injected_at);
+                        metrics.hops_hist.record(pkt.hops_taken);
                         metrics.rerouted_hops += pkt.detour_hops();
                         if pkt.reroutes > 0 {
                             metrics.rerouted_packets += 1;
                         }
+                    }
+                    if sink.enabled() {
+                        sink.record(&TraceEvent {
+                            cycle,
+                            packet: pkt.id,
+                            node: pkt.current(),
+                            kind: TraceEventKind::Deliver {
+                                latency: cycle - pkt.injected_at,
+                                hops: pkt.hops_taken,
+                            },
+                        });
                     }
                     continue;
                 };
@@ -307,16 +374,20 @@ impl<'a> Simulator<'a> {
                         // The planned hop is dead: the holder observes the
                         // failure and the engine recovers or drops. Either
                         // way this packet spends the cycle here.
-                        let cause = self.recover(&mut queues[v], &mut view, &truth, link, to);
+                        let cause =
+                            self.recover(&mut queues[v], &mut view, &truth, link, to, cycle, sink);
                         if let Some((pkt, cause)) = cause {
                             in_flight -= 1;
-                            self.count_drop(
+                            count_drop(
                                 &mut metrics,
                                 &mut windows[widx],
                                 &pkt,
                                 cause,
                                 measuring,
                                 warmup,
+                                cycle,
+                                pkt.current(),
+                                sink,
                             );
                         }
                         continue;
@@ -327,13 +398,16 @@ impl<'a> Simulator<'a> {
                 if head.hops_taken >= ttl {
                     let pkt = queues[v].pop_front().expect("head exists");
                     in_flight -= 1;
-                    self.count_drop(
+                    count_drop(
                         &mut metrics,
                         &mut windows[widx],
                         &pkt,
                         DropCause::TtlExpired,
                         measuring,
                         warmup,
+                        cycle,
+                        pkt.current(),
+                        sink,
                     );
                     continue;
                 }
@@ -371,6 +445,18 @@ impl<'a> Simulator<'a> {
                 if measured_pkt {
                     metrics.total_hops += 1;
                 }
+                if sink.enabled() {
+                    // hop_idx was already advanced: the previous node is
+                    // one step back on the current trajectory.
+                    sink.record(&TraceEvent {
+                        cycle,
+                        packet: pkt.id,
+                        node: pkt.current(),
+                        kind: TraceEventKind::Hop {
+                            from: pkt.route.nodes()[pkt.hop_idx - 1],
+                        },
+                    });
+                }
                 if pkt.arrived() {
                     in_flight -= 1;
                     metrics.delivered_total += 1;
@@ -378,10 +464,23 @@ impl<'a> Simulator<'a> {
                     if measured_pkt {
                         metrics.delivered += 1;
                         metrics.total_latency += cycle + 1 - pkt.injected_at;
+                        metrics.latency_hist.record(cycle + 1 - pkt.injected_at);
+                        metrics.hops_hist.record(pkt.hops_taken);
                         metrics.rerouted_hops += pkt.detour_hops();
                         if pkt.reroutes > 0 {
                             metrics.rerouted_packets += 1;
                         }
+                    }
+                    if sink.enabled() {
+                        sink.record(&TraceEvent {
+                            cycle,
+                            packet: pkt.id,
+                            node: pkt.current(),
+                            kind: TraceEventKind::Deliver {
+                                latency: cycle + 1 - pkt.injected_at,
+                                hops: pkt.hops_taken,
+                            },
+                        });
                     }
                 } else {
                     // Keep FIFO order at the receiving node; the packet can
@@ -416,16 +515,21 @@ impl<'a> Simulator<'a> {
 
     /// Handle the head packet of `queue` whose next hop just proved dead.
     ///
-    /// Publishes the observed failure into the view, then either replans
-    /// the packet in place (returning `None`) or pops and returns it with
-    /// the drop cause.
-    fn recover(
+    /// Publishes the observed failure into the view (and a stale-view
+    /// exposure event into the trace — the packet was planned against
+    /// knowledge that missed this fault), then either replans the packet
+    /// in place (returning `None`) or pops and returns it with the drop
+    /// cause.
+    #[allow(clippy::too_many_arguments)]
+    fn recover<S: TraceSink>(
         &self,
         queue: &mut VecDeque<Packet>,
         view: &mut FaultSet,
         truth: &FaultSet,
         link: LinkId,
         to: NodeId,
+        cycle: u64,
+        sink: &mut S,
     ) -> Option<(Packet, DropCause)> {
         // Local discovery: the blocked node learns exactly which component
         // failed and that knowledge enters the routing view at once.
@@ -437,6 +541,14 @@ impl<'a> Simulator<'a> {
         let head = queue
             .front_mut()
             .expect("recover is called on a non-empty queue");
+        if sink.enabled() {
+            sink.record(&TraceEvent {
+                cycle,
+                packet: head.id,
+                node: head.current(),
+                kind: TraceEventKind::StaleView { blocked: to },
+            });
+        }
         if head.hops_taken >= self.config.effective_ttl() {
             let pkt = queue.pop_front().expect("head exists");
             return Some((pkt, DropCause::TtlExpired));
@@ -450,6 +562,16 @@ impl<'a> Simulator<'a> {
         match self.algorithm.compute_route(&self.gc, view, from, dest) {
             Ok(route) => {
                 head.replan(route);
+                if sink.enabled() {
+                    sink.record(&TraceEvent {
+                        cycle,
+                        packet: head.id,
+                        node: from,
+                        kind: TraceEventKind::Reroute {
+                            budget_left: self.config.reroute_budget - head.reroutes,
+                        },
+                    });
+                }
                 None
             }
             Err(_) => {
@@ -458,33 +580,49 @@ impl<'a> Simulator<'a> {
             }
         }
     }
+}
 
-    /// Account one dropped packet in the aggregate and window counters.
-    ///
-    /// A packet that ever re-routed counts towards `rerouted_packets` here
-    /// — at its final resolution — so packets rerouted more than once,
-    /// rerouted while queued behind another packet, or dropped after
-    /// rerouting are all counted exactly once.
-    fn count_drop(
-        &self,
-        metrics: &mut Metrics,
-        window: &mut WindowStat,
-        pkt: &Packet,
-        cause: DropCause,
-        measuring: bool,
-        warmup: u64,
-    ) {
-        window.dropped += 1;
-        metrics.dropped_total += 1;
-        if measuring && pkt.injected_at >= warmup {
-            metrics.dropped += 1;
-            if matches!(cause, DropCause::TtlExpired) {
-                metrics.ttl_expired += 1;
-            }
-            if pkt.reroutes > 0 {
-                metrics.rerouted_packets += 1;
-            }
+/// Account one dropped packet in the aggregate and window counters, and
+/// narrate it into the trace.
+///
+/// A packet that ever re-routed counts towards `rerouted_packets` here
+/// — at its final resolution — so packets rerouted more than once,
+/// rerouted while queued behind another packet, or dropped after
+/// rerouting are all counted exactly once. The per-cause counters
+/// (`dropped_stranded`, `dropped_unrecoverable`, `ttl_expired`) partition
+/// `dropped` exactly.
+#[allow(clippy::too_many_arguments)]
+fn count_drop<S: TraceSink>(
+    metrics: &mut Metrics,
+    window: &mut WindowStat,
+    pkt: &Packet,
+    cause: DropCause,
+    measuring: bool,
+    warmup: u64,
+    cycle: u64,
+    node: NodeId,
+    sink: &mut S,
+) {
+    window.dropped += 1;
+    metrics.dropped_total += 1;
+    if measuring && pkt.injected_at >= warmup {
+        metrics.dropped += 1;
+        match cause {
+            DropCause::TtlExpired => metrics.ttl_expired += 1,
+            DropCause::Stranded => metrics.dropped_stranded += 1,
+            DropCause::Unrecoverable => metrics.dropped_unrecoverable += 1,
         }
+        if pkt.reroutes > 0 {
+            metrics.rerouted_packets += 1;
+        }
+    }
+    if sink.enabled() {
+        sink.record(&TraceEvent {
+            cycle,
+            packet: pkt.id,
+            node,
+            kind: TraceEventKind::Drop { cause },
+        });
     }
 }
 
@@ -965,5 +1103,29 @@ mod tests {
         // Every re-routed packet took at least one detour hop, so the hop
         // total must cover the packet count.
         assert!(m.rerouted_hops >= m.rerouted_packets);
+    }
+
+    /// A permutation source whose partner is faulty stays silent — that
+    /// used to vanish without a trace; now it is counted.
+    #[test]
+    fn suppressed_injections_are_counted() {
+        use crate::traffic::TrafficPattern;
+        // Under BitComplement on GC(6,2), every node with a faulty
+        // complement is silenced; four static faults guarantee silenced
+        // sources that still fire at rate 1.
+        let cfg = small_config()
+            .with_rate(1.0)
+            .with_pattern(TrafficPattern::BitComplement)
+            .with_faults(4);
+        let m = Simulator::new(cfg, &FaultTolerantGcr).run();
+        assert!(
+            m.suppressed_injections_total > 0,
+            "faulty complements must suppress injections"
+        );
+        assert!(m.suppressed_injections > 0, "some must land post-warm-up");
+        assert!(m.suppressed_injections <= m.suppressed_injections_total);
+        // Fault-free uniform traffic never suppresses.
+        let clean = Simulator::new(small_config(), &FaultFreeGcr).run();
+        assert_eq!(clean.suppressed_injections_total, 0);
     }
 }

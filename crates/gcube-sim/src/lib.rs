@@ -32,19 +32,25 @@ pub mod engine;
 pub mod injection;
 pub mod metrics;
 pub mod packet;
+pub mod replay;
 pub mod runner;
 pub mod strategy;
+pub mod trace;
 pub mod traffic;
 
-pub use config::{KnowledgeModel, SimConfig};
+pub use config::{ConfigError, KnowledgeModel, SimConfig};
 pub use engine::Simulator;
 pub use injection::{
     CategoryMix, FaultAction, FaultEvent, FaultInjector, FaultKind, FaultSchedule, FaultTarget,
     TimedFault,
 };
-pub use metrics::{ChurnReport, Metrics, WindowStat};
+pub use metrics::{ChurnReport, Histogram, Metrics, WindowStat};
+pub use replay::{parse_jsonl, verify_replay, ReplayError};
 pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
 pub use strategy::{
     CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm,
+};
+pub use trace::{
+    DropCause, JsonlSink, MemorySink, NullSink, TraceEvent, TraceEventKind, TraceSink,
 };
 pub use traffic::TrafficPattern;

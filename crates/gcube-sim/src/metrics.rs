@@ -1,7 +1,116 @@
 //! Simulation metrics, matching the paper's definitions, plus the
-//! degradation counters introduced by dynamic fault injection.
+//! degradation counters introduced by dynamic fault injection and the
+//! latency/hop distributions introduced by the flight recorder.
 
 use crate::injection::FaultEvent;
+
+/// Buckets per [`Histogram`]: exact counts for values `0..=62`, one
+/// saturated bucket for everything larger.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Fixed-bucket histogram of small non-negative integers (latencies in
+/// cycles, hop counts).
+///
+/// Buckets `0..HIST_BUCKETS-1` each hold exactly one value; the last
+/// bucket absorbs every sample `>= HIST_BUCKETS - 1`. The exact maximum is
+/// tracked separately, so a percentile that resolves to the saturated top
+/// bucket reports that maximum (an upper bound) rather than a fabricated
+/// mid-bucket value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = (v as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts (`buckets()[i]` counts samples equal to `i`;
+    /// the last bucket counts samples `>= HIST_BUCKETS - 1`).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`): the smallest value `v` whose
+    /// cumulative count reaches `ceil(p * count)`. `None` when empty.
+    /// A quantile landing in the saturated top bucket returns the exact
+    /// maximum (see the type docs).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return if i == HIST_BUCKETS - 1 {
+                    Some(self.max)
+                } else {
+                    Some(i as u64)
+                };
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile (`None` when empty).
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile (`None` when empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// Merge another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
 
 /// Aggregated statistics of one simulation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -20,18 +129,28 @@ pub struct Metrics {
     /// Injections refused because the source buffer was full (only with
     /// finite buffers; zero under the paper's eager-readership model).
     pub blocked_injections: u64,
+    /// Injections suppressed because the source had no usable destination:
+    /// a permutation pattern whose partner is faulty (or is the source
+    /// itself), or — under extreme fault density — no healthy destination
+    /// at all. Offered load silently shrank by this many packets; compare
+    /// throughput across fault counts with this column in view.
+    pub suppressed_injections: u64,
     /// Packets still in flight when the simulation ended.
     pub in_flight_at_end: u64,
     /// Measured cycles (`PT` basis; injection + drain, minus warm-up).
     pub cycles: u64,
     /// Nodes in the network.
     pub nodes: u64,
-    /// Packets lost to dynamic faults, all causes: stranded on a node
-    /// that died, no recovery route, re-route budget exhausted, or TTL
-    /// expiry (the latter also counted in [`Metrics::ttl_expired`]).
+    /// Packets lost to dynamic faults, all causes. Partitioned exactly by
+    /// [`Metrics::dropped_stranded`], [`Metrics::dropped_unrecoverable`]
+    /// and [`Metrics::ttl_expired`].
     pub dropped: u64,
     /// Drops caused specifically by the per-packet hop budget.
     pub ttl_expired: u64,
+    /// Drops of packets stranded on a node that died under them.
+    pub dropped_stranded: u64,
+    /// Drops with no recovery route or an exhausted re-route budget.
+    pub dropped_unrecoverable: u64,
     /// Packets that performed at least one mid-flight local re-route,
     /// counted once per packet at its final resolution (delivery or
     /// drop), not per re-route event.
@@ -58,6 +177,14 @@ pub struct Metrics {
     /// Whole-run route-computation failures, warm-up included. These
     /// never create packets, so they sit outside the conservation sum.
     pub route_failures_total: u64,
+    /// Whole-run suppressed injections, warm-up included. Like route
+    /// failures, these never create packets.
+    pub suppressed_injections_total: u64,
+    /// Distribution of per-packet latency over measured deliveries — the
+    /// tail the paper's average hides (B/C-fault degradation spikes).
+    pub latency_hist: Histogram,
+    /// Distribution of per-packet hop counts over measured deliveries.
+    pub hops_hist: Histogram,
 }
 
 impl Metrics {
@@ -97,21 +224,46 @@ impl Metrics {
         }
     }
 
-    /// Delivery ratio among injected packets.
+    /// Measured packets that reached a final outcome: delivered or
+    /// dropped. Excludes packets still in flight at the end of the run.
+    pub fn resolved(&self) -> u64 {
+        self.delivered + self.dropped
+    }
+
+    /// Delivered over *resolved* (delivered + dropped) packets; `1.0`
+    /// when nothing resolved. Sums to one with [`Metrics::drop_ratio`],
+    /// even on runs that end with packets still in flight. (The old
+    /// injected-based semantics live on as
+    /// [`Metrics::completion_ratio`].)
     pub fn delivery_ratio(&self) -> f64 {
+        let resolved = self.resolved();
+        if resolved == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / resolved as f64
+        }
+    }
+
+    /// Dropped over resolved packets; complements
+    /// [`Metrics::delivery_ratio`] to one.
+    pub fn drop_ratio(&self) -> f64 {
+        let resolved = self.resolved();
+        if resolved == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / resolved as f64
+        }
+    }
+
+    /// Delivered over *injected* packets — the pre-flight-recorder
+    /// `delivery_ratio` semantics, kept because it is the right question
+    /// for "did the run drain?": packets still in flight at the end count
+    /// against it, so it under-reports on truncated runs by design.
+    pub fn completion_ratio(&self) -> f64 {
         if self.injected == 0 {
             1.0
         } else {
             self.delivered as f64 / self.injected as f64
-        }
-    }
-
-    /// Fraction of injected packets lost to dynamic faults.
-    pub fn drop_ratio(&self) -> f64 {
-        if self.injected == 0 {
-            0.0
-        } else {
-            self.dropped as f64 / self.injected as f64
         }
     }
 }
@@ -180,8 +332,28 @@ mod tests {
         assert_eq!(m.throughput(), 2.0);
         assert_eq!(m.log2_throughput(), Some(1.0));
         assert_eq!(m.avg_hops(), 5.0);
-        assert_eq!(m.delivery_ratio(), 0.8);
+        // Ratios are over resolved packets: the 20 still in flight no
+        // longer distort them.
+        assert_eq!(m.delivery_ratio(), 1.0);
         assert_eq!(m.drop_ratio(), 0.0);
+        // The old injected-based semantics survive under their real name.
+        assert_eq!(m.completion_ratio(), 0.8);
+    }
+
+    #[test]
+    fn ratios_sum_to_one_with_drops() {
+        let m = Metrics {
+            injected: 100,
+            delivered: 60,
+            dropped: 20,
+            in_flight_at_end: 20,
+            ..Metrics::default()
+        };
+        assert_eq!(m.resolved(), 80);
+        assert!((m.delivery_ratio() - 0.75).abs() < 1e-12);
+        assert!((m.drop_ratio() - 0.25).abs() < 1e-12);
+        assert!((m.delivery_ratio() + m.drop_ratio() - 1.0).abs() < 1e-12);
+        assert!((m.completion_ratio() - 0.6).abs() < 1e-12);
     }
 
     #[test]
@@ -192,6 +364,8 @@ mod tests {
         assert_eq!(m.log2_throughput(), None, "no -inf for silent runs");
         assert_eq!(m.delivery_ratio(), 1.0);
         assert_eq!(m.drop_ratio(), 0.0);
+        assert_eq!(m.completion_ratio(), 1.0);
+        assert_eq!(m.latency_hist.percentile(0.5), None);
     }
 
     #[test]
@@ -210,5 +384,85 @@ mod tests {
             ..WindowStat::default()
         };
         assert_eq!(idle.delivery_ratio(), 1.0);
+    }
+
+    // --- histogram ------------------------------------------------------
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let mut h = Histogram::new();
+        h.record(17);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 17);
+        // Every quantile of a single sample is that sample.
+        assert_eq!(h.percentile(0.0), Some(17));
+        assert_eq!(h.p50(), Some(17));
+        assert_eq!(h.p99(), Some(17));
+        assert_eq!(h.percentile(1.0), Some(17));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new();
+        // 0 and HIST_BUCKETS-2 are the last exactly-resolved values;
+        // HIST_BUCKETS-1 and beyond share the saturated top bucket.
+        let top = (HIST_BUCKETS - 1) as u64;
+        h.record(0);
+        h.record(top - 1);
+        h.record(top);
+        h.record(top + 100);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[HIST_BUCKETS - 2], 1);
+        assert_eq!(h.buckets()[HIST_BUCKETS - 1], 2, "top bucket saturates");
+        assert_eq!(h.max(), top + 100);
+    }
+
+    #[test]
+    fn histogram_percentiles_exact_region() {
+        let mut h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.percentile(0.1), Some(1));
+        assert_eq!(h.percentile(1.0), Some(10));
+        assert_eq!(h.p99(), Some(10));
+    }
+
+    #[test]
+    fn histogram_saturated_top_reports_exact_max() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(500); // deep in the saturated bucket
+        assert_eq!(h.p50(), Some(5));
+        // p99's rank-2 sample sits in the top bucket: report the true max,
+        // not the bucket's lower bound.
+        assert_eq!(h.p99(), Some(500));
+        assert_eq!(h.max(), 500);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        a.record(2);
+        b.record(2);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.buckets()[2], 2);
+        assert_eq!(a.p50(), Some(2));
     }
 }

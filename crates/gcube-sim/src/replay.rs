@@ -1,0 +1,318 @@
+//! Replay verification: re-execute a recorded run and assert
+//! event-for-event equality.
+//!
+//! The engine is single-threaded and fully seeded, so a run's flight
+//! record ([`crate::trace`]) is a pure function of the
+//! [`SimConfig`](crate::config::SimConfig) and routing algorithm. That
+//! makes a recorded trace *checkable*: [`verify_replay`] re-runs the
+//! simulation into a fresh [`MemorySink`] and compares the two streams
+//! event by event. Any divergence — a non-deterministic data structure,
+//! an RNG ordering change, a corrupted trace file — is reported with the
+//! index and both versions of the first mismatching event.
+//!
+//! The JSONL side ([`parse_jsonl`]) is hand-rolled against the fixed flat
+//! schema emitted by [`TraceEvent::to_jsonl`] (this workspace vendors no
+//! JSON library). It is a strict parser for that schema, not a general
+//! JSON reader.
+
+use std::fmt;
+
+use gcube_topology::NodeId;
+
+use crate::config::SimConfig;
+use crate::engine::Simulator;
+use crate::strategy::RoutingAlgorithm;
+use crate::trace::{DropCause, MemorySink, TraceEvent, TraceEventKind};
+
+/// Why a replay check failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The re-executed run produced a different event at `index`.
+    Mismatch {
+        /// Position (0-based) of the first diverging event.
+        index: usize,
+        /// What the recorded trace says happened.
+        recorded: TraceEvent,
+        /// What the re-executed run actually did.
+        replayed: TraceEvent,
+    },
+    /// The streams agree on their common prefix but have different
+    /// lengths.
+    LengthMismatch {
+        /// Events in the recorded trace.
+        recorded: usize,
+        /// Events in the re-executed run.
+        replayed: usize,
+    },
+    /// The simulator refused the configuration.
+    Config(String),
+    /// A JSONL line could not be parsed (line number is 1-based).
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Mismatch {
+                index,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "replay diverged at event {index}: recorded {recorded}, replayed {replayed}"
+            ),
+            ReplayError::LengthMismatch { recorded, replayed } => write!(
+                f,
+                "replay event count differs: recorded {recorded}, replayed {replayed}"
+            ),
+            ReplayError::Config(msg) => write!(f, "replay config rejected: {msg}"),
+            ReplayError::Parse { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Re-execute `config` under `algorithm` and check the resulting event
+/// stream equals `recorded`, event for event. `Ok(n)` returns the number
+/// of matching events.
+pub fn verify_replay(
+    config: SimConfig,
+    algorithm: &dyn RoutingAlgorithm,
+    recorded: &[TraceEvent],
+) -> Result<usize, ReplayError> {
+    let sim = Simulator::try_new(config, algorithm).map_err(|e| ReplayError::Config(e.0))?;
+    let mut sink = MemorySink::new();
+    sim.run_traced(&mut sink);
+    let replayed = sink.events();
+    for (index, (r, p)) in recorded.iter().zip(replayed.iter()).enumerate() {
+        if r != p {
+            return Err(ReplayError::Mismatch {
+                index,
+                recorded: *r,
+                replayed: *p,
+            });
+        }
+    }
+    if recorded.len() != replayed.len() {
+        return Err(ReplayError::LengthMismatch {
+            recorded: recorded.len(),
+            replayed: replayed.len(),
+        });
+    }
+    Ok(replayed.len())
+}
+
+/// Parse a whole JSONL trace (one event per non-empty line) back into
+/// events. Inverse of [`crate::trace::to_jsonl`].
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ReplayError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(
+            parse_jsonl_line(line).map_err(|message| ReplayError::Parse {
+                line: i + 1,
+                message,
+            })?,
+        );
+    }
+    Ok(events)
+}
+
+/// Parse one line of the flat trace schema produced by
+/// [`TraceEvent::to_jsonl`].
+pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
+    let body = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    let mut cycle = None;
+    let mut packet = None;
+    let mut node = None;
+    let mut event = None;
+    let mut dst = None;
+    let mut planned_hops = None;
+    let mut from = None;
+    let mut blocked = None;
+    let mut budget_left = None;
+    let mut cause = None;
+    let mut latency = None;
+    let mut hops = None;
+    for field in body.split(',') {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("malformed field {field:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("malformed key in {field:?}"))?;
+        let value = value.trim();
+        let num = || -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("field {key:?}: expected integer, got {value:?}"))
+        };
+        let text = || -> Result<&str, String> {
+            value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("field {key:?}: expected string, got {value:?}"))
+        };
+        match key {
+            "cycle" => cycle = Some(num()?),
+            "packet" => packet = Some(num()?),
+            "node" => node = Some(NodeId(num()?)),
+            "event" => event = Some(text()?.to_string()),
+            "dst" => dst = Some(NodeId(num()?)),
+            "planned_hops" => planned_hops = Some(num()?),
+            "from" => from = Some(NodeId(num()?)),
+            "blocked" => blocked = Some(NodeId(num()?)),
+            "budget_left" => {
+                budget_left = Some(
+                    u32::try_from(num()?).map_err(|_| "budget_left out of range".to_string())?,
+                )
+            }
+            "cause" => {
+                let t = text()?;
+                cause = Some(
+                    DropCause::from_str(t).ok_or_else(|| format!("unknown drop cause {t:?}"))?,
+                )
+            }
+            "latency" => latency = Some(num()?),
+            "hops" => hops = Some(num()?),
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    let missing = |k: &str| format!("missing field {k:?}");
+    let kind = match event.as_deref().ok_or_else(|| missing("event"))? {
+        "inject" => TraceEventKind::Inject {
+            dst: dst.ok_or_else(|| missing("dst"))?,
+            planned_hops: planned_hops.ok_or_else(|| missing("planned_hops"))?,
+        },
+        "hop" => TraceEventKind::Hop {
+            from: from.ok_or_else(|| missing("from"))?,
+        },
+        "stale_view" => TraceEventKind::StaleView {
+            blocked: blocked.ok_or_else(|| missing("blocked"))?,
+        },
+        "reroute" => TraceEventKind::Reroute {
+            budget_left: budget_left.ok_or_else(|| missing("budget_left"))?,
+        },
+        "drop" => TraceEventKind::Drop {
+            cause: cause.ok_or_else(|| missing("cause"))?,
+        },
+        "deliver" => TraceEventKind::Deliver {
+            latency: latency.ok_or_else(|| missing("latency"))?,
+            hops: hops.ok_or_else(|| missing("hops"))?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(TraceEvent {
+        cycle: cycle.ok_or_else(|| missing("cycle"))?,
+        packet: packet.ok_or_else(|| missing("packet"))?,
+        node: node.ok_or_else(|| missing("node"))?,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::to_jsonl;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cycle: 0,
+                packet: 0,
+                node: NodeId(1),
+                kind: TraceEventKind::Inject {
+                    dst: NodeId(6),
+                    planned_hops: 3,
+                },
+            },
+            TraceEvent {
+                cycle: 1,
+                packet: 0,
+                node: NodeId(3),
+                kind: TraceEventKind::Hop { from: NodeId(1) },
+            },
+            TraceEvent {
+                cycle: 2,
+                packet: 0,
+                node: NodeId(3),
+                kind: TraceEventKind::StaleView { blocked: NodeId(2) },
+            },
+            TraceEvent {
+                cycle: 2,
+                packet: 0,
+                node: NodeId(3),
+                kind: TraceEventKind::Reroute { budget_left: 4 },
+            },
+            TraceEvent {
+                cycle: 6,
+                packet: 0,
+                node: NodeId(6),
+                kind: TraceEventKind::Deliver {
+                    latency: 6,
+                    hops: 4,
+                },
+            },
+            TraceEvent {
+                cycle: 7,
+                packet: 1,
+                node: NodeId(2),
+                kind: TraceEventKind::Drop {
+                    cause: DropCause::Stranded,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"cycle\":1}").is_err());
+        assert!(parse_jsonl("{\"cycle\":1,\"packet\":0,\"node\":2,\"event\":\"warp\"}").is_err());
+        assert!(parse_jsonl(
+            "{\"cycle\":1,\"packet\":0,\"node\":2,\"event\":\"drop\",\"cause\":\"x\"}"
+        )
+        .is_err());
+        // Error carries the 1-based line number.
+        let err = parse_jsonl(
+            "{\"cycle\":0,\"packet\":0,\"node\":0,\"event\":\"hop\",\"from\":1}\nbroken",
+        )
+        .unwrap_err();
+        match err {
+            ReplayError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let events = sample_events();
+        let mut text = String::from("\n");
+        text.push_str(&to_jsonl(&events));
+        text.push('\n');
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+}

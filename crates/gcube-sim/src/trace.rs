@@ -1,0 +1,391 @@
+//! Per-packet flight recorder: the simulator's observability layer.
+//!
+//! Every packet's life is a short story — injected, forwarded hop by hop,
+//! possibly exposed to a stale routing view and re-planned, finally
+//! delivered or dropped with a cause. The engine narrates that story as a
+//! stream of [`TraceEvent`]s into a [`TraceSink`]. Aggregate counters
+//! ([`crate::metrics::Metrics`]) answer "how much"; the trace answers
+//! "which packet, where, when, why" — the evidence layer behind the
+//! paper-figure numbers.
+//!
+//! # Zero cost when off
+//!
+//! The engine is generic over its sink, and [`NullSink`] reports
+//! [`TraceSink::enabled`]` == false` as a compile-time-foldable constant:
+//! with tracing off, every event construction is dead code and the
+//! allocation-free hot path is byte-for-byte the untraced engine. The
+//! `tracing_overhead` measurement in `bench_trajectory` guards this.
+//!
+//! # Determinism
+//!
+//! The engine is single-threaded and seeded, so the event stream is a
+//! pure function of [`crate::config::SimConfig`] and the routing
+//! algorithm. [`crate::replay`] re-executes a recorded run and asserts
+//! event-for-event equality — a standing determinism check.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use gcube_topology::NodeId;
+
+/// Why a packet was removed from the network without being delivered.
+///
+/// The drop-cause taxonomy (see `DESIGN.md` §9): every dropped packet has
+/// exactly one cause, and the per-cause counters in
+/// [`crate::metrics::Metrics`] partition `dropped`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// The node buffering the packet failed.
+    Stranded,
+    /// No recovery route existed, or the re-route budget ran out.
+    Unrecoverable,
+    /// The per-packet hop budget ran out.
+    TtlExpired,
+}
+
+impl DropCause {
+    /// Stable lower-snake name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropCause::Stranded => "stranded",
+            DropCause::Unrecoverable => "unrecoverable",
+            DropCause::TtlExpired => "ttl_expired",
+        }
+    }
+
+    /// Inverse of [`DropCause::as_str`]. Not the std `FromStr` trait —
+    /// that returns `Result`, and an `Option` reads better at the single
+    /// JSONL-parsing call site.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<DropCause> {
+        match s {
+            "stranded" => Some(DropCause::Stranded),
+            "unrecoverable" => Some(DropCause::Unrecoverable),
+            "ttl_expired" => Some(DropCause::TtlExpired),
+            _ => None,
+        }
+    }
+}
+
+/// What happened to a packet at one point of its flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The packet entered the network at `node` bound for `dst` with a
+    /// `planned_hops`-link route.
+    Inject {
+        /// Destination.
+        dst: NodeId,
+        /// Length of the injection-time plan, in links.
+        planned_hops: u64,
+    },
+    /// The packet moved over one link onto `node` (coming `from`).
+    Hop {
+        /// The node it departed.
+        from: NodeId,
+    },
+    /// The packet's planned next hop (`blocked`) proved dead in the ground
+    /// truth: the plan was made against a stale (or since-invalidated)
+    /// view. Always followed, same cycle, by a `Reroute` or a `Drop`.
+    StaleView {
+        /// The dead next hop the packet could not take.
+        blocked: NodeId,
+    },
+    /// The packet was re-planned in place at `node`.
+    Reroute {
+        /// Re-route budget remaining after this re-plan.
+        budget_left: u32,
+    },
+    /// The packet was removed undelivered.
+    Drop {
+        /// Why (see the taxonomy on [`DropCause`]).
+        cause: DropCause,
+    },
+    /// The packet reached its destination.
+    Deliver {
+        /// Cycles from injection to delivery.
+        latency: u64,
+        /// Links actually traversed (detours included).
+        hops: u64,
+    },
+}
+
+/// One flight-recorder event: a packet did something at a node on a cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event took effect.
+    pub cycle: u64,
+    /// Packet id (injection order, unique within a run).
+    pub packet: u64,
+    /// Node where the event happened (for `Hop`: the node arrived at).
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Render as one JSONL line (no trailing newline). The schema is flat
+    /// and fixed-order so [`crate::replay::parse_jsonl_line`] can read it
+    /// back without a JSON library.
+    pub fn to_jsonl(&self) -> String {
+        let head = format!(
+            "{{\"cycle\":{},\"packet\":{},\"node\":{}",
+            self.cycle, self.packet, self.node.0
+        );
+        let tail = match self.kind {
+            TraceEventKind::Inject { dst, planned_hops } => {
+                format!(
+                    ",\"event\":\"inject\",\"dst\":{},\"planned_hops\":{planned_hops}}}",
+                    dst.0
+                )
+            }
+            TraceEventKind::Hop { from } => {
+                format!(",\"event\":\"hop\",\"from\":{}}}", from.0)
+            }
+            TraceEventKind::StaleView { blocked } => {
+                format!(",\"event\":\"stale_view\",\"blocked\":{}}}", blocked.0)
+            }
+            TraceEventKind::Reroute { budget_left } => {
+                format!(",\"event\":\"reroute\",\"budget_left\":{budget_left}}}")
+            }
+            TraceEventKind::Drop { cause } => {
+                format!(",\"event\":\"drop\",\"cause\":\"{}\"}}", cause.as_str())
+            }
+            TraceEventKind::Deliver { latency, hops } => {
+                format!(",\"event\":\"deliver\",\"latency\":{latency},\"hops\":{hops}}}")
+            }
+        };
+        head + &tail
+    }
+}
+
+/// Consumer of the engine's event stream.
+///
+/// The engine monomorphises over the sink, and guards every event
+/// construction with [`TraceSink::enabled`], so a sink whose `enabled`
+/// is a constant `false` costs nothing — not even the event struct.
+pub trait TraceSink {
+    /// Whether events should be generated at all. The engine checks this
+    /// before *constructing* each event, so return `false` from a
+    /// constant implementation to compile tracing out entirely.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event. Called in deterministic engine order.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// The tracing-off sink: `enabled()` is a constant `false`, so the
+/// monomorphised engine contains no tracing code at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// In-memory sink: keeps the whole flight record for replay verification
+/// and post-run analysis.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty recorder.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consume the sink, yielding its events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Streaming JSONL sink: writes one line per event into any [`Write`].
+///
+/// I/O errors are latched (the first one wins) instead of panicking
+/// mid-simulation; check [`JsonlSink::finish`] after the run.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer (use a `BufWriter` for files).
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and surface any latched I/O error.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        match writeln!(self.out, "{}", event.to_jsonl()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Serialise a recorded trace as a JSONL string (one event per line).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                cycle: 3,
+                packet: 0,
+                node: NodeId(5),
+                kind: TraceEventKind::Inject {
+                    dst: NodeId(9),
+                    planned_hops: 4,
+                },
+            },
+            TraceEvent {
+                cycle: 4,
+                packet: 0,
+                node: NodeId(7),
+                kind: TraceEventKind::Hop { from: NodeId(5) },
+            },
+            TraceEvent {
+                cycle: 5,
+                packet: 0,
+                node: NodeId(7),
+                kind: TraceEventKind::StaleView { blocked: NodeId(6) },
+            },
+            TraceEvent {
+                cycle: 5,
+                packet: 0,
+                node: NodeId(7),
+                kind: TraceEventKind::Reroute { budget_left: 7 },
+            },
+            TraceEvent {
+                cycle: 9,
+                packet: 0,
+                node: NodeId(9),
+                kind: TraceEventKind::Deliver {
+                    latency: 6,
+                    hops: 5,
+                },
+            },
+            TraceEvent {
+                cycle: 11,
+                packet: 1,
+                node: NodeId(2),
+                kind: TraceEventKind::Drop {
+                    cause: DropCause::TtlExpired,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_json() {
+        for e in sample_events() {
+            let line = e.to_jsonl();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"cycle\":"), "{line}");
+            assert!(line.contains("\"event\":\""), "{line}");
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let mut sink = MemorySink::new();
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        assert_eq!(sink.events(), sample_events().as_slice());
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(MemorySink::new().enabled());
+    }
+
+    #[test]
+    fn jsonl_sink_streams_and_counts() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            for e in sample_events() {
+                sink.record(&e);
+            }
+            assert_eq!(sink.finish().unwrap(), 6);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text, to_jsonl(&sample_events()));
+    }
+
+    #[test]
+    fn drop_cause_names_round_trip() {
+        for c in [
+            DropCause::Stranded,
+            DropCause::Unrecoverable,
+            DropCause::TtlExpired,
+        ] {
+            assert_eq!(DropCause::from_str(c.as_str()), Some(c));
+        }
+        assert_eq!(DropCause::from_str("gremlins"), None);
+    }
+}

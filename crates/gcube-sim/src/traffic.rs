@@ -70,8 +70,15 @@ impl TrafficGen {
         Self::with_pattern(seed, rate, TrafficPattern::Uniform)
     }
 
-    /// Create a generator with an explicit spatial pattern.
+    /// Create a generator with an explicit spatial pattern. The rate must
+    /// be a probability — [`crate::config::SimConfig::validate`] enforces
+    /// that for simulator-driven traffic; direct construction asserts it
+    /// (the old code silently clamped, so `rate = 1.2` ran as `1.0`).
     pub fn with_pattern(seed: u64, rate: f64, pattern: TrafficPattern) -> TrafficGen {
+        debug_assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "injection rate must be in [0, 1], got {rate}"
+        );
         TrafficGen {
             rng: StdRng::seed_from_u64(seed),
             rate,
@@ -81,7 +88,7 @@ impl TrafficGen {
 
     /// Whether `src` injects a packet this cycle.
     pub fn fires(&mut self) -> bool {
-        self.rng.gen_bool(self.rate.clamp(0.0, 1.0))
+        self.rng.gen_bool(self.rate)
     }
 
     /// The destination for a packet injected at `src`: the pattern partner

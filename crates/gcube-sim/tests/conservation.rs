@@ -110,5 +110,23 @@ proptest! {
         prop_assert!(m.route_failures <= m.route_failures_total);
         prop_assert!(m.ttl_expired <= m.dropped);
         prop_assert!(m.rerouted_packets <= m.delivered + m.dropped);
+        prop_assert!(m.suppressed_injections <= m.suppressed_injections_total);
+
+        // The drop-cause taxonomy partitions the measured drops exactly.
+        prop_assert_eq!(
+            m.dropped,
+            m.ttl_expired + m.dropped_stranded + m.dropped_unrecoverable,
+            "drop causes must partition dropped: {} != {} + {} + {}",
+            m.dropped, m.ttl_expired, m.dropped_stranded, m.dropped_unrecoverable
+        );
+
+        // The latency/hop histograms see exactly the measured deliveries,
+        // and the resolved-based ratios stay probabilities that sum to 1.
+        prop_assert_eq!(m.latency_hist.count(), m.delivered);
+        prop_assert_eq!(m.hops_hist.count(), m.delivered);
+        if m.resolved() > 0 {
+            let s = m.delivery_ratio() + m.drop_ratio();
+            prop_assert!((s - 1.0).abs() < 1e-12, "ratios must sum to 1, got {}", s);
+        }
     }
 }

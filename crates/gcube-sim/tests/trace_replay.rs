@@ -1,0 +1,121 @@
+//! Flight-recorder integration tests: tracing must not perturb the
+//! simulation, the event stream must reconcile with the metrics ledger,
+//! and a recorded run must replay event-for-event.
+
+use gcube_sim::{
+    parse_jsonl, trace, verify_replay, CachedFtgcr, CategoryMix, FaultKind, FaultSchedule,
+    KnowledgeModel, MemorySink, ReplayError, SimConfig, Simulator, TraceEventKind,
+};
+
+/// A seeded churn workload that exercises every event kind: hops, stale
+/// views, re-routes, drops (all three causes reachable), deliveries.
+fn churn_config() -> SimConfig {
+    SimConfig::new(6, 2)
+        .with_cycles(400, 3_000, 50)
+        .with_rate(0.1)
+        .with_seed(0xf116)
+        .with_knowledge(KnowledgeModel::PaperDelay)
+        .with_reroute_budget(1)
+        .with_ttl(25)
+        .with_schedule(FaultSchedule::Bernoulli {
+            rate: 0.05,
+            kind: FaultKind::Transient { repair_after: 80 },
+            mix: CategoryMix::default(),
+            node_fraction: 1.0,
+        })
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let alg = CachedFtgcr::new();
+    let untraced = Simulator::new(churn_config(), &alg).run_report();
+    let mut sink = MemorySink::new();
+    let traced = Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    assert_eq!(untraced.metrics, traced.metrics);
+    assert_eq!(untraced.windows, traced.windows);
+    assert!(!sink.events().is_empty());
+}
+
+#[test]
+fn trace_reconciles_with_ledger() {
+    let alg = CachedFtgcr::new();
+    let mut sink = MemorySink::new();
+    let report = Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    let m = report.metrics;
+    let count = |pred: &dyn Fn(&TraceEventKind) -> bool| -> u64 {
+        sink.events().iter().filter(|e| pred(&e.kind)).count() as u64
+    };
+    // The flight record covers *every* packet, warm-up included, so the
+    // counts match the whole-run totals.
+    assert_eq!(
+        count(&|k| matches!(k, TraceEventKind::Inject { .. })),
+        m.injected_total
+    );
+    assert_eq!(
+        count(&|k| matches!(k, TraceEventKind::Deliver { .. })),
+        m.delivered_total
+    );
+    assert_eq!(
+        count(&|k| matches!(k, TraceEventKind::Drop { .. })),
+        m.dropped_total
+    );
+    assert!(m.dropped_total > 0, "this workload must drop packets");
+    // Every re-route was preceded by a stale-view exposure.
+    let stale = count(&|k| matches!(k, TraceEventKind::StaleView { .. }));
+    let reroutes = count(&|k| matches!(k, TraceEventKind::Reroute { .. }));
+    assert!(stale >= reroutes);
+    assert!(reroutes > 0, "churn under PaperDelay must force re-routes");
+}
+
+#[test]
+fn recorded_churn_run_replays_event_for_event() {
+    let alg = CachedFtgcr::new();
+    let mut sink = MemorySink::new();
+    Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    let events = sink.into_events();
+    // A fresh algorithm instance (empty route cache) must still replay
+    // identically — caching is an optimisation, not a semantic.
+    let n = verify_replay(churn_config(), &CachedFtgcr::new(), &events).unwrap();
+    assert_eq!(n, events.len());
+}
+
+#[test]
+fn replay_detects_tampering() {
+    let alg = CachedFtgcr::new();
+    let mut sink = MemorySink::new();
+    Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    let mut events = sink.into_events();
+
+    // Tampered event value.
+    let idx = events.len() / 2;
+    let mut bent = events[idx];
+    bent.cycle += 1;
+    let orig = std::mem::replace(&mut events[idx], bent);
+    match verify_replay(churn_config(), &CachedFtgcr::new(), &events).unwrap_err() {
+        ReplayError::Mismatch { index, .. } => assert_eq!(index, idx),
+        other => panic!("expected Mismatch, got {other}"),
+    }
+    events[idx] = orig;
+
+    // Truncated trace.
+    events.pop();
+    match verify_replay(churn_config(), &CachedFtgcr::new(), &events).unwrap_err() {
+        ReplayError::LengthMismatch { recorded, replayed } => {
+            assert_eq!(recorded + 1, replayed)
+        }
+        other => panic!("expected LengthMismatch, got {other}"),
+    }
+
+    // Different seed: diverges (at some event, or in length).
+    assert!(verify_replay(churn_config().with_seed(1), &CachedFtgcr::new(), &events).is_err());
+}
+
+#[test]
+fn jsonl_export_round_trips_a_real_run() {
+    let alg = CachedFtgcr::new();
+    let mut sink = MemorySink::new();
+    Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    let text = trace::to_jsonl(sink.events());
+    let parsed = parse_jsonl(&text).unwrap();
+    assert_eq!(parsed.as_slice(), sink.events());
+}
