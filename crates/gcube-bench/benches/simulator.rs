@@ -3,7 +3,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use gcube_sim::{CachedFfgcr, FaultFreeGcr, FaultTolerantGcr, MemorySink, SimConfig, Simulator};
+use gcube_sim::{
+    CachedFfgcr, FaultFreeGcr, FaultTolerantGcr, MemorySink, NullSink, SimConfig, Simulator,
+    TelemetryCollector,
+};
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_run");
@@ -85,11 +88,38 @@ fn bench_tracing(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // Telemetry must also cost nothing when off: `run_report` stays on the
+    // monomorphised NullTelemetry path (the allocation-free guarantee the
+    // ISSUE demands). `on_collector` bounds the per-cycle sampling cost
+    // with a live ring-buffered collector at a 50-cycle interval.
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    let algo = CachedFfgcr::new();
+    let cfg = SimConfig::new(10, 4)
+        .with_cycles(50, 500, 0)
+        .with_rate(0.005)
+        .with_telemetry_interval(50);
+    g.bench_with_input(BenchmarkId::new("off_null", 10), &cfg, |b, cfg| {
+        b.iter(|| Simulator::new(black_box(cfg.clone()), &algo).run_report())
+    });
+    g.bench_with_input(BenchmarkId::new("on_collector", 10), &cfg, |b, cfg| {
+        b.iter(|| {
+            let sim = Simulator::new(black_box(cfg.clone()), &algo);
+            let mut telem = TelemetryCollector::new(sim.cube(), 50);
+            let r = sim.run_instrumented(&mut NullSink, &mut telem);
+            black_box((r, telem.samples().count()))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine,
     bench_route_computation_rate,
     bench_engine_cached,
-    bench_tracing
+    bench_tracing,
+    bench_telemetry
 );
 criterion_main!(benches);

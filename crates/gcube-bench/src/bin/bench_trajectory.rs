@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use gcube_bench::{quick, results_dir};
 use gcube_routing::{ffgcr, ftgcr, FaultSet, PlanCache};
-use gcube_sim::{CachedFfgcr, MemorySink, SimConfig, Simulator};
+use gcube_sim::{CachedFfgcr, MemorySink, NullSink, SimConfig, Simulator, TelemetryCollector};
 use gcube_topology::{GaussianCube, LinkId, NodeId};
 
 /// Deterministic pair stream covering many ending-class combinations.
@@ -135,6 +135,48 @@ fn measure_tracing(n: u32, inject: u64) -> TracingCost {
     }
 }
 
+struct TelemetryCost {
+    n: u32,
+    off_cycles_per_sec: f64,
+    on_cycles_per_sec: f64,
+    samples: u64,
+    overhead_ratio: f64,
+}
+
+/// Cost of the telemetry collector: the same workload through the bare
+/// report path and through `run_instrumented` with a live collector
+/// sampling every 50 cycles. The off figure shares the engine numbers'
+/// noise budget; the on figure is what `--telemetry` costs.
+fn measure_telemetry(n: u32, inject: u64) -> TelemetryCost {
+    let algo = CachedFfgcr::new();
+    let cfg = || {
+        SimConfig::new(n, 4)
+            .with_cycles(inject, inject * 10, 0)
+            .with_rate(0.005)
+            .with_telemetry_interval(50)
+    };
+    // Warm the plan cache so neither side pays first-run planning.
+    Simulator::new(cfg(), &algo).run();
+
+    let t0 = Instant::now();
+    let m = Simulator::new(cfg(), &algo).run_report().metrics;
+    let off = t0.elapsed().as_secs_f64();
+
+    let sim = Simulator::new(cfg(), &algo);
+    let mut telem = TelemetryCollector::new(sim.cube(), 50);
+    let t1 = Instant::now();
+    sim.run_instrumented(&mut NullSink, &mut telem);
+    let on = t1.elapsed().as_secs_f64();
+
+    TelemetryCost {
+        n,
+        off_cycles_per_sec: m.cycles as f64 / off,
+        on_cycles_per_sec: m.cycles as f64 / on,
+        samples: telem.samples().count() as u64,
+        overhead_ratio: on / off,
+    }
+}
+
 fn json_route(out: &mut String, key: &str, r: &RoutePlanning) {
     let _ = write!(
         out,
@@ -189,6 +231,16 @@ fn main() {
         tracing.overhead_ratio
     );
 
+    let telemetry = measure_telemetry(12, inject);
+    println!(
+        "telemetry cost, n=12: off {:>10.0} cycles/s  on {:>10.0} cycles/s  \
+         ({} samples, {:.2}x)",
+        telemetry.off_cycles_per_sec,
+        telemetry.on_cycles_per_sec,
+        telemetry.samples,
+        telemetry.overhead_ratio
+    );
+
     // Hand-rolled JSON: the workspace has no serde, and the schema is flat.
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"bench_trajectory\",");
@@ -211,12 +263,21 @@ fn main() {
     out.push_str("  ],\n");
     let _ = write!(
         out,
-        "  \"tracing\": {{\n    \"n\": {},\n    \"untraced_cycles_per_sec\": {:.0},\n    \"traced_cycles_per_sec\": {:.0},\n    \"events\": {},\n    \"overhead_ratio\": {:.3}\n  }}\n}}\n",
+        "  \"tracing\": {{\n    \"n\": {},\n    \"untraced_cycles_per_sec\": {:.0},\n    \"traced_cycles_per_sec\": {:.0},\n    \"events\": {},\n    \"overhead_ratio\": {:.3}\n  }},\n",
         tracing.n,
         tracing.untraced_cycles_per_sec,
         tracing.traced_cycles_per_sec,
         tracing.events,
         tracing.overhead_ratio
+    );
+    let _ = write!(
+        out,
+        "  \"telemetry\": {{\n    \"n\": {},\n    \"off_cycles_per_sec\": {:.0},\n    \"on_cycles_per_sec\": {:.0},\n    \"samples\": {},\n    \"overhead_ratio\": {:.3}\n  }}\n}}\n",
+        telemetry.n,
+        telemetry.off_cycles_per_sec,
+        telemetry.on_cycles_per_sec,
+        telemetry.samples,
+        telemetry.overhead_ratio
     );
 
     let dir = results_dir();

@@ -40,6 +40,10 @@ fn main() {
         "latency_max",
         "stale_cycles",
         "reconvergences",
+        "health_transitions",
+        "final_health",
+        "final_faults",
+        "thm3_headroom",
     ]);
     let pctl = |v: Option<u64>| v.map_or_else(|| "-".into(), |x| x.to_string());
     for (rate, p) in rates.iter().zip(&points) {
@@ -63,6 +67,10 @@ fn main() {
             m.latency_hist.max().to_string(),
             m.stale_cycles.to_string(),
             m.reconvergences.to_string(),
+            m.health_transitions.to_string(),
+            p.report.budget.state.as_str().to_string(),
+            p.report.budget.total.to_string(),
+            p.report.budget.headroom_paper().to_string(),
         ]);
     }
     println!("Degradation under churn (GC(9,2), FTGCR, transient faults, paper-delay knowledge)\n");

@@ -18,12 +18,16 @@
 //! (Figure 3 is a worked example of the CT algorithm; it is reproduced by
 //! `examples/topology_explorer.rs` rather than a measurement binary.)
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use gcube_sim::{
     run_churn_sweep, run_sweep, CategoryMix, ChurnPoint, FaultFreeGcr, FaultKind, FaultSchedule,
-    FaultTolerantGcr, KnowledgeModel, RoutingAlgorithm, SimConfig, SweepPoint,
+    FaultTarget, FaultTolerantGcr, KnowledgeModel, RoutingAlgorithm, SimConfig, SweepPoint,
+    TimedFault,
 };
+use gcube_topology::classes::{n_bound_paper, subcube_pos};
+use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
 
 /// Format an optional `log2` value for a table cell (`n/a` when the
 /// underlying quantity was zero and the logarithm is undefined).
@@ -144,6 +148,158 @@ pub fn churn_rates() -> [f64; 6] {
     [0.0, 0.002, 0.005, 0.01, 0.02, 0.05]
 }
 
+/// One load level of [`theorem3_budget_sweep`]: a scripted A-category
+/// link-fault set injected at cycle 0, with the run it produced.
+pub struct BudgetPoint {
+    /// `"spread"` (≤ `N(α,k) − 1` faults per subcube, precondition holds)
+    /// or `"clustered"` (one subcube overloaded past its allowance).
+    pub placement: &'static str,
+    /// Number of A-category link faults injected.
+    pub faults: usize,
+    /// The simulated run, including its final [`gcube_routing::faults::FaultBudget`].
+    pub point: ChurnPoint,
+}
+
+/// Output of [`theorem3_budget_sweep`]: the Theorem 3 budget `T(GC)` and
+/// the measured load levels.
+pub struct BudgetCheck {
+    /// The cube simulated.
+    pub n: u32,
+    /// Its modulus.
+    pub modulus: u64,
+    /// `T(GC) = Σ_k (N(α,k) − 1) · 2^(n−α−|Dim(α,k)|)`.
+    pub t_paper: u64,
+    /// One entry per load level, spread levels first.
+    pub points: Vec<BudgetPoint>,
+}
+
+/// Every A-category link of `gc` (dimension ≥ α), grouped by the GEEC
+/// subcube Theorem 3 charges it to, in deterministic order.
+fn a_links_by_subcube(gc: &GaussianCube) -> BTreeMap<(u64, u64), Vec<LinkId>> {
+    let mut by_subcube: BTreeMap<(u64, u64), Vec<LinkId>> = BTreeMap::new();
+    for p in 0..gc.num_nodes() {
+        let node = NodeId(p);
+        for dim in gc.alpha()..gc.n() {
+            // Count each link once, at its bit-clear endpoint. Flipping a
+            // dimension in `Dim(α, k)` stays inside the subcube, so both
+            // endpoints charge the same `(k, t)`.
+            if !node.bit(dim) && gc.has_link(node, dim) {
+                let pos = subcube_pos(gc, node);
+                by_subcube
+                    .entry((pos.k, pos.t))
+                    .or_default()
+                    .push(LinkId::new(node, dim));
+            }
+        }
+    }
+    by_subcube
+}
+
+/// Measure *observed* fault tolerance against the Theorem 3 budget on
+/// `GC(8, 2)`.
+///
+/// Two placement disciplines, both injecting only A-category link faults
+/// (the kind the theorem budgets) at cycle 0 under oracle knowledge:
+///
+/// - **spread** — faults are dealt round-robin across GEEC subcubes, never
+///   exceeding the per-subcube allowance `N(α,k) − 1`, so the Theorem 3
+///   precondition holds at every prefix. Levels at ¼, ½, ¾ and the full
+///   budget `T(GC)`; FTGCR should deliver everything at all of them.
+/// - **clustered** — the same *count* of faults as the smallest spread
+///   level, but packed into a single subcube past its allowance. The
+///   precondition fails (the monitor reports `bound_exceeded`) even though
+///   the total is far below `T(GC)` — the bound is per-subcube, not global.
+pub fn theorem3_budget_sweep() -> BudgetCheck {
+    let (n, modulus) = (8u32, 2u64);
+    let gc = GaussianCube::new(n, modulus).expect("valid shape");
+    let alpha = gc.alpha();
+    let by_subcube = a_links_by_subcube(&gc);
+
+    // Deal links across subcubes layer by layer: after `l` complete layers
+    // every subcube holds `min(l, N(α,k) − 1)` faults, so every prefix of
+    // `spread` satisfies the precondition and the full list realises T(GC).
+    let mut spread: Vec<LinkId> = Vec::new();
+    let mut layer = 0usize;
+    loop {
+        let before = spread.len();
+        for ((k, _t), links) in &by_subcube {
+            let allowance = n_bound_paper(n, alpha, *k).saturating_sub(1) as usize;
+            if layer < allowance {
+                if let Some(l) = links.get(layer) {
+                    spread.push(*l);
+                }
+            }
+        }
+        if spread.len() == before {
+            break;
+        }
+        layer += 1;
+    }
+    let t_paper = gcube_routing::faults::max_tolerable_faults_paper(n, alpha);
+    assert_eq!(
+        spread.len() as u64,
+        t_paper,
+        "spread placement must realise the full Theorem 3 budget"
+    );
+
+    let quarter = (spread.len() / 4).max(1);
+    let mut levels: Vec<(&'static str, Vec<LinkId>)> = [1, 2, 3, 4]
+        .iter()
+        .map(|q| ("spread", spread[..(quarter * q).min(spread.len())].to_vec()))
+        .collect();
+
+    // Clustered: overload the best-provisioned subcube with the same count
+    // as the smallest spread level (its links alone exceed its allowance).
+    let ((k, _), cluster) = by_subcube
+        .iter()
+        .max_by_key(|(_, links)| links.len())
+        .expect("cube has A-category links");
+    let allowance = n_bound_paper(n, alpha, *k).saturating_sub(1) as usize;
+    let take = quarter.clamp(allowance + 1, cluster.len());
+    levels.push(("clustered", cluster[..take].to_vec()));
+
+    let (inject, drain) = if quick() {
+        (200, 2_000)
+    } else {
+        (1_000, 8_000)
+    };
+    let configs: Vec<SimConfig> = levels
+        .iter()
+        .map(|(_, links)| {
+            SimConfig::new(n, modulus)
+                .with_cycles(inject, drain, 0)
+                .with_rate(0.01)
+                .with_seed(0x7e3_0000)
+                .with_schedule(FaultSchedule::Scripted(
+                    links
+                        .iter()
+                        .map(|&l| TimedFault {
+                            cycle: 0,
+                            target: FaultTarget::Link(l),
+                            kind: FaultKind::Permanent,
+                        })
+                        .collect(),
+                ))
+        })
+        .collect();
+    let runs = run_churn_sweep(&configs, &FaultTolerantGcr, threads());
+    let points = levels
+        .into_iter()
+        .zip(runs)
+        .map(|((placement, links), point)| BudgetPoint {
+            placement,
+            faults: links.len(),
+            point,
+        })
+        .collect();
+    BudgetCheck {
+        n,
+        modulus,
+        t_paper,
+        points,
+    }
+}
+
 /// Convenience: run one algorithm over one config (used by benches).
 pub fn run_one(config: SimConfig, algorithm: &dyn RoutingAlgorithm) -> SweepPoint {
     let mut v = run_sweep(std::slice::from_ref(&config), algorithm, 1);
@@ -163,5 +319,22 @@ mod tests {
     #[test]
     fn threads_positive() {
         assert!(threads() >= 1);
+    }
+
+    /// Each GEEC subcube of `GC(n, 2^α)` is a `|Dim(α,k)|`-dimensional
+    /// hypercube, so it holds `|Dim| · 2^(|Dim|−1)` A-category links —
+    /// comfortably above the `N(α,k) − 1` allowance the spread placement
+    /// draws from it.
+    #[test]
+    fn a_links_group_into_full_subcubes() {
+        for n in 5..=8u32 {
+            let gc = GaussianCube::new(n, 2).unwrap();
+            for ((k, _t), links) in &a_links_by_subcube(&gc) {
+                let d = gcube_topology::classes::dim_count(n, gc.alpha(), *k) as usize;
+                assert!(d >= 1);
+                assert_eq!(links.len(), d << (d - 1), "GC({n},2) subcube k={k}");
+                assert!(links.len() >= n_bound_paper(n, gc.alpha(), *k) as usize);
+            }
+        }
     }
 }

@@ -88,6 +88,14 @@ pub enum Command {
         percentiles: bool,
         /// Re-execute the run and check it replays event-for-event.
         verify_replay: bool,
+        /// Write the telemetry time series to this path (CSV, or JSONL
+        /// when the path ends in `.jsonl`).
+        telemetry: Option<String>,
+        /// Cycles per telemetry sampling window.
+        telemetry_interval: u64,
+        /// Print the end-of-run health report (implies collecting
+        /// telemetry).
+        health_report: bool,
     },
     /// `gcube diameter [max_m]` — Figure 2 series.
     Diameter {
@@ -136,6 +144,7 @@ USAGE:
                  [--node-fraction F] [--knowledge MODEL] [--ttl T]
                  [--reroute-budget B] [--window W]
                  [--trace PATH] [--percentiles] [--verify-replay]
+                 [--telemetry PATH] [--telemetry-interval I] [--health-report]
   gcube diameter [max_m]
   gcube tolerance [max_n]
   gcube robustness <n> <M> <k>
@@ -158,6 +167,14 @@ OBSERVABILITY:
   --percentiles        print p50/p95/p99/max latency and hop percentiles
   --verify-replay      re-execute the run and assert it replays
                        event-for-event (determinism check)
+  --telemetry PATH     record the network time series (per-dimension link
+                       utilization, ending-class queues, cache hit rate,
+                       churn and health columns) to PATH — CSV, or JSONL
+                       when PATH ends in .jsonl
+  --telemetry-interval I   cycles per telemetry sampling window (default 100)
+  --health-report      print the end-of-run health report: utilization
+                       profile, Theorem 3 fault-budget standing, health
+                       transitions, and phase timings
 Node labels are decimal or binary with a 0b prefix.";
 
 fn parse_label(s: &str) -> Result<u64, ParseError> {
@@ -304,6 +321,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut trace: Option<String> = None;
             let mut percentiles = false;
             let mut verify_replay = false;
+            let mut telemetry: Option<String> = None;
+            let mut telemetry_interval = 100u64;
+            let mut health_report = false;
             // Raw --fault-at specs are re-parsed once --fault-kind is known
             // (flags may come in any order).
             let mut raw_events: Vec<String> = Vec::new();
@@ -348,6 +368,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--trace" => trace = Some(next(&mut it, "trace path")?.clone()),
                     "--percentiles" => percentiles = true,
                     "--verify-replay" => verify_replay = true,
+                    "--telemetry" => telemetry = Some(next(&mut it, "telemetry path")?.clone()),
+                    "--telemetry-interval" => {
+                        telemetry_interval =
+                            parse_num(next(&mut it, "telemetry interval")?, "telemetry interval")?;
+                        if telemetry_interval == 0 {
+                            return Err(ParseError(
+                                "telemetry interval must be at least 1 cycle".into(),
+                            ));
+                        }
+                    }
+                    "--health-report" => health_report = true,
                     other => return Err(ParseError(format!("unknown flag: {other}"))),
                 }
             }
@@ -390,6 +421,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 trace,
                 percentiles,
                 verify_replay,
+                telemetry,
+                telemetry_interval,
+                health_report,
             })
         }
         "diameter" => {
@@ -637,6 +671,45 @@ mod tests {
         };
         assert_eq!(trace, None);
         assert!(!percentiles && !verify_replay);
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let c = parse(&argv(
+            "simulate 8 2 --telemetry net.csv --telemetry-interval 25 --health-report",
+        ))
+        .unwrap();
+        let Command::Simulate {
+            telemetry,
+            telemetry_interval,
+            health_report,
+            ..
+        } = c
+        else {
+            panic!("wrong command: {c:?}")
+        };
+        assert_eq!(telemetry.as_deref(), Some("net.csv"));
+        assert_eq!(telemetry_interval, 25);
+        assert!(health_report);
+        // All default to off.
+        let Command::Simulate {
+            telemetry,
+            telemetry_interval,
+            health_report,
+            ..
+        } = parse(&argv("simulate 8 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(telemetry, None);
+        assert_eq!(telemetry_interval, 100);
+        assert!(!health_report);
+    }
+
+    #[test]
+    fn rejects_zero_telemetry_interval() {
+        let e = parse(&argv("simulate 8 2 --telemetry-interval 0")).unwrap_err();
+        assert!(e.0.contains("telemetry interval"), "{e}");
     }
 
     #[test]

@@ -19,8 +19,8 @@ use gcube_analysis::{diameter, structure, tolerance};
 use gcube_routing::faults::{categorize, theorem5_precondition};
 use gcube_routing::{collective, ffgcr, ftgcr, FaultSet};
 use gcube_sim::{
-    CachedFfgcr, CachedFtgcr, JsonlSink, MemorySink, RoutingAlgorithm, SimConfig, Simulator,
-    TraceSink,
+    CachedFfgcr, CachedFtgcr, JsonlSink, MemorySink, NullSink, RoutingAlgorithm, SimConfig,
+    Simulator, TelemetryCollector, TraceSink,
 };
 use gcube_topology::classes::dims;
 use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
@@ -70,6 +70,9 @@ fn run(cmd: Command) -> Result<(), String> {
             trace,
             percentiles,
             verify_replay,
+            telemetry,
+            telemetry_interval,
+            health_report,
         } => simulate(
             n,
             modulus,
@@ -83,6 +86,9 @@ fn run(cmd: Command) -> Result<(), String> {
                 trace,
                 percentiles,
                 verify_replay,
+                telemetry,
+                telemetry_interval,
+                health_report,
             },
         ),
         Command::Diameter { max_m } => {
@@ -218,6 +224,9 @@ struct SimulateOutput {
     trace: Option<String>,
     percentiles: bool,
     verify_replay: bool,
+    telemetry: Option<String>,
+    telemetry_interval: u64,
+    health_report: bool,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -245,7 +254,8 @@ fn simulate(
         .with_schedule(churn.schedule)
         .with_knowledge(churn.knowledge)
         .with_reroute_budget(churn.reroute_budget)
-        .with_window(churn.window);
+        .with_window(churn.window)
+        .with_telemetry_interval(out.telemetry_interval);
     if let Some(ttl) = churn.ttl {
         cfg = cfg.with_ttl(ttl);
     }
@@ -264,13 +274,19 @@ fn simulate(
         println!("faulty nodes: {}", list.join(", "));
     }
     // With tracing or replay verification on, record the flight into
-    // memory; otherwise the zero-cost NullSink path runs.
+    // memory; otherwise the zero-cost NullSink path runs. Telemetry is
+    // orthogonal: attach a collector only when the time series or the
+    // health report was asked for, so the default path stays the
+    // telemetry-free monomorphisation.
     let recording = out.trace.is_some() || out.verify_replay;
     let mut sink = MemorySink::new();
-    let r = if recording {
-        sim.run_traced(&mut sink)
-    } else {
-        sim.run_report()
+    let mut telem = (out.telemetry.is_some() || out.health_report)
+        .then(|| TelemetryCollector::new(sim.cube(), out.telemetry_interval));
+    let r = match (&mut telem, recording) {
+        (Some(t), true) => sim.run_instrumented(&mut sink, t),
+        (Some(t), false) => sim.run_instrumented(&mut NullSink, t),
+        (None, true) => sim.run_traced(&mut sink),
+        (None, false) => sim.run_report(),
     };
     if out.verify_replay {
         // Re-execute against a fresh cache and compare event-for-event.
@@ -297,8 +313,31 @@ fn simulate(
             .map_err(|e| format!("trace write to {path} failed: {e}"))?;
         println!("trace written    : {written} events -> {path}");
     }
+    if let Some(path) = &out.telemetry {
+        let t = telem.as_ref().expect("telemetry was collected");
+        let data = if path.ends_with(".jsonl") {
+            t.to_jsonl()
+        } else {
+            t.to_csv()
+        };
+        std::fs::write(path, data).map_err(|e| format!("cannot write telemetry to {path}: {e}"))?;
+        println!(
+            "telemetry written: {} samples ({} evicted) -> {path}",
+            t.len(),
+            t.evicted()
+        );
+    }
     let m = r.metrics;
     println!("algorithm        : {}", algo.name());
+    if let Some(stats) = algo.cache_stats() {
+        println!(
+            "plan cache       : {} hits / {} misses ({:.1}% hit rate), {} entries",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate(),
+            stats.entries
+        );
+    }
     println!("injected         : {}", m.injected);
     println!("delivered        : {}", m.delivered);
     if m.suppressed_injections_total > 0 {
@@ -348,6 +387,15 @@ fn simulate(
             "stale knowledge  : {} cycles over {} reconvergences",
             m.stale_cycles, m.reconvergences
         );
+        println!(
+            "final health     : {} ({} transitions; {} live faults, \
+             Thm-3 headroom {} of {})",
+            r.budget.state,
+            m.health_transitions,
+            r.budget.total,
+            r.budget.headroom_paper(),
+            r.budget.t_paper
+        );
         println!("delivery windows (cycles: delivered/resolved ratio):");
         for w in &r.windows {
             println!(
@@ -383,6 +431,10 @@ fn simulate(
             "WARNING: {} packets undrained (raise --cycles?)",
             m.in_flight_at_end
         );
+    }
+    if out.health_report {
+        let t = telem.as_ref().expect("telemetry was collected");
+        print!("{}", t.health_report(&r.budget));
     }
     Ok(())
 }

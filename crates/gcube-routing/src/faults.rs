@@ -14,7 +14,8 @@
 //! how many the strategy absorbs by viewing each crossing neighbourhood as
 //! an exchanged hypercube.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
 
 use gcube_topology::classes::{dim_count, dims, n_bound_paper, subcube_pos};
 use gcube_topology::{GaussianCube, GaussianTree, LinkId, LinkMask, NodeId, Topology};
@@ -314,6 +315,187 @@ pub fn max_tolerable_faults_guaranteed(n: u32, alpha: u32) -> u64 {
     total
 }
 
+/// Network health relative to the Theorem 3 fault budget.
+///
+/// The three states form a strict ladder keyed to the paper's guarantee:
+///
+/// * [`HealthState::Healthy`] — no live faults at all;
+/// * [`HealthState::Degraded`] — faults are present but the Theorem 3
+///   precondition still holds ([`theorem3_precondition_paper`]): routing
+///   remains *guaranteed*, only budget has been consumed;
+/// * [`HealthState::BoundExceeded`] — the precondition is violated (a
+///   non-A-category fault, or a subcube at/over its `N(α,k)` bound):
+///   delivery is best-effort from here on.
+///
+/// By construction `BoundExceeded` holds **iff**
+/// `!theorem3_precondition_paper` on a non-empty set — the property the
+/// simulator's fault-budget monitor is tested against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// No live faults.
+    #[default]
+    Healthy,
+    /// Faults within the Theorem 3 budget: guarantees intact.
+    Degraded,
+    /// Theorem 3 precondition violated: guarantees void.
+    BoundExceeded,
+}
+
+impl HealthState {
+    /// Stable lower-snake name used in trace/telemetry exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::BoundExceeded => "bound_exceeded",
+        }
+    }
+
+    /// Inverse of [`HealthState::as_str`]. An `Option` (not the std
+    /// `FromStr`) to match the JSONL-parsing call sites.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<HealthState> {
+        match s {
+            "healthy" => Some(HealthState::Healthy),
+            "degraded" => Some(HealthState::Degraded),
+            "bound_exceeded" => Some(HealthState::BoundExceeded),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Classify a live fault set onto the health ladder (see [`HealthState`]).
+pub fn health_state(gc: &GaussianCube, faults: &FaultSet) -> HealthState {
+    if faults.is_empty() {
+        HealthState::Healthy
+    } else if theorem3_precondition_paper(gc, faults) {
+        HealthState::Degraded
+    } else {
+        HealthState::BoundExceeded
+    }
+}
+
+/// Fault load of one `GEEC(α, k, t)` subcube against its Theorem 3 bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubcubeLoad {
+    /// Ending class of the subcube.
+    pub k: u64,
+    /// Subcube index within the class.
+    pub t: u64,
+    /// Faulty components charged to the subcube ([`faults_in_geec`]).
+    pub faults: u32,
+    /// The paper's per-subcube bound `N(α,k)` (tolerates `N − 1` faults).
+    pub bound_paper: u32,
+    /// The guaranteed bound `|Dim(α,k)|` (tolerates `|Dim| − 1` faults).
+    pub bound_guaranteed: u32,
+}
+
+impl SubcubeLoad {
+    /// Fill fraction against the paper bound: `faults / (N(α,k) − 1)`.
+    /// `> 1.0` means the subcube is over budget (`inf` for a zero budget).
+    pub fn fill_paper(&self) -> f64 {
+        let budget = self.bound_paper.saturating_sub(1);
+        if budget == 0 {
+            if self.faults == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            f64::from(self.faults) / f64::from(budget)
+        }
+    }
+}
+
+/// A live snapshot of the network's standing against Theorem 3: category
+/// census, aggregate headroom, the per-subcube loads, and the resulting
+/// [`HealthState`]. Built by [`fault_budget`]; consumed by the simulator's
+/// fault-budget monitor and the CLI health report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultBudget {
+    /// Faults by category.
+    pub counts: CategoryCounts,
+    /// Total live faulty components (nodes + explicit links).
+    pub total: u64,
+    /// Aggregate tolerance `T(GC)`, paper bound.
+    pub t_paper: u64,
+    /// Aggregate tolerance, guaranteed bound.
+    pub t_guaranteed: u64,
+    /// Whether [`theorem3_precondition_paper`] holds.
+    pub precondition_paper: bool,
+    /// Whether [`theorem3_precondition_guaranteed`] holds.
+    pub precondition_guaranteed: bool,
+    /// Every subcube charged at least one fault, sorted by `(k, t)` so the
+    /// snapshot is deterministic regardless of fault-set iteration order.
+    pub loaded_subcubes: Vec<SubcubeLoad>,
+    /// The resulting health classification ([`health_state`]).
+    pub state: HealthState,
+}
+
+impl FaultBudget {
+    /// Faults the paper bound still tolerates (saturating at zero).
+    pub fn headroom_paper(&self) -> u64 {
+        self.t_paper.saturating_sub(self.total)
+    }
+
+    /// Faults the guaranteed bound still tolerates (saturating at zero).
+    pub fn headroom_guaranteed(&self) -> u64 {
+        self.t_guaranteed.saturating_sub(self.total)
+    }
+
+    /// The subcube closest to (or furthest past) its paper budget.
+    pub fn worst_subcube(&self) -> Option<&SubcubeLoad> {
+        self.loaded_subcubes
+            .iter()
+            .max_by(|a, b| a.fill_paper().total_cmp(&b.fill_paper()))
+    }
+}
+
+/// Take the live budget snapshot: classify every fault, charge each to its
+/// subcube, and compare against `N(α,k)` and `T(GC)`.
+pub fn fault_budget(gc: &GaussianCube, faults: &FaultSet) -> FaultBudget {
+    // BTreeSet: the per-subcube listing must not depend on HashSet
+    // iteration order (the snapshot is part of the deterministic report).
+    let mut positions: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for l in faults.faulty_links() {
+        let pos = subcube_pos(gc, l.lo);
+        positions.insert((pos.k, pos.t));
+    }
+    for n in faults.faulty_nodes() {
+        let pos = subcube_pos(gc, n);
+        positions.insert((pos.k, pos.t));
+    }
+    let loaded_subcubes: Vec<SubcubeLoad> = positions
+        .into_iter()
+        .filter_map(|(k, t)| {
+            let charged = faults_in_geec(gc, faults, k, t) as u32;
+            (charged > 0).then(|| SubcubeLoad {
+                k,
+                t,
+                faults: charged,
+                bound_paper: n_bound_paper(gc.n(), gc.alpha(), k),
+                bound_guaranteed: dim_count(gc.n(), gc.alpha(), k),
+            })
+        })
+        .collect();
+    FaultBudget {
+        counts: categorize(gc, faults),
+        total: faults.len() as u64,
+        t_paper: max_tolerable_faults_paper(gc.n(), gc.alpha()),
+        t_guaranteed: max_tolerable_faults_guaranteed(gc.n(), gc.alpha()),
+        precondition_paper: theorem3_precondition_paper(gc, faults),
+        precondition_guaranteed: theorem3_precondition_guaranteed(gc, faults),
+        loaded_subcubes,
+        state: health_state(gc, faults),
+    }
+}
+
 /// Fault counts around one Gaussian-tree edge crossing `(p, q)` restricted
 /// to the `k̃`-indexed exchanged-hypercube block `G(p, q, k̃)` (paper §5):
 /// `e_s` in the class-`p` side, `e_t` in the class-`q` side, and `e'`
@@ -574,6 +756,136 @@ mod tests {
         let mut fnode = FaultSet::new();
         fnode.add_node(NodeId(0));
         assert!(!theorem3_precondition_paper(&gc, &fnode));
+    }
+
+    #[test]
+    fn link_fault_exactly_at_alpha_is_a_category() {
+        // The A/B boundary is dim ≥ α, inclusive: a link in dimension
+        // exactly α is already a high (A-category) link.
+        let gc = gc84(); // α = 2
+        let at_alpha = LinkId::new(NodeId(0b10), gc.alpha());
+        assert_eq!(link_category(&gc, at_alpha), FaultCategory::A);
+        let below = LinkId::new(NodeId(0b01), gc.alpha() - 1);
+        assert_eq!(link_category(&gc, below), FaultCategory::B);
+        // And the budget snapshot charges it to its GEEC like any A fault.
+        let mut f = FaultSet::new();
+        f.add_link(at_alpha);
+        let b = fault_budget(&gc, &f);
+        assert_eq!(b.counts, CategoryCounts { a: 1, b: 0, c: 0 });
+        assert_eq!(b.loaded_subcubes.len(), 1);
+        assert_eq!(b.loaded_subcubes[0].faults, 1);
+        assert_eq!(b.state, HealthState::Degraded);
+    }
+
+    #[test]
+    fn c_category_node_straddling_alpha_voids_the_bound() {
+        // A C-category node owns links on both sides of α; killing it
+        // kills tree links too, so Theorem 3's A-only premise fails no
+        // matter how much aggregate headroom remains.
+        let gc = gc84();
+        let node = NodeId(5); // class 1, owns dim 5 ≥ α and dims 0,1 < α
+        assert_eq!(node_category(&gc, node), FaultCategory::C);
+        let mut f = FaultSet::new();
+        f.add_node(node);
+        let b = fault_budget(&gc, &f);
+        assert_eq!(b.counts, CategoryCounts { a: 0, b: 0, c: 1 });
+        assert!(!b.precondition_paper);
+        assert!(!b.precondition_guaranteed);
+        assert_eq!(b.state, HealthState::BoundExceeded);
+        assert!(b.headroom_paper() > 0, "headroom is not the issue here");
+        // The node is still charged to its subcube in the load listing.
+        assert_eq!(b.loaded_subcubes.len(), 1);
+        let pos = subcube_pos(&gc, node);
+        assert_eq!(
+            (b.loaded_subcubes[0].k, b.loaded_subcubes[0].t),
+            (pos.k, pos.t)
+        );
+    }
+
+    #[test]
+    fn empty_fault_set_is_healthy_with_full_headroom() {
+        let gc = gc84();
+        let f = FaultSet::new();
+        assert_eq!(health_state(&gc, &f), HealthState::Healthy);
+        let b = fault_budget(&gc, &f);
+        assert_eq!(b.state, HealthState::Healthy);
+        assert_eq!(b.total, 0);
+        assert_eq!(b.counts, CategoryCounts::default());
+        assert!(b.loaded_subcubes.is_empty());
+        assert!(b.worst_subcube().is_none());
+        assert!(b.precondition_paper && b.precondition_guaranteed);
+        assert_eq!(b.headroom_paper(), max_tolerable_faults_paper(8, 2));
+        assert_eq!(
+            b.headroom_guaranteed(),
+            max_tolerable_faults_guaranteed(8, 2)
+        );
+    }
+
+    #[test]
+    fn bound_exceeded_iff_precondition_fails() {
+        // The health ladder is definitionally tied to the Theorem 3
+        // checker; sweep a mix of fault sets and assert the iff.
+        let gc = GaussianCube::new(10, 4).unwrap();
+        let mut sets: Vec<FaultSet> = Vec::new();
+        sets.push(FaultSet::new());
+        for (node, dim) in [(0b10u64, 2u32), (0b10, 6), (0b11, 3), (0, 0), (1, 1)] {
+            let mut f = sets.last().unwrap().clone();
+            f.add_link(LinkId::new(NodeId(node), dim));
+            sets.push(f);
+        }
+        let mut with_node = FaultSet::new();
+        with_node.add_node(NodeId(6));
+        sets.push(with_node);
+        for f in &sets {
+            let b = fault_budget(&gc, f);
+            assert_eq!(
+                b.state == HealthState::BoundExceeded,
+                !theorem3_precondition_paper(&gc, f),
+                "state {:?} vs precondition for {} faults",
+                b.state,
+                f.len()
+            );
+            assert_eq!(b.state == HealthState::Healthy, f.is_empty());
+        }
+    }
+
+    #[test]
+    fn budget_snapshot_is_deterministic_across_insertion_orders() {
+        let gc = GaussianCube::new(10, 4).unwrap();
+        let faults = [
+            LinkId::new(NodeId(0b10), 2),
+            LinkId::new(NodeId(0b0110), 6),
+            LinkId::new(NodeId(0b11), 3),
+            LinkId::new(NodeId(0b1011), 7),
+        ];
+        let mut fwd = FaultSet::new();
+        for l in faults {
+            fwd.add_link(l);
+        }
+        let mut rev = FaultSet::new();
+        for l in faults.iter().rev() {
+            rev.add_link(*l);
+        }
+        let a = fault_budget(&gc, &fwd);
+        let b = fault_budget(&gc, &rev);
+        assert_eq!(a, b);
+        // Sorted by (k, t): iteration order of the HashSet must not leak.
+        let keys: Vec<(u64, u64)> = a.loaded_subcubes.iter().map(|s| (s.k, s.t)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn health_state_names_round_trip() {
+        for s in [
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::BoundExceeded,
+        ] {
+            assert_eq!(HealthState::from_str(s.as_str()), Some(s));
+        }
+        assert_eq!(HealthState::from_str("sparkling"), None);
     }
 
     #[test]

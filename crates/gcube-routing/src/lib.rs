@@ -55,6 +55,6 @@ pub mod plan_cache;
 pub mod route;
 pub mod verify;
 
-pub use faults::{FaultCategory, FaultSet};
+pub use faults::{fault_budget, FaultBudget, FaultCategory, FaultSet, HealthState, SubcubeLoad};
 pub use plan_cache::{CacheStats, CachedWalk, PlanCache};
 pub use route::{Route, RoutingError};

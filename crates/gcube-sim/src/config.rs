@@ -80,6 +80,10 @@ pub struct SimConfig {
     /// Width, in cycles, of the delivery-ratio windows in
     /// [`crate::metrics::ChurnReport`].
     pub window: u64,
+    /// Cycles per telemetry sample when a
+    /// [`crate::telemetry::TelemetryCollector`] is attached (ignored with
+    /// telemetry off).
+    pub telemetry_interval: u64,
 }
 
 impl SimConfig {
@@ -101,6 +105,7 @@ impl SimConfig {
             reroute_budget: 8,
             ttl: None,
             window: 100,
+            telemetry_interval: 100,
         }
     }
 
@@ -206,6 +211,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_window(mut self, window: u64) -> Self {
         self.window = window.max(1);
+        self
+    }
+
+    /// Builder-style: set the telemetry sampling interval (cycles).
+    #[must_use]
+    pub fn with_telemetry_interval(mut self, interval: u64) -> Self {
+        self.telemetry_interval = interval.max(1);
         self
     }
 }

@@ -36,7 +36,9 @@
 //! them dies.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
+use gcube_routing::faults::fault_budget;
 use gcube_routing::knowledge::exchange_rounds;
 use gcube_routing::FaultSet;
 use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
@@ -46,7 +48,10 @@ use crate::injection::FaultInjector;
 use crate::metrics::{ChurnReport, Metrics, WindowStat};
 use crate::packet::Packet;
 use crate::strategy::RoutingAlgorithm;
-use crate::trace::{DropCause, NullSink, TraceEvent, TraceEventKind, TraceSink};
+use crate::telemetry::{CycleView, FaultBudgetMonitor, NullTelemetry, Phase, TelemetrySink};
+use crate::trace::{
+    DropCause, NullSink, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET,
+};
 use crate::traffic::{place_node_faults, TrafficGen};
 
 /// A deterministic cycle-driven simulator for one `GC(n, M)` instance.
@@ -130,6 +135,21 @@ impl<'a> Simulator<'a> {
     /// streamed into `sink` in deterministic engine order. Metrics are
     /// identical to [`Simulator::run_report`].
     pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> ChurnReport {
+        // NullTelemetry's `enabled()` is a constant `false`: this
+        // monomorphisation contains no telemetry code.
+        self.run_instrumented(sink, &mut NullTelemetry)
+    }
+
+    /// Run to completion with both a flight recorder and a telemetry sink
+    /// attached. This is the engine; [`Simulator::run_report`] and
+    /// [`Simulator::run_traced`] are monomorphisations of it over the
+    /// null sinks. Trace events, metrics, and windows are identical
+    /// across all variants — telemetry observes, it never steers.
+    pub fn run_instrumented<S: TraceSink, T: TelemetrySink>(
+        &self,
+        sink: &mut S,
+        telem: &mut T,
+    ) -> ChurnReport {
         let n_nodes = self.gc.num_nodes();
         let mut queues: Vec<VecDeque<Packet>> = (0..n_nodes).map(|_| VecDeque::new()).collect();
         let mut traffic = TrafficGen::with_pattern(
@@ -165,6 +185,30 @@ impl<'a> Simulator<'a> {
         // is in progress.
         let mut converge_at: Option<u64> = None;
 
+        // The Theorem-3 fault-budget monitor runs whether or not
+        // telemetry is attached: health transitions are trace events and
+        // metric counters, so replay verification covers them. A run that
+        // starts faulty reports its initial classification at cycle 0.
+        let mut monitor = FaultBudgetMonitor::new();
+        if let Some((from, to)) = monitor.update(&self.gc, &truth) {
+            metrics.health_transitions += 1;
+            telem.health_transition(0, from, to);
+            if sink.enabled() {
+                sink.record(&TraceEvent {
+                    cycle: 0,
+                    packet: NETWORK_EVENT_PACKET,
+                    node: NodeId(0),
+                    kind: TraceEventKind::Health {
+                        state: to,
+                        faults: truth.len() as u64,
+                    },
+                });
+            }
+        }
+        // Phase profiling is wall-clock and report-only; the timers exist
+        // only when a real telemetry sink is attached.
+        let profiling = telem.enabled();
+
         // Reusable per-cycle scratch, allocated once for the whole run:
         // the forwarding hot path is allocation-free.
         let n_dims = self.gc.n() as usize;
@@ -193,10 +237,29 @@ impl<'a> Simulator<'a> {
 
             // 0. Fault events: mutate the truth, strand queued packets on
             //    dead nodes, restart the knowledge exchange.
+            let phase_started = profiling.then(Instant::now);
             if dynamic {
                 let applied = injector.step(cycle, &mut truth);
                 if applied > 0 {
                     metrics.fault_events += applied as u64;
+                    telem.fault_events(applied as u64);
+                    // Re-classify against the Theorem 3 budget only when
+                    // the fault set actually changed.
+                    if let Some((from, to)) = monitor.update(&self.gc, &truth) {
+                        metrics.health_transitions += 1;
+                        telem.health_transition(cycle, from, to);
+                        if sink.enabled() {
+                            sink.record(&TraceEvent {
+                                cycle,
+                                packet: NETWORK_EVENT_PACKET,
+                                node: NodeId(0),
+                                kind: TraceEventKind::Health {
+                                    state: to,
+                                    faults: truth.len() as u64,
+                                },
+                            });
+                        }
+                    }
                     for (v, queue) in queues.iter_mut().enumerate() {
                         if truth.is_node_faulty(NodeId(v as u64)) && !queue.is_empty() {
                             for pkt in queue.split_off(0) {
@@ -211,6 +274,7 @@ impl<'a> Simulator<'a> {
                                     cycle,
                                     NodeId(v as u64),
                                     sink,
+                                    telem,
                                 );
                             }
                         }
@@ -229,15 +293,21 @@ impl<'a> Simulator<'a> {
                         sync_view(&mut view, &truth, &mut synced);
                         converge_at = None;
                         metrics.reconvergences += 1;
+                        telem.reconvergence();
                     } else {
                         metrics.stale_cycles += 1;
+                        telem.stale_cycle();
                     }
                 }
+            }
+            if let Some(t) = phase_started {
+                telem.phase_time(Phase::Reconvergence, t.elapsed().as_nanos() as u64);
             }
 
             // 1. Injection phase. Sources route on the *view*: right
             //    after a fault event they may plan through a dead
             //    component and only find out en route.
+            let phase_started = profiling.then(Instant::now);
             if cycle < self.config.inject_cycles {
                 for v in 0..n_nodes {
                     let src = NodeId(v);
@@ -269,6 +339,7 @@ impl<'a> Simulator<'a> {
                             let pkt = Packet::new(next_id, cycle, route);
                             next_id += 1;
                             metrics.injected_total += 1;
+                            telem.inject();
                             if measuring {
                                 metrics.injected += 1;
                             }
@@ -288,6 +359,7 @@ impl<'a> Simulator<'a> {
                                 // src == dst cannot happen (pick_dest), but a
                                 // zero-hop route would sink immediately.
                                 metrics.delivered_total += 1;
+                                telem.deliver();
                                 if measuring {
                                     metrics.delivered += 1;
                                     metrics.latency_hist.record(0);
@@ -320,9 +392,14 @@ impl<'a> Simulator<'a> {
                 }
             }
 
+            if let Some(t) = phase_started {
+                telem.phase_time(Phase::Planning, t.elapsed().as_nanos() as u64);
+            }
+
             // 2. Forwarding phase: one packet per directed link per cycle,
             //    tracked in the generation-stamped (node, dim) table.
             //    Rotate the service order for fairness.
+            let phase_started = profiling.then(Instant::now);
             stamp_gen = stamp_gen.wrapping_add(1);
             if stamp_gen == 0 {
                 // u32 wrap: old stamps could alias the new generation.
@@ -343,6 +420,7 @@ impl<'a> Simulator<'a> {
                     let pkt = queues[v].pop_front().expect("head exists");
                     in_flight -= 1;
                     metrics.delivered_total += 1;
+                    telem.deliver();
                     windows[widx].delivered += 1;
                     if measuring && pkt.injected_at >= warmup {
                         metrics.delivered += 1;
@@ -374,8 +452,16 @@ impl<'a> Simulator<'a> {
                         // The planned hop is dead: the holder observes the
                         // failure and the engine recovers or drops. Either
                         // way this packet spends the cycle here.
-                        let cause =
-                            self.recover(&mut queues[v], &mut view, &truth, link, to, cycle, sink);
+                        let cause = self.recover(
+                            &mut queues[v],
+                            &mut view,
+                            &truth,
+                            link,
+                            to,
+                            cycle,
+                            sink,
+                            telem,
+                        );
                         if let Some((pkt, cause)) = cause {
                             in_flight -= 1;
                             count_drop(
@@ -388,6 +474,7 @@ impl<'a> Simulator<'a> {
                                 cycle,
                                 pkt.current(),
                                 sink,
+                                telem,
                             );
                         }
                         continue;
@@ -408,6 +495,7 @@ impl<'a> Simulator<'a> {
                         cycle,
                         pkt.current(),
                         sink,
+                        telem,
                     );
                     continue;
                 }
@@ -435,6 +523,10 @@ impl<'a> Simulator<'a> {
                     arriving[to.0 as usize] += 1;
                 }
                 link_stamp[slot] = stamp_gen;
+                // Unconditional whole-run hop ledger: the telemetry
+                // per-dimension counters must reconcile with it exactly.
+                metrics.forwarded_hops_total += 1;
+                telem.hop(dim);
                 let mut pkt = queues[v].pop_front().expect("head exists");
                 pkt.hop_idx += 1;
                 pkt.hops_taken += 1;
@@ -460,6 +552,7 @@ impl<'a> Simulator<'a> {
                 if pkt.arrived() {
                     in_flight -= 1;
                     metrics.delivered_total += 1;
+                    telem.deliver();
                     windows[widx].delivered += 1;
                     if measured_pkt {
                         metrics.delivered += 1;
@@ -493,11 +586,46 @@ impl<'a> Simulator<'a> {
                 arriving[t] = 0;
             }
             arrival_nodes.clear();
+            if let Some(t) = phase_started {
+                telem.phase_time(Phase::Forwarding, t.elapsed().as_nanos() as u64);
+            }
+
+            // 3. Telemetry sampling (guarded so the telemetry-off engine
+            //    pays nothing). Cache statistics take a lock, so they are
+            //    fetched only at window boundaries.
+            if telem.enabled() {
+                let sample_started = Instant::now();
+                let cache = if telem.wants_sample(cycle) {
+                    self.algorithm.cache_stats()
+                } else {
+                    None
+                };
+                telem.end_cycle(CycleView {
+                    cycle,
+                    queues: &queues,
+                    in_flight,
+                    health: monitor.state(),
+                    live_faults: truth.len() as u64,
+                    cache,
+                });
+                telem.phase_time(Phase::Telemetry, sample_started.elapsed().as_nanos() as u64);
+            }
 
             if cycle >= self.config.inject_cycles && in_flight == 0 {
                 ended_at = cycle + 1;
                 break;
             }
+        }
+
+        if telem.enabled() {
+            telem.finish(CycleView {
+                cycle: ended_at,
+                queues: &queues,
+                in_flight,
+                health: monitor.state(),
+                live_faults: truth.len() as u64,
+                cache: self.algorithm.cache_stats(),
+            });
         }
 
         metrics.cycles = ended_at - warmup;
@@ -510,6 +638,7 @@ impl<'a> Simulator<'a> {
             metrics,
             windows,
             trace: injector.trace().to_vec(),
+            budget: fault_budget(&self.gc, &truth),
         }
     }
 
@@ -521,7 +650,7 @@ impl<'a> Simulator<'a> {
     /// in place (returning `None`) or pops and returns it with the drop
     /// cause.
     #[allow(clippy::too_many_arguments)]
-    fn recover<S: TraceSink>(
+    fn recover<S: TraceSink, T: TelemetrySink>(
         &self,
         queue: &mut VecDeque<Packet>,
         view: &mut FaultSet,
@@ -530,6 +659,7 @@ impl<'a> Simulator<'a> {
         to: NodeId,
         cycle: u64,
         sink: &mut S,
+        telem: &mut T,
     ) -> Option<(Packet, DropCause)> {
         // Local discovery: the blocked node learns exactly which component
         // failed and that knowledge enters the routing view at once.
@@ -541,6 +671,7 @@ impl<'a> Simulator<'a> {
         let head = queue
             .front_mut()
             .expect("recover is called on a non-empty queue");
+        telem.stale_view();
         if sink.enabled() {
             sink.record(&TraceEvent {
                 cycle,
@@ -562,6 +693,7 @@ impl<'a> Simulator<'a> {
         match self.algorithm.compute_route(&self.gc, view, from, dest) {
             Ok(route) => {
                 head.replan(route);
+                telem.reroute();
                 if sink.enabled() {
                     sink.record(&TraceEvent {
                         cycle,
@@ -592,7 +724,7 @@ impl<'a> Simulator<'a> {
 /// (`dropped_stranded`, `dropped_unrecoverable`, `ttl_expired`) partition
 /// `dropped` exactly.
 #[allow(clippy::too_many_arguments)]
-fn count_drop<S: TraceSink>(
+fn count_drop<S: TraceSink, T: TelemetrySink>(
     metrics: &mut Metrics,
     window: &mut WindowStat,
     pkt: &Packet,
@@ -602,9 +734,11 @@ fn count_drop<S: TraceSink>(
     cycle: u64,
     node: NodeId,
     sink: &mut S,
+    telem: &mut T,
 ) {
     window.dropped += 1;
     metrics.dropped_total += 1;
+    telem.drop_packet();
     if measuring && pkt.injected_at >= warmup {
         metrics.dropped += 1;
         match cause {

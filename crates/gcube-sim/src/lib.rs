@@ -35,6 +35,7 @@ pub mod packet;
 pub mod replay;
 pub mod runner;
 pub mod strategy;
+pub mod telemetry;
 pub mod trace;
 pub mod traffic;
 
@@ -49,6 +50,10 @@ pub use replay::{parse_jsonl, verify_replay, ReplayError};
 pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
 pub use strategy::{
     CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm,
+};
+pub use telemetry::{
+    CycleView, FaultBudgetMonitor, HealthTransition, NullTelemetry, Phase, TelemetryCollector,
+    TelemetrySample, TelemetrySink,
 };
 pub use trace::{
     DropCause, JsonlSink, MemorySink, NullSink, TraceEvent, TraceEventKind, TraceSink,

@@ -2,6 +2,8 @@
 //! degradation counters introduced by dynamic fault injection and the
 //! latency/hop distributions introduced by the flight recorder.
 
+use gcube_routing::faults::FaultBudget;
+
 use crate::injection::FaultEvent;
 
 /// Buckets per [`Histogram`]: exact counts for values `0..=62`, one
@@ -160,6 +162,15 @@ pub struct Metrics {
     pub rerouted_hops: u64,
     /// Fault events (failures and repairs) applied during the run.
     pub fault_events: u64,
+    /// Whole-run count of link traversals, warm-up included. Unlike
+    /// [`Metrics::total_hops`] (summed per delivered packet, measured
+    /// window only), this ledger counts every forwarded hop the moment it
+    /// happens — the ground truth the telemetry per-dimension counters
+    /// must reconcile with exactly.
+    pub forwarded_hops_total: u64,
+    /// Times the fault-budget monitor changed health state (including
+    /// the initial classification when the run starts faulty).
+    pub health_transitions: u64,
     /// Cycles during which at least one fault was not yet reflected in
     /// the routing view (stale-knowledge exposure).
     pub stale_cycles: u64,
@@ -310,6 +321,9 @@ pub struct ChurnReport {
     pub windows: Vec<WindowStat>,
     /// Every fault event applied, in application order.
     pub trace: Vec<FaultEvent>,
+    /// The network's final Theorem-3 standing: the live fault set at the
+    /// end of the run classified against `N(α,k)` / `T(GC)`.
+    pub budget: FaultBudget,
 }
 
 #[cfg(test)]

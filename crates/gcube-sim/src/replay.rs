@@ -17,6 +17,7 @@
 
 use std::fmt;
 
+use gcube_routing::faults::HealthState;
 use gcube_topology::NodeId;
 
 use crate::config::SimConfig;
@@ -148,6 +149,8 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
     let mut cause = None;
     let mut latency = None;
     let mut hops = None;
+    let mut state = None;
+    let mut faults = None;
     for field in body.split(',') {
         let (key, value) = field
             .split_once(':')
@@ -191,6 +194,14 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
             }
             "latency" => latency = Some(num()?),
             "hops" => hops = Some(num()?),
+            "state" => {
+                let t = text()?;
+                state = Some(
+                    HealthState::from_str(t)
+                        .ok_or_else(|| format!("unknown health state {t:?}"))?,
+                )
+            }
+            "faults" => faults = Some(num()?),
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -215,6 +226,10 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
         "deliver" => TraceEventKind::Deliver {
             latency: latency.ok_or_else(|| missing("latency"))?,
             hops: hops.ok_or_else(|| missing("hops"))?,
+        },
+        "health" => TraceEventKind::Health {
+            state: state.ok_or_else(|| missing("state"))?,
+            faults: faults.ok_or_else(|| missing("faults"))?,
         },
         other => return Err(format!("unknown event type {other:?}")),
     };
@@ -275,6 +290,15 @@ mod tests {
                 node: NodeId(2),
                 kind: TraceEventKind::Drop {
                     cause: DropCause::Stranded,
+                },
+            },
+            TraceEvent {
+                cycle: 8,
+                packet: crate::trace::NETWORK_EVENT_PACKET,
+                node: NodeId(0),
+                kind: TraceEventKind::Health {
+                    state: HealthState::BoundExceeded,
+                    faults: 5,
                 },
             },
         ]

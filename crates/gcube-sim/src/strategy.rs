@@ -19,6 +19,14 @@ pub trait RoutingAlgorithm: Sync {
         s: NodeId,
         d: NodeId,
     ) -> Result<Route, RoutingError>;
+
+    /// Plan-cache counters, for strategies backed by a
+    /// [`PlanCache`] (`None` for uncached strategies, or before first
+    /// use). Not free — snapshotting takes the cache's entry lock — so
+    /// callers poll it at sample boundaries, not per packet.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// FFGCR (Algorithm 3): optimal, fault-oblivious. Used for the fault-free
@@ -126,6 +134,9 @@ impl RoutingAlgorithm for CachedFfgcr {
     ) -> Result<Route, RoutingError> {
         self.shared.cache_for(gc).route(gc, s, d)
     }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.stats()
+    }
 }
 
 /// FTGCR with the fault-free planning stage served from a [`PlanCache`];
@@ -161,6 +172,9 @@ impl RoutingAlgorithm for CachedFtgcr {
     ) -> Result<Route, RoutingError> {
         let cache = self.shared.cache_for(gc);
         ftgcr::route_cached(gc, faults, s, d, &cache).map(|(r, _)| r)
+    }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.stats()
     }
 }
 
@@ -232,6 +246,23 @@ mod tests {
     fn ecube_rejects_diluted_cubes() {
         let gc = GaussianCube::new(6, 2).unwrap();
         let _ = EcubeBaseline.compute_route(&gc, &FaultSet::new(), NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn cache_stats_exposed_through_the_trait() {
+        let gc = GaussianCube::new(7, 4).unwrap();
+        let f = FaultSet::new();
+        // Uncached strategies report nothing.
+        assert_eq!(RoutingAlgorithm::cache_stats(&FaultFreeGcr), None);
+        assert_eq!(RoutingAlgorithm::cache_stats(&FaultTolerantGcr), None);
+        // Cached strategies report None before first use, counters after.
+        let cached = CachedFfgcr::new();
+        assert_eq!(RoutingAlgorithm::cache_stats(&cached), None);
+        cached
+            .compute_route(&gc, &f, NodeId(0), NodeId(99))
+            .unwrap();
+        let stats = RoutingAlgorithm::cache_stats(&cached).expect("stats after use");
+        assert!(stats.misses >= 1 && stats.entries >= 1);
     }
 
     #[test]

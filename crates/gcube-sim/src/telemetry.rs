@@ -1,0 +1,1047 @@
+//! Live network telemetry: per-cycle time series, the Theorem-3
+//! fault-budget monitor, and phase profiling.
+//!
+//! The flight recorder ([`crate::trace`]) narrates individual packets;
+//! this module watches the *network*: which dimensions carry the traffic,
+//! which ending classes congest, how the plan cache behaves, and — the
+//! paper's own health signal — how close the live fault set stands to the
+//! Theorem 3 tolerance bounds `N(α,k)` / `T(GC)`.
+//!
+//! # Architecture
+//!
+//! The engine is generic over a [`TelemetrySink`], exactly like its
+//! [`TraceSink`](crate::trace::TraceSink): [`NullTelemetry`] reports
+//! `enabled() == false` as a compile-time-foldable constant, so the
+//! telemetry-off engine monomorphisation contains no telemetry code at
+//! all (the `telemetry` criterion group and the `telemetry_overhead`
+//! entry in `BENCH_routing.json` guard this). [`TelemetryCollector`] is
+//! the real sink: it accumulates counters per sampling window
+//! ([`crate::config::SimConfig::telemetry_interval`] cycles) into a
+//! bounded ring of [`TelemetrySample`]s, exportable as CSV
+//! ([`TelemetryCollector::to_csv`]) or JSONL
+//! ([`TelemetryCollector::to_jsonl`]) and summarised by
+//! [`TelemetryCollector::health_report`].
+//!
+//! # The fault-budget monitor
+//!
+//! [`FaultBudgetMonitor`] classifies the ground-truth fault set after
+//! every fault event with [`health_state`]: `Healthy` (no faults),
+//! `Degraded` (faults within the Theorem 3 precondition), or
+//! `BoundExceeded` (precondition violated — routing guarantees void). The
+//! *engine* owns the monitor, not the collector: state transitions are
+//! emitted as first-class [`TraceEventKind::Health`](crate::trace::TraceEventKind)
+//! trace events and counted in
+//! [`Metrics::health_transitions`](crate::metrics::Metrics), whether or
+//! not telemetry is attached — so replay verification covers them too.
+//!
+//! # Determinism
+//!
+//! Everything exported by CSV/JSONL is a pure function of the
+//! configuration and seed (CI diffs two identical runs). Phase timings
+//! are wall-clock and therefore appear **only** in the human-readable
+//! health report, never in the machine exports.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::mem;
+
+use gcube_routing::faults::{health_state, FaultBudget, HealthState};
+use gcube_routing::{CacheStats, FaultSet};
+use gcube_topology::GaussianCube;
+
+use crate::packet::Packet;
+
+/// Number of [`Phase`] variants (size of per-phase accumulator arrays).
+pub const NUM_PHASES: usize = 4;
+
+/// One of the engine's per-cycle phases, for profiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Fault-event application, stranding, and knowledge reconvergence.
+    Reconvergence = 0,
+    /// Injection: destination choice and route planning.
+    Planning = 1,
+    /// Forwarding: link arbitration, recovery, movement, delivery.
+    Forwarding = 2,
+    /// Telemetry sampling itself (the observer's own cost).
+    Telemetry = 3,
+}
+
+impl Phase {
+    /// All phases, in accumulator order.
+    pub const ALL: [Phase; NUM_PHASES] = [
+        Phase::Reconvergence,
+        Phase::Planning,
+        Phase::Forwarding,
+        Phase::Telemetry,
+    ];
+
+    /// Stable lower-snake name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Reconvergence => "reconvergence",
+            Phase::Planning => "planning",
+            Phase::Forwarding => "forwarding",
+            Phase::Telemetry => "telemetry",
+        }
+    }
+}
+
+/// The network state the engine exposes to the sink at the end of a cycle
+/// (and once more at the end of the run).
+pub struct CycleView<'a> {
+    /// The cycle just completed (for [`TelemetrySink::finish`]: the cycle
+    /// the run ended at).
+    pub cycle: u64,
+    /// Per-node FIFO queues, indexed by node id.
+    pub queues: &'a [VecDeque<Packet>],
+    /// Packets currently in flight.
+    pub in_flight: u64,
+    /// The fault-budget monitor's current classification.
+    pub health: HealthState,
+    /// Live faulty components (nodes + links) in the ground truth.
+    pub live_faults: u64,
+    /// Plan-cache counters, fetched by the engine only when
+    /// [`TelemetrySink::wants_sample`] said this cycle closes a window
+    /// (snapshotting takes a lock — not a per-cycle cost).
+    pub cache: Option<CacheStats>,
+}
+
+/// Consumer of the engine's per-cycle network state.
+///
+/// Mirrors [`crate::trace::TraceSink`]: the engine monomorphises over the
+/// sink, every hook defaults to a no-op, and [`NullTelemetry`] reports
+/// `enabled() == false` as a constant so the telemetry-off engine path
+/// compiles to exactly the untelemetered engine.
+pub trait TelemetrySink {
+    /// Whether telemetry is collected at all. Return a constant `false`
+    /// (like [`NullTelemetry`]) to compile every hook out.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Whether `cycle` closes a sampling window. The engine only fetches
+    /// plan-cache statistics (which take a lock) when this returns true.
+    #[inline]
+    fn wants_sample(&self, _cycle: u64) -> bool {
+        false
+    }
+
+    /// One packet moved over a link in dimension `dim`.
+    #[inline]
+    fn hop(&mut self, _dim: u32) {}
+
+    /// One packet was successfully injected.
+    #[inline]
+    fn inject(&mut self) {}
+
+    /// One packet was delivered.
+    #[inline]
+    fn deliver(&mut self) {}
+
+    /// One packet was dropped.
+    #[inline]
+    fn drop_packet(&mut self) {}
+
+    /// One packet was re-planned in place.
+    #[inline]
+    fn reroute(&mut self) {}
+
+    /// One packet's planned hop proved dead in the ground truth.
+    #[inline]
+    fn stale_view(&mut self) {}
+
+    /// A cycle passed with the routing view lagging the truth.
+    #[inline]
+    fn stale_cycle(&mut self) {}
+
+    /// `applied` fault events (failures/repairs) hit the network.
+    #[inline]
+    fn fault_events(&mut self, _applied: u64) {}
+
+    /// The routing view re-converged onto the ground truth.
+    #[inline]
+    fn reconvergence(&mut self) {}
+
+    /// The fault-budget monitor changed state.
+    #[inline]
+    fn health_transition(&mut self, _cycle: u64, _from: HealthState, _to: HealthState) {}
+
+    /// Wall-clock nanoseconds spent in `phase` this cycle. Never exported
+    /// to the deterministic CSV/JSONL streams.
+    #[inline]
+    fn phase_time(&mut self, _phase: Phase, _nanos: u64) {}
+
+    /// A cycle completed; `view` describes the network at its end.
+    #[inline]
+    fn end_cycle(&mut self, _view: CycleView<'_>) {}
+
+    /// The run completed; close any partial sampling window.
+    #[inline]
+    fn finish(&mut self, _view: CycleView<'_>) {}
+}
+
+/// The telemetry-off sink: `enabled()` is a constant `false` and every
+/// hook is a no-op, so the monomorphised engine contains no telemetry
+/// code at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTelemetry;
+
+impl TelemetrySink for NullTelemetry {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Tracks the network's [`HealthState`] and reports transitions.
+///
+/// Starts `Healthy` (the state of an empty fault set); the engine calls
+/// [`FaultBudgetMonitor::update`] before the first cycle and after every
+/// applied fault event, so a run that *starts* faulty reports its initial
+/// classification as a transition at cycle zero.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultBudgetMonitor {
+    state: HealthState,
+}
+
+impl FaultBudgetMonitor {
+    /// A monitor in the `Healthy` state.
+    pub fn new() -> FaultBudgetMonitor {
+        FaultBudgetMonitor::default()
+    }
+
+    /// The current classification.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Re-classify `faults`; returns `Some((from, to))` when the state
+    /// changed.
+    pub fn update(
+        &mut self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+    ) -> Option<(HealthState, HealthState)> {
+        let next = health_state(gc, faults);
+        if next != self.state {
+            let prev = mem::replace(&mut self.state, next);
+            Some((prev, next))
+        } else {
+            None
+        }
+    }
+}
+
+/// One recorded health-state transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Cycle the transition took effect.
+    pub cycle: u64,
+    /// State left.
+    pub from: HealthState,
+    /// State entered.
+    pub to: HealthState,
+}
+
+/// One sampling window of the time series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetrySample {
+    /// First cycle of the window (inclusive).
+    pub start: u64,
+    /// Last cycle of the window (exclusive).
+    pub end: u64,
+    /// Link traversals per dimension during the window (`dim_hops[d]`
+    /// counts hops over dimension-`d` links).
+    pub dim_hops: Vec<u64>,
+    /// Packets queued per ending class `EC(k)` at the window's end.
+    pub class_queued: Vec<u64>,
+    /// Nodes per ending class with a non-empty queue at the window's end.
+    pub class_occupied: Vec<u64>,
+    /// Packets in flight at the window's end.
+    pub in_flight: u64,
+    /// Packets injected during the window.
+    pub injected: u64,
+    /// Packets delivered during the window.
+    pub delivered: u64,
+    /// Packets dropped during the window.
+    pub dropped: u64,
+    /// Local re-plans during the window.
+    pub reroutes: u64,
+    /// Stale-view exposures (planned hop dead in the truth) during the
+    /// window.
+    pub stale_views: u64,
+    /// Cycles of the window the view spent lagging the truth.
+    pub stale_cycles: u64,
+    /// Fault events (failures and repairs) applied during the window.
+    pub fault_events: u64,
+    /// View reconvergences during the window.
+    pub reconvergences: u64,
+    /// Plan-cache counters: hits/misses are deltas over the window,
+    /// entries is the absolute size at the window's end. `None` when the
+    /// strategy has no cache (or it is still unused).
+    pub cache: Option<CacheStats>,
+    /// Health classification at the window's end.
+    pub health: HealthState,
+    /// Live faulty components at the window's end.
+    pub live_faults: u64,
+}
+
+impl TelemetrySample {
+    /// Total link traversals in the window (sum over dimensions).
+    pub fn forwarded_hops(&self) -> u64 {
+        self.dim_hops.iter().sum()
+    }
+}
+
+/// Pending-window accumulators, zeroed at each window boundary.
+#[derive(Clone, Debug, Default)]
+struct WindowAcc {
+    dim_hops: Vec<u64>,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    reroutes: u64,
+    stale_views: u64,
+    stale_cycles: u64,
+    fault_events: u64,
+    reconvergences: u64,
+}
+
+impl WindowAcc {
+    fn reset(&mut self) {
+        self.dim_hops.iter_mut().for_each(|h| *h = 0);
+        self.injected = 0;
+        self.delivered = 0;
+        self.dropped = 0;
+        self.reroutes = 0;
+        self.stale_views = 0;
+        self.stale_cycles = 0;
+        self.fault_events = 0;
+        self.reconvergences = 0;
+    }
+}
+
+/// Default ring capacity: at most this many samples are retained; older
+/// ones are evicted (and counted in [`TelemetryCollector::evicted`]).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// The real telemetry sink: accumulates the per-cycle hooks into
+/// fixed-width sampling windows held in a bounded ring, alongside
+/// whole-run totals (which survive ring eviction, so reconciliation
+/// against the [`Metrics`](crate::metrics::Metrics) ledger is exact
+/// regardless of ring size).
+#[derive(Clone, Debug)]
+pub struct TelemetryCollector {
+    n_dims: usize,
+    num_classes: usize,
+    class_mask: u64,
+    interval: u64,
+    capacity: usize,
+    samples: VecDeque<TelemetrySample>,
+    evicted: u64,
+    window_start: u64,
+    acc: WindowAcc,
+    // Whole-run totals (never evicted).
+    dim_hops_total: Vec<u64>,
+    injected_total: u64,
+    delivered_total: u64,
+    dropped_total: u64,
+    reroutes_total: u64,
+    stale_views_total: u64,
+    stale_cycles_total: u64,
+    fault_events_total: u64,
+    reconvergences_total: u64,
+    last_cache: CacheStats,
+    transitions: Vec<HealthTransition>,
+    phase_nanos: [u64; NUM_PHASES],
+    ended_at: u64,
+}
+
+impl TelemetryCollector {
+    /// A collector for `gc`'s shape sampling every `interval` cycles
+    /// (clamped to ≥ 1), retaining at most [`DEFAULT_RING_CAPACITY`]
+    /// windows.
+    pub fn new(gc: &GaussianCube, interval: u64) -> TelemetryCollector {
+        TelemetryCollector::with_capacity(gc, interval, DEFAULT_RING_CAPACITY)
+    }
+
+    /// As [`TelemetryCollector::new`] with an explicit ring capacity
+    /// (clamped to ≥ 1).
+    pub fn with_capacity(gc: &GaussianCube, interval: u64, capacity: usize) -> TelemetryCollector {
+        let n_dims = gc.n() as usize;
+        let num_classes = 1usize << gc.alpha();
+        TelemetryCollector {
+            n_dims,
+            num_classes,
+            class_mask: (num_classes as u64) - 1,
+            interval: interval.max(1),
+            capacity: capacity.max(1),
+            samples: VecDeque::new(),
+            evicted: 0,
+            window_start: 0,
+            acc: WindowAcc {
+                dim_hops: vec![0; n_dims],
+                ..WindowAcc::default()
+            },
+            dim_hops_total: vec![0; n_dims],
+            injected_total: 0,
+            delivered_total: 0,
+            dropped_total: 0,
+            reroutes_total: 0,
+            stale_views_total: 0,
+            stale_cycles_total: 0,
+            fault_events_total: 0,
+            reconvergences_total: 0,
+            last_cache: CacheStats::default(),
+            transitions: Vec::new(),
+            phase_nanos: [0; NUM_PHASES],
+            ended_at: 0,
+        }
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &TelemetrySample> {
+        self.samples.iter()
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted from the ring (oldest-first) to stay within
+    /// capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Whole-run link traversals per dimension (survives ring eviction).
+    pub fn dim_hops_total(&self) -> &[u64] {
+        &self.dim_hops_total
+    }
+
+    /// Whole-run link traversals, all dimensions.
+    pub fn forwarded_hops_total(&self) -> u64 {
+        self.dim_hops_total.iter().sum()
+    }
+
+    /// Whole-run totals `(injected, delivered, dropped)`.
+    pub fn packet_totals(&self) -> (u64, u64, u64) {
+        (
+            self.injected_total,
+            self.delivered_total,
+            self.dropped_total,
+        )
+    }
+
+    /// Whole-run totals `(reroutes, stale_views, stale_cycles,
+    /// fault_events, reconvergences)`.
+    pub fn churn_totals(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.reroutes_total,
+            self.stale_views_total,
+            self.stale_cycles_total,
+            self.fault_events_total,
+            self.reconvergences_total,
+        )
+    }
+
+    /// Recorded health transitions, in order.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    /// Wall-clock nanoseconds accumulated per phase (report-only; never
+    /// exported to the deterministic streams).
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase as usize]
+    }
+
+    fn close_window(&mut self, view: &CycleView<'_>, end: u64) {
+        let mut class_queued = vec![0u64; self.num_classes];
+        let mut class_occupied = vec![0u64; self.num_classes];
+        for (v, queue) in view.queues.iter().enumerate() {
+            if queue.is_empty() {
+                continue;
+            }
+            let k = (v as u64 & self.class_mask) as usize;
+            class_queued[k] += queue.len() as u64;
+            class_occupied[k] += 1;
+        }
+        let cache = view.cache.map(|now| {
+            let delta = CacheStats {
+                hits: now.hits - self.last_cache.hits,
+                misses: now.misses - self.last_cache.misses,
+                entries: now.entries,
+            };
+            self.last_cache = now;
+            delta
+        });
+        let sample = TelemetrySample {
+            start: self.window_start,
+            end,
+            dim_hops: self.acc.dim_hops.clone(),
+            class_queued,
+            class_occupied,
+            in_flight: view.in_flight,
+            injected: self.acc.injected,
+            delivered: self.acc.delivered,
+            dropped: self.acc.dropped,
+            reroutes: self.acc.reroutes,
+            stale_views: self.acc.stale_views,
+            stale_cycles: self.acc.stale_cycles,
+            fault_events: self.acc.fault_events,
+            reconvergences: self.acc.reconvergences,
+            cache,
+            health: view.health,
+            live_faults: view.live_faults,
+        };
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.evicted += 1;
+        }
+        self.samples.push_back(sample);
+        self.acc.reset();
+        self.window_start = end;
+    }
+
+    /// CSV export: one header line, one row per retained sample. Pure
+    /// function of config + seed (CI diffs two runs byte for byte); phase
+    /// timings are deliberately absent.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "start,end,in_flight,injected,delivered,dropped,forwarded_hops,reroutes,\
+             stale_views,stale_cycles,fault_events,reconvergences,health,live_faults,\
+             cache_hits,cache_misses,cache_entries",
+        );
+        for d in 0..self.n_dims {
+            let _ = write!(out, ",dim{d}_hops");
+        }
+        for k in 0..self.num_classes {
+            let _ = write!(out, ",class{k}_queued");
+        }
+        for k in 0..self.num_classes {
+            let _ = write!(out, ",class{k}_occupied");
+        }
+        out.push('\n');
+        for s in &self.samples {
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.start,
+                s.end,
+                s.in_flight,
+                s.injected,
+                s.delivered,
+                s.dropped,
+                s.forwarded_hops(),
+                s.reroutes,
+                s.stale_views,
+                s.stale_cycles,
+                s.fault_events,
+                s.reconvergences,
+                s.health.as_str(),
+                s.live_faults,
+            );
+            match s.cache {
+                Some(c) => {
+                    let _ = write!(out, ",{},{},{}", c.hits, c.misses, c.entries);
+                }
+                None => out.push_str(",,,"),
+            }
+            for h in &s.dim_hops {
+                let _ = write!(out, ",{h}");
+            }
+            for q in &s.class_queued {
+                let _ = write!(out, ",{q}");
+            }
+            for o in &s.class_occupied {
+                let _ = write!(out, ",{o}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSONL export: one flat hand-rolled object per retained sample.
+    /// Deterministic, like the CSV.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let _ = write!(
+                out,
+                "{{\"start\":{},\"end\":{},\"in_flight\":{},\"injected\":{},\
+                 \"delivered\":{},\"dropped\":{},\"forwarded_hops\":{},\"reroutes\":{},\
+                 \"stale_views\":{},\"stale_cycles\":{},\"fault_events\":{},\
+                 \"reconvergences\":{},\"health\":\"{}\",\"live_faults\":{}",
+                s.start,
+                s.end,
+                s.in_flight,
+                s.injected,
+                s.delivered,
+                s.dropped,
+                s.forwarded_hops(),
+                s.reroutes,
+                s.stale_views,
+                s.stale_cycles,
+                s.fault_events,
+                s.reconvergences,
+                s.health.as_str(),
+                s.live_faults,
+            );
+            match s.cache {
+                Some(c) => {
+                    let _ = write!(
+                        out,
+                        ",\"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{}",
+                        c.hits, c.misses, c.entries
+                    );
+                }
+                None => out
+                    .push_str(",\"cache_hits\":null,\"cache_misses\":null,\"cache_entries\":null"),
+            }
+            let join = |vals: &[u64]| {
+                vals.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = write!(
+                out,
+                ",\"dim_hops\":[{}],\"class_queued\":[{}],\"class_occupied\":[{}]}}",
+                join(&s.dim_hops),
+                join(&s.class_queued),
+                join(&s.class_occupied)
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable end-of-run health report: whole-run totals, the
+    /// dimension utilization profile, health transitions, the Theorem 3
+    /// budget standing, and the (wall-clock) phase profile.
+    pub fn health_report(&self, budget: &FaultBudget) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== network health report ===");
+        let _ = writeln!(
+            out,
+            "run: {} cycles, {} sampling windows of {} cycles ({} evicted)",
+            self.ended_at,
+            self.samples.len() as u64 + self.evicted,
+            self.interval,
+            self.evicted
+        );
+        let _ = writeln!(
+            out,
+            "packets: injected {}, delivered {}, dropped {}",
+            self.injected_total, self.delivered_total, self.dropped_total
+        );
+        let _ = writeln!(
+            out,
+            "churn: {} fault events, {} stale-view exposures over {} stale cycles, \
+             {} reroutes, {} reconvergences",
+            self.fault_events_total,
+            self.stale_views_total,
+            self.stale_cycles_total,
+            self.reroutes_total,
+            self.reconvergences_total
+        );
+        let total_hops = self.forwarded_hops_total();
+        let _ = writeln!(out, "link utilization ({total_hops} hops total):");
+        for (d, &h) in self.dim_hops_total.iter().enumerate() {
+            let pct = if total_hops == 0 {
+                0.0
+            } else {
+                100.0 * h as f64 / total_hops as f64
+            };
+            let _ = writeln!(out, "  dim {d:>2}: {h:>10} hops ({pct:5.1}%)");
+        }
+        if let Some(last) = self.samples.back() {
+            if let Some(c) = last.cache {
+                let _ = writeln!(
+                    out,
+                    "plan cache: {} entries (last window: {} hits, {} misses)",
+                    c.entries, c.hits, c.misses
+                );
+            }
+        }
+        let _ = writeln!(out, "--- Theorem 3 fault budget ---");
+        let _ = writeln!(
+            out,
+            "state: {} ({} live faults: {} A / {} B / {} C)",
+            budget.state, budget.total, budget.counts.a, budget.counts.b, budget.counts.c
+        );
+        let _ = writeln!(
+            out,
+            "aggregate headroom: {} of T_paper = {}, {} of T_guaranteed = {}",
+            budget.headroom_paper(),
+            budget.t_paper,
+            budget.headroom_guaranteed(),
+            budget.t_guaranteed
+        );
+        let _ = writeln!(
+            out,
+            "precondition: paper {}, guaranteed {}",
+            budget.precondition_paper, budget.precondition_guaranteed
+        );
+        if let Some(w) = budget.worst_subcube() {
+            let _ = writeln!(
+                out,
+                "worst subcube: GEEC(k={}, t={}) with {} faults against N(α,k)={} \
+                 (guaranteed bound {})",
+                w.k, w.t, w.faults, w.bound_paper, w.bound_guaranteed
+            );
+        }
+        if self.transitions.is_empty() {
+            let _ = writeln!(out, "health transitions: none");
+        } else {
+            let _ = writeln!(out, "health transitions:");
+            for t in &self.transitions {
+                let _ = writeln!(
+                    out,
+                    "  cycle {:>8}: {} -> {}",
+                    t.cycle,
+                    t.from.as_str(),
+                    t.to.as_str()
+                );
+            }
+        }
+        let _ = writeln!(out, "--- phase profile (wall clock, report-only) ---");
+        let total_ns: u64 = self.phase_nanos.iter().sum();
+        for p in Phase::ALL {
+            let ns = self.phase_nanos[p as usize];
+            let pct = if total_ns == 0 {
+                0.0
+            } else {
+                100.0 * ns as f64 / total_ns as f64
+            };
+            let _ = writeln!(out, "  {:<14} {:>12} ns ({pct:5.1}%)", p.as_str(), ns);
+        }
+        out
+    }
+}
+
+impl TelemetrySink for TelemetryCollector {
+    #[inline]
+    fn wants_sample(&self, cycle: u64) -> bool {
+        (cycle + 1).is_multiple_of(self.interval)
+    }
+
+    #[inline]
+    fn hop(&mut self, dim: u32) {
+        self.acc.dim_hops[dim as usize] += 1;
+        self.dim_hops_total[dim as usize] += 1;
+    }
+
+    #[inline]
+    fn inject(&mut self) {
+        self.acc.injected += 1;
+        self.injected_total += 1;
+    }
+
+    #[inline]
+    fn deliver(&mut self) {
+        self.acc.delivered += 1;
+        self.delivered_total += 1;
+    }
+
+    #[inline]
+    fn drop_packet(&mut self) {
+        self.acc.dropped += 1;
+        self.dropped_total += 1;
+    }
+
+    #[inline]
+    fn reroute(&mut self) {
+        self.acc.reroutes += 1;
+        self.reroutes_total += 1;
+    }
+
+    #[inline]
+    fn stale_view(&mut self) {
+        self.acc.stale_views += 1;
+        self.stale_views_total += 1;
+    }
+
+    #[inline]
+    fn stale_cycle(&mut self) {
+        self.acc.stale_cycles += 1;
+        self.stale_cycles_total += 1;
+    }
+
+    #[inline]
+    fn fault_events(&mut self, applied: u64) {
+        self.acc.fault_events += applied;
+        self.fault_events_total += applied;
+    }
+
+    #[inline]
+    fn reconvergence(&mut self) {
+        self.acc.reconvergences += 1;
+        self.reconvergences_total += 1;
+    }
+
+    fn health_transition(&mut self, cycle: u64, from: HealthState, to: HealthState) {
+        self.transitions.push(HealthTransition { cycle, from, to });
+    }
+
+    #[inline]
+    fn phase_time(&mut self, phase: Phase, nanos: u64) {
+        self.phase_nanos[phase as usize] += nanos;
+    }
+
+    fn end_cycle(&mut self, view: CycleView<'_>) {
+        if self.wants_sample(view.cycle) {
+            self.close_window(&view, view.cycle + 1);
+        }
+    }
+
+    fn finish(&mut self, view: CycleView<'_>) {
+        self.ended_at = view.cycle;
+        if view.cycle > self.window_start {
+            // A partial window remains (the run ended mid-interval, or
+            // drained early): close it so its counters are not lost.
+            self.close_window(&view, view.cycle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::Topology;
+
+    fn gc() -> GaussianCube {
+        GaussianCube::new(6, 4).unwrap() // α = 2: 4 ending classes
+    }
+
+    fn view<'a>(cycle: u64, queues: &'a [VecDeque<Packet>], health: HealthState) -> CycleView<'a> {
+        CycleView {
+            cycle,
+            queues,
+            in_flight: queues.iter().map(|q| q.len() as u64).sum(),
+            health,
+            live_faults: 0,
+            cache: None,
+        }
+    }
+
+    #[test]
+    fn windows_close_on_interval_and_accumulate() {
+        let g = gc();
+        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
+        let mut c = TelemetryCollector::new(&g, 10);
+        for cycle in 0..25u64 {
+            c.hop(0);
+            c.hop(3);
+            c.inject();
+            assert_eq!(c.wants_sample(cycle), (cycle + 1) % 10 == 0);
+            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+        }
+        // Two full windows closed; 5 cycles pending.
+        assert_eq!(c.len(), 2);
+        c.finish(view(25, &queues, HealthState::Healthy));
+        assert_eq!(c.len(), 3, "finish must close the partial window");
+        let s: Vec<&TelemetrySample> = c.samples().collect();
+        assert_eq!((s[0].start, s[0].end), (0, 10));
+        assert_eq!((s[1].start, s[1].end), (10, 20));
+        assert_eq!((s[2].start, s[2].end), (20, 25));
+        assert_eq!(s[0].injected, 10);
+        assert_eq!(s[2].injected, 5);
+        assert_eq!(s[0].dim_hops[0], 10);
+        assert_eq!(s[0].dim_hops[3], 10);
+        assert_eq!(s[0].forwarded_hops(), 20);
+        // Totals reconcile with the per-window series.
+        assert_eq!(c.forwarded_hops_total(), 50);
+        assert_eq!(
+            c.samples().map(|s| s.forwarded_hops()).sum::<u64>(),
+            c.forwarded_hops_total()
+        );
+        assert_eq!(c.packet_totals(), (25, 0, 0));
+    }
+
+    #[test]
+    fn finish_without_pending_cycles_adds_no_window() {
+        let g = gc();
+        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
+        let mut c = TelemetryCollector::new(&g, 10);
+        for cycle in 0..10u64 {
+            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+        }
+        assert_eq!(c.len(), 1);
+        c.finish(view(10, &queues, HealthState::Healthy));
+        assert_eq!(c.len(), 1, "exactly one full window, no empty tail");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_totals_survive() {
+        let g = gc();
+        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
+        let mut c = TelemetryCollector::with_capacity(&g, 1, 4);
+        for cycle in 0..10u64 {
+            c.hop(1);
+            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evicted(), 6);
+        assert_eq!(c.samples().next().unwrap().start, 6, "oldest retained");
+        assert_eq!(c.forwarded_hops_total(), 10, "totals ignore eviction");
+    }
+
+    #[test]
+    fn class_occupancy_uses_ending_classes() {
+        let g = gc();
+        let mut queues: Vec<VecDeque<Packet>> =
+            (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
+        // Nodes 1 and 5 are both EC(1) under α = 2; node 6 is EC(2).
+        let route = gcube_routing::Route::new(vec![gcube_topology::NodeId(0)]);
+        queues[1].push_back(Packet::new(0, 0, route.clone()));
+        queues[1].push_back(Packet::new(1, 0, route.clone()));
+        queues[5].push_back(Packet::new(2, 0, route.clone()));
+        queues[6].push_back(Packet::new(3, 0, route));
+        let mut c = TelemetryCollector::new(&g, 1);
+        c.end_cycle(view(0, &queues, HealthState::Healthy));
+        let s = c.samples().next().unwrap();
+        assert_eq!(s.class_queued, vec![0, 3, 1, 0]);
+        assert_eq!(s.class_occupied, vec![0, 2, 1, 0]);
+        assert_eq!(s.in_flight, 4);
+    }
+
+    #[test]
+    fn csv_and_jsonl_have_one_line_per_sample() {
+        let g = gc();
+        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
+        let mut c = TelemetryCollector::new(&g, 5);
+        for cycle in 0..20u64 {
+            c.hop((cycle % 6) as u32);
+            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+        }
+        let csv = c.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4, "header + 4 windows");
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
+        assert!(lines[0].contains("dim5_hops") && lines[0].contains("class3_occupied"));
+        let jsonl = c.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4);
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"dim_hops\":["), "{line}");
+        }
+    }
+
+    #[test]
+    fn cache_deltas_are_per_window() {
+        let g = gc();
+        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
+        let mut c = TelemetryCollector::new(&g, 1);
+        let mk = |cycle: u64, cache: CacheStats| CycleView {
+            cycle,
+            queues: &queues,
+            in_flight: 0,
+            health: HealthState::Healthy,
+            live_faults: 0,
+            cache: Some(cache),
+        };
+        c.end_cycle(mk(
+            0,
+            CacheStats {
+                hits: 10,
+                misses: 4,
+                entries: 4,
+            },
+        ));
+        c.end_cycle(mk(
+            1,
+            CacheStats {
+                hits: 25,
+                misses: 5,
+                entries: 5,
+            },
+        ));
+        let s: Vec<&TelemetrySample> = c.samples().collect();
+        assert_eq!(
+            s[0].cache,
+            Some(CacheStats {
+                hits: 10,
+                misses: 4,
+                entries: 4
+            })
+        );
+        assert_eq!(
+            s[1].cache,
+            Some(CacheStats {
+                hits: 15,
+                misses: 1,
+                entries: 5
+            }),
+            "hits/misses are window deltas, entries absolute"
+        );
+    }
+
+    #[test]
+    fn monitor_reports_transitions_once() {
+        use gcube_topology::{LinkId, NodeId};
+        let g = gc();
+        let mut m = FaultBudgetMonitor::new();
+        let mut f = FaultSet::new();
+        assert_eq!(m.state(), HealthState::Healthy);
+        assert_eq!(m.update(&g, &f), None, "no transition while healthy");
+        f.add_link(LinkId::new(NodeId(0), g.alpha())); // A-category
+        assert_eq!(
+            m.update(&g, &f),
+            Some((HealthState::Healthy, HealthState::Degraded))
+        );
+        assert_eq!(m.update(&g, &f), None, "no repeat without change");
+        f.add_node(NodeId(5)); // C-category: bound void
+        assert_eq!(
+            m.update(&g, &f),
+            Some((HealthState::Degraded, HealthState::BoundExceeded))
+        );
+        let mut repaired = FaultSet::new();
+        repaired.sync_from(&FaultSet::new());
+        assert_eq!(
+            m.update(&g, &repaired),
+            Some((HealthState::BoundExceeded, HealthState::Healthy))
+        );
+    }
+
+    #[test]
+    fn null_telemetry_is_disabled() {
+        let g = gc();
+        assert!(!NullTelemetry.enabled());
+        assert!(TelemetryCollector::new(&g, 1).enabled());
+    }
+
+    #[test]
+    fn health_report_renders() {
+        let g = gc();
+        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
+        let mut c = TelemetryCollector::new(&g, 10);
+        for cycle in 0..30u64 {
+            c.hop(2);
+            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+        }
+        c.health_transition(7, HealthState::Healthy, HealthState::Degraded);
+        c.phase_time(Phase::Forwarding, 12_345);
+        c.finish(view(30, &queues, HealthState::Degraded));
+        let budget = gcube_routing::fault_budget(&g, &FaultSet::new());
+        let report = c.health_report(&budget);
+        assert!(report.contains("network health report"));
+        assert!(report.contains("dim  2"));
+        assert!(report.contains("healthy -> degraded"));
+        assert!(report.contains("forwarding"));
+        assert!(report.contains("T_paper"));
+    }
+}

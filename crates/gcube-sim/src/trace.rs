@@ -26,7 +26,12 @@
 use std::fmt;
 use std::io::{self, Write};
 
+use gcube_routing::faults::HealthState;
 use gcube_topology::NodeId;
+
+/// Packet id used for network-scoped events ([`TraceEventKind::Health`])
+/// that are not about any one packet.
+pub const NETWORK_EVENT_PACKET: u64 = u64::MAX;
 
 /// Why a packet was removed from the network without being delivered.
 ///
@@ -107,6 +112,17 @@ pub enum TraceEventKind {
         /// Links actually traversed (detours included).
         hops: u64,
     },
+    /// The network's Theorem-3 health classification changed. This is a
+    /// network-scoped event: `packet` is [`NETWORK_EVENT_PACKET`] and
+    /// `node` is `NodeId(0)`. Emitted by the fault-budget monitor whenever
+    /// the live fault set crosses a health boundary, so replay
+    /// verification covers health transitions too.
+    Health {
+        /// The state entered.
+        state: HealthState,
+        /// Live faulty components (nodes + links) at the transition.
+        faults: u64,
+    },
 }
 
 /// One flight-recorder event: a packet did something at a node on a cycle.
@@ -152,6 +168,12 @@ impl TraceEvent {
             }
             TraceEventKind::Deliver { latency, hops } => {
                 format!(",\"event\":\"deliver\",\"latency\":{latency},\"hops\":{hops}}}")
+            }
+            TraceEventKind::Health { state, faults } => {
+                format!(
+                    ",\"event\":\"health\",\"state\":\"{}\",\"faults\":{faults}}}",
+                    state.as_str()
+                )
             }
         };
         head + &tail
@@ -245,6 +267,13 @@ impl<W: Write> JsonlSink<W> {
         self.written
     }
 
+    /// The latched I/O error, if any write has failed. Lets callers abort
+    /// a doomed run early instead of discovering the failure at
+    /// [`JsonlSink::finish`].
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
     /// Flush and surface any latched I/O error.
     pub fn finish(mut self) -> io::Result<u64> {
         if let Some(e) = self.error.take() {
@@ -333,6 +362,15 @@ mod tests {
                     cause: DropCause::TtlExpired,
                 },
             },
+            TraceEvent {
+                cycle: 12,
+                packet: NETWORK_EVENT_PACKET,
+                node: NodeId(0),
+                kind: TraceEventKind::Health {
+                    state: HealthState::Degraded,
+                    faults: 2,
+                },
+            },
         ]
     }
 
@@ -370,11 +408,44 @@ mod tests {
             for e in sample_events() {
                 sink.record(&e);
             }
-            assert_eq!(sink.finish().unwrap(), 6);
+            assert_eq!(sink.finish().unwrap(), 7);
         }
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text.lines().count(), 7);
         assert_eq!(text, to_jsonl(&sample_events()));
+    }
+
+    /// A writer that fails after `ok` successful writes — a stand-in for
+    /// a disk filling up mid-run.
+    struct FailAfter {
+        ok: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.ok == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+            }
+            self.ok -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_io_errors_and_surfaces_them() {
+        let mut sink = JsonlSink::new(FailAfter { ok: 2 });
+        for e in sample_events() {
+            sink.record(&e); // must not panic once the writer dies
+        }
+        // writeln! may split a line across write calls, so only bound it.
+        assert!(sink.written() >= 1 && sink.written() < 7);
+        let err = sink.error().expect("error latched");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        let err = sink.finish().expect_err("finish surfaces the error");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
     }
 
     #[test]
