@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gcube_sim::{
-    CachedFfgcr, FaultFreeGcr, FaultTolerantGcr, MemorySink, NullSink, SimConfig, Simulator,
+    CachedFfgcr, FaultFreeGcr, FaultTolerantGcr, MemorySink, SimConfig, Simulator,
     TelemetryCollector,
 };
 
@@ -16,7 +16,12 @@ fn bench_engine(c: &mut Criterion) {
             .with_cycles(100, 1_000, 10)
             .with_rate(0.01);
         g.bench_with_input(BenchmarkId::new("ffgcr", n), &cfg, |b, cfg| {
-            b.iter(|| Simulator::new(black_box(cfg.clone()), &FaultFreeGcr).run())
+            b.iter(|| {
+                Simulator::new(black_box(cfg.clone()), &FaultFreeGcr)
+                    .session()
+                    .run()
+                    .metrics
+            })
         });
     }
     for n in [6u32, 8] {
@@ -25,7 +30,12 @@ fn bench_engine(c: &mut Criterion) {
             .with_rate(0.01)
             .with_faults(1);
         g.bench_with_input(BenchmarkId::new("ftgcr_one_fault", n), &cfg, |b, cfg| {
-            b.iter(|| Simulator::new(black_box(cfg.clone()), &FaultTolerantGcr).run())
+            b.iter(|| {
+                Simulator::new(black_box(cfg.clone()), &FaultTolerantGcr)
+                    .session()
+                    .run()
+                    .metrics
+            })
         });
     }
     g.finish();
@@ -58,14 +68,19 @@ fn bench_engine_cached(c: &mut Criterion) {
             .with_cycles(50, 500, 0)
             .with_rate(0.005);
         g.bench_with_input(BenchmarkId::new("cached_ffgcr", n), &cfg, |b, cfg| {
-            b.iter(|| Simulator::new(black_box(cfg.clone()), &algo).run())
+            b.iter(|| {
+                Simulator::new(black_box(cfg.clone()), &algo)
+                    .session()
+                    .run()
+                    .metrics
+            })
         });
     }
     g.finish();
 }
 
 fn bench_tracing(c: &mut Criterion) {
-    // The flight recorder must cost nothing when off: `run_report` goes
+    // The flight recorder must cost nothing when off: a bare session goes
     // through the monomorphised NullSink path, which compiles event
     // construction out. `traced` bounds the cost of recording every event
     // into memory.
@@ -76,12 +91,19 @@ fn bench_tracing(c: &mut Criterion) {
         .with_cycles(50, 500, 0)
         .with_rate(0.005);
     g.bench_with_input(BenchmarkId::new("off_null_sink", 10), &cfg, |b, cfg| {
-        b.iter(|| Simulator::new(black_box(cfg.clone()), &algo).run_report())
+        b.iter(|| {
+            Simulator::new(black_box(cfg.clone()), &algo)
+                .session()
+                .run()
+        })
     });
     g.bench_with_input(BenchmarkId::new("on_memory_sink", 10), &cfg, |b, cfg| {
         b.iter(|| {
             let mut sink = MemorySink::new();
-            let r = Simulator::new(black_box(cfg.clone()), &algo).run_traced(&mut sink);
+            let r = Simulator::new(black_box(cfg.clone()), &algo)
+                .session()
+                .trace(&mut sink)
+                .run();
             black_box((r, sink.events().len()))
         })
     });
@@ -89,7 +111,7 @@ fn bench_tracing(c: &mut Criterion) {
 }
 
 fn bench_telemetry(c: &mut Criterion) {
-    // Telemetry must also cost nothing when off: `run_report` stays on the
+    // Telemetry must also cost nothing when off: a bare session stays on the
     // monomorphised NullTelemetry path (the allocation-free guarantee the
     // ISSUE demands). `on_collector` bounds the per-cycle sampling cost
     // with a live ring-buffered collector at a 50-cycle interval.
@@ -101,13 +123,17 @@ fn bench_telemetry(c: &mut Criterion) {
         .with_rate(0.005)
         .with_telemetry_interval(50);
     g.bench_with_input(BenchmarkId::new("off_null", 10), &cfg, |b, cfg| {
-        b.iter(|| Simulator::new(black_box(cfg.clone()), &algo).run_report())
+        b.iter(|| {
+            Simulator::new(black_box(cfg.clone()), &algo)
+                .session()
+                .run()
+        })
     });
     g.bench_with_input(BenchmarkId::new("on_collector", 10), &cfg, |b, cfg| {
         b.iter(|| {
             let sim = Simulator::new(black_box(cfg.clone()), &algo);
             let mut telem = TelemetryCollector::new(sim.cube(), 50);
-            let r = sim.run_instrumented(&mut NullSink, &mut telem);
+            let r = sim.session().telemetry(&mut telem).run();
             black_box((r, telem.samples().count()))
         })
     });

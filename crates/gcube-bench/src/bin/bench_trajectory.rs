@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use gcube_bench::{quick, results_dir};
 use gcube_routing::{ffgcr, ftgcr, FaultSet, PlanCache};
-use gcube_sim::{CachedFfgcr, MemorySink, NullSink, SimConfig, Simulator, TelemetryCollector};
+use gcube_sim::{
+    CachedFfgcr, FaultTolerantGcr, MemorySink, SimConfig, Simulator, TelemetryCollector,
+};
 use gcube_topology::{GaussianCube, LinkId, NodeId};
 
 /// Deterministic pair stream covering many ending-class combinations.
@@ -86,7 +88,7 @@ fn measure_engine(n: u32, inject: u64) -> EnginePoint {
         .with_cycles(inject, inject * 10, 0)
         .with_rate(0.005);
     let t0 = Instant::now();
-    let m = Simulator::new(cfg, &algo).run();
+    let m = Simulator::new(cfg, &algo).session().run().metrics;
     let elapsed = t0.elapsed().as_secs_f64();
     EnginePoint {
         n,
@@ -104,9 +106,9 @@ struct TracingCost {
 }
 
 /// Cost of the flight recorder: the same workload through the zero-cost
-/// `NullSink` path (`run_report`) and through a recording `MemorySink`.
-/// The untraced figure is the one that must stay within noise of the
-/// committed `BENCH_routing.json` engine numbers.
+/// no-sink session and through a recording `MemorySink`. The untraced
+/// figure is the one that must stay within noise of the committed
+/// `BENCH_routing.json` engine numbers.
 fn measure_tracing(n: u32, inject: u64) -> TracingCost {
     let algo = CachedFfgcr::new();
     let cfg = || {
@@ -115,15 +117,18 @@ fn measure_tracing(n: u32, inject: u64) -> TracingCost {
             .with_rate(0.005)
     };
     // Warm the plan cache so neither side pays first-run planning.
-    Simulator::new(cfg(), &algo).run();
+    Simulator::new(cfg(), &algo).session().run();
 
     let t0 = Instant::now();
-    let m = Simulator::new(cfg(), &algo).run_report().metrics;
+    let m = Simulator::new(cfg(), &algo).session().run().metrics;
     let untraced = t0.elapsed().as_secs_f64();
 
     let mut sink = MemorySink::new();
     let t1 = Instant::now();
-    Simulator::new(cfg(), &algo).run_traced(&mut sink);
+    Simulator::new(cfg(), &algo)
+        .session()
+        .trace(&mut sink)
+        .run();
     let traced = t1.elapsed().as_secs_f64();
 
     TracingCost {
@@ -144,9 +149,9 @@ struct TelemetryCost {
 }
 
 /// Cost of the telemetry collector: the same workload through the bare
-/// report path and through `run_instrumented` with a live collector
-/// sampling every 50 cycles. The off figure shares the engine numbers'
-/// noise budget; the on figure is what `--telemetry` costs.
+/// session and with a live collector attached sampling every 50 cycles.
+/// The off figure shares the engine numbers' noise budget; the on figure
+/// is what `--telemetry` costs.
 fn measure_telemetry(n: u32, inject: u64) -> TelemetryCost {
     let algo = CachedFfgcr::new();
     let cfg = || {
@@ -156,16 +161,16 @@ fn measure_telemetry(n: u32, inject: u64) -> TelemetryCost {
             .with_telemetry_interval(50)
     };
     // Warm the plan cache so neither side pays first-run planning.
-    Simulator::new(cfg(), &algo).run();
+    Simulator::new(cfg(), &algo).session().run();
 
     let t0 = Instant::now();
-    let m = Simulator::new(cfg(), &algo).run_report().metrics;
+    let m = Simulator::new(cfg(), &algo).session().run().metrics;
     let off = t0.elapsed().as_secs_f64();
 
     let sim = Simulator::new(cfg(), &algo);
     let mut telem = TelemetryCollector::new(sim.cube(), 50);
     let t1 = Instant::now();
-    sim.run_instrumented(&mut NullSink, &mut telem);
+    sim.session().telemetry(&mut telem).run();
     let on = t1.elapsed().as_secs_f64();
 
     TelemetryCost {
@@ -174,6 +179,48 @@ fn measure_telemetry(n: u32, inject: u64) -> TelemetryCost {
         on_cycles_per_sec: m.cycles as f64 / on,
         samples: telem.samples().count() as u64,
         overhead_ratio: on / off,
+    }
+}
+
+struct ParallelSpeedup {
+    cycles: u64,
+    /// `cycles/sec` at 1, 2 and 4 threads (same config, same seed — the
+    /// shard engine's results are bitwise identical, only the clock moves).
+    cycles_per_sec: [f64; 3],
+    /// Cores the host actually grants; wall-clock speedup is bounded by it.
+    host_cores: usize,
+}
+
+impl ParallelSpeedup {
+    fn speedup_4x(&self) -> f64 {
+        self.cycles_per_sec[2] / self.cycles_per_sec[0]
+    }
+}
+
+/// Shard-engine scaling on `GC(10, 4)`: a planning-heavy workload —
+/// uncached FTGCR under static faults at high load — run at 1, 2 and 4
+/// threads. Route planning happens on the shard that owns the source
+/// node, so the dominant cost parallelises across the 4 ending classes.
+fn measure_parallel(inject: u64) -> ParallelSpeedup {
+    let algo = FaultTolerantGcr;
+    let cfg = SimConfig::new(10, 4)
+        .with_cycles(inject, inject * 10, 0)
+        .with_rate(0.3)
+        .with_faults(2)
+        .with_seed(0xbe9c);
+    let mut cycles = 0;
+    let mut cycles_per_sec = [0.0f64; 3];
+    for (i, threads) in [1usize, 2, 4].into_iter().enumerate() {
+        let sim = Simulator::new(cfg.clone(), &algo);
+        let t0 = Instant::now();
+        let m = sim.session().threads(threads).run().metrics;
+        cycles_per_sec[i] = m.cycles as f64 / t0.elapsed().as_secs_f64();
+        cycles = m.cycles;
+    }
+    ParallelSpeedup {
+        cycles,
+        cycles_per_sec,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
     }
 }
 
@@ -241,6 +288,26 @@ fn main() {
         telemetry.overhead_ratio
     );
 
+    let parallel = measure_parallel(if quick() { 40 } else { 120 });
+    println!(
+        "\nshard engine, GC(10, 4), uncached FTGCR under faults ({} cycles):",
+        parallel.cycles
+    );
+    for (i, threads) in [1, 2, 4].into_iter().enumerate() {
+        println!(
+            "  threads={threads}  {:>10.0} cycles/s{}",
+            parallel.cycles_per_sec[i],
+            if i == 0 {
+                String::new()
+            } else {
+                format!(
+                    "  ({:.2}x)",
+                    parallel.cycles_per_sec[i] / parallel.cycles_per_sec[0]
+                )
+            }
+        );
+    }
+
     // Hand-rolled JSON: the workspace has no serde, and the schema is flat.
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"bench_trajectory\",");
@@ -272,12 +339,22 @@ fn main() {
     );
     let _ = write!(
         out,
-        "  \"telemetry\": {{\n    \"n\": {},\n    \"off_cycles_per_sec\": {:.0},\n    \"on_cycles_per_sec\": {:.0},\n    \"samples\": {},\n    \"overhead_ratio\": {:.3}\n  }}\n}}\n",
+        "  \"telemetry\": {{\n    \"n\": {},\n    \"off_cycles_per_sec\": {:.0},\n    \"on_cycles_per_sec\": {:.0},\n    \"samples\": {},\n    \"overhead_ratio\": {:.3}\n  }},\n",
         telemetry.n,
         telemetry.off_cycles_per_sec,
         telemetry.on_cycles_per_sec,
         telemetry.samples,
         telemetry.overhead_ratio
+    );
+    let _ = write!(
+        out,
+        "  \"parallel_speedup\": {{\n    \"cube\": \"GC(10, 4)\",\n    \"workload\": \"uncached FTGCR, 2 static faults, rate 0.3\",\n    \"cycles\": {},\n    \"host_cores\": {},\n    \"cycles_per_sec_1_thread\": {:.0},\n    \"cycles_per_sec_2_threads\": {:.0},\n    \"cycles_per_sec_4_threads\": {:.0},\n    \"speedup_4x\": {:.2}\n  }}\n}}\n",
+        parallel.cycles,
+        parallel.host_cores,
+        parallel.cycles_per_sec[0],
+        parallel.cycles_per_sec[1],
+        parallel.cycles_per_sec[2],
+        parallel.speedup_4x()
     );
 
     let dir = results_dir();
@@ -293,4 +370,21 @@ fn main() {
         "ISSUE acceptance: cached FFGCR planning must be >= 2x at n = 12, got {:.2}x",
         ff.speedup
     );
+    // Wall-clock speedup is bounded by the cores the host grants; only
+    // enforce the scaling criterion where 4 threads can actually run in
+    // parallel (the recorded host_cores field says which case this was).
+    if parallel.host_cores >= 4 {
+        assert!(
+            parallel.speedup_4x() >= 1.8,
+            "ISSUE acceptance: shard engine must reach >= 1.8x cycles/sec at 4 threads \
+             on GC(10, 4), got {:.2}x",
+            parallel.speedup_4x()
+        );
+    } else {
+        println!(
+            "note: host grants {} core(s); the >= 1.8x @ 4 threads criterion is \
+             enforced on hosts with >= 4 cores",
+            parallel.host_cores
+        );
+    }
 }

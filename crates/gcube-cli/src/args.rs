@@ -1,10 +1,10 @@
 //! Hand-rolled argument parsing for the `gcube` CLI (no external parser —
 //! the offline dependency budget is spent on the science crates).
 
-use std::fmt;
-
 use gcube_sim::traffic::TrafficPattern;
-use gcube_sim::{CategoryMix, FaultKind, FaultSchedule, FaultTarget, KnowledgeModel, TimedFault};
+use gcube_sim::{
+    CategoryMix, FaultKind, FaultSchedule, FaultTarget, KnowledgeModel, SimError, TimedFault,
+};
 use gcube_topology::{LinkId, NodeId};
 
 /// Dynamic-fault options of `gcube simulate` (all default to "off").
@@ -96,6 +96,9 @@ pub enum Command {
         /// Print the end-of-run health report (implies collecting
         /// telemetry).
         health_report: bool,
+        /// Worker threads for the shard engine (`0` = available
+        /// parallelism, `1` = the sequential engine).
+        threads: usize,
     },
     /// `gcube diameter [max_m]` — Figure 2 series.
     Diameter {
@@ -120,18 +123,6 @@ pub enum Command {
     Help,
 }
 
-/// A parse failure with a user-facing message.
-#[derive(Clone, Debug, PartialEq)]
-pub struct ParseError(pub String);
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
 /// The usage banner printed by `gcube help` and on errors.
 pub const USAGE: &str = "\
 gcube — Gaussian Cube fault-tolerant routing (ICPP 2003 reproduction)
@@ -140,6 +131,7 @@ USAGE:
   gcube topology <n> <M>
   gcube route <n> <M> <src> <dst> [--fault-node V]... [--fault-link V:DIM]... [--fault-free]
   gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K] [--pattern P] [--seed S]
+                 [--threads N]
                  [--churn R | --fault-at SPEC]... [--fault-kind KIND] [--mix A:B:C]
                  [--node-fraction F] [--knowledge MODEL] [--ttl T]
                  [--reroute-budget B] [--window W]
@@ -151,6 +143,12 @@ USAGE:
   gcube help
 
 PATTERNS: uniform (default), complement, reversal, transpose
+PARALLELISM:
+  --threads N          worker threads for the deterministic shard engine
+                       (default 1 = sequential, 0 = all available cores);
+                       the effective shard count is capped at the cube's
+                       2^alpha ending classes, and any N produces bitwise
+                       identical results
 CHURN (dynamic faults applied while packets are in flight):
   --churn R            per-cycle Bernoulli fault-arrival probability
   --fault-at SPEC      scripted event, CYCLE:node:V or CYCLE:link:V:DIM (repeatable)
@@ -177,27 +175,27 @@ OBSERVABILITY:
                        transitions, and phase timings
 Node labels are decimal or binary with a 0b prefix.";
 
-fn parse_label(s: &str) -> Result<u64, ParseError> {
+fn parse_label(s: &str) -> Result<u64, SimError> {
     let parsed = if let Some(bin) = s.strip_prefix("0b") {
         u64::from_str_radix(bin, 2)
     } else {
         s.parse::<u64>()
     };
-    parsed.map_err(|_| ParseError(format!("invalid node label: {s}")))
+    parsed.map_err(|_| SimError::Cli(format!("invalid node label: {s}")))
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, SimError> {
     s.parse()
-        .map_err(|_| ParseError(format!("invalid {what}: {s}")))
+        .map_err(|_| SimError::Cli(format!("invalid {what}: {s}")))
 }
 
 /// `permanent` | `transient:REPAIR` | `intermittent:DOWN:PERIOD`.
-fn parse_kind(s: &str) -> Result<FaultKind, ParseError> {
+fn parse_kind(s: &str) -> Result<FaultKind, SimError> {
     let mut parts = s.split(':');
     match parts.next() {
         Some("permanent") => match parts.next() {
             None => Ok(FaultKind::Permanent),
-            Some(_) => Err(ParseError(format!("permanent takes no parameters: {s}"))),
+            Some(_) => Err(SimError::Cli(format!("permanent takes no parameters: {s}"))),
         },
         Some("transient") => {
             let repair_after = parse_num(parts.next().unwrap_or(""), "transient repair delay")?;
@@ -207,23 +205,23 @@ fn parse_kind(s: &str) -> Result<FaultKind, ParseError> {
             let down_for = parse_num(parts.next().unwrap_or(""), "intermittent down time")?;
             let period = parse_num(parts.next().unwrap_or(""), "intermittent period")?;
             if period <= down_for {
-                return Err(ParseError(format!(
+                return Err(SimError::Cli(format!(
                     "intermittent period must exceed its down time: {s}"
                 )));
             }
             Ok(FaultKind::Intermittent { down_for, period })
         }
-        _ => Err(ParseError(format!(
+        _ => Err(SimError::Cli(format!(
             "fault kind must be permanent, transient:REPAIR or intermittent:DOWN:PERIOD, got {s}"
         ))),
     }
 }
 
 /// `A:B:C` category weights.
-fn parse_mix(s: &str) -> Result<CategoryMix, ParseError> {
+fn parse_mix(s: &str) -> Result<CategoryMix, SimError> {
     let parts: Vec<&str> = s.split(':').collect();
     let [a, b, c] = parts.as_slice() else {
-        return Err(ParseError(format!("mix must be A:B:C, got {s}")));
+        return Err(SimError::Cli(format!("mix must be A:B:C, got {s}")));
     };
     Ok(CategoryMix {
         a: parse_num(a, "A-category weight")?,
@@ -234,7 +232,7 @@ fn parse_mix(s: &str) -> Result<CategoryMix, ParseError> {
 
 /// `CYCLE:node:V` or `CYCLE:link:V:DIM`; the persistence comes from the
 /// session-wide `--fault-kind`.
-fn parse_timed(s: &str, kind: FaultKind) -> Result<TimedFault, ParseError> {
+fn parse_timed(s: &str, kind: FaultKind) -> Result<TimedFault, SimError> {
     let parts: Vec<&str> = s.split(':').collect();
     match parts.as_slice() {
         [cycle, "node", v] => Ok(TimedFault {
@@ -250,14 +248,14 @@ fn parse_timed(s: &str, kind: FaultKind) -> Result<TimedFault, ParseError> {
             )),
             kind,
         }),
-        _ => Err(ParseError(format!(
+        _ => Err(SimError::Cli(format!(
             "fault event must be CYCLE:node:V or CYCLE:link:V:DIM, got {s}"
         ))),
     }
 }
 
 /// Parse an argument vector (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+pub fn parse(args: &[String]) -> Result<Command, SimError> {
     let mut it = args.iter();
     let cmd = it.next().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -284,7 +282,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--fault-link" => {
                         let spec = next(&mut it, "fault link")?;
                         let (v, dim) = spec.split_once(':').ok_or_else(|| {
-                            ParseError(format!("fault link must be V:DIM, got {spec}"))
+                            SimError::Cli(format!("fault link must be V:DIM, got {spec}"))
                         })?;
                         fault_links.push(LinkId::new(
                             NodeId(parse_label(v)?),
@@ -292,7 +290,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         ));
                     }
                     "--fault-free" => fault_free = true,
-                    other => return Err(ParseError(format!("unknown flag: {other}"))),
+                    other => return Err(SimError::Cli(format!("unknown flag: {other}"))),
                 }
             }
             Ok(Command::Route {
@@ -324,6 +322,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut telemetry: Option<String> = None;
             let mut telemetry_interval = 100u64;
             let mut health_report = false;
+            let mut threads = 1usize;
             // Raw --fault-at specs are re-parsed once --fault-kind is known
             // (flags may come in any order).
             let mut raw_events: Vec<String> = Vec::new();
@@ -339,7 +338,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             "complement" => TrafficPattern::BitComplement,
                             "reversal" => TrafficPattern::BitReversal,
                             "transpose" => TrafficPattern::Transpose,
-                            p => return Err(ParseError(format!("unknown pattern: {p}"))),
+                            p => return Err(SimError::Cli(format!("unknown pattern: {p}"))),
                         }
                     }
                     "--churn" => {
@@ -356,7 +355,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             "oracle" => KnowledgeModel::Oracle,
                             "paper" => KnowledgeModel::PaperDelay,
                             "measured" => KnowledgeModel::Measured,
-                            m => return Err(ParseError(format!("unknown knowledge model: {m}"))),
+                            m => {
+                                return Err(SimError::Cli(format!("unknown knowledge model: {m}")))
+                            }
                         }
                     }
                     "--ttl" => churn.ttl = Some(parse_num(next(&mut it, "ttl")?, "ttl")?),
@@ -373,28 +374,27 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         telemetry_interval =
                             parse_num(next(&mut it, "telemetry interval")?, "telemetry interval")?;
                         if telemetry_interval == 0 {
-                            return Err(ParseError(
+                            return Err(SimError::Cli(
                                 "telemetry interval must be at least 1 cycle".into(),
                             ));
                         }
                     }
                     "--health-report" => health_report = true,
-                    other => return Err(ParseError(format!("unknown flag: {other}"))),
+                    "--threads" => threads = parse_num(next(&mut it, "threads")?, "threads")?,
+                    other => return Err(SimError::Cli(format!("unknown flag: {other}"))),
                 }
             }
             if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
-                return Err(ParseError(format!(
-                    "injection rate must be a probability in [0, 1], got {rate}"
-                )));
+                return Err(SimError::InvalidRate(rate));
             }
             if churn_rate.is_some() && !raw_events.is_empty() {
-                return Err(ParseError(
+                return Err(SimError::Cli(
                     "--churn and --fault-at are mutually exclusive".into(),
                 ));
             }
             if let Some(r) = churn_rate {
-                if !(0.0..=1.0).contains(&r) {
-                    return Err(ParseError(format!("churn rate must be in [0, 1], got {r}")));
+                if !r.is_finite() || !(0.0..=1.0).contains(&r) {
+                    return Err(SimError::InvalidChurnRate(r));
                 }
                 churn.schedule = FaultSchedule::Bernoulli {
                     rate: r,
@@ -424,6 +424,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 telemetry,
                 telemetry_interval,
                 health_report,
+                threads,
             })
         }
         "diameter" => {
@@ -449,18 +450,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             reject_extra(&mut it)?;
             Ok(Command::Robustness { n, modulus, k })
         }
-        other => Err(ParseError(format!("unknown command: {other}\n\n{USAGE}"))),
+        other => Err(SimError::Cli(format!(
+            "unknown command: {other}\n\n{USAGE}"
+        ))),
     }
 }
 
-fn next<'a>(it: &mut std::slice::Iter<'a, String>, what: &str) -> Result<&'a String, ParseError> {
+fn next<'a>(it: &mut std::slice::Iter<'a, String>, what: &str) -> Result<&'a String, SimError> {
     it.next()
-        .ok_or_else(|| ParseError(format!("missing argument: {what}\n\n{USAGE}")))
+        .ok_or_else(|| SimError::Cli(format!("missing argument: {what}\n\n{USAGE}")))
 }
 
-fn reject_extra(it: &mut std::slice::Iter<'_, String>) -> Result<(), ParseError> {
+fn reject_extra(it: &mut std::slice::Iter<'_, String>) -> Result<(), SimError> {
     match it.next() {
-        Some(extra) => Err(ParseError(format!("unexpected argument: {extra}"))),
+        Some(extra) => Err(SimError::Cli(format!("unexpected argument: {extra}"))),
         None => Ok(()),
     }
 }
@@ -627,18 +630,51 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_injection_rate() {
-        // Used to be silently clamped by the engine; now a parse error.
+        // Used to be silently clamped by the engine; now a typed error
+        // callers can match on instead of substring-checking.
         for bad in [
             "simulate 8 2 --rate 1.2",
             "simulate 8 2 --rate -0.5",
             "simulate 8 2 --rate NaN",
             "simulate 8 2 --rate inf",
         ] {
-            let e = parse(&argv(bad)).unwrap_err();
-            assert!(e.0.contains("injection rate"), "must reject: {bad} ({e})");
+            assert!(
+                matches!(parse(&argv(bad)), Err(SimError::InvalidRate(_))),
+                "must reject: {bad}"
+            );
         }
+        assert!(matches!(
+            parse(&argv("simulate 8 2 --churn 1.5")),
+            Err(SimError::InvalidChurnRate(_))
+        ));
         assert!(parse(&argv("simulate 8 2 --rate 1.0")).is_ok());
         assert!(parse(&argv("simulate 8 2 --rate 0")).is_ok());
+    }
+
+    #[test]
+    fn parses_threads() {
+        let Command::Simulate { threads, .. } = parse(&argv("simulate 8 2")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(threads, 1, "default is the sequential engine");
+        let Command::Simulate { threads, .. } = parse(&argv("simulate 8 2 --threads 4")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(threads, 4);
+        let Command::Simulate { threads, .. } = parse(&argv("simulate 8 2 --threads 0")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(threads, 0, "0 = available parallelism, resolved later");
+        assert!(matches!(
+            parse(&argv("simulate 8 2 --threads lots")),
+            Err(SimError::Cli(_))
+        ));
+        assert!(matches!(
+            parse(&argv("simulate 8 2 --threads -1")),
+            Err(SimError::Cli(_))
+        ));
     }
 
     #[test]
@@ -709,7 +745,7 @@ mod tests {
     #[test]
     fn rejects_zero_telemetry_interval() {
         let e = parse(&argv("simulate 8 2 --telemetry-interval 0")).unwrap_err();
-        assert!(e.0.contains("telemetry interval"), "{e}");
+        assert!(e.to_string().contains("telemetry interval"), "{e}");
     }
 
     #[test]
@@ -747,10 +783,10 @@ mod tests {
     #[test]
     fn errors_are_helpful() {
         let e = parse(&argv("frobnicate")).unwrap_err();
-        assert!(e.0.contains("unknown command"));
-        assert!(e.0.contains("USAGE"));
+        assert!(e.to_string().contains("unknown command"));
+        assert!(e.to_string().contains("USAGE"));
         let e = parse(&argv("route 8 4 0 1 --fault-link nodim")).unwrap_err();
-        assert!(e.0.contains("V:DIM"));
+        assert!(e.to_string().contains("V:DIM"));
         assert_eq!(parse(&[]), Ok(Command::Help));
     }
 }

@@ -19,8 +19,8 @@ use gcube_analysis::{diameter, structure, tolerance};
 use gcube_routing::faults::{categorize, theorem5_precondition};
 use gcube_routing::{collective, ffgcr, ftgcr, FaultSet};
 use gcube_sim::{
-    CachedFfgcr, CachedFtgcr, JsonlSink, MemorySink, NullSink, RoutingAlgorithm, SimConfig,
-    Simulator, TelemetryCollector, TraceSink,
+    class_ranges, effective_shards, resolve_threads, CachedFfgcr, CachedFtgcr, JsonlSink,
+    MemorySink, RoutingAlgorithm, SimConfig, Simulator, TelemetryCollector, TraceSink,
 };
 use gcube_topology::classes::dims;
 use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
@@ -73,6 +73,7 @@ fn run(cmd: Command) -> Result<(), String> {
             telemetry,
             telemetry_interval,
             health_report,
+            threads,
         } => simulate(
             n,
             modulus,
@@ -82,6 +83,7 @@ fn run(cmd: Command) -> Result<(), String> {
             pattern,
             seed,
             churn,
+            threads,
             SimulateOutput {
                 trace,
                 percentiles,
@@ -239,6 +241,7 @@ fn simulate(
     pattern: gcube_sim::traffic::TrafficPattern,
     seed: u64,
     churn: ChurnArgs,
+    threads: usize,
     out: SimulateOutput,
 ) -> Result<(), String> {
     if n > 14 {
@@ -274,7 +277,7 @@ fn simulate(
         println!("faulty nodes: {}", list.join(", "));
     }
     // With tracing or replay verification on, record the flight into
-    // memory; otherwise the zero-cost NullSink path runs. Telemetry is
+    // memory; otherwise the zero-cost no-sink path runs. Telemetry is
     // orthogonal: attach a collector only when the time series or the
     // health report was asked for, so the default path stays the
     // telemetry-free monomorphisation.
@@ -283,11 +286,17 @@ fn simulate(
     let mut telem = (out.telemetry.is_some() || out.health_report)
         .then(|| TelemetryCollector::new(sim.cube(), out.telemetry_interval));
     let r = match (&mut telem, recording) {
-        (Some(t), true) => sim.run_instrumented(&mut sink, t),
-        (Some(t), false) => sim.run_instrumented(&mut NullSink, t),
-        (None, true) => sim.run_traced(&mut sink),
-        (None, false) => sim.run_report(),
-    };
+        (Some(t), true) => sim
+            .session()
+            .threads(threads)
+            .trace(&mut sink)
+            .telemetry(t)
+            .try_run(),
+        (Some(t), false) => sim.session().threads(threads).telemetry(t).try_run(),
+        (None, true) => sim.session().threads(threads).trace(&mut sink).try_run(),
+        (None, false) => sim.session().threads(threads).try_run(),
+    }
+    .map_err(|e| e.to_string())?;
     if out.verify_replay {
         // Re-execute against a fresh cache and compare event-for-event.
         let fresh = CachedFtgcr::new();
@@ -435,6 +444,30 @@ fn simulate(
     if out.health_report {
         let t = telem.as_ref().expect("telemetry was collected");
         print!("{}", t.health_report(&r.budget));
+        // Shard layout: which ending classes each worker owned (Theorem 2
+        // partitions the cube so this assignment is the parallel unit).
+        let resolved = resolve_threads(threads);
+        let shards = effective_shards(sim.cube(), resolved);
+        let num_classes = 1usize << sim.cube().alpha();
+        let nodes_per_class = sim.cube().num_nodes() / num_classes as u64;
+        println!("--- shard layout ---");
+        println!(
+            "threads: {threads} requested -> {resolved} resolved -> {shards} shard{} \
+             over {num_classes} ending class{}",
+            if shards == 1 { "" } else { "s" },
+            if num_classes == 1 { "" } else { "es" },
+        );
+        if shards == 1 {
+            println!("  sequential engine (one shard owns every class)");
+        } else {
+            for (s, (lo, hi)) in class_ranges(num_classes, shards).into_iter().enumerate() {
+                println!(
+                    "  shard {s}: classes {lo}..{} ({} nodes)",
+                    hi - 1,
+                    (hi - lo) as u64 * nodes_per_class
+                );
+            }
+        }
     }
     Ok(())
 }

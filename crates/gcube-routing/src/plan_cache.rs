@@ -22,6 +22,7 @@
 //! fault handling (FTGCR's plan repair and crossing detours) stays
 //! per-packet, downstream of the cached walk. See DESIGN.md §8.
 
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -148,11 +149,22 @@ impl PlanCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(w);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         // Built outside the lock: a racing builder produces the identical
-        // walk, and `or_insert` keeps whichever landed first.
+        // walk. The hit/miss split is decided at insert time so each key
+        // counts exactly one miss under any interleaving — a racing
+        // builder that loses the insert counts a hit, keeping the
+        // counters independent of thread count.
         let built = Arc::new(self.build_walk(ks, kd, required));
-        Arc::clone(self.walks.lock().entry(key).or_insert(built))
+        match self.walks.lock().entry(key) {
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.get())
+            }
+            Entry::Vacant(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(e.insert(built))
+            }
+        }
     }
 
     fn build_walk(&self, ks: u64, kd: u64, required: u64) -> CachedWalk {

@@ -1,24 +1,8 @@
 //! Simulation configuration.
 
-use std::fmt;
-
+use crate::error::SimError;
 use crate::injection::FaultSchedule;
 use crate::traffic::TrafficPattern;
-
-/// A configuration the simulator refuses to run, with a user-facing
-/// message. Returned by [`SimConfig::validate`] and
-/// [`crate::Simulator::try_new`] — invalid parameters fail loudly instead
-/// of being silently clamped (a typo'd `--rate 1.2` used to run as `1.0`).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ConfigError(pub String);
-
-impl fmt::Display for ConfigError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl std::error::Error for ConfigError {}
 
 /// How quickly routing nodes learn about fault events (paper §6
 /// assumption 4 and claim 4).
@@ -118,18 +102,13 @@ impl SimConfig {
     /// about. In particular the injection rate must be a probability:
     /// it used to be silently clamped into `[0, 1]`, so `--rate 1.2`
     /// ran as `1.0` with no warning.
-    pub fn validate(&self) -> Result<(), ConfigError> {
+    pub fn validate(&self) -> Result<(), SimError> {
         if !self.injection_rate.is_finite() || !(0.0..=1.0).contains(&self.injection_rate) {
-            return Err(ConfigError(format!(
-                "injection rate must be a probability in [0, 1], got {}",
-                self.injection_rate
-            )));
+            return Err(SimError::InvalidRate(self.injection_rate));
         }
         if let FaultSchedule::Bernoulli { rate, .. } = &self.schedule {
             if !rate.is_finite() || !(0.0..=1.0).contains(rate) {
-                return Err(ConfigError(format!(
-                    "churn rate must be a probability in [0, 1], got {rate}"
-                )));
+                return Err(SimError::InvalidChurnRate(*rate));
             }
         }
         Ok(())
@@ -272,7 +251,7 @@ mod tests {
     fn validate_rejects_out_of_range_rates() {
         for rate in [1.2, -0.1, f64::NAN, f64::INFINITY] {
             let err = SimConfig::new(6, 2).with_rate(rate).validate().unwrap_err();
-            assert!(err.0.contains("injection rate"), "{err}");
+            assert!(matches!(err, SimError::InvalidRate(_)), "{err}");
         }
     }
 
@@ -285,6 +264,6 @@ mod tests {
             mix: CategoryMix::default(),
             node_fraction: 0.5,
         });
-        assert!(cfg.validate().unwrap_err().0.contains("churn rate"));
+        assert_eq!(cfg.validate().unwrap_err(), SimError::InvalidChurnRate(2.0));
     }
 }

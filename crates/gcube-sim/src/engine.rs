@@ -43,23 +43,23 @@ use gcube_routing::knowledge::exchange_rounds;
 use gcube_routing::FaultSet;
 use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
 
-use crate::config::{ConfigError, KnowledgeModel, SimConfig};
+use crate::config::{KnowledgeModel, SimConfig};
+use crate::error::SimError;
 use crate::injection::FaultInjector;
 use crate::metrics::{ChurnReport, Metrics, WindowStat};
 use crate::packet::Packet;
+use crate::session::SimSession;
 use crate::strategy::RoutingAlgorithm;
-use crate::telemetry::{CycleView, FaultBudgetMonitor, NullTelemetry, Phase, TelemetrySink};
-use crate::trace::{
-    DropCause, NullSink, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET,
-};
+use crate::telemetry::{CycleView, FaultBudgetMonitor, Phase, TelemetrySink};
+use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET};
 use crate::traffic::{place_node_faults, TrafficGen};
 
 /// A deterministic cycle-driven simulator for one `GC(n, M)` instance.
 pub struct Simulator<'a> {
-    gc: GaussianCube,
-    faults: FaultSet,
-    config: SimConfig,
-    algorithm: &'a dyn RoutingAlgorithm,
+    pub(crate) gc: GaussianCube,
+    pub(crate) faults: FaultSet,
+    pub(crate) config: SimConfig,
+    pub(crate) algorithm: &'a dyn RoutingAlgorithm,
 }
 
 impl<'a> Simulator<'a> {
@@ -81,10 +81,10 @@ impl<'a> Simulator<'a> {
     pub fn try_new(
         config: SimConfig,
         algorithm: &'a dyn RoutingAlgorithm,
-    ) -> Result<Simulator<'a>, ConfigError> {
+    ) -> Result<Simulator<'a>, SimError> {
         config.validate()?;
         let gc = GaussianCube::new(config.n, config.modulus)
-            .map_err(|e| ConfigError(format!("invalid Gaussian Cube: {e}")))?;
+            .map_err(|e| SimError::InvalidTopology(e.to_string()))?;
         let faults = place_node_faults(&gc, config.faulty_nodes, config.seed);
         Ok(Simulator {
             gc,
@@ -104,8 +104,13 @@ impl<'a> Simulator<'a> {
         &self.gc
     }
 
+    /// The configuration this simulator was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// The view's convergence lag after a fault event, in cycles.
-    fn knowledge_delay(&self, truth: &FaultSet) -> u64 {
+    pub(crate) fn knowledge_delay(&self, truth: &FaultSet) -> u64 {
         match self.config.knowledge {
             KnowledgeModel::Oracle => 0,
             KnowledgeModel::PaperDelay => {
@@ -117,35 +122,59 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Start building a run: the single composable front door.
+    ///
+    /// ```text
+    /// sim.session().threads(4).trace(&mut sink).telemetry(&mut telem).run()
+    /// ```
+    ///
+    /// Every combination the four legacy entry points used to cover — and
+    /// the ones they could not, like "run sharded with these sinks" — is a
+    /// chain of builder calls. See [`SimSession`].
+    pub fn session(&self) -> SimSession<'_, 'a> {
+        SimSession::new(self)
+    }
+
     /// Run to completion and return the aggregate metrics.
+    #[deprecated(note = "use `sim.session().run().metrics`")]
     pub fn run(&self) -> Metrics {
-        self.run_report().metrics
+        self.session().run().metrics
     }
 
     /// Run to completion and return metrics plus the churn time series
     /// (per-window delivery ratios and the applied fault-event trace).
+    #[deprecated(note = "use `sim.session().run()`")]
     pub fn run_report(&self) -> ChurnReport {
-        // NullSink's `enabled()` is a constant `false`: this
-        // monomorphisation contains no tracing code at all.
-        self.run_traced(&mut NullSink)
+        self.session().run()
     }
 
     /// Run to completion with a flight recorder attached: every per-packet
     /// event (inject, hop, stale-view exposure, reroute, drop, deliver) is
-    /// streamed into `sink` in deterministic engine order. Metrics are
-    /// identical to [`Simulator::run_report`].
+    /// streamed into `sink` in deterministic engine order.
+    #[deprecated(note = "use `sim.session().trace(&mut sink).run()`")]
     pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> ChurnReport {
-        // NullTelemetry's `enabled()` is a constant `false`: this
-        // monomorphisation contains no telemetry code.
-        self.run_instrumented(sink, &mut NullTelemetry)
+        self.session().trace(sink).run()
     }
 
     /// Run to completion with both a flight recorder and a telemetry sink
-    /// attached. This is the engine; [`Simulator::run_report`] and
-    /// [`Simulator::run_traced`] are monomorphisations of it over the
-    /// null sinks. Trace events, metrics, and windows are identical
-    /// across all variants — telemetry observes, it never steers.
+    /// attached.
+    #[deprecated(note = "use `sim.session().trace(&mut sink).telemetry(&mut telem).run()`")]
     pub fn run_instrumented<S: TraceSink, T: TelemetrySink>(
+        &self,
+        sink: &mut S,
+        telem: &mut T,
+    ) -> ChurnReport {
+        self.session().trace(sink).telemetry(telem).run()
+    }
+
+    /// The sequential cycle loop — the reference semantics. The session
+    /// builder dispatches here for single-threaded runs; the sharded
+    /// engine ([`crate::shard`]) reproduces this loop's output bit for
+    /// bit. `NullSink`/`NullTelemetry` monomorphisations contain no
+    /// tracing or telemetry code at all, and the hot path performs no
+    /// per-cycle allocations. Trace events, metrics, and windows are
+    /// identical across all sink combinations — observers never steer.
+    pub(crate) fn run_sequential<S: TraceSink, T: TelemetrySink>(
         &self,
         sink: &mut S,
         telem: &mut T,
@@ -211,13 +240,14 @@ impl<'a> Simulator<'a> {
 
         // Reusable per-cycle scratch, allocated once for the whole run:
         // the forwarding hot path is allocation-free.
-        let n_dims = self.gc.n() as usize;
-        // One slot per directed link (node × dimension), stamped with the
-        // cycle's generation when used — an O(1)-clear replacement for a
-        // per-cycle HashSet<(NodeId, NodeId)>.
-        let mut link_stamp: Vec<u32> = vec![0; n_nodes as usize * n_dims];
-        let mut stamp_gen: u32 = 0;
         let mut moves: Vec<Packet> = Vec::new();
+        // Per-ending-class queue aggregates, maintained incrementally on
+        // every push/pop so telemetry sampling is O(classes), not
+        // O(nodes): packets queued per class, and nodes per class with a
+        // non-empty queue.
+        let cmask = (1usize << self.gc.alpha()) - 1;
+        let mut class_queued: Vec<u64> = vec![0; cmask + 1];
+        let mut class_occupied: Vec<u64> = vec![0; cmask + 1];
         // Backpressure scratch: arrivals granted this cycle per node, with
         // a touched-list so resetting costs O(arrivals), not O(nodes).
         let mut arriving: Vec<u32> = vec![0; n_nodes as usize];
@@ -262,6 +292,8 @@ impl<'a> Simulator<'a> {
                     }
                     for (v, queue) in queues.iter_mut().enumerate() {
                         if truth.is_node_faulty(NodeId(v as u64)) && !queue.is_empty() {
+                            class_queued[v & cmask] -= queue.len() as u64;
+                            class_occupied[v & cmask] -= 1;
                             for pkt in queue.split_off(0) {
                                 in_flight -= 1;
                                 count_drop(
@@ -334,10 +366,15 @@ impl<'a> Simulator<'a> {
                         }
                         continue;
                     };
+                    // Packet ids are assigned per injection *attempt*: a
+                    // failed route consumes the id too, so ids are a pure
+                    // function of the traffic stream — what lets the
+                    // sharded engine preassign them before planning.
+                    let id = next_id;
+                    next_id += 1;
                     match self.algorithm.compute_route(&self.gc, &view, src, dst) {
                         Ok(route) => {
-                            let pkt = Packet::new(next_id, cycle, route);
-                            next_id += 1;
+                            let pkt = Packet::new(id, cycle, route);
                             metrics.injected_total += 1;
                             telem.inject();
                             if measuring {
@@ -379,7 +416,12 @@ impl<'a> Simulator<'a> {
                                 }
                             } else {
                                 in_flight += 1;
-                                queues[v as usize].push_back(pkt);
+                                let vu = v as usize;
+                                if queues[vu].is_empty() {
+                                    class_occupied[vu & cmask] += 1;
+                                }
+                                class_queued[vu & cmask] += 1;
+                                queues[vu].push_back(pkt);
                             }
                         }
                         Err(_) => {
@@ -396,16 +438,12 @@ impl<'a> Simulator<'a> {
                 telem.phase_time(Phase::Planning, t.elapsed().as_nanos() as u64);
             }
 
-            // 2. Forwarding phase: one packet per directed link per cycle,
-            //    tracked in the generation-stamped (node, dim) table.
-            //    Rotate the service order for fairness.
+            // 2. Forwarding phase: each node may forward its queue head.
+            //    One packet per directed link per cycle holds by
+            //    construction — a link's sending endpoint serves at most
+            //    one packet per cycle. Rotate the service order for
+            //    fairness.
             let phase_started = profiling.then(Instant::now);
-            stamp_gen = stamp_gen.wrapping_add(1);
-            if stamp_gen == 0 {
-                // u32 wrap: old stamps could alias the new generation.
-                link_stamp.fill(0);
-                stamp_gen = 1;
-            }
             let offset = (cycle % n_nodes) as usize;
             for i in 0..n_nodes as usize {
                 let v = (i + offset) % n_nodes as usize;
@@ -418,6 +456,10 @@ impl<'a> Simulator<'a> {
                     // destination (the original route passed through it on
                     // the way elsewhere): sink it instead of forwarding.
                     let pkt = queues[v].pop_front().expect("head exists");
+                    class_queued[v & cmask] -= 1;
+                    if queues[v].is_empty() {
+                        class_occupied[v & cmask] -= 1;
+                    }
                     in_flight -= 1;
                     metrics.delivered_total += 1;
                     telem.deliver();
@@ -463,6 +505,10 @@ impl<'a> Simulator<'a> {
                             telem,
                         );
                         if let Some((pkt, cause)) = cause {
+                            class_queued[v & cmask] -= 1;
+                            if queues[v].is_empty() {
+                                class_occupied[v & cmask] -= 1;
+                            }
                             in_flight -= 1;
                             count_drop(
                                 &mut metrics,
@@ -484,6 +530,10 @@ impl<'a> Simulator<'a> {
                 // budget dies here whether or not faults are in play.
                 if head.hops_taken >= ttl {
                     let pkt = queues[v].pop_front().expect("head exists");
+                    class_queued[v & cmask] -= 1;
+                    if queues[v].is_empty() {
+                        class_occupied[v & cmask] -= 1;
+                    }
                     in_flight -= 1;
                     count_drop(
                         &mut metrics,
@@ -498,10 +548,6 @@ impl<'a> Simulator<'a> {
                         telem,
                     );
                     continue;
-                }
-                let slot = v * n_dims + dim as usize;
-                if link_stamp[slot] == stamp_gen {
-                    continue; // link busy this cycle; wait
                 }
                 let sinks = head.hop_idx + 2 == head.route.nodes().len();
                 if let Some(cap) = capacity {
@@ -522,12 +568,15 @@ impl<'a> Simulator<'a> {
                     }
                     arriving[to.0 as usize] += 1;
                 }
-                link_stamp[slot] = stamp_gen;
                 // Unconditional whole-run hop ledger: the telemetry
                 // per-dimension counters must reconcile with it exactly.
                 metrics.forwarded_hops_total += 1;
                 telem.hop(dim);
                 let mut pkt = queues[v].pop_front().expect("head exists");
+                class_queued[v & cmask] -= 1;
+                if queues[v].is_empty() {
+                    class_occupied[v & cmask] -= 1;
+                }
                 pkt.hop_idx += 1;
                 pkt.hops_taken += 1;
                 moves.push(pkt);
@@ -579,6 +628,10 @@ impl<'a> Simulator<'a> {
                     // Keep FIFO order at the receiving node; the packet can
                     // move again no earlier than next cycle.
                     let cur = pkt.current().0 as usize;
+                    if queues[cur].is_empty() {
+                        class_occupied[cur & cmask] += 1;
+                    }
+                    class_queued[cur & cmask] += 1;
                     queues[cur].push_back(pkt);
                 }
             }
@@ -602,7 +655,8 @@ impl<'a> Simulator<'a> {
                 };
                 telem.end_cycle(CycleView {
                     cycle,
-                    queues: &queues,
+                    class_queued: &class_queued,
+                    class_occupied: &class_occupied,
                     in_flight,
                     health: monitor.state(),
                     live_faults: truth.len() as u64,
@@ -620,7 +674,8 @@ impl<'a> Simulator<'a> {
         if telem.enabled() {
             telem.finish(CycleView {
                 cycle: ended_at,
-                queues: &queues,
+                class_queued: &class_queued,
+                class_occupied: &class_occupied,
                 in_flight,
                 health: monitor.state(),
                 live_faults: truth.len() as u64,
@@ -763,7 +818,7 @@ fn count_drop<S: TraceSink, T: TelemetrySink>(
 /// Re-synchronise the routing view onto the ground truth, skipping the
 /// copy when neither set changed since the last sync (their generation
 /// stamps still match the recorded pair).
-fn sync_view(view: &mut FaultSet, truth: &FaultSet, synced: &mut (u64, u64)) {
+pub(crate) fn sync_view(view: &mut FaultSet, truth: &FaultSet, synced: &mut (u64, u64)) {
     if *synced != (truth.generation(), view.generation()) {
         view.sync_from(truth);
         *synced = (truth.generation(), view.generation());
@@ -785,7 +840,7 @@ mod tests {
     #[test]
     fn conservation_packets_in_equals_out() {
         let sim = Simulator::new(small_config(), &FaultFreeGcr);
-        let m = sim.run();
+        let m = sim.session().run().metrics;
         assert!(m.injected > 0, "workload must inject packets");
         assert_eq!(m.route_failures, 0);
         // Every measured packet is either delivered or still in flight.
@@ -795,16 +850,27 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = Simulator::new(small_config(), &FaultFreeGcr).run();
-        let b = Simulator::new(small_config(), &FaultFreeGcr).run();
+        let a = Simulator::new(small_config(), &FaultFreeGcr)
+            .session()
+            .run()
+            .metrics;
+        let b = Simulator::new(small_config(), &FaultFreeGcr)
+            .session()
+            .run()
+            .metrics;
         assert_eq!(a, b);
-        let c = Simulator::new(small_config().with_seed(777), &FaultFreeGcr).run();
+        let c = Simulator::new(small_config().with_seed(777), &FaultFreeGcr)
+            .session()
+            .run()
+            .metrics;
         assert_ne!(a, c);
     }
 
     #[test]
     fn static_runs_report_no_churn_counters() {
-        let r = Simulator::new(small_config(), &FaultFreeGcr).run_report();
+        let r = Simulator::new(small_config(), &FaultFreeGcr)
+            .session()
+            .run();
         let m = r.metrics;
         assert_eq!(
             (
@@ -829,7 +895,7 @@ mod tests {
     fn latency_at_least_route_length() {
         // Latency per packet ≥ hops; with low load close to hops.
         let sim = Simulator::new(small_config().with_rate(0.001), &FaultFreeGcr);
-        let m = sim.run();
+        let m = sim.session().run().metrics;
         assert!(m.avg_latency() >= m.avg_hops());
         // Uncongested: latency within 1.5x of hop count.
         assert!(m.avg_latency() <= 1.5 * m.avg_hops() + 1.0);
@@ -840,7 +906,7 @@ mod tests {
         let cfg = small_config().with_faults(1);
         let sim = Simulator::new(cfg, &FaultTolerantGcr);
         assert_eq!(sim.faults().faulty_nodes().count(), 1);
-        let m = sim.run();
+        let m = sim.session().run().metrics;
         assert_eq!(m.delivered, m.injected, "FTGCR must deliver all packets");
         assert_eq!(m.route_failures, 0);
     }
@@ -854,7 +920,11 @@ mod tests {
             let mut total = 0.0;
             for seed in 0..6u64 {
                 let cfg = small_config().with_seed(1000 + seed).with_faults(faults);
-                total += Simulator::new(cfg, &FaultTolerantGcr).run().avg_latency();
+                total += Simulator::new(cfg, &FaultTolerantGcr)
+                    .session()
+                    .run()
+                    .metrics
+                    .avg_latency();
             }
             total / 6.0
         };
@@ -875,7 +945,7 @@ mod tests {
             TrafficPattern::Transpose,
         ] {
             let cfg = small_config().with_pattern(pat);
-            let m = Simulator::new(cfg, &FaultFreeGcr).run();
+            let m = Simulator::new(cfg, &FaultFreeGcr).session().run().metrics;
             assert!(m.injected > 0, "{pat:?} must inject");
             assert_eq!(m.delivered, m.injected, "{pat:?} must drain fully");
         }
@@ -886,12 +956,17 @@ mod tests {
         use crate::traffic::TrafficPattern;
         // Complement partners are at maximal distance: latency must exceed
         // the uniform workload's at equal rate.
-        let uni = Simulator::new(small_config(), &FaultFreeGcr).run();
+        let uni = Simulator::new(small_config(), &FaultFreeGcr)
+            .session()
+            .run()
+            .metrics;
         let comp = Simulator::new(
             small_config().with_pattern(TrafficPattern::BitComplement),
             &FaultFreeGcr,
         )
-        .run();
+        .session()
+        .run()
+        .metrics;
         assert!(
             comp.avg_hops() > uni.avg_hops(),
             "complement hops {} must exceed uniform {}",
@@ -911,7 +986,7 @@ mod tests {
             .with_cycles(200, 2_000, 0)
             .with_rate(0.2)
             .with_buffer_capacity(2);
-        let m = Simulator::new(cfg, &FaultFreeGcr).run();
+        let m = Simulator::new(cfg, &FaultFreeGcr).session().run().metrics;
         assert!(
             m.blocked_injections > 0,
             "tight buffers must block injections"
@@ -931,7 +1006,9 @@ mod tests {
                 .with_rate(0.2),
             &FaultFreeGcr,
         )
-        .run();
+        .session()
+        .run()
+        .metrics;
         assert_eq!(m2.blocked_injections, 0);
         assert_eq!(m2.in_flight_at_end, 0);
         assert_eq!(m2.delivered, m2.injected);
@@ -946,7 +1023,7 @@ mod tests {
                 .with_cycles(200, 4_000, 0)
                 .with_rate(0.005)
                 .with_buffer_capacity(cap);
-            let m = Simulator::new(cfg, &FaultFreeGcr).run();
+            let m = Simulator::new(cfg, &FaultFreeGcr).session().run().metrics;
             assert_eq!(m.delivered + m.in_flight_at_end, m.injected, "cap {cap}");
             assert_eq!(m.in_flight_at_end, 0, "cap {cap}: gentle load must drain");
         }
@@ -954,8 +1031,14 @@ mod tests {
 
     #[test]
     fn higher_load_does_not_lower_throughput() {
-        let low = Simulator::new(small_config().with_rate(0.002), &FaultFreeGcr).run();
-        let high = Simulator::new(small_config().with_rate(0.02), &FaultFreeGcr).run();
+        let low = Simulator::new(small_config().with_rate(0.002), &FaultFreeGcr)
+            .session()
+            .run()
+            .metrics;
+        let high = Simulator::new(small_config().with_rate(0.02), &FaultFreeGcr)
+            .session()
+            .run()
+            .metrics;
         assert!(high.throughput() > low.throughput());
     }
 
@@ -977,7 +1060,7 @@ mod tests {
                 target: FaultTarget::Node(victim),
                 kind: FaultKind::Permanent,
             }]));
-        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        let r = Simulator::new(cfg, &FaultTolerantGcr).session().run();
         let m = r.metrics;
         assert_eq!(r.trace.len(), 1, "exactly one event must apply");
         assert_eq!(m.fault_events, 1);
@@ -1027,7 +1110,7 @@ mod tests {
                 target: FaultTarget::Node(victim),
                 kind: FaultKind::Transient { repair_after: 150 },
             }]));
-        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        let r = Simulator::new(cfg, &FaultTolerantGcr).session().run();
         assert_eq!(r.trace.len(), 2, "failure and repair must both apply");
         let dip = &r.windows[1]; // cycles 300..600: the fault is live
         assert!(
@@ -1061,11 +1144,13 @@ mod tests {
                     node_fraction: 0.5,
                 })
         };
-        let a = Simulator::new(cfg(), &FaultTolerantGcr).run_report();
-        let b = Simulator::new(cfg(), &FaultTolerantGcr).run_report();
+        let a = Simulator::new(cfg(), &FaultTolerantGcr).session().run();
+        let b = Simulator::new(cfg(), &FaultTolerantGcr).session().run();
         assert!(!a.trace.is_empty(), "the Bernoulli schedule must fire");
         assert_eq!(a, b, "same seed + schedule must reproduce bit for bit");
-        let c = Simulator::new(cfg().with_seed(99), &FaultTolerantGcr).run_report();
+        let c = Simulator::new(cfg().with_seed(99), &FaultTolerantGcr)
+            .session()
+            .run();
         assert_ne!(
             a.trace, c.trace,
             "a different seed must change the event trace"
@@ -1077,12 +1162,17 @@ mod tests {
     #[test]
     fn empty_schedule_matches_static_run() {
         let static_cfg = small_config().with_faults(1);
-        let m1 = Simulator::new(static_cfg.clone(), &FaultTolerantGcr).run();
+        let m1 = Simulator::new(static_cfg.clone(), &FaultTolerantGcr)
+            .session()
+            .run()
+            .metrics;
         let m2 = Simulator::new(
             static_cfg.with_knowledge(KnowledgeModel::Oracle),
             &FaultTolerantGcr,
         )
-        .run();
+        .session()
+        .run()
+        .metrics;
         assert_eq!(m1, m2);
     }
 
@@ -1101,7 +1191,7 @@ mod tests {
                 kind: FaultKind::Permanent,
             }]))
             .with_knowledge(KnowledgeModel::PaperDelay);
-        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        let r = Simulator::new(cfg, &FaultTolerantGcr).session().run();
         assert!(r.metrics.ttl_expired > 0, "a 2-hop TTL must expire packets");
         assert_eq!(
             r.metrics.delivered + r.metrics.dropped + r.metrics.in_flight_at_end,
@@ -1123,7 +1213,7 @@ mod tests {
             .with_cycles(200, 2_000, 0)
             .with_rate(0.05)
             .with_ttl(2);
-        let r = Simulator::new(cfg, &FaultFreeGcr).run_report();
+        let r = Simulator::new(cfg, &FaultFreeGcr).session().run();
         let m = r.metrics;
         assert!(
             m.ttl_expired > 0,
@@ -1147,8 +1237,12 @@ mod tests {
         use crate::injection::FaultSchedule;
         use crate::strategy::{CachedFfgcr, CachedFtgcr};
 
-        let a = Simulator::new(small_config(), &FaultFreeGcr).run_report();
-        let b = Simulator::new(small_config(), &CachedFfgcr::new()).run_report();
+        let a = Simulator::new(small_config(), &FaultFreeGcr)
+            .session()
+            .run();
+        let b = Simulator::new(small_config(), &CachedFfgcr::new())
+            .session()
+            .run();
         assert_eq!(a, b, "cached FFGCR must match uncached in the engine");
 
         let churn_cfg = || {
@@ -1162,9 +1256,11 @@ mod tests {
                     kind: FaultKind::Permanent,
                 }]))
         };
-        let c = Simulator::new(churn_cfg(), &FaultTolerantGcr).run_report();
+        let c = Simulator::new(churn_cfg(), &FaultTolerantGcr)
+            .session()
+            .run();
         let cached = CachedFtgcr::new();
-        let d = Simulator::new(churn_cfg(), &cached).run_report();
+        let d = Simulator::new(churn_cfg(), &cached).session().run();
         assert_eq!(c, d, "cached FTGCR must match uncached under churn");
         let stats = cached.stats().expect("cache was used");
         assert!(stats.hits > 0, "repeat pairs must hit the cache");
@@ -1184,7 +1280,7 @@ mod tests {
                 target: FaultTarget::Node(NodeId(9)),
                 kind: FaultKind::Permanent,
             }]));
-        let r = Simulator::new(cfg, &FaultTolerantGcr).run_report();
+        let r = Simulator::new(cfg, &FaultTolerantGcr).session().run();
         let m = r.metrics;
         assert!(
             m.injected_total > m.injected,
@@ -1226,7 +1322,10 @@ mod tests {
                 target: FaultTarget::Node(NodeId(9)),
                 kind: FaultKind::Permanent,
             }]));
-        let m = Simulator::new(cfg, &FaultTolerantGcr).run();
+        let m = Simulator::new(cfg, &FaultTolerantGcr)
+            .session()
+            .run()
+            .metrics;
         assert!(m.rerouted_packets > 0, "the dead node must force re-routes");
         assert!(
             m.rerouted_packets <= m.delivered + m.dropped,
@@ -1251,7 +1350,10 @@ mod tests {
             .with_rate(1.0)
             .with_pattern(TrafficPattern::BitComplement)
             .with_faults(4);
-        let m = Simulator::new(cfg, &FaultTolerantGcr).run();
+        let m = Simulator::new(cfg, &FaultTolerantGcr)
+            .session()
+            .run()
+            .metrics;
         assert!(
             m.suppressed_injections_total > 0,
             "faulty complements must suppress injections"
@@ -1259,7 +1361,10 @@ mod tests {
         assert!(m.suppressed_injections > 0, "some must land post-warm-up");
         assert!(m.suppressed_injections <= m.suppressed_injections_total);
         // Fault-free uniform traffic never suppresses.
-        let clean = Simulator::new(small_config(), &FaultFreeGcr).run();
+        let clean = Simulator::new(small_config(), &FaultFreeGcr)
+            .session()
+            .run()
+            .metrics;
         assert_eq!(clean.suppressed_injections_total, 0);
     }
 }

@@ -1,0 +1,84 @@
+//! The simulator's unified error type.
+//!
+//! Every validation path — [`SimConfig::validate`], [`Simulator::try_new`],
+//! the session builder, and the CLI's argument parser — reports through
+//! [`SimError`], so callers match on variants instead of substring-checking
+//! messages. Invalid parameters fail loudly instead of being silently
+//! clamped (a typo'd `--rate 1.2` used to run as `1.0`).
+//!
+//! [`SimConfig::validate`]: crate::SimConfig::validate
+//! [`Simulator::try_new`]: crate::Simulator::try_new
+
+use std::fmt;
+
+/// Why a simulation cannot be configured or started.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The injection rate is not a probability in `[0, 1]`.
+    InvalidRate(f64),
+    /// A Bernoulli churn rate is not a probability in `[0, 1]`.
+    InvalidChurnRate(f64),
+    /// The `(n, M)` pair does not describe a valid Gaussian Cube.
+    InvalidTopology(String),
+    /// Finite per-node buffers (backpressure) are only defined for the
+    /// sequential engine: cross-shard capacity checks would need mid-cycle
+    /// coordination, so `--threads` above 1 rejects them.
+    FiniteBuffersRequireSingleThread,
+    /// A command-line argument failed to parse or combine.
+    Cli(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidRate(v) => {
+                write!(f, "injection rate must be a probability in [0, 1], got {v}")
+            }
+            SimError::InvalidChurnRate(v) => {
+                write!(f, "churn rate must be a probability in [0, 1], got {v}")
+            }
+            SimError::InvalidTopology(msg) => write!(f, "invalid Gaussian Cube: {msg}"),
+            SimError::FiniteBuffersRequireSingleThread => write!(
+                f,
+                "finite buffer capacity (backpressure) requires a single-threaded run"
+            ),
+            SimError::Cli(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_user_facing() {
+        assert_eq!(
+            SimError::InvalidRate(1.2).to_string(),
+            "injection rate must be a probability in [0, 1], got 1.2"
+        );
+        assert_eq!(
+            SimError::InvalidChurnRate(-0.5).to_string(),
+            "churn rate must be a probability in [0, 1], got -0.5"
+        );
+        assert_eq!(
+            SimError::InvalidTopology("modulus must be a power of two".into()).to_string(),
+            "invalid Gaussian Cube: modulus must be a power of two"
+        );
+        assert!(SimError::FiniteBuffersRequireSingleThread
+            .to_string()
+            .contains("single-threaded"));
+        assert_eq!(
+            SimError::Cli("unknown flag".into()).to_string(),
+            "unknown flag"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&SimError::InvalidRate(2.0));
+    }
+}

@@ -29,18 +29,22 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod injection;
 pub mod metrics;
 pub mod packet;
 pub mod replay;
 pub mod runner;
+pub mod session;
+mod shard;
 pub mod strategy;
 pub mod telemetry;
 pub mod trace;
 pub mod traffic;
 
-pub use config::{ConfigError, KnowledgeModel, SimConfig};
+pub use config::{KnowledgeModel, SimConfig};
 pub use engine::Simulator;
+pub use error::SimError;
 pub use injection::{
     CategoryMix, FaultAction, FaultEvent, FaultInjector, FaultKind, FaultSchedule, FaultTarget,
     TimedFault,
@@ -48,12 +52,14 @@ pub use injection::{
 pub use metrics::{ChurnReport, Histogram, Metrics, WindowStat};
 pub use replay::{parse_jsonl, verify_replay, ReplayError};
 pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
+pub use session::{effective_shards, resolve_threads, SimSession};
+pub use shard::class_ranges;
 pub use strategy::{
     CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm,
 };
 pub use telemetry::{
-    CycleView, FaultBudgetMonitor, HealthTransition, NullTelemetry, Phase, TelemetryCollector,
-    TelemetrySample, TelemetrySink,
+    CycleView, FaultBudgetMonitor, HealthTransition, NullTelemetry, Phase, ShardTelemetry,
+    TelemetryCollector, TelemetrySample, TelemetrySink,
 };
 pub use trace::{
     DropCause, JsonlSink, MemorySink, NullSink, TraceEvent, TraceEventKind, TraceSink,

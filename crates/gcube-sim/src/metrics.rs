@@ -277,6 +277,53 @@ impl Metrics {
             self.delivered as f64 / self.injected as f64
         }
     }
+
+    /// Fold another ledger into this one: every additive counter is
+    /// summed and the histograms merged bucket-wise. The shard engine
+    /// reduces worker ledgers with this; the run-level fields the
+    /// coordinator sets exactly once — [`Metrics::nodes`],
+    /// [`Metrics::cycles`], [`Metrics::in_flight_at_end`] — are left
+    /// untouched.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.total_latency += other.total_latency;
+        self.total_hops += other.total_hops;
+        self.route_failures += other.route_failures;
+        self.blocked_injections += other.blocked_injections;
+        self.suppressed_injections += other.suppressed_injections;
+        self.dropped += other.dropped;
+        self.ttl_expired += other.ttl_expired;
+        self.dropped_stranded += other.dropped_stranded;
+        self.dropped_unrecoverable += other.dropped_unrecoverable;
+        self.rerouted_packets += other.rerouted_packets;
+        self.rerouted_hops += other.rerouted_hops;
+        self.fault_events += other.fault_events;
+        self.forwarded_hops_total += other.forwarded_hops_total;
+        self.health_transitions += other.health_transitions;
+        self.stale_cycles += other.stale_cycles;
+        self.reconvergences += other.reconvergences;
+        self.injected_total += other.injected_total;
+        self.delivered_total += other.delivered_total;
+        self.dropped_total += other.dropped_total;
+        self.route_failures_total += other.route_failures_total;
+        self.suppressed_injections_total += other.suppressed_injections_total;
+        self.latency_hist.merge(&other.latency_hist);
+        self.hops_hist.merge(&other.hops_hist);
+    }
+}
+
+/// Sum `src`'s per-window counters into `dst`, index by index. The shard
+/// engine gives every shard identical window boundaries, so the reduction
+/// is positional; boundary agreement is checked in debug builds.
+pub fn merge_windows(dst: &mut [WindowStat], src: &[WindowStat]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        debug_assert_eq!((d.start, d.end), (s.start, s.end));
+        d.injected += s.injected;
+        d.delivered += s.delivered;
+        d.dropped += s.dropped;
+    }
 }
 
 /// Delivery statistics over one fixed-width window of cycles.
@@ -398,6 +445,90 @@ mod tests {
             ..WindowStat::default()
         };
         assert_eq!(idle.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_merges_histograms() {
+        let mut coord = Metrics {
+            nodes: 64,
+            cycles: 100,
+            in_flight_at_end: 3,
+            injected: 10,
+            delivered: 8,
+            injected_total: 12,
+            delivered_total: 9,
+            ..Metrics::default()
+        };
+        let mut worker = Metrics {
+            injected: 5,
+            delivered: 4,
+            total_latency: 40,
+            dropped: 1,
+            ttl_expired: 1,
+            dropped_total: 1,
+            injected_total: 5,
+            delivered_total: 4,
+            forwarded_hops_total: 20,
+            ..Metrics::default()
+        };
+        worker.latency_hist.record(10);
+        coord.absorb(&worker);
+        assert_eq!(coord.injected, 15);
+        assert_eq!(coord.delivered, 12);
+        assert_eq!(coord.total_latency, 40);
+        assert_eq!(coord.dropped, 1);
+        assert_eq!(coord.injected_total, 17);
+        assert_eq!(coord.latency_hist.count(), 1);
+        // Coordinator-owned run-level fields stay put.
+        assert_eq!(coord.nodes, 64);
+        assert_eq!(coord.cycles, 100);
+        assert_eq!(coord.in_flight_at_end, 3);
+    }
+
+    #[test]
+    fn merge_windows_is_positional() {
+        let mut dst = vec![
+            WindowStat {
+                start: 0,
+                end: 50,
+                injected: 3,
+                delivered: 2,
+                dropped: 0,
+            },
+            WindowStat {
+                start: 50,
+                end: 100,
+                injected: 1,
+                delivered: 1,
+                dropped: 1,
+            },
+        ];
+        let src = vec![
+            WindowStat {
+                start: 0,
+                end: 50,
+                injected: 2,
+                delivered: 1,
+                dropped: 1,
+            },
+            WindowStat {
+                start: 50,
+                end: 100,
+                injected: 0,
+                delivered: 2,
+                dropped: 0,
+            },
+        ];
+        merge_windows(&mut dst, &src);
+        assert_eq!(
+            (dst[0].injected, dst[0].delivered, dst[0].dropped),
+            (5, 3, 1)
+        );
+        assert_eq!(
+            (dst[1].injected, dst[1].delivered, dst[1].dropped),
+            (1, 3, 1)
+        );
+        assert_eq!((dst[0].start, dst[0].end), (0, 50), "boundaries untouched");
     }
 
     // --- histogram ------------------------------------------------------

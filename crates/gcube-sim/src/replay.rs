@@ -89,9 +89,10 @@ pub fn verify_replay(
     algorithm: &dyn RoutingAlgorithm,
     recorded: &[TraceEvent],
 ) -> Result<usize, ReplayError> {
-    let sim = Simulator::try_new(config, algorithm).map_err(|e| ReplayError::Config(e.0))?;
+    let sim =
+        Simulator::try_new(config, algorithm).map_err(|e| ReplayError::Config(e.to_string()))?;
     let mut sink = MemorySink::new();
-    sim.run_traced(&mut sink);
+    sim.session().trace(&mut sink).run();
     let replayed = sink.events();
     for (index, (r, p)) in recorded.iter().zip(replayed.iter()).enumerate() {
         if r != p {

@@ -41,7 +41,7 @@ pub fn run_sweep(
                     break;
                 }
                 let sim = Simulator::new(configs[i].clone(), algorithm);
-                let metrics = sim.run();
+                let metrics = sim.session().run().metrics;
                 results.lock()[i] = Some(SweepPoint {
                     config: configs[i].clone(),
                     algorithm: algorithm.name(),
@@ -88,7 +88,7 @@ pub fn run_churn_sweep(
                     break;
                 }
                 let sim = Simulator::new(configs[i].clone(), algorithm);
-                let report = sim.run_report();
+                let report = sim.session().run();
                 results.lock()[i] = Some(ChurnPoint {
                     config: configs[i].clone(),
                     algorithm: algorithm.name(),
@@ -127,7 +127,10 @@ mod tests {
             assert_eq!(p.algorithm, "FFGCR");
             // Each point must equal an independent serial run (determinism
             // across thread schedules).
-            let serial = Simulator::new(configs[i].clone(), &FaultFreeGcr).run();
+            let serial = Simulator::new(configs[i].clone(), &FaultFreeGcr)
+                .session()
+                .run()
+                .metrics;
             assert_eq!(p.metrics, serial);
         }
     }
@@ -162,7 +165,9 @@ mod tests {
         let parallel = run_churn_sweep(&configs, &FaultTolerantGcr, 4);
         assert_eq!(parallel.len(), 2);
         for (i, p) in parallel.iter().enumerate() {
-            let serial = Simulator::new(configs[i].clone(), &FaultTolerantGcr).run_report();
+            let serial = Simulator::new(configs[i].clone(), &FaultTolerantGcr)
+                .session()
+                .run();
             assert_eq!(p.report, serial, "thread schedule must not change results");
         }
     }

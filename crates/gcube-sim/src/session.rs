@@ -1,0 +1,133 @@
+//! The `SimSession` builder — the simulator's single front door.
+//!
+//! The engine used to grow one entry point per observer combination
+//! (`run`, `run_report`, `run_traced`, `run_instrumented<S, T>`); the
+//! sharded engine would have forced a fifth. A session composes instead:
+//!
+//! ```
+//! use gcube_sim::{MemorySink, SimConfig, Simulator, FaultFreeGcr};
+//!
+//! let sim = Simulator::new(SimConfig::new(6, 2), &FaultFreeGcr);
+//! let mut sink = MemorySink::new();
+//! let report = sim.session().threads(2).trace(&mut sink).run();
+//! assert_eq!(report.metrics.delivered, report.metrics.injected);
+//! ```
+//!
+//! `trace` and `telemetry` rebind the session's sink type parameters, so
+//! the engine still monomorphises over the sinks: a session that never
+//! attaches one compiles to the same zero-observer loop as before.
+//! `threads(n)` selects the deterministic shard engine ([`crate::shard`])
+//! for `n > 1`; its output is bitwise identical to the sequential loop
+//! for any thread count.
+
+use gcube_topology::GaussianCube;
+
+use crate::engine::Simulator;
+use crate::error::SimError;
+use crate::metrics::ChurnReport;
+use crate::shard;
+use crate::telemetry::{NullTelemetry, TelemetrySink};
+use crate::trace::{NullSink, TraceSink};
+
+/// Resolve a requested thread count: `0` means "use all available
+/// parallelism", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// How many shards a run on `gc` with `threads` threads actually uses:
+/// ending classes are the shard key (Theorem 2), so the count is capped
+/// at `2^α`. One shard means the sequential engine.
+pub fn effective_shards(gc: &GaussianCube, threads: usize) -> usize {
+    threads.max(1).min(1 << gc.alpha())
+}
+
+/// A configured-but-not-yet-started run: thread count plus the attached
+/// observers. Built by [`Simulator::session`], consumed by
+/// [`SimSession::run`] / [`SimSession::try_run`].
+pub struct SimSession<'s, 'a, S = NullSink, T = NullTelemetry> {
+    sim: &'s Simulator<'a>,
+    threads: usize,
+    trace: S,
+    telemetry: T,
+}
+
+impl<'s, 'a> SimSession<'s, 'a> {
+    pub(crate) fn new(sim: &'s Simulator<'a>) -> Self {
+        SimSession {
+            sim,
+            threads: 1,
+            trace: NullSink,
+            telemetry: NullTelemetry,
+        }
+    }
+}
+
+impl<'s, 'a, S: TraceSink, T: TelemetrySink> SimSession<'s, 'a, S, T> {
+    /// Worker threads for the shard engine. `0` resolves to the machine's
+    /// available parallelism; the default is `1` (sequential). The
+    /// effective shard count is capped at the cube's `2^α` ending
+    /// classes — see [`effective_shards`].
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Attach a flight recorder: every per-packet event is streamed into
+    /// `sink` in deterministic engine order (identical for every thread
+    /// count). Pass `&mut sink` to keep the sink afterwards.
+    #[must_use]
+    pub fn trace<S2: TraceSink>(self, sink: S2) -> SimSession<'s, 'a, S2, T> {
+        SimSession {
+            sim: self.sim,
+            threads: self.threads,
+            trace: sink,
+            telemetry: self.telemetry,
+        }
+    }
+
+    /// Attach a telemetry sink sampling the per-window time series. Pass
+    /// `&mut collector` to keep the collector afterwards.
+    #[must_use]
+    pub fn telemetry<T2: TelemetrySink>(self, telemetry: T2) -> SimSession<'s, 'a, S, T2> {
+        SimSession {
+            sim: self.sim,
+            threads: self.threads,
+            trace: self.trace,
+            telemetry,
+        }
+    }
+
+    /// Run to completion. Like [`Simulator::new`], panics on a session
+    /// the engine refuses to start; use [`SimSession::try_run`] to handle
+    /// that as an error.
+    pub fn run(self) -> ChurnReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(e) => panic!("invalid simulation session: {e}"),
+        }
+    }
+
+    /// Run to completion, reporting refusals (currently only finite
+    /// buffers combined with a sharded run) as a [`SimError`].
+    pub fn try_run(mut self) -> Result<ChurnReport, SimError> {
+        let threads = resolve_threads(self.threads);
+        let shards = effective_shards(self.sim.cube(), threads);
+        if shards > 1 && self.sim.config().buffer_capacity.is_some() {
+            return Err(SimError::FiniteBuffersRequireSingleThread);
+        }
+        Ok(if shards > 1 {
+            shard::run_sharded(self.sim, shards, &mut self.trace, &mut self.telemetry)
+        } else {
+            self.sim
+                .run_sequential(&mut self.trace, &mut self.telemetry)
+        })
+    }
+}

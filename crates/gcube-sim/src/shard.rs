@@ -1,0 +1,1421 @@
+//! The deterministic multi-threaded shard engine.
+//!
+//! Theorem 2 makes ending classes the natural shard key: a hop over a
+//! dimension `>= α` stays inside the sender's ending class, so
+//! partitioning the nodes by ending class puts every intra-class hop
+//! shard-local and confines cross-shard traffic to the low `α`
+//! dimensions. Each of the `T = min(threads, 2^α)` shards owns a
+//! contiguous chunk of classes and runs the same cycle loop as the
+//! sequential engine over its own nodes.
+//!
+//! # Lockstep protocol
+//!
+//! Shard 0 is the *coordinator* and runs on the calling thread (it alone
+//! touches the caller's trace and telemetry sinks, so the worker threads
+//! need no `Send` bounds on the sinks); shards `1..T` are workers on
+//! `std::thread::scope` threads, one [`std::sync::mpsc`] inbox each.
+//! Every cycle proceeds in barriered rounds:
+//!
+//! 1. **Phase 0 (replicated, no communication).** Every shard owns an
+//!    identical replica of the ground truth, the routing view, and the
+//!    fault injector (all seeded deterministically), so fault events,
+//!    stranding of its own nodes, and view reconvergence are computed
+//!    locally and identically everywhere.
+//! 2. **Round A — injection.** The coordinator runs the single traffic
+//!    RNG over all nodes in node order (preserving the sequential draw
+//!    sequence exactly) and ships each shard the injection requests for
+//!    its nodes; owners plan routes against their view replica and
+//!    account the outcome.
+//! 3. **Forward scan (parallel).** Each shard classifies its own queue
+//!    heads. Head classification reads only the packet and the truth —
+//!    never the view — so it is order-independent. Blocked heads become
+//!    *recovery candidates* (shipped to the coordinator, queue
+//!    untouched); everything else is delivered, dropped, or moved
+//!    exactly as in the sequential scan.
+//! 4. **Round B — all-to-all.** Shards exchange moved packets (tagged
+//!    with their service index so arrival order reproduces the
+//!    sequential drain order) plus an in-flight contribution used for
+//!    the cooperative exit test; the coordinator additionally receives
+//!    candidates and buffered trace events.
+//! 5. **Round C — recovery resolution.** The coordinator resolves all
+//!    candidates in service order against its view — exactly the
+//!    sequential interleaving of local discovery and replanning — and
+//!    broadcasts the verdicts plus the ordered view mutations, which
+//!    every shard applies so the view replicas stay identical.
+//! 6. **Round D — telemetry.** Only when a telemetry sink is attached:
+//!    workers ship their per-cycle counter deltas and ending-class
+//!    snapshots; the coordinator folds them in and samples.
+//!
+//! # Determinism
+//!
+//! The output is bitwise identical to [`Simulator::run_sequential`] for
+//! every thread count: metrics and windows are commutative sums merged
+//! at the end; trace events carry a `(stream, index, seq)` sort key that
+//! reproduces the exact sequential emission order; packet ids are a pure
+//! function of the traffic stream (assigned per injection attempt by the
+//! coordinator); and arrival merge sorts by service index, restoring the
+//! sequential FIFO push order. Wall-clock phase timings are
+//! coordinator-only and never enter the deterministic exports.
+//!
+//! Unlike the sequential hot path, the sharded path does allocate small
+//! per-cycle message batches — the price of the channels. Telemetry-off
+//! and trace-off runs skip the corresponding payloads entirely.
+
+use std::collections::VecDeque;
+use std::mem;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
+
+use gcube_routing::faults::fault_budget;
+use gcube_routing::{FaultSet, Route};
+use gcube_topology::{LinkId, NodeId, Topology};
+
+use crate::engine::{sync_view, Simulator};
+use crate::injection::FaultInjector;
+use crate::metrics::{merge_windows, ChurnReport, Metrics, WindowStat};
+use crate::packet::Packet;
+use crate::telemetry::{CycleView, FaultBudgetMonitor, Phase, ShardTelemetry, TelemetrySink};
+use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET};
+use crate::traffic::TrafficGen;
+
+/// Trace-stream tags for the per-cycle merge key, in sequential emission
+/// order: network health, stranding drops, injection, forwarding-scan
+/// resolutions (including recovery), move drain.
+const SUB_HEALTH: u64 = 0;
+const SUB_STRAND: u64 = 1;
+const SUB_INJECT: u64 = 2;
+const SUB_SCAN: u64 = 3;
+const SUB_MOVE: u64 = 4;
+
+/// Sort key reproducing the sequential trace order within one cycle:
+/// stream tag, then node id (streams 1–2) or service index (streams
+/// 3–4), then event sequence within that slot.
+#[inline]
+fn ekey(sub: u64, idx: u64, seq: u64) -> u64 {
+    debug_assert!(idx < 1 << 40 && seq < 1 << 20);
+    (sub << 60) | (idx << 20) | seq
+}
+
+/// One injection request: the coordinator drew the traffic stream, the
+/// owning shard plans and accounts it.
+struct InjectReq {
+    src: u64,
+    dst: NodeId,
+    id: u64,
+}
+
+/// A routing-view mutation discovered during recovery, broadcast so all
+/// view replicas apply the identical op sequence.
+#[derive(Clone, Copy)]
+enum ViewOp {
+    Node(NodeId),
+    Link(LinkId),
+}
+
+/// The coordinator's ruling on one recovery candidate. Drops are fully
+/// accounted by the coordinator; the owner only mutates its queue.
+enum Verdict {
+    Replan(Route),
+    Drop,
+}
+
+/// Round B payload: moved packets for the receiving shard, tagged with
+/// the sender's service index, plus the sender's in-flight contribution.
+/// Candidates and trace events ride along only towards the coordinator.
+struct BatchMsg {
+    from: usize,
+    moves: Vec<(u32, Packet)>,
+    contrib: u64,
+    candidates: Vec<(u32, Packet)>,
+    events: Vec<(u64, TraceEvent)>,
+}
+
+/// Round C broadcast: this shard's verdicts (in service order), the
+/// global ordered view mutations, and the cycle's recovery-drop count
+/// (for the cooperative exit test).
+struct ResolutionMsg {
+    verdicts: Vec<(u32, Verdict)>,
+    view_ops: Vec<ViewOp>,
+    verdict_drops: u64,
+}
+
+/// Round D payload: the worker's per-cycle counter delta and the
+/// post-verdict snapshot of its owned ending-class range.
+struct TelemetryMsg {
+    from: usize,
+    delta: ShardTelemetry,
+    class_queued: Vec<u64>,
+    class_occupied: Vec<u64>,
+    class_start: usize,
+}
+
+/// End-of-run payload: the worker's whole-run metrics and windows,
+/// reduced into the coordinator's via [`Metrics::absorb`] /
+/// [`merge_windows`].
+struct FinalMsg {
+    metrics: Box<Metrics>,
+    windows: Vec<WindowStat>,
+}
+
+enum Msg {
+    Inject(Vec<InjectReq>),
+    Batch(BatchMsg),
+    Resolution(ResolutionMsg),
+    Telemetry(TelemetryMsg),
+    Final(FinalMsg),
+}
+
+/// A shard inbox with reordering: `mpsc` only guarantees per-sender
+/// FIFO, so a fast peer's next-round message can arrive before a slow
+/// peer's current-round one. Mismatches are stashed and replayed in
+/// arrival order, which preserves each sender's FIFO stream.
+struct Inbox {
+    rx: Receiver<Msg>,
+    pending: Vec<Msg>,
+}
+
+impl Inbox {
+    fn new(rx: Receiver<Msg>) -> Inbox {
+        Inbox {
+            rx,
+            pending: Vec::new(),
+        }
+    }
+
+    fn recv_match(&mut self, mut want: impl FnMut(&Msg) -> bool) -> Msg {
+        if let Some(i) = self.pending.iter().position(&mut want) {
+            return self.pending.remove(i);
+        }
+        loop {
+            let m = self.rx.recv().expect("shard peer disconnected mid-run");
+            if want(&m) {
+                return m;
+            }
+            self.pending.push(m);
+        }
+    }
+
+    fn recv_inject(&mut self) -> Vec<InjectReq> {
+        match self.recv_match(|m| matches!(m, Msg::Inject(_))) {
+            Msg::Inject(reqs) => reqs,
+            _ => unreachable!(),
+        }
+    }
+
+    /// One Round B batch from a sender not yet seen this cycle.
+    fn recv_batch(&mut self, seen: &mut [bool]) -> BatchMsg {
+        let msg = self.recv_match(|m| matches!(m, Msg::Batch(b) if !seen[b.from]));
+        match msg {
+            Msg::Batch(b) => {
+                seen[b.from] = true;
+                b
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn recv_resolution(&mut self) -> ResolutionMsg {
+        match self.recv_match(|m| matches!(m, Msg::Resolution(_))) {
+            Msg::Resolution(r) => r,
+            _ => unreachable!(),
+        }
+    }
+
+    fn recv_telemetry(&mut self, seen: &mut [bool]) -> TelemetryMsg {
+        let msg = self.recv_match(|m| matches!(m, Msg::Telemetry(t) if !seen[t.from]));
+        match msg {
+            Msg::Telemetry(t) => {
+                seen[t.from] = true;
+                t
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn recv_final(&mut self) -> FinalMsg {
+        match self.recv_match(|m| matches!(m, Msg::Final(_))) {
+            Msg::Final(f) => f,
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Split `num_classes` ending classes into `shards` contiguous chunks
+/// (first `num_classes % shards` chunks one class larger). Each entry is
+/// the half-open class range `[lo, hi)` owned by that shard. Exported so
+/// the CLI health report can print the layout.
+pub fn class_ranges(num_classes: usize, shards: usize) -> Vec<(usize, usize)> {
+    let base = num_classes / shards;
+    let rem = num_classes % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|s| {
+            let len = base + usize::from(s < rem);
+            let range = (start, start + len);
+            start += len;
+            range
+        })
+        .collect()
+}
+
+/// What phase 0 did, so the coordinator can run the network-global
+/// accounting (fault-event counters, health monitor, staleness hooks)
+/// exactly once.
+struct CycleStart {
+    applied: usize,
+    reconverged: bool,
+    stale: bool,
+}
+
+/// One shard's replicated state plus the node-local state it owns. Both
+/// the coordinator and the workers drive one of these; everything
+/// network-global (traffic RNG, health monitor, sinks, recovery
+/// resolution) lives in [`run_sharded`] itself.
+struct Shard<'s, 'a> {
+    sim: &'s Simulator<'a>,
+    me: usize,
+    class_owner: &'s [usize],
+    cmask: usize,
+    n_nodes: u64,
+    queues: Vec<VecDeque<Packet>>,
+    class_queued: Vec<u64>,
+    class_occupied: Vec<u64>,
+    class_range: (usize, usize),
+    /// Packets currently sitting in this shard's queues.
+    local_queued: u64,
+    truth: FaultSet,
+    view: FaultSet,
+    synced: (u64, u64),
+    injector: FaultInjector,
+    converge_at: Option<u64>,
+    dynamic: bool,
+    ttl: u64,
+    warmup: u64,
+    window: u64,
+    metrics: Metrics,
+    windows: Vec<WindowStat>,
+    delta: ShardTelemetry,
+    events: Vec<(u64, TraceEvent)>,
+    candidates: Vec<(u32, Packet)>,
+    out_moves: Vec<Vec<(u32, Packet)>>,
+    arrivals: Vec<(u32, Packet)>,
+    tracing_on: bool,
+    telemetry_on: bool,
+}
+
+impl<'s, 'a> Shard<'s, 'a> {
+    fn new(
+        sim: &'s Simulator<'a>,
+        me: usize,
+        shards: usize,
+        class_owner: &'s [usize],
+        tracing_on: bool,
+        telemetry_on: bool,
+    ) -> Shard<'s, 'a> {
+        let n_nodes = sim.gc.num_nodes();
+        let cmask = (1usize << sim.gc.alpha()) - 1;
+        let truth = sim.faults.clone();
+        let view = sim.faults.clone();
+        let synced = (truth.generation(), view.generation());
+        Shard {
+            sim,
+            me,
+            class_owner,
+            cmask,
+            n_nodes,
+            queues: (0..n_nodes).map(|_| VecDeque::new()).collect(),
+            class_queued: vec![0; cmask + 1],
+            class_occupied: vec![0; cmask + 1],
+            class_range: class_ranges(cmask + 1, shards)[me],
+            local_queued: 0,
+            truth,
+            view,
+            synced,
+            injector: FaultInjector::new(&sim.gc, sim.config.schedule.clone(), sim.config.seed),
+            converge_at: None,
+            dynamic: !sim.config.schedule.is_none(),
+            ttl: sim.config.effective_ttl(),
+            warmup: sim.config.warmup_cycles.min(sim.config.inject_cycles),
+            window: sim.config.window.max(1),
+            metrics: Metrics::default(),
+            windows: Vec::new(),
+            delta: ShardTelemetry::new(sim.gc.n() as usize),
+            events: Vec::new(),
+            candidates: Vec::new(),
+            out_moves: (0..shards).map(|_| Vec::new()).collect(),
+            arrivals: Vec::new(),
+            tracing_on,
+            telemetry_on,
+        }
+    }
+
+    #[inline]
+    fn owns(&self, node: usize) -> bool {
+        self.class_owner[node & self.cmask] == self.me
+    }
+
+    /// Phase 0: lazily open the cycle's window, then (dynamic runs)
+    /// replicate the fault step, strand this shard's own dead queues,
+    /// and advance the view-reconvergence state machine. Every shard
+    /// computes the identical outcome; only the caller's coordinator
+    /// instance feeds it into metrics and sinks.
+    fn begin_cycle(&mut self, cycle: u64) -> CycleStart {
+        let widx = (cycle / self.window) as usize;
+        if self.windows.len() <= widx {
+            self.windows.push(WindowStat {
+                start: widx as u64 * self.window,
+                end: (widx as u64 + 1) * self.window,
+                ..WindowStat::default()
+            });
+        }
+        let mut start = CycleStart {
+            applied: 0,
+            reconverged: false,
+            stale: false,
+        };
+        if !self.dynamic {
+            return start;
+        }
+        start.applied = self.injector.step(cycle, &mut self.truth);
+        if start.applied > 0 {
+            let measuring = cycle >= self.warmup;
+            for v in 0..self.n_nodes as usize {
+                if !self.owns(v)
+                    || self.queues[v].is_empty()
+                    || !self.truth.is_node_faulty(NodeId(v as u64))
+                {
+                    continue;
+                }
+                self.class_queued[v & self.cmask] -= self.queues[v].len() as u64;
+                self.class_occupied[v & self.cmask] -= 1;
+                let stranded = self.queues[v].split_off(0);
+                self.local_queued -= stranded.len() as u64;
+                for (seq, pkt) in stranded.into_iter().enumerate() {
+                    self.count_drop(
+                        &pkt,
+                        DropCause::Stranded,
+                        measuring,
+                        cycle,
+                        widx,
+                        NodeId(v as u64),
+                        ekey(SUB_STRAND, v as u64, seq as u64),
+                    );
+                }
+            }
+            let delay = self.sim.knowledge_delay(&self.truth);
+            if delay == 0 {
+                sync_view(&mut self.view, &self.truth, &mut self.synced);
+            } else {
+                self.converge_at = Some(cycle + delay);
+            }
+        }
+        if let Some(t) = self.converge_at {
+            if cycle >= t {
+                sync_view(&mut self.view, &self.truth, &mut self.synced);
+                self.converge_at = None;
+                start.reconverged = true;
+            } else {
+                start.stale = true;
+            }
+        }
+        start
+    }
+
+    /// Mirror of the sequential engine's `count_drop`, accounting into
+    /// this shard's metrics, window, telemetry delta, and event buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn count_drop(
+        &mut self,
+        pkt: &Packet,
+        cause: DropCause,
+        measuring: bool,
+        cycle: u64,
+        widx: usize,
+        node: NodeId,
+        key: u64,
+    ) {
+        self.windows[widx].dropped += 1;
+        self.metrics.dropped_total += 1;
+        if self.telemetry_on {
+            self.delta.dropped += 1;
+        }
+        if measuring && pkt.injected_at >= self.warmup {
+            self.metrics.dropped += 1;
+            match cause {
+                DropCause::TtlExpired => self.metrics.ttl_expired += 1,
+                DropCause::Stranded => self.metrics.dropped_stranded += 1,
+                DropCause::Unrecoverable => self.metrics.dropped_unrecoverable += 1,
+            }
+            if pkt.reroutes > 0 {
+                self.metrics.rerouted_packets += 1;
+            }
+        }
+        if self.tracing_on {
+            self.events.push((
+                key,
+                TraceEvent {
+                    cycle,
+                    packet: pkt.id,
+                    node,
+                    kind: TraceEventKind::Drop { cause },
+                },
+            ));
+        }
+    }
+
+    /// Round A, owner side: plan and account this shard's injection
+    /// requests in the coordinator's node order.
+    fn inject(&mut self, cycle: u64, reqs: &[InjectReq]) {
+        let measuring = cycle >= self.warmup;
+        let widx = (cycle / self.window) as usize;
+        for req in reqs {
+            let src = NodeId(req.src);
+            match self
+                .sim
+                .algorithm
+                .compute_route(&self.sim.gc, &self.view, src, req.dst)
+            {
+                Ok(route) => {
+                    let pkt = Packet::new(req.id, cycle, route);
+                    self.metrics.injected_total += 1;
+                    if self.telemetry_on {
+                        self.delta.injected += 1;
+                    }
+                    if measuring {
+                        self.metrics.injected += 1;
+                    }
+                    self.windows[widx].injected += 1;
+                    if self.tracing_on {
+                        self.events.push((
+                            ekey(SUB_INJECT, req.src, 0),
+                            TraceEvent {
+                                cycle,
+                                packet: pkt.id,
+                                node: src,
+                                kind: TraceEventKind::Inject {
+                                    dst: req.dst,
+                                    planned_hops: pkt.planned_hops,
+                                },
+                            },
+                        ));
+                    }
+                    if pkt.arrived() {
+                        self.metrics.delivered_total += 1;
+                        if self.telemetry_on {
+                            self.delta.delivered += 1;
+                        }
+                        if measuring {
+                            self.metrics.delivered += 1;
+                            self.metrics.latency_hist.record(0);
+                            self.metrics.hops_hist.record(0);
+                        }
+                        self.windows[widx].delivered += 1;
+                        if self.tracing_on {
+                            self.events.push((
+                                ekey(SUB_INJECT, req.src, 1),
+                                TraceEvent {
+                                    cycle,
+                                    packet: pkt.id,
+                                    node: src,
+                                    kind: TraceEventKind::Deliver {
+                                        latency: 0,
+                                        hops: 0,
+                                    },
+                                },
+                            ));
+                        }
+                    } else {
+                        let vu = req.src as usize;
+                        if self.queues[vu].is_empty() {
+                            self.class_occupied[vu & self.cmask] += 1;
+                        }
+                        self.class_queued[vu & self.cmask] += 1;
+                        self.local_queued += 1;
+                        self.queues[vu].push_back(pkt);
+                    }
+                }
+                Err(_) => {
+                    self.metrics.route_failures_total += 1;
+                    if measuring {
+                        self.metrics.route_failures += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The forwarding scan over this shard's own nodes, in the global
+    /// rotated service order. Fills `candidates` (blocked heads, queues
+    /// untouched) and `out_moves` (per destination shard).
+    fn scan(&mut self, cycle: u64) {
+        let measuring = cycle >= self.warmup;
+        let widx = (cycle / self.window) as usize;
+        let n = self.n_nodes as usize;
+        let offset = (cycle % self.n_nodes) as usize;
+        for i in 0..n {
+            let v = (i + offset) % n;
+            if !self.owns(v) {
+                continue;
+            }
+            let svc = i as u64;
+            let Some(head) = self.queues[v].front() else {
+                continue;
+            };
+            let from = head.current();
+            let Some(to) = head.next_hop() else {
+                // Already at its destination after a replan: sink it.
+                let pkt = self.queues[v].pop_front().expect("head exists");
+                self.class_queued[v & self.cmask] -= 1;
+                if self.queues[v].is_empty() {
+                    self.class_occupied[v & self.cmask] -= 1;
+                }
+                self.local_queued -= 1;
+                self.metrics.delivered_total += 1;
+                if self.telemetry_on {
+                    self.delta.delivered += 1;
+                }
+                self.windows[widx].delivered += 1;
+                if measuring && pkt.injected_at >= self.warmup {
+                    self.metrics.delivered += 1;
+                    self.metrics.total_latency += cycle - pkt.injected_at;
+                    self.metrics.latency_hist.record(cycle - pkt.injected_at);
+                    self.metrics.hops_hist.record(pkt.hops_taken);
+                    self.metrics.rerouted_hops += pkt.detour_hops();
+                    if pkt.reroutes > 0 {
+                        self.metrics.rerouted_packets += 1;
+                    }
+                }
+                if self.tracing_on {
+                    self.events.push((
+                        ekey(SUB_SCAN, svc, 0),
+                        TraceEvent {
+                            cycle,
+                            packet: pkt.id,
+                            node: pkt.current(),
+                            kind: TraceEventKind::Deliver {
+                                latency: cycle - pkt.injected_at,
+                                hops: pkt.hops_taken,
+                            },
+                        },
+                    ));
+                }
+                continue;
+            };
+            let dim = (from.0 ^ to.0).trailing_zeros();
+            if self.dynamic && !self.truth.is_link_usable(LinkId::new(from, dim)) {
+                // Recovery is resolved centrally (Round C) so view
+                // mutations keep their sequential order. The queue is
+                // untouched; the coordinator rules on a clone.
+                self.candidates.push((svc as u32, head.clone()));
+                continue;
+            }
+            if head.hops_taken >= self.ttl {
+                let pkt = self.queues[v].pop_front().expect("head exists");
+                self.class_queued[v & self.cmask] -= 1;
+                if self.queues[v].is_empty() {
+                    self.class_occupied[v & self.cmask] -= 1;
+                }
+                self.local_queued -= 1;
+                let node = pkt.current();
+                self.count_drop(
+                    &pkt,
+                    DropCause::TtlExpired,
+                    measuring,
+                    cycle,
+                    widx,
+                    node,
+                    ekey(SUB_SCAN, svc, 0),
+                );
+                continue;
+            }
+            self.metrics.forwarded_hops_total += 1;
+            if self.telemetry_on {
+                self.delta.dim_hops[dim as usize] += 1;
+            }
+            let mut pkt = self.queues[v].pop_front().expect("head exists");
+            self.class_queued[v & self.cmask] -= 1;
+            if self.queues[v].is_empty() {
+                self.class_occupied[v & self.cmask] -= 1;
+            }
+            self.local_queued -= 1;
+            pkt.hop_idx += 1;
+            pkt.hops_taken += 1;
+            let measured_pkt = measuring && pkt.injected_at >= self.warmup;
+            if measured_pkt {
+                self.metrics.total_hops += 1;
+            }
+            if self.tracing_on {
+                self.events.push((
+                    ekey(SUB_MOVE, svc, 0),
+                    TraceEvent {
+                        cycle,
+                        packet: pkt.id,
+                        node: pkt.current(),
+                        kind: TraceEventKind::Hop {
+                            from: pkt.route.nodes()[pkt.hop_idx - 1],
+                        },
+                    },
+                ));
+            }
+            if pkt.arrived() {
+                // The sender accounts the delivery — exactly the
+                // sequential drain's bookkeeping, one cycle of latency
+                // for the hop itself.
+                self.metrics.delivered_total += 1;
+                if self.telemetry_on {
+                    self.delta.delivered += 1;
+                }
+                self.windows[widx].delivered += 1;
+                if measured_pkt {
+                    self.metrics.delivered += 1;
+                    self.metrics.total_latency += cycle + 1 - pkt.injected_at;
+                    self.metrics
+                        .latency_hist
+                        .record(cycle + 1 - pkt.injected_at);
+                    self.metrics.hops_hist.record(pkt.hops_taken);
+                    self.metrics.rerouted_hops += pkt.detour_hops();
+                    if pkt.reroutes > 0 {
+                        self.metrics.rerouted_packets += 1;
+                    }
+                }
+                if self.tracing_on {
+                    self.events.push((
+                        ekey(SUB_MOVE, svc, 1),
+                        TraceEvent {
+                            cycle,
+                            packet: pkt.id,
+                            node: pkt.current(),
+                            kind: TraceEventKind::Deliver {
+                                latency: cycle + 1 - pkt.injected_at,
+                                hops: pkt.hops_taken,
+                            },
+                        },
+                    ));
+                }
+            } else {
+                let dest_shard = self.class_owner[pkt.current().0 as usize & self.cmask];
+                self.out_moves[dest_shard].push((svc as u32, pkt));
+            }
+        }
+    }
+
+    /// This shard's in-flight contribution for the cooperative exit
+    /// test: packets still in its queues (candidates included) plus the
+    /// non-arrived moves it is sending this cycle.
+    fn contrib(&self) -> u64 {
+        self.local_queued + self.out_moves.iter().map(|m| m.len() as u64).sum::<u64>()
+    }
+
+    /// Move this shard's self-destined moves into the arrival buffer.
+    fn queue_self_moves(&mut self) {
+        let own = mem::take(&mut self.out_moves[self.me]);
+        self.arrivals.extend(own);
+    }
+
+    /// Merge all arrivals in sender service order — the exact order the
+    /// sequential drain pushes them — and append to the FIFO queues.
+    fn push_arrivals(&mut self) {
+        self.arrivals.sort_unstable_by_key(|&(svc, _)| svc);
+        for (_, pkt) in self.arrivals.drain(..) {
+            let cur = pkt.current().0 as usize;
+            if self.queues[cur].is_empty() {
+                self.class_occupied[cur & self.cmask] += 1;
+            }
+            self.class_queued[cur & self.cmask] += 1;
+            self.local_queued += 1;
+            self.queues[cur].push_back(pkt);
+        }
+    }
+
+    /// Apply the coordinator's view mutations, keeping this replica's
+    /// generation history identical to every other shard's.
+    fn apply_view_ops(&mut self, ops: &[ViewOp]) {
+        for op in ops {
+            match *op {
+                ViewOp::Node(n) => self.view.add_node(n),
+                ViewOp::Link(l) => self.view.add_link(l),
+            }
+        }
+    }
+
+    /// Apply the verdicts for this shard's candidates. Drops were fully
+    /// accounted by the coordinator; only the queue state changes here.
+    fn apply_verdicts(&mut self, cycle: u64, verdicts: Vec<(u32, Verdict)>) {
+        let n = self.n_nodes as usize;
+        let offset = (cycle % self.n_nodes) as usize;
+        for (svc, verdict) in verdicts {
+            let v = (svc as usize + offset) % n;
+            match verdict {
+                Verdict::Replan(route) => {
+                    self.queues[v]
+                        .front_mut()
+                        .expect("candidate queue is non-empty")
+                        .replan(route);
+                }
+                Verdict::Drop => {
+                    self.queues[v]
+                        .pop_front()
+                        .expect("candidate queue is non-empty");
+                    self.class_queued[v & self.cmask] -= 1;
+                    if self.queues[v].is_empty() {
+                        self.class_occupied[v & self.cmask] -= 1;
+                    }
+                    self.local_queued -= 1;
+                }
+            }
+        }
+    }
+
+    /// Round D payload: counter delta plus the owned class-range
+    /// snapshot (post-verdict, post-arrival — end-of-cycle state).
+    fn telemetry_msg(&mut self) -> TelemetryMsg {
+        let (lo, hi) = self.class_range;
+        let msg = TelemetryMsg {
+            from: self.me,
+            delta: self.delta.clone(),
+            class_queued: self.class_queued[lo..hi].to_vec(),
+            class_occupied: self.class_occupied[lo..hi].to_vec(),
+            class_start: lo,
+        };
+        self.delta.reset();
+        msg
+    }
+}
+
+/// Run the simulation over `shards > 1` lockstepped shards; the output
+/// is bitwise identical to [`Simulator::run_sequential`].
+pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
+    sim: &Simulator<'_>,
+    shards: usize,
+    sink: &mut S,
+    telem: &mut T,
+) -> ChurnReport {
+    debug_assert!(shards > 1);
+    let n_nodes = sim.gc.num_nodes();
+    let cmask = (1usize << sim.gc.alpha()) - 1;
+    let class_owner: Vec<usize> = {
+        let mut owner = vec![0; cmask + 1];
+        for (s, (lo, hi)) in class_ranges(cmask + 1, shards).into_iter().enumerate() {
+            owner[lo..hi].fill(s);
+        }
+        owner
+    };
+    let tracing_on = sink.enabled();
+    let telemetry_on = telem.enabled();
+    let total_cycles = sim.config.inject_cycles + sim.config.drain_cycles;
+    let inject_cycles = sim.config.inject_cycles;
+    let warmup = sim.config.warmup_cycles.min(inject_cycles);
+    let window = sim.config.window.max(1);
+
+    let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(shards);
+    let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut inboxes: Vec<Inbox> = rxs.into_iter().map(Inbox::new).collect();
+    let coord_inbox = inboxes.remove(0);
+
+    std::thread::scope(|scope| {
+        for (w, inbox) in inboxes.into_iter().enumerate() {
+            let me = w + 1;
+            let txs = txs.clone();
+            let class_owner = &class_owner;
+            scope.spawn(move || {
+                run_worker(
+                    sim,
+                    me,
+                    shards,
+                    class_owner,
+                    txs,
+                    inbox,
+                    tracing_on,
+                    telemetry_on,
+                );
+            });
+        }
+        run_coordinator(CoordinatorArgs {
+            sim,
+            shards,
+            class_owner: &class_owner,
+            txs,
+            inbox: coord_inbox,
+            sink,
+            telem,
+            n_nodes,
+            total_cycles,
+            inject_cycles,
+            warmup,
+            window,
+        })
+    })
+}
+
+/// A worker shard's whole run: lockstep with the coordinator, no access
+/// to the sinks, pure node-local work plus the round protocol.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    sim: &Simulator<'_>,
+    me: usize,
+    shards: usize,
+    class_owner: &[usize],
+    txs: Vec<Sender<Msg>>,
+    mut inbox: Inbox,
+    tracing_on: bool,
+    telemetry_on: bool,
+) {
+    let mut shard = Shard::new(sim, me, shards, class_owner, tracing_on, telemetry_on);
+    let total_cycles = sim.config.inject_cycles + sim.config.drain_cycles;
+    let mut seen = vec![false; shards];
+    for cycle in 0..total_cycles {
+        shard.begin_cycle(cycle);
+        if cycle < sim.config.inject_cycles {
+            let reqs = inbox.recv_inject();
+            shard.inject(cycle, &reqs);
+        }
+        shard.scan(cycle);
+        let contrib = shard.contrib();
+        for (dest, tx) in txs.iter().enumerate() {
+            if dest == me {
+                continue;
+            }
+            let (candidates, events) = if dest == 0 {
+                (
+                    mem::take(&mut shard.candidates),
+                    mem::take(&mut shard.events),
+                )
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            let _ = tx.send(Msg::Batch(BatchMsg {
+                from: me,
+                moves: mem::take(&mut shard.out_moves[dest]),
+                contrib,
+                candidates,
+                events,
+            }));
+        }
+        shard.queue_self_moves();
+        seen.iter_mut().for_each(|s| *s = false);
+        seen[me] = true;
+        let mut total_contrib = contrib;
+        for _ in 0..shards - 1 {
+            let batch = inbox.recv_batch(&mut seen);
+            total_contrib += batch.contrib;
+            shard.arrivals.extend(batch.moves);
+        }
+        shard.push_arrivals();
+        let mut verdict_drops = 0;
+        if shard.dynamic && !shard.truth.is_empty() {
+            let res = inbox.recv_resolution();
+            verdict_drops = res.verdict_drops;
+            shard.apply_view_ops(&res.view_ops);
+            shard.apply_verdicts(cycle, res.verdicts);
+        }
+        if telemetry_on {
+            let msg = shard.telemetry_msg();
+            let _ = txs[0].send(Msg::Telemetry(msg));
+        }
+        let global_in_flight = total_contrib - verdict_drops;
+        if cycle >= sim.config.inject_cycles && global_in_flight == 0 {
+            break;
+        }
+    }
+    let _ = txs[0].send(Msg::Final(FinalMsg {
+        metrics: Box::new(shard.metrics),
+        windows: shard.windows,
+    }));
+}
+
+struct CoordinatorArgs<'c, 's, 'a, S, T> {
+    sim: &'s Simulator<'a>,
+    shards: usize,
+    class_owner: &'c [usize],
+    txs: Vec<Sender<Msg>>,
+    inbox: Inbox,
+    sink: &'c mut S,
+    telem: &'c mut T,
+    n_nodes: u64,
+    total_cycles: u64,
+    inject_cycles: u64,
+    warmup: u64,
+    window: u64,
+}
+
+/// The coordinator: shard 0's node-local work plus everything
+/// network-global — the traffic RNG, the health monitor, recovery
+/// resolution, trace-stream merging, telemetry sampling, and the final
+/// metric reduction.
+fn run_coordinator<S: TraceSink, T: TelemetrySink>(
+    args: CoordinatorArgs<'_, '_, '_, S, T>,
+) -> ChurnReport {
+    let CoordinatorArgs {
+        sim,
+        shards,
+        class_owner,
+        txs,
+        mut inbox,
+        sink,
+        telem,
+        n_nodes,
+        total_cycles,
+        inject_cycles,
+        warmup,
+        window,
+    } = args;
+    let tracing_on = sink.enabled();
+    let telemetry_on = telem.enabled();
+    let mut coord = Shard::new(sim, 0, shards, class_owner, tracing_on, telemetry_on);
+    coord.metrics.nodes = n_nodes;
+    let mut traffic = TrafficGen::with_pattern(
+        sim.config.seed,
+        sim.config.injection_rate,
+        sim.config.pattern,
+    );
+    let mut next_id = 0u64;
+    let ttl = sim.config.effective_ttl();
+
+    let mut monitor = FaultBudgetMonitor::new();
+    if let Some((from, to)) = monitor.update(&sim.gc, &coord.truth) {
+        coord.metrics.health_transitions += 1;
+        telem.health_transition(0, from, to);
+        if tracing_on {
+            sink.record(&TraceEvent {
+                cycle: 0,
+                packet: NETWORK_EVENT_PACKET,
+                node: NodeId(0),
+                kind: TraceEventKind::Health {
+                    state: to,
+                    faults: coord.truth.len() as u64,
+                },
+            });
+        }
+    }
+    let profiling = telemetry_on;
+
+    // Global end-of-cycle class snapshots for telemetry sampling,
+    // assembled from every shard's Round D slices.
+    let mut global_cq: Vec<u64> = vec![0; coord.cmask + 1];
+    let mut global_co: Vec<u64> = vec![0; coord.cmask + 1];
+    let mut inject_reqs: Vec<Vec<InjectReq>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut seen = vec![false; shards];
+    let mut global_in_flight = 0u64;
+    let mut ended_at = total_cycles;
+
+    for cycle in 0..total_cycles {
+        let measuring = cycle >= warmup;
+        let widx = (cycle / window) as usize;
+
+        // Phase 0: shard-local replica step, then the network-global
+        // accounting the workers leave to the coordinator.
+        let phase_started = profiling.then(Instant::now);
+        let start = coord.begin_cycle(cycle);
+        if start.applied > 0 {
+            coord.metrics.fault_events += start.applied as u64;
+            telem.fault_events(start.applied as u64);
+            if let Some((from, to)) = monitor.update(&sim.gc, &coord.truth) {
+                coord.metrics.health_transitions += 1;
+                telem.health_transition(cycle, from, to);
+                if tracing_on {
+                    coord.events.push((
+                        ekey(SUB_HEALTH, 0, 0),
+                        TraceEvent {
+                            cycle,
+                            packet: NETWORK_EVENT_PACKET,
+                            node: NodeId(0),
+                            kind: TraceEventKind::Health {
+                                state: monitor.state(),
+                                faults: coord.truth.len() as u64,
+                            },
+                        },
+                    ));
+                }
+            }
+        }
+        if start.reconverged {
+            coord.metrics.reconvergences += 1;
+            telem.reconvergence();
+        } else if start.stale {
+            coord.metrics.stale_cycles += 1;
+            telem.stale_cycle();
+        }
+        if let Some(t) = phase_started {
+            telem.phase_time(Phase::Reconvergence, t.elapsed().as_nanos() as u64);
+        }
+
+        // Round A: the coordinator alone draws the traffic stream, in
+        // node order, preserving the sequential RNG sequence; owners
+        // plan. Packet ids are preassigned per attempt.
+        let phase_started = profiling.then(Instant::now);
+        if cycle < inject_cycles {
+            for v in 0..n_nodes {
+                let src = NodeId(v);
+                if coord.truth.is_node_faulty(src) || !traffic.fires() {
+                    continue;
+                }
+                let Some(dst) = traffic.pick_dest(&sim.gc, &coord.view, src) else {
+                    coord.metrics.suppressed_injections_total += 1;
+                    if measuring {
+                        coord.metrics.suppressed_injections += 1;
+                    }
+                    continue;
+                };
+                let id = next_id;
+                next_id += 1;
+                inject_reqs[class_owner[v as usize & coord.cmask]].push(InjectReq {
+                    src: v,
+                    dst,
+                    id,
+                });
+            }
+            for (s, tx) in txs.iter().enumerate().skip(1) {
+                let _ = tx.send(Msg::Inject(mem::take(&mut inject_reqs[s])));
+            }
+            let own = mem::take(&mut inject_reqs[0]);
+            coord.inject(cycle, &own);
+        }
+        if let Some(t) = phase_started {
+            telem.phase_time(Phase::Planning, t.elapsed().as_nanos() as u64);
+        }
+
+        // Forward scan + Round B.
+        let phase_started = profiling.then(Instant::now);
+        coord.scan(cycle);
+        let contrib = coord.contrib();
+        for (dest, tx) in txs.iter().enumerate().skip(1) {
+            let _ = tx.send(Msg::Batch(BatchMsg {
+                from: 0,
+                moves: mem::take(&mut coord.out_moves[dest]),
+                contrib,
+                candidates: Vec::new(),
+                events: Vec::new(),
+            }));
+        }
+        coord.queue_self_moves();
+        seen.iter_mut().for_each(|s| *s = false);
+        seen[0] = true;
+        let mut total_contrib = contrib;
+        let mut candidates: Vec<(u32, Packet)> = mem::take(&mut coord.candidates);
+        let mut cycle_events: Vec<(u64, TraceEvent)> = mem::take(&mut coord.events);
+        for _ in 0..shards - 1 {
+            let batch = inbox.recv_batch(&mut seen);
+            total_contrib += batch.contrib;
+            coord.arrivals.extend(batch.moves);
+            candidates.extend(batch.candidates);
+            cycle_events.extend(batch.events);
+        }
+        coord.push_arrivals();
+
+        // Round C: centralized recovery resolution in service order —
+        // the exact sequential interleaving of view discovery, replan,
+        // and drop accounting.
+        let mut verdict_drops = 0u64;
+        if coord.dynamic && !coord.truth.is_empty() {
+            candidates.sort_unstable_by_key(|&(svc, _)| svc);
+            let mut per_shard: Vec<Vec<(u32, Verdict)>> = (0..shards).map(|_| Vec::new()).collect();
+            let mut view_ops: Vec<ViewOp> = Vec::new();
+            let offset = (cycle % n_nodes) as usize;
+            for (svc, pkt) in candidates.drain(..) {
+                let node = ((svc as usize + offset) % n_nodes as usize) as u64;
+                let from = pkt.current();
+                let to = pkt
+                    .next_hop()
+                    .expect("candidates were blocked on a next hop");
+                let dim = (from.0 ^ to.0).trailing_zeros();
+                let op = if coord.truth.is_node_faulty(to) {
+                    ViewOp::Node(to)
+                } else {
+                    ViewOp::Link(LinkId::new(from, dim))
+                };
+                match op {
+                    ViewOp::Node(n) => coord.view.add_node(n),
+                    ViewOp::Link(l) => coord.view.add_link(l),
+                }
+                view_ops.push(op);
+                telem.stale_view();
+                if tracing_on {
+                    cycle_events.push((
+                        ekey(SUB_SCAN, svc as u64, 0),
+                        TraceEvent {
+                            cycle,
+                            packet: pkt.id,
+                            node: from,
+                            kind: TraceEventKind::StaleView { blocked: to },
+                        },
+                    ));
+                }
+                let verdict = if pkt.hops_taken >= ttl {
+                    Err(DropCause::TtlExpired)
+                } else if pkt.reroutes >= sim.config.reroute_budget {
+                    Err(DropCause::Unrecoverable)
+                } else {
+                    let dest = *pkt.route.nodes().last().expect("routes are non-empty");
+                    match sim
+                        .algorithm
+                        .compute_route(&sim.gc, &coord.view, from, dest)
+                    {
+                        Ok(route) => {
+                            telem.reroute();
+                            if tracing_on {
+                                cycle_events.push((
+                                    ekey(SUB_SCAN, svc as u64, 1),
+                                    TraceEvent {
+                                        cycle,
+                                        packet: pkt.id,
+                                        node: from,
+                                        kind: TraceEventKind::Reroute {
+                                            budget_left: sim.config.reroute_budget
+                                                - (pkt.reroutes + 1),
+                                        },
+                                    },
+                                ));
+                            }
+                            Ok(route)
+                        }
+                        Err(_) => Err(DropCause::Unrecoverable),
+                    }
+                };
+                match verdict {
+                    Ok(route) => {
+                        per_shard[class_owner[node as usize & coord.cmask]]
+                            .push((svc, Verdict::Replan(route)));
+                    }
+                    Err(cause) => {
+                        verdict_drops += 1;
+                        // The coordinator accounts every recovery drop,
+                        // wherever the packet lives.
+                        coord.windows[widx].dropped += 1;
+                        coord.metrics.dropped_total += 1;
+                        telem.drop_packet();
+                        if measuring && pkt.injected_at >= warmup {
+                            coord.metrics.dropped += 1;
+                            match cause {
+                                DropCause::TtlExpired => coord.metrics.ttl_expired += 1,
+                                DropCause::Stranded => coord.metrics.dropped_stranded += 1,
+                                DropCause::Unrecoverable => {
+                                    coord.metrics.dropped_unrecoverable += 1;
+                                }
+                            }
+                            if pkt.reroutes > 0 {
+                                coord.metrics.rerouted_packets += 1;
+                            }
+                        }
+                        if tracing_on {
+                            cycle_events.push((
+                                ekey(SUB_SCAN, svc as u64, 1),
+                                TraceEvent {
+                                    cycle,
+                                    packet: pkt.id,
+                                    node: pkt.current(),
+                                    kind: TraceEventKind::Drop { cause },
+                                },
+                            ));
+                        }
+                        per_shard[class_owner[node as usize & coord.cmask]]
+                            .push((svc, Verdict::Drop));
+                    }
+                }
+            }
+            for (s, tx) in txs.iter().enumerate().skip(1) {
+                let _ = tx.send(Msg::Resolution(ResolutionMsg {
+                    verdicts: mem::take(&mut per_shard[s]),
+                    view_ops: view_ops.clone(),
+                    verdict_drops,
+                }));
+            }
+            let own = mem::take(&mut per_shard[0]);
+            coord.apply_verdicts(cycle, own);
+        }
+        global_in_flight = total_contrib - verdict_drops;
+
+        // Merge the cycle's trace streams into the sequential order.
+        if tracing_on {
+            cycle_events.sort_unstable_by_key(|&(key, _)| key);
+            for (_, ev) in cycle_events.drain(..) {
+                sink.record(&ev);
+            }
+            coord.events = cycle_events; // keep the capacity
+        }
+        if let Some(t) = phase_started {
+            telem.phase_time(Phase::Forwarding, t.elapsed().as_nanos() as u64);
+        }
+
+        // Round D: fold in every shard's telemetry delta and class
+        // snapshot, then sample — identical window sums to the
+        // sequential engine's per-event hook calls.
+        if telemetry_on {
+            let sample_started = Instant::now();
+            telem.absorb_shard(&coord.delta);
+            coord.delta.reset();
+            let (lo, hi) = coord.class_range;
+            global_cq[lo..hi].copy_from_slice(&coord.class_queued[lo..hi]);
+            global_co[lo..hi].copy_from_slice(&coord.class_occupied[lo..hi]);
+            seen.iter_mut().for_each(|s| *s = false);
+            seen[0] = true;
+            for _ in 0..shards - 1 {
+                let msg = inbox.recv_telemetry(&mut seen);
+                telem.absorb_shard(&msg.delta);
+                let lo = msg.class_start;
+                global_cq[lo..lo + msg.class_queued.len()].copy_from_slice(&msg.class_queued);
+                global_co[lo..lo + msg.class_occupied.len()].copy_from_slice(&msg.class_occupied);
+            }
+            // All planning is quiescent at this barrier (workers are
+            // blocked until the next cycle's Round A), so the cache
+            // counters are race-free and cycle-exact.
+            let cache = if telem.wants_sample(cycle) {
+                sim.algorithm.cache_stats()
+            } else {
+                None
+            };
+            telem.end_cycle(CycleView {
+                cycle,
+                class_queued: &global_cq,
+                class_occupied: &global_co,
+                in_flight: global_in_flight,
+                health: monitor.state(),
+                live_faults: coord.truth.len() as u64,
+                cache,
+            });
+            telem.phase_time(Phase::Telemetry, sample_started.elapsed().as_nanos() as u64);
+        }
+
+        if cycle >= inject_cycles && global_in_flight == 0 {
+            ended_at = cycle + 1;
+            break;
+        }
+    }
+
+    if telemetry_on {
+        telem.finish(CycleView {
+            cycle: ended_at,
+            class_queued: &global_cq,
+            class_occupied: &global_co,
+            in_flight: global_in_flight,
+            health: monitor.state(),
+            live_faults: coord.truth.len() as u64,
+            cache: sim.algorithm.cache_stats(),
+        });
+    }
+
+    // Reduce: the workers' whole-run metrics and windows fold into the
+    // coordinator's — all additive counters, so the merged totals equal
+    // the sequential engine's.
+    let mut metrics = coord.metrics;
+    let mut windows = coord.windows;
+    for _ in 0..shards - 1 {
+        let fin = inbox.recv_final();
+        metrics.absorb(&fin.metrics);
+        merge_windows(&mut windows, &fin.windows);
+    }
+    metrics.cycles = ended_at - warmup;
+    metrics.in_flight_at_end = global_in_flight;
+    windows.truncate((ended_at as usize).div_ceil(window as usize));
+    if let Some(last) = windows.last_mut() {
+        last.end = last.end.min(ended_at);
+    }
+    ChurnReport {
+        metrics,
+        windows,
+        trace: coord.injector.trace().to_vec(),
+        budget: fault_budget(&sim.gc, &coord.truth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KnowledgeModel, SimConfig};
+    use crate::injection::{CategoryMix, FaultKind, FaultSchedule};
+    use crate::strategy::{CachedFtgcr, FaultFreeGcr, FaultTolerantGcr};
+    use crate::telemetry::TelemetryCollector;
+    use crate::trace::MemorySink;
+
+    #[test]
+    fn class_ranges_cover_contiguously() {
+        for (nc, t) in [(4usize, 2usize), (4, 3), (16, 7), (8, 8), (2, 2)] {
+            let ranges = class_ranges(nc, t);
+            assert_eq!(ranges.len(), t);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges[t - 1].1, nc);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                assert!(w[0].1 > w[0].0, "every shard owns at least one class");
+            }
+        }
+    }
+
+    fn churn_config() -> SimConfig {
+        SimConfig::new(6, 2)
+            .with_cycles(300, 3_000, 40)
+            .with_rate(0.08)
+            .with_knowledge(KnowledgeModel::PaperDelay)
+            .with_reroute_budget(2)
+            .with_schedule(FaultSchedule::Bernoulli {
+                rate: 0.02,
+                kind: FaultKind::Transient { repair_after: 60 },
+                mix: CategoryMix::default(),
+                node_fraction: 0.7,
+            })
+    }
+
+    #[test]
+    fn sharded_matches_sequential_static() {
+        let sim = Simulator::new(
+            SimConfig::new(6, 2)
+                .with_cycles(200, 2_000, 20)
+                .with_rate(0.05),
+            &FaultFreeGcr,
+        );
+        let seq = sim.session().run();
+        for threads in [2, 4] {
+            let par = sim.session().threads(threads).run();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_under_churn_with_observers() {
+        let sim = Simulator::new(churn_config(), &FaultTolerantGcr);
+        let mut seq_sink = MemorySink::new();
+        let mut seq_tel = TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+        let seq = sim
+            .session()
+            .trace(&mut seq_sink)
+            .telemetry(&mut seq_tel)
+            .run();
+        assert!(seq.metrics.fault_events > 0, "churn must fire");
+        for threads in [2, 3, 4] {
+            let mut par_sink = MemorySink::new();
+            let mut par_tel = TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+            let par = sim
+                .session()
+                .threads(threads)
+                .trace(&mut par_sink)
+                .telemetry(&mut par_tel)
+                .run();
+            assert_eq!(seq, par, "report mismatch at threads={threads}");
+            assert_eq!(
+                seq_sink.events(),
+                par_sink.events(),
+                "trace mismatch at threads={threads}"
+            );
+            assert_eq!(
+                seq_tel.to_csv(),
+                par_tel.to_csv(),
+                "telemetry mismatch at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_with_plan_cache() {
+        let cached_a = CachedFtgcr::new();
+        let sim = Simulator::new(churn_config().with_faults(2), &cached_a);
+        let seq = sim.session().run();
+        let cached_b = CachedFtgcr::new();
+        let sim2 = Simulator::new(churn_config().with_faults(2), &cached_b);
+        let par = sim2.session().threads(4).run();
+        assert_eq!(seq, par, "cached strategy must shard deterministically");
+    }
+}

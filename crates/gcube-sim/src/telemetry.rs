@@ -49,8 +49,6 @@ use gcube_routing::faults::{health_state, FaultBudget, HealthState};
 use gcube_routing::{CacheStats, FaultSet};
 use gcube_topology::GaussianCube;
 
-use crate::packet::Packet;
-
 /// Number of [`Phase`] variants (size of per-phase accumulator arrays).
 pub const NUM_PHASES: usize = 4;
 
@@ -93,8 +91,12 @@ pub struct CycleView<'a> {
     /// The cycle just completed (for [`TelemetrySink::finish`]: the cycle
     /// the run ended at).
     pub cycle: u64,
-    /// Per-node FIFO queues, indexed by node id.
-    pub queues: &'a [VecDeque<Packet>],
+    /// Packets queued per ending class `EC(k)`, indexed by class. The
+    /// engine maintains these incrementally on every queue push/pop, so
+    /// exposing them is O(2^α) per sample — never a scan over the nodes.
+    pub class_queued: &'a [u64],
+    /// Nodes per ending class with a non-empty queue, indexed by class.
+    pub class_occupied: &'a [u64],
     /// Packets currently in flight.
     pub in_flight: u64,
     /// The fault-budget monitor's current classification.
@@ -173,6 +175,12 @@ pub trait TelemetrySink {
     #[inline]
     fn phase_time(&mut self, _phase: Phase, _nanos: u64) {}
 
+    /// Fold in a worker shard's per-cycle delta (sharded runs only; the
+    /// coordinator absorbs every worker's delta before `end_cycle`, so
+    /// window sums are identical to the sequential engine's).
+    #[inline]
+    fn absorb_shard(&mut self, _delta: &ShardTelemetry) {}
+
     /// A cycle completed; `view` describes the network at its end.
     #[inline]
     fn end_cycle(&mut self, _view: CycleView<'_>) {}
@@ -192,6 +200,112 @@ impl TelemetrySink for NullTelemetry {
     #[inline]
     fn enabled(&self) -> bool {
         false
+    }
+}
+
+/// A worker shard's telemetry counters for one cycle, shipped to the
+/// coordinator at the cycle's telemetry barrier and folded in via
+/// [`TelemetrySink::absorb_shard`]. Carries exactly the counters workers
+/// account locally in a sharded run; everything else (reroutes, stale
+/// views, fault events, health) is coordinator-owned and reaches the sink
+/// through the ordinary hooks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Link traversals per dimension this cycle.
+    pub dim_hops: Vec<u64>,
+    /// Packets injected by this shard's nodes this cycle.
+    pub injected: u64,
+    /// Packets delivered to this shard's nodes this cycle.
+    pub delivered: u64,
+    /// Packets this shard dropped this cycle (stranding and TTL; recovery
+    /// drops are resolved — and accounted — by the coordinator).
+    pub dropped: u64,
+}
+
+impl ShardTelemetry {
+    /// A zeroed delta for an `n_dims`-dimensional cube.
+    pub fn new(n_dims: usize) -> ShardTelemetry {
+        ShardTelemetry {
+            dim_hops: vec![0; n_dims],
+            ..ShardTelemetry::default()
+        }
+    }
+
+    /// Zero every counter for the next cycle.
+    pub fn reset(&mut self) {
+        self.dim_hops.iter_mut().for_each(|h| *h = 0);
+        self.injected = 0;
+        self.delivered = 0;
+        self.dropped = 0;
+    }
+}
+
+/// Forwarding impl so the engine internals can borrow a caller-owned sink
+/// (`SimSession` holds `&mut` sinks across the sequential/sharded split).
+impl<T: TelemetrySink + ?Sized> TelemetrySink for &mut T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn wants_sample(&self, cycle: u64) -> bool {
+        (**self).wants_sample(cycle)
+    }
+    #[inline]
+    fn hop(&mut self, dim: u32) {
+        (**self).hop(dim)
+    }
+    #[inline]
+    fn inject(&mut self) {
+        (**self).inject()
+    }
+    #[inline]
+    fn deliver(&mut self) {
+        (**self).deliver()
+    }
+    #[inline]
+    fn drop_packet(&mut self) {
+        (**self).drop_packet()
+    }
+    #[inline]
+    fn reroute(&mut self) {
+        (**self).reroute()
+    }
+    #[inline]
+    fn stale_view(&mut self) {
+        (**self).stale_view()
+    }
+    #[inline]
+    fn stale_cycle(&mut self) {
+        (**self).stale_cycle()
+    }
+    #[inline]
+    fn fault_events(&mut self, applied: u64) {
+        (**self).fault_events(applied)
+    }
+    #[inline]
+    fn reconvergence(&mut self) {
+        (**self).reconvergence()
+    }
+    #[inline]
+    fn health_transition(&mut self, cycle: u64, from: HealthState, to: HealthState) {
+        (**self).health_transition(cycle, from, to)
+    }
+    #[inline]
+    fn phase_time(&mut self, phase: Phase, nanos: u64) {
+        (**self).phase_time(phase, nanos)
+    }
+    #[inline]
+    fn absorb_shard(&mut self, delta: &ShardTelemetry) {
+        (**self).absorb_shard(delta)
+    }
+    #[inline]
+    fn end_cycle(&mut self, view: CycleView<'_>) {
+        (**self).end_cycle(view)
+    }
+    #[inline]
+    fn finish(&mut self, view: CycleView<'_>) {
+        (**self).finish(view)
     }
 }
 
@@ -336,7 +450,6 @@ pub const DEFAULT_RING_CAPACITY: usize = 4096;
 pub struct TelemetryCollector {
     n_dims: usize,
     num_classes: usize,
-    class_mask: u64,
     interval: u64,
     capacity: usize,
     samples: VecDeque<TelemetrySample>,
@@ -375,7 +488,6 @@ impl TelemetryCollector {
         TelemetryCollector {
             n_dims,
             num_classes,
-            class_mask: (num_classes as u64) - 1,
             interval: interval.max(1),
             capacity: capacity.max(1),
             samples: VecDeque::new(),
@@ -465,16 +577,9 @@ impl TelemetryCollector {
     }
 
     fn close_window(&mut self, view: &CycleView<'_>, end: u64) {
-        let mut class_queued = vec![0u64; self.num_classes];
-        let mut class_occupied = vec![0u64; self.num_classes];
-        for (v, queue) in view.queues.iter().enumerate() {
-            if queue.is_empty() {
-                continue;
-            }
-            let k = (v as u64 & self.class_mask) as usize;
-            class_queued[k] += queue.len() as u64;
-            class_occupied[k] += 1;
-        }
+        debug_assert_eq!(view.class_queued.len(), self.num_classes);
+        let class_queued = view.class_queued.to_vec();
+        let class_occupied = view.class_occupied.to_vec();
         let cache = view.cache.map(|now| {
             let delta = CacheStats {
                 hits: now.hits - self.last_cache.hits,
@@ -799,6 +904,19 @@ impl TelemetrySink for TelemetryCollector {
         self.phase_nanos[phase as usize] += nanos;
     }
 
+    fn absorb_shard(&mut self, delta: &ShardTelemetry) {
+        for (d, &h) in delta.dim_hops.iter().enumerate() {
+            self.acc.dim_hops[d] += h;
+            self.dim_hops_total[d] += h;
+        }
+        self.acc.injected += delta.injected;
+        self.injected_total += delta.injected;
+        self.acc.delivered += delta.delivered;
+        self.delivered_total += delta.delivered;
+        self.acc.dropped += delta.dropped;
+        self.dropped_total += delta.dropped;
+    }
+
     fn end_cycle(&mut self, view: CycleView<'_>) {
         if self.wants_sample(view.cycle) {
             self.close_window(&view, view.cycle + 1);
@@ -818,17 +936,25 @@ impl TelemetrySink for TelemetryCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcube_topology::Topology;
 
     fn gc() -> GaussianCube {
         GaussianCube::new(6, 4).unwrap() // α = 2: 4 ending classes
     }
 
-    fn view<'a>(cycle: u64, queues: &'a [VecDeque<Packet>], health: HealthState) -> CycleView<'a> {
+    /// Class-aggregate slices for a quiet network (all 4 classes empty).
+    const IDLE: [u64; 4] = [0; 4];
+
+    fn view<'a>(
+        cycle: u64,
+        class_queued: &'a [u64],
+        class_occupied: &'a [u64],
+        health: HealthState,
+    ) -> CycleView<'a> {
         CycleView {
             cycle,
-            queues,
-            in_flight: queues.iter().map(|q| q.len() as u64).sum(),
+            class_queued,
+            class_occupied,
+            in_flight: class_queued.iter().sum(),
             health,
             live_faults: 0,
             cache: None,
@@ -838,18 +964,17 @@ mod tests {
     #[test]
     fn windows_close_on_interval_and_accumulate() {
         let g = gc();
-        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
         let mut c = TelemetryCollector::new(&g, 10);
         for cycle in 0..25u64 {
             c.hop(0);
             c.hop(3);
             c.inject();
             assert_eq!(c.wants_sample(cycle), (cycle + 1) % 10 == 0);
-            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+            c.end_cycle(view(cycle, &IDLE, &IDLE, HealthState::Healthy));
         }
         // Two full windows closed; 5 cycles pending.
         assert_eq!(c.len(), 2);
-        c.finish(view(25, &queues, HealthState::Healthy));
+        c.finish(view(25, &IDLE, &IDLE, HealthState::Healthy));
         assert_eq!(c.len(), 3, "finish must close the partial window");
         let s: Vec<&TelemetrySample> = c.samples().collect();
         assert_eq!((s[0].start, s[0].end), (0, 10));
@@ -872,24 +997,22 @@ mod tests {
     #[test]
     fn finish_without_pending_cycles_adds_no_window() {
         let g = gc();
-        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
         let mut c = TelemetryCollector::new(&g, 10);
         for cycle in 0..10u64 {
-            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+            c.end_cycle(view(cycle, &IDLE, &IDLE, HealthState::Healthy));
         }
         assert_eq!(c.len(), 1);
-        c.finish(view(10, &queues, HealthState::Healthy));
+        c.finish(view(10, &IDLE, &IDLE, HealthState::Healthy));
         assert_eq!(c.len(), 1, "exactly one full window, no empty tail");
     }
 
     #[test]
     fn ring_evicts_oldest_but_totals_survive() {
         let g = gc();
-        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
         let mut c = TelemetryCollector::with_capacity(&g, 1, 4);
         for cycle in 0..10u64 {
             c.hop(1);
-            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+            c.end_cycle(view(cycle, &IDLE, &IDLE, HealthState::Healthy));
         }
         assert_eq!(c.len(), 4);
         assert_eq!(c.evicted(), 6);
@@ -898,18 +1021,20 @@ mod tests {
     }
 
     #[test]
-    fn class_occupancy_uses_ending_classes() {
+    fn class_occupancy_snapshots_the_view() {
         let g = gc();
-        let mut queues: Vec<VecDeque<Packet>> =
-            (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
-        // Nodes 1 and 5 are both EC(1) under α = 2; node 6 is EC(2).
-        let route = gcube_routing::Route::new(vec![gcube_topology::NodeId(0)]);
-        queues[1].push_back(Packet::new(0, 0, route.clone()));
-        queues[1].push_back(Packet::new(1, 0, route.clone()));
-        queues[5].push_back(Packet::new(2, 0, route.clone()));
-        queues[6].push_back(Packet::new(3, 0, route));
+        // The engine's incremental aggregates for: nodes 1 and 5 (both
+        // EC(1) under α = 2) holding 2 + 1 packets, node 6 (EC(2))
+        // holding 1.
+        let class_queued = [0u64, 3, 1, 0];
+        let class_occupied = [0u64, 2, 1, 0];
         let mut c = TelemetryCollector::new(&g, 1);
-        c.end_cycle(view(0, &queues, HealthState::Healthy));
+        c.end_cycle(view(
+            0,
+            &class_queued,
+            &class_occupied,
+            HealthState::Healthy,
+        ));
         let s = c.samples().next().unwrap();
         assert_eq!(s.class_queued, vec![0, 3, 1, 0]);
         assert_eq!(s.class_occupied, vec![0, 2, 1, 0]);
@@ -917,13 +1042,46 @@ mod tests {
     }
 
     #[test]
+    fn absorb_shard_matches_individual_hooks() {
+        let g = gc();
+        let mut merged = TelemetryCollector::new(&g, 1);
+        let mut direct = TelemetryCollector::new(&g, 1);
+        let mut delta = ShardTelemetry::new(g.n() as usize);
+        delta.dim_hops[0] = 2;
+        delta.dim_hops[4] = 1;
+        delta.injected = 3;
+        delta.delivered = 2;
+        delta.dropped = 1;
+        merged.absorb_shard(&delta);
+        for _ in 0..2 {
+            direct.hop(0);
+        }
+        direct.hop(4);
+        for _ in 0..3 {
+            direct.inject();
+        }
+        for _ in 0..2 {
+            direct.deliver();
+        }
+        direct.drop_packet();
+        for c in [&mut merged, &mut direct] {
+            c.end_cycle(view(0, &IDLE, &IDLE, HealthState::Healthy));
+        }
+        assert_eq!(
+            merged.samples().next().unwrap(),
+            direct.samples().next().unwrap()
+        );
+        assert_eq!(merged.packet_totals(), (3, 2, 1));
+        assert_eq!(merged.forwarded_hops_total(), 3);
+    }
+
+    #[test]
     fn csv_and_jsonl_have_one_line_per_sample() {
         let g = gc();
-        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
         let mut c = TelemetryCollector::new(&g, 5);
         for cycle in 0..20u64 {
             c.hop((cycle % 6) as u32);
-            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+            c.end_cycle(view(cycle, &IDLE, &IDLE, HealthState::Healthy));
         }
         let csv = c.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
@@ -944,11 +1102,11 @@ mod tests {
     #[test]
     fn cache_deltas_are_per_window() {
         let g = gc();
-        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
         let mut c = TelemetryCollector::new(&g, 1);
         let mk = |cycle: u64, cache: CacheStats| CycleView {
             cycle,
-            queues: &queues,
+            class_queued: &IDLE,
+            class_occupied: &IDLE,
             in_flight: 0,
             health: HealthState::Healthy,
             live_faults: 0,
@@ -1027,15 +1185,14 @@ mod tests {
     #[test]
     fn health_report_renders() {
         let g = gc();
-        let queues: Vec<VecDeque<Packet>> = (0..g.num_nodes()).map(|_| VecDeque::new()).collect();
         let mut c = TelemetryCollector::new(&g, 10);
         for cycle in 0..30u64 {
             c.hop(2);
-            c.end_cycle(view(cycle, &queues, HealthState::Healthy));
+            c.end_cycle(view(cycle, &IDLE, &IDLE, HealthState::Healthy));
         }
         c.health_transition(7, HealthState::Healthy, HealthState::Degraded);
         c.phase_time(Phase::Forwarding, 12_345);
-        c.finish(view(30, &queues, HealthState::Degraded));
+        c.finish(view(30, &IDLE, &IDLE, HealthState::Degraded));
         let budget = gcube_routing::fault_budget(&g, &FaultSet::new());
         let report = c.health_report(&budget);
         assert!(report.contains("network health report"));

@@ -18,10 +18,12 @@
 //!
 //! # Determinism
 //!
-//! The engine is single-threaded and seeded, so the event stream is a
-//! pure function of [`crate::config::SimConfig`] and the routing
-//! algorithm. [`crate::replay`] re-executes a recorded run and asserts
-//! event-for-event equality — a standing determinism check.
+//! The engine is seeded and lockstep-synchronised, so the event stream is
+//! a pure function of [`crate::config::SimConfig`] and the routing
+//! algorithm — for *any* thread count: the sharded engine merges
+//! per-shard events back into the exact sequential order before they
+//! reach the sink. [`crate::replay`] re-executes a recorded run and
+//! asserts event-for-event equality — a standing determinism check.
 
 use std::fmt;
 use std::io::{self, Write};
@@ -196,6 +198,21 @@ pub trait TraceSink {
 
     /// Record one event. Called in deterministic engine order.
     fn record(&mut self, event: &TraceEvent);
+}
+
+/// Mutable references are sinks too: this is what lets
+/// [`crate::SimSession::trace`] borrow a caller-owned sink (`&mut sink`)
+/// while the session stores its sink by value.
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, event: &TraceEvent) {
+        (**self).record(event)
+    }
 }
 
 /// The tracing-off sink: `enabled()` is a constant `false`, so the

@@ -84,9 +84,9 @@ proptest! {
     fn packets_are_conserved(cfg in arb_config()) {
         let uses_ftgcr = cfg.faulty_nodes > 0 || !cfg.schedule.is_none();
         let r = if uses_ftgcr {
-            Simulator::new(cfg, &gcube_sim::CachedFtgcr::new()).run_report()
+            Simulator::new(cfg, &gcube_sim::CachedFtgcr::new()).session().run()
         } else {
-            Simulator::new(cfg, &gcube_sim::CachedFfgcr::new()).run_report()
+            Simulator::new(cfg, &gcube_sim::CachedFfgcr::new()).session().run()
         };
         let m = r.metrics;
 

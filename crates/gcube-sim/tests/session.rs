@@ -1,0 +1,237 @@
+//! The `SimSession` front door: builder composition, legacy-wrapper
+//! delegation, thread resolution, and — the headline guarantee — bitwise
+//! sequential/sharded equivalence for arbitrary configurations.
+
+use proptest::prelude::*;
+
+use gcube_sim::{
+    effective_shards, resolve_threads, CategoryMix, FaultKind, FaultSchedule, KnowledgeModel,
+    MemorySink, SimConfig, SimError, Simulator, TelemetryCollector,
+};
+
+fn churn_config() -> SimConfig {
+    SimConfig::new(6, 2)
+        .with_cycles(300, 3_000, 40)
+        .with_rate(0.08)
+        .with_knowledge(KnowledgeModel::PaperDelay)
+        .with_reroute_budget(2)
+        .with_schedule(FaultSchedule::Bernoulli {
+            rate: 0.02,
+            kind: FaultKind::Transient { repair_after: 60 },
+            mix: CategoryMix::default(),
+            node_fraction: 0.7,
+        })
+}
+
+#[test]
+fn builder_composes_every_observer_combination() {
+    let sim = Simulator::new(churn_config(), &gcube_sim::FaultTolerantGcr);
+    let bare = sim.session().run();
+
+    let mut sink = MemorySink::new();
+    let traced = sim.session().trace(&mut sink).run();
+    assert_eq!(bare, traced, "a trace sink must never steer the engine");
+    assert!(!sink.events().is_empty());
+
+    let mut telem = TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+    let mut sink2 = MemorySink::new();
+    let instrumented = sim.session().trace(&mut sink2).telemetry(&mut telem).run();
+    assert_eq!(bare, instrumented, "observers must never steer the engine");
+    assert!(telem.samples().count() > 0);
+    assert_eq!(sink.events(), sink2.events());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_delegate_to_the_session() {
+    let sim = Simulator::new(churn_config(), &gcube_sim::FaultTolerantGcr);
+    let report = sim.session().run();
+
+    assert_eq!(sim.run(), report.metrics);
+    assert_eq!(sim.run_report(), report);
+
+    let mut a = MemorySink::new();
+    let mut b = MemorySink::new();
+    assert_eq!(sim.run_traced(&mut a), report);
+    assert_eq!(
+        sim.session().trace(&mut b).run(),
+        report,
+        "wrapper and session must agree"
+    );
+    assert_eq!(a.events(), b.events());
+
+    let mut c = MemorySink::new();
+    let mut telem = TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+    assert_eq!(sim.run_instrumented(&mut c, &mut telem), report);
+    assert_eq!(a.events(), c.events());
+}
+
+#[test]
+fn threads_zero_resolves_to_available_parallelism() {
+    assert!(resolve_threads(0) >= 1);
+    assert_eq!(resolve_threads(3), 3);
+    let sim = Simulator::new(
+        SimConfig::new(6, 2)
+            .with_cycles(100, 1_000, 0)
+            .with_rate(0.03),
+        &gcube_sim::FaultFreeGcr,
+    );
+    // Whatever 0 resolves to, the result is the sequential one.
+    assert_eq!(sim.session().threads(0).run(), sim.session().run());
+}
+
+#[test]
+fn effective_shards_cap_at_the_ending_classes() {
+    let sim = Simulator::new(SimConfig::new(6, 4), &gcube_sim::FaultFreeGcr);
+    assert_eq!(effective_shards(sim.cube(), 1), 1);
+    assert_eq!(effective_shards(sim.cube(), 3), 3);
+    assert_eq!(effective_shards(sim.cube(), 64), 4, "capped at 2^α");
+    let flat = Simulator::new(SimConfig::new(6, 1), &gcube_sim::FaultFreeGcr);
+    assert_eq!(
+        effective_shards(flat.cube(), 8),
+        1,
+        "one ending class means the sequential engine"
+    );
+}
+
+#[test]
+fn finite_buffers_refuse_sharded_runs() {
+    let cfg = SimConfig::new(6, 2)
+        .with_cycles(100, 1_000, 0)
+        .with_rate(0.02)
+        .with_buffer_capacity(4);
+    let sim = Simulator::new(cfg, &gcube_sim::FaultFreeGcr);
+    match sim.session().threads(4).try_run() {
+        Err(SimError::FiniteBuffersRequireSingleThread) => {}
+        other => panic!("expected a finite-buffer refusal, got {other:?}"),
+    }
+    // Single-threaded finite buffers still run.
+    assert!(sim.session().threads(1).try_run().is_ok());
+}
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::Permanent),
+        (20u64..150).prop_map(|repair_after| FaultKind::Transient { repair_after }),
+        (10u64..40, 60u64..150)
+            .prop_map(|(down_for, period)| FaultKind::Intermittent { down_for, period }),
+    ]
+}
+
+fn arb_schedule() -> impl Strategy<Value = FaultSchedule> {
+    prop_oneof![
+        Just(FaultSchedule::None),
+        (0.005f64..0.05, arb_kind(), 0.0f64..=1.0).prop_map(|(rate, kind, node_fraction)| {
+            FaultSchedule::Bernoulli {
+                rate,
+                kind,
+                mix: CategoryMix::default(),
+                node_fraction,
+            }
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        5u32..=7,                         // n
+        prop_oneof![Just(2u64), Just(4)], // modulus (>1 so sharding engages)
+        0.005f64..0.08,                   // rate
+        80u64..250,                       // inject cycles
+        0u64..60,                         // warmup
+        any::<u64>(),                     // seed
+        0usize..2,                        // static faults
+        arb_schedule(),
+        prop_oneof![
+            Just(KnowledgeModel::Oracle),
+            Just(KnowledgeModel::PaperDelay),
+            Just(KnowledgeModel::Measured),
+        ],
+        prop_oneof![Just(None), (2u64..50).prop_map(Some)], // ttl
+        0u32..5,                                            // reroute budget
+    )
+        .prop_map(
+            |(n, m, rate, inject, warmup, seed, faults, schedule, knowledge, ttl, budget)| {
+                let mut cfg = SimConfig::new(n, m)
+                    .with_cycles(inject, inject * 20, warmup)
+                    .with_rate(rate)
+                    .with_seed(seed)
+                    .with_faults(faults)
+                    .with_schedule(schedule)
+                    .with_knowledge(knowledge)
+                    .with_reroute_budget(budget)
+                    .with_window(100)
+                    .with_telemetry_interval(50);
+                if let Some(t) = ttl {
+                    cfg = cfg.with_ttl(t);
+                }
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: for any shape, seed, and churn schedule,
+    /// every thread count produces the identical `ChurnReport`, the
+    /// identical trace stream, the identical telemetry exports, and a
+    /// balanced conservation ledger.
+    #[test]
+    fn sharded_runs_are_bitwise_sequential(cfg in arb_config()) {
+        let uses_ftgcr = cfg.faulty_nodes > 0 || !cfg.schedule.is_none();
+        // One fresh algorithm instance per run: plan-cache hit/miss
+        // counters are cumulative for the cache's lifetime, so a shared
+        // warm cache would (correctly) report different telemetry for the
+        // second run regardless of the engine used.
+        let run_with = |threads: usize| {
+            let alg_ft = gcube_sim::CachedFtgcr::new();
+            let alg_ff = gcube_sim::CachedFfgcr::new();
+            let alg: &dyn gcube_sim::RoutingAlgorithm =
+                if uses_ftgcr { &alg_ft } else { &alg_ff };
+            let sim = Simulator::new(cfg.clone(), alg);
+            let mut sink = MemorySink::new();
+            let mut tel =
+                TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+            let report = sim
+                .session()
+                .threads(threads)
+                .trace(&mut sink)
+                .telemetry(&mut tel)
+                .run();
+            (report, sink, tel)
+        };
+
+        let (seq, seq_sink, seq_tel) = run_with(1);
+
+        let m = &seq.metrics;
+        prop_assert_eq!(
+            m.injected_total,
+            m.delivered_total + m.dropped_total + m.in_flight_at_end,
+            "sequential ledger must balance"
+        );
+
+        for threads in [2usize, 4, 7] {
+            let (par, par_sink, par_tel) = run_with(threads);
+            prop_assert_eq!(&seq, &par, "ChurnReport diverged at threads={}", threads);
+            prop_assert_eq!(
+                seq_sink.events(),
+                par_sink.events(),
+                "trace stream diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(
+                seq_tel.to_csv(),
+                par_tel.to_csv(),
+                "telemetry CSV diverged at threads={}",
+                threads
+            );
+            prop_assert_eq!(
+                seq_tel.to_jsonl(),
+                par_tel.to_jsonl(),
+                "telemetry JSONL diverged at threads={}",
+                threads
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@ use gcube_routing::faults::{theorem3_precondition_paper, HealthState};
 use gcube_sim::telemetry::TelemetryCollector;
 use gcube_sim::{
     verify_replay, CachedFtgcr, CategoryMix, FaultKind, FaultSchedule, FaultTarget, KnowledgeModel,
-    MemorySink, NullSink, SimConfig, Simulator, TimedFault, TraceEventKind,
+    MemorySink, SimConfig, Simulator, TimedFault, TraceEventKind,
 };
 use gcube_topology::{GaussianCube, LinkId, NodeId};
 
@@ -38,7 +38,7 @@ fn telemetry_reconciles_with_the_metrics_ledger() {
     let alg = CachedFtgcr::new();
     let sim = Simulator::new(churn_config(), &alg);
     let mut telem = TelemetryCollector::new(sim.cube(), 50);
-    let report = sim.run_instrumented(&mut NullSink, &mut telem);
+    let report = sim.session().telemetry(&mut telem).run();
     let m = report.metrics;
 
     assert!(m.forwarded_hops_total > 0, "workload must forward packets");
@@ -79,10 +79,10 @@ fn telemetry_reconciles_with_the_metrics_ledger() {
 #[test]
 fn telemetry_does_not_perturb_the_run() {
     let alg = CachedFtgcr::new();
-    let bare = Simulator::new(churn_config(), &alg).run_report();
+    let bare = Simulator::new(churn_config(), &alg).session().run();
     let sim = Simulator::new(churn_config(), &alg);
     let mut telem = TelemetryCollector::new(sim.cube(), 50);
-    let observed = sim.run_instrumented(&mut NullSink, &mut telem);
+    let observed = sim.session().telemetry(&mut telem).run();
     assert_eq!(bare, observed);
 }
 
@@ -113,7 +113,7 @@ fn bound_exceeded_iff_theorem3_precondition_fails() {
         }]));
         let alg = CachedFtgcr::new();
         let mut sink = MemorySink::new();
-        let report = Simulator::new(cfg, &alg).run_traced(&mut sink);
+        let report = Simulator::new(cfg, &alg).session().trace(&mut sink).run();
         // The iff, against the checker itself on the final fault set.
         assert_eq!(
             report.budget.state == HealthState::BoundExceeded,
@@ -147,7 +147,7 @@ fn initial_faults_classify_at_cycle_zero_and_replay() {
     };
     let alg = CachedFtgcr::new();
     let mut sink = MemorySink::new();
-    let report = Simulator::new(cfg(), &alg).run_traced(&mut sink);
+    let report = Simulator::new(cfg(), &alg).session().trace(&mut sink).run();
     let first = sink.events().first().expect("events recorded");
     assert!(
         matches!(
@@ -183,7 +183,7 @@ fn transient_fault_recovers_to_healthy() {
     let alg = CachedFtgcr::new();
     let sim = Simulator::new(cfg, &alg);
     let mut telem = TelemetryCollector::new(sim.cube(), 100);
-    let report = sim.run_instrumented(&mut NullSink, &mut telem);
+    let report = sim.session().telemetry(&mut telem).run();
     assert_eq!(report.budget.state, HealthState::Healthy);
     assert_eq!(report.budget.total, 0);
     let t = telem.transitions();
@@ -206,7 +206,7 @@ fn telemetry_exports_are_deterministic() {
         let alg = CachedFtgcr::new();
         let sim = Simulator::new(churn_config(), &alg);
         let mut telem = TelemetryCollector::new(sim.cube(), 50);
-        sim.run_instrumented(&mut NullSink, &mut telem);
+        sim.session().telemetry(&mut telem).run();
         (telem.to_csv(), telem.to_jsonl())
     };
     let (csv_a, jsonl_a) = run();
@@ -222,7 +222,7 @@ fn health_report_reflects_the_run() {
     let alg = CachedFtgcr::new();
     let sim = Simulator::new(churn_config(), &alg);
     let mut telem = TelemetryCollector::new(sim.cube(), 50);
-    let report = sim.run_instrumented(&mut NullSink, &mut telem);
+    let report = sim.session().telemetry(&mut telem).run();
     let text = telem.health_report(&report.budget);
     assert!(text.contains("network health report"));
     assert!(text.contains(&format!("injected {}", report.metrics.injected_total)));
@@ -266,7 +266,7 @@ mod properties {
             let alg = CachedFtgcr::new();
             let sim = Simulator::new(cfg, &alg);
             let mut telem = TelemetryCollector::new(sim.cube(), 40);
-            let report = sim.run_instrumented(&mut NullSink, &mut telem);
+            let report = sim.session().telemetry(&mut telem).run();
             let per_dim: u64 = telem.dim_hops_total().iter().sum();
             prop_assert_eq!(per_dim, telem.forwarded_hops_total());
             prop_assert_eq!(per_dim, report.metrics.forwarded_hops_total);

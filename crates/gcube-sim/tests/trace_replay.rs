@@ -28,9 +28,12 @@ fn churn_config() -> SimConfig {
 #[test]
 fn tracing_does_not_perturb_the_run() {
     let alg = CachedFtgcr::new();
-    let untraced = Simulator::new(churn_config(), &alg).run_report();
+    let untraced = Simulator::new(churn_config(), &alg).session().run();
     let mut sink = MemorySink::new();
-    let traced = Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    let traced = Simulator::new(churn_config(), &alg)
+        .session()
+        .trace(&mut sink)
+        .run();
     assert_eq!(untraced.metrics, traced.metrics);
     assert_eq!(untraced.windows, traced.windows);
     assert!(!sink.events().is_empty());
@@ -40,7 +43,10 @@ fn tracing_does_not_perturb_the_run() {
 fn trace_reconciles_with_ledger() {
     let alg = CachedFtgcr::new();
     let mut sink = MemorySink::new();
-    let report = Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    let report = Simulator::new(churn_config(), &alg)
+        .session()
+        .trace(&mut sink)
+        .run();
     let m = report.metrics;
     let count = |pred: &dyn Fn(&TraceEventKind) -> bool| -> u64 {
         sink.events().iter().filter(|e| pred(&e.kind)).count() as u64
@@ -71,7 +77,10 @@ fn trace_reconciles_with_ledger() {
 fn recorded_churn_run_replays_event_for_event() {
     let alg = CachedFtgcr::new();
     let mut sink = MemorySink::new();
-    Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    Simulator::new(churn_config(), &alg)
+        .session()
+        .trace(&mut sink)
+        .run();
     let events = sink.into_events();
     // A fresh algorithm instance (empty route cache) must still replay
     // identically — caching is an optimisation, not a semantic.
@@ -83,7 +92,10 @@ fn recorded_churn_run_replays_event_for_event() {
 fn replay_detects_tampering() {
     let alg = CachedFtgcr::new();
     let mut sink = MemorySink::new();
-    Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    Simulator::new(churn_config(), &alg)
+        .session()
+        .trace(&mut sink)
+        .run();
     let mut events = sink.into_events();
 
     // Tampered event value.
@@ -114,7 +126,10 @@ fn replay_detects_tampering() {
 fn jsonl_export_round_trips_a_real_run() {
     let alg = CachedFtgcr::new();
     let mut sink = MemorySink::new();
-    Simulator::new(churn_config(), &alg).run_traced(&mut sink);
+    Simulator::new(churn_config(), &alg)
+        .session()
+        .trace(&mut sink)
+        .run();
     let text = trace::to_jsonl(sink.events());
     let parsed = parse_jsonl(&text).unwrap();
     assert_eq!(parsed.as_slice(), sink.events());

@@ -20,7 +20,7 @@ fn main() {
         let cfg = SimConfig::new(n, m)
             .with_cycles(400, 5_000, 50)
             .with_rate(0.005);
-        let metrics = Simulator::new(cfg, &FaultFreeGcr).run();
+        let metrics = Simulator::new(cfg, &FaultFreeGcr).session().run().metrics;
         println!(
             "{:>3} {:>3} {:>7} {:>12.3} {:>12.3} {:>11.4} {:>10}",
             n,
@@ -48,7 +48,7 @@ fn main() {
             .with_faults(1);
         let sim = Simulator::new(cfg, &FaultTolerantGcr);
         let faulty_node = sim.faults().faulty_nodes().next().unwrap();
-        let metrics = sim.run();
+        let metrics = sim.session().run().metrics;
         println!(
             "{:>3} {:>3} {:>7} {:>12.3} {:>12.3} {:>11.4} {:>10}   (faulty node: {})",
             n,

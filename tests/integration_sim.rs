@@ -14,7 +14,13 @@ fn figure5_shape_latency_grows_with_dimension() {
     // Larger networks → longer paths → higher average latency.
     let lat: Vec<f64> = [6u32, 9, 12]
         .iter()
-        .map(|&n| Simulator::new(cfg(n, 2), &FaultFreeGcr).run().avg_latency())
+        .map(|&n| {
+            Simulator::new(cfg(n, 2), &FaultFreeGcr)
+                .session()
+                .run()
+                .metrics
+                .avg_latency()
+        })
         .collect();
     assert!(
         lat[1] > lat[0],
@@ -36,7 +42,13 @@ fn figure5_shape_latency_grows_with_modulus() {
     // notes the M effect dominates the dimension effect.
     let lat: Vec<f64> = [1u64, 2, 4]
         .iter()
-        .map(|&m| Simulator::new(cfg(9, m), &FaultFreeGcr).run().avg_latency())
+        .map(|&m| {
+            Simulator::new(cfg(9, m), &FaultFreeGcr)
+                .session()
+                .run()
+                .metrics
+                .avg_latency()
+        })
         .collect();
     assert!(
         lat[1] > lat[0],
@@ -58,7 +70,13 @@ fn figure6_shape_throughput_grows_with_dimension() {
     // network throughput (packets per cycle).
     let thr: Vec<f64> = [6u32, 9, 12]
         .iter()
-        .map(|&n| Simulator::new(cfg(n, 2), &FaultFreeGcr).run().throughput())
+        .map(|&n| {
+            Simulator::new(cfg(n, 2), &FaultFreeGcr)
+                .session()
+                .run()
+                .metrics
+                .throughput()
+        })
         .collect();
     assert!(thr[1] > thr[0]);
     assert!(thr[2] > thr[1]);
@@ -79,7 +97,11 @@ fn figure7_shape_fault_raises_latency() {
         (0..5u64)
             .map(|s| {
                 let c = cfg(8, 2).with_seed(9000 + s).with_faults(faults);
-                Simulator::new(c, &FaultTolerantGcr).run().avg_latency()
+                Simulator::new(c, &FaultTolerantGcr)
+                    .session()
+                    .run()
+                    .metrics
+                    .avg_latency()
             })
             .sum::<f64>()
             / 5.0
@@ -99,7 +121,7 @@ fn figure8_shape_fault_lowers_throughput_or_keeps_delivery() {
     // stays 1.
     for seed in 0..3u64 {
         let c = cfg(8, 2).with_seed(7100 + seed).with_faults(1);
-        let m = Simulator::new(c, &FaultTolerantGcr).run();
+        let m = Simulator::new(c, &FaultTolerantGcr).session().run().metrics;
         assert_eq!(m.delivered, m.injected);
         assert_eq!(m.route_failures, 0);
         assert!((m.delivery_ratio() - 1.0).abs() < 1e-12);
@@ -111,7 +133,7 @@ fn uncongested_latency_tracks_mean_distance() {
     // At very low load, latency ≈ mean route length + 1-ish; verifies the
     // simulator's timing accounting end to end.
     let c = cfg(8, 2).with_rate(0.0005);
-    let m = Simulator::new(c, &FaultFreeGcr).run();
+    let m = Simulator::new(c, &FaultFreeGcr).session().run().metrics;
     assert!(m.delivered > 0);
     assert!(m.avg_latency() >= m.avg_hops());
     assert!(m.avg_latency() <= m.avg_hops() * 1.25 + 1.0);
