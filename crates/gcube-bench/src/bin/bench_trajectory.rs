@@ -13,10 +13,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use gcube_bench::{quick, results_dir};
+use gcube_bench::{
+    quick, results_dir, survival_churn_sweep, survival_head_to_head, survival_rates, survival_ratio,
+};
 use gcube_routing::{ffgcr, ftgcr, FaultSet, PlanCache};
 use gcube_sim::{
-    CachedFfgcr, FaultTolerantGcr, MemorySink, SimConfig, Simulator, TelemetryCollector,
+    CachedFfgcr, CachedFtgcr, FaultTolerantGcr, MemorySink, MultiTreeStrategy, SimConfig,
+    Simulator, TelemetryCollector,
 };
 use gcube_topology::{GaussianCube, LinkId, NodeId};
 
@@ -224,6 +227,44 @@ fn measure_parallel(inject: u64) -> ParallelSpeedup {
     }
 }
 
+struct Survival {
+    clustered_faults: usize,
+    ftgcr_clustered: f64,
+    multitree_clustered: f64,
+    tree_switches: u64,
+    tree_exhausted: u64,
+    rates: [f64; 3],
+    ftgcr_drop: [f64; 3],
+    multitree_drop: [f64; 3],
+}
+
+/// The ISSUE's survival record: delivery past the Theorem-3 budget on the
+/// canonical clustered scenario, plus drop ratio vs fault-arrival rate
+/// for both strategies (identical configs and seeds, so the curves
+/// differ only by the router).
+fn measure_survival() -> Survival {
+    let h = survival_head_to_head();
+    let drop_of = |p: &gcube_sim::ChurnPoint| 1.0 - survival_ratio(&p.report.metrics);
+    let ftgcr_runs = survival_churn_sweep(&CachedFtgcr::new());
+    let multitree_runs = survival_churn_sweep(&MultiTreeStrategy::new(2));
+    let mut ftgcr_drop = [0.0f64; 3];
+    let mut multitree_drop = [0.0f64; 3];
+    for i in 0..3 {
+        ftgcr_drop[i] = drop_of(&ftgcr_runs[i]);
+        multitree_drop[i] = drop_of(&multitree_runs[i]);
+    }
+    Survival {
+        clustered_faults: h.faults,
+        ftgcr_clustered: survival_ratio(&h.ftgcr.report.metrics),
+        multitree_clustered: survival_ratio(&h.multitree.report.metrics),
+        tree_switches: h.multitree.report.metrics.tree_switches,
+        tree_exhausted: h.multitree.report.metrics.tree_exhausted,
+        rates: survival_rates(),
+        ftgcr_drop,
+        multitree_drop,
+    }
+}
+
 fn json_route(out: &mut String, key: &str, r: &RoutePlanning) {
     let _ = write!(
         out,
@@ -308,6 +349,25 @@ fn main() {
         );
     }
 
+    let survival = measure_survival();
+    println!(
+        "\nsurvival past the Theorem-3 budget, GC(8, 2), {} clustered faults:",
+        survival.clustered_faults
+    );
+    println!(
+        "  clustered  ftgcr {:.4}  multitree {:.4}  ({} switches, {} fallbacks)",
+        survival.ftgcr_clustered,
+        survival.multitree_clustered,
+        survival.tree_switches,
+        survival.tree_exhausted
+    );
+    for (i, p) in survival.rates.iter().enumerate() {
+        println!(
+            "  churn p={:.2}  drop ratio  ftgcr {:.4}  multitree {:.4}",
+            p, survival.ftgcr_drop[i], survival.multitree_drop[i]
+        );
+    }
+
     // Hand-rolled JSON: the workspace has no serde, and the schema is flat.
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"bench_trajectory\",");
@@ -348,7 +408,7 @@ fn main() {
     );
     let _ = write!(
         out,
-        "  \"parallel_speedup\": {{\n    \"cube\": \"GC(10, 4)\",\n    \"workload\": \"uncached FTGCR, 2 static faults, rate 0.3\",\n    \"cycles\": {},\n    \"host_cores\": {},\n    \"cycles_per_sec_1_thread\": {:.0},\n    \"cycles_per_sec_2_threads\": {:.0},\n    \"cycles_per_sec_4_threads\": {:.0},\n    \"speedup_4x\": {:.2}\n  }}\n}}\n",
+        "  \"parallel_speedup\": {{\n    \"cube\": \"GC(10, 4)\",\n    \"workload\": \"uncached FTGCR, 2 static faults, rate 0.3\",\n    \"cycles\": {},\n    \"host_cores\": {},\n    \"cycles_per_sec_1_thread\": {:.0},\n    \"cycles_per_sec_2_threads\": {:.0},\n    \"cycles_per_sec_4_threads\": {:.0},\n    \"speedup_4x\": {:.2}\n  }},\n",
         parallel.cycles,
         parallel.host_cores,
         parallel.cycles_per_sec[0],
@@ -356,6 +416,26 @@ fn main() {
         parallel.cycles_per_sec[2],
         parallel.speedup_4x()
     );
+    let _ = write!(
+        out,
+        "  \"multitree_survival\": {{\n    \"cube\": \"GC(8, 2)\",\n    \"clustered_faults\": {},\n    \"ftgcr_survival_ratio\": {:.4},\n    \"multitree_survival_ratio\": {:.4},\n    \"tree_switches\": {},\n    \"tree_exhausted\": {},\n    \"churn\": [\n",
+        survival.clustered_faults,
+        survival.ftgcr_clustered,
+        survival.multitree_clustered,
+        survival.tree_switches,
+        survival.tree_exhausted
+    );
+    for (i, p) in survival.rates.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "      {{\"fault_rate\": {:.2}, \"ftgcr_drop_ratio\": {:.4}, \"multitree_drop_ratio\": {:.4}}}{}",
+            p,
+            survival.ftgcr_drop[i],
+            survival.multitree_drop[i],
+            if i + 1 < survival.rates.len() { "," } else { "" }
+        );
+    }
+    out.push_str("    ]\n  }\n}\n");
 
     let dir = results_dir();
     let path = dir
@@ -365,6 +445,13 @@ fn main() {
     std::fs::write(&path, &out).expect("write BENCH_routing.json");
     println!("\nwrote {}", path.display());
 
+    assert!(
+        survival.multitree_clustered > survival.ftgcr_clustered,
+        "ISSUE acceptance: multitree must deliver strictly more than FTGCR on the \
+         canonical over-budget clustered scenario, got {:.4} vs {:.4}",
+        survival.multitree_clustered,
+        survival.ftgcr_clustered
+    );
     assert!(
         ff.speedup >= 2.0,
         "ISSUE acceptance: cached FFGCR planning must be >= 2x at n = 12, got {:.2}x",

@@ -22,9 +22,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use gcube_sim::{
-    run_churn_sweep, run_sweep, CategoryMix, ChurnPoint, FaultFreeGcr, FaultKind, FaultSchedule,
-    FaultTarget, FaultTolerantGcr, KnowledgeModel, RoutingAlgorithm, SimConfig, SweepPoint,
-    TimedFault,
+    run_churn_sweep, run_sweep, CachedFtgcr, CategoryMix, ChurnPoint, FaultFreeGcr, FaultKind,
+    FaultSchedule, FaultTarget, FaultTolerantGcr, KnowledgeModel, Metrics, MultiTreeStrategy,
+    RoutingAlgorithm, SimConfig, SweepPoint, TimedFault,
 };
 use gcube_topology::classes::{n_bound_paper, subcube_pos};
 use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
@@ -175,7 +175,7 @@ pub struct BudgetCheck {
 
 /// Every A-category link of `gc` (dimension ≥ α), grouped by the GEEC
 /// subcube Theorem 3 charges it to, in deterministic order.
-fn a_links_by_subcube(gc: &GaussianCube) -> BTreeMap<(u64, u64), Vec<LinkId>> {
+pub fn a_links_by_subcube(gc: &GaussianCube) -> BTreeMap<(u64, u64), Vec<LinkId>> {
     let mut by_subcube: BTreeMap<(u64, u64), Vec<LinkId>> = BTreeMap::new();
     for p in 0..gc.num_nodes() {
         let node = NodeId(p);
@@ -193,6 +193,23 @@ fn a_links_by_subcube(gc: &GaussianCube) -> BTreeMap<(u64, u64), Vec<LinkId>> {
         }
     }
     by_subcube
+}
+
+/// The canonical *over-budget clustered* fault set: `count` A-category
+/// links packed into the best-provisioned GEEC subcube of `gc`, clamped
+/// so the subcube's Theorem-3 allowance `N(α,k) − 1` is always exceeded
+/// (the precondition fails even though the total is far below `T(GC)`).
+/// This is the placement where the budget monitor reports
+/// `bound_exceeded` and plain FTGCR starts refusing connected pairs.
+pub fn clustered_fault_links(gc: &GaussianCube, count: usize) -> Vec<LinkId> {
+    let by_subcube = a_links_by_subcube(gc);
+    let ((k, _t), cluster) = by_subcube
+        .iter()
+        .max_by_key(|(_, links)| links.len())
+        .expect("cube has A-category links");
+    let allowance = n_bound_paper(gc.n(), gc.alpha(), *k).saturating_sub(1) as usize;
+    let take = count.clamp(allowance + 1, cluster.len());
+    cluster[..take].to_vec()
 }
 
 /// Measure *observed* fault tolerance against the Theorem 3 budget on
@@ -250,13 +267,7 @@ pub fn theorem3_budget_sweep() -> BudgetCheck {
 
     // Clustered: overload the best-provisioned subcube with the same count
     // as the smallest spread level (its links alone exceed its allowance).
-    let ((k, _), cluster) = by_subcube
-        .iter()
-        .max_by_key(|(_, links)| links.len())
-        .expect("cube has A-category links");
-    let allowance = n_bound_paper(n, alpha, *k).saturating_sub(1) as usize;
-    let take = quarter.clamp(allowance + 1, cluster.len());
-    levels.push(("clustered", cluster[..take].to_vec()));
+    levels.push(("clustered", clustered_fault_links(&gc, quarter)));
 
     let (inject, drain) = if quick() {
         (200, 2_000)
@@ -300,6 +311,116 @@ pub fn theorem3_budget_sweep() -> BudgetCheck {
     }
 }
 
+/// Fault count of the canonical over-budget clustered scenario on
+/// `GC(8, 2)`: a quarter of `T(GC) = 80`, packed into one subcube — the
+/// load level where the Theorem-3 monitor reports `bound_exceeded`.
+pub const SURVIVAL_CLUSTER_FAULTS: usize = 20;
+
+/// Delivery ratio counting *refused* packets against the router:
+/// `delivered / (delivered + dropped + route_failures)`. The stock
+/// [`Metrics::delivery_ratio`] excludes planning failures, which is
+/// exactly where FTGCR loses packets past the Theorem-3 budget — this
+/// survival metric charges them.
+pub fn survival_ratio(m: &Metrics) -> f64 {
+    let resolved = m.delivered + m.dropped + m.route_failures;
+    if resolved == 0 {
+        1.0
+    } else {
+        m.delivered as f64 / resolved as f64
+    }
+}
+
+/// The canonical over-budget clustered scenario as a run config:
+/// `GC(8, 2)` with [`SURVIVAL_CLUSTER_FAULTS`] clustered A-links failed
+/// at cycle 0, oracle knowledge (the loss is structural, not staleness).
+pub fn survival_scenario_config() -> SimConfig {
+    let gc = GaussianCube::new(8, 2).expect("valid shape");
+    let links = clustered_fault_links(&gc, SURVIVAL_CLUSTER_FAULTS);
+    assert_eq!(links.len(), SURVIVAL_CLUSTER_FAULTS);
+    let (inject, drain) = if quick() {
+        (400, 4_000)
+    } else {
+        (1_500, 10_000)
+    };
+    SimConfig::new(8, 2)
+        .with_cycles(inject, drain, 0)
+        .with_rate(0.02)
+        .with_seed(0x5a1_0000)
+        .with_window(inject / 10)
+        .with_schedule(FaultSchedule::Scripted(
+            links
+                .into_iter()
+                .map(|l| TimedFault {
+                    cycle: 0,
+                    target: FaultTarget::Link(l),
+                    kind: FaultKind::Permanent,
+                })
+                .collect(),
+        ))
+}
+
+/// The canonical scenario, head to head: FTGCR vs multitree (k = 2) on
+/// the identical config and seed. The acceptance claim is
+/// `survival_ratio(multitree) > survival_ratio(ftgcr)` with the monitor
+/// reporting `bound_exceeded` — multitree keeps delivering where FTGCR
+/// refuses pairs.
+pub struct SurvivalHeadToHead {
+    /// Clustered faults injected ([`SURVIVAL_CLUSTER_FAULTS`]).
+    pub faults: usize,
+    /// The FTGCR run.
+    pub ftgcr: ChurnPoint,
+    /// The multitree (k = 2) run.
+    pub multitree: ChurnPoint,
+}
+
+/// Run [`survival_scenario_config`] under both strategies.
+pub fn survival_head_to_head() -> SurvivalHeadToHead {
+    let cfg = [survival_scenario_config()];
+    let ftgcr = run_churn_sweep(&cfg, &CachedFtgcr::new(), 1).remove(0);
+    let multitree = run_churn_sweep(&cfg, &MultiTreeStrategy::new(2), 1).remove(0);
+    SurvivalHeadToHead {
+        faults: SURVIVAL_CLUSTER_FAULTS,
+        ftgcr,
+        multitree,
+    }
+}
+
+/// Fault-arrival rates of the survival churn sweep, aligned with
+/// [`survival_churn_sweep`]'s output order.
+pub fn survival_rates() -> [f64; 3] {
+    [0.02, 0.05, 0.10]
+}
+
+/// Drop-ratio-vs-fault-rate sweep on `GC(8, 2)`: transient Bernoulli
+/// churn at each of [`survival_rates`] under paper-delay knowledge. Run
+/// once per strategy; each call uses identical configs and seeds so the
+/// two curves differ only by the router.
+pub fn survival_churn_sweep(algorithm: &dyn RoutingAlgorithm) -> Vec<ChurnPoint> {
+    let (inject, drain) = if quick() {
+        (300, 3_000)
+    } else {
+        (1_200, 8_000)
+    };
+    let configs: Vec<SimConfig> = survival_rates()
+        .into_iter()
+        .map(|p| {
+            SimConfig::new(8, 2)
+                .with_cycles(inject, drain, 0)
+                .with_rate(0.01)
+                .with_seed(0x5a2_0000)
+                .with_knowledge(KnowledgeModel::PaperDelay)
+                .with_window(inject / 10)
+                .with_schedule(FaultSchedule::Bernoulli {
+                    rate: p,
+                    kind: FaultKind::Transient { repair_after: 150 },
+                    mix: CategoryMix::default(),
+                    node_fraction: 0.5,
+                })
+        })
+        .collect();
+    run_churn_sweep(&configs, algorithm, threads())
+}
+
 /// Convenience: run one algorithm over one config (used by benches).
 pub fn run_one(config: SimConfig, algorithm: &dyn RoutingAlgorithm) -> SweepPoint {
     let mut v = run_sweep(std::slice::from_ref(&config), algorithm, 1);
@@ -319,6 +440,52 @@ mod tests {
     #[test]
     fn threads_positive() {
         assert!(threads() >= 1);
+    }
+
+    /// The clustered placement always busts its subcube's allowance, and
+    /// the canonical count on `GC(8, 2)` is the PR-4 `bound_exceeded`
+    /// level: 20 faults, a quarter of `T(GC) = 80`.
+    #[test]
+    fn clustered_links_exceed_their_allowance() {
+        let gc = GaussianCube::new(8, 2).unwrap();
+        let links = clustered_fault_links(&gc, SURVIVAL_CLUSTER_FAULTS);
+        assert_eq!(links.len(), SURVIVAL_CLUSTER_FAULTS);
+        let pos = subcube_pos(&gc, links[0].endpoints().0);
+        for l in &links {
+            let p = subcube_pos(&gc, l.endpoints().0);
+            assert_eq!((p.k, p.t), (pos.k, pos.t), "all faults in one subcube");
+        }
+        let allowance = n_bound_paper(gc.n(), gc.alpha(), pos.k).saturating_sub(1) as usize;
+        assert!(links.len() > allowance, "placement must be over budget");
+    }
+
+    /// ISSUE acceptance: on the canonical over-budget clustered scenario,
+    /// multitree (k = 2) delivers strictly more than FTGCR, which is
+    /// refusing connected pairs while the monitor reports bound_exceeded.
+    #[test]
+    fn multitree_survives_the_clustered_over_budget_scenario() {
+        let h = survival_head_to_head();
+        let ft = &h.ftgcr.report;
+        let mt = &h.multitree.report;
+        assert_eq!(
+            ft.budget.state,
+            gcube_routing::faults::HealthState::BoundExceeded,
+            "the canonical scenario must bust the Theorem-3 budget"
+        );
+        assert!(
+            ft.metrics.route_failures > 0,
+            "FTGCR must be refusing pairs here"
+        );
+        let (ft_ratio, mt_ratio) = (survival_ratio(&ft.metrics), survival_ratio(&mt.metrics));
+        assert!(
+            mt_ratio > ft_ratio,
+            "multitree must beat FTGCR past the budget: {mt_ratio:.4} vs {ft_ratio:.4}"
+        );
+        assert!(
+            mt.metrics.tree_switches > 0,
+            "survival must come from tree switching"
+        );
+        assert!(mt.tree_health.is_some(), "multitree reports tree health");
     }
 
     /// Each GEEC subcube of `GC(n, 2^α)` is a `|Dim(α,k)|`-dimensional

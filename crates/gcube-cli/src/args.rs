@@ -1,11 +1,25 @@
 //! Hand-rolled argument parsing for the `gcube` CLI (no external parser —
 //! the offline dependency budget is spent on the science crates).
 
+use gcube_routing::multitree::MAX_TREES;
 use gcube_sim::traffic::TrafficPattern;
 use gcube_sim::{
     CategoryMix, FaultKind, FaultSchedule, FaultTarget, KnowledgeModel, SimError, TimedFault,
 };
 use gcube_topology::{LinkId, NodeId};
+
+/// Routing strategy selector of `gcube simulate`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyArg {
+    /// FFGCR on fault-free runs, FTGCR as soon as any fault is possible.
+    Auto,
+    /// Plan-cached FFGCR (fault-oblivious), regardless of faults.
+    Ffgcr,
+    /// Plan-cached FTGCR.
+    Ftgcr,
+    /// Independent spanning trees with FTGCR fallback (`--trees K`).
+    Multitree,
+}
 
 /// Dynamic-fault options of `gcube simulate` (all default to "off").
 #[derive(Clone, Debug, PartialEq)]
@@ -99,6 +113,10 @@ pub enum Command {
         /// Worker threads for the shard engine (`0` = available
         /// parallelism, `1` = the sequential engine).
         threads: usize,
+        /// Routing strategy override.
+        strategy: StrategyArg,
+        /// Spanning trees per bundle for `--strategy multitree`.
+        trees: usize,
     },
     /// `gcube diameter [max_m]` — Figure 2 series.
     Diameter {
@@ -131,7 +149,7 @@ USAGE:
   gcube topology <n> <M>
   gcube route <n> <M> <src> <dst> [--fault-node V]... [--fault-link V:DIM]... [--fault-free]
   gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K] [--pattern P] [--seed S]
-                 [--threads N]
+                 [--threads N] [--strategy S] [--trees K]
                  [--churn R | --fault-at SPEC]... [--fault-kind KIND] [--mix A:B:C]
                  [--node-fraction F] [--knowledge MODEL] [--ttl T]
                  [--reroute-budget B] [--window W]
@@ -143,6 +161,16 @@ USAGE:
   gcube help
 
 PATTERNS: uniform (default), complement, reversal, transpose
+STRATEGY:
+  --strategy S         auto (default) | ffgcr | ftgcr | multitree
+                       auto picks FFGCR on fault-free runs and FTGCR
+                       otherwise; multitree routes over independent
+                       spanning trees, switching trees on faults and
+                       falling back to FTGCR only when every tree is
+                       blocked — it keeps delivering past the Theorem-3
+                       fault budget
+  --trees K            spanning trees per ending-class bundle for
+                       --strategy multitree (default 2, max 2)
 PARALLELISM:
   --threads N          worker threads for the deterministic shard engine
                        (default 1 = sequential, 0 = all available cores);
@@ -323,6 +351,8 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
             let mut telemetry_interval = 100u64;
             let mut health_report = false;
             let mut threads = 1usize;
+            let mut strategy = StrategyArg::Auto;
+            let mut trees: Option<usize> = None;
             // Raw --fault-at specs are re-parsed once --fault-kind is known
             // (flags may come in any order).
             let mut raw_events: Vec<String> = Vec::new();
@@ -381,11 +411,34 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                     }
                     "--health-report" => health_report = true,
                     "--threads" => threads = parse_num(next(&mut it, "threads")?, "threads")?,
+                    "--strategy" => {
+                        strategy = match next(&mut it, "strategy")?.as_str() {
+                            "auto" => StrategyArg::Auto,
+                            "ffgcr" => StrategyArg::Ffgcr,
+                            "ftgcr" => StrategyArg::Ftgcr,
+                            "multitree" => StrategyArg::Multitree,
+                            s => return Err(SimError::Cli(format!("unknown strategy: {s}"))),
+                        }
+                    }
+                    "--trees" => {
+                        trees = Some(parse_num(next(&mut it, "tree count")?, "tree count")?)
+                    }
                     other => return Err(SimError::Cli(format!("unknown flag: {other}"))),
                 }
             }
             if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
                 return Err(SimError::InvalidRate(rate));
+            }
+            if trees.is_some() && strategy != StrategyArg::Multitree {
+                return Err(SimError::Cli(
+                    "--trees requires --strategy multitree".into(),
+                ));
+            }
+            let trees = trees.unwrap_or(2);
+            if !(1..=MAX_TREES).contains(&trees) {
+                return Err(SimError::Cli(format!(
+                    "tree count must be 1..={MAX_TREES}, got {trees}"
+                )));
             }
             if churn_rate.is_some() && !raw_events.is_empty() {
                 return Err(SimError::Cli(
@@ -425,6 +478,8 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                 telemetry_interval,
                 health_report,
                 threads,
+                strategy,
+                trees,
             })
         }
         "diameter" => {
@@ -675,6 +730,46 @@ mod tests {
             parse(&argv("simulate 8 2 --threads -1")),
             Err(SimError::Cli(_))
         ));
+    }
+
+    #[test]
+    fn parses_strategy_flags() {
+        let Command::Simulate {
+            strategy, trees, ..
+        } = parse(&argv("simulate 8 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(strategy, StrategyArg::Auto, "default keeps the auto pick");
+        assert_eq!(trees, 2);
+        for (arg, want) in [
+            ("auto", StrategyArg::Auto),
+            ("ffgcr", StrategyArg::Ffgcr),
+            ("ftgcr", StrategyArg::Ftgcr),
+            ("multitree", StrategyArg::Multitree),
+        ] {
+            let Command::Simulate { strategy, .. } =
+                parse(&argv(&format!("simulate 8 2 --strategy {arg}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(strategy, want, "--strategy {arg}");
+        }
+        let Command::Simulate { trees, .. } =
+            parse(&argv("simulate 8 2 --strategy multitree --trees 1")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(trees, 1);
+        for bad in [
+            "simulate 8 2 --strategy psychic",
+            "simulate 8 2 --trees 2", // needs multitree
+            "simulate 8 2 --strategy ftgcr --trees 2",
+            "simulate 8 2 --strategy multitree --trees 0",
+            "simulate 8 2 --strategy multitree --trees 3", // beyond MAX_TREES
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ mod args;
 
 use std::process::ExitCode;
 
-use args::{parse, ChurnArgs, Command, USAGE};
+use args::{parse, ChurnArgs, Command, StrategyArg, USAGE};
 use gcube_analysis::robustness::{algorithmic_robustness, connectivity_robustness};
 use gcube_analysis::tables::{num, Table};
 use gcube_analysis::{diameter, structure, tolerance};
@@ -20,7 +20,8 @@ use gcube_routing::faults::{categorize, theorem5_precondition};
 use gcube_routing::{collective, ffgcr, ftgcr, FaultSet};
 use gcube_sim::{
     class_ranges, effective_shards, resolve_threads, CachedFfgcr, CachedFtgcr, JsonlSink,
-    MemorySink, RoutingAlgorithm, SimConfig, Simulator, TelemetryCollector, TraceSink,
+    MemorySink, MultiTreeStrategy, RoutingAlgorithm, SimConfig, Simulator, TelemetryCollector,
+    TraceSink,
 };
 use gcube_topology::classes::dims;
 use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
@@ -74,6 +75,8 @@ fn run(cmd: Command) -> Result<(), String> {
             telemetry_interval,
             health_report,
             threads,
+            strategy,
+            trees,
         } => simulate(
             n,
             modulus,
@@ -84,6 +87,8 @@ fn run(cmd: Command) -> Result<(), String> {
             seed,
             churn,
             threads,
+            strategy,
+            trees,
             SimulateOutput {
                 trace,
                 percentiles,
@@ -242,6 +247,8 @@ fn simulate(
     seed: u64,
     churn: ChurnArgs,
     threads: usize,
+    strategy: StrategyArg,
+    trees: usize,
     out: SimulateOutput,
 ) -> Result<(), String> {
     if n > 14 {
@@ -262,14 +269,18 @@ fn simulate(
     if let Some(ttl) = churn.ttl {
         cfg = cfg.with_ttl(ttl);
     }
-    // Any fault — static or dynamic — needs the fault-tolerant strategy.
-    // Both run plan-cached: identical routes, amortised planning.
+    // Pick the routing strategy. `auto` keeps the historic rule: any
+    // fault — static or dynamic — needs the fault-tolerant strategy.
+    // Everything runs plan-cached: identical routes, amortised planning.
     let ffgcr = CachedFfgcr::new();
     let ftgcr = CachedFtgcr::new();
-    let algo: &dyn RoutingAlgorithm = if faults == 0 && !dynamic {
-        &ffgcr
-    } else {
-        &ftgcr
+    let multitree = MultiTreeStrategy::new(trees);
+    let algo: &dyn RoutingAlgorithm = match strategy {
+        StrategyArg::Ffgcr => &ffgcr,
+        StrategyArg::Ftgcr => &ftgcr,
+        StrategyArg::Multitree => &multitree,
+        StrategyArg::Auto if faults == 0 && !dynamic => &ffgcr,
+        StrategyArg::Auto => &ftgcr,
     };
     let sim = Simulator::try_new(cfg.clone(), algo).map_err(|e| e.to_string())?;
     if faults > 0 {
@@ -298,13 +309,17 @@ fn simulate(
     }
     .map_err(|e| e.to_string())?;
     if out.verify_replay {
-        // Re-execute against a fresh cache and compare event-for-event.
+        // Re-execute against a fresh instance (cold caches, cold atlas)
+        // and compare event-for-event.
         let fresh = CachedFtgcr::new();
         let fresh_ff = CachedFfgcr::new();
-        let fresh_algo: &dyn RoutingAlgorithm = if faults == 0 && !dynamic {
-            &fresh_ff
-        } else {
-            &fresh
+        let fresh_mt = MultiTreeStrategy::new(trees);
+        let fresh_algo: &dyn RoutingAlgorithm = match strategy {
+            StrategyArg::Ffgcr => &fresh_ff,
+            StrategyArg::Ftgcr => &fresh,
+            StrategyArg::Multitree => &fresh_mt,
+            StrategyArg::Auto if faults == 0 && !dynamic => &fresh_ff,
+            StrategyArg::Auto => &fresh,
         };
         let count =
             gcube_sim::verify_replay(cfg, fresh_algo, sink.events()).map_err(|e| e.to_string())?;
@@ -345,6 +360,13 @@ fn simulate(
             stats.misses,
             100.0 * stats.hit_rate(),
             stats.entries
+        );
+    }
+    let tree_carried: u64 = m.tree_routes.iter().sum();
+    if tree_carried > 0 || m.tree_exhausted > 0 {
+        println!(
+            "tree routes      : {tree_carried} carried ({} switches), {} FTGCR fallbacks",
+            m.tree_switches, m.tree_exhausted
         );
     }
     println!("injected         : {}", m.injected);
@@ -443,7 +465,10 @@ fn simulate(
     }
     if out.health_report {
         let t = telem.as_ref().expect("telemetry was collected");
-        print!("{}", t.health_report(&r.budget));
+        print!(
+            "{}",
+            t.health_report_with_trees(&r.budget, r.tree_health.as_deref())
+        );
         // Shard layout: which ending classes each worker owned (Theorem 2
         // partitions the cube so this assignment is the parallel unit).
         let resolved = resolve_threads(threads);

@@ -50,11 +50,13 @@ pub mod freh;
 pub mod ftgcr;
 pub mod hypercube_ft;
 pub mod knowledge;
+pub mod multitree;
 pub mod pc;
 pub mod plan_cache;
 pub mod route;
 pub mod verify;
 
 pub use faults::{fault_budget, FaultBudget, FaultCategory, FaultSet, HealthState, SubcubeLoad};
+pub use multitree::{MultiTreeAtlas, MultiTreeError, TreeChoice, TreeHealth};
 pub use plan_cache::{CacheStats, CachedWalk, PlanCache};
 pub use route::{Route, RoutingError};

@@ -1,0 +1,827 @@
+//! Multipath routing over independent spanning trees — survival beyond the
+//! Theorem-3 fault budget.
+//!
+//! FTGCR ([`crate::ftgcr`]) is provably live only while the fault set stays
+//! inside the Theorem-3 allowance `N(α,k) − 1` per subcube. Once a fault
+//! burst lands past that budget (the `BoundExceeded` health state), FTGCR's
+//! plan repair starts refusing pairs even though the underlying graph is
+//! still connected. This module adds the classical independent-spanning-tree
+//! escape hatch, in the style of Itai–Rodeh multitree routing and the
+//! completely-independent-spanning-tree constructions studied for the dense
+//! Gaussian family (see PAPERS.md):
+//!
+//! 1. **Construction** ([`MultiTreeAtlas::build`]). For each ending class
+//!    `c ∈ EC(α)` we root a bundle of `k = 2` spanning trees at the class
+//!    representative `NodeId(c)` and derive them from one Even–Tarjan
+//!    *st-numbering* of `GC(n, M)` (computed with the dimension-ascending
+//!    neighbour order, so tree 0 leans on the always-present dimension-0
+//!    links exactly like the Gaussian Tree `T_α` projection). Tree 0 parents
+//!    every node to a lower-numbered neighbour, tree 1 to a higher-numbered
+//!    neighbour (with `t` parented to the root across the st-edge); by the
+//!    st-property the two root paths of any node are internally
+//!    node-disjoint *and* edge-disjoint. [`validate_independence`] checks
+//!    exactly that, exhaustively.
+//! 2. **Translation.** Theorem 2's ending-class structure makes `x ↦ x ⊕ z`
+//!    a `GC` automorphism whenever `z ≡ 0 (mod 2^α)`, so one bundle per
+//!    ending class serves *every* destination: to reach `d`, walk the bundle
+//!    of class `d mod 2^α` from `s ⊕ z` to its root and XOR the whole path
+//!    by `z = d` with the low `α` bits cleared.
+//! 3. **Routing** ([`MultiTreeAtlas::route`]). The start tree is picked by a
+//!    deterministic flow hash of `(s, d)` — load spreads across trees — and
+//!    on meeting a faulty link/node the router *switches* to the next tree
+//!    (at most `k` attempts). When every tree is blocked it falls back to
+//!    FTGCR (cached via [`PlanCache`] when one is supplied), so inside the
+//!    Theorem-3 budget nothing is ever lost relative to FTGCR.
+//! 4. **Fault screen.** Per tree the atlas keeps the edge signature set
+//!    `{(low α bits, dim)}` — translation preserves both coordinates, so a
+//!    faulty link can only ever block a tree whose signature set contains
+//!    the fault's signature. The screen summary is memoised per
+//!    [`FaultSet::generation`] stamp and invalidated on every bump; a
+//!    signature-clean tree is walked without per-hop fault checks, and the
+//!    same summary feeds the `--health-report` tree-intactness block.
+//!
+//! See DESIGN.md §12 for the construction proof sketch and the switch-rule
+//! semantics.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Mutex;
+
+use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
+
+use crate::faults::FaultSet;
+use crate::ftgcr;
+use crate::plan_cache::PlanCache;
+use crate::route::{Route, RoutingError};
+
+/// Largest tree count the construction supports. The Even–Tarjan
+/// st-numbering yields exactly two independent trees on a biconnected
+/// graph; wider bundles need the CIST machinery of the dense-Gaussian
+/// papers and are out of scope here.
+pub const MAX_TREES: usize = 2;
+
+/// Why an atlas could not be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MultiTreeError {
+    /// Tree count outside `1..=MAX_TREES`.
+    BadTreeCount(usize),
+    /// The cube (or the shape reachable from some class root) is not
+    /// biconnected, so no st-numbering — and no independent tree pair —
+    /// exists.
+    NotBiconnected {
+        /// The class root whose st-numbering failed.
+        root: NodeId,
+    },
+}
+
+impl fmt::Display for MultiTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiTreeError::BadTreeCount(k) => {
+                write!(f, "tree count {k} outside 1..={MAX_TREES}")
+            }
+            MultiTreeError::NotBiconnected { root } => {
+                write!(f, "GC shape is not biconnected (st-numbering failed at root {root}); independent spanning trees do not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiTreeError {}
+
+/// Which tree carried a plan, and what it cost to find it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeChoice {
+    /// Index of the tree the returned route follows (the flow-hash start
+    /// tree when `exhausted` — no tree carried the route then).
+    pub tree: u32,
+    /// Trees tried and rejected before this plan (0 = first choice clean).
+    pub switches: u32,
+    /// Every tree was blocked and the route came from the FTGCR fallback.
+    pub exhausted: bool,
+}
+
+/// One spanning tree as a parent-pointer forest (root points to itself).
+#[derive(Clone, Debug)]
+struct Tree {
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+}
+
+/// The tree bundle rooted at one ending-class representative.
+#[derive(Clone, Debug)]
+struct TreeBundle {
+    root: NodeId,
+    trees: Vec<Tree>,
+}
+
+/// Per-tree health summary against one fault set (see the fault screen in
+/// the module docs). `clean` is conservative: a clean tree is guaranteed
+/// untouched by the current fault set for *every* destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeHealth {
+    /// Tree index within the bundle.
+    pub tree: u32,
+    /// No faulty component can lie on this tree under any translation.
+    pub clean: bool,
+    /// Faulty links whose `(low-α-bits, dim)` signature matches a tree edge.
+    pub matching_fault_links: u64,
+    /// Faulty nodes (these threaten every spanning tree).
+    pub fault_nodes: u64,
+}
+
+#[derive(Debug, Default)]
+struct ScreenCache {
+    generation: Option<u64>,
+    health: Vec<TreeHealth>,
+}
+
+/// `k` independent spanning-tree bundles, one per ending class, plus the
+/// fault screen. Build once per topology (like [`PlanCache`], the parent
+/// arrays are keyed purely by shape); the screen summary re-derives itself
+/// whenever [`FaultSet::generation`] moves.
+#[derive(Debug)]
+pub struct MultiTreeAtlas {
+    n: u32,
+    modulus: u64,
+    alpha: u32,
+    k: usize,
+    bundles: Vec<TreeBundle>,
+    /// Union over bundles of each tree's edge signatures `(low α bits, dim)`.
+    signatures: Vec<HashSet<(u64, u32)>>,
+    max_depth: u32,
+    screen: Mutex<ScreenCache>,
+}
+
+impl MultiTreeAtlas {
+    /// Build `k` independent spanning trees per ending class of `gc`.
+    pub fn build(gc: &GaussianCube, k: usize) -> Result<MultiTreeAtlas, MultiTreeError> {
+        if k == 0 || k > MAX_TREES {
+            return Err(MultiTreeError::BadTreeCount(k));
+        }
+        let classes = gc.modulus();
+        let mut bundles = Vec::with_capacity(classes as usize);
+        let mut signatures = vec![HashSet::new(); k];
+        let mut max_depth = 0;
+        for c in 0..classes {
+            let bundle = build_bundle(gc, NodeId(c), k)?;
+            for (t, tree) in bundle.trees.iter().enumerate() {
+                for (v, &p) in tree.parent.iter().enumerate() {
+                    if v as u32 == p {
+                        continue;
+                    }
+                    let (a, b) = (NodeId(v as u64), NodeId(p as u64));
+                    let dim = a.differing_dims(b)[0];
+                    let lo = LinkId::new(a, dim).lo;
+                    signatures[t].insert((lo.low_bits(gc.alpha()), dim));
+                    max_depth = max_depth.max(tree.depth[v]);
+                }
+            }
+            bundles.push(bundle);
+        }
+        Ok(MultiTreeAtlas {
+            n: gc.n(),
+            modulus: gc.modulus(),
+            alpha: gc.alpha(),
+            k,
+            bundles,
+            signatures,
+            max_depth,
+            screen: Mutex::new(ScreenCache::default()),
+        })
+    }
+
+    /// Number of trees per bundle.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Deepest node across all trees and bundles — an upper bound on any
+    /// tree route's hop count (compare against the simulator TTL).
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Whether this atlas was built for `gc`'s shape.
+    pub fn matches(&self, gc: &GaussianCube) -> bool {
+        self.n == gc.n() && self.modulus == gc.modulus()
+    }
+
+    /// The tree path `s → d` through tree `tree`, ignoring faults.
+    /// `None` when the endpoints coincide with a degenerate walk (never for
+    /// distinct in-range nodes).
+    pub fn tree_path(&self, tree: usize, s: NodeId, d: NodeId) -> Vec<NodeId> {
+        let (bundle, z) = self.bundle_for(d);
+        walk(bundle, tree, s, d, z, None).expect("unchecked walk cannot be blocked")
+    }
+
+    fn bundle_for(&self, d: NodeId) -> (&TreeBundle, u64) {
+        let c = d.low_bits(self.alpha);
+        let z = d.0 ^ c;
+        (&self.bundles[c as usize], z)
+    }
+
+    /// Per-tree health against `faults`, memoised by generation stamp.
+    ///
+    /// The summary is recomputed whenever `faults.generation()` differs
+    /// from the stamped value — the "invalidate on fault-generation bump"
+    /// half of the plan-cache contract (the parent arrays themselves are
+    /// fault-independent and never invalidate).
+    pub fn tree_health(&self, faults: &FaultSet) -> Vec<TreeHealth> {
+        let mut cache = self.screen.lock().expect("screen lock poisoned");
+        if cache.generation != Some(faults.generation()) {
+            cache.health = self.compute_health(faults);
+            cache.generation = Some(faults.generation());
+        }
+        cache.health.clone()
+    }
+
+    fn compute_health(&self, faults: &FaultSet) -> Vec<TreeHealth> {
+        let fault_nodes = faults.faulty_nodes().count() as u64;
+        (0..self.k)
+            .map(|t| {
+                let matching = faults
+                    .faulty_links()
+                    .filter(|l| self.signatures[t].contains(&(l.lo.low_bits(self.alpha), l.dim)))
+                    .count() as u64;
+                TreeHealth {
+                    tree: t as u32,
+                    clean: matching == 0 && fault_nodes == 0,
+                    matching_fault_links: matching,
+                    fault_nodes,
+                }
+            })
+            .collect()
+    }
+
+    /// Route `s → d` under `faults`: try trees in flow-hash order, switch
+    /// on the first faulty component, fall back to FTGCR when all `k`
+    /// trees are blocked. `cache` serves the fallback's plan stage.
+    pub fn route(
+        &self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+        cache: Option<&PlanCache>,
+    ) -> Result<(Route, TreeChoice), RoutingError> {
+        debug_assert!(self.matches(gc), "atlas shape mismatch");
+        if !gc.contains(s) {
+            return Err(RoutingError::OutOfRange(s));
+        }
+        if !gc.contains(d) {
+            return Err(RoutingError::OutOfRange(d));
+        }
+        if faults.is_node_faulty(s) {
+            return Err(RoutingError::SourceFaulty(s));
+        }
+        if faults.is_node_faulty(d) {
+            return Err(RoutingError::DestFaulty(d));
+        }
+        let start = start_tree(self.k, s, d);
+        if s == d {
+            let choice = TreeChoice {
+                tree: start,
+                switches: 0,
+                exhausted: false,
+            };
+            return Ok((Route::new(vec![s]), choice));
+        }
+        let health = self.tree_health(faults);
+        let (bundle, z) = self.bundle_for(d);
+        for i in 0..self.k as u32 {
+            let tree = (start + i) % self.k as u32;
+            // Signature-clean trees skip the per-hop fault checks: no
+            // faulty component can map onto them under any translation.
+            let screen = if health[tree as usize].clean {
+                None
+            } else {
+                Some(faults)
+            };
+            if let Some(nodes) = walk(bundle, tree as usize, s, d, z, screen) {
+                let choice = TreeChoice {
+                    tree,
+                    switches: i,
+                    exhausted: false,
+                };
+                return Ok((Route::new(nodes), choice));
+            }
+        }
+        let fallback = match cache {
+            Some(c) => ftgcr::route_cached(gc, faults, s, d, c),
+            None => ftgcr::route(gc, faults, s, d),
+        };
+        fallback.map(|(route, _)| {
+            let choice = TreeChoice {
+                tree: start,
+                switches: self.k as u32,
+                exhausted: true,
+            };
+            (route, choice)
+        })
+    }
+}
+
+/// Deterministic flow hash picking the first tree to try for `(s, d)`:
+/// a pure function of the pair, so sequential and sharded runs (and every
+/// replay) agree, while distinct flows spread across the bundle.
+pub fn start_tree(k: usize, s: NodeId, d: NodeId) -> u32 {
+    let mut x =
+        s.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(d.0.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_left(17));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 29;
+    (x % k.max(1) as u64) as u32
+}
+
+/// Walk tree `tree` of `bundle` from `s` to `d` (root ⊕ `z`), translating
+/// by `z`. With `faults` set, abandon the walk (return `None`) at the
+/// first faulty node or unusable link.
+fn walk(
+    bundle: &TreeBundle,
+    tree: usize,
+    s: NodeId,
+    d: NodeId,
+    z: u64,
+    faults: Option<&FaultSet>,
+) -> Option<Vec<NodeId>> {
+    let t = &bundle.trees[tree];
+    let mut base = (s.0 ^ z) as usize;
+    let mut nodes = Vec::with_capacity(t.depth[base] as usize + 1);
+    nodes.push(s);
+    while NodeId(base as u64 ^ z) != d {
+        let p = t.parent[base] as usize;
+        debug_assert_ne!(p, base, "hit the root before the destination");
+        let from = NodeId(base as u64 ^ z);
+        let to = NodeId(p as u64 ^ z);
+        if let Some(f) = faults {
+            let dim = from.differing_dims(to)[0];
+            if !f.is_link_usable(LinkId::new(from, dim)) || f.is_node_faulty(to) {
+                return None;
+            }
+        }
+        nodes.push(to);
+        base = p;
+    }
+    Some(nodes)
+}
+
+/// Check that `atlas` really holds pairwise-independent spanning trees of
+/// `gc`: every parent edge is a real link, every tree spans, and for every
+/// node the `k` root paths are internally node-disjoint and edge-disjoint.
+pub fn validate_independence(gc: &GaussianCube, atlas: &MultiTreeAtlas) -> Result<(), String> {
+    if !atlas.matches(gc) {
+        return Err("atlas shape mismatch".into());
+    }
+    for bundle in &atlas.bundles {
+        let root = bundle.root;
+        for (t, tree) in bundle.trees.iter().enumerate() {
+            // Every edge is a real link and every chain reaches the root.
+            for v in 0..gc.num_nodes() {
+                let node = NodeId(v);
+                if node == root {
+                    if tree.parent[v as usize] as u64 != v {
+                        return Err(format!("tree {t} of root {root}: root not self-parented"));
+                    }
+                    continue;
+                }
+                let p = NodeId(tree.parent[v as usize] as u64);
+                let dims = node.differing_dims(p);
+                if dims.len() != 1 || !gc.has_link(node, dims[0]) {
+                    return Err(format!(
+                        "tree {t} of root {root}: parent edge {node} -> {p} is not a GC link"
+                    ));
+                }
+                if tree.depth[v as usize] != tree.depth[p.0 as usize] + 1 {
+                    return Err(format!("tree {t} of root {root}: depth mismatch at {node}"));
+                }
+            }
+        }
+        // Pairwise independence of root paths.
+        for v in 0..gc.num_nodes() {
+            let node = NodeId(v);
+            if node == root {
+                continue;
+            }
+            let paths: Vec<Vec<NodeId>> = (0..bundle.trees.len())
+                .map(|t| walk(bundle, t, node, root, 0, None).expect("unchecked walk"))
+                .collect();
+            for a in 0..paths.len() {
+                for b in a + 1..paths.len() {
+                    let interior =
+                        |p: &[NodeId]| p[1..p.len() - 1].iter().copied().collect::<HashSet<_>>();
+                    let (ia, ib) = (interior(&paths[a]), interior(&paths[b]));
+                    if let Some(x) = ia.intersection(&ib).next() {
+                        return Err(format!(
+                            "root {root}, node {node}: trees {a}/{b} share internal node {x}"
+                        ));
+                    }
+                    let edges = |p: &[NodeId]| {
+                        p.windows(2)
+                            .map(|w| LinkId::new(w[0], w[0].differing_dims(w[1])[0]))
+                            .collect::<HashSet<_>>()
+                    };
+                    if let Some(e) = edges(&paths[a]).intersection(&edges(&paths[b])).next() {
+                        return Err(format!(
+                            "root {root}, node {node}: trees {a}/{b} share edge {e}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Build the `k`-tree bundle rooted at `root` from one st-numbering.
+fn build_bundle(gc: &GaussianCube, root: NodeId, k: usize) -> Result<TreeBundle, MultiTreeError> {
+    let n = gc.num_nodes() as usize;
+    let s = root;
+    // Dimension 0 is linked everywhere, so the st-edge always exists.
+    let t = root.flip(0);
+    let num = st_numbering(gc, s, t).ok_or(MultiTreeError::NotBiconnected { root })?;
+    let mut by_num = vec![0usize; n];
+    for (v, &nm) in num.iter().enumerate() {
+        by_num[nm as usize] = v;
+    }
+    let mut trees = Vec::with_capacity(k);
+
+    // Tree 0: parent to a lower-numbered neighbour (paths descend to s).
+    // Minimising (depth, number) keeps routes short and deterministic. The
+    // top vertex t avoids the st-edge so the two root paths of t stay
+    // edge-disjoint; its remaining neighbours are all lower-numbered.
+    let mut parent = vec![u32::MAX; n];
+    let mut depth = vec![u32::MAX; n];
+    parent[s.0 as usize] = s.0 as u32;
+    depth[s.0 as usize] = 0;
+    for &v in by_num.iter().skip(1) {
+        let node = NodeId(v as u64);
+        let ban_st_edge = node == t;
+        let best = gc
+            .neighbors(node)
+            .into_iter()
+            .filter(|u| num[u.0 as usize] < num[v])
+            .filter(|u| !(ban_st_edge && *u == s))
+            .min_by_key(|u| (depth[u.0 as usize], num[u.0 as usize]))
+            .ok_or(MultiTreeError::NotBiconnected { root })?;
+        parent[v] = best.0 as u32;
+        depth[v] = depth[best.0 as usize] + 1;
+    }
+    trees.push(Tree { parent, depth });
+
+    if k > 1 {
+        // Tree 1: parent to a higher-numbered neighbour; t crosses the
+        // st-edge to s (paths ascend to t, then the st-edge closes them).
+        let mut parent = vec![u32::MAX; n];
+        let mut depth = vec![u32::MAX; n];
+        parent[s.0 as usize] = s.0 as u32;
+        depth[s.0 as usize] = 0;
+        parent[t.0 as usize] = s.0 as u32;
+        depth[t.0 as usize] = 1;
+        for &v in by_num.iter().rev().skip(1) {
+            if v == s.0 as usize || v == t.0 as usize {
+                continue;
+            }
+            let node = NodeId(v as u64);
+            let best = gc
+                .neighbors(node)
+                .into_iter()
+                .filter(|u| num[u.0 as usize] > num[v])
+                .min_by_key(|u| (depth[u.0 as usize], num[u.0 as usize]))
+                .ok_or(MultiTreeError::NotBiconnected { root })?;
+            parent[v] = best.0 as u32;
+            depth[v] = depth[best.0 as usize] + 1;
+        }
+        trees.push(Tree { parent, depth });
+    }
+    Ok(TreeBundle { root, trees })
+}
+
+/// Even–Tarjan st-numbering of `gc` with `num[s] = 0`, `num[t] = N − 1`
+/// (Tarjan's streamlined sign-list formulation). Returns `None` when the
+/// graph is not biconnected. The result is verified against the
+/// st-property before being returned, so a `Some` is always a genuine
+/// st-numbering.
+fn st_numbering(gc: &GaussianCube, s: NodeId, t: NodeId) -> Option<Vec<u32>> {
+    let n = gc.num_nodes() as usize;
+    let (si, ti) = (s.0 as usize, t.0 as usize);
+    const NONE: usize = usize::MAX;
+
+    // DFS from s with the st-edge first: preorder, lowpoint, parent.
+    let mut pre = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut parent = vec![NONE; n];
+    let mut order = Vec::with_capacity(n);
+    let mut by_pre = vec![NONE; n];
+    let mut counter = 0u32;
+    let mut stack: Vec<(usize, Vec<NodeId>, usize)> = Vec::new();
+    let neighbors_of = |v: usize| -> Vec<NodeId> {
+        let mut ns = gc.neighbors(NodeId(v as u64));
+        if v == si {
+            // Force the st-edge to be the first tree edge.
+            ns.sort_by_key(|u| (*u != t, u.0));
+        }
+        ns
+    };
+    pre[si] = counter;
+    low[si] = counter;
+    by_pre[counter as usize] = si;
+    counter += 1;
+    order.push(si);
+    stack.push((si, neighbors_of(si), 0));
+    loop {
+        let (v, step) = {
+            let Some((v, ns, idx)) = stack.last_mut() else {
+                break;
+            };
+            if *idx < ns.len() {
+                let w = ns[*idx].0 as usize;
+                *idx += 1;
+                (*v, Some(w))
+            } else {
+                (*v, None)
+            }
+        };
+        match step {
+            Some(w) if pre[w] == u32::MAX => {
+                pre[w] = counter;
+                low[w] = counter;
+                by_pre[counter as usize] = w;
+                counter += 1;
+                parent[w] = v;
+                order.push(w);
+                stack.push((w, neighbors_of(w), 0));
+            }
+            Some(w) => {
+                if w != parent[v] {
+                    low[v] = low[v].min(pre[w]);
+                }
+            }
+            None => {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    // Articulation test: an internal vertex p with a child
+                    // v whose subtree cannot climb above p cuts the graph.
+                    if p != si && low[v] >= pre[p] {
+                        return None;
+                    }
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    if order.len() != n {
+        return None; // disconnected
+    }
+    // A biconnected graph's DFS root has exactly one child.
+    if parent.iter().filter(|&&p| p == si).count() != 1 {
+        return None;
+    }
+
+    // Sign-list insertion: process vertices in preorder, splicing each
+    // before or after its parent according to the sign of its lowpoint
+    // vertex.
+    let mut next = vec![NONE; n];
+    let mut prev = vec![NONE; n];
+    next[si] = ti;
+    prev[ti] = si;
+    let mut head = si;
+    let mut plus = vec![false; n];
+    for &v in order.iter().filter(|&&v| v != si && v != ti) {
+        let p = parent[v];
+        let lv = by_pre[low[v] as usize];
+        if !plus[lv] {
+            // Insert v immediately before its parent.
+            let pp = prev[p];
+            if pp == NONE {
+                head = v;
+            } else {
+                next[pp] = v;
+            }
+            prev[v] = pp;
+            next[v] = p;
+            prev[p] = v;
+            plus[p] = true;
+        } else {
+            // Insert v immediately after its parent.
+            let pn = next[p];
+            next[p] = v;
+            prev[v] = p;
+            next[v] = pn;
+            if pn != NONE {
+                prev[pn] = v;
+            }
+            plus[p] = false;
+        }
+    }
+    let mut num = vec![0u32; n];
+    let mut cur = head;
+    let mut i = 0u32;
+    while cur != NONE {
+        num[cur] = i;
+        i += 1;
+        cur = next[cur];
+    }
+    if i as usize != n {
+        return None;
+    }
+    // Unconditional verification of the st-property: cheaper than one
+    // route and it turns any construction bug into a loud failure.
+    if num[si] != 0 || num[ti] != n as u32 - 1 {
+        return None;
+    }
+    for v in 0..n {
+        if v == si || v == ti {
+            continue;
+        }
+        let (mut lo, mut hi) = (false, false);
+        for u in gc.neighbors(NodeId(v as u64)) {
+            if num[u.0 as usize] < num[v] {
+                lo = true;
+            } else {
+                hi = true;
+            }
+        }
+        if !(lo && hi) {
+            return None;
+        }
+    }
+    Some(num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<GaussianCube> {
+        vec![
+            GaussianCube::new(6, 1).unwrap(), // hypercube Q6
+            GaussianCube::new(6, 2).unwrap(),
+            GaussianCube::new(8, 2).unwrap(),
+            GaussianCube::new(6, 4).unwrap(),
+            GaussianCube::new(7, 2).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn atlas_builds_and_validates_on_paper_shapes() {
+        for gc in shapes() {
+            let atlas = MultiTreeAtlas::build(&gc, 2).unwrap();
+            validate_independence(&gc, &atlas)
+                .unwrap_or_else(|e| panic!("GC({},{}): {e}", gc.n(), gc.modulus()));
+            // Tree routes must fit the simulator's default TTL of 4n + 16.
+            assert!(
+                atlas.max_depth() <= 4 * gc.n() + 16,
+                "GC({},{}): max depth {} exceeds TTL",
+                gc.n(),
+                gc.modulus(),
+                atlas.max_depth()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tree_counts_rejected() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        assert!(matches!(
+            MultiTreeAtlas::build(&gc, 0),
+            Err(MultiTreeError::BadTreeCount(0))
+        ));
+        assert!(matches!(
+            MultiTreeAtlas::build(&gc, 3),
+            Err(MultiTreeError::BadTreeCount(3))
+        ));
+        assert!(MultiTreeAtlas::build(&gc, 1).is_ok());
+    }
+
+    #[test]
+    fn fault_free_routes_are_valid_everywhere() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let atlas = MultiTreeAtlas::build(&gc, 2).unwrap();
+        let faults = FaultSet::new();
+        for s in 0..gc.num_nodes() {
+            for d in 0..gc.num_nodes() {
+                let (route, choice) = atlas
+                    .route(&gc, &faults, NodeId(s), NodeId(d), None)
+                    .unwrap();
+                route.validate(&gc, &faults).unwrap();
+                assert_eq!(route.source(), NodeId(s));
+                assert_eq!(route.dest(), NodeId(d));
+                assert_eq!(choice.switches, 0, "no faults, no switches");
+                assert!(!choice.exhausted);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_avoid_faults_by_switching_trees() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let atlas = MultiTreeAtlas::build(&gc, 2).unwrap();
+        let (s, d) = (NodeId(37), NodeId(10));
+        let start = start_tree(2, s, d);
+        // Break the first link of the start tree's path; the route must
+        // come back on the other tree, fault-free.
+        let path = atlas.tree_path(start as usize, s, d);
+        let mut faults = FaultSet::new();
+        let dim = path[0].differing_dims(path[1])[0];
+        faults.add_link(LinkId::new(path[0], dim));
+        let (route, choice) = atlas.route(&gc, &faults, s, d, None).unwrap();
+        route.validate(&gc, &faults).unwrap();
+        assert_eq!(choice.switches, 1);
+        assert_eq!(choice.tree, (start + 1) % 2);
+        assert!(!choice.exhausted);
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_ftgcr() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let atlas = MultiTreeAtlas::build(&gc, 2).unwrap();
+        let (s, d) = (NodeId(5), NodeId(40));
+        let mut faults = FaultSet::new();
+        for t in 0..2 {
+            let path = atlas.tree_path(t, s, d);
+            let dim = path[0].differing_dims(path[1])[0];
+            faults.add_link(LinkId::new(path[0], dim));
+        }
+        let (route, choice) = atlas.route(&gc, &faults, s, d, None).unwrap();
+        route.validate(&gc, &faults).unwrap();
+        assert!(choice.exhausted);
+        assert_eq!(choice.switches, 2);
+    }
+
+    #[test]
+    fn cached_fallback_matches_uncached() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let atlas = MultiTreeAtlas::build(&gc, 2).unwrap();
+        let cache = PlanCache::new(&gc);
+        let mut faults = FaultSet::new();
+        // Enough clustered damage that some pairs exhaust both trees.
+        for d in 1..gc.n() {
+            if gc.has_link(NodeId(0), d) {
+                faults.add_link(LinkId::new(NodeId(0), d));
+            }
+        }
+        for s in 0..gc.num_nodes() {
+            for d in (0..gc.num_nodes()).step_by(7) {
+                let a = atlas.route(&gc, &faults, NodeId(s), NodeId(d), None);
+                let b = atlas.route(&gc, &faults, NodeId(s), NodeId(d), Some(&cache));
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_hash_spreads_and_is_deterministic() {
+        let mut used = [0u32; 2];
+        for s in 0..64 {
+            for d in 0..64 {
+                let a = start_tree(2, NodeId(s), NodeId(d));
+                assert_eq!(a, start_tree(2, NodeId(s), NodeId(d)));
+                used[a as usize] += 1;
+            }
+        }
+        assert!(
+            used[0] > 1000 && used[1] > 1000,
+            "lopsided spread: {used:?}"
+        );
+    }
+
+    #[test]
+    fn screen_invalidates_on_generation_bump() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let atlas = MultiTreeAtlas::build(&gc, 2).unwrap();
+        let mut faults = FaultSet::new();
+        let h0 = atlas.tree_health(&faults);
+        assert!(h0.iter().all(|h| h.clean));
+        faults.add_node(NodeId(9));
+        let h1 = atlas.tree_health(&faults);
+        assert!(h1.iter().all(|h| !h.clean && h.fault_nodes == 1));
+        faults.remove_node(NodeId(9));
+        let h2 = atlas.tree_health(&faults);
+        assert!(h2.iter().all(|h| h.clean));
+    }
+
+    #[test]
+    fn faulty_routes_always_validate() {
+        // Whatever the screen concluded, every returned route must avoid
+        // the fault set and stay under the simulator's TTL.
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let atlas = MultiTreeAtlas::build(&gc, 2).unwrap();
+        let mut faults = FaultSet::new();
+        faults.add_link(LinkId::new(NodeId(12), 0));
+        faults.add_node(NodeId(33));
+        for s in 0..gc.num_nodes() {
+            for d in (0..gc.num_nodes()).step_by(5) {
+                if faults.is_node_faulty(NodeId(s)) || faults.is_node_faulty(NodeId(d)) {
+                    continue;
+                }
+                let r = atlas.route(&gc, &faults, NodeId(s), NodeId(d), None);
+                if let Ok((route, _)) = &r {
+                    route.validate(&gc, &faults).unwrap();
+                    assert!(route.hops() <= (4 * gc.n() + 16) as usize);
+                }
+            }
+        }
+    }
+}

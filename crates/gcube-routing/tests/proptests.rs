@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use gcube_routing::collective::{broadcast_tree, multicast_walk};
 use gcube_routing::ct::{ct_walk, steiner_edges};
 use gcube_routing::faults::{link_category, node_category, FaultCategory, FaultSet};
+use gcube_routing::multitree::{validate_independence, MultiTreeAtlas, MultiTreeError};
 use gcube_routing::pc::pc_path;
 use gcube_routing::verify::{assign_virtual_channels, ChannelDependencyGraph};
 use gcube_routing::{ffgcr, ftgcr, PlanCache, Route};
@@ -243,6 +244,36 @@ proptest! {
             }
             (Err(e1), Err(e2)) => prop_assert_eq!(e1.to_string(), e2.to_string()),
             (p, c) => prop_assert!(false, "divergence: plain={p:?} cached={c:?}"),
+        }
+    }
+
+    /// ISSUE acceptance: over random cube shapes, every bundle's spanning
+    /// trees are pairwise independent (internally node- and edge-disjoint
+    /// root paths), and fault-free atlas routes are valid first-choice
+    /// plans — no switch, no fallback.
+    #[test]
+    fn multitree_trees_are_independent((gc, s, d) in arb_gc().prop_flat_map(|gc| {
+        let n = gc.num_nodes();
+        (Just(gc), 0..n, 0..n)
+    })) {
+        match MultiTreeAtlas::build(&gc, 2) {
+            Ok(atlas) => {
+                if let Err(why) = validate_independence(&gc, &atlas) {
+                    prop_assert!(false, "independence violated: {}", why);
+                }
+                let (s, d) = (NodeId(s), NodeId(d));
+                let (route, choice) =
+                    atlas.route(&gc, &FaultSet::new(), s, d, None).unwrap();
+                route.validate(&gc, &NoFaults).unwrap();
+                prop_assert!(!choice.exhausted, "no faults means no fallback");
+                prop_assert_eq!(choice.switches, 0, "no faults means first choice");
+                prop_assert!((choice.tree as usize) < atlas.k());
+            }
+            Err(MultiTreeError::NotBiconnected { .. }) => {
+                // Degenerate shapes legitimately lack an independent tree
+                // pair; the builder must refuse them, not mis-build.
+            }
+            Err(other) => prop_assert!(false, "unexpected build failure: {}", other),
         }
     }
 

@@ -46,10 +46,10 @@ use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
 use crate::config::{KnowledgeModel, SimConfig};
 use crate::error::SimError;
 use crate::injection::FaultInjector;
-use crate::metrics::{ChurnReport, Metrics, WindowStat};
+use crate::metrics::{ChurnReport, Metrics, WindowStat, MAX_TREES};
 use crate::packet::Packet;
 use crate::session::SimSession;
-use crate::strategy::RoutingAlgorithm;
+use crate::strategy::{RoutingAlgorithm, TreeChoice};
 use crate::telemetry::{CycleView, FaultBudgetMonitor, Phase, TelemetrySink};
 use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET};
 use crate::traffic::{place_node_faults, TrafficGen};
@@ -135,38 +135,6 @@ impl<'a> Simulator<'a> {
         SimSession::new(self)
     }
 
-    /// Run to completion and return the aggregate metrics.
-    #[deprecated(note = "use `sim.session().run().metrics`")]
-    pub fn run(&self) -> Metrics {
-        self.session().run().metrics
-    }
-
-    /// Run to completion and return metrics plus the churn time series
-    /// (per-window delivery ratios and the applied fault-event trace).
-    #[deprecated(note = "use `sim.session().run()`")]
-    pub fn run_report(&self) -> ChurnReport {
-        self.session().run()
-    }
-
-    /// Run to completion with a flight recorder attached: every per-packet
-    /// event (inject, hop, stale-view exposure, reroute, drop, deliver) is
-    /// streamed into `sink` in deterministic engine order.
-    #[deprecated(note = "use `sim.session().trace(&mut sink).run()`")]
-    pub fn run_traced<S: TraceSink>(&self, sink: &mut S) -> ChurnReport {
-        self.session().trace(sink).run()
-    }
-
-    /// Run to completion with both a flight recorder and a telemetry sink
-    /// attached.
-    #[deprecated(note = "use `sim.session().trace(&mut sink).telemetry(&mut telem).run()`")]
-    pub fn run_instrumented<S: TraceSink, T: TelemetrySink>(
-        &self,
-        sink: &mut S,
-        telem: &mut T,
-    ) -> ChurnReport {
-        self.session().trace(sink).telemetry(telem).run()
-    }
-
     /// The sequential cycle loop — the reference semantics. The session
     /// builder dispatches here for single-threaded runs; the sharded
     /// engine ([`crate::shard`]) reproduces this loop's output bit for
@@ -218,7 +186,8 @@ impl<'a> Simulator<'a> {
         // telemetry is attached: health transitions are trace events and
         // metric counters, so replay verification covers them. A run that
         // starts faulty reports its initial classification at cycle 0.
-        let mut monitor = FaultBudgetMonitor::new();
+        let mut monitor =
+            FaultBudgetMonitor::for_strategy(self.algorithm.survives_bound_exceeded());
         if let Some((from, to)) = monitor.update(&self.gc, &truth) {
             metrics.health_transitions += 1;
             telem.health_transition(0, from, to);
@@ -372,9 +341,10 @@ impl<'a> Simulator<'a> {
                     // sharded engine preassign them before planning.
                     let id = next_id;
                     next_id += 1;
-                    match self.algorithm.compute_route(&self.gc, &view, src, dst) {
-                        Ok(route) => {
-                            let pkt = Packet::new(id, cycle, route);
+                    match self.algorithm.plan_route(&self.gc, &view, src, dst) {
+                        Ok(planned) => {
+                            let tree = planned.tree;
+                            let pkt = Packet::new(id, cycle, planned.route);
                             metrics.injected_total += 1;
                             telem.inject();
                             if measuring {
@@ -391,6 +361,26 @@ impl<'a> Simulator<'a> {
                                         planned_hops: pkt.planned_hops,
                                     },
                                 });
+                            }
+                            if let Some(tc) = tree {
+                                account_tree_choice(
+                                    &mut metrics,
+                                    &mut windows[widx],
+                                    &mut *telem,
+                                    tc,
+                                );
+                                if sink.enabled() && (tc.switches > 0 || tc.exhausted) {
+                                    sink.record(&TraceEvent {
+                                        cycle,
+                                        packet: pkt.id,
+                                        node: src,
+                                        kind: TraceEventKind::TreeSwitch {
+                                            tree: tc.tree,
+                                            switches: tc.switches,
+                                            exhausted: tc.exhausted,
+                                        },
+                                    });
+                                }
                             }
                             if pkt.arrived() {
                                 // src == dst cannot happen (pick_dest), but a
@@ -501,6 +491,8 @@ impl<'a> Simulator<'a> {
                             link,
                             to,
                             cycle,
+                            &mut metrics,
+                            &mut windows[widx],
                             sink,
                             telem,
                         );
@@ -694,6 +686,7 @@ impl<'a> Simulator<'a> {
             windows,
             trace: injector.trace().to_vec(),
             budget: fault_budget(&self.gc, &truth),
+            tree_health: self.algorithm.tree_health(&self.gc, &truth),
         }
     }
 
@@ -713,6 +706,8 @@ impl<'a> Simulator<'a> {
         link: LinkId,
         to: NodeId,
         cycle: u64,
+        metrics: &mut Metrics,
+        window: &mut WindowStat,
         sink: &mut S,
         telem: &mut T,
     ) -> Option<(Packet, DropCause)> {
@@ -745,9 +740,10 @@ impl<'a> Simulator<'a> {
         }
         let from = head.current();
         let dest = *head.route.nodes().last().expect("routes are non-empty");
-        match self.algorithm.compute_route(&self.gc, view, from, dest) {
-            Ok(route) => {
-                head.replan(route);
+        match self.algorithm.plan_route(&self.gc, view, from, dest) {
+            Ok(planned) => {
+                let tree = planned.tree;
+                head.replan(planned.route);
                 telem.reroute();
                 if sink.enabled() {
                     sink.record(&TraceEvent {
@@ -758,6 +754,22 @@ impl<'a> Simulator<'a> {
                             budget_left: self.config.reroute_budget - head.reroutes,
                         },
                     });
+                }
+                if let Some(tc) = tree {
+                    let id = head.id;
+                    account_tree_choice(metrics, window, &mut *telem, tc);
+                    if sink.enabled() && (tc.switches > 0 || tc.exhausted) {
+                        sink.record(&TraceEvent {
+                            cycle,
+                            packet: id,
+                            node: from,
+                            kind: TraceEventKind::TreeSwitch {
+                                tree: tc.tree,
+                                switches: tc.switches,
+                                exhausted: tc.exhausted,
+                            },
+                        });
+                    }
                 }
                 None
             }
@@ -813,6 +825,26 @@ fn count_drop<S: TraceSink, T: TelemetrySink>(
             kind: TraceEventKind::Drop { cause },
         });
     }
+}
+
+/// Account one planned route's tree choice (multitree strategies only):
+/// whole-run per-tree counters, the switch/exhaustion ledgers, the window
+/// series, and the telemetry hook. Unconditional like the `*_total`
+/// ledger counters, so telemetry totals reconcile exactly.
+fn account_tree_choice<T: TelemetrySink>(
+    metrics: &mut Metrics,
+    window: &mut WindowStat,
+    telem: &mut T,
+    tc: TreeChoice,
+) {
+    if tc.exhausted {
+        metrics.tree_exhausted += 1;
+    } else {
+        metrics.tree_routes[tc.tree as usize % MAX_TREES] += 1;
+    }
+    metrics.tree_switches += u64::from(tc.switches);
+    window.tree_switches += u64::from(tc.switches);
+    telem.tree_activity(u64::from(tc.switches), tc.exhausted);
 }
 
 /// Re-synchronise the routing view onto the ground truth, skipping the

@@ -55,7 +55,8 @@ pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
 pub use session::{effective_shards, resolve_threads, SimSession};
 pub use shard::class_ranges;
 pub use strategy::{
-    CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, RoutingAlgorithm,
+    CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, MultiTreeStrategy,
+    PlannedRoute, RoutingAlgorithm, TreeChoice, TreeHealth,
 };
 pub use telemetry::{
     CycleView, FaultBudgetMonitor, HealthTransition, NullTelemetry, Phase, ShardTelemetry,

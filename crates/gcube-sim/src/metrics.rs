@@ -191,12 +191,28 @@ pub struct Metrics {
     /// Whole-run suppressed injections, warm-up included. Like route
     /// failures, these never create packets.
     pub suppressed_injections_total: u64,
+    /// Whole-run plans carried by each spanning tree, indexed by tree
+    /// (multitree strategies only — zero elsewhere). Exhausted plans
+    /// (FTGCR fallback) are *not* counted here; see
+    /// [`Metrics::tree_exhausted`].
+    pub tree_routes: [u64; MAX_TREES],
+    /// Whole-run tree switches: trees tried and rejected (faulty
+    /// component on the path) before a plan succeeded, summed over all
+    /// planning sites (injection and mid-flight recovery).
+    pub tree_switches: u64,
+    /// Whole-run plans that exhausted every spanning tree and fell back
+    /// to FTGCR.
+    pub tree_exhausted: u64,
     /// Distribution of per-packet latency over measured deliveries — the
     /// tail the paper's average hides (B/C-fault degradation spikes).
     pub latency_hist: Histogram,
     /// Distribution of per-packet hop counts over measured deliveries.
     pub hops_hist: Histogram,
 }
+
+/// Width of the per-tree counter array in [`Metrics`] — an upper bound on
+/// any strategy's tree count, not a promise that many can be built.
+pub const MAX_TREES: usize = 8;
 
 impl Metrics {
     /// Average latency `LP / DP` in cycles (paper, Figure 5/7).
@@ -308,6 +324,11 @@ impl Metrics {
         self.dropped_total += other.dropped_total;
         self.route_failures_total += other.route_failures_total;
         self.suppressed_injections_total += other.suppressed_injections_total;
+        for (a, b) in self.tree_routes.iter_mut().zip(&other.tree_routes) {
+            *a += b;
+        }
+        self.tree_switches += other.tree_switches;
+        self.tree_exhausted += other.tree_exhausted;
         self.latency_hist.merge(&other.latency_hist);
         self.hops_hist.merge(&other.hops_hist);
     }
@@ -323,6 +344,7 @@ pub fn merge_windows(dst: &mut [WindowStat], src: &[WindowStat]) {
         d.injected += s.injected;
         d.delivered += s.delivered;
         d.dropped += s.dropped;
+        d.tree_switches += s.tree_switches;
     }
 }
 
@@ -342,6 +364,9 @@ pub struct WindowStat {
     pub delivered: u64,
     /// Packets dropped during the window.
     pub dropped: u64,
+    /// Tree switches performed by plans computed during the window
+    /// (multitree strategies only).
+    pub tree_switches: u64,
 }
 
 impl WindowStat {
@@ -371,6 +396,9 @@ pub struct ChurnReport {
     /// The network's final Theorem-3 standing: the live fault set at the
     /// end of the run classified against `N(α,k)` / `T(GC)`.
     pub budget: FaultBudget,
+    /// Per-tree survival against the final fault set — `Some` only when
+    /// the run's strategy routes over independent spanning trees.
+    pub tree_health: Option<Vec<gcube_routing::multitree::TreeHealth>>,
 }
 
 #[cfg(test)]
@@ -437,6 +465,7 @@ mod tests {
             injected: 50,
             delivered: 30,
             dropped: 10,
+            tree_switches: 0,
         };
         assert!((w.delivery_ratio() - 0.75).abs() < 1e-12);
         let idle = WindowStat {
@@ -494,6 +523,7 @@ mod tests {
                 injected: 3,
                 delivered: 2,
                 dropped: 0,
+                tree_switches: 3,
             },
             WindowStat {
                 start: 50,
@@ -501,6 +531,7 @@ mod tests {
                 injected: 1,
                 delivered: 1,
                 dropped: 1,
+                tree_switches: 1,
             },
         ];
         let src = vec![
@@ -510,6 +541,7 @@ mod tests {
                 injected: 2,
                 delivered: 1,
                 dropped: 1,
+                tree_switches: 2,
             },
             WindowStat {
                 start: 50,
@@ -517,6 +549,7 @@ mod tests {
                 injected: 0,
                 delivered: 2,
                 dropped: 0,
+                tree_switches: 0,
             },
         ];
         merge_windows(&mut dst, &src);
@@ -529,6 +562,11 @@ mod tests {
             (1, 3, 1)
         );
         assert_eq!((dst[0].start, dst[0].end), (0, 50), "boundaries untouched");
+        assert_eq!(
+            (dst[0].tree_switches, dst[1].tree_switches),
+            (5, 1),
+            "tree switches merge positionally too"
+        );
     }
 
     // --- histogram ------------------------------------------------------

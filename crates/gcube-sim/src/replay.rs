@@ -152,6 +152,9 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
     let mut hops = None;
     let mut state = None;
     let mut faults = None;
+    let mut tree = None;
+    let mut switches = None;
+    let mut exhausted = None;
     for field in body.split(',') {
         let (key, value) = field
             .split_once(':')
@@ -203,6 +206,22 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
                 )
             }
             "faults" => faults = Some(num()?),
+            "tree" => {
+                tree = Some(u32::try_from(num()?).map_err(|_| "tree out of range".to_string())?)
+            }
+            "switches" => {
+                switches =
+                    Some(u32::try_from(num()?).map_err(|_| "switches out of range".to_string())?)
+            }
+            "exhausted" => {
+                exhausted = Some(match value {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(format!("field \"exhausted\": expected bool, got {other:?}"))
+                    }
+                })
+            }
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -231,6 +250,11 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
         "health" => TraceEventKind::Health {
             state: state.ok_or_else(|| missing("state"))?,
             faults: faults.ok_or_else(|| missing("faults"))?,
+        },
+        "tree_switch" => TraceEventKind::TreeSwitch {
+            tree: tree.ok_or_else(|| missing("tree"))?,
+            switches: switches.ok_or_else(|| missing("switches"))?,
+            exhausted: exhausted.ok_or_else(|| missing("exhausted"))?,
         },
         other => return Err(format!("unknown event type {other:?}")),
     };
@@ -277,6 +301,26 @@ mod tests {
                 kind: TraceEventKind::Reroute { budget_left: 4 },
             },
             TraceEvent {
+                cycle: 2,
+                packet: 0,
+                node: NodeId(3),
+                kind: TraceEventKind::TreeSwitch {
+                    tree: 1,
+                    switches: 1,
+                    exhausted: false,
+                },
+            },
+            TraceEvent {
+                cycle: 3,
+                packet: 2,
+                node: NodeId(5),
+                kind: TraceEventKind::TreeSwitch {
+                    tree: 0,
+                    switches: 2,
+                    exhausted: true,
+                },
+            },
+            TraceEvent {
                 cycle: 6,
                 packet: 0,
                 node: NodeId(6),
@@ -321,6 +365,14 @@ mod tests {
             "{\"cycle\":1,\"packet\":0,\"node\":2,\"event\":\"drop\",\"cause\":\"x\"}"
         )
         .is_err());
+        assert!(
+            parse_jsonl(
+                "{\"cycle\":1,\"packet\":0,\"node\":2,\"event\":\"tree_switch\",\
+                 \"tree\":1,\"switches\":0,\"exhausted\":\"maybe\"}"
+            )
+            .is_err(),
+            "exhausted must be an unquoted bool"
+        );
         // Error carries the 1-based line number.
         let err = parse_jsonl(
             "{\"cycle\":0,\"packet\":0,\"node\":0,\"event\":\"hop\",\"from\":1}\nbroken",

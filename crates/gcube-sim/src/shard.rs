@@ -72,8 +72,9 @@ use gcube_topology::{LinkId, NodeId, Topology};
 
 use crate::engine::{sync_view, Simulator};
 use crate::injection::FaultInjector;
-use crate::metrics::{merge_windows, ChurnReport, Metrics, WindowStat};
+use crate::metrics::{merge_windows, ChurnReport, Metrics, WindowStat, MAX_TREES};
 use crate::packet::Packet;
+use crate::strategy::TreeChoice;
 use crate::telemetry::{CycleView, FaultBudgetMonitor, Phase, ShardTelemetry, TelemetrySink};
 use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET};
 use crate::traffic::TrafficGen;
@@ -463,6 +464,24 @@ impl<'s, 'a> Shard<'s, 'a> {
         }
     }
 
+    /// Mirror of the sequential engine's `account_tree_choice`: whole-run
+    /// tree counters, the window switch series, and the telemetry delta.
+    fn account_tree_choice(&mut self, widx: usize, tc: TreeChoice) {
+        if tc.exhausted {
+            self.metrics.tree_exhausted += 1;
+        } else {
+            self.metrics.tree_routes[tc.tree as usize % MAX_TREES] += 1;
+        }
+        self.metrics.tree_switches += u64::from(tc.switches);
+        self.windows[widx].tree_switches += u64::from(tc.switches);
+        if self.telemetry_on {
+            self.delta.tree_switches += u64::from(tc.switches);
+            if tc.exhausted {
+                self.delta.tree_exhausted += 1;
+            }
+        }
+    }
+
     /// Round A, owner side: plan and account this shard's injection
     /// requests in the coordinator's node order.
     fn inject(&mut self, cycle: u64, reqs: &[InjectReq]) {
@@ -473,10 +492,11 @@ impl<'s, 'a> Shard<'s, 'a> {
             match self
                 .sim
                 .algorithm
-                .compute_route(&self.sim.gc, &self.view, src, req.dst)
+                .plan_route(&self.sim.gc, &self.view, src, req.dst)
             {
-                Ok(route) => {
-                    let pkt = Packet::new(req.id, cycle, route);
+                Ok(planned) => {
+                    let tree = planned.tree;
+                    let pkt = Packet::new(req.id, cycle, planned.route);
                     self.metrics.injected_total += 1;
                     if self.telemetry_on {
                         self.delta.injected += 1;
@@ -499,6 +519,24 @@ impl<'s, 'a> Shard<'s, 'a> {
                             },
                         ));
                     }
+                    if let Some(tc) = tree {
+                        self.account_tree_choice(widx, tc);
+                        if self.tracing_on && (tc.switches > 0 || tc.exhausted) {
+                            self.events.push((
+                                ekey(SUB_INJECT, req.src, 1),
+                                TraceEvent {
+                                    cycle,
+                                    packet: pkt.id,
+                                    node: src,
+                                    kind: TraceEventKind::TreeSwitch {
+                                        tree: tc.tree,
+                                        switches: tc.switches,
+                                        exhausted: tc.exhausted,
+                                    },
+                                },
+                            ));
+                        }
+                    }
                     if pkt.arrived() {
                         self.metrics.delivered_total += 1;
                         if self.telemetry_on {
@@ -512,7 +550,7 @@ impl<'s, 'a> Shard<'s, 'a> {
                         self.windows[widx].delivered += 1;
                         if self.tracing_on {
                             self.events.push((
-                                ekey(SUB_INJECT, req.src, 1),
+                                ekey(SUB_INJECT, req.src, 2),
                                 TraceEvent {
                                     cycle,
                                     packet: pkt.id,
@@ -976,7 +1014,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     let mut next_id = 0u64;
     let ttl = sim.config.effective_ttl();
 
-    let mut monitor = FaultBudgetMonitor::new();
+    let mut monitor = FaultBudgetMonitor::for_strategy(sim.algorithm.survives_bound_exceeded());
     if let Some((from, to)) = monitor.update(&sim.gc, &coord.truth) {
         coord.metrics.health_transitions += 1;
         telem.health_transition(0, from, to);
@@ -1151,11 +1189,8 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                     Err(DropCause::Unrecoverable)
                 } else {
                     let dest = *pkt.route.nodes().last().expect("routes are non-empty");
-                    match sim
-                        .algorithm
-                        .compute_route(&sim.gc, &coord.view, from, dest)
-                    {
-                        Ok(route) => {
+                    match sim.algorithm.plan_route(&sim.gc, &coord.view, from, dest) {
+                        Ok(planned) => {
                             telem.reroute();
                             if tracing_on {
                                 cycle_events.push((
@@ -1171,7 +1206,25 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                                     },
                                 ));
                             }
-                            Ok(route)
+                            if let Some(tc) = planned.tree {
+                                coord.account_tree_choice(widx, tc);
+                                if tracing_on && (tc.switches > 0 || tc.exhausted) {
+                                    cycle_events.push((
+                                        ekey(SUB_SCAN, svc as u64, 2),
+                                        TraceEvent {
+                                            cycle,
+                                            packet: pkt.id,
+                                            node: from,
+                                            kind: TraceEventKind::TreeSwitch {
+                                                tree: tc.tree,
+                                                switches: tc.switches,
+                                                exhausted: tc.exhausted,
+                                            },
+                                        },
+                                    ));
+                                }
+                            }
+                            Ok(planned.route)
                         }
                         Err(_) => Err(DropCause::Unrecoverable),
                     }
@@ -1319,6 +1372,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         windows,
         trace: coord.injector.trace().to_vec(),
         budget: fault_budget(&sim.gc, &coord.truth),
+        tree_health: sim.algorithm.tree_health(&sim.gc, &coord.truth),
     }
 }
 

@@ -6,6 +6,21 @@ use gcube_routing::{ffgcr, ftgcr, CacheStats, FaultSet, PlanCache, Route, Routin
 use gcube_topology::{GaussianCube, NodeId};
 use parking_lot::RwLock;
 
+pub use gcube_routing::multitree::{MultiTreeAtlas, TreeChoice, TreeHealth};
+
+/// A planned trajectory plus, for multipath strategies, which spanning
+/// tree carried it and how many tree switches finding it cost. The engine
+/// feeds the tree data into the `tree_*` metric counters and the
+/// `tree_switch` trace event; `tree: None` (every single-path strategy)
+/// leaves those untouched.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannedRoute {
+    /// The packet trajectory.
+    pub route: Route,
+    /// Tree bookkeeping, when the strategy routes over a tree bundle.
+    pub tree: Option<TreeChoice>,
+}
+
 /// A routing algorithm the simulator can drive.
 pub trait RoutingAlgorithm: Sync {
     /// Short name used in result tables.
@@ -20,11 +35,41 @@ pub trait RoutingAlgorithm: Sync {
         d: NodeId,
     ) -> Result<Route, RoutingError>;
 
+    /// Compute a trajectory with multipath bookkeeping. The engine calls
+    /// this at every planning site; the default delegates to
+    /// [`compute_route`](Self::compute_route) with no tree data.
+    fn plan_route(
+        &self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<PlannedRoute, RoutingError> {
+        self.compute_route(gc, faults, s, d)
+            .map(|route| PlannedRoute { route, tree: None })
+    }
+
     /// Plan-cache counters, for strategies backed by a
     /// [`PlanCache`] (`None` for uncached strategies, or before first
     /// use). Not free — snapshotting takes the cache's entry lock — so
     /// callers poll it at sample boundaries, not per packet.
     fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Whether the strategy keeps delivering past the Theorem-3 fault
+    /// budget. The health monitor downgrades `BoundExceeded` to
+    /// `Degraded` for such strategies — the bound signals FTGCR's proof
+    /// obligations are void, not that this router is about to strand
+    /// packets.
+    fn survives_bound_exceeded(&self) -> bool {
+        false
+    }
+
+    /// Per-tree health against `faults`, for multipath strategies
+    /// (`None` otherwise). Drives the `--health-report` tree block.
+    fn tree_health(&self, gc: &GaussianCube, faults: &FaultSet) -> Option<Vec<TreeHealth>> {
+        let _ = (gc, faults);
         None
     }
 }
@@ -207,6 +252,147 @@ impl RoutingAlgorithm for EcubeBaseline {
     }
 }
 
+/// The lazily-built multitree atlas, or the reason it cannot exist for
+/// the current cube shape.
+#[derive(Debug)]
+enum AtlasSlot {
+    Empty,
+    Ready(Arc<MultiTreeAtlas>),
+    /// Construction failed (shape not biconnected) — remembered so the
+    /// fallback path does not retry the build per packet.
+    Unsupported {
+        n: u32,
+        modulus: u64,
+    },
+}
+
+/// Multipath routing over independent spanning trees
+/// ([`gcube_routing::multitree`]): route along one of `k` trees chosen by
+/// flow hash, switch trees on faults, fall back to cached FTGCR when the
+/// bundle is exhausted. Keeps delivering on fault sets past the Theorem-3
+/// budget, where plain FTGCR starts refusing connected pairs.
+#[derive(Debug)]
+pub struct MultiTreeStrategy {
+    trees: usize,
+    atlas: RwLock<AtlasSlot>,
+    shared: SharedCache,
+}
+
+impl MultiTreeStrategy {
+    /// Strategy with `trees` spanning trees per ending class
+    /// (`1..=`[`gcube_routing::multitree::MAX_TREES`]; the atlas build
+    /// rejects anything else on first use).
+    pub fn new(trees: usize) -> Self {
+        MultiTreeStrategy {
+            trees,
+            atlas: RwLock::new(AtlasSlot::Empty),
+            shared: SharedCache::default(),
+        }
+    }
+
+    /// Number of trees requested per bundle.
+    pub fn trees(&self) -> usize {
+        self.trees
+    }
+
+    /// The atlas for `gc`, building it on first use. `None` when the
+    /// shape does not admit independent spanning trees (not biconnected)
+    /// — the strategy then degenerates to cached FTGCR.
+    ///
+    /// # Panics
+    /// On an invalid tree count (caller error, not a shape property).
+    pub fn atlas_for(&self, gc: &GaussianCube) -> Option<Arc<MultiTreeAtlas>> {
+        {
+            let guard = self.atlas.read();
+            match &*guard {
+                AtlasSlot::Ready(a) if a.matches(gc) => return Some(Arc::clone(a)),
+                AtlasSlot::Unsupported { n, modulus }
+                    if *n == gc.n() && *modulus == gc.modulus() =>
+                {
+                    return None;
+                }
+                _ => {}
+            }
+        }
+        let mut guard = self.atlas.write();
+        match &*guard {
+            AtlasSlot::Ready(a) if a.matches(gc) => return Some(Arc::clone(a)),
+            AtlasSlot::Unsupported { n, modulus } if *n == gc.n() && *modulus == gc.modulus() => {
+                return None;
+            }
+            _ => {}
+        }
+        match MultiTreeAtlas::build(gc, self.trees) {
+            Ok(atlas) => {
+                let atlas = Arc::new(atlas);
+                *guard = AtlasSlot::Ready(Arc::clone(&atlas));
+                Some(atlas)
+            }
+            Err(gcube_routing::MultiTreeError::BadTreeCount(k)) => {
+                panic!("invalid multitree tree count {k}");
+            }
+            Err(gcube_routing::MultiTreeError::NotBiconnected { .. }) => {
+                *guard = AtlasSlot::Unsupported {
+                    n: gc.n(),
+                    modulus: gc.modulus(),
+                };
+                None
+            }
+        }
+    }
+}
+
+impl RoutingAlgorithm for MultiTreeStrategy {
+    fn name(&self) -> &'static str {
+        "multitree"
+    }
+    fn compute_route(
+        &self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<Route, RoutingError> {
+        self.plan_route(gc, faults, s, d).map(|p| p.route)
+    }
+    fn plan_route(
+        &self,
+        gc: &GaussianCube,
+        faults: &FaultSet,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<PlannedRoute, RoutingError> {
+        let cache = self.shared.cache_for(gc);
+        match self.atlas_for(gc) {
+            Some(atlas) => atlas
+                .route(gc, faults, s, d, Some(&cache))
+                .map(|(route, choice)| PlannedRoute {
+                    route,
+                    tree: Some(choice),
+                }),
+            // Shape without independent trees: pure cached FTGCR, every
+            // plan reported as an exhausted bundle of zero trees.
+            None => ftgcr::route_cached(gc, faults, s, d, &cache).map(|(route, _)| PlannedRoute {
+                route,
+                tree: Some(TreeChoice {
+                    tree: 0,
+                    switches: 0,
+                    exhausted: true,
+                }),
+            }),
+        }
+    }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.stats()
+    }
+    fn survives_bound_exceeded(&self) -> bool {
+        true
+    }
+    fn tree_health(&self, gc: &GaussianCube, faults: &FaultSet) -> Option<Vec<TreeHealth>> {
+        self.atlas_for(gc).map(|atlas| atlas.tree_health(faults))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +456,41 @@ mod tests {
         assert_eq!(FaultFreeGcr.name(), "FFGCR");
         assert_eq!(FaultTolerantGcr.name(), "FTGCR");
         assert_eq!(EcubeBaseline.name(), "e-cube");
+        assert_eq!(MultiTreeStrategy::new(2).name(), "multitree");
+    }
+
+    #[test]
+    fn default_plan_route_carries_no_tree_data() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let f = FaultSet::new();
+        let p = FaultTolerantGcr
+            .plan_route(&gc, &f, NodeId(3), NodeId(40))
+            .unwrap();
+        assert!(p.tree.is_none());
+        assert!(!FaultTolerantGcr.survives_bound_exceeded());
+        assert!(FaultTolerantGcr.tree_health(&gc, &f).is_none());
+    }
+
+    #[test]
+    fn multitree_plans_valid_routes_with_tree_data() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let f = FaultSet::new();
+        let strat = MultiTreeStrategy::new(2);
+        assert!(strat.survives_bound_exceeded());
+        for s in (0..64u64).step_by(5) {
+            for d in (0..64u64).step_by(7) {
+                let p = strat.plan_route(&gc, &f, NodeId(s), NodeId(d)).unwrap();
+                p.route.validate(&gc, &NoFaults).unwrap();
+                let tc = p.tree.expect("multitree always reports a tree");
+                assert!(!tc.exhausted);
+                assert_eq!(tc.switches, 0);
+                assert!(tc.tree < 2);
+            }
+        }
+        let health = strat.tree_health(&gc, &f).expect("atlas built");
+        assert_eq!(health.len(), 2);
+        assert!(health.iter().all(|h| h.clean));
+        // The FTGCR fallback cache is shared and reported through the trait.
+        assert!(RoutingAlgorithm::cache_stats(&strat).is_some());
     }
 }

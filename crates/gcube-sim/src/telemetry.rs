@@ -170,6 +170,12 @@ pub trait TelemetrySink {
     #[inline]
     fn health_transition(&mut self, _cycle: u64, _from: HealthState, _to: HealthState) {}
 
+    /// A multitree plan switched trees `switches` times (and fell back to
+    /// FTGCR when `exhausted`). Called once per planned route carrying
+    /// tree data; single-tree strategies never call it.
+    #[inline]
+    fn tree_activity(&mut self, _switches: u64, _exhausted: bool) {}
+
     /// Wall-clock nanoseconds spent in `phase` this cycle. Never exported
     /// to the deterministic CSV/JSONL streams.
     #[inline]
@@ -220,6 +226,11 @@ pub struct ShardTelemetry {
     /// Packets this shard dropped this cycle (stranding and TTL; recovery
     /// drops are resolved — and accounted — by the coordinator).
     pub dropped: u64,
+    /// Tree switches across this shard's injection plans this cycle
+    /// (multitree strategies only; recovery replans are coordinator-owned).
+    pub tree_switches: u64,
+    /// Injection plans that exhausted every tree and fell back to FTGCR.
+    pub tree_exhausted: u64,
 }
 
 impl ShardTelemetry {
@@ -237,6 +248,8 @@ impl ShardTelemetry {
         self.injected = 0;
         self.delivered = 0;
         self.dropped = 0;
+        self.tree_switches = 0;
+        self.tree_exhausted = 0;
     }
 }
 
@@ -292,6 +305,10 @@ impl<T: TelemetrySink + ?Sized> TelemetrySink for &mut T {
         (**self).health_transition(cycle, from, to)
     }
     #[inline]
+    fn tree_activity(&mut self, switches: u64, exhausted: bool) {
+        (**self).tree_activity(switches, exhausted)
+    }
+    #[inline]
     fn phase_time(&mut self, phase: Phase, nanos: u64) {
         (**self).phase_time(phase, nanos)
     }
@@ -318,6 +335,12 @@ impl<T: TelemetrySink + ?Sized> TelemetrySink for &mut T {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FaultBudgetMonitor {
     state: HealthState,
+    /// The routing strategy keeps working routes past the Theorem-3
+    /// budget (multitree): `BoundExceeded` is downgraded to `Degraded`.
+    survives_bound_exceeded: bool,
+    /// Whether the *current* state is such a downgrade — the reason the
+    /// health report shows `degraded` while the raw budget says exceeded.
+    downgraded: bool,
 }
 
 impl FaultBudgetMonitor {
@@ -326,9 +349,28 @@ impl FaultBudgetMonitor {
         FaultBudgetMonitor::default()
     }
 
+    /// A monitor for a strategy that reports
+    /// [`survives_bound_exceeded`](crate::strategy::RoutingAlgorithm::survives_bound_exceeded):
+    /// when true, a raw `BoundExceeded` classification is downgraded to
+    /// `Degraded` — the Theorem-3 precondition is void, but the strategy
+    /// still has independent spanning trees (plus the FTGCR fallback) to
+    /// route around the excess faults.
+    pub fn for_strategy(survives_bound_exceeded: bool) -> FaultBudgetMonitor {
+        FaultBudgetMonitor {
+            survives_bound_exceeded,
+            ..FaultBudgetMonitor::default()
+        }
+    }
+
     /// The current classification.
     pub fn state(&self) -> HealthState {
         self.state
+    }
+
+    /// Whether the current state is a `BoundExceeded` downgraded to
+    /// `Degraded` because the strategy survives past the budget.
+    pub fn downgraded(&self) -> bool {
+        self.downgraded
     }
 
     /// Re-classify `faults`; returns `Some((from, to))` when the state
@@ -338,7 +380,13 @@ impl FaultBudgetMonitor {
         gc: &GaussianCube,
         faults: &FaultSet,
     ) -> Option<(HealthState, HealthState)> {
-        let next = health_state(gc, faults);
+        let raw = health_state(gc, faults);
+        let next = if raw == HealthState::BoundExceeded && self.survives_bound_exceeded {
+            HealthState::Degraded
+        } else {
+            raw
+        };
+        self.downgraded = next != raw;
         if next != self.state {
             let prev = mem::replace(&mut self.state, next);
             Some((prev, next))
@@ -392,6 +440,12 @@ pub struct TelemetrySample {
     pub fault_events: u64,
     /// View reconvergences during the window.
     pub reconvergences: u64,
+    /// Multitree tree switches across plans made during the window (zero
+    /// for single-tree strategies).
+    pub tree_switches: u64,
+    /// Plans during the window that exhausted every tree and fell back to
+    /// FTGCR.
+    pub tree_exhausted: u64,
     /// Plan-cache counters: hits/misses are deltas over the window,
     /// entries is the absolute size at the window's end. `None` when the
     /// strategy has no cache (or it is still unused).
@@ -421,6 +475,8 @@ struct WindowAcc {
     stale_cycles: u64,
     fault_events: u64,
     reconvergences: u64,
+    tree_switches: u64,
+    tree_exhausted: u64,
 }
 
 impl WindowAcc {
@@ -434,6 +490,8 @@ impl WindowAcc {
         self.stale_cycles = 0;
         self.fault_events = 0;
         self.reconvergences = 0;
+        self.tree_switches = 0;
+        self.tree_exhausted = 0;
     }
 }
 
@@ -466,6 +524,8 @@ pub struct TelemetryCollector {
     stale_cycles_total: u64,
     fault_events_total: u64,
     reconvergences_total: u64,
+    tree_switches_total: u64,
+    tree_exhausted_total: u64,
     last_cache: CacheStats,
     transitions: Vec<HealthTransition>,
     phase_nanos: [u64; NUM_PHASES],
@@ -506,6 +566,8 @@ impl TelemetryCollector {
             stale_cycles_total: 0,
             fault_events_total: 0,
             reconvergences_total: 0,
+            tree_switches_total: 0,
+            tree_exhausted_total: 0,
             last_cache: CacheStats::default(),
             transitions: Vec::new(),
             phase_nanos: [0; NUM_PHASES],
@@ -565,6 +627,12 @@ impl TelemetryCollector {
         )
     }
 
+    /// Whole-run totals `(tree_switches, tree_exhausted)` — multitree
+    /// strategies only; both zero otherwise.
+    pub fn tree_totals(&self) -> (u64, u64) {
+        (self.tree_switches_total, self.tree_exhausted_total)
+    }
+
     /// Recorded health transitions, in order.
     pub fn transitions(&self) -> &[HealthTransition] {
         &self.transitions
@@ -604,6 +672,8 @@ impl TelemetryCollector {
             stale_cycles: self.acc.stale_cycles,
             fault_events: self.acc.fault_events,
             reconvergences: self.acc.reconvergences,
+            tree_switches: self.acc.tree_switches,
+            tree_exhausted: self.acc.tree_exhausted,
             cache,
             health: view.health,
             live_faults: view.live_faults,
@@ -624,8 +694,8 @@ impl TelemetryCollector {
         let mut out = String::new();
         out.push_str(
             "start,end,in_flight,injected,delivered,dropped,forwarded_hops,reroutes,\
-             stale_views,stale_cycles,fault_events,reconvergences,health,live_faults,\
-             cache_hits,cache_misses,cache_entries",
+             stale_views,stale_cycles,fault_events,reconvergences,tree_switches,\
+             tree_exhausted,health,live_faults,cache_hits,cache_misses,cache_entries",
         );
         for d in 0..self.n_dims {
             let _ = write!(out, ",dim{d}_hops");
@@ -640,7 +710,7 @@ impl TelemetryCollector {
         for s in &self.samples {
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 s.start,
                 s.end,
                 s.in_flight,
@@ -653,6 +723,8 @@ impl TelemetryCollector {
                 s.stale_cycles,
                 s.fault_events,
                 s.reconvergences,
+                s.tree_switches,
+                s.tree_exhausted,
                 s.health.as_str(),
                 s.live_faults,
             );
@@ -686,7 +758,8 @@ impl TelemetryCollector {
                 "{{\"start\":{},\"end\":{},\"in_flight\":{},\"injected\":{},\
                  \"delivered\":{},\"dropped\":{},\"forwarded_hops\":{},\"reroutes\":{},\
                  \"stale_views\":{},\"stale_cycles\":{},\"fault_events\":{},\
-                 \"reconvergences\":{},\"health\":\"{}\",\"live_faults\":{}",
+                 \"reconvergences\":{},\"tree_switches\":{},\"tree_exhausted\":{},\
+                 \"health\":\"{}\",\"live_faults\":{}",
                 s.start,
                 s.end,
                 s.in_flight,
@@ -699,6 +772,8 @@ impl TelemetryCollector {
                 s.stale_cycles,
                 s.fault_events,
                 s.reconvergences,
+                s.tree_switches,
+                s.tree_exhausted,
                 s.health.as_str(),
                 s.live_faults,
             );
@@ -735,6 +810,19 @@ impl TelemetryCollector {
     /// dimension utilization profile, health transitions, the Theorem 3
     /// budget standing, and the (wall-clock) phase profile.
     pub fn health_report(&self, budget: &FaultBudget) -> String {
+        self.health_report_with_trees(budget, None)
+    }
+
+    /// As [`TelemetryCollector::health_report`], plus a spanning-tree
+    /// survival section when the run used a multitree strategy: which
+    /// trees are still intact against the final fault set, and — when the
+    /// Theorem-3 precondition is void — why the monitor downgraded
+    /// `bound-exceeded` to `degraded`.
+    pub fn health_report_with_trees(
+        &self,
+        budget: &FaultBudget,
+        trees: Option<&[gcube_routing::multitree::TreeHealth]>,
+    ) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "=== network health report ===");
         let _ = writeln!(
@@ -805,6 +893,34 @@ impl TelemetryCollector {
                  (guaranteed bound {})",
                 w.k, w.t, w.faults, w.bound_paper, w.bound_guaranteed
             );
+        }
+        if let Some(trees) = trees {
+            let _ = writeln!(out, "--- spanning-tree survival (multitree) ---");
+            let _ = writeln!(
+                out,
+                "plans: {} tree switches, {} tree-exhausted FTGCR fallbacks",
+                self.tree_switches_total, self.tree_exhausted_total
+            );
+            for t in trees {
+                if t.clean {
+                    let _ = writeln!(out, "  tree {}: intact (no matching faults)", t.tree);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  tree {}: threatened ({} matching fault links, {} fault nodes)",
+                        t.tree, t.matching_fault_links, t.fault_nodes
+                    );
+                }
+            }
+            if !budget.precondition_paper {
+                let intact = trees.iter().filter(|t| t.clean).count();
+                let _ = writeln!(
+                    out,
+                    "Theorem-3 precondition void, but {intact} of {} trees intact and the \
+                     FTGCR fallback remains: bound-exceeded downgraded to degraded",
+                    trees.len()
+                );
+            }
         }
         if self.transitions.is_empty() {
             let _ = writeln!(out, "health transitions: none");
@@ -900,6 +1016,16 @@ impl TelemetrySink for TelemetryCollector {
     }
 
     #[inline]
+    fn tree_activity(&mut self, switches: u64, exhausted: bool) {
+        self.acc.tree_switches += switches;
+        self.tree_switches_total += switches;
+        if exhausted {
+            self.acc.tree_exhausted += 1;
+            self.tree_exhausted_total += 1;
+        }
+    }
+
+    #[inline]
     fn phase_time(&mut self, phase: Phase, nanos: u64) {
         self.phase_nanos[phase as usize] += nanos;
     }
@@ -915,6 +1041,10 @@ impl TelemetrySink for TelemetryCollector {
         self.delivered_total += delta.delivered;
         self.acc.dropped += delta.dropped;
         self.dropped_total += delta.dropped;
+        self.acc.tree_switches += delta.tree_switches;
+        self.tree_switches_total += delta.tree_switches;
+        self.acc.tree_exhausted += delta.tree_exhausted;
+        self.tree_exhausted_total += delta.tree_exhausted;
     }
 
     fn end_cycle(&mut self, view: CycleView<'_>) {

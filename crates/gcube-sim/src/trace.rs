@@ -125,6 +125,20 @@ pub enum TraceEventKind {
         /// Live faulty components (nodes + links) at the transition.
         faults: u64,
     },
+    /// A multitree plan did not get its first-choice spanning tree:
+    /// `switches` trees were rejected for faults before tree `tree`
+    /// carried the plan — or, when `exhausted`, the whole bundle was
+    /// blocked and the plan came from the FTGCR fallback. Emitted right
+    /// after the `Inject` or `Reroute` event whose plan it describes;
+    /// first-choice plans emit nothing.
+    TreeSwitch {
+        /// The tree that carried the plan (start tree when `exhausted`).
+        tree: u32,
+        /// Trees tried and rejected before this plan.
+        switches: u32,
+        /// All trees were blocked; the plan is an FTGCR fallback.
+        exhausted: bool,
+    },
 }
 
 /// One flight-recorder event: a packet did something at a node on a cycle.
@@ -175,6 +189,15 @@ impl TraceEvent {
                 format!(
                     ",\"event\":\"health\",\"state\":\"{}\",\"faults\":{faults}}}",
                     state.as_str()
+                )
+            }
+            TraceEventKind::TreeSwitch {
+                tree,
+                switches,
+                exhausted,
+            } => {
+                format!(
+                    ",\"event\":\"tree_switch\",\"tree\":{tree},\"switches\":{switches},\"exhausted\":{exhausted}}}"
                 )
             }
         };
@@ -363,6 +386,16 @@ mod tests {
                 kind: TraceEventKind::Reroute { budget_left: 7 },
             },
             TraceEvent {
+                cycle: 5,
+                packet: 0,
+                node: NodeId(7),
+                kind: TraceEventKind::TreeSwitch {
+                    tree: 1,
+                    switches: 1,
+                    exhausted: false,
+                },
+            },
+            TraceEvent {
                 cycle: 9,
                 packet: 0,
                 node: NodeId(9),
@@ -425,10 +458,10 @@ mod tests {
             for e in sample_events() {
                 sink.record(&e);
             }
-            assert_eq!(sink.finish().unwrap(), 7);
+            assert_eq!(sink.finish().unwrap(), 8);
         }
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().count(), 7);
+        assert_eq!(text.lines().count(), 8);
         assert_eq!(text, to_jsonl(&sample_events()));
     }
 
@@ -458,7 +491,7 @@ mod tests {
             sink.record(&e); // must not panic once the writer dies
         }
         // writeln! may split a line across write calls, so only bound it.
-        assert!(sink.written() >= 1 && sink.written() < 7);
+        assert!(sink.written() >= 1 && sink.written() < 8);
         let err = sink.error().expect("error latched");
         assert_eq!(err.kind(), io::ErrorKind::WriteZero);
         let err = sink.finish().expect_err("finish surfaces the error");

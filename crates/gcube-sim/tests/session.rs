@@ -1,6 +1,6 @@
-//! The `SimSession` front door: builder composition, legacy-wrapper
-//! delegation, thread resolution, and — the headline guarantee — bitwise
-//! sequential/sharded equivalence for arbitrary configurations.
+//! The `SimSession` front door: builder composition, thread resolution,
+//! and — the headline guarantee — bitwise sequential/sharded equivalence
+//! for arbitrary configurations and strategies (multitree included).
 
 use proptest::prelude::*;
 
@@ -42,28 +42,43 @@ fn builder_composes_every_observer_combination() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_delegate_to_the_session() {
-    let sim = Simulator::new(churn_config(), &gcube_sim::FaultTolerantGcr);
-    let report = sim.session().run();
-
-    assert_eq!(sim.run(), report.metrics);
-    assert_eq!(sim.run_report(), report);
-
-    let mut a = MemorySink::new();
-    let mut b = MemorySink::new();
-    assert_eq!(sim.run_traced(&mut a), report);
-    assert_eq!(
-        sim.session().trace(&mut b).run(),
-        report,
-        "wrapper and session must agree"
+fn multitree_shards_bitwise_under_churn() {
+    // One fresh strategy per run: the shared FTGCR-fallback plan cache
+    // and the atlas screen are cumulative, so reusing an instance would
+    // (correctly) change telemetry cache counters between runs.
+    let run_with = |threads: usize| {
+        let alg = gcube_sim::MultiTreeStrategy::new(2);
+        let sim = Simulator::new(churn_config(), &alg);
+        let mut sink = MemorySink::new();
+        let mut telem = TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+        let report = sim
+            .session()
+            .threads(threads)
+            .trace(&mut sink)
+            .telemetry(&mut telem)
+            .run();
+        (report, sink, telem)
+    };
+    let (seq, seq_sink, seq_tel) = run_with(1);
+    assert!(
+        seq.metrics.tree_routes.iter().sum::<u64>() > 0,
+        "multitree must carry traffic on trees"
     );
-    assert_eq!(a.events(), b.events());
-
-    let mut c = MemorySink::new();
-    let mut telem = TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
-    assert_eq!(sim.run_instrumented(&mut c, &mut telem), report);
-    assert_eq!(a.events(), c.events());
+    assert!(seq.tree_health.is_some(), "report must carry tree health");
+    for threads in [2, 4] {
+        let (par, par_sink, par_tel) = run_with(threads);
+        assert_eq!(seq, par, "report mismatch at threads={threads}");
+        assert_eq!(
+            seq_sink.events(),
+            par_sink.events(),
+            "trace mismatch at threads={threads}"
+        );
+        assert_eq!(
+            seq_tel.to_csv(),
+            par_tel.to_csv(),
+            "telemetry mismatch at threads={threads}"
+        );
+    }
 }
 
 #[test]
@@ -178,17 +193,23 @@ proptest! {
     /// identical trace stream, the identical telemetry exports, and a
     /// balanced conservation ledger.
     #[test]
-    fn sharded_runs_are_bitwise_sequential(cfg in arb_config()) {
+    fn sharded_runs_are_bitwise_sequential((cfg, multitree) in (arb_config(), any::<bool>())) {
         let uses_ftgcr = cfg.faulty_nodes > 0 || !cfg.schedule.is_none();
         // One fresh algorithm instance per run: plan-cache hit/miss
         // counters are cumulative for the cache's lifetime, so a shared
         // warm cache would (correctly) report different telemetry for the
         // second run regardless of the engine used.
         let run_with = |threads: usize| {
+            let alg_mt = gcube_sim::MultiTreeStrategy::new(2);
             let alg_ft = gcube_sim::CachedFtgcr::new();
             let alg_ff = gcube_sim::CachedFfgcr::new();
-            let alg: &dyn gcube_sim::RoutingAlgorithm =
-                if uses_ftgcr { &alg_ft } else { &alg_ff };
+            let alg: &dyn gcube_sim::RoutingAlgorithm = if multitree {
+                &alg_mt
+            } else if uses_ftgcr {
+                &alg_ft
+            } else {
+                &alg_ff
+            };
             let sim = Simulator::new(cfg.clone(), alg);
             let mut sink = MemorySink::new();
             let mut tel =

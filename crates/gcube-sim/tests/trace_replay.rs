@@ -4,7 +4,8 @@
 
 use gcube_sim::{
     parse_jsonl, trace, verify_replay, CachedFtgcr, CategoryMix, FaultKind, FaultSchedule,
-    KnowledgeModel, MemorySink, ReplayError, SimConfig, Simulator, TraceEventKind,
+    KnowledgeModel, MemorySink, MultiTreeStrategy, ReplayError, SimConfig, Simulator,
+    TraceEventKind,
 };
 
 /// A seeded churn workload that exercises every event kind: hops, stale
@@ -120,6 +121,58 @@ fn replay_detects_tampering() {
 
     // Different seed: diverges (at some event, or in length).
     assert!(verify_replay(churn_config().with_seed(1), &CachedFtgcr::new(), &events).is_err());
+}
+
+#[test]
+fn multitree_tree_switches_replay_and_round_trip() {
+    let alg = MultiTreeStrategy::new(2);
+    let mut sink = MemorySink::new();
+    let report = Simulator::new(churn_config(), &alg)
+        .session()
+        .trace(&mut sink)
+        .run();
+    let switch_events: Vec<_> = sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::TreeSwitch { .. }))
+        .collect();
+    assert!(
+        !switch_events.is_empty(),
+        "churn under multitree must emit tree_switch events"
+    );
+    // The trace's per-event switch counts reconcile with the metrics
+    // ledger exactly (first-choice plans emit no event and add nothing).
+    let traced_switches: u64 = switch_events
+        .iter()
+        .map(|e| match e.kind {
+            TraceEventKind::TreeSwitch { switches, .. } => u64::from(switches),
+            _ => unreachable!(),
+        })
+        .sum();
+    assert_eq!(traced_switches, report.metrics.tree_switches);
+    let traced_exhausted = switch_events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceEventKind::TreeSwitch {
+                    exhausted: true,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(traced_exhausted, report.metrics.tree_exhausted);
+
+    // JSONL round trip preserves the tree fields bit for bit.
+    let text = trace::to_jsonl(sink.events());
+    assert_eq!(parse_jsonl(&text).unwrap().as_slice(), sink.events());
+
+    // A fresh strategy instance (cold atlas, cold caches) replays the
+    // recorded stream event for event.
+    let events = sink.into_events();
+    let n = verify_replay(churn_config(), &MultiTreeStrategy::new(2), &events).unwrap();
+    assert_eq!(n, events.len());
 }
 
 #[test]
