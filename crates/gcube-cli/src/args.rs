@@ -176,7 +176,10 @@ PARALLELISM:
                        (default 1 = sequential, 0 = all available cores);
                        the effective shard count is capped at the cube's
                        2^alpha ending classes, and any N produces bitwise
-                       identical results
+                       identical results. Oversubscribing cores is safe:
+                       workers park between rounds instead of spinning,
+                       so N above the core count costs bounded barrier
+                       overhead, not a slowdown storm
 CHURN (dynamic faults applied while packets are in flight):
   --churn R            per-cycle Bernoulli fault-arrival probability
   --fault-at SPEC      scripted event, CYCLE:node:V or CYCLE:link:V:DIM (repeatable)

@@ -35,7 +35,6 @@
 //! exhausted, when no recovery route exists, or when the node buffering
 //! them dies.
 
-use std::collections::VecDeque;
 use std::time::Instant;
 
 use gcube_routing::faults::fault_budget;
@@ -49,6 +48,7 @@ use crate::injection::FaultInjector;
 use crate::metrics::{ChurnReport, Metrics, WindowStat, MAX_TREES};
 use crate::packet::Packet;
 use crate::session::SimSession;
+use crate::soa::{LinkTable, NodeQueues, PacketStore};
 use crate::strategy::{RoutingAlgorithm, TreeChoice};
 use crate::telemetry::{CycleView, FaultBudgetMonitor, Phase, TelemetrySink};
 use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET};
@@ -148,7 +148,12 @@ impl<'a> Simulator<'a> {
         telem: &mut T,
     ) -> ChurnReport {
         let n_nodes = self.gc.num_nodes();
-        let mut queues: Vec<VecDeque<Packet>> = (0..n_nodes).map(|_| VecDeque::new()).collect();
+        // Structure-of-arrays packet state (see `crate::soa`): an arena of
+        // packet fields plus intrusive per-node FIFO queues and an
+        // occupancy bitset, so the forwarding scan only visits nodes that
+        // actually hold packets.
+        let mut store = PacketStore::new();
+        let mut queues = NodeQueues::new(n_nodes);
         let mut traffic = TrafficGen::with_pattern(
             self.config.seed,
             self.config.injection_rate,
@@ -181,6 +186,11 @@ impl<'a> Simulator<'a> {
         // Cycle at which the view next snaps to the truth, if an exchange
         // is in progress.
         let mut converge_at: Option<u64> = None;
+        // Bitset mirror of the truth: dead-node word probes for the
+        // injection loop, dead-link word probes for the forwarding scan.
+        // Resynced only when the truth's generation stamp moves.
+        let mut links = LinkTable::new(n_nodes, self.gc.n());
+        links.sync(&truth);
 
         // The Theorem-3 fault-budget monitor runs whether or not
         // telemetry is attached: health transitions are trace events and
@@ -208,8 +218,13 @@ impl<'a> Simulator<'a> {
         let profiling = telem.enabled();
 
         // Reusable per-cycle scratch, allocated once for the whole run:
-        // the forwarding hot path is allocation-free.
-        let mut moves: Vec<Packet> = Vec::new();
+        // the forwarding hot path is allocation-free. `moves` holds the
+        // arena slots that advanced this cycle; `scan` snapshots the
+        // occupied nodes in service order (safe: the scan pops only at the
+        // visited node and buffers every push until the drain, so the
+        // snapshot equals the live occupancy).
+        let mut moves: Vec<u32> = Vec::new();
+        let mut scan: Vec<u32> = Vec::new();
         // Per-ending-class queue aggregates, maintained incrementally on
         // every push/pop so telemetry sampling is O(classes), not
         // O(nodes): packets queued per class, and nodes per class with a
@@ -219,7 +234,13 @@ impl<'a> Simulator<'a> {
         let mut class_occupied: Vec<u64> = vec![0; cmask + 1];
         // Backpressure scratch: arrivals granted this cycle per node, with
         // a touched-list so resetting costs O(arrivals), not O(nodes).
-        let mut arriving: Vec<u32> = vec![0; n_nodes as usize];
+        // Only materialised when finite buffers are on — at GC(20) the
+        // dense array would cost 4 MiB for a mode that cannot engage.
+        let mut arriving: Vec<u32> = if capacity.is_some() {
+            vec![0; n_nodes as usize]
+        } else {
+            Vec::new()
+        };
         let mut arrival_nodes: Vec<usize> = Vec::new();
 
         let mut ended_at = total_cycles;
@@ -259,25 +280,31 @@ impl<'a> Simulator<'a> {
                             });
                         }
                     }
-                    for (v, queue) in queues.iter_mut().enumerate() {
-                        if truth.is_node_faulty(NodeId(v as u64)) && !queue.is_empty() {
-                            class_queued[v & cmask] -= queue.len() as u64;
-                            class_occupied[v & cmask] -= 1;
-                            for pkt in queue.split_off(0) {
-                                in_flight -= 1;
-                                count_drop(
-                                    &mut metrics,
-                                    &mut windows[widx],
-                                    &pkt,
-                                    DropCause::Stranded,
-                                    measuring,
-                                    warmup,
-                                    cycle,
-                                    NodeId(v as u64),
-                                    sink,
-                                    telem,
-                                );
-                            }
+                    links.sync(&truth);
+                    queues.collect_occupied(&mut scan);
+                    for &vq in &scan {
+                        let v = vq as usize;
+                        if !links.node_faulty(vq as u64) {
+                            continue;
+                        }
+                        class_queued[v & cmask] -= queues.len(v) as u64;
+                        class_occupied[v & cmask] -= 1;
+                        while !queues.is_empty(v) {
+                            let slot = queues.pop_front(&mut store, v);
+                            let pkt = store.remove(slot);
+                            in_flight -= 1;
+                            count_drop(
+                                &mut metrics,
+                                &mut windows[widx],
+                                &pkt,
+                                DropCause::Stranded,
+                                measuring,
+                                warmup,
+                                cycle,
+                                NodeId(v as u64),
+                                sink,
+                                telem,
+                            );
                         }
                     }
                     let delay = self.knowledge_delay(&truth);
@@ -312,11 +339,11 @@ impl<'a> Simulator<'a> {
             if cycle < self.config.inject_cycles {
                 for v in 0..n_nodes {
                     let src = NodeId(v);
-                    if truth.is_node_faulty(src) || !traffic.fires() {
+                    if links.node_faulty(v) || !traffic.fires() {
                         continue;
                     }
                     if let Some(cap) = capacity {
-                        if queues[v as usize].len() >= cap {
+                        if queues.len(v as usize) >= cap {
                             // Backpressure: the source buffer is full.
                             if measuring {
                                 metrics.blocked_injections += 1;
@@ -344,7 +371,7 @@ impl<'a> Simulator<'a> {
                     match self.algorithm.plan_route(&self.gc, &view, src, dst) {
                         Ok(planned) => {
                             let tree = planned.tree;
-                            let pkt = Packet::new(id, cycle, planned.route);
+                            let planned_hops = planned.route.hops() as u64;
                             metrics.injected_total += 1;
                             telem.inject();
                             if measuring {
@@ -354,12 +381,9 @@ impl<'a> Simulator<'a> {
                             if sink.enabled() {
                                 sink.record(&TraceEvent {
                                     cycle,
-                                    packet: pkt.id,
+                                    packet: id,
                                     node: src,
-                                    kind: TraceEventKind::Inject {
-                                        dst,
-                                        planned_hops: pkt.planned_hops,
-                                    },
+                                    kind: TraceEventKind::Inject { dst, planned_hops },
                                 });
                             }
                             if let Some(tc) = tree {
@@ -372,7 +396,7 @@ impl<'a> Simulator<'a> {
                                 if sink.enabled() && (tc.switches > 0 || tc.exhausted) {
                                     sink.record(&TraceEvent {
                                         cycle,
-                                        packet: pkt.id,
+                                        packet: id,
                                         node: src,
                                         kind: TraceEventKind::TreeSwitch {
                                             tree: tc.tree,
@@ -382,9 +406,10 @@ impl<'a> Simulator<'a> {
                                     });
                                 }
                             }
-                            if pkt.arrived() {
+                            if planned_hops == 0 {
                                 // src == dst cannot happen (pick_dest), but a
-                                // zero-hop route would sink immediately.
+                                // zero-hop route would sink immediately —
+                                // without ever touching the arena.
                                 metrics.delivered_total += 1;
                                 telem.deliver();
                                 if measuring {
@@ -396,7 +421,7 @@ impl<'a> Simulator<'a> {
                                 if sink.enabled() {
                                     sink.record(&TraceEvent {
                                         cycle,
-                                        packet: pkt.id,
+                                        packet: id,
                                         node: src,
                                         kind: TraceEventKind::Deliver {
                                             latency: 0,
@@ -407,11 +432,12 @@ impl<'a> Simulator<'a> {
                             } else {
                                 in_flight += 1;
                                 let vu = v as usize;
-                                if queues[vu].is_empty() {
+                                let slot = store.alloc(id, cycle, planned.route);
+                                if queues.is_empty(vu) {
                                     class_occupied[vu & cmask] += 1;
                                 }
                                 class_queued[vu & cmask] += 1;
-                                queues[vu].push_back(pkt);
+                                queues.push_back(&mut store, vu, slot);
                             }
                         }
                         Err(_) => {
@@ -435,19 +461,25 @@ impl<'a> Simulator<'a> {
             //    fairness.
             let phase_started = profiling.then(Instant::now);
             let offset = (cycle % n_nodes) as usize;
-            for i in 0..n_nodes as usize {
-                let v = (i + offset) % n_nodes as usize;
-                let Some(head) = queues[v].front() else {
+            // Word-scan the occupancy bitset in rotated service order: the
+            // cost is O(words + occupied nodes), not O(nodes). The snapshot
+            // is exact — the scan pops only at the node being visited and
+            // every push is buffered in `moves` until the drain below.
+            queues.collect_occupied_rotated(offset, &mut scan);
+            for &vq in &scan {
+                let v = vq as usize;
+                let Some(head) = queues.front(v) else {
                     continue;
                 };
-                let from = head.current();
-                let Some(to) = head.next_hop() else {
+                let from = store.current(head);
+                let Some(to) = store.next_hop(head) else {
                     // A recovery replan can find the packet already at its
                     // destination (the original route passed through it on
                     // the way elsewhere): sink it instead of forwarding.
-                    let pkt = queues[v].pop_front().expect("head exists");
+                    let slot = queues.pop_front(&mut store, v);
+                    let pkt = store.remove(slot);
                     class_queued[v & cmask] -= 1;
-                    if queues[v].is_empty() {
+                    if queues.is_empty(v) {
                         class_occupied[v & cmask] -= 1;
                     }
                     in_flight -= 1;
@@ -478,52 +510,52 @@ impl<'a> Simulator<'a> {
                     continue;
                 };
                 let dim = (from.0 ^ to.0).trailing_zeros();
-                if dynamic {
-                    let link = LinkId::new(from, dim);
-                    if !truth.is_link_usable(link) {
-                        // The planned hop is dead: the holder observes the
-                        // failure and the engine recovers or drops. Either
-                        // way this packet spends the cycle here.
-                        let cause = self.recover(
-                            &mut queues[v],
-                            &mut view,
-                            &truth,
-                            link,
-                            to,
-                            cycle,
+                if dynamic && !links.link_usable(from, to, dim) {
+                    // The planned hop is dead: the holder observes the
+                    // failure and the engine recovers or drops. Either
+                    // way this packet spends the cycle here.
+                    let cause = self.recover(
+                        &mut store,
+                        &mut queues,
+                        v,
+                        &mut view,
+                        &links,
+                        LinkId::new(from, dim),
+                        to,
+                        cycle,
+                        &mut metrics,
+                        &mut windows[widx],
+                        sink,
+                        telem,
+                    );
+                    if let Some((pkt, cause)) = cause {
+                        class_queued[v & cmask] -= 1;
+                        if queues.is_empty(v) {
+                            class_occupied[v & cmask] -= 1;
+                        }
+                        in_flight -= 1;
+                        count_drop(
                             &mut metrics,
                             &mut windows[widx],
+                            &pkt,
+                            cause,
+                            measuring,
+                            warmup,
+                            cycle,
+                            pkt.current(),
                             sink,
                             telem,
                         );
-                        if let Some((pkt, cause)) = cause {
-                            class_queued[v & cmask] -= 1;
-                            if queues[v].is_empty() {
-                                class_occupied[v & cmask] -= 1;
-                            }
-                            in_flight -= 1;
-                            count_drop(
-                                &mut metrics,
-                                &mut windows[widx],
-                                &pkt,
-                                cause,
-                                measuring,
-                                warmup,
-                                cycle,
-                                pkt.current(),
-                                sink,
-                                telem,
-                            );
-                        }
-                        continue;
                     }
+                    continue;
                 }
                 // The TTL applies to static runs too: a packet out of hop
                 // budget dies here whether or not faults are in play.
-                if head.hops_taken >= ttl {
-                    let pkt = queues[v].pop_front().expect("head exists");
+                if u64::from(store.hops_taken[head as usize]) >= ttl {
+                    let slot = queues.pop_front(&mut store, v);
+                    let pkt = store.remove(slot);
                     class_queued[v & cmask] -= 1;
-                    if queues[v].is_empty() {
+                    if queues.is_empty(v) {
                         class_occupied[v & cmask] -= 1;
                     }
                     in_flight -= 1;
@@ -541,92 +573,97 @@ impl<'a> Simulator<'a> {
                     );
                     continue;
                 }
-                let sinks = head.hop_idx + 2 == head.route.nodes().len();
+                let sinks =
+                    store.hop_idx[head as usize] as usize + 2 == store.route(head).nodes().len();
                 if let Some(cap) = capacity {
                     // A packet sinking at its destination always fits
                     // (eager readership at the consumer); otherwise the
                     // target buffer must have room. Arrivals granted this
                     // cycle count against the room; departures free their
                     // slot next cycle — conservative store-and-forward.
-                    if !sinks
-                        && queues[to.0 as usize].len() + arriving[to.0 as usize] as usize >= cap
+                    if !sinks && queues.len(to.0 as usize) + arriving[to.0 as usize] as usize >= cap
                     {
                         continue; // backpressure: wait for room
                     }
-                }
-                if !sinks {
-                    if arriving[to.0 as usize] == 0 {
-                        arrival_nodes.push(to.0 as usize);
+                    if !sinks {
+                        if arriving[to.0 as usize] == 0 {
+                            arrival_nodes.push(to.0 as usize);
+                        }
+                        arriving[to.0 as usize] += 1;
                     }
-                    arriving[to.0 as usize] += 1;
                 }
                 // Unconditional whole-run hop ledger: the telemetry
                 // per-dimension counters must reconcile with it exactly.
                 metrics.forwarded_hops_total += 1;
                 telem.hop(dim);
-                let mut pkt = queues[v].pop_front().expect("head exists");
+                let slot = queues.pop_front(&mut store, v);
                 class_queued[v & cmask] -= 1;
-                if queues[v].is_empty() {
+                if queues.is_empty(v) {
                     class_occupied[v & cmask] -= 1;
                 }
-                pkt.hop_idx += 1;
-                pkt.hops_taken += 1;
-                moves.push(pkt);
+                store.advance(slot);
+                moves.push(slot);
             }
-            for pkt in moves.drain(..) {
-                let measured_pkt = measuring && pkt.injected_at >= warmup;
+            for &slot in &moves {
+                let injected_at = store.injected_at[slot as usize];
+                let measured_pkt = measuring && injected_at >= warmup;
                 if measured_pkt {
                     metrics.total_hops += 1;
                 }
+                let cur = store.current(slot);
                 if sink.enabled() {
                     // hop_idx was already advanced: the previous node is
                     // one step back on the current trajectory.
                     sink.record(&TraceEvent {
                         cycle,
-                        packet: pkt.id,
-                        node: pkt.current(),
+                        packet: store.id[slot as usize],
+                        node: cur,
                         kind: TraceEventKind::Hop {
-                            from: pkt.route.nodes()[pkt.hop_idx - 1],
+                            from: store.route(slot).nodes()
+                                [store.hop_idx[slot as usize] as usize - 1],
                         },
                     });
                 }
-                if pkt.arrived() {
+                if store.arrived(slot) {
                     in_flight -= 1;
                     metrics.delivered_total += 1;
                     telem.deliver();
                     windows[widx].delivered += 1;
+                    let hops = u64::from(store.hops_taken[slot as usize]);
                     if measured_pkt {
                         metrics.delivered += 1;
-                        metrics.total_latency += cycle + 1 - pkt.injected_at;
-                        metrics.latency_hist.record(cycle + 1 - pkt.injected_at);
-                        metrics.hops_hist.record(pkt.hops_taken);
-                        metrics.rerouted_hops += pkt.detour_hops();
-                        if pkt.reroutes > 0 {
+                        metrics.total_latency += cycle + 1 - injected_at;
+                        metrics.latency_hist.record(cycle + 1 - injected_at);
+                        metrics.hops_hist.record(hops);
+                        metrics.rerouted_hops += store.detour_hops(slot);
+                        if store.reroutes[slot as usize] > 0 {
                             metrics.rerouted_packets += 1;
                         }
                     }
                     if sink.enabled() {
                         sink.record(&TraceEvent {
                             cycle,
-                            packet: pkt.id,
-                            node: pkt.current(),
+                            packet: store.id[slot as usize],
+                            node: cur,
                             kind: TraceEventKind::Deliver {
-                                latency: cycle + 1 - pkt.injected_at,
-                                hops: pkt.hops_taken,
+                                latency: cycle + 1 - injected_at,
+                                hops,
                             },
                         });
                     }
+                    store.discard(slot);
                 } else {
                     // Keep FIFO order at the receiving node; the packet can
                     // move again no earlier than next cycle.
-                    let cur = pkt.current().0 as usize;
-                    if queues[cur].is_empty() {
-                        class_occupied[cur & cmask] += 1;
+                    let cu = cur.0 as usize;
+                    if queues.is_empty(cu) {
+                        class_occupied[cu & cmask] += 1;
                     }
-                    class_queued[cur & cmask] += 1;
-                    queues[cur].push_back(pkt);
+                    class_queued[cu & cmask] += 1;
+                    queues.push_back(&mut store, cu, slot);
                 }
             }
+            moves.clear();
             for &t in &arrival_nodes {
                 arriving[t] = 0;
             }
@@ -690,7 +727,7 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Handle the head packet of `queue` whose next hop just proved dead.
+    /// Handle the head packet of node `v` whose next hop just proved dead.
     ///
     /// Publishes the observed failure into the view (and a stale-view
     /// exposure event into the trace — the packet was planned against
@@ -700,9 +737,11 @@ impl<'a> Simulator<'a> {
     #[allow(clippy::too_many_arguments)]
     fn recover<S: TraceSink, T: TelemetrySink>(
         &self,
-        queue: &mut VecDeque<Packet>,
+        store: &mut PacketStore,
+        queues: &mut NodeQueues,
+        v: usize,
         view: &mut FaultSet,
-        truth: &FaultSet,
+        links: &LinkTable,
         link: LinkId,
         to: NodeId,
         cycle: u64,
@@ -713,50 +752,54 @@ impl<'a> Simulator<'a> {
     ) -> Option<(Packet, DropCause)> {
         // Local discovery: the blocked node learns exactly which component
         // failed and that knowledge enters the routing view at once.
-        if truth.is_node_faulty(to) {
+        if links.node_faulty(to.0) {
             view.add_node(to);
         } else {
             view.add_link(link);
         }
-        let head = queue
-            .front_mut()
+        let head = queues
+            .front(v)
             .expect("recover is called on a non-empty queue");
         telem.stale_view();
         if sink.enabled() {
             sink.record(&TraceEvent {
                 cycle,
-                packet: head.id,
-                node: head.current(),
+                packet: store.id[head as usize],
+                node: store.current(head),
                 kind: TraceEventKind::StaleView { blocked: to },
             });
         }
-        if head.hops_taken >= self.config.effective_ttl() {
-            let pkt = queue.pop_front().expect("head exists");
-            return Some((pkt, DropCause::TtlExpired));
+        if u64::from(store.hops_taken[head as usize]) >= self.config.effective_ttl() {
+            let slot = queues.pop_front(store, v);
+            return Some((store.remove(slot), DropCause::TtlExpired));
         }
-        if head.reroutes >= self.config.reroute_budget {
-            let pkt = queue.pop_front().expect("head exists");
-            return Some((pkt, DropCause::Unrecoverable));
+        if store.reroutes[head as usize] >= self.config.reroute_budget {
+            let slot = queues.pop_front(store, v);
+            return Some((store.remove(slot), DropCause::Unrecoverable));
         }
-        let from = head.current();
-        let dest = *head.route.nodes().last().expect("routes are non-empty");
+        let from = store.current(head);
+        let dest = *store
+            .route(head)
+            .nodes()
+            .last()
+            .expect("routes are non-empty");
         match self.algorithm.plan_route(&self.gc, view, from, dest) {
             Ok(planned) => {
                 let tree = planned.tree;
-                head.replan(planned.route);
+                store.replan(head, planned.route);
                 telem.reroute();
                 if sink.enabled() {
                     sink.record(&TraceEvent {
                         cycle,
-                        packet: head.id,
+                        packet: store.id[head as usize],
                         node: from,
                         kind: TraceEventKind::Reroute {
-                            budget_left: self.config.reroute_budget - head.reroutes,
+                            budget_left: self.config.reroute_budget - store.reroutes[head as usize],
                         },
                     });
                 }
                 if let Some(tc) = tree {
-                    let id = head.id;
+                    let id = store.id[head as usize];
                     account_tree_choice(metrics, window, &mut *telem, tc);
                     if sink.enabled() && (tc.switches > 0 || tc.exhausted) {
                         sink.record(&TraceEvent {
@@ -774,8 +817,8 @@ impl<'a> Simulator<'a> {
                 None
             }
             Err(_) => {
-                let pkt = queue.pop_front().expect("head exists");
-                Some((pkt, DropCause::Unrecoverable))
+                let slot = queues.pop_front(store, v);
+                Some((store.remove(slot), DropCause::Unrecoverable))
             }
         }
     }

@@ -37,6 +37,7 @@ pub mod replay;
 pub mod runner;
 pub mod session;
 mod shard;
+mod soa;
 pub mod strategy;
 pub mod telemetry;
 pub mod trace;

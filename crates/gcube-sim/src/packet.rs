@@ -77,6 +77,17 @@ impl Packet {
     pub fn arrived(&self) -> bool {
         self.hop_idx + 1 == self.route.nodes().len()
     }
+
+    /// The final destination — stable across replans: a recovery route is
+    /// always planned to the same endpoint.
+    #[inline]
+    pub fn dest(&self) -> NodeId {
+        *self
+            .route
+            .nodes()
+            .last()
+            .expect("routes hold at least the source")
+    }
 }
 
 #[cfg(test)]

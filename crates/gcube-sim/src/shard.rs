@@ -6,45 +6,59 @@
 //! shard-local and confines cross-shard traffic to the low `α`
 //! dimensions. Each of the `T = min(threads, 2^α)` shards owns a
 //! contiguous chunk of classes and runs the same cycle loop as the
-//! sequential engine over its own nodes.
+//! sequential engine over its own nodes — on the same structure-of-arrays
+//! packet state ([`crate::soa`]) the sequential engine uses.
 //!
 //! # Lockstep protocol
 //!
 //! Shard 0 is the *coordinator* and runs on the calling thread (it alone
 //! touches the caller's trace and telemetry sinks, so the worker threads
 //! need no `Send` bounds on the sinks); shards `1..T` are workers on
-//! `std::thread::scope` threads, one [`std::sync::mpsc`] inbox each.
-//! Every cycle proceeds in barriered rounds:
+//! `std::thread::scope` threads. All cross-shard traffic flows through a
+//! shared [`Exchange`]: preallocated mailbox cells synchronised by a
+//! spinning [`SpinBarrier`] — no channels, no per-cycle allocation, no
+//! cloned fault views. Every cycle proceeds in barriered rounds:
 //!
 //! 1. **Phase 0 (replicated, no communication).** Every shard owns an
 //!    identical replica of the ground truth, the routing view, and the
 //!    fault injector (all seeded deterministically), so fault events,
 //!    stranding of its own nodes, and view reconvergence are computed
 //!    locally and identically everywhere.
-//! 2. **Round A — injection.** The coordinator runs the single traffic
-//!    RNG over all nodes in node order (preserving the sequential draw
-//!    sequence exactly) and ships each shard the injection requests for
-//!    its nodes; owners plan routes against their view replica and
-//!    account the outcome.
-//! 3. **Forward scan (parallel).** Each shard classifies its own queue
-//!    heads. Head classification reads only the packet and the truth —
-//!    never the view — so it is order-independent. Blocked heads become
-//!    *recovery candidates* (shipped to the coordinator, queue
-//!    untouched); everything else is delivered, dropped, or moved
-//!    exactly as in the sequential scan.
-//! 4. **Round B — all-to-all.** Shards exchange moved packets (tagged
-//!    with their service index so arrival order reproduces the
-//!    sequential drain order) plus an in-flight contribution used for
-//!    the cooperative exit test; the coordinator additionally receives
-//!    candidates and buffered trace events.
+//! 2. **Round A — injection (work-stealing).** The coordinator runs the
+//!    single traffic RNG over all nodes in node order (preserving the
+//!    sequential draw sequence exactly) and groups the requests by
+//!    *ending class* into shared plan units. After a barrier, **every**
+//!    thread steals whole units off an atomic cursor and plans them
+//!    against its own (identical) view replica — so a skewed class
+//!    doesn't serialise on its owner. After a second barrier, owners
+//!    account their classes' outcomes. Stealing is deterministic: the
+//!    plan-cache key includes the source ending class, so concurrent
+//!    units touch disjoint key sets and the hit/miss counters match the
+//!    sequential run for any thread count.
+//! 3. **Forward scan (parallel).** Each shard walks its occupancy bitset
+//!    in the global rotated service order. Head classification reads
+//!    only the packet and the truth — never the view — so it is
+//!    order-independent. Blocked heads become *recovery candidates*
+//!    (snapshot shipped to the coordinator, queue untouched); everything
+//!    else is delivered, dropped, or moved exactly as in the sequential
+//!    scan.
+//! 4. **Round B — move exchange.** Each sender swaps its per-receiver
+//!    move buffer into the exchange's double-buffered mailbox grid
+//!    (indexed by cycle parity, so a fast shard's next-cycle publish
+//!    never races a slow shard's current-cycle drain); after the barrier
+//!    each receiver drains its column and merges arrivals by
+//!    `(service index, packet id)` — the exact sequential drain order.
 //! 5. **Round C — recovery resolution.** The coordinator resolves all
 //!    candidates in service order against its view — exactly the
 //!    sequential interleaving of local discovery and replanning — and
-//!    broadcasts the verdicts plus the ordered view mutations, which
-//!    every shard applies so the view replicas stay identical.
+//!    publishes the verdicts plus the ordered view mutations in shared
+//!    cells; every shard applies them so the view replicas stay
+//!    identical.
 //! 6. **Round D — telemetry.** Only when a telemetry sink is attached:
-//!    workers ship their per-cycle counter deltas and ending-class
-//!    snapshots; the coordinator folds them in and samples.
+//!    workers copy their per-cycle counter deltas and ending-class
+//!    snapshots into pre-sized exchange cells; the coordinator folds
+//!    them in and samples between two barriers (so the plan caches are
+//!    quiescent and the cells are never overwritten mid-read).
 //!
 //! # Determinism
 //!
@@ -53,17 +67,15 @@
 //! at the end; trace events carry a `(stream, index, seq)` sort key that
 //! reproduces the exact sequential emission order; packet ids are a pure
 //! function of the traffic stream (assigned per injection attempt by the
-//! coordinator); and arrival merge sorts by service index, restoring the
-//! sequential FIFO push order. Wall-clock phase timings are
-//! coordinator-only and never enter the deterministic exports.
-//!
-//! Unlike the sequential hot path, the sharded path does allocate small
-//! per-cycle message batches — the price of the channels. Telemetry-off
-//! and trace-off runs skip the corresponding payloads entirely.
+//! coordinator); and the arrival merge sorts by the explicit
+//! `(service index, packet id)` key, restoring the sequential FIFO push
+//! order even if two shards ever produced the same service index.
+//! Wall-clock phase timings are coordinator-only and never enter the
+//! deterministic exports.
 
-use std::collections::VecDeque;
 use std::mem;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use gcube_routing::faults::fault_budget;
@@ -74,7 +86,8 @@ use crate::engine::{sync_view, Simulator};
 use crate::injection::FaultInjector;
 use crate::metrics::{merge_windows, ChurnReport, Metrics, WindowStat, MAX_TREES};
 use crate::packet::Packet;
-use crate::strategy::TreeChoice;
+use crate::soa::{LinkTable, NodeQueues, PacketStore};
+use crate::strategy::{PlannedRoute, TreeChoice};
 use crate::telemetry::{CycleView, FaultBudgetMonitor, Phase, ShardTelemetry, TelemetrySink};
 use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVENT_PACKET};
 use crate::traffic::TrafficGen;
@@ -97,16 +110,91 @@ fn ekey(sub: u64, idx: u64, seq: u64) -> u64 {
     (sub << 60) | (idx << 20) | seq
 }
 
-/// One injection request: the coordinator drew the traffic stream, the
-/// owning shard plans and accounts it.
+/// A sense-reversing hybrid barrier. With enough cores for every shard,
+/// waiters spin (briefly yielding between probes) — a handful of atomic
+/// operations per round, microseconds cheaper than parking on a
+/// `std::sync::Barrier`, which matters at thousands of rounds per
+/// second. On an oversubscribed host (more shards than cores) waiters
+/// park on a condvar instead: a yield loop there keeps pre-empting the
+/// one thread everyone is waiting on, turning each round into a storm
+/// of context switches.
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+    /// Spin before probing again; false parks waiters on the condvar.
+    spin: bool,
+    lock: Mutex<()>,
+    parked: Condvar,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+            spin: cores >= total,
+            lock: Mutex::new(()),
+            parked: Condvar::new(),
+        }
+    }
+
+    /// Block until all `total` threads arrive. Memory ordering: every
+    /// write before any thread's `wait` is visible to every thread after
+    /// its `wait` (the arrivals form a release sequence on `count`; the
+    /// last arriver publishes via a release store of `generation`).
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            // Publish under the lock so a parking waiter cannot check
+            // the generation and then miss the wakeup.
+            let guard = self.lock.lock().expect("barrier poisoned");
+            self.generation.fetch_add(1, Ordering::Release);
+            drop(guard);
+            self.parked.notify_all();
+            return;
+        }
+        if self.spin {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        } else {
+            let mut guard = self.lock.lock().expect("barrier poisoned");
+            while self.generation.load(Ordering::Acquire) == gen {
+                guard = self.parked.wait(guard).expect("barrier poisoned");
+            }
+        }
+    }
+}
+
+/// One injection request: the coordinator drew the traffic stream, any
+/// thread may plan it, the owning shard accounts it.
 struct InjectReq {
     src: u64,
     dst: NodeId,
     id: u64,
 }
 
-/// A routing-view mutation discovered during recovery, broadcast so all
-/// view replicas apply the identical op sequence.
+/// One ending class's injection requests plus the planned routes filled
+/// in by whichever thread stole the unit. `plans[i]` is `None` when
+/// planning failed (accounted as a route failure by the owner).
+#[derive(Default)]
+struct PlanUnit {
+    reqs: Vec<InjectReq>,
+    plans: Vec<Option<PlannedRoute>>,
+}
+
+/// A routing-view mutation discovered during recovery, published once
+/// and applied by every replica in the identical order.
 #[derive(Clone, Copy)]
 enum ViewOp {
     Node(NodeId),
@@ -120,123 +208,121 @@ enum Verdict {
     Drop,
 }
 
-/// Round B payload: moved packets for the receiving shard, tagged with
-/// the sender's service index, plus the sender's in-flight contribution.
-/// Candidates and trace events ride along only towards the coordinator.
-struct BatchMsg {
-    from: usize,
-    moves: Vec<(u32, Packet)>,
-    contrib: u64,
-    candidates: Vec<(u32, Packet)>,
-    events: Vec<(u64, TraceEvent)>,
-}
-
-/// Round C broadcast: this shard's verdicts (in service order), the
-/// global ordered view mutations, and the cycle's recovery-drop count
-/// (for the cooperative exit test).
-struct ResolutionMsg {
-    verdicts: Vec<(u32, Verdict)>,
-    view_ops: Vec<ViewOp>,
-    verdict_drops: u64,
-}
-
-/// Round D payload: the worker's per-cycle counter delta and the
-/// post-verdict snapshot of its owned ending-class range.
-struct TelemetryMsg {
-    from: usize,
+/// Round D cell: a worker's per-cycle counter delta and ending-class
+/// snapshot, copied into pre-sized buffers (no per-window clones).
+struct TelemetryCell {
     delta: ShardTelemetry,
     class_queued: Vec<u64>,
     class_occupied: Vec<u64>,
-    class_start: usize,
 }
 
-/// End-of-run payload: the worker's whole-run metrics and windows,
-/// reduced into the coordinator's via [`Metrics::absorb`] /
-/// [`merge_windows`].
-struct FinalMsg {
-    metrics: Box<Metrics>,
-    windows: Vec<WindowStat>,
+/// A mailbox cell of `(service index, packet)` pairs.
+type PacketCell = Mutex<Vec<(u32, Packet)>>;
+/// A buffered-trace cell of `(sort key, event)` pairs.
+type EventCell = Mutex<Vec<(u64, TraceEvent)>>;
+/// A shard's end-of-run payload for the final reduction.
+type FinalCell = Mutex<Option<(Box<Metrics>, Vec<WindowStat>)>>;
+
+/// The shared-memory mailbox grid replacing the old per-cycle `mpsc`
+/// batches. Everything is preallocated; per-cycle traffic is mutex-swaps
+/// of `Vec`s whose capacities circulate between senders and cells.
+///
+/// Cells written before a barrier and read after it are race-free by
+/// construction. Cells that a fast shard could refill for cycle `c+1`
+/// while a slow shard still drains cycle `c` (the move grid, the event
+/// cells, the contribution counters — anything written *before* the
+/// round barrier and read *after* it with no later barrier in the same
+/// cycle) are double-buffered on cycle parity.
+struct Exchange {
+    barrier: SpinBarrier,
+    shards: usize,
+    /// `moves[parity][sender * shards + receiver]`: packets the sender
+    /// moved into the receiver's shard this cycle, tagged with the
+    /// sender-side service index.
+    moves: [Vec<PacketCell>; 2],
+    /// Per-sender recovery candidates for the coordinator. Only written
+    /// in cycles where Round C runs (its barrier gates the reuse), so no
+    /// parity split is needed.
+    candidates: Vec<PacketCell>,
+    /// Per-sender buffered trace events for the coordinator's merge.
+    events: [Vec<EventCell>; 2],
+    /// Per-sender in-flight contributions for the cooperative exit test.
+    contrib: [Vec<AtomicU64>; 2],
+    /// Round A work-stealing: one unit per ending class, claimed whole
+    /// off the cursor.
+    plan_units: Vec<Mutex<PlanUnit>>,
+    plan_cursor: AtomicUsize,
+    /// Round C broadcast: per-shard verdicts plus the shared ordered
+    /// view-op list (read in place — the old engine cloned it per
+    /// worker per cycle).
+    verdicts: Vec<Mutex<Vec<(u32, Verdict)>>>,
+    view_ops: Mutex<Vec<ViewOp>>,
+    verdict_drops: AtomicU64,
+    telemetry: Vec<Mutex<TelemetryCell>>,
+    finals: Vec<FinalCell>,
 }
 
-enum Msg {
-    Inject(Vec<InjectReq>),
-    Batch(BatchMsg),
-    Resolution(ResolutionMsg),
-    Telemetry(TelemetryMsg),
-    Final(FinalMsg),
-}
-
-/// A shard inbox with reordering: `mpsc` only guarantees per-sender
-/// FIFO, so a fast peer's next-round message can arrive before a slow
-/// peer's current-round one. Mismatches are stashed and replayed in
-/// arrival order, which preserves each sender's FIFO stream.
-struct Inbox {
-    rx: Receiver<Msg>,
-    pending: Vec<Msg>,
-}
-
-impl Inbox {
-    fn new(rx: Receiver<Msg>) -> Inbox {
-        Inbox {
-            rx,
-            pending: Vec::new(),
+impl Exchange {
+    fn new(shards: usize, classes: usize, n_dims: usize) -> Exchange {
+        fn cells<T>(count: usize) -> Vec<Mutex<Vec<T>>> {
+            (0..count).map(|_| Mutex::new(Vec::new())).collect()
+        }
+        Exchange {
+            barrier: SpinBarrier::new(shards),
+            shards,
+            moves: [cells(shards * shards), cells(shards * shards)],
+            candidates: cells(shards),
+            events: [cells(shards), cells(shards)],
+            contrib: [
+                (0..shards).map(|_| AtomicU64::new(0)).collect(),
+                (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            ],
+            plan_units: (0..classes)
+                .map(|_| Mutex::new(PlanUnit::default()))
+                .collect(),
+            plan_cursor: AtomicUsize::new(0),
+            verdicts: cells(shards),
+            view_ops: Mutex::new(Vec::new()),
+            verdict_drops: AtomicU64::new(0),
+            telemetry: (0..shards)
+                .map(|_| {
+                    Mutex::new(TelemetryCell {
+                        delta: ShardTelemetry::new(n_dims),
+                        class_queued: vec![0; classes],
+                        class_occupied: vec![0; classes],
+                    })
+                })
+                .collect(),
+            finals: (0..shards).map(|_| Mutex::new(None)).collect(),
         }
     }
 
-    fn recv_match(&mut self, mut want: impl FnMut(&Msg) -> bool) -> Msg {
-        if let Some(i) = self.pending.iter().position(&mut want) {
-            return self.pending.remove(i);
-        }
-        loop {
-            let m = self.rx.recv().expect("shard peer disconnected mid-run");
-            if want(&m) {
-                return m;
+    /// Swap this sender's non-empty per-receiver buffers into the
+    /// mailbox grid, taking the cells' drained (empty, capacity-bearing)
+    /// vectors back — the steady state allocates nothing.
+    fn publish_moves(&self, parity: usize, me: usize, out: &mut [Vec<(u32, Packet)>]) {
+        for (r, buf) in out.iter_mut().enumerate() {
+            if r == me || buf.is_empty() {
+                continue;
             }
-            self.pending.push(m);
+            let mut cell = self.moves[parity][me * self.shards + r]
+                .lock()
+                .expect("mailbox poisoned");
+            debug_assert!(cell.is_empty(), "receiver must have drained last use");
+            mem::swap(&mut *cell, buf);
         }
     }
 
-    fn recv_inject(&mut self) -> Vec<InjectReq> {
-        match self.recv_match(|m| matches!(m, Msg::Inject(_))) {
-            Msg::Inject(reqs) => reqs,
-            _ => unreachable!(),
-        }
-    }
-
-    /// One Round B batch from a sender not yet seen this cycle.
-    fn recv_batch(&mut self, seen: &mut [bool]) -> BatchMsg {
-        let msg = self.recv_match(|m| matches!(m, Msg::Batch(b) if !seen[b.from]));
-        match msg {
-            Msg::Batch(b) => {
-                seen[b.from] = true;
-                b
+    /// Drain every sender's mailbox for this receiver into `arrivals`.
+    fn drain_moves(&self, parity: usize, me: usize, arrivals: &mut Vec<(u32, Packet)>) {
+        for s in 0..self.shards {
+            if s == me {
+                continue;
             }
-            _ => unreachable!(),
-        }
-    }
-
-    fn recv_resolution(&mut self) -> ResolutionMsg {
-        match self.recv_match(|m| matches!(m, Msg::Resolution(_))) {
-            Msg::Resolution(r) => r,
-            _ => unreachable!(),
-        }
-    }
-
-    fn recv_telemetry(&mut self, seen: &mut [bool]) -> TelemetryMsg {
-        let msg = self.recv_match(|m| matches!(m, Msg::Telemetry(t) if !seen[t.from]));
-        match msg {
-            Msg::Telemetry(t) => {
-                seen[t.from] = true;
-                t
-            }
-            _ => unreachable!(),
-        }
-    }
-
-    fn recv_final(&mut self) -> FinalMsg {
-        match self.recv_match(|m| matches!(m, Msg::Final(_))) {
-            Msg::Final(f) => f,
-            _ => unreachable!(),
+            let mut cell = self.moves[parity][s * self.shards + me]
+                .lock()
+                .expect("mailbox poisoned");
+            arrivals.append(&mut cell);
         }
     }
 }
@@ -271,14 +357,18 @@ struct CycleStart {
 /// One shard's replicated state plus the node-local state it owns. Both
 /// the coordinator and the workers drive one of these; everything
 /// network-global (traffic RNG, health monitor, sinks, recovery
-/// resolution) lives in [`run_sharded`] itself.
+/// resolution) lives in [`run_coordinator`] itself.
 struct Shard<'s, 'a> {
     sim: &'s Simulator<'a>,
     me: usize,
     class_owner: &'s [usize],
     cmask: usize,
     n_nodes: u64,
-    queues: Vec<VecDeque<Packet>>,
+    store: PacketStore,
+    queues: NodeQueues,
+    links: LinkTable,
+    /// Scratch for occupancy-bitset scans (stranding and forwarding).
+    scan_buf: Vec<u32>,
     class_queued: Vec<u64>,
     class_occupied: Vec<u64>,
     class_range: (usize, usize),
@@ -318,13 +408,18 @@ impl<'s, 'a> Shard<'s, 'a> {
         let truth = sim.faults.clone();
         let view = sim.faults.clone();
         let synced = (truth.generation(), view.generation());
+        let mut links = LinkTable::new(n_nodes, sim.gc.n());
+        links.sync(&truth);
         Shard {
             sim,
             me,
             class_owner,
             cmask,
             n_nodes,
-            queues: (0..n_nodes).map(|_| VecDeque::new()).collect(),
+            store: PacketStore::new(),
+            queues: NodeQueues::new(n_nodes),
+            links,
+            scan_buf: Vec::new(),
             class_queued: vec![0; cmask + 1],
             class_occupied: vec![0; cmask + 1],
             class_range: class_ranges(cmask + 1, shards)[me],
@@ -348,11 +443,6 @@ impl<'s, 'a> Shard<'s, 'a> {
             tracing_on,
             telemetry_on,
         }
-    }
-
-    #[inline]
-    fn owns(&self, node: usize) -> bool {
-        self.class_owner[node & self.cmask] == self.me
     }
 
     /// Phase 0: lazily open the cycle's window, then (dynamic runs)
@@ -379,19 +469,25 @@ impl<'s, 'a> Shard<'s, 'a> {
         }
         start.applied = self.injector.step(cycle, &mut self.truth);
         if start.applied > 0 {
+            self.links.sync(&self.truth);
             let measuring = cycle >= self.warmup;
-            for v in 0..self.n_nodes as usize {
-                if !self.owns(v)
-                    || self.queues[v].is_empty()
-                    || !self.truth.is_node_faulty(NodeId(v as u64))
-                {
+            // The occupancy bitset holds exactly this shard's non-empty
+            // nodes (only owned nodes ever receive pushes), in ascending
+            // order — the sequential stranding order.
+            let mut buf = mem::take(&mut self.scan_buf);
+            self.queues.collect_occupied(&mut buf);
+            for &vq in &buf {
+                if !self.links.node_faulty(u64::from(vq)) {
                     continue;
                 }
-                self.class_queued[v & self.cmask] -= self.queues[v].len() as u64;
+                let v = vq as usize;
+                self.class_queued[v & self.cmask] -= self.queues.len(v) as u64;
                 self.class_occupied[v & self.cmask] -= 1;
-                let stranded = self.queues[v].split_off(0);
-                self.local_queued -= stranded.len() as u64;
-                for (seq, pkt) in stranded.into_iter().enumerate() {
+                let mut seq = 0u64;
+                while !self.queues.is_empty(v) {
+                    let slot = self.queues.pop_front(&mut self.store, v);
+                    let pkt = self.store.remove(slot);
+                    self.local_queued -= 1;
                     self.count_drop(
                         &pkt,
                         DropCause::Stranded,
@@ -399,10 +495,12 @@ impl<'s, 'a> Shard<'s, 'a> {
                         cycle,
                         widx,
                         NodeId(v as u64),
-                        ekey(SUB_STRAND, v as u64, seq as u64),
+                        ekey(SUB_STRAND, v as u64, seq),
                     );
+                    seq += 1;
                 }
             }
+            self.scan_buf = buf;
             let delay = self.sim.knowledge_delay(&self.truth);
             if delay == 0 {
                 sync_view(&mut self.view, &self.truth, &mut self.synced);
@@ -482,129 +580,168 @@ impl<'s, 'a> Shard<'s, 'a> {
         }
     }
 
-    /// Round A, owner side: plan and account this shard's injection
-    /// requests in the coordinator's node order.
-    fn inject(&mut self, cycle: u64, reqs: &[InjectReq]) {
-        let measuring = cycle >= self.warmup;
-        let widx = (cycle / self.window) as usize;
-        for req in reqs {
-            let src = NodeId(req.src);
-            match self
-                .sim
-                .algorithm
-                .plan_route(&self.sim.gc, &self.view, src, req.dst)
-            {
-                Ok(planned) => {
-                    let tree = planned.tree;
-                    let pkt = Packet::new(req.id, cycle, planned.route);
-                    self.metrics.injected_total += 1;
-                    if self.telemetry_on {
-                        self.delta.injected += 1;
-                    }
-                    if measuring {
-                        self.metrics.injected += 1;
-                    }
-                    self.windows[widx].injected += 1;
-                    if self.tracing_on {
-                        self.events.push((
-                            ekey(SUB_INJECT, req.src, 0),
-                            TraceEvent {
-                                cycle,
-                                packet: pkt.id,
-                                node: src,
-                                kind: TraceEventKind::Inject {
-                                    dst: req.dst,
-                                    planned_hops: pkt.planned_hops,
-                                },
-                            },
-                        ));
-                    }
-                    if let Some(tc) = tree {
-                        self.account_tree_choice(widx, tc);
-                        if self.tracing_on && (tc.switches > 0 || tc.exhausted) {
-                            self.events.push((
-                                ekey(SUB_INJECT, req.src, 1),
-                                TraceEvent {
-                                    cycle,
-                                    packet: pkt.id,
-                                    node: src,
-                                    kind: TraceEventKind::TreeSwitch {
-                                        tree: tc.tree,
-                                        switches: tc.switches,
-                                        exhausted: tc.exhausted,
-                                    },
-                                },
-                            ));
-                        }
-                    }
-                    if pkt.arrived() {
-                        self.metrics.delivered_total += 1;
-                        if self.telemetry_on {
-                            self.delta.delivered += 1;
-                        }
-                        if measuring {
-                            self.metrics.delivered += 1;
-                            self.metrics.latency_hist.record(0);
-                            self.metrics.hops_hist.record(0);
-                        }
-                        self.windows[widx].delivered += 1;
-                        if self.tracing_on {
-                            self.events.push((
-                                ekey(SUB_INJECT, req.src, 2),
-                                TraceEvent {
-                                    cycle,
-                                    packet: pkt.id,
-                                    node: src,
-                                    kind: TraceEventKind::Deliver {
-                                        latency: 0,
-                                        hops: 0,
-                                    },
-                                },
-                            ));
-                        }
-                    } else {
-                        let vu = req.src as usize;
-                        if self.queues[vu].is_empty() {
-                            self.class_occupied[vu & self.cmask] += 1;
-                        }
-                        self.class_queued[vu & self.cmask] += 1;
-                        self.local_queued += 1;
-                        self.queues[vu].push_back(pkt);
-                    }
-                }
-                Err(_) => {
-                    self.metrics.route_failures_total += 1;
-                    if measuring {
-                        self.metrics.route_failures += 1;
-                    }
-                }
+    /// Round A, stealing side: claim whole plan units off the shared
+    /// cursor and plan their requests against this shard's view replica.
+    /// All replicas are identical between the two Round A barriers, so
+    /// the routes are independent of who plans them; unit granularity is
+    /// an ending class, so concurrent units hit disjoint plan-cache keys
+    /// and the cache counters stay deterministic.
+    fn plan_stolen_units(&self, ex: &Exchange) {
+        loop {
+            let u = ex.plan_cursor.fetch_add(1, Ordering::Relaxed);
+            if u >= ex.plan_units.len() {
+                break;
+            }
+            let mut unit = ex.plan_units[u].lock().expect("plan unit poisoned");
+            let unit = &mut *unit;
+            unit.plans.clear();
+            for req in &unit.reqs {
+                unit.plans.push(
+                    self.sim
+                        .algorithm
+                        .plan_route(&self.sim.gc, &self.view, NodeId(req.src), req.dst)
+                        .ok(),
+                );
             }
         }
     }
 
+    /// Round A, owner side: account this shard's classes' planned
+    /// injections. Within a class the requests are in the coordinator's
+    /// node order; across classes the order differs from the sequential
+    /// interleaving, which is invisible — the counters are additive, at
+    /// most one injection per node per cycle touches each queue, and
+    /// trace events are merged by their `(stream, node)` key.
+    fn account_own_units(&mut self, cycle: u64, ex: &Exchange) {
+        let (lo, hi) = self.class_range;
+        for c in lo..hi {
+            let mut unit = ex.plan_units[c].lock().expect("plan unit poisoned");
+            let unit = &mut *unit;
+            debug_assert_eq!(unit.reqs.len(), unit.plans.len());
+            for (req, plan) in unit.reqs.iter().zip(unit.plans.iter_mut()) {
+                self.account_injection(cycle, req, plan.take());
+            }
+            unit.reqs.clear();
+            unit.plans.clear();
+        }
+    }
+
+    /// Account one injection attempt whose planning already happened.
+    fn account_injection(&mut self, cycle: u64, req: &InjectReq, plan: Option<PlannedRoute>) {
+        let measuring = cycle >= self.warmup;
+        let widx = (cycle / self.window) as usize;
+        let src = NodeId(req.src);
+        let Some(planned) = plan else {
+            self.metrics.route_failures_total += 1;
+            if measuring {
+                self.metrics.route_failures += 1;
+            }
+            return;
+        };
+        let tree = planned.tree;
+        let planned_hops = planned.route.hops() as u64;
+        self.metrics.injected_total += 1;
+        if self.telemetry_on {
+            self.delta.injected += 1;
+        }
+        if measuring {
+            self.metrics.injected += 1;
+        }
+        self.windows[widx].injected += 1;
+        if self.tracing_on {
+            self.events.push((
+                ekey(SUB_INJECT, req.src, 0),
+                TraceEvent {
+                    cycle,
+                    packet: req.id,
+                    node: src,
+                    kind: TraceEventKind::Inject {
+                        dst: req.dst,
+                        planned_hops,
+                    },
+                },
+            ));
+        }
+        if let Some(tc) = tree {
+            self.account_tree_choice(widx, tc);
+            if self.tracing_on && (tc.switches > 0 || tc.exhausted) {
+                self.events.push((
+                    ekey(SUB_INJECT, req.src, 1),
+                    TraceEvent {
+                        cycle,
+                        packet: req.id,
+                        node: src,
+                        kind: TraceEventKind::TreeSwitch {
+                            tree: tc.tree,
+                            switches: tc.switches,
+                            exhausted: tc.exhausted,
+                        },
+                    },
+                ));
+            }
+        }
+        if planned_hops == 0 {
+            self.metrics.delivered_total += 1;
+            if self.telemetry_on {
+                self.delta.delivered += 1;
+            }
+            if measuring {
+                self.metrics.delivered += 1;
+                self.metrics.latency_hist.record(0);
+                self.metrics.hops_hist.record(0);
+            }
+            self.windows[widx].delivered += 1;
+            if self.tracing_on {
+                self.events.push((
+                    ekey(SUB_INJECT, req.src, 2),
+                    TraceEvent {
+                        cycle,
+                        packet: req.id,
+                        node: src,
+                        kind: TraceEventKind::Deliver {
+                            latency: 0,
+                            hops: 0,
+                        },
+                    },
+                ));
+            }
+        } else {
+            let vu = req.src as usize;
+            let slot = self.store.alloc(req.id, cycle, planned.route);
+            if self.queues.is_empty(vu) {
+                self.class_occupied[vu & self.cmask] += 1;
+            }
+            self.class_queued[vu & self.cmask] += 1;
+            self.local_queued += 1;
+            self.queues.push_back(&mut self.store, vu, slot);
+        }
+    }
+
     /// The forwarding scan over this shard's own nodes, in the global
-    /// rotated service order. Fills `candidates` (blocked heads, queues
-    /// untouched) and `out_moves` (per destination shard).
+    /// rotated service order (the occupancy bitset holds only owned
+    /// nodes). Fills `candidates` (blocked heads, queues untouched) and
+    /// `out_moves` (per destination shard).
     fn scan(&mut self, cycle: u64) {
         let measuring = cycle >= self.warmup;
         let widx = (cycle / self.window) as usize;
         let n = self.n_nodes as usize;
         let offset = (cycle % self.n_nodes) as usize;
-        for i in 0..n {
-            let v = (i + offset) % n;
-            if !self.owns(v) {
-                continue;
-            }
-            let svc = i as u64;
-            let Some(head) = self.queues[v].front() else {
+        let mut buf = mem::take(&mut self.scan_buf);
+        self.queues.collect_occupied_rotated(offset, &mut buf);
+        for &vq in &buf {
+            let v = vq as usize;
+            // Global service index of node v under this cycle's rotation.
+            let svc = ((v + n - offset) % n) as u64;
+            let Some(head) = self.queues.front(v) else {
                 continue;
             };
-            let from = head.current();
-            let Some(to) = head.next_hop() else {
+            let from = self.store.current(head);
+            let Some(to) = self.store.next_hop(head) else {
                 // Already at its destination after a replan: sink it.
-                let pkt = self.queues[v].pop_front().expect("head exists");
+                let slot = self.queues.pop_front(&mut self.store, v);
+                let pkt = self.store.remove(slot);
                 self.class_queued[v & self.cmask] -= 1;
-                if self.queues[v].is_empty() {
+                if self.queues.is_empty(v) {
                     self.class_occupied[v & self.cmask] -= 1;
                 }
                 self.local_queued -= 1;
@@ -640,17 +777,19 @@ impl<'s, 'a> Shard<'s, 'a> {
                 continue;
             };
             let dim = (from.0 ^ to.0).trailing_zeros();
-            if self.dynamic && !self.truth.is_link_usable(LinkId::new(from, dim)) {
+            if self.dynamic && !self.links.link_usable(from, to, dim) {
                 // Recovery is resolved centrally (Round C) so view
                 // mutations keep their sequential order. The queue is
-                // untouched; the coordinator rules on a clone.
-                self.candidates.push((svc as u32, head.clone()));
+                // untouched; the coordinator rules on a snapshot.
+                self.candidates
+                    .push((svc as u32, self.store.snapshot(head)));
                 continue;
             }
-            if head.hops_taken >= self.ttl {
-                let pkt = self.queues[v].pop_front().expect("head exists");
+            if u64::from(self.store.hops_taken[head as usize]) >= self.ttl {
+                let slot = self.queues.pop_front(&mut self.store, v);
+                let pkt = self.store.remove(slot);
                 self.class_queued[v & self.cmask] -= 1;
-                if self.queues[v].is_empty() {
+                if self.queues.is_empty(v) {
                     self.class_occupied[v & self.cmask] -= 1;
                 }
                 self.local_queued -= 1;
@@ -670,32 +809,34 @@ impl<'s, 'a> Shard<'s, 'a> {
             if self.telemetry_on {
                 self.delta.dim_hops[dim as usize] += 1;
             }
-            let mut pkt = self.queues[v].pop_front().expect("head exists");
+            let slot = self.queues.pop_front(&mut self.store, v);
             self.class_queued[v & self.cmask] -= 1;
-            if self.queues[v].is_empty() {
+            if self.queues.is_empty(v) {
                 self.class_occupied[v & self.cmask] -= 1;
             }
             self.local_queued -= 1;
-            pkt.hop_idx += 1;
-            pkt.hops_taken += 1;
-            let measured_pkt = measuring && pkt.injected_at >= self.warmup;
+            self.store.advance(slot);
+            let injected_at = self.store.injected_at[slot as usize];
+            let measured_pkt = measuring && injected_at >= self.warmup;
             if measured_pkt {
                 self.metrics.total_hops += 1;
             }
+            let cur = self.store.current(slot);
             if self.tracing_on {
                 self.events.push((
                     ekey(SUB_MOVE, svc, 0),
                     TraceEvent {
                         cycle,
-                        packet: pkt.id,
-                        node: pkt.current(),
+                        packet: self.store.id[slot as usize],
+                        node: cur,
                         kind: TraceEventKind::Hop {
-                            from: pkt.route.nodes()[pkt.hop_idx - 1],
+                            from: self.store.route(slot).nodes()
+                                [self.store.hop_idx[slot as usize] as usize - 1],
                         },
                     },
                 ));
             }
-            if pkt.arrived() {
+            if self.store.arrived(slot) {
                 // The sender accounts the delivery — exactly the
                 // sequential drain's bookkeeping, one cycle of latency
                 // for the hop itself.
@@ -704,15 +845,14 @@ impl<'s, 'a> Shard<'s, 'a> {
                     self.delta.delivered += 1;
                 }
                 self.windows[widx].delivered += 1;
+                let hops = u64::from(self.store.hops_taken[slot as usize]);
                 if measured_pkt {
                     self.metrics.delivered += 1;
-                    self.metrics.total_latency += cycle + 1 - pkt.injected_at;
-                    self.metrics
-                        .latency_hist
-                        .record(cycle + 1 - pkt.injected_at);
-                    self.metrics.hops_hist.record(pkt.hops_taken);
-                    self.metrics.rerouted_hops += pkt.detour_hops();
-                    if pkt.reroutes > 0 {
+                    self.metrics.total_latency += cycle + 1 - injected_at;
+                    self.metrics.latency_hist.record(cycle + 1 - injected_at);
+                    self.metrics.hops_hist.record(hops);
+                    self.metrics.rerouted_hops += self.store.detour_hops(slot);
+                    if self.store.reroutes[slot as usize] > 0 {
                         self.metrics.rerouted_packets += 1;
                     }
                 }
@@ -721,20 +861,25 @@ impl<'s, 'a> Shard<'s, 'a> {
                         ekey(SUB_MOVE, svc, 1),
                         TraceEvent {
                             cycle,
-                            packet: pkt.id,
-                            node: pkt.current(),
+                            packet: self.store.id[slot as usize],
+                            node: cur,
                             kind: TraceEventKind::Deliver {
-                                latency: cycle + 1 - pkt.injected_at,
-                                hops: pkt.hops_taken,
+                                latency: cycle + 1 - injected_at,
+                                hops,
                             },
                         },
                     ));
                 }
+                self.store.discard(slot);
             } else {
-                let dest_shard = self.class_owner[pkt.current().0 as usize & self.cmask];
-                self.out_moves[dest_shard].push((svc as u32, pkt));
+                let dest_shard = self.class_owner[cur.0 as usize & self.cmask];
+                // Materialising moves the route (a pointer), not a clone;
+                // self-destined moves round-trip through the same path so
+                // the arrival merge sees one uniform stream.
+                self.out_moves[dest_shard].push((svc as u32, self.store.remove(slot)));
             }
         }
+        self.scan_buf = buf;
     }
 
     /// This shard's in-flight contribution for the cooperative exit
@@ -746,22 +891,29 @@ impl<'s, 'a> Shard<'s, 'a> {
 
     /// Move this shard's self-destined moves into the arrival buffer.
     fn queue_self_moves(&mut self) {
-        let own = mem::take(&mut self.out_moves[self.me]);
-        self.arrivals.extend(own);
+        let mut own = mem::take(&mut self.out_moves[self.me]);
+        self.arrivals.append(&mut own);
+        self.out_moves[self.me] = own;
     }
 
-    /// Merge all arrivals in sender service order — the exact order the
-    /// sequential drain pushes them — and append to the FIFO queues.
+    /// Merge all arrivals in the explicit `(service index, packet id)`
+    /// order — the exact order the sequential drain pushes them — and
+    /// append to the FIFO queues. The packet id tiebreak is defensive:
+    /// service indices are unique network-wide by construction, but an
+    /// unstable sort must never be handed a collision it could order
+    /// differently across runs.
     fn push_arrivals(&mut self) {
-        self.arrivals.sort_unstable_by_key(|&(svc, _)| svc);
+        self.arrivals
+            .sort_unstable_by_key(|&(svc, ref pkt)| (svc, pkt.id));
         for (_, pkt) in self.arrivals.drain(..) {
             let cur = pkt.current().0 as usize;
-            if self.queues[cur].is_empty() {
+            let slot = self.store.insert(pkt);
+            if self.queues.is_empty(cur) {
                 self.class_occupied[cur & self.cmask] += 1;
             }
             self.class_queued[cur & self.cmask] += 1;
             self.local_queued += 1;
-            self.queues[cur].push_back(pkt);
+            self.queues.push_back(&mut self.store, cur, slot);
         }
     }
 
@@ -783,19 +935,16 @@ impl<'s, 'a> Shard<'s, 'a> {
         let offset = (cycle % self.n_nodes) as usize;
         for (svc, verdict) in verdicts {
             let v = (svc as usize + offset) % n;
+            let head = self.queues.front(v).expect("candidate queue is non-empty");
             match verdict {
                 Verdict::Replan(route) => {
-                    self.queues[v]
-                        .front_mut()
-                        .expect("candidate queue is non-empty")
-                        .replan(route);
+                    self.store.replan(head, route);
                 }
                 Verdict::Drop => {
-                    self.queues[v]
-                        .pop_front()
-                        .expect("candidate queue is non-empty");
+                    let slot = self.queues.pop_front(&mut self.store, v);
+                    self.store.discard(slot);
                     self.class_queued[v & self.cmask] -= 1;
-                    if self.queues[v].is_empty() {
+                    if self.queues.is_empty(v) {
                         self.class_occupied[v & self.cmask] -= 1;
                     }
                     self.local_queued -= 1;
@@ -804,19 +953,16 @@ impl<'s, 'a> Shard<'s, 'a> {
         }
     }
 
-    /// Round D payload: counter delta plus the owned class-range
-    /// snapshot (post-verdict, post-arrival — end-of-cycle state).
-    fn telemetry_msg(&mut self) -> TelemetryMsg {
+    /// Round D, worker side: copy the counter delta and the owned
+    /// class-range snapshot into this shard's pre-sized exchange cell
+    /// (post-verdict, post-arrival — end-of-cycle state).
+    fn publish_telemetry(&mut self, ex: &Exchange) {
         let (lo, hi) = self.class_range;
-        let msg = TelemetryMsg {
-            from: self.me,
-            delta: self.delta.clone(),
-            class_queued: self.class_queued[lo..hi].to_vec(),
-            class_occupied: self.class_occupied[lo..hi].to_vec(),
-            class_start: lo,
-        };
+        let mut cell = ex.telemetry[self.me].lock().expect("telemetry poisoned");
+        cell.delta.copy_from(&self.delta);
+        cell.class_queued[lo..hi].copy_from_slice(&self.class_queued[lo..hi]);
+        cell.class_occupied[lo..hi].copy_from_slice(&self.class_occupied[lo..hi]);
         self.delta.reset();
-        msg
     }
 }
 
@@ -845,40 +991,21 @@ pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
     let warmup = sim.config.warmup_cycles.min(inject_cycles);
     let window = sim.config.window.max(1);
 
-    let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(shards);
-    let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(shards);
-    for _ in 0..shards {
-        let (tx, rx) = channel();
-        txs.push(tx);
-        rxs.push(rx);
-    }
-    let mut inboxes: Vec<Inbox> = rxs.into_iter().map(Inbox::new).collect();
-    let coord_inbox = inboxes.remove(0);
+    let ex = Exchange::new(shards, cmask + 1, sim.gc.n() as usize);
 
     std::thread::scope(|scope| {
-        for (w, inbox) in inboxes.into_iter().enumerate() {
-            let me = w + 1;
-            let txs = txs.clone();
+        for me in 1..shards {
+            let ex = &ex;
             let class_owner = &class_owner;
             scope.spawn(move || {
-                run_worker(
-                    sim,
-                    me,
-                    shards,
-                    class_owner,
-                    txs,
-                    inbox,
-                    tracing_on,
-                    telemetry_on,
-                );
+                run_worker(sim, me, shards, class_owner, ex, tracing_on, telemetry_on);
             });
         }
         run_coordinator(CoordinatorArgs {
             sim,
             shards,
             class_owner: &class_owner,
-            txs,
-            inbox: coord_inbox,
+            ex: &ex,
             sink,
             telem,
             n_nodes,
@@ -892,86 +1019,81 @@ pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
 
 /// A worker shard's whole run: lockstep with the coordinator, no access
 /// to the sinks, pure node-local work plus the round protocol.
-#[allow(clippy::too_many_arguments)]
 fn run_worker(
     sim: &Simulator<'_>,
     me: usize,
     shards: usize,
     class_owner: &[usize],
-    txs: Vec<Sender<Msg>>,
-    mut inbox: Inbox,
+    ex: &Exchange,
     tracing_on: bool,
     telemetry_on: bool,
 ) {
     let mut shard = Shard::new(sim, me, shards, class_owner, tracing_on, telemetry_on);
     let total_cycles = sim.config.inject_cycles + sim.config.drain_cycles;
-    let mut seen = vec![false; shards];
+    let inject_cycles = sim.config.inject_cycles;
     for cycle in 0..total_cycles {
+        let parity = (cycle & 1) as usize;
         shard.begin_cycle(cycle);
-        if cycle < sim.config.inject_cycles {
-            let reqs = inbox.recv_inject();
-            shard.inject(cycle, &reqs);
+        if cycle < inject_cycles {
+            ex.barrier.wait(); // Round A: units filled by the coordinator.
+            shard.plan_stolen_units(ex);
+            ex.barrier.wait(); // Round A: every unit planned.
+            shard.account_own_units(cycle, ex);
         }
         shard.scan(cycle);
         let contrib = shard.contrib();
-        for (dest, tx) in txs.iter().enumerate() {
-            if dest == me {
-                continue;
-            }
-            let (candidates, events) = if dest == 0 {
-                (
-                    mem::take(&mut shard.candidates),
-                    mem::take(&mut shard.events),
-                )
-            } else {
-                (Vec::new(), Vec::new())
-            };
-            let _ = tx.send(Msg::Batch(BatchMsg {
-                from: me,
-                moves: mem::take(&mut shard.out_moves[dest]),
-                contrib,
-                candidates,
-                events,
-            }));
+        ex.publish_moves(parity, me, &mut shard.out_moves);
+        if !shard.candidates.is_empty() {
+            ex.candidates[me]
+                .lock()
+                .expect("candidates poisoned")
+                .append(&mut shard.candidates);
+        }
+        if tracing_on && !shard.events.is_empty() {
+            ex.events[parity][me]
+                .lock()
+                .expect("events poisoned")
+                .append(&mut shard.events);
+        }
+        ex.contrib[parity][me].store(contrib, Ordering::Relaxed);
+        ex.barrier.wait(); // Round B: all mailboxes published.
+        let mut total_contrib = 0u64;
+        for c in &ex.contrib[parity] {
+            total_contrib += c.load(Ordering::Relaxed);
         }
         shard.queue_self_moves();
-        seen.iter_mut().for_each(|s| *s = false);
-        seen[me] = true;
-        let mut total_contrib = contrib;
-        for _ in 0..shards - 1 {
-            let batch = inbox.recv_batch(&mut seen);
-            total_contrib += batch.contrib;
-            shard.arrivals.extend(batch.moves);
-        }
+        ex.drain_moves(parity, me, &mut shard.arrivals);
         shard.push_arrivals();
-        let mut verdict_drops = 0;
+        let mut verdict_drops = 0u64;
         if shard.dynamic && !shard.truth.is_empty() {
-            let res = inbox.recv_resolution();
-            verdict_drops = res.verdict_drops;
-            shard.apply_view_ops(&res.view_ops);
-            shard.apply_verdicts(cycle, res.verdicts);
+            ex.barrier.wait(); // Round C: verdicts published.
+            verdict_drops = ex.verdict_drops.load(Ordering::Relaxed);
+            {
+                let ops = ex.view_ops.lock().expect("view ops poisoned");
+                shard.apply_view_ops(&ops);
+            }
+            let mine = mem::take(&mut *ex.verdicts[me].lock().expect("verdicts poisoned"));
+            shard.apply_verdicts(cycle, mine);
         }
         if telemetry_on {
-            let msg = shard.telemetry_msg();
-            let _ = txs[0].send(Msg::Telemetry(msg));
+            shard.publish_telemetry(ex);
+            ex.barrier.wait(); // Round D: all cells published.
+            ex.barrier.wait(); // Round D: coordinator folded and sampled.
         }
-        let global_in_flight = total_contrib - verdict_drops;
-        if cycle >= sim.config.inject_cycles && global_in_flight == 0 {
+        if cycle >= inject_cycles && total_contrib - verdict_drops == 0 {
             break;
         }
     }
-    let _ = txs[0].send(Msg::Final(FinalMsg {
-        metrics: Box::new(shard.metrics),
-        windows: shard.windows,
-    }));
+    *ex.finals[me].lock().expect("finals poisoned") =
+        Some((Box::new(shard.metrics), shard.windows));
+    ex.barrier.wait(); // Final reduction: all shards published.
 }
 
 struct CoordinatorArgs<'c, 's, 'a, S, T> {
     sim: &'s Simulator<'a>,
     shards: usize,
     class_owner: &'c [usize],
-    txs: Vec<Sender<Msg>>,
-    inbox: Inbox,
+    ex: &'c Exchange,
     sink: &'c mut S,
     telem: &'c mut T,
     n_nodes: u64,
@@ -992,8 +1114,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         sim,
         shards,
         class_owner,
-        txs,
-        mut inbox,
+        ex,
         sink,
         telem,
         n_nodes,
@@ -1013,6 +1134,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     );
     let mut next_id = 0u64;
     let ttl = sim.config.effective_ttl();
+    let ranges = class_ranges(coord.cmask + 1, shards);
 
     let mut monitor = FaultBudgetMonitor::for_strategy(sim.algorithm.survives_bound_exceeded());
     if let Some((from, to)) = monitor.update(&sim.gc, &coord.truth) {
@@ -1033,15 +1155,19 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     let profiling = telemetry_on;
 
     // Global end-of-cycle class snapshots for telemetry sampling,
-    // assembled from every shard's Round D slices.
+    // assembled from every shard's Round D cells.
     let mut global_cq: Vec<u64> = vec![0; coord.cmask + 1];
     let mut global_co: Vec<u64> = vec![0; coord.cmask + 1];
-    let mut inject_reqs: Vec<Vec<InjectReq>> = (0..shards).map(|_| Vec::new()).collect();
-    let mut seen = vec![false; shards];
+    // Per-class request staging, swapped whole into the plan units each
+    // cycle (the swapped-back vectors keep their capacities).
+    let mut class_fill: Vec<Vec<InjectReq>> = (0..coord.cmask + 1).map(|_| Vec::new()).collect();
+    let mut cycle_events: Vec<(u64, TraceEvent)> = Vec::new();
+    let mut candidates: Vec<(u32, Packet)> = Vec::new();
     let mut global_in_flight = 0u64;
     let mut ended_at = total_cycles;
 
     for cycle in 0..total_cycles {
+        let parity = (cycle & 1) as usize;
         let measuring = cycle >= warmup;
         let widx = (cycle / window) as usize;
 
@@ -1083,13 +1209,14 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         }
 
         // Round A: the coordinator alone draws the traffic stream, in
-        // node order, preserving the sequential RNG sequence; owners
-        // plan. Packet ids are preassigned per attempt.
+        // node order, preserving the sequential RNG sequence; packet ids
+        // are preassigned per attempt. Planning is then stolen by every
+        // thread at ending-class granularity.
         let phase_started = profiling.then(Instant::now);
         if cycle < inject_cycles {
             for v in 0..n_nodes {
                 let src = NodeId(v);
-                if coord.truth.is_node_faulty(src) || !traffic.fires() {
+                if coord.links.node_faulty(v) || !traffic.fires() {
                     continue;
                 }
                 let Some(dst) = traffic.pick_dest(&sim.gc, &coord.view, src) else {
@@ -1101,17 +1228,18 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                 };
                 let id = next_id;
                 next_id += 1;
-                inject_reqs[class_owner[v as usize & coord.cmask]].push(InjectReq {
-                    src: v,
-                    dst,
-                    id,
-                });
+                class_fill[v as usize & coord.cmask].push(InjectReq { src: v, dst, id });
             }
-            for (s, tx) in txs.iter().enumerate().skip(1) {
-                let _ = tx.send(Msg::Inject(mem::take(&mut inject_reqs[s])));
+            for (c, fill) in class_fill.iter_mut().enumerate() {
+                let mut unit = ex.plan_units[c].lock().expect("plan unit poisoned");
+                debug_assert!(unit.reqs.is_empty(), "owner must have drained last cycle");
+                mem::swap(&mut unit.reqs, fill);
             }
-            let own = mem::take(&mut inject_reqs[0]);
-            coord.inject(cycle, &own);
+            ex.plan_cursor.store(0, Ordering::Relaxed);
+            ex.barrier.wait(); // Round A: units filled.
+            coord.plan_stolen_units(ex);
+            ex.barrier.wait(); // Round A: every unit planned.
+            coord.account_own_units(cycle, ex);
         }
         if let Some(t) = phase_started {
             telem.phase_time(Phase::Planning, t.elapsed().as_nanos() as u64);
@@ -1121,38 +1249,31 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         let phase_started = profiling.then(Instant::now);
         coord.scan(cycle);
         let contrib = coord.contrib();
-        for (dest, tx) in txs.iter().enumerate().skip(1) {
-            let _ = tx.send(Msg::Batch(BatchMsg {
-                from: 0,
-                moves: mem::take(&mut coord.out_moves[dest]),
-                contrib,
-                candidates: Vec::new(),
-                events: Vec::new(),
-            }));
+        ex.publish_moves(parity, 0, &mut coord.out_moves);
+        ex.contrib[parity][0].store(contrib, Ordering::Relaxed);
+        ex.barrier.wait(); // Round B: all mailboxes published.
+        let mut total_contrib = 0u64;
+        for c in &ex.contrib[parity] {
+            total_contrib += c.load(Ordering::Relaxed);
         }
         coord.queue_self_moves();
-        seen.iter_mut().for_each(|s| *s = false);
-        seen[0] = true;
-        let mut total_contrib = contrib;
-        let mut candidates: Vec<(u32, Packet)> = mem::take(&mut coord.candidates);
-        let mut cycle_events: Vec<(u64, TraceEvent)> = mem::take(&mut coord.events);
-        for _ in 0..shards - 1 {
-            let batch = inbox.recv_batch(&mut seen);
-            total_contrib += batch.contrib;
-            coord.arrivals.extend(batch.moves);
-            candidates.extend(batch.candidates);
-            cycle_events.extend(batch.events);
-        }
+        ex.drain_moves(parity, 0, &mut coord.arrivals);
         coord.push_arrivals();
 
         // Round C: centralized recovery resolution in service order —
         // the exact sequential interleaving of view discovery, replan,
-        // and drop accounting.
+        // and drop accounting. Workers are parked at the Round C
+        // barrier, so the shared verdict and view-op cells are the
+        // coordinator's alone until it arrives there too.
         let mut verdict_drops = 0u64;
         if coord.dynamic && !coord.truth.is_empty() {
-            candidates.sort_unstable_by_key(|&(svc, _)| svc);
-            let mut per_shard: Vec<Vec<(u32, Verdict)>> = (0..shards).map(|_| Vec::new()).collect();
-            let mut view_ops: Vec<ViewOp> = Vec::new();
+            candidates.append(&mut coord.candidates);
+            for cell in ex.candidates.iter().skip(1) {
+                candidates.append(&mut cell.lock().expect("candidates poisoned"));
+            }
+            candidates.sort_unstable_by_key(|&(svc, ref pkt)| (svc, pkt.id));
+            let mut view_ops = ex.view_ops.lock().expect("view ops poisoned");
+            view_ops.clear();
             let offset = (cycle % n_nodes) as usize;
             for (svc, pkt) in candidates.drain(..) {
                 let node = ((svc as usize + offset) % n_nodes as usize) as u64;
@@ -1188,8 +1309,10 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                 } else if pkt.reroutes >= sim.config.reroute_budget {
                     Err(DropCause::Unrecoverable)
                 } else {
-                    let dest = *pkt.route.nodes().last().expect("routes are non-empty");
-                    match sim.algorithm.plan_route(&sim.gc, &coord.view, from, dest) {
+                    match sim
+                        .algorithm
+                        .plan_route(&sim.gc, &coord.view, from, pkt.dest())
+                    {
                         Ok(planned) => {
                             telem.reroute();
                             if tracing_on {
@@ -1229,17 +1352,17 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                         Err(_) => Err(DropCause::Unrecoverable),
                     }
                 };
-                match verdict {
-                    Ok(route) => {
-                        per_shard[class_owner[node as usize & coord.cmask]]
-                            .push((svc, Verdict::Replan(route)));
-                    }
+                let owner = class_owner[node as usize & coord.cmask];
+                let ruling = match verdict {
+                    Ok(route) => Verdict::Replan(route),
                     Err(cause) => {
                         verdict_drops += 1;
                         // The coordinator accounts every recovery drop,
                         // wherever the packet lives.
                         coord.windows[widx].dropped += 1;
                         coord.metrics.dropped_total += 1;
+                        // The direct hook, not `coord.delta` — the delta
+                        // is absorbed wholesale and would double count.
                         telem.drop_packet();
                         if measuring && pkt.injected_at >= warmup {
                             coord.metrics.dropped += 1;
@@ -1265,30 +1388,32 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                                 },
                             ));
                         }
-                        per_shard[class_owner[node as usize & coord.cmask]]
-                            .push((svc, Verdict::Drop));
+                        Verdict::Drop
                     }
-                }
+                };
+                ex.verdicts[owner]
+                    .lock()
+                    .expect("verdicts poisoned")
+                    .push((svc, ruling));
             }
-            for (s, tx) in txs.iter().enumerate().skip(1) {
-                let _ = tx.send(Msg::Resolution(ResolutionMsg {
-                    verdicts: mem::take(&mut per_shard[s]),
-                    view_ops: view_ops.clone(),
-                    verdict_drops,
-                }));
-            }
-            let own = mem::take(&mut per_shard[0]);
+            drop(view_ops);
+            ex.verdict_drops.store(verdict_drops, Ordering::Relaxed);
+            ex.barrier.wait(); // Round C: verdicts published.
+            let own = mem::take(&mut *ex.verdicts[0].lock().expect("verdicts poisoned"));
             coord.apply_verdicts(cycle, own);
         }
         global_in_flight = total_contrib - verdict_drops;
 
         // Merge the cycle's trace streams into the sequential order.
         if tracing_on {
+            cycle_events.append(&mut coord.events);
+            for cell in ex.events[parity].iter().skip(1) {
+                cycle_events.append(&mut cell.lock().expect("events poisoned"));
+            }
             cycle_events.sort_unstable_by_key(|&(key, _)| key);
             for (_, ev) in cycle_events.drain(..) {
                 sink.record(&ev);
             }
-            coord.events = cycle_events; // keep the capacity
         }
         if let Some(t) = phase_started {
             telem.phase_time(Phase::Forwarding, t.elapsed().as_nanos() as u64);
@@ -1296,7 +1421,9 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
 
         // Round D: fold in every shard's telemetry delta and class
         // snapshot, then sample — identical window sums to the
-        // sequential engine's per-event hook calls.
+        // sequential engine's per-event hook calls. Between the two
+        // barriers the cells belong to the coordinator and all planning
+        // is quiescent, so cache counters are race-free and cycle-exact.
         if telemetry_on {
             let sample_started = Instant::now();
             telem.absorb_shard(&coord.delta);
@@ -1304,18 +1431,14 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
             let (lo, hi) = coord.class_range;
             global_cq[lo..hi].copy_from_slice(&coord.class_queued[lo..hi]);
             global_co[lo..hi].copy_from_slice(&coord.class_occupied[lo..hi]);
-            seen.iter_mut().for_each(|s| *s = false);
-            seen[0] = true;
-            for _ in 0..shards - 1 {
-                let msg = inbox.recv_telemetry(&mut seen);
-                telem.absorb_shard(&msg.delta);
-                let lo = msg.class_start;
-                global_cq[lo..lo + msg.class_queued.len()].copy_from_slice(&msg.class_queued);
-                global_co[lo..lo + msg.class_occupied.len()].copy_from_slice(&msg.class_occupied);
+            ex.barrier.wait(); // Round D: all cells published.
+            for (s, cell) in ex.telemetry.iter().enumerate().skip(1) {
+                let cell = cell.lock().expect("telemetry poisoned");
+                telem.absorb_shard(&cell.delta);
+                let (lo, hi) = ranges[s];
+                global_cq[lo..hi].copy_from_slice(&cell.class_queued[lo..hi]);
+                global_co[lo..hi].copy_from_slice(&cell.class_occupied[lo..hi]);
             }
-            // All planning is quiescent at this barrier (workers are
-            // blocked until the next cycle's Round A), so the cache
-            // counters are race-free and cycle-exact.
             let cache = if telem.wants_sample(cycle) {
                 sim.algorithm.cache_stats()
             } else {
@@ -1330,6 +1453,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                 live_faults: coord.truth.len() as u64,
                 cache,
             });
+            ex.barrier.wait(); // Round D: coordinator folded and sampled.
             telem.phase_time(Phase::Telemetry, sample_started.elapsed().as_nanos() as u64);
         }
 
@@ -1354,12 +1478,17 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     // Reduce: the workers' whole-run metrics and windows fold into the
     // coordinator's — all additive counters, so the merged totals equal
     // the sequential engine's.
+    ex.barrier.wait(); // Final reduction: all shards published.
     let mut metrics = coord.metrics;
     let mut windows = coord.windows;
-    for _ in 0..shards - 1 {
-        let fin = inbox.recv_final();
-        metrics.absorb(&fin.metrics);
-        merge_windows(&mut windows, &fin.windows);
+    for cell in ex.finals.iter().skip(1) {
+        let (m, w) = cell
+            .lock()
+            .expect("finals poisoned")
+            .take()
+            .expect("worker published its final payload");
+        metrics.absorb(&m);
+        merge_windows(&mut windows, &w);
     }
     metrics.cycles = ended_at - warmup;
     metrics.in_flight_at_end = global_in_flight;
@@ -1397,6 +1526,61 @@ mod tests {
                 assert!(w[0].1 > w[0].0, "every shard owns at least one class");
             }
         }
+    }
+
+    #[test]
+    fn spin_barrier_synchronises_rounds() {
+        use std::sync::atomic::AtomicU64;
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for round in 0..100u64 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // Between barriers every thread sees all 4
+                        // increments of the finished round.
+                        assert!(counter.load(Ordering::Relaxed) >= (round + 1) * 4);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    /// The arrival merge orders by the full `(service index, packet id)`
+    /// key: artificial collisions on the service index — impossible in a
+    /// real run, but exactly what an unstable sort would scramble — must
+    /// come out in packet-id order.
+    #[test]
+    fn arrival_merge_breaks_service_ties_by_packet_id() {
+        use gcube_routing::Route;
+        let cfg = SimConfig::new(6, 2).with_cycles(10, 10, 0).with_rate(0.0);
+        let sim = Simulator::new(cfg, &FaultFreeGcr);
+        let class_owner = vec![0usize, 0];
+        let mut shard = Shard::new(&sim, 0, 1, &class_owner, false, false);
+        let dest = 4u64; // even node, class 0
+        let mk = |id: u64| {
+            let mut p = Packet::new(id, 0, Route::new(vec![NodeId(6), NodeId(dest)]));
+            p.hop_idx = 1; // sitting at the destination of its hop
+            p
+        };
+        // Same service index from "different shards", ids out of order,
+        // plus a later service index that must stay last.
+        shard.arrivals.push((7, mk(30)));
+        shard.arrivals.push((7, mk(10)));
+        shard.arrivals.push((7, mk(20)));
+        shard.arrivals.push((9, mk(5)));
+        shard.push_arrivals();
+        let mut ids = Vec::new();
+        while let Some(head) = shard.queues.front(dest as usize) {
+            ids.push(shard.store.id[head as usize]);
+            let slot = shard.queues.pop_front(&mut shard.store, dest as usize);
+            shard.store.discard(slot);
+        }
+        assert_eq!(ids, vec![10, 20, 30, 5], "ties break by packet id");
     }
 
     fn churn_config() -> SimConfig {

@@ -1,0 +1,500 @@
+//! Structure-of-arrays packet and link state for the forwarding hot path.
+//!
+//! The engines used to keep one `VecDeque<Packet>` per node: 2^n
+//! independently allocated ring buffers, each holding boxed routes, with
+//! the per-cycle service scan touching every node whether or not it held
+//! a packet. At `GC(14)` that is 16 384 scattered allocations walked per
+//! cycle; at `GC(20)` it does not fit a cache level at all.
+//!
+//! This module replaces that layout with three flat structures:
+//!
+//! * [`PacketStore`] — an arena of packets in struct-of-arrays form. Every
+//!   scalar field lives in its own contiguous `Vec`, indexed by a stable
+//!   slot id; freed slots are recycled through a freelist. Routes stay as
+//!   planner-produced [`Route`]s in a parallel column (the planner already
+//!   allocates them; the arena only moves them). An intrusive `next` column
+//!   threads the per-node FIFO order through the arena, so a queue is just
+//!   a `(head, tail)` pair of slot ids.
+//! * [`NodeQueues`] — the per-node FIFO heads/tails/lengths plus an
+//!   occupancy bitset over the nodes. The service scan walks the bitset
+//!   with word operations (one `u64` covers 64 nodes) in the engine's
+//!   rotated service order, so a cycle's forwarding cost is proportional
+//!   to the nodes that actually hold packets, not to the network size.
+//! * [`LinkTable`] — per-dimension dead-link bitsets and a dead-node
+//!   bitset, rebuilt from a [`FaultSet`] only when its generation stamp
+//!   changes. The forwarding check `is_link_usable` drops from three hash
+//!   probes per forwarded packet to three bit probes.
+//!
+//! The layouts change nothing observable: the sequential engine and the
+//! shard engine produce bit-identical reports, traces, and telemetry over
+//! either representation (the session proptests pin this).
+
+use gcube_routing::{FaultSet, Route};
+use gcube_topology::NodeId;
+
+use crate::packet::Packet;
+
+/// Null slot id / list terminator for the intrusive queue links.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Arena of in-flight packets, one parallel column per field.
+#[derive(Debug, Default)]
+pub(crate) struct PacketStore {
+    pub id: Vec<u64>,
+    pub injected_at: Vec<u64>,
+    pub hop_idx: Vec<u32>,
+    pub hops_taken: Vec<u32>,
+    pub planned_hops: Vec<u32>,
+    pub reroutes: Vec<u32>,
+    /// `None` marks a free slot; `Option<Route>` is pointer-niche packed,
+    /// so the column costs nothing over `Route` itself.
+    routes: Vec<Option<Route>>,
+    /// Intrusive FIFO link: the slot queued behind this one, or [`NIL`].
+    pub next: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl PacketStore {
+    pub fn new() -> PacketStore {
+        PacketStore::default()
+    }
+
+    /// Slots currently live (for conservation checks in tests).
+    #[cfg(test)]
+    pub fn live(&self) -> usize {
+        self.routes.iter().flatten().count()
+    }
+
+    fn grab_slot(&mut self) -> u32 {
+        if let Some(s) = self.free.pop() {
+            return s;
+        }
+        let s = self.routes.len() as u32;
+        self.id.push(0);
+        self.injected_at.push(0);
+        self.hop_idx.push(0);
+        self.hops_taken.push(0);
+        self.planned_hops.push(0);
+        self.reroutes.push(0);
+        self.routes.push(None);
+        self.next.push(NIL);
+        s
+    }
+
+    /// Store a freshly injected packet at the start of `route`.
+    pub fn alloc(&mut self, id: u64, injected_at: u64, route: Route) -> u32 {
+        let s = self.grab_slot();
+        let su = s as usize;
+        self.id[su] = id;
+        self.injected_at[su] = injected_at;
+        self.hop_idx[su] = 0;
+        self.hops_taken[su] = 0;
+        self.planned_hops[su] = route.hops() as u32;
+        self.reroutes[su] = 0;
+        self.routes[su] = Some(route);
+        self.next[su] = NIL;
+        s
+    }
+
+    /// Store a packet that arrived from another shard (or was built
+    /// elsewhere), preserving all of its in-flight state.
+    pub fn insert(&mut self, pkt: Packet) -> u32 {
+        let s = self.grab_slot();
+        let su = s as usize;
+        self.id[su] = pkt.id;
+        self.injected_at[su] = pkt.injected_at;
+        self.hop_idx[su] = pkt.hop_idx as u32;
+        self.hops_taken[su] = pkt.hops_taken as u32;
+        self.planned_hops[su] = pkt.planned_hops as u32;
+        self.reroutes[su] = pkt.reroutes;
+        self.routes[su] = Some(pkt.route);
+        self.next[su] = NIL;
+        s
+    }
+
+    /// Materialise the slot as a [`Packet`] (moving the route out) and
+    /// recycle it. Used for drops — which need the full packet for
+    /// accounting — and for cross-shard moves.
+    pub fn remove(&mut self, slot: u32) -> Packet {
+        let su = slot as usize;
+        let route = self.routes[su].take().expect("slot is live");
+        self.free.push(slot);
+        Packet {
+            id: self.id[su],
+            injected_at: self.injected_at[su],
+            hop_idx: self.hop_idx[su] as usize,
+            route,
+            hops_taken: u64::from(self.hops_taken[su]),
+            planned_hops: u64::from(self.planned_hops[su]),
+            reroutes: self.reroutes[su],
+        }
+    }
+
+    /// Recycle the slot without materialising it (deliveries: the
+    /// accounting only needs the scalar columns, read before the call).
+    pub fn discard(&mut self, slot: u32) {
+        let su = slot as usize;
+        debug_assert!(self.routes[su].is_some(), "double free");
+        self.routes[su] = None;
+        self.free.push(slot);
+    }
+
+    /// Clone the slot as a [`Packet`] (recovery candidates shipped to the
+    /// coordinator while the queue stays untouched).
+    pub fn snapshot(&self, slot: u32) -> Packet {
+        let su = slot as usize;
+        Packet {
+            id: self.id[su],
+            injected_at: self.injected_at[su],
+            hop_idx: self.hop_idx[su] as usize,
+            route: self.route(slot).clone(),
+            hops_taken: u64::from(self.hops_taken[su]),
+            planned_hops: u64::from(self.planned_hops[su]),
+            reroutes: self.reroutes[su],
+        }
+    }
+
+    #[inline]
+    pub fn route(&self, slot: u32) -> &Route {
+        self.routes[slot as usize].as_ref().expect("slot is live")
+    }
+
+    /// The node currently buffering the packet.
+    #[inline]
+    pub fn current(&self, slot: u32) -> NodeId {
+        self.route(slot).nodes()[self.hop_idx[slot as usize] as usize]
+    }
+
+    /// The next node on the trajectory, or `None` at the destination.
+    #[inline]
+    pub fn next_hop(&self, slot: u32) -> Option<NodeId> {
+        self.route(slot)
+            .nodes()
+            .get(self.hop_idx[slot as usize] as usize + 1)
+            .copied()
+    }
+
+    /// Whether the packet sits at its destination.
+    #[inline]
+    pub fn arrived(&self, slot: u32) -> bool {
+        self.hop_idx[slot as usize] as usize + 1 == self.route(slot).nodes().len()
+    }
+
+    /// Advance one hop along the route.
+    #[inline]
+    pub fn advance(&mut self, slot: u32) {
+        let su = slot as usize;
+        self.hop_idx[su] += 1;
+        self.hops_taken[su] += 1;
+    }
+
+    /// Replace the remaining trajectory (mirror of [`Packet::replan`]).
+    pub fn replan(&mut self, slot: u32, route: Route) {
+        let su = slot as usize;
+        self.routes[su] = Some(route);
+        self.hop_idx[su] = 0;
+        self.reroutes[su] += 1;
+    }
+
+    /// Extra links traversed beyond the injection-time plan.
+    #[inline]
+    pub fn detour_hops(&self, slot: u32) -> u64 {
+        let su = slot as usize;
+        u64::from(self.hops_taken[su].saturating_sub(self.planned_hops[su]))
+    }
+}
+
+/// Per-node FIFO queues threaded through a [`PacketStore`], plus the
+/// occupancy bitset the service scan walks.
+#[derive(Debug)]
+pub(crate) struct NodeQueues {
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    len: Vec<u32>,
+    occ: Vec<u64>,
+    n: usize,
+}
+
+impl NodeQueues {
+    pub fn new(n_nodes: u64) -> NodeQueues {
+        let n = n_nodes as usize;
+        NodeQueues {
+            head: vec![NIL; n],
+            tail: vec![NIL; n],
+            len: vec![0; n],
+            occ: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self, v: usize) -> usize {
+        self.len[v] as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self, v: usize) -> bool {
+        self.len[v] == 0
+    }
+
+    /// Head slot of node `v`'s queue, if any.
+    #[inline]
+    pub fn front(&self, v: usize) -> Option<u32> {
+        match self.head[v] {
+            NIL => None,
+            s => Some(s),
+        }
+    }
+
+    pub fn push_back(&mut self, store: &mut PacketStore, v: usize, slot: u32) {
+        store.next[slot as usize] = NIL;
+        match self.tail[v] {
+            NIL => {
+                self.head[v] = slot;
+                self.occ[v / 64] |= 1u64 << (v % 64);
+            }
+            t => store.next[t as usize] = slot,
+        }
+        self.tail[v] = slot;
+        self.len[v] += 1;
+    }
+
+    /// Pop the head of a non-empty queue; returns its slot.
+    pub fn pop_front(&mut self, store: &mut PacketStore, v: usize) -> u32 {
+        let s = self.head[v];
+        debug_assert_ne!(s, NIL, "pop from an empty queue");
+        let nxt = store.next[s as usize];
+        self.head[v] = nxt;
+        if nxt == NIL {
+            self.tail[v] = NIL;
+            self.occ[v / 64] &= !(1u64 << (v % 64));
+        }
+        self.len[v] -= 1;
+        s
+    }
+
+    /// Collect the occupied nodes in ascending order into `out`
+    /// (capacity-reusing; `out` is cleared first).
+    pub fn collect_occupied(&self, out: &mut Vec<u32>) {
+        out.clear();
+        self.collect_range(0, self.n, out);
+    }
+
+    /// Collect the occupied nodes in the engine's rotated service order —
+    /// `[offset..n)` then `[0..offset)` — into `out`. The scan then walks
+    /// only nodes that actually hold packets, in exactly the order the
+    /// dense loop `v = (i + offset) % n` would have visited them.
+    pub fn collect_occupied_rotated(&self, offset: usize, out: &mut Vec<u32>) {
+        out.clear();
+        self.collect_range(offset, self.n, out);
+        self.collect_range(0, offset, out);
+    }
+
+    fn collect_range(&self, lo: usize, hi: usize, out: &mut Vec<u32>) {
+        if lo >= hi {
+            return;
+        }
+        let first = lo / 64;
+        let last = (hi - 1) / 64;
+        for w in first..=last {
+            let mut bits = self.occ[w];
+            if w == first {
+                bits &= !0u64 << (lo % 64);
+            }
+            if w == last && !hi.is_multiple_of(64) {
+                bits &= (1u64 << (hi % 64)) - 1;
+            }
+            while bits != 0 {
+                out.push((w * 64 + bits.trailing_zeros() as usize) as u32);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// Bitset mirror of a [`FaultSet`], rebuilt only when the set's
+/// generation stamp moves: a dead-node bitset plus one dead-link bitset
+/// per dimension (indexed by the link's canonical bit-clear endpoint).
+#[derive(Debug)]
+pub(crate) struct LinkTable {
+    synced: Option<u64>,
+    words: usize,
+    node_dead: Vec<u64>,
+    /// `dim * words + w` — flattened per-dimension dead-link bitsets.
+    dim_dead: Vec<u64>,
+}
+
+impl LinkTable {
+    pub fn new(n_nodes: u64, n_dims: u32) -> LinkTable {
+        let words = (n_nodes as usize).div_ceil(64);
+        LinkTable {
+            synced: None,
+            words,
+            node_dead: vec![0; words],
+            dim_dead: vec![0; words * n_dims as usize],
+        }
+    }
+
+    /// Rebuild from `faults` iff its generation moved since the last sync.
+    pub fn sync(&mut self, faults: &FaultSet) {
+        if self.synced == Some(faults.generation()) {
+            return;
+        }
+        self.node_dead.fill(0);
+        self.dim_dead.fill(0);
+        for n in faults.faulty_nodes() {
+            self.node_dead[n.0 as usize / 64] |= 1u64 << (n.0 % 64);
+        }
+        for l in faults.faulty_links() {
+            let (lo, hi) = l.endpoints();
+            let dim = (lo.0 ^ hi.0).trailing_zeros() as usize;
+            self.dim_dead[dim * self.words + lo.0 as usize / 64] |= 1u64 << (lo.0 % 64);
+        }
+        self.synced = Some(faults.generation());
+    }
+
+    #[inline]
+    pub fn node_faulty(&self, v: u64) -> bool {
+        self.node_dead[v as usize / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Mirror of [`FaultSet::is_link_usable`] for the hop `from → to`
+    /// over `dim`: the link itself and both endpoints must be healthy.
+    #[inline]
+    pub fn link_usable(&self, from: NodeId, to: NodeId, dim: u32) -> bool {
+        let canon = from.0 & !(1u64 << dim);
+        debug_assert_eq!(from.0 ^ to.0, 1u64 << dim, "hop must be one dimension");
+        !self.node_faulty(from.0)
+            && !self.node_faulty(to.0)
+            && self.dim_dead[dim as usize * self.words + canon as usize / 64]
+                & (1u64 << (canon % 64))
+                == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcube_topology::LinkId;
+
+    fn route(nodes: &[u64]) -> Route {
+        Route::new(nodes.iter().map(|&v| NodeId(v)).collect())
+    }
+
+    #[test]
+    fn arena_roundtrip_preserves_packets() {
+        let mut store = PacketStore::new();
+        let s = store.alloc(7, 3, route(&[0, 1, 3]));
+        assert_eq!(store.current(s), NodeId(0));
+        assert_eq!(store.next_hop(s), Some(NodeId(1)));
+        assert!(!store.arrived(s));
+        store.advance(s);
+        store.advance(s);
+        assert!(store.arrived(s));
+        let pkt = store.remove(s);
+        assert_eq!((pkt.id, pkt.injected_at, pkt.hops_taken), (7, 3, 2));
+        assert_eq!(store.live(), 0);
+        // The freed slot is recycled.
+        let s2 = store.alloc(8, 4, route(&[5, 7]));
+        assert_eq!(s2, s, "freelist must recycle");
+        let back = store.remove(s2);
+        let s3 = store.insert(back);
+        assert_eq!(store.id[s3 as usize], 8);
+        assert_eq!(store.planned_hops[s3 as usize], 1);
+    }
+
+    #[test]
+    fn replan_resets_position_and_counts() {
+        let mut store = PacketStore::new();
+        let s = store.alloc(0, 0, route(&[0, 1, 3]));
+        store.advance(s);
+        store.replan(s, route(&[1, 5, 7, 3]));
+        assert_eq!(store.current(s), NodeId(1));
+        assert_eq!(store.reroutes[s as usize], 1);
+        assert_eq!(store.hops_taken[s as usize], 1);
+        store.advance(s);
+        store.advance(s);
+        store.advance(s);
+        assert_eq!(store.detour_hops(s), 2, "4 walked vs 2 planned");
+    }
+
+    #[test]
+    fn queues_preserve_fifo_order() {
+        let mut store = PacketStore::new();
+        let mut q = NodeQueues::new(4);
+        for id in 0..5 {
+            let s = store.alloc(id, 0, route(&[2, 3]));
+            q.push_back(&mut store, 2, s);
+        }
+        assert_eq!(q.len(2), 5);
+        let mut ids = Vec::new();
+        while !q.is_empty(2) {
+            let s = q.pop_front(&mut store, 2);
+            ids.push(store.id[s as usize]);
+            store.discard(s);
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(q.front(2).is_none());
+    }
+
+    /// The word-scan iteration equals the dense rotated loop for random
+    /// occupancy patterns, including partial trailing words.
+    #[test]
+    fn rotated_scan_matches_dense_loop() {
+        for n in [1usize, 5, 63, 64, 65, 130, 200] {
+            let mut store = PacketStore::new();
+            let mut q = NodeQueues::new(n as u64);
+            let mut x = 0x9e3779b97f4a7c15u64;
+            let mut occupied = vec![false; n];
+            for (v, occ) in occupied.iter_mut().enumerate() {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if x >> 61 == 0 || v % 7 == 3 {
+                    let s = store.alloc(v as u64, 0, route(&[v as u64, v as u64 ^ 1]));
+                    q.push_back(&mut store, v, s);
+                    *occ = true;
+                }
+            }
+            for offset in [0usize, 1, n / 2, n - 1] {
+                let expect: Vec<u32> = (0..n)
+                    .map(|i| ((i + offset) % n) as u32)
+                    .filter(|&v| occupied[v as usize])
+                    .collect();
+                let mut got = Vec::new();
+                q.collect_occupied_rotated(offset, &mut got);
+                assert_eq!(got, expect, "n={n} offset={offset}");
+                if offset == 0 {
+                    let mut asc = Vec::new();
+                    q.collect_occupied(&mut asc);
+                    assert_eq!(asc, expect);
+                }
+            }
+        }
+    }
+
+    /// The bitset table answers exactly like the hash-set it mirrors.
+    #[test]
+    fn link_table_mirrors_fault_set() {
+        let mut faults = FaultSet::new();
+        faults.add_node(NodeId(9));
+        faults.add_link(LinkId::new(NodeId(4), 1));
+        faults.add_link(LinkId::new(NodeId(67), 3));
+        let mut table = LinkTable::new(128, 7);
+        table.sync(&faults);
+        for v in 0..128u64 {
+            assert_eq!(table.node_faulty(v), faults.is_node_faulty(NodeId(v)));
+            for dim in 0..7u32 {
+                let from = NodeId(v);
+                let to = NodeId(v ^ (1 << dim));
+                assert_eq!(
+                    table.link_usable(from, to, dim),
+                    faults.is_link_usable(LinkId::new(from, dim)),
+                    "v={v} dim={dim}"
+                );
+            }
+        }
+        // Repair propagates on the next generation change.
+        faults.remove_node(NodeId(9));
+        table.sync(&faults);
+        assert!(!table.node_faulty(9));
+    }
+}

@@ -251,6 +251,18 @@ impl ShardTelemetry {
         self.tree_switches = 0;
         self.tree_exhausted = 0;
     }
+
+    /// Copy `other`'s counters into this pre-sized delta without
+    /// allocating (the shard engine publishes into reusable exchange
+    /// cells; a `clone` per cycle would churn the `dim_hops` buffer).
+    pub fn copy_from(&mut self, other: &ShardTelemetry) {
+        self.dim_hops.copy_from_slice(&other.dim_hops);
+        self.injected = other.injected;
+        self.delivered = other.delivered;
+        self.dropped = other.dropped;
+        self.tree_switches = other.tree_switches;
+        self.tree_exhausted = other.tree_exhausted;
+    }
 }
 
 /// Forwarding impl so the engine internals can borrow a caller-owned sink

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use gcube_sim::{
     effective_shards, resolve_threads, CategoryMix, FaultKind, FaultSchedule, KnowledgeModel,
-    MemorySink, SimConfig, SimError, Simulator, TelemetryCollector,
+    MemorySink, SimConfig, SimError, Simulator, TelemetryCollector, TrafficPattern,
 };
 
 fn churn_config() -> SimConfig {
@@ -124,6 +124,37 @@ fn finite_buffers_refuse_sharded_runs() {
     assert!(sim.session().threads(1).try_run().is_ok());
 }
 
+/// A completed million-node run: `GC(20, 4)` end to end at a trickle
+/// injection rate, sequential and 4-way sharded agreeing bitwise. The
+/// SoA engine never materialises the node set — queues are flat arrays
+/// plus occupancy bitsets — so 2^20 nodes is minutes of arithmetic, not
+/// memory pressure. Ignored by default: run with
+/// `cargo test --release -- --ignored million_node` (debug builds spend
+/// most of their time in bounds checks).
+#[test]
+#[ignore = "release-scale: 1M-node engine run, use --release -- --ignored"]
+fn million_node_run_completes_and_shards_bitwise() {
+    let cfg = SimConfig::new(20, 4)
+        .with_cycles(10, 100, 0)
+        .with_rate(0.0002)
+        .with_seed(0x6c0de);
+    let run_with = |threads: usize| {
+        let alg = gcube_sim::CachedFfgcr::new();
+        let sim = Simulator::new(cfg.clone(), &alg);
+        sim.session().threads(threads).run()
+    };
+    let seq = run_with(1);
+    assert_eq!(seq.metrics.nodes, 1 << 20);
+    assert!(seq.metrics.injected_total > 0, "trickle must inject");
+    assert_eq!(
+        seq.metrics.injected_total,
+        seq.metrics.delivered_total + seq.metrics.dropped_total,
+        "a drained fault-free run delivers everything it injected"
+    );
+    let par = run_with(4);
+    assert_eq!(seq, par, "GC(20, 4) must shard bitwise");
+}
+
 fn arb_kind() -> impl Strategy<Value = FaultKind> {
     prop_oneof![
         Just(FaultKind::Permanent),
@@ -164,9 +195,27 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
         ],
         prop_oneof![Just(None), (2u64..50).prop_map(Some)], // ttl
         0u32..5,                                            // reroute budget
+        prop_oneof![
+            Just(TrafficPattern::Uniform),
+            Just(TrafficPattern::Transpose),
+            Just(TrafficPattern::BitComplement),
+        ],
     )
         .prop_map(
-            |(n, m, rate, inject, warmup, seed, faults, schedule, knowledge, ttl, budget)| {
+            |(
+                n,
+                m,
+                rate,
+                inject,
+                warmup,
+                seed,
+                faults,
+                schedule,
+                knowledge,
+                ttl,
+                budget,
+                pattern,
+            )| {
                 let mut cfg = SimConfig::new(n, m)
                     .with_cycles(inject, inject * 20, warmup)
                     .with_rate(rate)
@@ -175,6 +224,7 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
                     .with_schedule(schedule)
                     .with_knowledge(knowledge)
                     .with_reroute_budget(budget)
+                    .with_pattern(pattern)
                     .with_window(100)
                     .with_telemetry_interval(50);
                 if let Some(t) = ttl {
