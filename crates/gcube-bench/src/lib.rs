@@ -22,9 +22,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use gcube_sim::{
-    run_churn_sweep, run_sweep, CachedFtgcr, CategoryMix, ChurnPoint, FaultFreeGcr, FaultKind,
-    FaultSchedule, FaultTarget, FaultTolerantGcr, KnowledgeModel, Metrics, MultiTreeStrategy,
-    RoutingAlgorithm, SimConfig, SweepPoint, TimedFault,
+    run_churn_sweep, run_sweep, CachedFtgcr, CategoryMix, ChurnPoint, CollectiveOp, FaultFreeGcr,
+    FaultKind, FaultSchedule, FaultTarget, FaultTolerantGcr, KnowledgeModel, Metrics,
+    MultiTreeStrategy, RoutingAlgorithm, SimConfig, SweepPoint, TimedFault,
 };
 use gcube_topology::classes::{n_bound_paper, subcube_pos};
 use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
@@ -410,6 +410,83 @@ pub fn survival_churn_sweep(algorithm: &dyn RoutingAlgorithm) -> Vec<ChurnPoint>
                 .with_seed(0x5a2_0000)
                 .with_knowledge(KnowledgeModel::PaperDelay)
                 .with_window(inject / 10)
+                .with_schedule(FaultSchedule::Bernoulli {
+                    rate: p,
+                    kind: FaultKind::Transient { repair_after: 150 },
+                    mix: CategoryMix::default(),
+                    node_fraction: 0.5,
+                })
+        })
+        .collect();
+    run_churn_sweep(&configs, algorithm, threads())
+}
+
+/// Cycles between collective operations in the canonical collective
+/// scenario ([`collective_scenario_config`]).
+pub const COLLECTIVE_INTERVAL: u64 = 50;
+
+/// Cycle the clustered fault burst lands in [`collective_scenario_config`]:
+/// late enough that both ending classes of `GC(8, 2)` have established
+/// their broadcast trees (two operations each), so the burst forces a
+/// *repair* of a cached tree rather than a cold build.
+pub const COLLECTIVE_FAULT_CYCLE: u64 = 4 * COLLECTIVE_INTERVAL;
+
+/// The canonical clustered scenario with the periodic broadcast
+/// collective riding on top: every root class establishes its tree
+/// first, then [`SURVIVAL_CLUSTER_FAULTS`] A-links fail at once inside
+/// one GEEC subcube. Link faults never kill a root, so every subsequent
+/// operation must recover by subtree re-grafting — a full rebuild here
+/// is a repair-path regression, and lost coverage means the re-graft
+/// failed to reattach reachable nodes.
+pub fn collective_scenario_config() -> SimConfig {
+    let gc = GaussianCube::new(8, 2).expect("valid shape");
+    let links = clustered_fault_links(&gc, SURVIVAL_CLUSTER_FAULTS);
+    assert_eq!(links.len(), SURVIVAL_CLUSTER_FAULTS);
+    let (inject, drain) = if quick() {
+        (600, 5_000)
+    } else {
+        (1_500, 10_000)
+    };
+    SimConfig::new(8, 2)
+        .with_cycles(inject, drain, 0)
+        .with_rate(0.01)
+        .with_seed(0x5a3_0000)
+        .with_window(inject / 10)
+        .with_collective(CollectiveOp::Broadcast)
+        .with_collective_interval(COLLECTIVE_INTERVAL)
+        .with_schedule(FaultSchedule::Scripted(
+            links
+                .into_iter()
+                .map(|l| TimedFault {
+                    cycle: COLLECTIVE_FAULT_CYCLE,
+                    target: FaultTarget::Link(l),
+                    kind: FaultKind::Permanent,
+                })
+                .collect(),
+        ))
+}
+
+/// Coverage-vs-fault-rate sweep: the broadcast collective under transient
+/// Bernoulli churn at each of [`survival_rates`], identical configs and
+/// seeds to [`survival_churn_sweep`] apart from the collective class, so
+/// the coverage curve isolates what churn costs the tree traffic.
+pub fn collective_churn_sweep(algorithm: &dyn RoutingAlgorithm) -> Vec<ChurnPoint> {
+    let (inject, drain) = if quick() {
+        (300, 3_000)
+    } else {
+        (1_200, 8_000)
+    };
+    let configs: Vec<SimConfig> = survival_rates()
+        .into_iter()
+        .map(|p| {
+            SimConfig::new(8, 2)
+                .with_cycles(inject, drain, 0)
+                .with_rate(0.01)
+                .with_seed(0x5a2_0000)
+                .with_knowledge(KnowledgeModel::PaperDelay)
+                .with_window(inject / 10)
+                .with_collective(CollectiveOp::Broadcast)
+                .with_collective_interval(COLLECTIVE_INTERVAL)
                 .with_schedule(FaultSchedule::Bernoulli {
                     rate: p,
                     kind: FaultKind::Transient { repair_after: 150 },

@@ -4,7 +4,8 @@
 use gcube_routing::multitree::MAX_TREES;
 use gcube_sim::traffic::TrafficPattern;
 use gcube_sim::{
-    CategoryMix, FaultKind, FaultSchedule, FaultTarget, KnowledgeModel, SimError, TimedFault,
+    CategoryMix, CollectiveOp, FaultKind, FaultSchedule, FaultTarget, KnowledgeModel, SimError,
+    TimedFault,
 };
 use gcube_topology::{LinkId, NodeId};
 
@@ -117,6 +118,10 @@ pub enum Command {
         strategy: StrategyArg,
         /// Spanning trees per bundle for `--strategy multitree`.
         trees: usize,
+        /// Periodic collective traffic class riding alongside unicast.
+        collective: Option<CollectiveOp>,
+        /// Cycles between collective operations.
+        collective_interval: u64,
     },
     /// `gcube diameter [max_m]` — Figure 2 series.
     Diameter {
@@ -150,6 +155,7 @@ USAGE:
   gcube route <n> <M> <src> <dst> [--fault-node V]... [--fault-link V:DIM]... [--fault-free]
   gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K] [--pattern P] [--seed S]
                  [--threads N] [--strategy S] [--trees K]
+                 [--collective OP] [--collective-interval I]
                  [--churn R | --fault-at SPEC]... [--fault-kind KIND] [--mix A:B:C]
                  [--node-fraction F] [--knowledge MODEL] [--ttl T]
                  [--reroute-budget B] [--window W]
@@ -171,6 +177,13 @@ STRATEGY:
                        fault budget
   --trees K            spanning trees per ending-class bundle for
                        --strategy multitree (default 2, max 2)
+COLLECTIVES (fault-tolerant tree traffic riding alongside unicast):
+  --collective OP      broadcast | multicast | gather — launch one
+                       operation every interval over the fault-screened
+                       broadcast tree of a rotating root class; faults on
+                       tree edges are repaired by subtree re-grafting
+                       (re-rooting only when the root itself dies)
+  --collective-interval I  cycles between operations (default 50)
 PARALLELISM:
   --threads N          worker threads for the deterministic shard engine
                        (default 1 = sequential, 0 = all available cores);
@@ -356,6 +369,8 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
             let mut threads = 1usize;
             let mut strategy = StrategyArg::Auto;
             let mut trees: Option<usize> = None;
+            let mut collective: Option<CollectiveOp> = None;
+            let mut collective_interval: Option<u64> = None;
             // Raw --fault-at specs are re-parsed once --fault-kind is known
             // (flags may come in any order).
             let mut raw_events: Vec<String> = Vec::new();
@@ -426,6 +441,25 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                     "--trees" => {
                         trees = Some(parse_num(next(&mut it, "tree count")?, "tree count")?)
                     }
+                    "--collective" => {
+                        let op = next(&mut it, "collective op")?;
+                        collective = Some(CollectiveOp::from_str(op).ok_or_else(|| {
+                            SimError::Cli(format!(
+                                "collective must be broadcast, multicast or gather, got {op}"
+                            ))
+                        })?);
+                    }
+                    "--collective-interval" => {
+                        collective_interval = Some(parse_num(
+                            next(&mut it, "collective interval")?,
+                            "collective interval",
+                        )?);
+                        if collective_interval == Some(0) {
+                            return Err(SimError::Cli(
+                                "collective interval must be at least 1 cycle".into(),
+                            ));
+                        }
+                    }
                     other => return Err(SimError::Cli(format!("unknown flag: {other}"))),
                 }
             }
@@ -443,6 +477,12 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                     "tree count must be 1..={MAX_TREES}, got {trees}"
                 )));
             }
+            if collective_interval.is_some() && collective.is_none() {
+                return Err(SimError::Cli(
+                    "--collective-interval requires --collective".into(),
+                ));
+            }
+            let collective_interval = collective_interval.unwrap_or(50);
             if churn_rate.is_some() && !raw_events.is_empty() {
                 return Err(SimError::Cli(
                     "--churn and --fault-at are mutually exclusive".into(),
@@ -483,6 +523,8 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                 threads,
                 strategy,
                 trees,
+                collective,
+                collective_interval,
             })
         }
         "diameter" => {
@@ -770,6 +812,50 @@ mod tests {
             "simulate 8 2 --strategy ftgcr --trees 2",
             "simulate 8 2 --strategy multitree --trees 0",
             "simulate 8 2 --strategy multitree --trees 3", // beyond MAX_TREES
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_collective_flags() {
+        let Command::Simulate {
+            collective,
+            collective_interval,
+            ..
+        } = parse(&argv("simulate 8 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(collective, None, "default is unicast-only");
+        assert_eq!(collective_interval, 50);
+        for (arg, want) in [
+            ("broadcast", CollectiveOp::Broadcast),
+            ("multicast", CollectiveOp::Multicast),
+            ("gather", CollectiveOp::Gather),
+        ] {
+            let Command::Simulate { collective, .. } =
+                parse(&argv(&format!("simulate 8 2 --collective {arg}"))).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(collective, Some(want), "--collective {arg}");
+        }
+        let Command::Simulate {
+            collective_interval,
+            ..
+        } = parse(&argv(
+            "simulate 8 2 --collective gather --collective-interval 25",
+        ))
+        .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(collective_interval, 25);
+        for bad in [
+            "simulate 8 2 --collective scatter",
+            "simulate 8 2 --collective-interval 25", // needs --collective
+            "simulate 8 2 --collective broadcast --collective-interval 0",
         ] {
             assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
         }

@@ -77,6 +77,8 @@ fn run(cmd: Command) -> Result<(), String> {
             threads,
             strategy,
             trees,
+            collective,
+            collective_interval,
         } => simulate(
             n,
             modulus,
@@ -89,6 +91,8 @@ fn run(cmd: Command) -> Result<(), String> {
             threads,
             strategy,
             trees,
+            collective,
+            collective_interval,
             SimulateOutput {
                 trace,
                 percentiles,
@@ -249,6 +253,8 @@ fn simulate(
     threads: usize,
     strategy: StrategyArg,
     trees: usize,
+    collective: Option<gcube_sim::CollectiveOp>,
+    collective_interval: u64,
     out: SimulateOutput,
 ) -> Result<(), String> {
     if n > 14 {
@@ -268,6 +274,11 @@ fn simulate(
         .with_telemetry_interval(out.telemetry_interval);
     if let Some(ttl) = churn.ttl {
         cfg = cfg.with_ttl(ttl);
+    }
+    if let Some(op) = collective {
+        cfg = cfg
+            .with_collective(op)
+            .with_collective_interval(collective_interval);
     }
     // Pick the routing strategy. `auto` keeps the historic rule: any
     // fault — static or dynamic — needs the fault-tolerant strategy.
@@ -401,6 +412,45 @@ fn simulate(
         m.throughput()
     );
     println!("measured cycles  : {}", m.cycles);
+    if let Some(op) = collective {
+        println!(
+            "collective       : {} every {} cycles — {} ops launched, {} skipped (dead root class)",
+            op.as_str(),
+            collective_interval,
+            m.collective_ops,
+            m.collective_skipped
+        );
+        println!(
+            "  wave packets   : {} injected, {} delivered, {} dropped (coverage {:.4})",
+            m.collective_injected,
+            m.collective_delivered,
+            m.collective_dropped,
+            m.collective_coverage()
+        );
+        if m.tree_regrafts + m.tree_rebuilds > 0 {
+            println!(
+                "  tree repairs   : {} re-grafts, {} full rebuilds, {} nodes lost to partitions",
+                m.tree_regrafts, m.tree_rebuilds, m.tree_lost_nodes
+            );
+        }
+        if !r.collectives.is_empty() {
+            println!("  per-op coverage (op root: delivered/expected, completion cycles):");
+            for s in r.collectives.iter().take(20) {
+                println!(
+                    "    op {:>3} @ node {:>5}: {:>5}/{:<5} ({:.3})  {} cycles",
+                    s.op,
+                    s.root,
+                    s.delivered,
+                    s.expected,
+                    s.coverage(),
+                    s.last_delivery.saturating_sub(s.started)
+                );
+            }
+            if r.collectives.len() > 20 {
+                println!("    ... {} more", r.collectives.len() - 20);
+            }
+        }
+    }
     if dynamic {
         println!("fault events     : {}", m.fault_events);
         println!(

@@ -10,15 +10,24 @@
 //!   visiting every destination, built from the optimal covering tree walk
 //!   (PC + CT) plus in-class coordinate tours;
 //! * [`broadcast_tree`] — a spanning broadcast tree (BFS-optimal depth);
+//! * [`screened_broadcast_tree`] — the fault-screened variant: BFS over
+//!   usable links only, healthy-but-unreachable nodes left uncovered;
+//! * [`BroadcastTree::regraft`] — re-rooting repair: when a fault lands on
+//!   a tree edge, reattach the orphaned subtree through a surviving
+//!   neighbour link (edge-minimum choice) instead of rebuilding the tree;
 //! * [`binomial_broadcast_schedule`] — a round-by-round schedule where each
 //!   informed node forwards to one neighbour per round (the classic
 //!   binomial/Recursive-doubling pattern generalised to GC links);
 //! * [`gather_schedule`] — the reverse of a broadcast tree: leaves-to-root
 //!   rounds with single-port aggregation.
+//!
+//! Both schedules have `_masked` variants that screen faults and return a
+//! typed [`RoutingError::Disconnected`] — never a panic — when the fault
+//! set cuts healthy nodes off from the root.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
-use gcube_topology::{GaussianCube, NodeId, Topology};
+use gcube_topology::{GaussianCube, LinkId, LinkMask, NoFaults, NodeId, Topology};
 
 use crate::ffgcr;
 use crate::route::{Route, RoutingError};
@@ -51,11 +60,12 @@ pub fn multicast_walk(
     let mut nodes = vec![s];
     let mut cur = s;
     while !remaining.is_empty() {
-        // Greedy: nearest remaining destination (by FFGCR length = exact
-        // distance), ties towards the smallest label for determinism.
+        // Greedy: nearest remaining destination (by route-free distance =
+        // exact FFGCR length), ties towards the smallest label for
+        // determinism. Only the chosen leg is ever planned in full.
         let next = *remaining
             .iter()
-            .min_by_key(|&&d| (ffgcr::route_len(gc, cur, d), d))
+            .min_by_key(|&&d| (ffgcr::distance(gc, cur, d), d))
             .expect("non-empty");
         remaining.remove(&next);
         let leg = ffgcr::route(gc, cur, next)?;
@@ -74,27 +84,74 @@ pub fn independent_unicast_cost(gc: &GaussianCube, s: NodeId, dests: &BTreeSet<N
         .sum()
 }
 
-/// A spanning broadcast tree rooted at `s`: `parent[v]` is the node that
-/// forwards the message to `v` (`None` for the root and for nodes outside
-/// the connected component, which cannot occur in a healthy GC).
+/// A broadcast tree rooted at `s`: `parent[v]` is the node that forwards
+/// the message to `v` (`None` for the root and for *uncovered* nodes —
+/// faulty ones, or healthy ones the screened BFS could not reach).
 ///
 /// BFS construction minimises depth: the tree's depth equals the
-/// eccentricity of `s`, the information-theoretic lower bound for
-/// all-port broadcasting.
-#[derive(Clone, Debug)]
+/// eccentricity of `s` (in the screened graph), the information-theoretic
+/// lower bound for all-port broadcasting.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BroadcastTree {
     /// The root.
     pub root: NodeId,
     /// Parent pointers (`parent[v.0]`).
     pub parent: Vec<Option<NodeId>>,
-    /// BFS depth per node.
+    /// BFS depth per node; `u32::MAX` marks a node the tree does not cover.
     pub depth: Vec<u32>,
+    /// Covered nodes in BFS order (root first, parents before children).
+    pub order: Vec<NodeId>,
+}
+
+/// What a [`BroadcastTree::regraft`] repair pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Orphaned subtrees reattached through a surviving neighbour link.
+    pub regrafted_subtrees: u64,
+    /// Nodes whose coverage the regraft preserved (members of reattached
+    /// subtrees).
+    pub reattached_nodes: u64,
+    /// Previously covered nodes that lost coverage (faulty, or no
+    /// surviving link back to the main tree).
+    pub lost_nodes: u64,
+    /// Whether the tree was rebuilt from scratch instead of patched
+    /// (root replacement — never set by `regraft` itself).
+    pub rebuilt: bool,
 }
 
 impl BroadcastTree {
-    /// Maximum depth — rounds needed with all-port forwarding.
+    /// Maximum depth over covered nodes — rounds needed with all-port
+    /// forwarding. Uncovered sentinels (`u32::MAX`) are ignored.
     pub fn max_depth(&self) -> u32 {
-        self.depth.iter().copied().max().unwrap_or(0)
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the tree covers (reaches) `v`.
+    #[inline]
+    pub fn covers(&self, v: NodeId) -> bool {
+        self.depth[v.0 as usize] != u32::MAX
+    }
+
+    /// Number of covered nodes (root inclusive).
+    #[inline]
+    pub fn covered_count(&self) -> u64 {
+        self.order.len() as u64
+    }
+
+    /// Per-node BFS rank (position in [`BroadcastTree::order`]);
+    /// `u32::MAX` for uncovered nodes. Gives collective packets a dense,
+    /// deterministic id space.
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut rank = vec![u32::MAX; self.parent.len()];
+        for (i, &v) in self.order.iter().enumerate() {
+            rank[v.0 as usize] = i as u32;
+        }
+        rank
     }
 
     /// Children lists (inverse of `parent`).
@@ -111,8 +168,26 @@ impl BroadcastTree {
         ch
     }
 
-    /// Verify every tree edge is a real GC link.
-    pub fn validate(&self, gc: &GaussianCube) -> Result<(), RoutingError> {
+    /// The tree path from covered node `v` up to the root (inclusive both
+    /// ends, `v` first) — the gather route.
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        debug_assert!(self.covers(v), "path_to_root needs a covered node");
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.0 as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Verify every tree edge is a real GC link, usable under `mask`, and
+    /// that `depth`/`order` are consistent with `parent`.
+    pub fn validate_masked<M: LinkMask + ?Sized>(
+        &self,
+        gc: &GaussianCube,
+        mask: &M,
+    ) -> Result<(), RoutingError> {
         for (v, p) in self.parent.iter().enumerate() {
             if let Some(p) = p {
                 let v = NodeId(v as u64);
@@ -120,42 +195,285 @@ impl BroadcastTree {
                 if dims.len() != 1 || !gc.has_link(v, dims[0]) {
                     return Err(RoutingError::InvalidHop { from: *p, to: v });
                 }
+                if !mask.node_ok(v) || !mask.node_ok(*p) {
+                    return Err(RoutingError::FaultyNodeOnRoute { node: v });
+                }
+                let l = LinkId::new(v, dims[0]);
+                if !mask.link_ok(l) {
+                    return Err(RoutingError::FaultyLinkOnRoute { link: l });
+                }
+                if self.depth[v.0 as usize] != self.depth[p.0 as usize] + 1 {
+                    return Err(RoutingError::InvalidHop { from: *p, to: v });
+                }
             }
         }
         Ok(())
     }
+
+    /// Verify every tree edge is a real GC link.
+    pub fn validate(&self, gc: &GaussianCube) -> Result<(), RoutingError> {
+        self.validate_masked(gc, &NoFaults)
+    }
+
+    /// Re-rooting repair: patch the tree in place after the fault set
+    /// changed, reattaching each orphaned subtree through a surviving
+    /// neighbour link instead of rebuilding the whole tree.
+    ///
+    /// Per the re-rooting broadcasting papers: an edge fault severs one
+    /// subtree; some member of that subtree usually still has a healthy
+    /// link into the surviving tree, so the subtree is *re-rooted* at that
+    /// member (parent pointers along the old root-ward chain reversed) and
+    /// grafted on. Among candidate graft edges the *edge-minimum* rule
+    /// picks the one whose surviving endpoint is shallowest (ties towards
+    /// the smallest `(member, neighbour)` pair), keeping the patched tree
+    /// close to BFS depth. Subtrees with no surviving edge — and faulty
+    /// nodes — lose coverage.
+    ///
+    /// The root must still be healthy (callers replace the root — and
+    /// rebuild — when it dies). Deterministic: a pure function of the old
+    /// tree and the mask.
+    pub fn regraft<M: LinkMask + ?Sized>(&mut self, gc: &GaussianCube, mask: &M) -> RepairOutcome {
+        debug_assert!(mask.node_ok(self.root), "regraft requires a live root");
+        let n = self.parent.len();
+        let old_covered = self.order.len();
+        let mut dead = vec![false; n];
+        let mut orphan = vec![false; n];
+        // One pass in BFS order (parents first): a node is orphaned when it
+        // is faulty, its parent edge died, or its parent is orphaned.
+        for &v in &self.order {
+            if v == self.root {
+                continue;
+            }
+            let vi = v.0 as usize;
+            if !mask.node_ok(v) {
+                dead[vi] = true;
+                orphan[vi] = true;
+                continue;
+            }
+            let p = self.parent[vi].expect("covered non-root has a parent");
+            let dims = v.differing_dims(p);
+            let edge_ok =
+                dims.len() == 1 && mask.node_ok(p) && mask.link_ok(LinkId::new(v, dims[0]));
+            if orphan[p.0 as usize] || !edge_ok {
+                orphan[vi] = true;
+            }
+        }
+        // Group live orphans into subtrees: a live orphan roots a subtree
+        // when its old parent link no longer ties it to a live orphan.
+        let mut sub_id = vec![usize::MAX; n];
+        let mut subtrees: Vec<Vec<NodeId>> = Vec::new();
+        for &v in &self.order {
+            let vi = v.0 as usize;
+            if !orphan[vi] || dead[vi] {
+                continue;
+            }
+            let p = self.parent[vi].expect("orphans are never the root");
+            let pi = p.0 as usize;
+            let hangs_on_parent = orphan[pi] && !dead[pi] && {
+                let dims = v.differing_dims(p);
+                dims.len() == 1 && mask.link_ok(LinkId::new(v, dims[0]))
+            };
+            if hangs_on_parent {
+                sub_id[vi] = sub_id[pi];
+                subtrees[sub_id[pi]].push(v);
+            } else {
+                sub_id[vi] = subtrees.len();
+                subtrees.push(vec![v]);
+            }
+        }
+        // Reattach subtrees, edge-minimum first. A graft can unlock further
+        // grafts (a later subtree may hang off a reattached one), so loop
+        // to a fixed point.
+        let mut in_main = vec![false; n];
+        for &v in &self.order {
+            let vi = v.0 as usize;
+            in_main[vi] = !orphan[vi] && !dead[vi];
+        }
+        let mut resolved = vec![false; subtrees.len()];
+        let mut out = RepairOutcome::default();
+        loop {
+            let mut progress = false;
+            for (si, members) in subtrees.iter().enumerate() {
+                if resolved[si] {
+                    continue;
+                }
+                // Best graft edge: member u, neighbour w in the main tree,
+                // minimising (depth[w], u, w).
+                let mut best: Option<(u32, u64, u64, u32)> = None;
+                for &u in members {
+                    for c in gc.link_dims(u) {
+                        let w = u.flip(c);
+                        if !in_main[w.0 as usize]
+                            || !mask.node_ok(w)
+                            || !mask.link_ok(LinkId::new(u, c))
+                        {
+                            continue;
+                        }
+                        let key = (self.depth[w.0 as usize], u.0, w.0, c);
+                        if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                            best = Some(key);
+                        }
+                    }
+                }
+                let Some((_, u, w, _)) = best else { continue };
+                let (u, w) = (NodeId(u), NodeId(w));
+                // Re-root the subtree at u: reverse the parent chain from u
+                // up to the old subtree root, then hang u off w.
+                let mut cur = u;
+                let mut prev: Option<NodeId> = Some(w);
+                loop {
+                    let old_parent = self.parent[cur.0 as usize];
+                    self.parent[cur.0 as usize] = prev;
+                    match old_parent {
+                        Some(p) if sub_id[p.0 as usize] == si => {
+                            prev = Some(cur);
+                            cur = p;
+                        }
+                        _ => break,
+                    }
+                }
+                // Provisional depths inside the subtree so later grafts see
+                // an up-to-date edge-minimum landscape.
+                let member_set: HashSet<NodeId> = members.iter().copied().collect();
+                let mut ch: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+                for &m in members {
+                    if m != u {
+                        let p = self.parent[m.0 as usize].expect("grafted member has a parent");
+                        ch.entry(p).or_default().push(m);
+                    }
+                }
+                self.depth[u.0 as usize] = self.depth[w.0 as usize] + 1;
+                let mut bfs = VecDeque::from([u]);
+                while let Some(x) = bfs.pop_front() {
+                    if let Some(kids) = ch.get(&x) {
+                        for &k in kids {
+                            debug_assert!(member_set.contains(&k));
+                            self.depth[k.0 as usize] = self.depth[x.0 as usize] + 1;
+                            bfs.push_back(k);
+                        }
+                    }
+                }
+                for &m in members {
+                    in_main[m.0 as usize] = true;
+                }
+                resolved[si] = true;
+                out.regrafted_subtrees += 1;
+                out.reattached_nodes += members.len() as u64;
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+        // Finalise: prune everything that never made it back, then rebuild
+        // depth/order by walking the *patched tree* from the root (a tree
+        // walk, not a graph BFS — no full rebuild happens here).
+        for (v, ok) in in_main.iter().enumerate() {
+            if !ok {
+                self.parent[v] = None;
+            }
+        }
+        let mut ch: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (v, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch.entry(*p).or_default().push(NodeId(v as u64));
+            }
+        }
+        for list in ch.values_mut() {
+            list.sort_unstable();
+        }
+        let mut depth = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(old_covered);
+        depth[self.root.0 as usize] = 0;
+        let mut bfs = VecDeque::from([self.root]);
+        while let Some(u) = bfs.pop_front() {
+            order.push(u);
+            if let Some(kids) = ch.get(&u) {
+                for &k in kids {
+                    depth[k.0 as usize] = self.depth[k.0 as usize];
+                    bfs.push_back(k);
+                }
+            }
+        }
+        // Keep the patched depths, but clear stale values on pruned nodes.
+        for (v, d) in depth.iter().enumerate() {
+            if *d == u32::MAX && NodeId(v as u64) != self.root {
+                self.depth[v] = u32::MAX;
+            }
+        }
+        out.lost_nodes = old_covered as u64 - order.len() as u64;
+        self.order = order;
+        out
+    }
 }
 
-/// Build the BFS broadcast tree rooted at `s`.
-pub fn broadcast_tree(gc: &GaussianCube, s: NodeId) -> Result<BroadcastTree, RoutingError> {
+/// Build the fault-screened BFS broadcast tree rooted at `s`: traversal
+/// uses only links usable under `mask` and skips faulty nodes. Healthy
+/// nodes the BFS cannot reach are simply left uncovered
+/// (`depth = u32::MAX`) — use [`broadcast_tree_masked`] to insist on full
+/// coverage.
+pub fn screened_broadcast_tree<M: LinkMask + ?Sized>(
+    gc: &GaussianCube,
+    mask: &M,
+    s: NodeId,
+) -> Result<BroadcastTree, RoutingError> {
     if !gc.contains(s) {
         return Err(RoutingError::OutOfRange(s));
+    }
+    if !mask.node_ok(s) {
+        return Err(RoutingError::SourceFaulty(s));
     }
     let n = gc.num_nodes() as usize;
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut depth = vec![u32::MAX; n];
+    let mut order = Vec::new();
     let mut queue = VecDeque::new();
     depth[s.0 as usize] = 0;
     queue.push_back(s);
     while let Some(u) = queue.pop_front() {
+        order.push(u);
         for c in gc.link_dims(u) {
             let v = u.flip(c);
-            if depth[v.0 as usize] == u32::MAX {
+            if depth[v.0 as usize] == u32::MAX && mask.node_ok(v) && mask.link_ok(LinkId::new(u, c))
+            {
                 depth[v.0 as usize] = depth[u.0 as usize] + 1;
                 parent[v.0 as usize] = Some(u);
                 queue.push_back(v);
             }
         }
     }
-    debug_assert!(
-        depth.iter().all(|&d| d != u32::MAX),
-        "a healthy GC is connected"
-    );
     Ok(BroadcastTree {
         root: s,
         parent,
         depth,
+        order,
     })
+}
+
+/// Build the BFS broadcast tree rooted at `s` in the fault-free cube.
+pub fn broadcast_tree(gc: &GaussianCube, s: NodeId) -> Result<BroadcastTree, RoutingError> {
+    broadcast_tree_masked(gc, &NoFaults, s)
+}
+
+/// Build the fault-screened BFS broadcast tree rooted at `s`, requiring
+/// the tree to span every healthy node. Returns a typed
+/// [`RoutingError::Disconnected`] — instead of silently corrupt
+/// `u32::MAX` depths — when faults cut healthy nodes off from `s`.
+pub fn broadcast_tree_masked<M: LinkMask + ?Sized>(
+    gc: &GaussianCube,
+    mask: &M,
+    s: NodeId,
+) -> Result<BroadcastTree, RoutingError> {
+    let tree = screened_broadcast_tree(gc, mask, s)?;
+    let healthy = (0..gc.num_nodes())
+        .filter(|&v| mask.node_ok(NodeId(v)))
+        .count() as u64;
+    if tree.covered_count() < healthy {
+        return Err(RoutingError::Disconnected {
+            unreachable: healthy - tree.covered_count(),
+        });
+    }
+    Ok(tree)
 }
 
 /// A single-port broadcast schedule: in each round, every *informed* node
@@ -170,44 +488,69 @@ pub fn binomial_broadcast_schedule(
     gc: &GaussianCube,
     s: NodeId,
 ) -> Result<Vec<Vec<(NodeId, NodeId)>>, RoutingError> {
-    let tree = broadcast_tree(gc, s)?;
+    binomial_broadcast_schedule_masked(gc, &NoFaults, s)
+}
+
+/// [`binomial_broadcast_schedule`] with faults screened out: the schedule
+/// runs over the fault-screened tree and returns
+/// [`RoutingError::Disconnected`] — never a panic — when healthy nodes are
+/// cut off from `s`.
+pub fn binomial_broadcast_schedule_masked<M: LinkMask + ?Sized>(
+    gc: &GaussianCube,
+    mask: &M,
+    s: NodeId,
+) -> Result<Vec<Vec<(NodeId, NodeId)>>, RoutingError> {
+    let tree = broadcast_tree_masked(gc, mask, s)?;
+    schedule_on_tree(&tree)
+}
+
+/// The greedy single-port schedule on an explicit (possibly repaired)
+/// tree, covering exactly the tree's covered set.
+fn schedule_on_tree(tree: &BroadcastTree) -> Result<Vec<Vec<(NodeId, NodeId)>>, RoutingError> {
     let children = tree.children();
-    // Subtree sizes by reverse-BFS accumulation.
-    let n = gc.num_nodes() as usize;
-    let mut order: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
-    order.sort_unstable_by_key(|v| std::cmp::Reverse(tree.depth[v.0 as usize]));
+    let n = tree.parent.len();
+    // Subtree sizes by reverse-BFS accumulation over covered nodes.
     let mut size = vec![1u64; n];
-    for &v in &order {
+    for &v in tree.order.iter().rev() {
         if let Some(p) = tree.parent[v.0 as usize] {
             size[p.0 as usize] += size[v.0 as usize];
         }
     }
-    // Each node keeps a cursor over its children sorted by subtree size.
-    let mut pending: HashMap<NodeId, Vec<NodeId>> = children
+    // Each node keeps an index cursor over its children sorted by subtree
+    // size — no front-removal churn.
+    let mut pending: HashMap<NodeId, (Vec<NodeId>, usize)> = children
         .iter()
         .map(|(p, ch)| {
             let mut sorted = ch.clone();
             sorted.sort_unstable_by_key(|c| std::cmp::Reverse(size[c.0 as usize]));
-            (*p, sorted)
+            (*p, (sorted, 0))
         })
         .collect();
-    let mut informed: HashSet<NodeId> = [s].into_iter().collect();
+    let covered = tree.covered_count() as usize;
+    let mut informed: HashSet<NodeId> = [tree.root].into_iter().collect();
     let mut rounds = Vec::new();
-    while informed.len() < n {
+    while informed.len() < covered {
         let mut round = Vec::new();
         let mut newly = Vec::new();
         let mut speakers: Vec<NodeId> = informed.iter().copied().collect();
         speakers.sort_unstable();
         for u in speakers {
-            if let Some(list) = pending.get_mut(&u) {
-                if let Some(v) = list.first().copied() {
-                    list.remove(0);
+            if let Some((list, cursor)) = pending.get_mut(&u) {
+                if let Some(v) = list.get(*cursor).copied() {
+                    *cursor += 1;
                     round.push((u, v));
                     newly.push(v);
                 }
             }
         }
-        assert!(!round.is_empty(), "schedule must make progress every round");
+        if round.is_empty() {
+            // Cannot happen on a well-formed tree (every uninformed covered
+            // node has an informed ancestor with a pending child), but a
+            // corrupt tree must surface as a typed error, not a panic.
+            return Err(RoutingError::Disconnected {
+                unreachable: (covered - informed.len()) as u64,
+            });
+        }
         informed.extend(newly);
         rounds.push(round);
     }
@@ -223,17 +566,25 @@ pub fn gather_schedule(
     gc: &GaussianCube,
     root: NodeId,
 ) -> Result<Vec<Vec<(NodeId, NodeId)>>, RoutingError> {
-    let tree = broadcast_tree(gc, root)?;
+    gather_schedule_masked(gc, &NoFaults, root)
+}
+
+/// [`gather_schedule`] with faults screened out; returns
+/// [`RoutingError::Disconnected`] when healthy nodes cannot reach `root`.
+pub fn gather_schedule_masked<M: LinkMask + ?Sized>(
+    gc: &GaussianCube,
+    mask: &M,
+    root: NodeId,
+) -> Result<Vec<Vec<(NodeId, NodeId)>>, RoutingError> {
+    let tree = broadcast_tree_masked(gc, mask, root)?;
     let children = tree.children();
     let n = gc.num_nodes() as usize;
-    // Bottom-up (descending depth): when a node is processed, every child's
-    // send round is already fixed, so we can serialise receptions at the
-    // parent's single port and derive the node's own readiness.
-    let mut order: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
-    order.sort_unstable_by_key(|v| std::cmp::Reverse(tree.depth[v.0 as usize]));
+    // Bottom-up (reverse BFS order): when a node is processed, every
+    // child's send round is already fixed, so we can serialise receptions
+    // at the parent's single port and derive the node's own readiness.
     let mut ready = vec![0u32; n]; // first round v may send (all children in)
     let mut send_round: Vec<Option<u32>> = vec![None; n];
-    for &v in &order {
+    for &v in tree.order.iter().rev() {
         if let Some(ch) = children.get(&v) {
             // Serialise children into v's port: each child c sends at a
             // distinct round ≥ ready[c]; schedule in ascending readiness.
@@ -414,5 +765,180 @@ mod tests {
         assert!(broadcast_tree(&gc, NodeId(99)).is_err());
         let bad: BTreeSet<_> = [NodeId(99)].into_iter().collect();
         assert!(multicast_walk(&gc, NodeId(0), &bad).is_err());
+    }
+
+    use crate::faults::FaultSet;
+    use gcube_topology::LinkId;
+
+    /// Cut every link of `v` except the ones in `keep` (as (node, dim)).
+    fn isolate(gc: &GaussianCube, v: NodeId, keep: &[u32]) -> FaultSet {
+        let mut f = FaultSet::new();
+        for c in gc.link_dims(v) {
+            if !keep.contains(&c) {
+                f.add_link(LinkId::new(v, c));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn screened_tree_skips_faults_and_reports_coverage() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let mut f = FaultSet::new();
+        f.add_node(NodeId(7));
+        let t = screened_broadcast_tree(&gc, &f, NodeId(0)).unwrap();
+        t.validate_masked(&gc, &f).unwrap();
+        assert!(!t.covers(NodeId(7)));
+        assert_eq!(t.covered_count(), gc.num_nodes() - 1);
+        assert_eq!(t.order.len() as u64, t.covered_count());
+        assert_eq!(t.order[0], NodeId(0));
+        let ranks = t.ranks();
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[7], u32::MAX);
+        // max_depth must ignore the uncovered sentinel.
+        assert!(t.max_depth() < u32::MAX);
+        // Faulty root rejected.
+        assert!(matches!(
+            screened_broadcast_tree(&gc, &f, NodeId(7)),
+            Err(RoutingError::SourceFaulty(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_cube_yields_typed_error_not_panic() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        // Sever node 5 from everything: healthy but unreachable.
+        let f = isolate(&gc, NodeId(5), &[]);
+        assert!(matches!(
+            broadcast_tree_masked(&gc, &f, NodeId(0)),
+            Err(RoutingError::Disconnected { unreachable: 1 })
+        ));
+        assert!(matches!(
+            binomial_broadcast_schedule_masked(&gc, &f, NodeId(0)),
+            Err(RoutingError::Disconnected { .. })
+        ));
+        assert!(matches!(
+            gather_schedule_masked(&gc, &f, NodeId(0)),
+            Err(RoutingError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn masked_schedules_respect_faults() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let mut f = FaultSet::new();
+        f.add_node(NodeId(9));
+        let rounds = binomial_broadcast_schedule_masked(&gc, &f, NodeId(0)).unwrap();
+        let mut informed: HashSet<NodeId> = [NodeId(0)].into_iter().collect();
+        for round in &rounds {
+            let mut senders = HashSet::new();
+            for &(from, to) in round {
+                assert!(informed.contains(&from));
+                assert!(!informed.contains(&to));
+                assert!(senders.insert(from), "single-port discipline");
+                let dims = from.differing_dims(to);
+                assert_eq!(dims.len(), 1);
+                assert!(gc.has_link(from, dims[0]));
+                assert!(
+                    f.link_ok(LinkId::new(from, dims[0])),
+                    "round uses live link"
+                );
+                assert!(f.node_ok(to) && f.node_ok(from));
+                informed.insert(to);
+            }
+        }
+        assert_eq!(informed.len() as u64, gc.num_nodes() - 1);
+        assert!(!informed.contains(&NodeId(9)));
+    }
+
+    #[test]
+    fn regraft_reattaches_severed_subtree() {
+        let gc = GaussianCube::new(7, 2).unwrap();
+        let t0 = broadcast_tree(&gc, NodeId(0)).unwrap();
+        // Pick a depth-1 child with a big subtree and cut its parent edge.
+        let children = t0.children();
+        let victim = children[&NodeId(0)][0];
+        let mut f = FaultSet::new();
+        f.add_link(LinkId::new(victim, victim.differing_dims(NodeId(0))[0]));
+        let mut t = t0.clone();
+        let out = t.regraft(&gc, &f);
+        assert!(!out.rebuilt);
+        assert!(out.regrafted_subtrees >= 1);
+        assert!(out.reattached_nodes >= 1);
+        assert_eq!(out.lost_nodes, 0, "victim subtree must regraft fully");
+        assert_eq!(t.covered_count(), gc.num_nodes());
+        t.validate_masked(&gc, &f).unwrap();
+        // The patched tree is a real tree: every covered non-root node has
+        // a covered parent one level up.
+        for &v in &t.order {
+            if v == t.root {
+                continue;
+            }
+            let p = t.parent[v.0 as usize].unwrap();
+            assert!(t.covers(p));
+            assert_eq!(t.depth[v.0 as usize], t.depth[p.0 as usize] + 1);
+        }
+        // And the schedule on it still informs everyone.
+        let rounds = schedule_on_tree(&t).unwrap();
+        let total: usize = rounds.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, t.covered_count() - 1);
+    }
+
+    #[test]
+    fn regraft_drops_unreachable_subtree() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let mut t = broadcast_tree(&gc, NodeId(0)).unwrap();
+        // Fully isolate node 5: its subtree members reattach elsewhere (if
+        // any), node 5 itself is lost.
+        let f = isolate(&gc, NodeId(5), &[]);
+        let out = t.regraft(&gc, &f);
+        assert!(out.lost_nodes >= 1);
+        assert!(!t.covers(NodeId(5)));
+        assert!(t.parent[5].is_none());
+        assert_eq!(t.depth[5], u32::MAX);
+        t.validate_masked(&gc, &f).unwrap();
+        assert_eq!(t.covered_count() + out.lost_nodes, gc.num_nodes());
+    }
+
+    #[test]
+    fn regraft_matches_coverage_of_fresh_screened_build() {
+        // Regraft must cover exactly what a from-scratch screened BFS
+        // covers whenever the screened graph keeps the root's component
+        // connected to each old subtree — compare coverage sets on a batch
+        // of single-fault scenarios.
+        let gc = GaussianCube::new(7, 4).unwrap();
+        let base = broadcast_tree(&gc, NodeId(3)).unwrap();
+        for v in [1u64, 8, 21, 64, 100, 127] {
+            for c in gc.link_dims(NodeId(v)) {
+                let mut f = FaultSet::new();
+                f.add_link(LinkId::new(NodeId(v), c));
+                let mut patched = base.clone();
+                patched.regraft(&gc, &f);
+                patched.validate_masked(&gc, &f).unwrap();
+                let fresh = screened_broadcast_tree(&gc, &f, NodeId(3)).unwrap();
+                let mut pc: Vec<_> = patched.order.to_vec();
+                let mut fc: Vec<_> = fresh.order.to_vec();
+                pc.sort_unstable();
+                fc.sort_unstable();
+                assert_eq!(
+                    pc, fc,
+                    "coverage must match fresh build for fault at {v} dim {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gather_paths_follow_tree() {
+        let gc = GaussianCube::new(6, 2).unwrap();
+        let t = broadcast_tree(&gc, NodeId(0)).unwrap();
+        for v in [1u64, 17, 63] {
+            let path = t.path_to_root(NodeId(v));
+            assert_eq!(path[0], NodeId(v));
+            assert_eq!(*path.last().unwrap(), NodeId(0));
+            for w in path.windows(2) {
+                assert_eq!(t.parent[w[0].0 as usize], Some(w[1]));
+            }
+        }
     }
 }

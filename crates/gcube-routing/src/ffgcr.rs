@@ -158,6 +158,28 @@ pub fn route_len(gc: &GaussianCube, s: NodeId, d: NodeId) -> u32 {
     plan(gc, s, d).hops() as u32
 }
 
+/// The GC distance `dist(s, d)`, route-free: the optimal covering tree
+/// walk's length plus the number of pending high dimensions. Identical to
+/// [`route_len`] (property-tested) without allocating the per-class flip
+/// schedule, so greedy searches (e.g. [`crate::collective::multicast_walk`])
+/// can rank candidates without planning each one twice.
+pub fn distance(gc: &GaussianCube, s: NodeId, d: NodeId) -> u32 {
+    let alpha = gc.alpha();
+    let tree = GaussianTree::new(alpha).expect("alpha within width cap");
+    let high = (s.0 ^ d.0) >> alpha << alpha;
+    let mut required = BTreeSet::new();
+    let mut pending = high;
+    while pending != 0 {
+        let c = u64::from(pending.trailing_zeros());
+        pending &= pending - 1;
+        required.insert(NodeId(c & ((1u64 << alpha) - 1)));
+    }
+    let ts = NodeId(gc.ending_class(s));
+    let td = NodeId(gc.ending_class(d));
+    let walk = tree_walk_covering(&tree, ts, td, &required);
+    (walk.len() - 1) as u32 + high.count_ones()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +270,22 @@ mod tests {
         }
         for w in walk.windows(2) {
             assert!(tree.edge_dim(w[0], w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn distance_equals_route_len_exhaustively() {
+        for (n, m) in [(6u32, 1u64), (6, 2), (6, 4), (7, 8), (5, 16)] {
+            let gc = GaussianCube::new(n, m).unwrap();
+            for s in 0..gc.num_nodes() {
+                for d in 0..gc.num_nodes() {
+                    assert_eq!(
+                        distance(&gc, NodeId(s), NodeId(d)),
+                        route_len(&gc, NodeId(s), NodeId(d)),
+                        "GC({n},{m}) {s}->{d}"
+                    );
+                }
+            }
         }
     }
 

@@ -56,7 +56,8 @@ pub mod plan_cache;
 pub mod route;
 pub mod verify;
 
+pub use collective::{BroadcastTree, RepairOutcome};
 pub use faults::{fault_budget, FaultBudget, FaultCategory, FaultSet, HealthState, SubcubeLoad};
 pub use multitree::{MultiTreeAtlas, MultiTreeError, TreeChoice, TreeHealth};
-pub use plan_cache::{CacheStats, CachedWalk, PlanCache};
+pub use plan_cache::{CacheStats, CachedWalk, PlanCache, TreeCacheStats};
 pub use route::{Route, RoutingError};

@@ -30,8 +30,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use gcube_topology::classes::{class_dim_masks, required_class_mask};
-use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
+use gcube_topology::{GaussianCube, GaussianTree, LinkMask, NodeId, Topology};
 
+use crate::collective::{self, BroadcastTree, RepairOutcome};
 use crate::ffgcr;
 use crate::route::{Route, RoutingError};
 
@@ -83,6 +84,33 @@ impl CacheStats {
     }
 }
 
+/// Snapshot of the broadcast-tree cache's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeCacheStats {
+    /// Lookups served from a cached tree at the current fault generation.
+    pub hits: u64,
+    /// Lookups that built, rebuilt or regrafted a tree.
+    pub misses: u64,
+    /// Misses resolved by a subtree regraft (same root, new generation).
+    pub regrafts: u64,
+    /// Misses resolved by a full rebuild (root replaced).
+    pub rebuilds: u64,
+}
+
+/// One cached fault-screened broadcast tree, keyed by root ending class.
+#[derive(Debug)]
+struct TreeEntry {
+    root: NodeId,
+    /// Fault generation the tree was screened/patched against.
+    generation: u64,
+    tree: Arc<BroadcastTree>,
+    /// Outcome of the transition *to* `generation` (zeroed for a fresh
+    /// build) — every caller at this generation observes the same value,
+    /// so repair accounting is independent of which thread got there
+    /// first.
+    repair: RepairOutcome,
+}
+
 /// A memoised planner for one cube shape `GC(n, 2^α)`.
 ///
 /// Thread-safe: lookups take a short internal lock on the walk map and
@@ -97,6 +125,14 @@ pub struct PlanCache {
     walks: Mutex<HashMap<(u64, u64, u64), Arc<CachedWalk>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Fault-screened broadcast trees for the collective traffic class,
+    /// keyed by root ending class and invalidated by fault-generation
+    /// bumps (unlike `walks`, which is pure topology).
+    trees: Mutex<HashMap<u64, TreeEntry>>,
+    tree_hits: AtomicU64,
+    tree_misses: AtomicU64,
+    tree_regrafts: AtomicU64,
+    tree_rebuilds: AtomicU64,
 }
 
 impl PlanCache {
@@ -117,6 +153,11 @@ impl PlanCache {
             walks: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            trees: Mutex::new(HashMap::new()),
+            tree_hits: AtomicU64::new(0),
+            tree_misses: AtomicU64::new(0),
+            tree_regrafts: AtomicU64::new(0),
+            tree_rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -257,6 +298,110 @@ impl PlanCache {
         Ok(Route::new(nodes))
     }
 
+    /// The fault-screened broadcast tree rooted at `root` for the fault
+    /// set `mask` at change stamp `generation`, cached by root ending
+    /// class.
+    ///
+    /// * Same root, same generation → pure hit (shared `Arc`).
+    /// * Same root, new generation → **regraft repair** of the cached tree
+    ///   (subtree reattachment, no full rebuild).
+    /// * Different root (the old one died) → full screened rebuild,
+    ///   flagged `rebuilt` in the outcome.
+    ///
+    /// The returned [`RepairOutcome`] is the one recorded for the entry's
+    /// *current* generation: a racing builder that loses the insert adopts
+    /// the winner's identical result, so outcome and counters are the same
+    /// for every caller regardless of thread interleaving. Callers that
+    /// account repairs (the simulator's coordinator) diff the generation
+    /// themselves to account each transition exactly once.
+    pub fn broadcast_tree_for<M: LinkMask + ?Sized>(
+        &self,
+        gc: &GaussianCube,
+        mask: &M,
+        root: NodeId,
+        generation: u64,
+    ) -> (Arc<BroadcastTree>, RepairOutcome) {
+        debug_assert!(self.matches(gc), "cache must be built for this cube");
+        let class = gc.ending_class(root);
+        let prev: Option<(NodeId, Arc<BroadcastTree>)> = {
+            let map = self.trees.lock();
+            match map.get(&class) {
+                Some(e) if e.root == root && e.generation == generation => {
+                    self.tree_hits.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::clone(&e.tree), e.repair);
+                }
+                Some(e) => Some((e.root, Arc::clone(&e.tree))),
+                None => None,
+            }
+        };
+        // Build or patch outside the lock: the result is a pure function
+        // of (old tree, mask), so racing builders agree.
+        let (tree, repair) = match prev {
+            Some((old_root, old_tree)) if old_root == root => {
+                let mut patched = (*old_tree).clone();
+                let outcome = patched.regraft(gc, mask);
+                (patched, outcome)
+            }
+            was_cached => {
+                let built = collective::screened_broadcast_tree(gc, mask, root)
+                    .expect("collective roots are validated in-range and healthy");
+                let outcome = RepairOutcome {
+                    rebuilt: was_cached.is_some(),
+                    ..RepairOutcome::default()
+                };
+                (built, outcome)
+            }
+        };
+        let mut map = self.trees.lock();
+        match map.entry(class) {
+            Entry::Occupied(mut e) => {
+                let cur = e.get();
+                if cur.root == root && cur.generation == generation {
+                    // A racing builder won the insert: adopt its result.
+                    self.tree_hits.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::clone(&cur.tree), cur.repair);
+                }
+                self.tree_misses.fetch_add(1, Ordering::Relaxed);
+                if repair.rebuilt {
+                    self.tree_rebuilds.fetch_add(1, Ordering::Relaxed);
+                } else if cur.root == root {
+                    self.tree_regrafts.fetch_add(1, Ordering::Relaxed);
+                }
+                let entry = TreeEntry {
+                    root,
+                    generation,
+                    tree: Arc::new(tree),
+                    repair,
+                };
+                let shared = Arc::clone(&entry.tree);
+                e.insert(entry);
+                (shared, repair)
+            }
+            Entry::Vacant(e) => {
+                self.tree_misses.fetch_add(1, Ordering::Relaxed);
+                let entry = TreeEntry {
+                    root,
+                    generation,
+                    tree: Arc::new(tree),
+                    repair,
+                };
+                let shared = Arc::clone(&entry.tree);
+                e.insert(entry);
+                (shared, repair)
+            }
+        }
+    }
+
+    /// Snapshot the broadcast-tree cache counters.
+    pub fn tree_stats(&self) -> TreeCacheStats {
+        TreeCacheStats {
+            hits: self.tree_hits.load(Ordering::Relaxed),
+            misses: self.tree_misses.load(Ordering::Relaxed),
+            regrafts: self.tree_regrafts.load(Ordering::Relaxed),
+            rebuilds: self.tree_rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot the hit/miss counters and entry count.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -335,6 +480,51 @@ mod tests {
             assert_eq!(cached.nodes(), plain.nodes());
         }
         assert_eq!(cache.stats().entries, 0, "fallback must not populate");
+    }
+
+    #[test]
+    fn tree_cache_hits_regrafts_and_rebuilds() {
+        use crate::faults::FaultSet;
+        use gcube_topology::LinkId;
+
+        let gc = GaussianCube::new(7, 2).unwrap();
+        let cache = PlanCache::new(&gc);
+        let mut faults = FaultSet::new();
+        assert_eq!(cache.tree_stats(), TreeCacheStats::default());
+
+        // Fresh build: miss, not a rebuild.
+        let (t1, o1) = cache.broadcast_tree_for(&gc, &faults, NodeId(0), faults.generation());
+        assert!(!o1.rebuilt);
+        assert_eq!(t1.covered_count(), gc.num_nodes());
+        let s = cache.tree_stats();
+        assert_eq!((s.hits, s.misses, s.regrafts, s.rebuilds), (0, 1, 0, 0));
+
+        // Same root + generation: pure hit on the shared Arc.
+        let (t2, o2) = cache.broadcast_tree_for(&gc, &faults, NodeId(0), faults.generation());
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(o2, o1);
+        assert_eq!(cache.tree_stats().hits, 1);
+
+        // Fault on a tree edge, new generation: regraft, full coverage kept.
+        let child = t1.children()[&NodeId(0)][0];
+        faults.add_link(LinkId::new(child, child.differing_dims(NodeId(0))[0]));
+        let (t3, o3) = cache.broadcast_tree_for(&gc, &faults, NodeId(0), faults.generation());
+        assert!(!o3.rebuilt);
+        assert!(o3.regrafted_subtrees >= 1);
+        assert_eq!(t3.covered_count(), gc.num_nodes());
+        t3.validate_masked(&gc, &faults).unwrap();
+        let s = cache.tree_stats();
+        assert_eq!((s.misses, s.regrafts, s.rebuilds), (2, 1, 0));
+        // Re-query at the repaired generation re-observes the outcome.
+        let (_, o3b) = cache.broadcast_tree_for(&gc, &faults, NodeId(0), faults.generation());
+        assert_eq!(o3b, o3);
+
+        // Root replacement: full rebuild flagged.
+        faults.add_node(NodeId(0));
+        let (t4, o4) = cache.broadcast_tree_for(&gc, &faults, NodeId(4), faults.generation());
+        assert!(o4.rebuilt);
+        assert_eq!(t4.root, NodeId(4));
+        assert_eq!(cache.tree_stats().rebuilds, 1);
     }
 
     #[test]

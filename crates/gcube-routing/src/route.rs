@@ -133,6 +133,12 @@ pub enum RoutingError {
         /// Where the packet was abandoned.
         stuck_at: NodeId,
     },
+    /// A collective primitive found the (fault-screened) cube disconnected:
+    /// some healthy nodes cannot be reached from the root.
+    Disconnected {
+        /// How many healthy nodes are unreachable.
+        unreachable: u64,
+    },
     /// Validation: a hop that is not a link of the topology.
     InvalidHop {
         /// Hop origin.
@@ -165,6 +171,12 @@ impl fmt::Display for RoutingError {
                 write!(
                     f,
                     "detour budget exceeded at {stuck_at} (preconditions violated)"
+                )
+            }
+            RoutingError::Disconnected { unreachable } => {
+                write!(
+                    f,
+                    "cube is disconnected: {unreachable} healthy nodes unreachable"
                 )
             }
             RoutingError::InvalidHop { from, to } => {

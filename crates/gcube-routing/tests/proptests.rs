@@ -4,13 +4,15 @@ use std::collections::{BTreeSet, HashSet};
 
 use proptest::prelude::*;
 
-use gcube_routing::collective::{broadcast_tree, multicast_walk};
+use gcube_routing::collective::{
+    binomial_broadcast_schedule_masked, broadcast_tree, gather_schedule_masked, multicast_walk,
+};
 use gcube_routing::ct::{ct_walk, steiner_edges};
 use gcube_routing::faults::{link_category, node_category, FaultCategory, FaultSet};
 use gcube_routing::multitree::{validate_independence, MultiTreeAtlas, MultiTreeError};
 use gcube_routing::pc::pc_path;
 use gcube_routing::verify::{assign_virtual_channels, ChannelDependencyGraph};
-use gcube_routing::{ffgcr, ftgcr, PlanCache, Route};
+use gcube_routing::{ffgcr, ftgcr, PlanCache, Route, RoutingError};
 use gcube_topology::{search, GaussianCube, GaussianTree, LinkId, NoFaults, NodeId, Topology};
 
 fn arb_tree() -> impl Strategy<Value = GaussianTree> {
@@ -298,4 +300,169 @@ proptest! {
         prop_assert!(!f.remove_node(node));
         prop_assert!(!f.remove_link(link));
     }
+
+    /// Masked broadcast schedules under random fault sets: every
+    /// forwarding pair crosses a usable cube link, each round obeys the
+    /// single-port discipline (one send and one reception per node),
+    /// senders are already informed, and the schedule covers exactly the
+    /// healthy nodes reachable from the root — with a typed
+    /// [`RoutingError::Disconnected`] carrying the exact unreachable
+    /// count whenever faults cut healthy nodes off.
+    #[test]
+    fn masked_broadcast_schedule_is_single_port_and_covering(
+        (gc, root, fault_nodes, fault_links) in arb_gc().prop_flat_map(|gc| {
+            let n = gc.num_nodes();
+            let w = gc.n();
+            (
+                Just(gc),
+                0..n,
+                proptest::collection::vec(0..n, 0..5),
+                proptest::collection::vec((0..n, 0..w), 0..8),
+            )
+        })
+    ) {
+        let root = NodeId(root);
+        let mut faults = FaultSet::new();
+        for v in fault_nodes {
+            let v = NodeId(v);
+            if v != root {
+                faults.add_node(v);
+            }
+        }
+        for (v, c) in fault_links {
+            faults.add_link(LinkId::new(NodeId(v), c));
+        }
+        let reachable = masked_reachable(&gc, &faults, root);
+        let healthy = (0..gc.num_nodes()).filter(|&v| !faults.is_node_faulty(NodeId(v))).count();
+        match binomial_broadcast_schedule_masked(&gc, &faults, root) {
+            Ok(rounds) => {
+                prop_assert_eq!(reachable.len(), healthy, "Ok means every healthy node is covered");
+                let mut informed: HashSet<NodeId> = [root].into_iter().collect();
+                for round in &rounds {
+                    let mut senders = HashSet::new();
+                    let mut receivers = HashSet::new();
+                    for &(u, v) in round {
+                        prop_assert!(informed.contains(&u), "sender {u} must be informed");
+                        prop_assert!(!informed.contains(&v), "receiver {v} informed twice");
+                        prop_assert!(senders.insert(u), "node {u} sent twice in one round");
+                        prop_assert!(receivers.insert(v), "node {v} received twice in one round");
+                        prop_assert!(usable_link(&gc, &faults, u, v), "unusable hop {u} -> {v}");
+                    }
+                    informed.extend(receivers);
+                }
+                prop_assert_eq!(&informed, &reachable, "schedule covers the reachable set");
+            }
+            Err(RoutingError::Disconnected { unreachable }) => {
+                prop_assert_eq!(
+                    unreachable as usize,
+                    healthy - reachable.len(),
+                    "typed error carries the exact cut-off count"
+                );
+                prop_assert!(unreachable > 0);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {}", other),
+        }
+    }
+
+    /// Masked gather schedules mirror the broadcast properties upward:
+    /// every reachable non-root node reports exactly once over a usable
+    /// link, each round delivers at most one report per parent (single
+    /// aggregation port), a node reports only after all reports flowing
+    /// *through* it have arrived, and disconnection is the same typed
+    /// error.
+    #[test]
+    fn masked_gather_schedule_aggregates_single_port(
+        (gc, root, fault_nodes, fault_links) in arb_gc().prop_flat_map(|gc| {
+            let n = gc.num_nodes();
+            let w = gc.n();
+            (
+                Just(gc),
+                0..n,
+                proptest::collection::vec(0..n, 0..5),
+                proptest::collection::vec((0..n, 0..w), 0..8),
+            )
+        })
+    ) {
+        let root = NodeId(root);
+        let mut faults = FaultSet::new();
+        for v in fault_nodes {
+            let v = NodeId(v);
+            if v != root {
+                faults.add_node(v);
+            }
+        }
+        for (v, c) in fault_links {
+            faults.add_link(LinkId::new(NodeId(v), c));
+        }
+        let reachable = masked_reachable(&gc, &faults, root);
+        let healthy = (0..gc.num_nodes()).filter(|&v| !faults.is_node_faulty(NodeId(v))).count();
+        match gather_schedule_masked(&gc, &faults, root) {
+            Ok(rounds) => {
+                prop_assert_eq!(reachable.len(), healthy);
+                let mut sent: HashSet<NodeId> = HashSet::new();
+                for round in &rounds {
+                    let mut receivers = HashSet::new();
+                    for &(v, p) in round {
+                        prop_assert!(v != root, "the root never reports");
+                        prop_assert!(sent.insert(v), "node {v} reported twice");
+                        prop_assert!(receivers.insert(p), "parent {p} received twice in one round");
+                        prop_assert!(usable_link(&gc, &faults, v, p), "unusable hop {v} -> {p}");
+                    }
+                }
+                prop_assert_eq!(sent.len(), reachable.len() - 1, "everyone but the root reports");
+                // Causality: when v reports, every reachable node below it
+                // has already reported — equivalently, each sender's own
+                // children all sent in strictly earlier rounds. Recover
+                // child links from the pairs themselves.
+                let mut round_of: std::collections::HashMap<NodeId, usize> =
+                    std::collections::HashMap::new();
+                for (i, round) in rounds.iter().enumerate() {
+                    for &(v, _) in round {
+                        round_of.insert(v, i);
+                    }
+                }
+                for (i, round) in rounds.iter().enumerate() {
+                    for &(_, p) in round {
+                        if p != root {
+                            let pr = round_of[&p];
+                            prop_assert!(i < pr, "{p} received a report at round {i} after sending at {pr}");
+                        }
+                    }
+                }
+            }
+            Err(RoutingError::Disconnected { unreachable }) => {
+                prop_assert_eq!(unreachable as usize, healthy - reachable.len());
+                prop_assert!(unreachable > 0);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {}", other),
+        }
+    }
+}
+
+/// Reference reachability: BFS from `root` over links usable under the
+/// fault set (link healthy and both endpoints healthy), independent of
+/// the tree builders under test.
+fn masked_reachable(gc: &GaussianCube, faults: &FaultSet, root: NodeId) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = [root].into_iter().collect();
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(u) = queue.pop_front() {
+        for c in gc.link_dims(u) {
+            let v = u.flip(c);
+            if !seen.contains(&v) && usable_link(gc, faults, u, v) {
+                seen.insert(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `u -> v` is one usable cube hop under `faults`.
+fn usable_link(gc: &GaussianCube, faults: &FaultSet, u: NodeId, v: NodeId) -> bool {
+    let diff = u.0 ^ v.0;
+    if diff == 0 || !diff.is_power_of_two() {
+        return false;
+    }
+    let c = diff.trailing_zeros();
+    gc.has_link(u, c) && faults.is_link_usable(LinkId::new(u, c))
 }

@@ -26,6 +26,43 @@ pub enum KnowledgeModel {
     Measured,
 }
 
+/// Which collective primitive the periodic collective traffic class runs
+/// (§1 of the paper credits the GC family with efficient broadcast /
+/// multicast; the routing layer builds the fault-screened trees).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// Root-to-all: one packet per covered node, routed down the repaired
+    /// broadcast tree.
+    Broadcast,
+    /// Root-to-subset: a deterministic pseudo-random half of the covered
+    /// nodes per operation.
+    Multicast,
+    /// All-to-root: every covered node sends one packet up its tree path.
+    Gather,
+}
+
+impl CollectiveOp {
+    /// Stable lower-snake name (CLI flag values, report labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CollectiveOp::Broadcast => "broadcast",
+            CollectiveOp::Multicast => "multicast",
+            CollectiveOp::Gather => "gather",
+        }
+    }
+
+    /// Inverse of [`CollectiveOp::as_str`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<CollectiveOp> {
+        match s {
+            "broadcast" => Some(CollectiveOp::Broadcast),
+            "multicast" => Some(CollectiveOp::Multicast),
+            "gather" => Some(CollectiveOp::Gather),
+            _ => None,
+        }
+    }
+}
+
 /// Parameters of one simulation run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
@@ -68,6 +105,11 @@ pub struct SimConfig {
     /// [`crate::telemetry::TelemetryCollector`] is attached (ignored with
     /// telemetry off).
     pub telemetry_interval: u64,
+    /// Periodic collective traffic class; `None` runs unicast only.
+    pub collective: Option<CollectiveOp>,
+    /// Cycles between collective operations (root classes rotate per
+    /// operation). Ignored without [`SimConfig::collective`].
+    pub collective_interval: u64,
 }
 
 impl SimConfig {
@@ -90,6 +132,8 @@ impl SimConfig {
             ttl: None,
             window: 100,
             telemetry_interval: 100,
+            collective: None,
+            collective_interval: 50,
         }
     }
 
@@ -110,6 +154,12 @@ impl SimConfig {
             if !rate.is_finite() || !(0.0..=1.0).contains(rate) {
                 return Err(SimError::InvalidChurnRate(*rate));
             }
+        }
+        if self.collective.is_some() && self.buffer_capacity.is_some() {
+            // A broadcast wave injects O(N) packets in one cycle: under
+            // finite buffers it would immediately deadlock against its own
+            // backpressure, so the combination is rejected up front.
+            return Err(SimError::CollectiveNeedsUnboundedBuffers);
         }
         Ok(())
     }
@@ -199,6 +249,20 @@ impl SimConfig {
         self.telemetry_interval = interval.max(1);
         self
     }
+
+    /// Builder-style: enable the periodic collective traffic class.
+    #[must_use]
+    pub fn with_collective(mut self, op: CollectiveOp) -> Self {
+        self.collective = Some(op);
+        self
+    }
+
+    /// Builder-style: set the cycles between collective operations.
+    #[must_use]
+    pub fn with_collective_interval(mut self, interval: u64) -> Self {
+        self.collective_interval = interval.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +317,42 @@ mod tests {
             let err = SimConfig::new(6, 2).with_rate(rate).validate().unwrap_err();
             assert!(matches!(err, SimError::InvalidRate(_)), "{err}");
         }
+    }
+
+    #[test]
+    fn collective_builders_and_names() {
+        let c = SimConfig::new(8, 2);
+        assert_eq!(c.collective, None);
+        let c = c
+            .with_collective(CollectiveOp::Gather)
+            .with_collective_interval(0);
+        assert_eq!(c.collective, Some(CollectiveOp::Gather));
+        assert_eq!(c.collective_interval, 1, "interval clamps to at least 1");
+        for op in [
+            CollectiveOp::Broadcast,
+            CollectiveOp::Multicast,
+            CollectiveOp::Gather,
+        ] {
+            assert_eq!(CollectiveOp::from_str(op.as_str()), Some(op));
+        }
+        assert_eq!(CollectiveOp::from_str("scatter"), None);
+    }
+
+    #[test]
+    fn validate_rejects_collective_with_finite_buffers() {
+        let cfg = SimConfig::new(6, 2)
+            .with_collective(CollectiveOp::Broadcast)
+            .with_buffer_capacity(4);
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            SimError::CollectiveNeedsUnboundedBuffers
+        );
+        assert_eq!(
+            SimConfig::new(6, 2)
+                .with_collective(CollectiveOp::Broadcast)
+                .validate(),
+            Ok(())
+        );
     }
 
     #[test]

@@ -35,13 +35,16 @@
 //! exhausted, when no recovery route exists, or when the node buffering
 //! them dies.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use gcube_routing::faults::fault_budget;
 use gcube_routing::knowledge::exchange_rounds;
+use gcube_routing::plan_cache::PlanCache;
 use gcube_routing::FaultSet;
 use gcube_topology::{GaussianCube, LinkId, NodeId, Topology};
 
+use crate::collective::{is_collective, CollectivePlanner, OpTracker, RepairLedger};
 use crate::config::{KnowledgeModel, SimConfig};
 use crate::error::SimError;
 use crate::injection::FaultInjector;
@@ -217,6 +220,20 @@ impl<'a> Simulator<'a> {
         // only when a real telemetry sink is attached.
         let profiling = telem.enabled();
 
+        // The collective traffic class: a planner over a dedicated tree
+        // cache, a repair ledger that accounts each tree transition once,
+        // and the per-operation completion records.
+        let collective = self.config.collective.map(|op| {
+            CollectivePlanner::new(
+                op,
+                self.config.collective_interval,
+                self.config.seed,
+                Arc::new(PlanCache::new(&self.gc)),
+            )
+        });
+        let mut repair_ledger = RepairLedger::new(1 << self.gc.alpha());
+        let mut op_tracker = OpTracker::new();
+
         // Reusable per-cycle scratch, allocated once for the whole run:
         // the forwarding hot path is allocation-free. `moves` holds the
         // arena slots that advanced this cycle; `scan` snapshots the
@@ -296,6 +313,7 @@ impl<'a> Simulator<'a> {
                             count_drop(
                                 &mut metrics,
                                 &mut windows[widx],
+                                &mut op_tracker,
                                 &pkt,
                                 DropCause::Stranded,
                                 measuring,
@@ -336,6 +354,78 @@ impl<'a> Simulator<'a> {
             //    after a fault event they may plan through a dead
             //    component and only find out en route.
             let phase_started = profiling.then(Instant::now);
+
+            // 1a. Collective launch: before unicast injection, so the
+            //     per-node queue order (collective wave first) matches
+            //     the sharded engine exactly. The plan routes on the
+            //     view; sources are filtered by the ground truth (a dead
+            //     node cannot transmit, whatever the view believes).
+            if let Some(cp) = &collective {
+                if let Some(op_index) = cp.due(cycle, self.config.inject_cycles) {
+                    let plan = cp.plan(
+                        &self.gc,
+                        &view,
+                        view.generation(),
+                        |v: NodeId| links.node_faulty(v.0),
+                        op_index,
+                    );
+                    match plan {
+                        Some(plan) => {
+                            if let Some(rep) = repair_ledger.note(&plan) {
+                                if rep.rebuilt {
+                                    metrics.tree_rebuilds += 1;
+                                } else {
+                                    metrics.tree_regrafts += 1;
+                                }
+                                metrics.tree_lost_nodes += rep.lost_nodes;
+                                telem.tree_repair(rep.rebuilt);
+                                if sink.enabled() {
+                                    sink.record(&TraceEvent {
+                                        cycle,
+                                        packet: NETWORK_EVENT_PACKET,
+                                        node: plan.root,
+                                        kind: TraceEventKind::TreeRepair {
+                                            regrafted: rep.regrafted_subtrees,
+                                            reattached: rep.reattached_nodes,
+                                            lost: rep.lost_nodes,
+                                            rebuilt: rep.rebuilt,
+                                        },
+                                    });
+                                }
+                            }
+                            metrics.collective_ops += 1;
+                            op_tracker.begin(&plan, cycle);
+                            for pkt in plan.packets {
+                                metrics.injected_total += 1;
+                                metrics.collective_injected += 1;
+                                telem.inject();
+                                windows[widx].injected += 1;
+                                if sink.enabled() {
+                                    sink.record(&TraceEvent {
+                                        cycle,
+                                        packet: pkt.id,
+                                        node: pkt.src,
+                                        kind: TraceEventKind::Inject {
+                                            dst: pkt.route.dest(),
+                                            planned_hops: pkt.route.hops() as u64,
+                                        },
+                                    });
+                                }
+                                in_flight += 1;
+                                let vu = pkt.src.0 as usize;
+                                let slot = store.alloc(pkt.id, cycle, pkt.route);
+                                if queues.is_empty(vu) {
+                                    class_occupied[vu & cmask] += 1;
+                                }
+                                class_queued[vu & cmask] += 1;
+                                queues.push_back(&mut store, vu, slot);
+                            }
+                        }
+                        None => metrics.collective_skipped += 1,
+                    }
+                }
+            }
+
             if cycle < self.config.inject_cycles {
                 for v in 0..n_nodes {
                     let src = NodeId(v);
@@ -486,7 +576,12 @@ impl<'a> Simulator<'a> {
                     metrics.delivered_total += 1;
                     telem.deliver();
                     windows[widx].delivered += 1;
-                    if measuring && pkt.injected_at >= warmup {
+                    if is_collective(pkt.id) {
+                        metrics.collective_delivered += 1;
+                        windows[widx].collective_delivered += 1;
+                        telem.collective_deliver();
+                        op_tracker.deliver(pkt.id, cycle);
+                    } else if measuring && pkt.injected_at >= warmup {
                         metrics.delivered += 1;
                         metrics.total_latency += cycle - pkt.injected_at;
                         metrics.latency_hist.record(cycle - pkt.injected_at);
@@ -537,6 +632,7 @@ impl<'a> Simulator<'a> {
                         count_drop(
                             &mut metrics,
                             &mut windows[widx],
+                            &mut op_tracker,
                             &pkt,
                             cause,
                             measuring,
@@ -562,6 +658,7 @@ impl<'a> Simulator<'a> {
                     count_drop(
                         &mut metrics,
                         &mut windows[widx],
+                        &mut op_tracker,
                         &pkt,
                         DropCause::TtlExpired,
                         measuring,
@@ -630,7 +727,12 @@ impl<'a> Simulator<'a> {
                     telem.deliver();
                     windows[widx].delivered += 1;
                     let hops = u64::from(store.hops_taken[slot as usize]);
-                    if measured_pkt {
+                    if is_collective(store.id[slot as usize]) {
+                        metrics.collective_delivered += 1;
+                        windows[widx].collective_delivered += 1;
+                        telem.collective_deliver();
+                        op_tracker.deliver(store.id[slot as usize], cycle);
+                    } else if measured_pkt {
                         metrics.delivered += 1;
                         metrics.total_latency += cycle + 1 - injected_at;
                         metrics.latency_hist.record(cycle + 1 - injected_at);
@@ -724,6 +826,7 @@ impl<'a> Simulator<'a> {
             trace: injector.trace().to_vec(),
             budget: fault_budget(&self.gc, &truth),
             tree_health: self.algorithm.tree_health(&self.gc, &truth),
+            collectives: op_tracker.into_ops(),
         }
     }
 
@@ -837,6 +940,7 @@ impl<'a> Simulator<'a> {
 fn count_drop<S: TraceSink, T: TelemetrySink>(
     metrics: &mut Metrics,
     window: &mut WindowStat,
+    tracker: &mut OpTracker,
     pkt: &Packet,
     cause: DropCause,
     measuring: bool,
@@ -849,7 +953,12 @@ fn count_drop<S: TraceSink, T: TelemetrySink>(
     window.dropped += 1;
     metrics.dropped_total += 1;
     telem.drop_packet();
-    if measuring && pkt.injected_at >= warmup {
+    if is_collective(pkt.id) {
+        // Collective packets keep the whole-run and window ledgers but
+        // stay out of the measured unicast drop taxonomy.
+        metrics.collective_dropped += 1;
+        tracker.dropped(pkt.id);
+    } else if measuring && pkt.injected_at >= warmup {
         metrics.dropped += 1;
         match cause {
             DropCause::TtlExpired => metrics.ttl_expired += 1,

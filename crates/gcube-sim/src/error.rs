@@ -24,6 +24,10 @@ pub enum SimError {
     /// sequential engine: cross-shard capacity checks would need mid-cycle
     /// coordination, so `--threads` above 1 rejects them.
     FiniteBuffersRequireSingleThread,
+    /// The collective traffic class injects a whole broadcast wave in one
+    /// cycle, which finite buffers would immediately deadlock; the two
+    /// options cannot be combined.
+    CollectiveNeedsUnboundedBuffers,
     /// A command-line argument failed to parse or combine.
     Cli(String),
 }
@@ -41,6 +45,10 @@ impl fmt::Display for SimError {
             SimError::FiniteBuffersRequireSingleThread => write!(
                 f,
                 "finite buffer capacity (backpressure) requires a single-threaded run"
+            ),
+            SimError::CollectiveNeedsUnboundedBuffers => write!(
+                f,
+                "collective traffic requires unbounded buffers (drop --buffer-capacity)"
             ),
             SimError::Cli(msg) => write!(f, "{msg}"),
         }
@@ -70,6 +78,9 @@ mod tests {
         assert!(SimError::FiniteBuffersRequireSingleThread
             .to_string()
             .contains("single-threaded"));
+        assert!(SimError::CollectiveNeedsUnboundedBuffers
+            .to_string()
+            .contains("unbounded buffers"));
         assert_eq!(
             SimError::Cli("unknown flag".into()).to_string(),
             "unknown flag"

@@ -27,6 +27,7 @@
 //!
 //! [`FaultSet`]: gcube_routing::FaultSet
 
+pub mod collective;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -43,14 +44,15 @@ pub mod telemetry;
 pub mod trace;
 pub mod traffic;
 
-pub use config::{KnowledgeModel, SimConfig};
+pub use collective::{is_collective, op_of, COLLECTIVE_BIT};
+pub use config::{CollectiveOp, KnowledgeModel, SimConfig};
 pub use engine::Simulator;
 pub use error::SimError;
 pub use injection::{
     CategoryMix, FaultAction, FaultEvent, FaultInjector, FaultKind, FaultSchedule, FaultTarget,
     TimedFault,
 };
-pub use metrics::{ChurnReport, Histogram, Metrics, WindowStat};
+pub use metrics::{ChurnReport, Histogram, Metrics, OpStat, WindowStat};
 pub use replay::{parse_jsonl, verify_replay, ReplayError};
 pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
 pub use session::{effective_shards, resolve_threads, SimSession};

@@ -203,6 +203,31 @@ pub struct Metrics {
     /// Whole-run plans that exhausted every spanning tree and fell back
     /// to FTGCR.
     pub tree_exhausted: u64,
+    /// Collective operations launched (broadcast / multicast / gather
+    /// rounds). Counted once per operation by the launch site, so the
+    /// sharded reduction leaves worker copies at zero.
+    pub collective_ops: u64,
+    /// Collective operations skipped because every candidate root in the
+    /// scheduled ending class was faulty at launch time.
+    pub collective_skipped: u64,
+    /// Per-target collective packets injected, whole run. These live in
+    /// the `*_total` ledger too (conservation covers them) but are kept
+    /// out of the measured unicast counters — a broadcast wave would
+    /// otherwise swamp the paper-figure latency statistics.
+    pub collective_injected: u64,
+    /// Collective packets delivered, whole run.
+    pub collective_delivered: u64,
+    /// Collective packets dropped, whole run.
+    pub collective_dropped: u64,
+    /// Broadcast-tree repairs that re-grafted orphaned subtrees in place
+    /// (the cheap path: the cached tree survived the fault generation).
+    pub tree_regrafts: u64,
+    /// Broadcast-tree repairs that rebuilt the tree from scratch (root
+    /// died, or no cached tree existed for the new fault generation).
+    pub tree_rebuilds: u64,
+    /// Healthy nodes a tree repair could not reattach (disconnected from
+    /// the root by the live fault set), summed over repairs.
+    pub tree_lost_nodes: u64,
     /// Distribution of per-packet latency over measured deliveries — the
     /// tail the paper's average hides (B/C-fault degradation spikes).
     pub latency_hist: Histogram,
@@ -329,8 +354,29 @@ impl Metrics {
         }
         self.tree_switches += other.tree_switches;
         self.tree_exhausted += other.tree_exhausted;
+        self.collective_ops += other.collective_ops;
+        self.collective_skipped += other.collective_skipped;
+        self.collective_injected += other.collective_injected;
+        self.collective_delivered += other.collective_delivered;
+        self.collective_dropped += other.collective_dropped;
+        self.tree_regrafts += other.tree_regrafts;
+        self.tree_rebuilds += other.tree_rebuilds;
+        self.tree_lost_nodes += other.tree_lost_nodes;
         self.latency_hist.merge(&other.latency_hist);
         self.hops_hist.merge(&other.hops_hist);
+    }
+
+    /// Fraction of collective targets reached:
+    /// `collective_delivered / collective_injected`, `1.0` when no
+    /// collective traffic ran. Injected-based (not resolved-based) on
+    /// purpose: a collective target the packet never reached is a
+    /// coverage failure whether the packet died or is still in flight.
+    pub fn collective_coverage(&self) -> f64 {
+        if self.collective_injected == 0 {
+            1.0
+        } else {
+            self.collective_delivered as f64 / self.collective_injected as f64
+        }
     }
 }
 
@@ -345,6 +391,25 @@ pub fn merge_windows(dst: &mut [WindowStat], src: &[WindowStat]) {
         d.delivered += s.delivered;
         d.dropped += s.dropped;
         d.tree_switches += s.tree_switches;
+        d.collective_delivered += s.collective_delivered;
+    }
+}
+
+/// Sum `src`'s per-operation collective counters into `dst`, index by
+/// index. Every shard plans the same operations from the same replicated
+/// view, so the per-op metadata (`op`, `root`, `started`, `expected`) is
+/// identical across shards and only the outcome counters differ; the
+/// agreement is checked in debug builds.
+pub fn merge_ops(dst: &mut [OpStat], src: &[OpStat]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        debug_assert_eq!(
+            (d.op, d.root, d.started, d.expected),
+            (s.op, s.root, s.started, s.expected)
+        );
+        d.delivered += s.delivered;
+        d.dropped += s.dropped;
+        d.last_delivery = d.last_delivery.max(s.last_delivery);
     }
 }
 
@@ -367,6 +432,10 @@ pub struct WindowStat {
     /// Tree switches performed by plans computed during the window
     /// (multitree strategies only).
     pub tree_switches: u64,
+    /// Collective packets delivered during the window — the coverage
+    /// time series a clustered fault burst dents and a tree repair
+    /// restores.
+    pub collective_delivered: u64,
 }
 
 impl WindowStat {
@@ -378,6 +447,42 @@ impl WindowStat {
             1.0
         } else {
             self.delivered as f64 / resolved as f64
+        }
+    }
+}
+
+/// One collective operation's completion record.
+///
+/// `Metrics` stays `Copy`, so the variable-length per-op series lives on
+/// [`ChurnReport`] instead: one entry per launched operation, in launch
+/// order (skipped operations — dead root class — produce no entry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Operation index in the launch schedule.
+    pub op: u64,
+    /// Concrete root node the operation ran from.
+    pub root: u64,
+    /// Cycle the operation's packets were injected.
+    pub started: u64,
+    /// Targets covered by the (repaired) broadcast tree at launch: the
+    /// packets injected for this operation.
+    pub expected: u64,
+    /// Targets actually reached.
+    pub delivered: u64,
+    /// Per-target packets lost en route (faults after launch).
+    pub dropped: u64,
+    /// Cycle of the last delivery — `started` subtracted gives the
+    /// operation's completion time.
+    pub last_delivery: u64,
+}
+
+impl OpStat {
+    /// Fraction of this operation's targets reached.
+    pub fn coverage(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.expected as f64
         }
     }
 }
@@ -399,6 +504,9 @@ pub struct ChurnReport {
     /// Per-tree survival against the final fault set — `Some` only when
     /// the run's strategy routes over independent spanning trees.
     pub tree_health: Option<Vec<gcube_routing::multitree::TreeHealth>>,
+    /// Per-operation collective completion records, in launch order.
+    /// Empty unless the run carried collective traffic.
+    pub collectives: Vec<OpStat>,
 }
 
 #[cfg(test)]
@@ -465,7 +573,7 @@ mod tests {
             injected: 50,
             delivered: 30,
             dropped: 10,
-            tree_switches: 0,
+            ..WindowStat::default()
         };
         assert!((w.delivery_ratio() - 0.75).abs() < 1e-12);
         let idle = WindowStat {
@@ -524,6 +632,7 @@ mod tests {
                 delivered: 2,
                 dropped: 0,
                 tree_switches: 3,
+                collective_delivered: 1,
             },
             WindowStat {
                 start: 50,
@@ -532,6 +641,7 @@ mod tests {
                 delivered: 1,
                 dropped: 1,
                 tree_switches: 1,
+                collective_delivered: 0,
             },
         ];
         let src = vec![
@@ -542,6 +652,7 @@ mod tests {
                 delivered: 1,
                 dropped: 1,
                 tree_switches: 2,
+                collective_delivered: 2,
             },
             WindowStat {
                 start: 50,
@@ -550,6 +661,7 @@ mod tests {
                 delivered: 2,
                 dropped: 0,
                 tree_switches: 0,
+                collective_delivered: 0,
             },
         ];
         merge_windows(&mut dst, &src);
@@ -566,6 +678,86 @@ mod tests {
             (dst[0].tree_switches, dst[1].tree_switches),
             (5, 1),
             "tree switches merge positionally too"
+        );
+        assert_eq!(
+            (dst[0].collective_delivered, dst[1].collective_delivered),
+            (3, 0),
+            "collective deliveries merge positionally too"
+        );
+    }
+
+    #[test]
+    fn merge_ops_sums_outcomes_and_keeps_metadata() {
+        let meta = OpStat {
+            op: 2,
+            root: 5,
+            started: 100,
+            expected: 60,
+            ..OpStat::default()
+        };
+        let mut dst = vec![OpStat {
+            delivered: 20,
+            dropped: 1,
+            last_delivery: 104,
+            ..meta
+        }];
+        let src = vec![OpStat {
+            delivered: 39,
+            dropped: 0,
+            last_delivery: 107,
+            ..meta
+        }];
+        merge_ops(&mut dst, &src);
+        assert_eq!(dst[0].delivered, 59);
+        assert_eq!(dst[0].dropped, 1);
+        assert_eq!(dst[0].last_delivery, 107);
+        assert_eq!((dst[0].op, dst[0].root, dst[0].started), (2, 5, 100));
+        assert!((dst[0].coverage() - 59.0 / 60.0).abs() < 1e-12);
+        assert_eq!(
+            OpStat::default().coverage(),
+            1.0,
+            "empty op covers trivially"
+        );
+    }
+
+    #[test]
+    fn collective_coverage_is_injected_based() {
+        let m = Metrics {
+            collective_injected: 200,
+            collective_delivered: 199,
+            collective_dropped: 1,
+            ..Metrics::default()
+        };
+        assert!((m.collective_coverage() - 0.995).abs() < 1e-12);
+        assert_eq!(Metrics::default().collective_coverage(), 1.0);
+    }
+
+    #[test]
+    fn absorb_sums_collective_counters() {
+        let mut a = Metrics {
+            collective_ops: 3,
+            collective_injected: 10,
+            tree_regrafts: 1,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            collective_injected: 5,
+            collective_delivered: 5,
+            collective_dropped: 2,
+            collective_skipped: 1,
+            tree_rebuilds: 2,
+            tree_lost_nodes: 4,
+            ..Metrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.collective_ops, 3);
+        assert_eq!(a.collective_injected, 15);
+        assert_eq!(a.collective_delivered, 5);
+        assert_eq!(a.collective_dropped, 2);
+        assert_eq!(a.collective_skipped, 1);
+        assert_eq!(
+            (a.tree_regrafts, a.tree_rebuilds, a.tree_lost_nodes),
+            (1, 2, 4)
         );
     }
 

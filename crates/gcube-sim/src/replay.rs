@@ -155,6 +155,10 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
     let mut tree = None;
     let mut switches = None;
     let mut exhausted = None;
+    let mut regrafted = None;
+    let mut reattached = None;
+    let mut lost = None;
+    let mut rebuilt = None;
     for field in body.split(',') {
         let (key, value) = field
             .split_once(':')
@@ -222,6 +226,18 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
                     }
                 })
             }
+            "regrafted" => regrafted = Some(num()?),
+            "reattached" => reattached = Some(num()?),
+            "lost" => lost = Some(num()?),
+            "rebuilt" => {
+                rebuilt = Some(match value {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(format!("field \"rebuilt\": expected bool, got {other:?}"))
+                    }
+                })
+            }
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -255,6 +271,12 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
             tree: tree.ok_or_else(|| missing("tree"))?,
             switches: switches.ok_or_else(|| missing("switches"))?,
             exhausted: exhausted.ok_or_else(|| missing("exhausted"))?,
+        },
+        "tree_repair" => TraceEventKind::TreeRepair {
+            regrafted: regrafted.ok_or_else(|| missing("regrafted"))?,
+            reattached: reattached.ok_or_else(|| missing("reattached"))?,
+            lost: lost.ok_or_else(|| missing("lost"))?,
+            rebuilt: rebuilt.ok_or_else(|| missing("rebuilt"))?,
         },
         other => return Err(format!("unknown event type {other:?}")),
     };
@@ -346,6 +368,17 @@ mod tests {
                     faults: 5,
                 },
             },
+            TraceEvent {
+                cycle: 9,
+                packet: crate::trace::NETWORK_EVENT_PACKET,
+                node: NodeId(4),
+                kind: TraceEventKind::TreeRepair {
+                    regrafted: 1,
+                    reattached: 6,
+                    lost: 0,
+                    rebuilt: true,
+                },
+            },
         ]
     }
 
@@ -372,6 +405,22 @@ mod tests {
             )
             .is_err(),
             "exhausted must be an unquoted bool"
+        );
+        assert!(
+            parse_jsonl(
+                "{\"cycle\":1,\"packet\":0,\"node\":2,\"event\":\"tree_repair\",\
+                 \"regrafted\":1,\"reattached\":3,\"lost\":0,\"rebuilt\":\"no\"}"
+            )
+            .is_err(),
+            "rebuilt must be an unquoted bool"
+        );
+        assert!(
+            parse_jsonl(
+                "{\"cycle\":1,\"packet\":0,\"node\":2,\"event\":\"tree_repair\",\
+                 \"regrafted\":1,\"reattached\":3,\"rebuilt\":false}"
+            )
+            .is_err(),
+            "tree_repair requires the lost field"
         );
         // Error carries the 1-based line number.
         let err = parse_jsonl(

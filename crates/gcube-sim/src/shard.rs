@@ -75,16 +75,20 @@
 
 use std::mem;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use gcube_routing::faults::fault_budget;
+use gcube_routing::plan_cache::PlanCache;
 use gcube_routing::{FaultSet, Route};
 use gcube_topology::{LinkId, NodeId, Topology};
 
+use crate::collective::{is_collective, CollectivePlanner, LaunchPlan, OpTracker, RepairLedger};
 use crate::engine::{sync_view, Simulator};
 use crate::injection::FaultInjector;
-use crate::metrics::{merge_windows, ChurnReport, Metrics, WindowStat, MAX_TREES};
+use crate::metrics::{
+    merge_ops, merge_windows, ChurnReport, Metrics, OpStat, WindowStat, MAX_TREES,
+};
 use crate::packet::Packet;
 use crate::soa::{LinkTable, NodeQueues, PacketStore};
 use crate::strategy::{PlannedRoute, TreeChoice};
@@ -93,13 +97,14 @@ use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink, NETWORK_EVE
 use crate::traffic::TrafficGen;
 
 /// Trace-stream tags for the per-cycle merge key, in sequential emission
-/// order: network health, stranding drops, injection, forwarding-scan
-/// resolutions (including recovery), move drain.
+/// order: network health, stranding drops, collective launch, injection,
+/// forwarding-scan resolutions (including recovery), move drain.
 const SUB_HEALTH: u64 = 0;
 const SUB_STRAND: u64 = 1;
-const SUB_INJECT: u64 = 2;
-const SUB_SCAN: u64 = 3;
-const SUB_MOVE: u64 = 4;
+const SUB_LAUNCH: u64 = 2;
+const SUB_INJECT: u64 = 3;
+const SUB_SCAN: u64 = 4;
+const SUB_MOVE: u64 = 5;
 
 /// Sort key reproducing the sequential trace order within one cycle:
 /// stream tag, then node id (streams 1–2) or service index (streams
@@ -221,7 +226,7 @@ type PacketCell = Mutex<Vec<(u32, Packet)>>;
 /// A buffered-trace cell of `(sort key, event)` pairs.
 type EventCell = Mutex<Vec<(u64, TraceEvent)>>;
 /// A shard's end-of-run payload for the final reduction.
-type FinalCell = Mutex<Option<(Box<Metrics>, Vec<WindowStat>)>>;
+type FinalCell = Mutex<Option<(Box<Metrics>, Vec<WindowStat>, Vec<OpStat>)>>;
 
 /// The shared-memory mailbox grid replacing the old per-cycle `mpsc`
 /// batches. Everything is preallocated; per-cycle traffic is mutex-swaps
@@ -392,6 +397,14 @@ struct Shard<'s, 'a> {
     arrivals: Vec<(u32, Packet)>,
     tracing_on: bool,
     telemetry_on: bool,
+    /// The collective planner, sharing one tree cache across all shards
+    /// (the plan itself is replicated, so cache races only ever produce
+    /// identical trees).
+    collective: Option<CollectivePlanner>,
+    /// Per-op completion records for this shard's share of each wave;
+    /// every shard tracks identical metadata, outcomes are disjoint and
+    /// merged positionally at the final reduction.
+    op_tracker: OpTracker,
 }
 
 impl<'s, 'a> Shard<'s, 'a> {
@@ -402,6 +415,7 @@ impl<'s, 'a> Shard<'s, 'a> {
         class_owner: &'s [usize],
         tracing_on: bool,
         telemetry_on: bool,
+        collective_cache: Option<Arc<PlanCache>>,
     ) -> Shard<'s, 'a> {
         let n_nodes = sim.gc.num_nodes();
         let cmask = (1usize << sim.gc.alpha()) - 1;
@@ -442,7 +456,79 @@ impl<'s, 'a> Shard<'s, 'a> {
             arrivals: Vec::new(),
             tracing_on,
             telemetry_on,
+            collective: collective_cache.map(|cache| {
+                CollectivePlanner::new(
+                    sim.config
+                        .collective
+                        .expect("cache is only built for collective runs"),
+                    sim.config.collective_interval,
+                    sim.config.seed,
+                    cache,
+                )
+            }),
+            op_tracker: OpTracker::new(),
         }
+    }
+
+    /// The replicated collective launch: every shard computes the same
+    /// plan (the planner is RNG-free and routes on the identical view
+    /// replica) and injects only the wave packets whose source it owns —
+    /// before Round A, so per-node queues hold the collective wave ahead
+    /// of the cycle's unicast injection, exactly like the sequential
+    /// engine. Returns `None` when no op is due, `Some(None)` for a
+    /// skipped op (dead root class or nothing to send), and the drained
+    /// plan otherwise so the coordinator can run the repair ledger.
+    fn launch_collective(&mut self, cycle: u64, inject_cycles: u64) -> Option<Option<LaunchPlan>> {
+        let plan = {
+            let cp = self.collective.as_ref()?;
+            let op_index = cp.due(cycle, inject_cycles)?;
+            cp.plan(
+                &self.sim.gc,
+                &self.view,
+                self.view.generation(),
+                |v: NodeId| self.links.node_faulty(v.0),
+                op_index,
+            )
+        };
+        let Some(mut plan) = plan else {
+            return Some(None);
+        };
+        self.op_tracker.begin(&plan, cycle);
+        let widx = (cycle / self.window) as usize;
+        for pkt in plan.packets.drain(..) {
+            let vu = pkt.src.0 as usize;
+            if self.class_owner[vu & self.cmask] != self.me {
+                continue;
+            }
+            self.metrics.injected_total += 1;
+            self.metrics.collective_injected += 1;
+            if self.telemetry_on {
+                self.delta.injected += 1;
+            }
+            self.windows[widx].injected += 1;
+            if self.tracing_on {
+                self.events.push((
+                    ekey(SUB_LAUNCH, u64::from(pkt.rank), 0),
+                    TraceEvent {
+                        cycle,
+                        packet: pkt.id,
+                        node: pkt.src,
+                        kind: TraceEventKind::Inject {
+                            dst: pkt.route.dest(),
+                            planned_hops: pkt.route.hops() as u64,
+                        },
+                    },
+                ));
+            }
+            let slot = self.store.alloc(pkt.id, cycle, pkt.route);
+            if self.queues.is_empty(vu) {
+                self.class_occupied[vu & self.cmask] += 1;
+            }
+            self.class_queued[vu & self.cmask] += 1;
+            self.local_queued += 1;
+            self.queues.push_back(&mut self.store, vu, slot);
+        }
+        Some(Some(plan))
     }
 
     /// Phase 0: lazily open the cycle's window, then (dynamic runs)
@@ -538,7 +624,12 @@ impl<'s, 'a> Shard<'s, 'a> {
         if self.telemetry_on {
             self.delta.dropped += 1;
         }
-        if measuring && pkt.injected_at >= self.warmup {
+        if is_collective(pkt.id) {
+            // Collective packets keep the whole-run and window ledgers
+            // but stay out of the measured unicast drop taxonomy.
+            self.metrics.collective_dropped += 1;
+            self.op_tracker.dropped(pkt.id);
+        } else if measuring && pkt.injected_at >= self.warmup {
             self.metrics.dropped += 1;
             match cause {
                 DropCause::TtlExpired => self.metrics.ttl_expired += 1,
@@ -750,7 +841,14 @@ impl<'s, 'a> Shard<'s, 'a> {
                     self.delta.delivered += 1;
                 }
                 self.windows[widx].delivered += 1;
-                if measuring && pkt.injected_at >= self.warmup {
+                if is_collective(pkt.id) {
+                    self.metrics.collective_delivered += 1;
+                    self.windows[widx].collective_delivered += 1;
+                    if self.telemetry_on {
+                        self.delta.collective_delivered += 1;
+                    }
+                    self.op_tracker.deliver(pkt.id, cycle);
+                } else if measuring && pkt.injected_at >= self.warmup {
                     self.metrics.delivered += 1;
                     self.metrics.total_latency += cycle - pkt.injected_at;
                     self.metrics.latency_hist.record(cycle - pkt.injected_at);
@@ -846,7 +944,14 @@ impl<'s, 'a> Shard<'s, 'a> {
                 }
                 self.windows[widx].delivered += 1;
                 let hops = u64::from(self.store.hops_taken[slot as usize]);
-                if measured_pkt {
+                if is_collective(self.store.id[slot as usize]) {
+                    self.metrics.collective_delivered += 1;
+                    self.windows[widx].collective_delivered += 1;
+                    if self.telemetry_on {
+                        self.delta.collective_delivered += 1;
+                    }
+                    self.op_tracker.deliver(self.store.id[slot as usize], cycle);
+                } else if measured_pkt {
                     self.metrics.delivered += 1;
                     self.metrics.total_latency += cycle + 1 - injected_at;
                     self.metrics.latency_hist.record(cycle + 1 - injected_at);
@@ -992,13 +1097,30 @@ pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
     let window = sim.config.window.max(1);
 
     let ex = Exchange::new(shards, cmask + 1, sim.gc.n() as usize);
+    // One tree cache shared by every shard's collective planner: the
+    // plan is replicated, so concurrent fills only ever race to insert
+    // identical trees (losers adopt the winner's entry).
+    let collective_cache = sim
+        .config
+        .collective
+        .map(|_| Arc::new(PlanCache::new(&sim.gc)));
 
     std::thread::scope(|scope| {
         for me in 1..shards {
             let ex = &ex;
             let class_owner = &class_owner;
+            let cache = collective_cache.clone();
             scope.spawn(move || {
-                run_worker(sim, me, shards, class_owner, ex, tracing_on, telemetry_on);
+                run_worker(
+                    sim,
+                    me,
+                    shards,
+                    class_owner,
+                    ex,
+                    tracing_on,
+                    telemetry_on,
+                    cache,
+                );
             });
         }
         run_coordinator(CoordinatorArgs {
@@ -1013,12 +1135,14 @@ pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
             inject_cycles,
             warmup,
             window,
+            collective_cache,
         })
     })
 }
 
 /// A worker shard's whole run: lockstep with the coordinator, no access
 /// to the sinks, pure node-local work plus the round protocol.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     sim: &Simulator<'_>,
     me: usize,
@@ -1027,13 +1151,25 @@ fn run_worker(
     ex: &Exchange,
     tracing_on: bool,
     telemetry_on: bool,
+    collective_cache: Option<Arc<PlanCache>>,
 ) {
-    let mut shard = Shard::new(sim, me, shards, class_owner, tracing_on, telemetry_on);
+    let mut shard = Shard::new(
+        sim,
+        me,
+        shards,
+        class_owner,
+        tracing_on,
+        telemetry_on,
+        collective_cache,
+    );
     let total_cycles = sim.config.inject_cycles + sim.config.drain_cycles;
     let inject_cycles = sim.config.inject_cycles;
     for cycle in 0..total_cycles {
         let parity = (cycle & 1) as usize;
         shard.begin_cycle(cycle);
+        // The repair ledger and op counters are the coordinator's; a
+        // worker only injects its own share of the wave.
+        let _ = shard.launch_collective(cycle, inject_cycles);
         if cycle < inject_cycles {
             ex.barrier.wait(); // Round A: units filled by the coordinator.
             shard.plan_stolen_units(ex);
@@ -1084,8 +1220,11 @@ fn run_worker(
             break;
         }
     }
-    *ex.finals[me].lock().expect("finals poisoned") =
-        Some((Box::new(shard.metrics), shard.windows));
+    *ex.finals[me].lock().expect("finals poisoned") = Some((
+        Box::new(shard.metrics),
+        shard.windows,
+        shard.op_tracker.into_ops(),
+    ));
     ex.barrier.wait(); // Final reduction: all shards published.
 }
 
@@ -1101,6 +1240,7 @@ struct CoordinatorArgs<'c, 's, 'a, S, T> {
     inject_cycles: u64,
     warmup: u64,
     window: u64,
+    collective_cache: Option<Arc<PlanCache>>,
 }
 
 /// The coordinator: shard 0's node-local work plus everything
@@ -1122,11 +1262,21 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         inject_cycles,
         warmup,
         window,
+        collective_cache,
     } = args;
     let tracing_on = sink.enabled();
     let telemetry_on = telem.enabled();
-    let mut coord = Shard::new(sim, 0, shards, class_owner, tracing_on, telemetry_on);
+    let mut coord = Shard::new(
+        sim,
+        0,
+        shards,
+        class_owner,
+        tracing_on,
+        telemetry_on,
+        collective_cache,
+    );
     coord.metrics.nodes = n_nodes;
+    let mut repair_ledger = RepairLedger::new(1 << sim.gc.alpha());
     let mut traffic = TrafficGen::with_pattern(
         sim.config.seed,
         sim.config.injection_rate,
@@ -1213,6 +1363,42 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         // are preassigned per attempt. Planning is then stolen by every
         // thread at ending-class granularity.
         let phase_started = profiling.then(Instant::now);
+        // Collective launch: replicated planning plus the coordinator's
+        // exclusive repair-ledger accounting (so every tree transition
+        // is counted exactly once, whatever the thread count).
+        if let Some(outcome) = coord.launch_collective(cycle, inject_cycles) {
+            match outcome {
+                Some(plan) => {
+                    if let Some(rep) = repair_ledger.note(&plan) {
+                        if rep.rebuilt {
+                            coord.metrics.tree_rebuilds += 1;
+                        } else {
+                            coord.metrics.tree_regrafts += 1;
+                        }
+                        coord.metrics.tree_lost_nodes += rep.lost_nodes;
+                        telem.tree_repair(rep.rebuilt);
+                        if tracing_on {
+                            coord.events.push((
+                                ekey(SUB_LAUNCH, 0, 0),
+                                TraceEvent {
+                                    cycle,
+                                    packet: NETWORK_EVENT_PACKET,
+                                    node: plan.root,
+                                    kind: TraceEventKind::TreeRepair {
+                                        regrafted: rep.regrafted_subtrees,
+                                        reattached: rep.reattached_nodes,
+                                        lost: rep.lost_nodes,
+                                        rebuilt: rep.rebuilt,
+                                    },
+                                },
+                            ));
+                        }
+                    }
+                    coord.metrics.collective_ops += 1;
+                }
+                None => coord.metrics.collective_skipped += 1,
+            }
+        }
         if cycle < inject_cycles {
             for v in 0..n_nodes {
                 let src = NodeId(v);
@@ -1364,7 +1550,10 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                         // The direct hook, not `coord.delta` — the delta
                         // is absorbed wholesale and would double count.
                         telem.drop_packet();
-                        if measuring && pkt.injected_at >= warmup {
+                        if is_collective(pkt.id) {
+                            coord.metrics.collective_dropped += 1;
+                            coord.op_tracker.dropped(pkt.id);
+                        } else if measuring && pkt.injected_at >= warmup {
                             coord.metrics.dropped += 1;
                             match cause {
                                 DropCause::TtlExpired => coord.metrics.ttl_expired += 1,
@@ -1481,14 +1670,16 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     ex.barrier.wait(); // Final reduction: all shards published.
     let mut metrics = coord.metrics;
     let mut windows = coord.windows;
+    let mut collectives = coord.op_tracker.into_ops();
     for cell in ex.finals.iter().skip(1) {
-        let (m, w) = cell
+        let (m, w, ops) = cell
             .lock()
             .expect("finals poisoned")
             .take()
             .expect("worker published its final payload");
         metrics.absorb(&m);
         merge_windows(&mut windows, &w);
+        merge_ops(&mut collectives, &ops);
     }
     metrics.cycles = ended_at - warmup;
     metrics.in_flight_at_end = global_in_flight;
@@ -1502,6 +1693,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         trace: coord.injector.trace().to_vec(),
         budget: fault_budget(&sim.gc, &coord.truth),
         tree_health: sim.algorithm.tree_health(&sim.gc, &coord.truth),
+        collectives,
     }
 }
 
@@ -1560,7 +1752,7 @@ mod tests {
         let cfg = SimConfig::new(6, 2).with_cycles(10, 10, 0).with_rate(0.0);
         let sim = Simulator::new(cfg, &FaultFreeGcr);
         let class_owner = vec![0usize, 0];
-        let mut shard = Shard::new(&sim, 0, 1, &class_owner, false, false);
+        let mut shard = Shard::new(&sim, 0, 1, &class_owner, false, false, None);
         let dest = 4u64; // even node, class 0
         let mk = |id: u64| {
             let mut p = Packet::new(id, 0, Route::new(vec![NodeId(6), NodeId(dest)]));
@@ -1643,6 +1835,60 @@ mod tests {
                 par_tel.to_csv(),
                 "telemetry mismatch at threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_with_collectives() {
+        use crate::config::CollectiveOp;
+        for op in [
+            CollectiveOp::Broadcast,
+            CollectiveOp::Multicast,
+            CollectiveOp::Gather,
+        ] {
+            let cfg = churn_config()
+                .with_collective(op)
+                .with_collective_interval(40);
+            let sim = Simulator::new(cfg, &FaultTolerantGcr);
+            let mut seq_sink = MemorySink::new();
+            let mut seq_tel = TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+            let seq = sim
+                .session()
+                .trace(&mut seq_sink)
+                .telemetry(&mut seq_tel)
+                .run();
+            assert!(seq.metrics.collective_ops > 0, "{op:?}: ops must launch");
+            assert!(
+                seq.metrics.collective_injected > 0,
+                "{op:?}: wave must inject"
+            );
+            assert_eq!(
+                seq.collectives.len() as u64,
+                seq.metrics.collective_ops,
+                "{op:?}: one record per op"
+            );
+            for threads in [2, 4] {
+                let mut par_sink = MemorySink::new();
+                let mut par_tel =
+                    TelemetryCollector::new(sim.cube(), sim.config().telemetry_interval);
+                let par = sim
+                    .session()
+                    .threads(threads)
+                    .trace(&mut par_sink)
+                    .telemetry(&mut par_tel)
+                    .run();
+                assert_eq!(seq, par, "{op:?}: report mismatch at threads={threads}");
+                assert_eq!(
+                    seq_sink.events(),
+                    par_sink.events(),
+                    "{op:?}: trace mismatch at threads={threads}"
+                );
+                assert_eq!(
+                    seq_tel.to_csv(),
+                    par_tel.to_csv(),
+                    "{op:?}: telemetry mismatch at threads={threads}"
+                );
+            }
         }
     }
 

@@ -142,6 +142,19 @@ pub trait TelemetrySink {
     #[inline]
     fn deliver(&mut self) {}
 
+    /// One *collective* packet (broadcast/multicast/gather wave member)
+    /// was delivered. Fires in addition to [`TelemetrySink::deliver`], so
+    /// the unicast share of a window is `delivered - collective_delivered`.
+    #[inline]
+    fn collective_deliver(&mut self) {}
+
+    /// A cached broadcast tree was repaired against a new fault
+    /// generation: regrafted in place, or — when `rebuilt` — rebuilt from
+    /// scratch because no cached tree for the root existed. Coordinator-
+    /// only in sharded runs (exactly once per repair, like reroutes).
+    #[inline]
+    fn tree_repair(&mut self, _rebuilt: bool) {}
+
     /// One packet was dropped.
     #[inline]
     fn drop_packet(&mut self) {}
@@ -223,6 +236,9 @@ pub struct ShardTelemetry {
     pub injected: u64,
     /// Packets delivered to this shard's nodes this cycle.
     pub delivered: u64,
+    /// Collective packets among `delivered` (broadcast/multicast/gather
+    /// wave members sunk at this shard's nodes this cycle).
+    pub collective_delivered: u64,
     /// Packets this shard dropped this cycle (stranding and TTL; recovery
     /// drops are resolved — and accounted — by the coordinator).
     pub dropped: u64,
@@ -247,6 +263,7 @@ impl ShardTelemetry {
         self.dim_hops.iter_mut().for_each(|h| *h = 0);
         self.injected = 0;
         self.delivered = 0;
+        self.collective_delivered = 0;
         self.dropped = 0;
         self.tree_switches = 0;
         self.tree_exhausted = 0;
@@ -259,6 +276,7 @@ impl ShardTelemetry {
         self.dim_hops.copy_from_slice(&other.dim_hops);
         self.injected = other.injected;
         self.delivered = other.delivered;
+        self.collective_delivered = other.collective_delivered;
         self.dropped = other.dropped;
         self.tree_switches = other.tree_switches;
         self.tree_exhausted = other.tree_exhausted;
@@ -287,6 +305,14 @@ impl<T: TelemetrySink + ?Sized> TelemetrySink for &mut T {
     #[inline]
     fn deliver(&mut self) {
         (**self).deliver()
+    }
+    #[inline]
+    fn collective_deliver(&mut self) {
+        (**self).collective_deliver()
+    }
+    #[inline]
+    fn tree_repair(&mut self, rebuilt: bool) {
+        (**self).tree_repair(rebuilt)
     }
     #[inline]
     fn drop_packet(&mut self) {
@@ -439,6 +465,8 @@ pub struct TelemetrySample {
     pub injected: u64,
     /// Packets delivered during the window.
     pub delivered: u64,
+    /// Collective packets among `delivered` during the window.
+    pub collective_delivered: u64,
     /// Packets dropped during the window.
     pub dropped: u64,
     /// Local re-plans during the window.
@@ -458,6 +486,10 @@ pub struct TelemetrySample {
     /// Plans during the window that exhausted every tree and fell back to
     /// FTGCR.
     pub tree_exhausted: u64,
+    /// Broadcast-tree regrafts during the window (collective runs only).
+    pub tree_regrafts: u64,
+    /// Broadcast trees rebuilt from scratch during the window.
+    pub tree_rebuilds: u64,
     /// Plan-cache counters: hits/misses are deltas over the window,
     /// entries is the absolute size at the window's end. `None` when the
     /// strategy has no cache (or it is still unused).
@@ -481,6 +513,7 @@ struct WindowAcc {
     dim_hops: Vec<u64>,
     injected: u64,
     delivered: u64,
+    collective_delivered: u64,
     dropped: u64,
     reroutes: u64,
     stale_views: u64,
@@ -489,6 +522,8 @@ struct WindowAcc {
     reconvergences: u64,
     tree_switches: u64,
     tree_exhausted: u64,
+    tree_regrafts: u64,
+    tree_rebuilds: u64,
 }
 
 impl WindowAcc {
@@ -496,6 +531,7 @@ impl WindowAcc {
         self.dim_hops.iter_mut().for_each(|h| *h = 0);
         self.injected = 0;
         self.delivered = 0;
+        self.collective_delivered = 0;
         self.dropped = 0;
         self.reroutes = 0;
         self.stale_views = 0;
@@ -504,6 +540,8 @@ impl WindowAcc {
         self.reconvergences = 0;
         self.tree_switches = 0;
         self.tree_exhausted = 0;
+        self.tree_regrafts = 0;
+        self.tree_rebuilds = 0;
     }
 }
 
@@ -530,6 +568,7 @@ pub struct TelemetryCollector {
     dim_hops_total: Vec<u64>,
     injected_total: u64,
     delivered_total: u64,
+    collective_delivered_total: u64,
     dropped_total: u64,
     reroutes_total: u64,
     stale_views_total: u64,
@@ -538,6 +577,8 @@ pub struct TelemetryCollector {
     reconvergences_total: u64,
     tree_switches_total: u64,
     tree_exhausted_total: u64,
+    tree_regrafts_total: u64,
+    tree_rebuilds_total: u64,
     last_cache: CacheStats,
     transitions: Vec<HealthTransition>,
     phase_nanos: [u64; NUM_PHASES],
@@ -572,6 +613,7 @@ impl TelemetryCollector {
             dim_hops_total: vec![0; n_dims],
             injected_total: 0,
             delivered_total: 0,
+            collective_delivered_total: 0,
             dropped_total: 0,
             reroutes_total: 0,
             stale_views_total: 0,
@@ -580,6 +622,8 @@ impl TelemetryCollector {
             reconvergences_total: 0,
             tree_switches_total: 0,
             tree_exhausted_total: 0,
+            tree_regrafts_total: 0,
+            tree_rebuilds_total: 0,
             last_cache: CacheStats::default(),
             transitions: Vec::new(),
             phase_nanos: [0; NUM_PHASES],
@@ -645,6 +689,17 @@ impl TelemetryCollector {
         (self.tree_switches_total, self.tree_exhausted_total)
     }
 
+    /// Whole-run collective deliveries (zero for unicast-only runs).
+    pub fn collective_delivered_total(&self) -> u64 {
+        self.collective_delivered_total
+    }
+
+    /// Whole-run broadcast-tree repairs `(regrafts, rebuilds)` —
+    /// collective runs only; both zero otherwise.
+    pub fn tree_repair_totals(&self) -> (u64, u64) {
+        (self.tree_regrafts_total, self.tree_rebuilds_total)
+    }
+
     /// Recorded health transitions, in order.
     pub fn transitions(&self) -> &[HealthTransition] {
         &self.transitions
@@ -678,6 +733,7 @@ impl TelemetryCollector {
             in_flight: view.in_flight,
             injected: self.acc.injected,
             delivered: self.acc.delivered,
+            collective_delivered: self.acc.collective_delivered,
             dropped: self.acc.dropped,
             reroutes: self.acc.reroutes,
             stale_views: self.acc.stale_views,
@@ -686,6 +742,8 @@ impl TelemetryCollector {
             reconvergences: self.acc.reconvergences,
             tree_switches: self.acc.tree_switches,
             tree_exhausted: self.acc.tree_exhausted,
+            tree_regrafts: self.acc.tree_regrafts,
+            tree_rebuilds: self.acc.tree_rebuilds,
             cache,
             health: view.health,
             live_faults: view.live_faults,
@@ -707,7 +765,8 @@ impl TelemetryCollector {
         out.push_str(
             "start,end,in_flight,injected,delivered,dropped,forwarded_hops,reroutes,\
              stale_views,stale_cycles,fault_events,reconvergences,tree_switches,\
-             tree_exhausted,health,live_faults,cache_hits,cache_misses,cache_entries",
+             tree_exhausted,collective_delivered,tree_regrafts,tree_rebuilds,health,\
+             live_faults,cache_hits,cache_misses,cache_entries",
         );
         for d in 0..self.n_dims {
             let _ = write!(out, ",dim{d}_hops");
@@ -722,7 +781,7 @@ impl TelemetryCollector {
         for s in &self.samples {
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 s.start,
                 s.end,
                 s.in_flight,
@@ -737,6 +796,9 @@ impl TelemetryCollector {
                 s.reconvergences,
                 s.tree_switches,
                 s.tree_exhausted,
+                s.collective_delivered,
+                s.tree_regrafts,
+                s.tree_rebuilds,
                 s.health.as_str(),
                 s.live_faults,
             );
@@ -771,6 +833,7 @@ impl TelemetryCollector {
                  \"delivered\":{},\"dropped\":{},\"forwarded_hops\":{},\"reroutes\":{},\
                  \"stale_views\":{},\"stale_cycles\":{},\"fault_events\":{},\
                  \"reconvergences\":{},\"tree_switches\":{},\"tree_exhausted\":{},\
+                 \"collective_delivered\":{},\"tree_regrafts\":{},\"tree_rebuilds\":{},\
                  \"health\":\"{}\",\"live_faults\":{}",
                 s.start,
                 s.end,
@@ -786,6 +849,9 @@ impl TelemetryCollector {
                 s.reconvergences,
                 s.tree_switches,
                 s.tree_exhausted,
+                s.collective_delivered,
+                s.tree_regrafts,
+                s.tree_rebuilds,
                 s.health.as_str(),
                 s.live_faults,
             );
@@ -860,6 +926,14 @@ impl TelemetryCollector {
             self.reroutes_total,
             self.reconvergences_total
         );
+        if self.collective_delivered_total + self.tree_regrafts_total + self.tree_rebuilds_total > 0
+        {
+            let _ = writeln!(
+                out,
+                "collectives: {} wave packets delivered, {} tree regrafts, {} rebuilds",
+                self.collective_delivered_total, self.tree_regrafts_total, self.tree_rebuilds_total
+            );
+        }
         let total_hops = self.forwarded_hops_total();
         let _ = writeln!(out, "link utilization ({total_hops} hops total):");
         for (d, &h) in self.dim_hops_total.iter().enumerate() {
@@ -988,6 +1062,23 @@ impl TelemetrySink for TelemetryCollector {
     }
 
     #[inline]
+    fn collective_deliver(&mut self) {
+        self.acc.collective_delivered += 1;
+        self.collective_delivered_total += 1;
+    }
+
+    #[inline]
+    fn tree_repair(&mut self, rebuilt: bool) {
+        if rebuilt {
+            self.acc.tree_rebuilds += 1;
+            self.tree_rebuilds_total += 1;
+        } else {
+            self.acc.tree_regrafts += 1;
+            self.tree_regrafts_total += 1;
+        }
+    }
+
+    #[inline]
     fn drop_packet(&mut self) {
         self.acc.dropped += 1;
         self.dropped_total += 1;
@@ -1051,6 +1142,8 @@ impl TelemetrySink for TelemetryCollector {
         self.injected_total += delta.injected;
         self.acc.delivered += delta.delivered;
         self.delivered_total += delta.delivered;
+        self.acc.collective_delivered += delta.collective_delivered;
+        self.collective_delivered_total += delta.collective_delivered;
         self.acc.dropped += delta.dropped;
         self.dropped_total += delta.dropped;
         self.acc.tree_switches += delta.tree_switches;

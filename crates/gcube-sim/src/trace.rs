@@ -139,6 +139,23 @@ pub enum TraceEventKind {
         /// All trees were blocked; the plan is an FTGCR fallback.
         exhausted: bool,
     },
+    /// The collective broadcast tree for one root class changed shape in
+    /// response to a fault generation bump: orphaned subtrees were
+    /// re-grafted onto healthy attachment points (or, when `rebuilt`, the
+    /// whole tree was reconstructed from scratch). A network-scoped event
+    /// like [`TraceEventKind::Health`]: `packet` is
+    /// [`NETWORK_EVENT_PACKET`] and `node` is the tree's root. Emitted
+    /// once per repair, before the operation's `Inject` events.
+    TreeRepair {
+        /// Orphaned subtrees reattached in place.
+        regrafted: u64,
+        /// Nodes those subtrees carried back into coverage.
+        reattached: u64,
+        /// Healthy nodes the repair could not reconnect to the root.
+        lost: u64,
+        /// The tree was rebuilt from scratch instead of patched.
+        rebuilt: bool,
+    },
 }
 
 /// One flight-recorder event: a packet did something at a node on a cycle.
@@ -198,6 +215,16 @@ impl TraceEvent {
             } => {
                 format!(
                     ",\"event\":\"tree_switch\",\"tree\":{tree},\"switches\":{switches},\"exhausted\":{exhausted}}}"
+                )
+            }
+            TraceEventKind::TreeRepair {
+                regrafted,
+                reattached,
+                lost,
+                rebuilt,
+            } => {
+                format!(
+                    ",\"event\":\"tree_repair\",\"regrafted\":{regrafted},\"reattached\":{reattached},\"lost\":{lost},\"rebuilt\":{rebuilt}}}"
                 )
             }
         };
@@ -421,6 +448,17 @@ mod tests {
                     faults: 2,
                 },
             },
+            TraceEvent {
+                cycle: 13,
+                packet: NETWORK_EVENT_PACKET,
+                node: NodeId(3),
+                kind: TraceEventKind::TreeRepair {
+                    regrafted: 2,
+                    reattached: 9,
+                    lost: 1,
+                    rebuilt: false,
+                },
+            },
         ]
     }
 
@@ -458,10 +496,10 @@ mod tests {
             for e in sample_events() {
                 sink.record(&e);
             }
-            assert_eq!(sink.finish().unwrap(), 8);
+            assert_eq!(sink.finish().unwrap(), 9);
         }
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().count(), 8);
+        assert_eq!(text.lines().count(), 9);
         assert_eq!(text, to_jsonl(&sample_events()));
     }
 
@@ -491,7 +529,7 @@ mod tests {
             sink.record(&e); // must not panic once the writer dies
         }
         // writeln! may split a line across write calls, so only bound it.
-        assert!(sink.written() >= 1 && sink.written() < 8);
+        assert!(sink.written() >= 1 && sink.written() < 9);
         let err = sink.error().expect("error latched");
         assert_eq!(err.kind(), io::ErrorKind::WriteZero);
         let err = sink.finish().expect_err("finish surfaces the error");
