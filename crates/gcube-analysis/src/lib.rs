@@ -9,10 +9,15 @@
 //! * [`robustness`] — the unified fault-tolerance metrics the paper's §7
 //!   future work calls for (connectivity vs. algorithmic robustness under
 //!   random faults);
+//! * [`forensics`] — offline analysis of recorded run artifacts
+//!   (per-packet timelines, fault-impact attribution, congestion
+//!   hot-spots, profile breakdowns, deterministic A/B diffing) behind
+//!   `gcube analyze`;
 //! * [`tables`] — plain-text/CSV rendering shared by the `gcube-bench`
 //!   figure binaries.
 
 pub mod diameter;
+pub mod forensics;
 pub mod robustness;
 pub mod structure;
 pub mod tables;

@@ -20,8 +20,8 @@ use gcube_bench::{
 };
 use gcube_routing::{ffgcr, ftgcr, FaultSet, PlanCache};
 use gcube_sim::{
-    CachedFfgcr, CachedFtgcr, FaultTolerantGcr, MemorySink, MultiTreeStrategy, SimConfig,
-    Simulator, TelemetryCollector,
+    CachedFfgcr, CachedFtgcr, FaultTolerantGcr, MemorySink, MultiTreeStrategy, ProfileCollector,
+    SimConfig, Simulator, TelemetryCollector,
 };
 use gcube_topology::{GaussianCube, LinkId, NodeId};
 
@@ -211,6 +211,51 @@ fn measure_telemetry(n: u32, inject: u64, reps: usize) -> TelemetryCost {
     );
 
     TelemetryCost {
+        n,
+        off_cycles_per_sec: cycles as f64 / off,
+        on_cycles_per_sec: cycles as f64 / on,
+        samples,
+        overhead_ratio: on / off,
+    }
+}
+
+struct ProfilerCost {
+    n: u32,
+    off_cycles_per_sec: f64,
+    on_cycles_per_sec: f64,
+    samples: u64,
+    overhead_ratio: f64,
+}
+
+/// Cost of the profiler: the same workload through the bare session
+/// (the `NullProfiler` monomorphisation — the off path that must stay
+/// free) and with a `ProfileCollector` attached sampling every 50
+/// cycles, interleaved. The profiler turns the phase timers on, so the
+/// on figure bounds what `--profile` costs.
+fn measure_profiler(n: u32, inject: u64, reps: usize) -> ProfilerCost {
+    let algo = CachedFfgcr::new();
+    let cfg = || {
+        SimConfig::new(n, 4)
+            .with_cycles(inject, inject * 10, 0)
+            .with_rate(0.005)
+            .with_telemetry_interval(50)
+    };
+    let mut cycles = 0u64;
+    let mut samples = 0u64;
+    let (off, on) = interleaved_secs(
+        reps,
+        || {
+            cycles = Simulator::new(cfg(), &algo).session().run().metrics.cycles;
+        },
+        || {
+            let sim = Simulator::new(cfg(), &algo);
+            let mut prof = ProfileCollector::new(1 << sim.cube().alpha(), 50);
+            sim.session().profile(&mut prof).run();
+            samples = prof.samples().count() as u64;
+        },
+    );
+
+    ProfilerCost {
         n,
         off_cycles_per_sec: cycles as f64 / off,
         on_cycles_per_sec: cycles as f64 / on,
@@ -486,6 +531,16 @@ fn main() {
         telemetry.overhead_ratio
     );
 
+    let profiler = measure_profiler(12, inject, reps);
+    println!(
+        "profiler cost, n=12: off {:>10.0} cycles/s  on {:>10.0} cycles/s  \
+         ({} windows, {:.2}x, median of {reps} interleaved)",
+        profiler.off_cycles_per_sec,
+        profiler.on_cycles_per_sec,
+        profiler.samples,
+        profiler.overhead_ratio
+    );
+
     let parallel = measure_parallel(if quick() { 40 } else { 120 }, reps);
     println!(
         "\nshard engine, GC(10, 4), uncached FTGCR under faults ({} cycles):",
@@ -615,6 +670,15 @@ fn main() {
         telemetry.on_cycles_per_sec,
         telemetry.samples,
         telemetry.overhead_ratio
+    );
+    let _ = write!(
+        out,
+        "  \"profile_overhead\": {{\n    \"n\": {},\n    \"off_cycles_per_sec\": {:.0},\n    \"on_cycles_per_sec\": {:.0},\n    \"samples\": {},\n    \"overhead_ratio\": {:.3}\n  }},\n",
+        profiler.n,
+        profiler.off_cycles_per_sec,
+        profiler.on_cycles_per_sec,
+        profiler.samples,
+        profiler.overhead_ratio
     );
     let _ = write!(
         out,

@@ -111,6 +111,10 @@ pub enum Command {
         /// Print the end-of-run health report (implies collecting
         /// telemetry).
         health_report: bool,
+        /// Write the per-shard/per-phase profile (JSONL) to this path
+        /// and print the profiler report. Samples every
+        /// `telemetry_interval` cycles.
+        profile: Option<String>,
         /// Worker threads for the shard engine (`0` = available
         /// parallelism, `1` = the sequential engine).
         threads: usize,
@@ -122,6 +126,12 @@ pub enum Command {
         collective: Option<CollectiveOp>,
         /// Cycles between collective operations.
         collective_interval: u64,
+    },
+    /// `gcube analyze <trace|profile|diff> ...` — offline forensics over
+    /// recorded run artifacts (see [`AnalyzeMode`]).
+    Analyze {
+        /// Which analysis to run.
+        mode: AnalyzeMode,
     },
     /// `gcube diameter [max_m]` — Figure 2 series.
     Diameter {
@@ -146,6 +156,34 @@ pub enum Command {
     Help,
 }
 
+/// The three `gcube analyze` sub-modes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnalyzeMode {
+    /// Reconstruct a recorded JSONL trace: run summary, fault-impact
+    /// attribution, congestion hot-spots — or one packet's timeline.
+    Trace {
+        /// Trace artifact path.
+        path: String,
+        /// Print this packet's full timeline instead of the tables.
+        packet: Option<u64>,
+        /// Rows per hot-spot/impact table.
+        top: usize,
+    },
+    /// Render a profiler artifact's phase/imbalance breakdown.
+    Profile {
+        /// Profile artifact path.
+        path: String,
+    },
+    /// A/B regression gate: compare the deterministic content of two
+    /// artifacts (e.g. a 1-thread and a 4-thread run).
+    Diff {
+        /// Baseline artifact path.
+        a: String,
+        /// Candidate artifact path.
+        b: String,
+    },
+}
+
 /// The usage banner printed by `gcube help` and on errors.
 pub const USAGE: &str = "\
 gcube — Gaussian Cube fault-tolerant routing (ICPP 2003 reproduction)
@@ -161,6 +199,10 @@ USAGE:
                  [--reroute-budget B] [--window W]
                  [--trace PATH] [--percentiles] [--verify-replay]
                  [--telemetry PATH] [--telemetry-interval I] [--health-report]
+                 [--profile PATH]
+  gcube analyze trace <PATH> [--packet ID] [--top K]
+  gcube analyze profile <PATH>
+  gcube analyze diff <A> <B>
   gcube diameter [max_m]
   gcube tolerance [max_n]
   gcube robustness <n> <M> <k>
@@ -217,6 +259,26 @@ OBSERVABILITY:
   --health-report      print the end-of-run health report: utilization
                        profile, Theorem 3 fault-budget standing, health
                        transitions, and phase timings
+  --profile PATH       record the per-shard performance profile to PATH
+                       (JSONL) and print the profiler report: per-window
+                       deterministic counters (injected/moved/in-flight,
+                       queue imbalance, plan-cache deltas) plus
+                       report-only wall-clock phase and barrier timings;
+                       samples every --telemetry-interval cycles
+FORENSICS (offline analysis of recorded artifacts):
+  analyze trace PATH   reconstruct the run: packet outcomes, per-fault
+                       impact attribution (stale views, reroutes, drops
+                       and wasted hops per blocked node), and top-K
+                       congested links/nodes; --packet ID prints one
+                       packet's event-by-event timeline, --top K resizes
+                       the tables (default 10)
+  analyze profile PATH render a profile artifact: provenance, sample
+                       windows, load-imbalance factor, wall-clock phase
+                       split and the per-shard barrier/steal table
+  analyze diff A B     the A/B regression gate: strip report-only
+                       wall-clock lines, validate provenance headers,
+                       and require the deterministic remainder to match
+                       line for line (exit 1 on divergence)
 Node labels are decimal or binary with a 0b prefix.";
 
 fn parse_label(s: &str) -> Result<u64, SimError> {
@@ -366,6 +428,7 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
             let mut telemetry: Option<String> = None;
             let mut telemetry_interval = 100u64;
             let mut health_report = false;
+            let mut profile: Option<String> = None;
             let mut threads = 1usize;
             let mut strategy = StrategyArg::Auto;
             let mut trees: Option<usize> = None;
@@ -428,6 +491,7 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                         }
                     }
                     "--health-report" => health_report = true,
+                    "--profile" => profile = Some(next(&mut it, "profile path")?.clone()),
                     "--threads" => threads = parse_num(next(&mut it, "threads")?, "threads")?,
                     "--strategy" => {
                         strategy = match next(&mut it, "strategy")?.as_str() {
@@ -520,12 +584,54 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                 telemetry,
                 telemetry_interval,
                 health_report,
+                profile,
                 threads,
                 strategy,
                 trees,
                 collective,
                 collective_interval,
             })
+        }
+        "analyze" => {
+            let mode = match next(&mut it, "analyze mode (trace|profile|diff)")?.as_str() {
+                "trace" => {
+                    let path = next(&mut it, "trace path")?.clone();
+                    let mut packet: Option<u64> = None;
+                    let mut top = 10usize;
+                    while let Some(flag) = it.next() {
+                        match flag.as_str() {
+                            "--packet" => {
+                                packet = Some(parse_num(next(&mut it, "packet id")?, "packet id")?)
+                            }
+                            "--top" => {
+                                top = parse_num(next(&mut it, "table size")?, "table size")?;
+                                if top == 0 {
+                                    return Err(SimError::Cli("--top must be at least 1".into()));
+                                }
+                            }
+                            other => return Err(SimError::Cli(format!("unknown flag: {other}"))),
+                        }
+                    }
+                    AnalyzeMode::Trace { path, packet, top }
+                }
+                "profile" => {
+                    let path = next(&mut it, "profile path")?.clone();
+                    reject_extra(&mut it)?;
+                    AnalyzeMode::Profile { path }
+                }
+                "diff" => {
+                    let a = next(&mut it, "baseline artifact")?.clone();
+                    let b = next(&mut it, "candidate artifact")?.clone();
+                    reject_extra(&mut it)?;
+                    AnalyzeMode::Diff { a, b }
+                }
+                m => {
+                    return Err(SimError::Cli(format!(
+                        "analyze mode must be trace, profile or diff, got {m}"
+                    )))
+                }
+            };
+            Ok(Command::Analyze { mode })
         }
         "diameter" => {
             let max_m = match it.next() {
@@ -930,6 +1036,69 @@ mod tests {
     fn rejects_zero_telemetry_interval() {
         let e = parse(&argv("simulate 8 2 --telemetry-interval 0")).unwrap_err();
         assert!(e.to_string().contains("telemetry interval"), "{e}");
+    }
+
+    #[test]
+    fn parses_profile_flag() {
+        let Command::Simulate {
+            profile, telemetry, ..
+        } = parse(&argv("simulate 8 2 --profile run.profile.jsonl")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(profile.as_deref(), Some("run.profile.jsonl"));
+        assert_eq!(telemetry, None, "--profile must not require --telemetry");
+        let Command::Simulate { profile, .. } = parse(&argv("simulate 8 2")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(profile, None);
+    }
+
+    #[test]
+    fn parses_analyze_commands() {
+        assert_eq!(
+            parse(&argv("analyze trace run.jsonl")),
+            Ok(Command::Analyze {
+                mode: AnalyzeMode::Trace {
+                    path: "run.jsonl".into(),
+                    packet: None,
+                    top: 10,
+                }
+            })
+        );
+        assert_eq!(
+            parse(&argv("analyze trace run.jsonl --packet 7 --top 3")),
+            Ok(Command::Analyze {
+                mode: AnalyzeMode::Trace {
+                    path: "run.jsonl".into(),
+                    packet: Some(7),
+                    top: 3,
+                }
+            })
+        );
+        assert_eq!(
+            parse(&argv("analyze profile run.profile.jsonl")),
+            Ok(Command::Analyze {
+                mode: AnalyzeMode::Profile {
+                    path: "run.profile.jsonl".into(),
+                }
+            })
+        );
+        assert_eq!(
+            parse(&argv("analyze diff a.jsonl b.jsonl")),
+            Ok(Command::Analyze {
+                mode: AnalyzeMode::Diff {
+                    a: "a.jsonl".into(),
+                    b: "b.jsonl".into(),
+                }
+            })
+        );
+        let e = parse(&argv("analyze frobnicate x")).unwrap_err();
+        assert!(e.to_string().contains("trace, profile or diff"), "{e}");
+        let e = parse(&argv("analyze trace run.jsonl --top 0")).unwrap_err();
+        assert!(e.to_string().contains("--top"), "{e}");
+        let e = parse(&argv("analyze diff a.jsonl")).unwrap_err();
+        assert!(e.to_string().contains("candidate artifact"), "{e}");
     }
 
     #[test]

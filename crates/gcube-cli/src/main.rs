@@ -12,16 +12,18 @@ mod args;
 
 use std::process::ExitCode;
 
-use args::{parse, ChurnArgs, Command, StrategyArg, USAGE};
+use args::{parse, AnalyzeMode, ChurnArgs, Command, StrategyArg, USAGE};
+use gcube_analysis::forensics::{diff_deterministic, render_profile, RunForensics};
 use gcube_analysis::robustness::{algorithmic_robustness, connectivity_robustness};
 use gcube_analysis::tables::{num, Table};
 use gcube_analysis::{diameter, structure, tolerance};
 use gcube_routing::faults::{categorize, theorem5_precondition};
 use gcube_routing::{collective, ffgcr, ftgcr, FaultSet};
 use gcube_sim::{
-    class_ranges, effective_shards, resolve_threads, CachedFfgcr, CachedFtgcr, JsonlSink,
-    MemorySink, MultiTreeStrategy, RoutingAlgorithm, SimConfig, Simulator, TelemetryCollector,
-    TraceSink,
+    class_ranges, effective_shards, parse_jsonl_with_meta, resolve_threads, ArtifactKind,
+    ArtifactMeta, CachedFfgcr, CachedFtgcr, JsonlSink, MemorySink, MultiTreeStrategy,
+    ProfileCollector, RoutingAlgorithm, SimConfig, Simulator, TelemetryCollector, TraceSink,
+    ARTIFACT_FORMAT,
 };
 use gcube_topology::classes::dims;
 use gcube_topology::{GaussianCube, GaussianTree, NodeId, Topology};
@@ -74,6 +76,7 @@ fn run(cmd: Command) -> Result<(), String> {
             telemetry,
             telemetry_interval,
             health_report,
+            profile,
             threads,
             strategy,
             trees,
@@ -100,8 +103,10 @@ fn run(cmd: Command) -> Result<(), String> {
                 telemetry,
                 telemetry_interval,
                 health_report,
+                profile,
             },
         ),
+        Command::Analyze { mode } => analyze(mode),
         Command::Diameter { max_m } => {
             let mut t = Table::new(["m", "nodes", "diameter"]);
             for p in diameter::series(max_m.min(20)) {
@@ -238,6 +243,7 @@ struct SimulateOutput {
     telemetry: Option<String>,
     telemetry_interval: u64,
     health_report: bool,
+    profile: Option<String>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -299,26 +305,61 @@ fn simulate(
         println!("faulty nodes: {}", list.join(", "));
     }
     // With tracing or replay verification on, record the flight into
-    // memory; otherwise the zero-cost no-sink path runs. Telemetry is
-    // orthogonal: attach a collector only when the time series or the
-    // health report was asked for, so the default path stays the
-    // telemetry-free monomorphisation.
+    // memory; otherwise the zero-cost no-sink path runs. Telemetry and
+    // profiling are orthogonal: attach a collector only when asked, so
+    // the default path stays the sink-free monomorphisation. Each of
+    // the eight arms is its own monomorphised engine.
     let recording = out.trace.is_some() || out.verify_replay;
     let mut sink = MemorySink::new();
     let mut telem = (out.telemetry.is_some() || out.health_report)
         .then(|| TelemetryCollector::new(sim.cube(), out.telemetry_interval));
-    let r = match (&mut telem, recording) {
-        (Some(t), true) => sim
+    let mut prof = out
+        .profile
+        .is_some()
+        .then(|| ProfileCollector::new(1 << sim.cube().alpha(), out.telemetry_interval));
+    let r = match (&mut telem, &mut prof, recording) {
+        (Some(t), Some(p), true) => sim
+            .session()
+            .threads(threads)
+            .trace(&mut sink)
+            .telemetry(t)
+            .profile(p)
+            .try_run(),
+        (Some(t), Some(p), false) => sim
+            .session()
+            .threads(threads)
+            .telemetry(t)
+            .profile(p)
+            .try_run(),
+        (Some(t), None, true) => sim
             .session()
             .threads(threads)
             .trace(&mut sink)
             .telemetry(t)
             .try_run(),
-        (Some(t), false) => sim.session().threads(threads).telemetry(t).try_run(),
-        (None, true) => sim.session().threads(threads).trace(&mut sink).try_run(),
-        (None, false) => sim.session().threads(threads).try_run(),
+        (Some(t), None, false) => sim.session().threads(threads).telemetry(t).try_run(),
+        (None, Some(p), true) => sim
+            .session()
+            .threads(threads)
+            .trace(&mut sink)
+            .profile(p)
+            .try_run(),
+        (None, Some(p), false) => sim.session().threads(threads).profile(p).try_run(),
+        (None, None, true) => sim.session().threads(threads).trace(&mut sink).try_run(),
+        (None, None, false) => sim.session().threads(threads).try_run(),
     }
     .map_err(|e| e.to_string())?;
+    // Provenance header stamped onto every JSONL artifact this run
+    // writes, so `gcube analyze` can validate what it is fed.
+    let meta_for = |kind: ArtifactKind| ArtifactMeta {
+        kind,
+        format: ARTIFACT_FORMAT,
+        n: n as u64,
+        modulus,
+        seed,
+        threads: resolve_threads(threads) as u64,
+        strategy: algo.name().to_string(),
+    };
     if out.verify_replay {
         // Re-execute against a fresh instance (cold caches, cold atlas)
         // and compare event-for-event.
@@ -339,7 +380,10 @@ fn simulate(
     if let Some(path) = &out.trace {
         let file = std::fs::File::create(path)
             .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
-        let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+        let mut jsonl = JsonlSink::with_meta(
+            std::io::BufWriter::new(file),
+            &meta_for(ArtifactKind::Trace),
+        );
         for e in sink.events() {
             jsonl.record(e);
         }
@@ -350,8 +394,13 @@ fn simulate(
     }
     if let Some(path) = &out.telemetry {
         let t = telem.as_ref().expect("telemetry was collected");
+        // CSV stays headerless-compatible; the JSONL form is stamped.
         let data = if path.ends_with(".jsonl") {
-            t.to_jsonl()
+            format!(
+                "{}\n{}",
+                meta_for(ArtifactKind::Telemetry).to_jsonl_line(),
+                t.to_jsonl()
+            )
         } else {
             t.to_csv()
         };
@@ -361,6 +410,20 @@ fn simulate(
             t.len(),
             t.evicted()
         );
+    }
+    if let Some(path) = &out.profile {
+        let p = prof.as_ref().expect("profile was collected");
+        let data = format!(
+            "{}\n{}",
+            meta_for(ArtifactKind::Profile).to_jsonl_line(),
+            p.to_jsonl()
+        );
+        std::fs::write(path, data).map_err(|e| format!("cannot write profile to {path}: {e}"))?;
+        println!(
+            "profile written  : {} sample windows -> {path}",
+            p.samples().count()
+        );
+        print!("{}", p.report());
     }
     let m = r.metrics;
     println!("algorithm        : {}", algo.name());
@@ -545,4 +608,56 @@ fn simulate(
         }
     }
     Ok(())
+}
+
+/// `gcube analyze` — offline forensics over recorded artifacts.
+fn analyze(mode: AnalyzeMode) -> Result<(), String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read artifact {path}: {e}"))
+    };
+    match mode {
+        AnalyzeMode::Trace { path, packet, top } => {
+            let text = read(&path)?;
+            let (meta, events) =
+                parse_jsonl_with_meta(&text).map_err(|e| format!("{path}: {e}"))?;
+            if let Some(m) = &meta {
+                println!(
+                    "provenance       : GC({}, {}), seed {}, {} threads, {} (format {})",
+                    m.n, m.modulus, m.seed, m.threads, m.strategy, m.format
+                );
+            } else {
+                println!("provenance       : unstamped v0 artifact");
+            }
+            let f = RunForensics::from_events(&events);
+            if let Some(id) = packet {
+                print!("{}", f.timeline(id));
+                return Ok(());
+            }
+            print!("{}", f.summary());
+            println!("--- fault impact (per blocked node) ---");
+            print!("{}", f.fault_impact_table(top));
+            println!("--- congestion hot-spots ---");
+            print!("{}", f.congestion_table(top));
+            Ok(())
+        }
+        AnalyzeMode::Profile { path } => {
+            let text = read(&path)?;
+            print!(
+                "{}",
+                render_profile(&text).map_err(|e| format!("{path}: {e}"))?
+            );
+            Ok(())
+        }
+        AnalyzeMode::Diff { a, b } => {
+            let outcome = diff_deterministic(&read(&a)?, &read(&b)?)?;
+            println!("A: {a}");
+            println!("B: {b}");
+            println!("{}", outcome.detail);
+            if outcome.identical {
+                Ok(())
+            } else {
+                Err("deterministic streams diverged".into())
+            }
+        }
+    }
 }

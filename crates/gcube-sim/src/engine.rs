@@ -50,6 +50,7 @@ use crate::error::SimError;
 use crate::injection::FaultInjector;
 use crate::metrics::{ChurnReport, Metrics, WindowStat, MAX_TREES};
 use crate::packet::Packet;
+use crate::profiler::{ProfSample, ProfilerSink};
 use crate::session::SimSession;
 use crate::soa::{LinkTable, NodeQueues, PacketStore};
 use crate::strategy::{RoutingAlgorithm, TreeChoice};
@@ -145,10 +146,11 @@ impl<'a> Simulator<'a> {
     /// tracing or telemetry code at all, and the hot path performs no
     /// per-cycle allocations. Trace events, metrics, and windows are
     /// identical across all sink combinations — observers never steer.
-    pub(crate) fn run_sequential<S: TraceSink, T: TelemetrySink>(
+    pub(crate) fn run_sequential<S: TraceSink, T: TelemetrySink, P: ProfilerSink>(
         &self,
         sink: &mut S,
         telem: &mut T,
+        prof: &mut P,
     ) -> ChurnReport {
         let n_nodes = self.gc.num_nodes();
         // Structure-of-arrays packet state (see `crate::soa`): an arena of
@@ -217,8 +219,9 @@ impl<'a> Simulator<'a> {
             }
         }
         // Phase profiling is wall-clock and report-only; the timers exist
-        // only when a real telemetry sink is attached.
-        let profiling = telem.enabled();
+        // when either a telemetry sink or a profiler is attached, so
+        // `--profile` works without `--telemetry`.
+        let profiling = telem.enabled() || prof.enabled();
 
         // The collective traffic class: a planner over a dedicated tree
         // cache, a repair ledger that accounts each tree transition once,
@@ -271,6 +274,10 @@ impl<'a> Simulator<'a> {
                     ..WindowStat::default()
                 });
             }
+
+            // Per-cycle deterministic profiler counters; the guarded
+            // increments monomorphise away with `NullProfiler`.
+            let mut cycle_injected = 0u64;
 
             // 0. Fault events: mutate the truth, strand queued packets on
             //    dead nodes, restart the knowledge exchange.
@@ -347,7 +354,9 @@ impl<'a> Simulator<'a> {
                 }
             }
             if let Some(t) = phase_started {
-                telem.phase_time(Phase::Reconvergence, t.elapsed().as_nanos() as u64);
+                let nanos = t.elapsed().as_nanos() as u64;
+                telem.phase_time(Phase::Reconvergence, nanos);
+                prof.phase_time(Phase::Reconvergence, nanos);
             }
 
             // 1. Injection phase. Sources route on the *view*: right
@@ -458,6 +467,9 @@ impl<'a> Simulator<'a> {
                     // sharded engine preassign them before planning.
                     let id = next_id;
                     next_id += 1;
+                    if prof.enabled() {
+                        cycle_injected += 1;
+                    }
                     match self.algorithm.plan_route(&self.gc, &view, src, dst) {
                         Ok(planned) => {
                             let tree = planned.tree;
@@ -541,7 +553,9 @@ impl<'a> Simulator<'a> {
             }
 
             if let Some(t) = phase_started {
-                telem.phase_time(Phase::Planning, t.elapsed().as_nanos() as u64);
+                let nanos = t.elapsed().as_nanos() as u64;
+                telem.phase_time(Phase::Planning, nanos);
+                prof.phase_time(Phase::Planning, nanos);
             }
 
             // 2. Forwarding phase: each node may forward its queue head.
@@ -765,13 +779,18 @@ impl<'a> Simulator<'a> {
                     queues.push_back(&mut store, cu, slot);
                 }
             }
+            // Captured before the clear: one entry per forwarded hop, the
+            // profiler's deterministic "moved" counter.
+            let cycle_moved = moves.len() as u64;
             moves.clear();
             for &t in &arrival_nodes {
                 arriving[t] = 0;
             }
             arrival_nodes.clear();
             if let Some(t) = phase_started {
-                telem.phase_time(Phase::Forwarding, t.elapsed().as_nanos() as u64);
+                let nanos = t.elapsed().as_nanos() as u64;
+                telem.phase_time(Phase::Forwarding, nanos);
+                prof.phase_time(Phase::Forwarding, nanos);
             }
 
             // 3. Telemetry sampling (guarded so the telemetry-off engine
@@ -796,6 +815,29 @@ impl<'a> Simulator<'a> {
                 telem.phase_time(Phase::Telemetry, sample_started.elapsed().as_nanos() as u64);
             }
 
+            // 4. Profiler sampling: same guard discipline as telemetry —
+            //    the deterministic counters mirror the sharded Round-D
+            //    reduction exactly (end-of-cycle class snapshots, cache
+            //    stats fetched only when asked for, at a quiescent point).
+            if prof.enabled() {
+                let sample_started = Instant::now();
+                let cache = if prof.wants_cache(cycle) {
+                    self.algorithm.cache_stats()
+                } else {
+                    None
+                };
+                prof.cycle_sample(&ProfSample {
+                    cycle,
+                    injected: cycle_injected,
+                    moved: cycle_moved,
+                    in_flight,
+                    class_queued: &class_queued,
+                    class_occupied: &class_occupied,
+                    cache,
+                });
+                prof.phase_time(Phase::Telemetry, sample_started.elapsed().as_nanos() as u64);
+            }
+
             if cycle >= self.config.inject_cycles && in_flight == 0 {
                 ended_at = cycle + 1;
                 break;
@@ -812,6 +854,9 @@ impl<'a> Simulator<'a> {
                 live_faults: truth.len() as u64,
                 cache: self.algorithm.cache_stats(),
             });
+        }
+        if prof.enabled() {
+            prof.finish_run(ended_at, 1);
         }
 
         metrics.cycles = ended_at - warmup;

@@ -27,6 +27,7 @@
 //!
 //! [`FaultSet`]: gcube_routing::FaultSet
 
+pub mod artifact;
 pub mod collective;
 pub mod config;
 pub mod engine;
@@ -34,6 +35,7 @@ pub mod error;
 pub mod injection;
 pub mod metrics;
 pub mod packet;
+pub mod profiler;
 pub mod replay;
 pub mod runner;
 pub mod session;
@@ -44,6 +46,7 @@ pub mod telemetry;
 pub mod trace;
 pub mod traffic;
 
+pub use artifact::{ArtifactKind, ArtifactMeta, ARTIFACT_FORMAT};
 pub use collective::{is_collective, op_of, COLLECTIVE_BIT};
 pub use config::{CollectiveOp, KnowledgeModel, SimConfig};
 pub use engine::Simulator;
@@ -53,7 +56,10 @@ pub use injection::{
     TimedFault,
 };
 pub use metrics::{ChurnReport, Histogram, Metrics, OpStat, WindowStat};
-pub use replay::{parse_jsonl, verify_replay, ReplayError};
+pub use profiler::{
+    NullProfiler, ProfSample, ProfileCollector, ProfileSample, ProfilerSink, ShardProfile,
+};
+pub use replay::{parse_jsonl, parse_jsonl_with_meta, verify_replay, ReplayError};
 pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
 pub use session::{effective_shards, resolve_threads, SimSession};
 pub use shard::class_ranges;

@@ -1,14 +1,17 @@
 //! Replay verification: re-execute a recorded run and assert
 //! event-for-event equality.
 //!
-//! The engine is single-threaded and fully seeded, so a run's flight
+//! The engine is deterministic and fully seeded, so a run's flight
 //! record ([`crate::trace`]) is a pure function of the
 //! [`SimConfig`](crate::config::SimConfig) and routing algorithm. That
 //! makes a recorded trace *checkable*: [`verify_replay`] re-runs the
-//! simulation into a fresh [`MemorySink`] and compares the two streams
-//! event by event. Any divergence — a non-deterministic data structure,
-//! an RNG ordering change, a corrupted trace file — is reported with the
-//! index and both versions of the first mismatching event.
+//! simulation and compares the two streams event by event — through a
+//! streaming comparator sink, so the re-executed trace is never
+//! materialised (memory stays bounded by the *recorded* trace, however
+//! long the replay runs). Any divergence — a non-deterministic data
+//! structure, an RNG ordering change, a corrupted trace file — is
+//! reported with the index and both versions of the first mismatching
+//! event.
 //!
 //! The JSONL side ([`parse_jsonl`]) is hand-rolled against the fixed flat
 //! schema emitted by [`TraceEvent::to_jsonl`] (this workspace vendors no
@@ -20,10 +23,11 @@ use std::fmt;
 use gcube_routing::faults::HealthState;
 use gcube_topology::NodeId;
 
+use crate::artifact::{ArtifactKind, ArtifactMeta};
 use crate::config::SimConfig;
 use crate::engine::Simulator;
 use crate::strategy::RoutingAlgorithm;
-use crate::trace::{DropCause, MemorySink, TraceEvent, TraceEventKind};
+use crate::trace::{DropCause, TraceEvent, TraceEventKind, TraceSink};
 
 /// Why a replay check failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -81,6 +85,40 @@ impl fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// Streaming comparator: checks the re-executed stream against the
+/// recorded one as events are emitted, holding only a cursor and the
+/// first divergence. The old implementation materialised a second
+/// [`MemorySink`](crate::trace::MemorySink) copy of the whole replay;
+/// this keeps verification memory bounded by the recorded slice alone.
+struct CompareSink<'r> {
+    recorded: &'r [TraceEvent],
+    /// Events the re-executed run has emitted so far.
+    replayed: usize,
+    /// First mismatch, latched; later events are only counted.
+    divergence: Option<ReplayError>,
+}
+
+impl TraceSink for CompareSink<'_> {
+    fn record(&mut self, event: &TraceEvent) {
+        let index = self.replayed;
+        self.replayed += 1;
+        if self.divergence.is_some() {
+            return;
+        }
+        if let Some(r) = self.recorded.get(index) {
+            if r != event {
+                self.divergence = Some(ReplayError::Mismatch {
+                    index,
+                    recorded: *r,
+                    replayed: *event,
+                });
+            }
+        }
+        // Replay running past the record is a length mismatch, reported
+        // with the full replayed count once the run finishes.
+    }
+}
+
 /// Re-execute `config` under `algorithm` and check the resulting event
 /// stream equals `recorded`, event for event. `Ok(n)` returns the number
 /// of matching events.
@@ -91,34 +129,67 @@ pub fn verify_replay(
 ) -> Result<usize, ReplayError> {
     let sim =
         Simulator::try_new(config, algorithm).map_err(|e| ReplayError::Config(e.to_string()))?;
-    let mut sink = MemorySink::new();
+    let mut sink = CompareSink {
+        recorded,
+        replayed: 0,
+        divergence: None,
+    };
     sim.session().trace(&mut sink).run();
-    let replayed = sink.events();
-    for (index, (r, p)) in recorded.iter().zip(replayed.iter()).enumerate() {
-        if r != p {
-            return Err(ReplayError::Mismatch {
-                index,
-                recorded: *r,
-                replayed: *p,
-            });
-        }
+    if let Some(err) = sink.divergence {
+        return Err(err);
     }
-    if recorded.len() != replayed.len() {
+    if recorded.len() != sink.replayed {
         return Err(ReplayError::LengthMismatch {
             recorded: recorded.len(),
-            replayed: replayed.len(),
+            replayed: sink.replayed,
         });
     }
-    Ok(replayed.len())
+    Ok(sink.replayed)
 }
 
 /// Parse a whole JSONL trace (one event per non-empty line) back into
-/// events. Inverse of [`crate::trace::to_jsonl`].
+/// events. Inverse of [`crate::trace::to_jsonl`]. A leading
+/// [`ArtifactMeta`] header line is validated and skipped; see
+/// [`parse_jsonl_with_meta`] to keep it.
 pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ReplayError> {
+    parse_jsonl_with_meta(text).map(|(_, events)| events)
+}
+
+/// Parse a whole JSONL trace, returning the provenance header (if the
+/// file has one) alongside the events. A file without a header is a v0
+/// artifact and parses to `(None, events)`; a *malformed* or
+/// wrong-kind header is an error, as is a header that is not the first
+/// non-blank line.
+pub fn parse_jsonl_with_meta(
+    text: &str,
+) -> Result<(Option<ArtifactMeta>, Vec<TraceEvent>), ReplayError> {
+    let mut meta = None;
     let mut events = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
+            continue;
+        }
+        if ArtifactMeta::is_meta_line(line) {
+            let parse_err = |message| ReplayError::Parse {
+                line: i + 1,
+                message,
+            };
+            if meta.is_some() || !events.is_empty() {
+                return Err(parse_err(
+                    "meta header must be the first non-blank line".to_string(),
+                ));
+            }
+            let m = ArtifactMeta::parse(line)
+                .expect("is_meta_line implies parse returns Some")
+                .map_err(parse_err)?;
+            if m.kind != ArtifactKind::Trace {
+                return Err(ReplayError::Parse {
+                    line: i + 1,
+                    message: format!("expected a trace artifact, got {}", m.kind),
+                });
+            }
+            meta = Some(m);
             continue;
         }
         events.push(
@@ -128,7 +199,7 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ReplayError> {
             })?,
         );
     }
-    Ok(events)
+    Ok((meta, events))
 }
 
 /// Parse one line of the flat trace schema produced by
@@ -431,6 +502,55 @@ mod tests {
             ReplayError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn meta_header_is_validated_and_optional() {
+        use crate::artifact::ARTIFACT_FORMAT;
+        let events = sample_events();
+        let meta = ArtifactMeta {
+            kind: ArtifactKind::Trace,
+            format: ARTIFACT_FORMAT,
+            n: 6,
+            modulus: 2,
+            seed: 42,
+            threads: 4,
+            strategy: "ftgcr".to_string(),
+        };
+        let mut text = meta.to_jsonl_line();
+        text.push('\n');
+        text.push_str(&to_jsonl(&events));
+
+        // Stamped file: both entry points parse, meta comes back.
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+        let (m, ev) = parse_jsonl_with_meta(&text).unwrap();
+        assert_eq!(m.as_ref(), Some(&meta));
+        assert_eq!(ev, events);
+
+        // Unstamped file is v0: meta is None.
+        let (m, ev) = parse_jsonl_with_meta(&to_jsonl(&events)).unwrap();
+        assert!(m.is_none());
+        assert_eq!(ev, events);
+
+        // Wrong-kind header is rejected.
+        let mut telem = meta.clone();
+        telem.kind = ArtifactKind::Telemetry;
+        let bad = format!("{}\n{}", telem.to_jsonl_line(), to_jsonl(&events));
+        assert!(parse_jsonl_with_meta(&bad).is_err());
+
+        // A header after the first event is rejected with its line.
+        let late = format!("{}{}", to_jsonl(&events), meta.to_jsonl_line());
+        match parse_jsonl_with_meta(&late).unwrap_err() {
+            ReplayError::Parse { line, message } => {
+                assert_eq!(line, events.len() + 1);
+                assert!(message.contains("first non-blank line"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        // A malformed header is an error, not silently treated as v0.
+        let broken = format!("{{\"meta\":\"trace\"}}\n{}", to_jsonl(&events));
+        assert!(parse_jsonl_with_meta(&broken).is_err());
     }
 
     #[test]

@@ -13,18 +13,19 @@
 //! assert_eq!(report.metrics.delivered, report.metrics.injected);
 //! ```
 //!
-//! `trace` and `telemetry` rebind the session's sink type parameters, so
-//! the engine still monomorphises over the sinks: a session that never
-//! attaches one compiles to the same zero-observer loop as before.
-//! `threads(n)` selects the deterministic shard engine ([`crate::shard`])
-//! for `n > 1`; its output is bitwise identical to the sequential loop
-//! for any thread count.
+//! `trace`, `telemetry`, and `profile` rebind the session's sink type
+//! parameters, so the engine still monomorphises over the sinks: a
+//! session that never attaches one compiles to the same zero-observer
+//! loop as before. `threads(n)` selects the deterministic shard engine
+//! ([`crate::shard`]) for `n > 1`; its output is bitwise identical to
+//! the sequential loop for any thread count.
 
 use gcube_topology::GaussianCube;
 
 use crate::engine::Simulator;
 use crate::error::SimError;
 use crate::metrics::ChurnReport;
+use crate::profiler::{NullProfiler, ProfilerSink};
 use crate::shard;
 use crate::telemetry::{NullTelemetry, TelemetrySink};
 use crate::trace::{NullSink, TraceSink};
@@ -51,11 +52,12 @@ pub fn effective_shards(gc: &GaussianCube, threads: usize) -> usize {
 /// A configured-but-not-yet-started run: thread count plus the attached
 /// observers. Built by [`Simulator::session`], consumed by
 /// [`SimSession::run`] / [`SimSession::try_run`].
-pub struct SimSession<'s, 'a, S = NullSink, T = NullTelemetry> {
+pub struct SimSession<'s, 'a, S = NullSink, T = NullTelemetry, P = NullProfiler> {
     sim: &'s Simulator<'a>,
     threads: usize,
     trace: S,
     telemetry: T,
+    profiler: P,
 }
 
 impl<'s, 'a> SimSession<'s, 'a> {
@@ -65,11 +67,12 @@ impl<'s, 'a> SimSession<'s, 'a> {
             threads: 1,
             trace: NullSink,
             telemetry: NullTelemetry,
+            profiler: NullProfiler,
         }
     }
 }
 
-impl<'s, 'a, S: TraceSink, T: TelemetrySink> SimSession<'s, 'a, S, T> {
+impl<'s, 'a, S: TraceSink, T: TelemetrySink, P: ProfilerSink> SimSession<'s, 'a, S, T, P> {
     /// Worker threads for the shard engine. `0` resolves to the machine's
     /// available parallelism; the default is `1` (sequential). The
     /// effective shard count is capped at the cube's `2^α` ending
@@ -84,24 +87,41 @@ impl<'s, 'a, S: TraceSink, T: TelemetrySink> SimSession<'s, 'a, S, T> {
     /// `sink` in deterministic engine order (identical for every thread
     /// count). Pass `&mut sink` to keep the sink afterwards.
     #[must_use]
-    pub fn trace<S2: TraceSink>(self, sink: S2) -> SimSession<'s, 'a, S2, T> {
+    pub fn trace<S2: TraceSink>(self, sink: S2) -> SimSession<'s, 'a, S2, T, P> {
         SimSession {
             sim: self.sim,
             threads: self.threads,
             trace: sink,
             telemetry: self.telemetry,
+            profiler: self.profiler,
         }
     }
 
     /// Attach a telemetry sink sampling the per-window time series. Pass
     /// `&mut collector` to keep the collector afterwards.
     #[must_use]
-    pub fn telemetry<T2: TelemetrySink>(self, telemetry: T2) -> SimSession<'s, 'a, S, T2> {
+    pub fn telemetry<T2: TelemetrySink>(self, telemetry: T2) -> SimSession<'s, 'a, S, T2, P> {
         SimSession {
             sim: self.sim,
             threads: self.threads,
             trace: self.trace,
             telemetry,
+            profiler: self.profiler,
+        }
+    }
+
+    /// Attach a performance profiler recording per-cycle deterministic
+    /// counters plus report-only wall-clock/per-shard breakdowns —
+    /// independent of `telemetry`. Pass `&mut collector` to keep the
+    /// collector afterwards.
+    #[must_use]
+    pub fn profile<P2: ProfilerSink>(self, profiler: P2) -> SimSession<'s, 'a, S, T, P2> {
+        SimSession {
+            sim: self.sim,
+            threads: self.threads,
+            trace: self.trace,
+            telemetry: self.telemetry,
+            profiler,
         }
     }
 
@@ -124,10 +144,16 @@ impl<'s, 'a, S: TraceSink, T: TelemetrySink> SimSession<'s, 'a, S, T> {
             return Err(SimError::FiniteBuffersRequireSingleThread);
         }
         Ok(if shards > 1 {
-            shard::run_sharded(self.sim, shards, &mut self.trace, &mut self.telemetry)
+            shard::run_sharded(
+                self.sim,
+                shards,
+                &mut self.trace,
+                &mut self.telemetry,
+                &mut self.profiler,
+            )
         } else {
             self.sim
-                .run_sequential(&mut self.trace, &mut self.telemetry)
+                .run_sequential(&mut self.trace, &mut self.telemetry, &mut self.profiler)
         })
     }
 }

@@ -54,11 +54,13 @@
 //!    publishes the verdicts plus the ordered view mutations in shared
 //!    cells; every shard applies them so the view replicas stay
 //!    identical.
-//! 6. **Round D — telemetry.** Only when a telemetry sink is attached:
-//!    workers copy their per-cycle counter deltas and ending-class
-//!    snapshots into pre-sized exchange cells; the coordinator folds
-//!    them in and samples between two barriers (so the plan caches are
-//!    quiescent and the cells are never overwritten mid-read).
+//! 6. **Round D — observers.** Only when a telemetry sink *or a
+//!    profiler* is attached (both sides derive the gate from the same
+//!    flags, so the barrier counts always agree): workers copy their
+//!    per-cycle counter deltas and ending-class snapshots into
+//!    pre-sized exchange cells; the coordinator folds them in and
+//!    samples between two barriers (so the plan caches are quiescent
+//!    and the cells are never overwritten mid-read).
 //!
 //! # Determinism
 //!
@@ -90,6 +92,7 @@ use crate::metrics::{
     merge_ops, merge_windows, ChurnReport, Metrics, OpStat, WindowStat, MAX_TREES,
 };
 use crate::packet::Packet;
+use crate::profiler::{ProfSample, ProfilerSink, ShardProfile};
 use crate::soa::{LinkTable, NodeQueues, PacketStore};
 use crate::strategy::{PlannedRoute, TreeChoice};
 use crate::telemetry::{CycleView, FaultBudgetMonitor, Phase, ShardTelemetry, TelemetrySink};
@@ -226,7 +229,7 @@ type PacketCell = Mutex<Vec<(u32, Packet)>>;
 /// A buffered-trace cell of `(sort key, event)` pairs.
 type EventCell = Mutex<Vec<(u64, TraceEvent)>>;
 /// A shard's end-of-run payload for the final reduction.
-type FinalCell = Mutex<Option<(Box<Metrics>, Vec<WindowStat>, Vec<OpStat>)>>;
+type FinalCell = Mutex<Option<(Box<Metrics>, Vec<WindowStat>, Vec<OpStat>, ShardProfile)>>;
 
 /// The shared-memory mailbox grid replacing the old per-cycle `mpsc`
 /// batches. Everything is preallocated; per-cycle traffic is mutex-swaps
@@ -264,6 +267,11 @@ struct Exchange {
     view_ops: Mutex<Vec<ViewOp>>,
     verdict_drops: AtomicU64,
     telemetry: Vec<Mutex<TelemetryCell>>,
+    /// Per-sender forwarded-hop counts for the profiler's deterministic
+    /// `moved` counter, published alongside `contrib` (so the same
+    /// Round B barrier orders them) and parity-buffered for the same
+    /// reason. Written only when a profiler is attached.
+    hops: [Vec<AtomicU64>; 2],
     finals: Vec<FinalCell>,
 }
 
@@ -289,6 +297,10 @@ impl Exchange {
             verdicts: cells(shards),
             view_ops: Mutex::new(Vec::new()),
             verdict_drops: AtomicU64::new(0),
+            hops: [
+                (0..shards).map(|_| AtomicU64::new(0)).collect(),
+                (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            ],
             telemetry: (0..shards)
                 .map(|_| {
                     Mutex::new(TelemetryCell {
@@ -397,6 +409,12 @@ struct Shard<'s, 'a> {
     arrivals: Vec<(u32, Packet)>,
     tracing_on: bool,
     telemetry_on: bool,
+    profiling_on: bool,
+    /// Whole-run report-only profiler counters for this shard.
+    profile: ShardProfile,
+    /// Forwarded hops this cycle, published pre-Round-B so the
+    /// coordinator can fold the deterministic global total.
+    cycle_hops: u64,
     /// The collective planner, sharing one tree cache across all shards
     /// (the plan itself is replicated, so cache races only ever produce
     /// identical trees).
@@ -408,6 +426,7 @@ struct Shard<'s, 'a> {
 }
 
 impl<'s, 'a> Shard<'s, 'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         sim: &'s Simulator<'a>,
         me: usize,
@@ -415,6 +434,7 @@ impl<'s, 'a> Shard<'s, 'a> {
         class_owner: &'s [usize],
         tracing_on: bool,
         telemetry_on: bool,
+        profiling_on: bool,
         collective_cache: Option<Arc<PlanCache>>,
     ) -> Shard<'s, 'a> {
         let n_nodes = sim.gc.num_nodes();
@@ -456,6 +476,9 @@ impl<'s, 'a> Shard<'s, 'a> {
             arrivals: Vec::new(),
             tracing_on,
             telemetry_on,
+            profiling_on,
+            profile: ShardProfile::default(),
+            cycle_hops: 0,
             collective: collective_cache.map(|cache| {
                 CollectivePlanner::new(
                     sim.config
@@ -677,7 +700,7 @@ impl<'s, 'a> Shard<'s, 'a> {
     /// the routes are independent of who plans them; unit granularity is
     /// an ending class, so concurrent units hit disjoint plan-cache keys
     /// and the cache counters stay deterministic.
-    fn plan_stolen_units(&self, ex: &Exchange) {
+    fn plan_stolen_units(&mut self, ex: &Exchange) {
         loop {
             let u = ex.plan_cursor.fetch_add(1, Ordering::Relaxed);
             if u >= ex.plan_units.len() {
@@ -685,6 +708,13 @@ impl<'s, 'a> Shard<'s, 'a> {
             }
             let mut unit = ex.plan_units[u].lock().expect("plan unit poisoned");
             let unit = &mut *unit;
+            if self.profiling_on {
+                // Report-only: which thread wins a unit races on the
+                // cursor, so per-shard claims never enter the
+                // deterministic stream.
+                self.profile.steal_units += 1;
+                self.profile.planned_reqs += unit.reqs.len() as u64;
+            }
             unit.plans.clear();
             for req in &unit.reqs {
                 unit.plans.push(
@@ -904,6 +934,9 @@ impl<'s, 'a> Shard<'s, 'a> {
                 continue;
             }
             self.metrics.forwarded_hops_total += 1;
+            if self.profiling_on {
+                self.cycle_hops += 1;
+            }
             if self.telemetry_on {
                 self.delta.dim_hops[dim as usize] += 1;
             }
@@ -1058,6 +1091,42 @@ impl<'s, 'a> Shard<'s, 'a> {
         }
     }
 
+    /// A barrier wait, timed when the profiler is attached: the
+    /// accumulated wait is the shard's coordination overhead
+    /// (report-only — wall clock).
+    #[inline]
+    fn barrier_wait(&mut self, ex: &Exchange) {
+        if self.profiling_on {
+            let t = Instant::now();
+            ex.barrier.wait();
+            self.profile.barrier_nanos += t.elapsed().as_nanos() as u64;
+        } else {
+            ex.barrier.wait();
+        }
+    }
+
+    /// Pre-publish profiler accounting, called right before
+    /// [`Exchange::publish_moves`] while the outgoing buffers are still
+    /// full: mailbox volumes (report-only) plus this cycle's hop count,
+    /// stored pre-Round-B so the coordinator can fold the deterministic
+    /// global `moved` total after the barrier.
+    fn note_published(&mut self, ex: &Exchange, parity: usize) {
+        if !self.profiling_on {
+            return;
+        }
+        for (r, buf) in self.out_moves.iter().enumerate() {
+            let n = buf.len() as u64;
+            if r == self.me {
+                self.profile.moves_self += n;
+            } else {
+                self.profile.moves_out += n;
+            }
+        }
+        self.profile.events_out += self.events.len() as u64;
+        ex.hops[parity][self.me].store(self.cycle_hops, Ordering::Relaxed);
+        self.cycle_hops = 0;
+    }
+
     /// Round D, worker side: copy the counter delta and the owned
     /// class-range snapshot into this shard's pre-sized exchange cell
     /// (post-verdict, post-arrival — end-of-cycle state).
@@ -1073,11 +1142,12 @@ impl<'s, 'a> Shard<'s, 'a> {
 
 /// Run the simulation over `shards > 1` lockstepped shards; the output
 /// is bitwise identical to [`Simulator::run_sequential`].
-pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
+pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink, P: ProfilerSink>(
     sim: &Simulator<'_>,
     shards: usize,
     sink: &mut S,
     telem: &mut T,
+    prof: &mut P,
 ) -> ChurnReport {
     debug_assert!(shards > 1);
     let n_nodes = sim.gc.num_nodes();
@@ -1091,6 +1161,7 @@ pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
     };
     let tracing_on = sink.enabled();
     let telemetry_on = telem.enabled();
+    let profiling_on = prof.enabled();
     let total_cycles = sim.config.inject_cycles + sim.config.drain_cycles;
     let inject_cycles = sim.config.inject_cycles;
     let warmup = sim.config.warmup_cycles.min(inject_cycles);
@@ -1119,6 +1190,7 @@ pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
                     ex,
                     tracing_on,
                     telemetry_on,
+                    profiling_on,
                     cache,
                 );
             });
@@ -1130,6 +1202,7 @@ pub(crate) fn run_sharded<S: TraceSink, T: TelemetrySink>(
             ex: &ex,
             sink,
             telem,
+            prof,
             n_nodes,
             total_cycles,
             inject_cycles,
@@ -1151,6 +1224,7 @@ fn run_worker(
     ex: &Exchange,
     tracing_on: bool,
     telemetry_on: bool,
+    profiling_on: bool,
     collective_cache: Option<Arc<PlanCache>>,
 ) {
     let mut shard = Shard::new(
@@ -1160,24 +1234,30 @@ fn run_worker(
         class_owner,
         tracing_on,
         telemetry_on,
+        profiling_on,
         collective_cache,
     );
     let total_cycles = sim.config.inject_cycles + sim.config.drain_cycles;
     let inject_cycles = sim.config.inject_cycles;
+    let run_started = profiling_on.then(Instant::now);
     for cycle in 0..total_cycles {
         let parity = (cycle & 1) as usize;
+        if profiling_on {
+            shard.profile.cycles = cycle + 1;
+        }
         shard.begin_cycle(cycle);
         // The repair ledger and op counters are the coordinator's; a
         // worker only injects its own share of the wave.
         let _ = shard.launch_collective(cycle, inject_cycles);
         if cycle < inject_cycles {
-            ex.barrier.wait(); // Round A: units filled by the coordinator.
+            shard.barrier_wait(ex); // Round A: units filled by the coordinator.
             shard.plan_stolen_units(ex);
-            ex.barrier.wait(); // Round A: every unit planned.
+            shard.barrier_wait(ex); // Round A: every unit planned.
             shard.account_own_units(cycle, ex);
         }
         shard.scan(cycle);
         let contrib = shard.contrib();
+        shard.note_published(ex, parity);
         ex.publish_moves(parity, me, &mut shard.out_moves);
         if !shard.candidates.is_empty() {
             ex.candidates[me]
@@ -1192,7 +1272,7 @@ fn run_worker(
                 .append(&mut shard.events);
         }
         ex.contrib[parity][me].store(contrib, Ordering::Relaxed);
-        ex.barrier.wait(); // Round B: all mailboxes published.
+        shard.barrier_wait(ex); // Round B: all mailboxes published.
         let mut total_contrib = 0u64;
         for c in &ex.contrib[parity] {
             total_contrib += c.load(Ordering::Relaxed);
@@ -1202,7 +1282,7 @@ fn run_worker(
         shard.push_arrivals();
         let mut verdict_drops = 0u64;
         if shard.dynamic && !shard.truth.is_empty() {
-            ex.barrier.wait(); // Round C: verdicts published.
+            shard.barrier_wait(ex); // Round C: verdicts published.
             verdict_drops = ex.verdict_drops.load(Ordering::Relaxed);
             {
                 let ops = ex.view_ops.lock().expect("view ops poisoned");
@@ -1211,30 +1291,35 @@ fn run_worker(
             let mine = mem::take(&mut *ex.verdicts[me].lock().expect("verdicts poisoned"));
             shard.apply_verdicts(cycle, mine);
         }
-        if telemetry_on {
+        if telemetry_on || profiling_on {
             shard.publish_telemetry(ex);
-            ex.barrier.wait(); // Round D: all cells published.
-            ex.barrier.wait(); // Round D: coordinator folded and sampled.
+            shard.barrier_wait(ex); // Round D: all cells published.
+            shard.barrier_wait(ex); // Round D: coordinator folded and sampled.
         }
         if cycle >= inject_cycles && total_contrib - verdict_drops == 0 {
             break;
         }
     }
+    if let Some(t) = run_started {
+        shard.profile.run_nanos = t.elapsed().as_nanos() as u64;
+    }
     *ex.finals[me].lock().expect("finals poisoned") = Some((
         Box::new(shard.metrics),
         shard.windows,
         shard.op_tracker.into_ops(),
+        shard.profile,
     ));
     ex.barrier.wait(); // Final reduction: all shards published.
 }
 
-struct CoordinatorArgs<'c, 's, 'a, S, T> {
+struct CoordinatorArgs<'c, 's, 'a, S, T, P> {
     sim: &'s Simulator<'a>,
     shards: usize,
     class_owner: &'c [usize],
     ex: &'c Exchange,
     sink: &'c mut S,
     telem: &'c mut T,
+    prof: &'c mut P,
     n_nodes: u64,
     total_cycles: u64,
     inject_cycles: u64,
@@ -1247,8 +1332,8 @@ struct CoordinatorArgs<'c, 's, 'a, S, T> {
 /// network-global — the traffic RNG, the health monitor, recovery
 /// resolution, trace-stream merging, telemetry sampling, and the final
 /// metric reduction.
-fn run_coordinator<S: TraceSink, T: TelemetrySink>(
-    args: CoordinatorArgs<'_, '_, '_, S, T>,
+fn run_coordinator<S: TraceSink, T: TelemetrySink, P: ProfilerSink>(
+    args: CoordinatorArgs<'_, '_, '_, S, T, P>,
 ) -> ChurnReport {
     let CoordinatorArgs {
         sim,
@@ -1257,6 +1342,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         ex,
         sink,
         telem,
+        prof,
         n_nodes,
         total_cycles,
         inject_cycles,
@@ -1266,6 +1352,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     } = args;
     let tracing_on = sink.enabled();
     let telemetry_on = telem.enabled();
+    let profiling_on = prof.enabled();
     let mut coord = Shard::new(
         sim,
         0,
@@ -1273,6 +1360,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         class_owner,
         tracing_on,
         telemetry_on,
+        profiling_on,
         collective_cache,
     );
     coord.metrics.nodes = n_nodes;
@@ -1302,7 +1390,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
             });
         }
     }
-    let profiling = telemetry_on;
+    let profiling = telemetry_on || profiling_on;
 
     // Global end-of-cycle class snapshots for telemetry sampling,
     // assembled from every shard's Round D cells.
@@ -1315,11 +1403,16 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     let mut candidates: Vec<(u32, Packet)> = Vec::new();
     let mut global_in_flight = 0u64;
     let mut ended_at = total_cycles;
+    let run_started = profiling_on.then(Instant::now);
 
     for cycle in 0..total_cycles {
         let parity = (cycle & 1) as usize;
         let measuring = cycle >= warmup;
         let widx = (cycle / window) as usize;
+        let mut cycle_injected = 0u64;
+        if profiling_on {
+            coord.profile.cycles = cycle + 1;
+        }
 
         // Phase 0: shard-local replica step, then the network-global
         // accounting the workers leave to the coordinator.
@@ -1355,7 +1448,9 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
             telem.stale_cycle();
         }
         if let Some(t) = phase_started {
-            telem.phase_time(Phase::Reconvergence, t.elapsed().as_nanos() as u64);
+            let nanos = t.elapsed().as_nanos() as u64;
+            telem.phase_time(Phase::Reconvergence, nanos);
+            prof.phase_time(Phase::Reconvergence, nanos);
         }
 
         // Round A: the coordinator alone draws the traffic stream, in
@@ -1414,6 +1509,9 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                 };
                 let id = next_id;
                 next_id += 1;
+                if profiling_on {
+                    cycle_injected += 1;
+                }
                 class_fill[v as usize & coord.cmask].push(InjectReq { src: v, dst, id });
             }
             for (c, fill) in class_fill.iter_mut().enumerate() {
@@ -1422,25 +1520,37 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
                 mem::swap(&mut unit.reqs, fill);
             }
             ex.plan_cursor.store(0, Ordering::Relaxed);
-            ex.barrier.wait(); // Round A: units filled.
+            coord.barrier_wait(ex); // Round A: units filled.
             coord.plan_stolen_units(ex);
-            ex.barrier.wait(); // Round A: every unit planned.
+            coord.barrier_wait(ex); // Round A: every unit planned.
             coord.account_own_units(cycle, ex);
         }
         if let Some(t) = phase_started {
-            telem.phase_time(Phase::Planning, t.elapsed().as_nanos() as u64);
+            let nanos = t.elapsed().as_nanos() as u64;
+            telem.phase_time(Phase::Planning, nanos);
+            prof.phase_time(Phase::Planning, nanos);
         }
 
         // Forward scan + Round B.
         let phase_started = profiling.then(Instant::now);
         coord.scan(cycle);
         let contrib = coord.contrib();
+        coord.note_published(ex, parity);
         ex.publish_moves(parity, 0, &mut coord.out_moves);
         ex.contrib[parity][0].store(contrib, Ordering::Relaxed);
-        ex.barrier.wait(); // Round B: all mailboxes published.
+        coord.barrier_wait(ex); // Round B: all mailboxes published.
         let mut total_contrib = 0u64;
         for c in &ex.contrib[parity] {
             total_contrib += c.load(Ordering::Relaxed);
+        }
+        // Every shard published its forwarded-hop count alongside its
+        // mailboxes, so the post-Round-B sum equals the sequential
+        // engine's `moves.len()` for this cycle.
+        let mut cycle_moved = 0u64;
+        if profiling_on {
+            for h in &ex.hops[parity] {
+                cycle_moved += h.load(Ordering::Relaxed);
+            }
         }
         coord.queue_self_moves();
         ex.drain_moves(parity, 0, &mut coord.arrivals);
@@ -1587,7 +1697,7 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
             }
             drop(view_ops);
             ex.verdict_drops.store(verdict_drops, Ordering::Relaxed);
-            ex.barrier.wait(); // Round C: verdicts published.
+            coord.barrier_wait(ex); // Round C: verdicts published.
             let own = mem::take(&mut *ex.verdicts[0].lock().expect("verdicts poisoned"));
             coord.apply_verdicts(cycle, own);
         }
@@ -1605,7 +1715,9 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
             }
         }
         if let Some(t) = phase_started {
-            telem.phase_time(Phase::Forwarding, t.elapsed().as_nanos() as u64);
+            let nanos = t.elapsed().as_nanos() as u64;
+            telem.phase_time(Phase::Forwarding, nanos);
+            prof.phase_time(Phase::Forwarding, nanos);
         }
 
         // Round D: fold in every shard's telemetry delta and class
@@ -1613,37 +1725,63 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
         // sequential engine's per-event hook calls. Between the two
         // barriers the cells belong to the coordinator and all planning
         // is quiescent, so cache counters are race-free and cycle-exact.
-        if telemetry_on {
+        // The profiler rides the same round: its cycle sample wants the
+        // same global class snapshot, and the gate must match the
+        // workers' (`telemetry_on || profiling_on`) or they deadlock.
+        if telemetry_on || profiling_on {
             let sample_started = Instant::now();
-            telem.absorb_shard(&coord.delta);
+            if telemetry_on {
+                telem.absorb_shard(&coord.delta);
+            }
             coord.delta.reset();
             let (lo, hi) = coord.class_range;
             global_cq[lo..hi].copy_from_slice(&coord.class_queued[lo..hi]);
             global_co[lo..hi].copy_from_slice(&coord.class_occupied[lo..hi]);
-            ex.barrier.wait(); // Round D: all cells published.
+            coord.barrier_wait(ex); // Round D: all cells published.
             for (s, cell) in ex.telemetry.iter().enumerate().skip(1) {
                 let cell = cell.lock().expect("telemetry poisoned");
-                telem.absorb_shard(&cell.delta);
+                if telemetry_on {
+                    telem.absorb_shard(&cell.delta);
+                }
                 let (lo, hi) = ranges[s];
                 global_cq[lo..hi].copy_from_slice(&cell.class_queued[lo..hi]);
                 global_co[lo..hi].copy_from_slice(&cell.class_occupied[lo..hi]);
             }
-            let cache = if telem.wants_sample(cycle) {
+            // One cache fetch serves both consumers, at the same
+            // quiescent point the sequential engine reads it.
+            let want_telem_cache = telemetry_on && telem.wants_sample(cycle);
+            let want_prof_cache = profiling_on && prof.wants_cache(cycle);
+            let cache = if want_telem_cache || want_prof_cache {
                 sim.algorithm.cache_stats()
             } else {
                 None
             };
-            telem.end_cycle(CycleView {
-                cycle,
-                class_queued: &global_cq,
-                class_occupied: &global_co,
-                in_flight: global_in_flight,
-                health: monitor.state(),
-                live_faults: coord.truth.len() as u64,
-                cache,
-            });
-            ex.barrier.wait(); // Round D: coordinator folded and sampled.
-            telem.phase_time(Phase::Telemetry, sample_started.elapsed().as_nanos() as u64);
+            if telemetry_on {
+                telem.end_cycle(CycleView {
+                    cycle,
+                    class_queued: &global_cq,
+                    class_occupied: &global_co,
+                    in_flight: global_in_flight,
+                    health: monitor.state(),
+                    live_faults: coord.truth.len() as u64,
+                    cache: if want_telem_cache { cache } else { None },
+                });
+            }
+            if profiling_on {
+                prof.cycle_sample(&ProfSample {
+                    cycle,
+                    injected: cycle_injected,
+                    moved: cycle_moved,
+                    in_flight: global_in_flight,
+                    class_queued: &global_cq,
+                    class_occupied: &global_co,
+                    cache: if want_prof_cache { cache } else { None },
+                });
+            }
+            coord.barrier_wait(ex); // Round D: coordinator folded and sampled.
+            let nanos = sample_started.elapsed().as_nanos() as u64;
+            telem.phase_time(Phase::Telemetry, nanos);
+            prof.phase_time(Phase::Telemetry, nanos);
         }
 
         if cycle >= inject_cycles && global_in_flight == 0 {
@@ -1667,19 +1805,31 @@ fn run_coordinator<S: TraceSink, T: TelemetrySink>(
     // Reduce: the workers' whole-run metrics and windows fold into the
     // coordinator's — all additive counters, so the merged totals equal
     // the sequential engine's.
-    ex.barrier.wait(); // Final reduction: all shards published.
+    coord.barrier_wait(ex); // Final reduction: all shards published.
+    if let Some(t) = run_started {
+        coord.profile.run_nanos = t.elapsed().as_nanos() as u64;
+    }
+    if profiling_on {
+        prof.shard_profile(0, &coord.profile);
+    }
     let mut metrics = coord.metrics;
     let mut windows = coord.windows;
     let mut collectives = coord.op_tracker.into_ops();
-    for cell in ex.finals.iter().skip(1) {
-        let (m, w, ops) = cell
+    for (s, cell) in ex.finals.iter().enumerate().skip(1) {
+        let (m, w, ops, sp) = cell
             .lock()
             .expect("finals poisoned")
             .take()
             .expect("worker published its final payload");
+        if profiling_on {
+            prof.shard_profile(s, &sp);
+        }
         metrics.absorb(&m);
         merge_windows(&mut windows, &w);
         merge_ops(&mut collectives, &ops);
+    }
+    if profiling_on {
+        prof.finish_run(ended_at, shards);
     }
     metrics.cycles = ended_at - warmup;
     metrics.in_flight_at_end = global_in_flight;
@@ -1752,7 +1902,7 @@ mod tests {
         let cfg = SimConfig::new(6, 2).with_cycles(10, 10, 0).with_rate(0.0);
         let sim = Simulator::new(cfg, &FaultFreeGcr);
         let class_owner = vec![0usize, 0];
-        let mut shard = Shard::new(&sim, 0, 1, &class_owner, false, false, None);
+        let mut shard = Shard::new(&sim, 0, 1, &class_owner, false, false, false, None);
         let dest = 4u64; // even node, class 0
         let mk = |id: u64| {
             let mut p = Packet::new(id, 0, Route::new(vec![NodeId(6), NodeId(dest)]));

@@ -329,6 +329,18 @@ impl<W: Write> JsonlSink<W> {
         }
     }
 
+    /// Wrap a writer and stamp the artifact's provenance header
+    /// ([`crate::artifact::ArtifactMeta`]) as the first line. A write
+    /// failure is latched like any event write; the header does not
+    /// count toward [`JsonlSink::written`].
+    pub fn with_meta(out: W, meta: &crate::artifact::ArtifactMeta) -> JsonlSink<W> {
+        let mut sink = JsonlSink::new(out);
+        if let Err(e) = writeln!(sink.out, "{}", meta.to_jsonl_line()) {
+            sink.error = Some(e);
+        }
+        sink
+    }
+
     /// Events successfully written so far.
     pub fn written(&self) -> u64 {
         self.written
