@@ -9,7 +9,7 @@ use gcube_sim::{
 };
 use gcube_topology::{LinkId, NodeId};
 
-/// Routing strategy selector of `gcube simulate`.
+/// Routing strategy selector of `gcube run`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StrategyArg {
     /// FFGCR on fault-free runs, FTGCR as soon as any fault is possible.
@@ -22,7 +22,7 @@ pub enum StrategyArg {
     Multitree,
 }
 
-/// Dynamic-fault options of `gcube simulate` (all default to "off").
+/// Dynamic-fault options of `gcube run` (all default to "off").
 #[derive(Clone, Debug, PartialEq)]
 pub struct ChurnArgs {
     /// Fault events applied mid-run.
@@ -77,10 +77,11 @@ pub enum Command {
         /// Use FFGCR (fault-oblivious) instead of FTGCR.
         fault_free: bool,
     },
-    /// `gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K]
+    /// `gcube run <n> <M> [--rate R] [--cycles C] [--faults K]
     /// [--pattern P] [--seed S]` plus the churn flags (see [`USAGE`]) —
-    /// run the cycle simulator.
-    Simulate {
+    /// run the cycle simulator. `gcube simulate` is the deprecated
+    /// spelling of the same command.
+    Run {
         /// Dimension.
         n: u32,
         /// Modulus.
@@ -126,6 +127,25 @@ pub enum Command {
         collective: Option<CollectiveOp>,
         /// Cycles between collective operations.
         collective_interval: u64,
+        /// The command came in through the legacy `simulate` alias; the
+        /// driver prints a migration hint before running it.
+        deprecated: bool,
+    },
+    /// `gcube serve [--socket PATH | --connect PATH] [--max-sessions N]
+    /// [--workers N]` — the routing-as-a-service daemon (or, with
+    /// `--connect`, a line-pumping client for an already-running one).
+    Serve {
+        /// Bind a Unix socket here and accept concurrent connections;
+        /// `None` speaks the protocol on stdin/stdout instead.
+        socket: Option<String>,
+        /// Client mode: connect to a daemon's socket and pipe
+        /// stdin/stdout through it.
+        connect: Option<String>,
+        /// Admission-control cap on concurrently open sessions.
+        max_sessions: usize,
+        /// Execution permits for cycle-advancing requests (`0` =
+        /// available parallelism).
+        workers: usize,
     },
     /// `gcube analyze <trace|profile|diff> ...` — offline forensics over
     /// recorded run artifacts (see [`AnalyzeMode`]).
@@ -191,15 +211,16 @@ gcube — Gaussian Cube fault-tolerant routing (ICPP 2003 reproduction)
 USAGE:
   gcube topology <n> <M>
   gcube route <n> <M> <src> <dst> [--fault-node V]... [--fault-link V:DIM]... [--fault-free]
-  gcube simulate <n> <M> [--rate R] [--cycles C] [--faults K] [--pattern P] [--seed S]
-                 [--threads N] [--strategy S] [--trees K]
-                 [--collective OP] [--collective-interval I]
-                 [--churn R | --fault-at SPEC]... [--fault-kind KIND] [--mix A:B:C]
-                 [--node-fraction F] [--knowledge MODEL] [--ttl T]
-                 [--reroute-budget B] [--window W]
-                 [--trace PATH] [--percentiles] [--verify-replay]
-                 [--telemetry PATH] [--telemetry-interval I] [--health-report]
-                 [--profile PATH]
+  gcube run <n> <M> [--rate R] [--cycles C] [--faults K] [--pattern P] [--seed S]
+            [--threads N] [--strategy S] [--trees K]
+            [--collective OP] [--collective-interval I]
+            [--churn R | --fault-at SPEC]... [--fault-kind KIND] [--mix A:B:C]
+            [--node-fraction F] [--knowledge MODEL] [--ttl T]
+            [--reroute-budget B] [--window W]
+            [--trace PATH] [--percentiles] [--verify-replay]
+            [--telemetry PATH] [--telemetry-interval I] [--health-report]
+            [--profile PATH]
+  gcube serve [--socket PATH | --connect PATH] [--max-sessions N] [--workers N]
   gcube analyze trace <PATH> [--packet ID] [--top K]
   gcube analyze profile <PATH>
   gcube analyze diff <A> <B>
@@ -207,6 +228,8 @@ USAGE:
   gcube tolerance [max_n]
   gcube robustness <n> <M> <k>
   gcube help
+
+`gcube simulate` is the deprecated spelling of `gcube run` (same flags).
 
 PATTERNS: uniform (default), complement, reversal, transpose
 STRATEGY:
@@ -279,6 +302,20 @@ FORENSICS (offline analysis of recorded artifacts):
                        wall-clock lines, validate provenance headers,
                        and require the deterministic remainder to match
                        line for line (exit 1 on divergence)
+SERVE (routing as a service — newline-delimited JSON, one request per line):
+  --socket PATH        bind a Unix socket and serve concurrent
+                       connections (default: speak the protocol on
+                       stdin/stdout — handy for piped smoke tests)
+  --connect PATH       client mode: pipe stdin/stdout through a
+                       daemon already listening on PATH
+  --max-sessions N     admission-control cap on open sessions
+                       (default 64; `open` past it answers
+                       admission_refused)
+  --workers N          execution permits for step/run requests
+                       (default 0 = available parallelism); idle
+                       sessions hold no permit
+  Requests: open, step, run, snapshot, restore, telemetry, close,
+  shutdown — see DESIGN.md §16 for the full protocol grammar.
 Node labels are decimal or binary with a 0b prefix.";
 
 fn parse_label(s: &str) -> Result<u64, SimError> {
@@ -409,7 +446,10 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                 fault_free,
             })
         }
-        "simulate" => {
+        "run" | "simulate" => {
+            // `simulate` is the legacy flat spelling; it parses
+            // identically and the driver prints a migration hint.
+            let deprecated = cmd == "simulate";
             let n = parse_num(next(&mut it, "n")?, "dimension n")?;
             let modulus = parse_num(next(&mut it, "M")?, "modulus M")?;
             let mut rate = 0.005f64;
@@ -569,7 +609,7 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                     .collect::<Result<Vec<_>, _>>()?;
                 churn.schedule = FaultSchedule::Scripted(events);
             }
-            Ok(Command::Simulate {
+            Ok(Command::Run {
                 n,
                 modulus,
                 rate,
@@ -590,6 +630,38 @@ pub fn parse(args: &[String]) -> Result<Command, SimError> {
                 trees,
                 collective,
                 collective_interval,
+                deprecated,
+            })
+        }
+        "serve" => {
+            let mut socket: Option<String> = None;
+            let mut connect: Option<String> = None;
+            let mut max_sessions = 64usize;
+            let mut workers = 0usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--socket" => socket = Some(next(&mut it, "socket path")?.clone()),
+                    "--connect" => connect = Some(next(&mut it, "daemon socket path")?.clone()),
+                    "--max-sessions" => {
+                        max_sessions = parse_num(next(&mut it, "session limit")?, "session limit")?;
+                        if max_sessions == 0 {
+                            return Err(SimError::Cli("--max-sessions must be at least 1".into()));
+                        }
+                    }
+                    "--workers" => workers = parse_num(next(&mut it, "workers")?, "workers")?,
+                    other => return Err(SimError::Cli(format!("unknown flag: {other}"))),
+                }
+            }
+            if socket.is_some() && connect.is_some() {
+                return Err(SimError::Cli(
+                    "--socket and --connect are mutually exclusive".into(),
+                ));
+            }
+            Ok(Command::Serve {
+                socket,
+                connect,
+                max_sessions,
+                workers,
             })
         }
         "analyze" => {
@@ -718,10 +790,10 @@ mod tests {
     }
 
     #[test]
-    fn parses_simulate_defaults_and_flags() {
-        let c = parse(&argv("simulate 10 2")).unwrap();
+    fn parses_run_defaults_and_flags() {
+        let c = parse(&argv("run 10 2")).unwrap();
         match c {
-            Command::Simulate {
+            Command::Run {
                 n,
                 modulus,
                 rate,
@@ -738,12 +810,9 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
-        let c = parse(&argv(
-            "simulate 8 2 --rate 0.02 --faults 1 --pattern complement",
-        ))
-        .unwrap();
+        let c = parse(&argv("run 8 2 --rate 0.02 --faults 1 --pattern complement")).unwrap();
         match c {
-            Command::Simulate {
+            Command::Run {
                 rate,
                 faults,
                 pattern,
@@ -758,13 +827,13 @@ mod tests {
     }
 
     #[test]
-    fn parses_simulate_bernoulli_churn() {
+    fn parses_run_bernoulli_churn() {
         let c = parse(&argv(
-            "simulate 8 2 --churn 0.02 --fault-kind transient:40 --mix 2:1:0.5 \
+            "run 8 2 --churn 0.02 --fault-kind transient:40 --mix 2:1:0.5 \
              --node-fraction 0.3 --knowledge paper --ttl 64 --reroute-budget 4 --window 50",
         ))
         .unwrap();
-        let Command::Simulate { churn, .. } = c else {
+        let Command::Run { churn, .. } = c else {
             panic!("wrong command: {c:?}")
         };
         assert_eq!(
@@ -787,14 +856,14 @@ mod tests {
     }
 
     #[test]
-    fn parses_simulate_scripted_churn() {
+    fn parses_run_scripted_churn() {
         // --fault-kind after --fault-at must still apply (order-free flags).
         let c = parse(&argv(
-            "simulate 8 2 --fault-at 300:node:9 --fault-at 400:link:0b10:3 \
+            "run 8 2 --fault-at 300:node:9 --fault-at 400:link:0b10:3 \
              --fault-kind intermittent:5:20 --knowledge measured",
         ))
         .unwrap();
-        let Command::Simulate { churn, .. } = c else {
+        let Command::Run { churn, .. } = c else {
             panic!("wrong command: {c:?}")
         };
         let kind = FaultKind::Intermittent {
@@ -822,13 +891,13 @@ mod tests {
     #[test]
     fn rejects_bad_churn_flags() {
         for bad in [
-            "simulate 8 2 --churn 0.1 --fault-at 10:node:1", // mutually exclusive
-            "simulate 8 2 --churn 1.5",                      // rate out of range
-            "simulate 8 2 --fault-at 10:disk:1",             // unknown target
-            "simulate 8 2 --fault-kind transient",           // missing parameter
-            "simulate 8 2 --fault-kind intermittent:9:9",    // period <= down
-            "simulate 8 2 --mix 1:2",                        // not three weights
-            "simulate 8 2 --knowledge psychic",              // unknown model
+            "run 8 2 --churn 0.1 --fault-at 10:node:1", // mutually exclusive
+            "run 8 2 --churn 1.5",                      // rate out of range
+            "run 8 2 --fault-at 10:disk:1",             // unknown target
+            "run 8 2 --fault-kind transient",           // missing parameter
+            "run 8 2 --fault-kind intermittent:9:9",    // period <= down
+            "run 8 2 --mix 1:2",                        // not three weights
+            "run 8 2 --knowledge psychic",              // unknown model
         ] {
             assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
         }
@@ -839,10 +908,10 @@ mod tests {
         // Used to be silently clamped by the engine; now a typed error
         // callers can match on instead of substring-checking.
         for bad in [
-            "simulate 8 2 --rate 1.2",
-            "simulate 8 2 --rate -0.5",
-            "simulate 8 2 --rate NaN",
-            "simulate 8 2 --rate inf",
+            "run 8 2 --rate 1.2",
+            "run 8 2 --rate -0.5",
+            "run 8 2 --rate NaN",
+            "run 8 2 --rate inf",
         ] {
             assert!(
                 matches!(parse(&argv(bad)), Err(SimError::InvalidRate(_))),
@@ -850,44 +919,42 @@ mod tests {
             );
         }
         assert!(matches!(
-            parse(&argv("simulate 8 2 --churn 1.5")),
+            parse(&argv("run 8 2 --churn 1.5")),
             Err(SimError::InvalidChurnRate(_))
         ));
-        assert!(parse(&argv("simulate 8 2 --rate 1.0")).is_ok());
-        assert!(parse(&argv("simulate 8 2 --rate 0")).is_ok());
+        assert!(parse(&argv("run 8 2 --rate 1.0")).is_ok());
+        assert!(parse(&argv("run 8 2 --rate 0")).is_ok());
     }
 
     #[test]
     fn parses_threads() {
-        let Command::Simulate { threads, .. } = parse(&argv("simulate 8 2")).unwrap() else {
+        let Command::Run { threads, .. } = parse(&argv("run 8 2")).unwrap() else {
             panic!()
         };
         assert_eq!(threads, 1, "default is the sequential engine");
-        let Command::Simulate { threads, .. } = parse(&argv("simulate 8 2 --threads 4")).unwrap()
-        else {
+        let Command::Run { threads, .. } = parse(&argv("run 8 2 --threads 4")).unwrap() else {
             panic!()
         };
         assert_eq!(threads, 4);
-        let Command::Simulate { threads, .. } = parse(&argv("simulate 8 2 --threads 0")).unwrap()
-        else {
+        let Command::Run { threads, .. } = parse(&argv("run 8 2 --threads 0")).unwrap() else {
             panic!()
         };
         assert_eq!(threads, 0, "0 = available parallelism, resolved later");
         assert!(matches!(
-            parse(&argv("simulate 8 2 --threads lots")),
+            parse(&argv("run 8 2 --threads lots")),
             Err(SimError::Cli(_))
         ));
         assert!(matches!(
-            parse(&argv("simulate 8 2 --threads -1")),
+            parse(&argv("run 8 2 --threads -1")),
             Err(SimError::Cli(_))
         ));
     }
 
     #[test]
     fn parses_strategy_flags() {
-        let Command::Simulate {
+        let Command::Run {
             strategy, trees, ..
-        } = parse(&argv("simulate 8 2")).unwrap()
+        } = parse(&argv("run 8 2")).unwrap()
         else {
             panic!()
         };
@@ -899,25 +966,25 @@ mod tests {
             ("ftgcr", StrategyArg::Ftgcr),
             ("multitree", StrategyArg::Multitree),
         ] {
-            let Command::Simulate { strategy, .. } =
-                parse(&argv(&format!("simulate 8 2 --strategy {arg}"))).unwrap()
+            let Command::Run { strategy, .. } =
+                parse(&argv(&format!("run 8 2 --strategy {arg}"))).unwrap()
             else {
                 panic!()
             };
             assert_eq!(strategy, want, "--strategy {arg}");
         }
-        let Command::Simulate { trees, .. } =
-            parse(&argv("simulate 8 2 --strategy multitree --trees 1")).unwrap()
+        let Command::Run { trees, .. } =
+            parse(&argv("run 8 2 --strategy multitree --trees 1")).unwrap()
         else {
             panic!()
         };
         assert_eq!(trees, 1);
         for bad in [
-            "simulate 8 2 --strategy psychic",
-            "simulate 8 2 --trees 2", // needs multitree
-            "simulate 8 2 --strategy ftgcr --trees 2",
-            "simulate 8 2 --strategy multitree --trees 0",
-            "simulate 8 2 --strategy multitree --trees 3", // beyond MAX_TREES
+            "run 8 2 --strategy psychic",
+            "run 8 2 --trees 2", // needs multitree
+            "run 8 2 --strategy ftgcr --trees 2",
+            "run 8 2 --strategy multitree --trees 0",
+            "run 8 2 --strategy multitree --trees 3", // beyond MAX_TREES
         ] {
             assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
         }
@@ -925,11 +992,11 @@ mod tests {
 
     #[test]
     fn parses_collective_flags() {
-        let Command::Simulate {
+        let Command::Run {
             collective,
             collective_interval,
             ..
-        } = parse(&argv("simulate 8 2")).unwrap()
+        } = parse(&argv("run 8 2")).unwrap()
         else {
             panic!()
         };
@@ -940,18 +1007,18 @@ mod tests {
             ("multicast", CollectiveOp::Multicast),
             ("gather", CollectiveOp::Gather),
         ] {
-            let Command::Simulate { collective, .. } =
-                parse(&argv(&format!("simulate 8 2 --collective {arg}"))).unwrap()
+            let Command::Run { collective, .. } =
+                parse(&argv(&format!("run 8 2 --collective {arg}"))).unwrap()
             else {
                 panic!()
             };
             assert_eq!(collective, Some(want), "--collective {arg}");
         }
-        let Command::Simulate {
+        let Command::Run {
             collective_interval,
             ..
         } = parse(&argv(
-            "simulate 8 2 --collective gather --collective-interval 25",
+            "run 8 2 --collective gather --collective-interval 25",
         ))
         .unwrap()
         else {
@@ -959,9 +1026,9 @@ mod tests {
         };
         assert_eq!(collective_interval, 25);
         for bad in [
-            "simulate 8 2 --collective scatter",
-            "simulate 8 2 --collective-interval 25", // needs --collective
-            "simulate 8 2 --collective broadcast --collective-interval 0",
+            "run 8 2 --collective scatter",
+            "run 8 2 --collective-interval 25", // needs --collective
+            "run 8 2 --collective broadcast --collective-interval 0",
         ] {
             assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
         }
@@ -970,10 +1037,10 @@ mod tests {
     #[test]
     fn parses_observability_flags() {
         let c = parse(&argv(
-            "simulate 8 2 --trace run.jsonl --percentiles --verify-replay",
+            "run 8 2 --trace run.jsonl --percentiles --verify-replay",
         ))
         .unwrap();
-        let Command::Simulate {
+        let Command::Run {
             trace,
             percentiles,
             verify_replay,
@@ -986,12 +1053,12 @@ mod tests {
         assert!(percentiles);
         assert!(verify_replay);
         // All default to off.
-        let Command::Simulate {
+        let Command::Run {
             trace,
             percentiles,
             verify_replay,
             ..
-        } = parse(&argv("simulate 8 2")).unwrap()
+        } = parse(&argv("run 8 2")).unwrap()
         else {
             panic!()
         };
@@ -1002,10 +1069,10 @@ mod tests {
     #[test]
     fn parses_telemetry_flags() {
         let c = parse(&argv(
-            "simulate 8 2 --telemetry net.csv --telemetry-interval 25 --health-report",
+            "run 8 2 --telemetry net.csv --telemetry-interval 25 --health-report",
         ))
         .unwrap();
-        let Command::Simulate {
+        let Command::Run {
             telemetry,
             telemetry_interval,
             health_report,
@@ -1018,12 +1085,12 @@ mod tests {
         assert_eq!(telemetry_interval, 25);
         assert!(health_report);
         // All default to off.
-        let Command::Simulate {
+        let Command::Run {
             telemetry,
             telemetry_interval,
             health_report,
             ..
-        } = parse(&argv("simulate 8 2")).unwrap()
+        } = parse(&argv("run 8 2")).unwrap()
         else {
             panic!()
         };
@@ -1034,21 +1101,21 @@ mod tests {
 
     #[test]
     fn rejects_zero_telemetry_interval() {
-        let e = parse(&argv("simulate 8 2 --telemetry-interval 0")).unwrap_err();
+        let e = parse(&argv("run 8 2 --telemetry-interval 0")).unwrap_err();
         assert!(e.to_string().contains("telemetry interval"), "{e}");
     }
 
     #[test]
     fn parses_profile_flag() {
-        let Command::Simulate {
+        let Command::Run {
             profile, telemetry, ..
-        } = parse(&argv("simulate 8 2 --profile run.profile.jsonl")).unwrap()
+        } = parse(&argv("run 8 2 --profile run.profile.jsonl")).unwrap()
         else {
             panic!()
         };
         assert_eq!(profile.as_deref(), Some("run.profile.jsonl"));
         assert_eq!(telemetry, None, "--profile must not require --telemetry");
-        let Command::Simulate { profile, .. } = parse(&argv("simulate 8 2")).unwrap() else {
+        let Command::Run { profile, .. } = parse(&argv("run 8 2")).unwrap() else {
             panic!()
         };
         assert_eq!(profile, None);
@@ -1099,6 +1166,66 @@ mod tests {
         assert!(e.to_string().contains("--top"), "{e}");
         let e = parse(&argv("analyze diff a.jsonl")).unwrap_err();
         assert!(e.to_string().contains("candidate artifact"), "{e}");
+    }
+
+    #[test]
+    fn simulate_is_a_deprecated_run_alias() {
+        let run = parse(&argv("run 8 2 --rate 0.02 --faults 1")).unwrap();
+        assert!(matches!(
+            run,
+            Command::Run {
+                deprecated: false,
+                ..
+            }
+        ));
+        let mut legacy = parse(&argv("simulate 8 2 --rate 0.02 --faults 1")).unwrap();
+        let Command::Run { deprecated, .. } = &mut legacy else {
+            panic!("wrong command: {legacy:?}")
+        };
+        assert!(*deprecated, "the alias must be flagged for the hint");
+        // Aside from the flag, the two spellings parse identically.
+        *deprecated = false;
+        assert_eq!(legacy, run);
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&argv("serve")),
+            Ok(Command::Serve {
+                socket: None,
+                connect: None,
+                max_sessions: 64,
+                workers: 0,
+            })
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --socket /tmp/g.sock --max-sessions 8 --workers 2"
+            )),
+            Ok(Command::Serve {
+                socket: Some("/tmp/g.sock".into()),
+                connect: None,
+                max_sessions: 8,
+                workers: 2,
+            })
+        );
+        assert_eq!(
+            parse(&argv("serve --connect /tmp/g.sock")),
+            Ok(Command::Serve {
+                socket: None,
+                connect: Some("/tmp/g.sock".into()),
+                max_sessions: 64,
+                workers: 0,
+            })
+        );
+        for bad in [
+            "serve --socket /a --connect /b", // pick one side of the socket
+            "serve --max-sessions 0",
+            "serve --port 80",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "must reject: {bad}");
+        }
     }
 
     #[test]

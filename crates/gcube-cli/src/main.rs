@@ -3,10 +3,13 @@
 //! ```sh
 //! gcube topology 10 4
 //! gcube route 10 4 0 0b1011010110 --fault-node 6
-//! gcube simulate 10 2 --rate 0.01 --faults 1
+//! gcube run 10 2 --rate 0.01 --faults 1
+//! gcube serve --socket /tmp/gcube.sock
 //! gcube diameter 14
 //! gcube robustness 8 2 4
 //! ```
+//!
+//! `gcube simulate` remains as a deprecated alias of `gcube run`.
 
 mod args;
 
@@ -61,7 +64,7 @@ fn run(cmd: Command) -> Result<(), String> {
             fault_links,
             fault_free,
         } => route(n, modulus, s, d, fault_nodes, fault_links, fault_free),
-        Command::Simulate {
+        Command::Run {
             n,
             modulus,
             rate,
@@ -82,30 +85,42 @@ fn run(cmd: Command) -> Result<(), String> {
             trees,
             collective,
             collective_interval,
-        } => simulate(
-            n,
-            modulus,
-            rate,
-            cycles,
-            faults,
-            pattern,
-            seed,
-            churn,
-            threads,
-            strategy,
-            trees,
-            collective,
-            collective_interval,
-            SimulateOutput {
-                trace,
-                percentiles,
-                verify_replay,
-                telemetry,
-                telemetry_interval,
-                health_report,
-                profile,
-            },
-        ),
+            deprecated,
+        } => {
+            if deprecated {
+                eprintln!("note: `gcube simulate` is deprecated; use `gcube run` (same flags)");
+            }
+            simulate(
+                n,
+                modulus,
+                rate,
+                cycles,
+                faults,
+                pattern,
+                seed,
+                churn,
+                threads,
+                strategy,
+                trees,
+                collective,
+                collective_interval,
+                SimulateOutput {
+                    trace,
+                    percentiles,
+                    verify_replay,
+                    telemetry,
+                    telemetry_interval,
+                    health_report,
+                    profile,
+                },
+            )
+        }
+        Command::Serve {
+            socket,
+            connect,
+            max_sessions,
+            workers,
+        } => serve(socket, connect, max_sessions, workers),
         Command::Analyze { mode } => analyze(mode),
         Command::Diameter { max_m } => {
             let mut t = Table::new(["m", "nodes", "diameter"]);
@@ -350,7 +365,19 @@ fn simulate(
     }
     .map_err(|e| e.to_string())?;
     // Provenance header stamped onto every JSONL artifact this run
-    // writes, so `gcube analyze` can validate what it is fed.
+    // writes, so `gcube analyze` can validate what it is fed. The
+    // strategy field carries the stable wire spelling (ffgcr / ftgcr /
+    // multitree) shared with `gcube serve`, so daemon-written and
+    // single-run artifacts diff clean against each other.
+    let wire_strategy = gcube_sim::resolve_strategy_name(
+        match strategy {
+            StrategyArg::Auto => "auto",
+            StrategyArg::Ffgcr => "ffgcr",
+            StrategyArg::Ftgcr => "ftgcr",
+            StrategyArg::Multitree => "multitree",
+        },
+        &cfg,
+    );
     let meta_for = |kind: ArtifactKind| ArtifactMeta {
         kind,
         format: ARTIFACT_FORMAT,
@@ -358,7 +385,7 @@ fn simulate(
         modulus,
         seed,
         threads: resolve_threads(threads) as u64,
-        strategy: algo.name().to_string(),
+        strategy: wire_strategy.clone(),
     };
     if out.verify_replay {
         // Re-execute against a fresh instance (cold caches, cold atlas)
@@ -607,6 +634,63 @@ fn simulate(
             }
         }
     }
+    Ok(())
+}
+
+/// `gcube serve` — the routing-as-a-service daemon, or (with
+/// `--connect`) a thin client piping stdin/stdout through the socket of
+/// one that is already running.
+fn serve(
+    socket: Option<String>,
+    connect: Option<String>,
+    max_sessions: usize,
+    workers: usize,
+) -> Result<(), String> {
+    if let Some(path) = connect {
+        return serve_client(&path);
+    }
+    let cfg = gcube_sim::ServerConfig {
+        max_sessions,
+        workers,
+    };
+    gcube_sim::serve(cfg, socket.as_deref().map(std::path::Path::new))
+        .map_err(|e| format!("serve failed: {e}"))
+}
+
+/// Client mode: forward stdin lines to the daemon socket and stream the
+/// replies back to stdout. Replies arrive on their own thread so a
+/// long-running request never deadlocks the pipe.
+fn serve_client(path: &str) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    let stream = UnixStream::connect(path)
+        .map_err(|e| format!("cannot connect to daemon at {path}: {e}"))?;
+    let reader = stream
+        .try_clone()
+        .map_err(|e| format!("socket clone failed: {e}"))?;
+    let pump = std::thread::spawn(move || {
+        let mut out = std::io::stdout().lock();
+        for line in BufReader::new(reader).lines() {
+            let Ok(line) = line else { break };
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                break;
+            }
+        }
+    });
+    let mut writer = stream;
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(writer, "{line}")
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("socket write failed: {e}"))?;
+    }
+    // EOF on stdin: half-close so the daemon side sees the end of the
+    // conversation, then drain the remaining replies.
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let _ = pump.join();
     Ok(())
 }
 

@@ -50,6 +50,24 @@ impl FaultSet {
         FaultSet::default()
     }
 
+    /// Rebuild a set from explicit contents plus a recorded change stamp —
+    /// the inverse of iterating [`FaultSet::faulty_nodes`] /
+    /// [`FaultSet::faulty_links`] and reading
+    /// [`FaultSet::generation`]. Checkpoint restore needs the stamp
+    /// preserved exactly: consumers cache it to skip redundant syncs, so a
+    /// reset stamp would desynchronise their skip logic.
+    pub fn from_parts(
+        nodes: impl IntoIterator<Item = NodeId>,
+        links: impl IntoIterator<Item = LinkId>,
+        generation: u64,
+    ) -> FaultSet {
+        FaultSet {
+            nodes: nodes.into_iter().collect(),
+            links: links.into_iter().collect(),
+            generation,
+        }
+    }
+
     /// Mark a node faulty.
     pub fn add_node(&mut self, n: NodeId) {
         if self.nodes.insert(n) {

@@ -97,6 +97,23 @@ pub struct TreeCacheStats {
     pub rebuilds: u64,
 }
 
+/// An exported broadcast-tree cache entry: everything needed to re-seed
+/// a fresh cache so that subsequent regrafts diff against the same
+/// previous tree the original cache held.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeSnapshot {
+    /// Root ending class (the cache key).
+    pub class: u64,
+    /// Concrete root the cached tree runs from.
+    pub root: NodeId,
+    /// Fault generation the tree was screened/patched against.
+    pub generation: u64,
+    /// The recorded transition outcome to `generation`.
+    pub repair: RepairOutcome,
+    /// The cached tree itself.
+    pub tree: BroadcastTree,
+}
+
 /// One cached fault-screened broadcast tree, keyed by root ending class.
 #[derive(Debug)]
 struct TreeEntry {
@@ -390,6 +407,44 @@ impl PlanCache {
                 (shared, repair)
             }
         }
+    }
+
+    /// Snapshot the broadcast-tree cache contents (sorted by class) —
+    /// the *stateful* part of the cache. Unlike the walk map, which is a
+    /// pure function of topology, a cached broadcast tree carries repair
+    /// history: regrafting patches the previous tree, so the current
+    /// shape depends on the sequence of fault generations it lived
+    /// through. A checkpointed engine must carry these entries to resume
+    /// bitwise; see [`PlanCache::restore_tree`].
+    pub fn tree_snapshots(&self) -> Vec<TreeSnapshot> {
+        let map = self.trees.lock();
+        let mut out: Vec<TreeSnapshot> = map
+            .iter()
+            .map(|(&class, e)| TreeSnapshot {
+                class,
+                root: e.root,
+                generation: e.generation,
+                repair: e.repair,
+                tree: (*e.tree).clone(),
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.class);
+        out
+    }
+
+    /// Seed the broadcast-tree cache with a snapshotted entry (inverse of
+    /// [`PlanCache::tree_snapshots`]; counters are not restored — they
+    /// are reporting, not behavior).
+    pub fn restore_tree(&self, snap: TreeSnapshot) {
+        self.trees.lock().insert(
+            snap.class,
+            TreeEntry {
+                root: snap.root,
+                generation: snap.generation,
+                tree: Arc::new(snap.tree),
+                repair: snap.repair,
+            },
+        );
     }
 
     /// Snapshot the broadcast-tree cache counters.

@@ -28,6 +28,8 @@ pub enum ArtifactKind {
     Telemetry,
     /// Profiler samples ([`crate::profiler`]).
     Profile,
+    /// Mid-run engine checkpoint ([`crate::checkpoint`]).
+    Checkpoint,
 }
 
 impl ArtifactKind {
@@ -37,6 +39,7 @@ impl ArtifactKind {
             ArtifactKind::Trace => "trace",
             ArtifactKind::Telemetry => "telemetry",
             ArtifactKind::Profile => "profile",
+            ArtifactKind::Checkpoint => "checkpoint",
         }
     }
 
@@ -47,6 +50,7 @@ impl ArtifactKind {
             "trace" => Some(ArtifactKind::Trace),
             "telemetry" => Some(ArtifactKind::Telemetry),
             "profile" => Some(ArtifactKind::Profile),
+            "checkpoint" => Some(ArtifactKind::Checkpoint),
             _ => None,
         }
     }

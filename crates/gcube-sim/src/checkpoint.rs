@@ -1,0 +1,1212 @@
+//! Deterministic mid-run engine checkpoints: serialize a paused
+//! [`EngineCore`] so a later process can resume it **bitwise** — same
+//! remaining trace events, same final metrics, same artifacts.
+//!
+//! A checkpoint file is line-oriented: an [`ArtifactMeta`] header
+//! (`kind = checkpoint`, carrying the cube shape, seed, and strategy wire
+//! name), then one JSON object per state section, then an `end` marker so
+//! truncated files are detected. Everything that steers the run is
+//! captured explicitly: both RNG streams (traffic and fault injector) as
+//! raw xoshiro words, the ground-truth and routing-view fault sets
+//! (sorted — their in-memory form hashes nondeterministically), the
+//! scheduled-but-unapplied fault operations, the full metrics block, the
+//! live packet arena *including its freelist order* (slot allocation
+//! order feeds packet service order), and each node's FIFO queue.
+//!
+//! What is *not* captured is anything derivable: the cube, the link
+//! table, unicast plan caches, and per-cycle scratch are rebuilt from
+//! the config — the cached and uncached strategy variants plan identical
+//! routes, so a fresh walk cache is bitwise-safe. The collective
+//! broadcast-tree cache is the exception: a regraft patches the
+//! *previous* tree, so the cached shape (and the repair outcome the next
+//! fault event reports) is history, not derivation — its entries are
+//! captured and re-seeded on restore.
+//!
+//! The `trace_mark` field records how many trace events the run had
+//! emitted at capture. Restoring into the session that wrote those events
+//! truncates its sink back to the mark (rewind); restoring elsewhere
+//! yields exactly the suffix `uninterrupted[mark..]`.
+
+use std::collections::BTreeMap;
+
+use gcube_routing::{BroadcastTree, FaultSet, HealthState, RepairOutcome, Route, TreeSnapshot};
+use gcube_topology::{LinkId, NodeId, Topology};
+
+use crate::artifact::{ArtifactKind, ArtifactMeta, ARTIFACT_FORMAT};
+use crate::config::SimConfig;
+use crate::engine::{EngineCore, Simulator};
+use crate::injection::{FaultAction, FaultEvent, FaultKind, FaultTarget, PendingOp};
+use crate::metrics::{Histogram, Metrics, OpStat, WindowStat, HIST_BUCKETS, MAX_TREES};
+use crate::proto::{self, parse_json, JsonValue};
+use crate::soa::{LinkTable, NodeQueues, PacketStore, NIL};
+use crate::telemetry::{FaultBudgetMonitor, NullTelemetry};
+use crate::trace::NullSink;
+
+/// Every scalar `u64` counter of [`Metrics`], in serialization order.
+/// Adding a field to `Metrics` without adding it here is caught by the
+/// exhaustive-struct round-trip test below.
+macro_rules! with_metric_fields {
+    ($cb:ident, $($extra:tt)*) => {
+        $cb!(
+            $($extra)*;
+            injected, delivered, total_latency, total_hops, route_failures,
+            blocked_injections, suppressed_injections, in_flight_at_end,
+            cycles, nodes, dropped, ttl_expired, dropped_stranded,
+            dropped_unrecoverable, rerouted_packets, rerouted_hops,
+            fault_events, forwarded_hops_total, health_transitions,
+            stale_cycles, reconvergences, injected_total, delivered_total,
+            dropped_total, route_failures_total, suppressed_injections_total,
+            tree_switches, tree_exhausted, collective_ops, collective_skipped,
+            collective_injected, collective_delivered, collective_dropped,
+            tree_regrafts, tree_rebuilds, tree_lost_nodes
+        )
+    };
+}
+
+// --- small JSON helpers -------------------------------------------------
+
+fn u64_arr(xs: impl IntoIterator<Item = u64>) -> String {
+    let items: Vec<String> = xs.into_iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn field<'v>(v: &'v JsonValue, key: &str) -> Result<&'v JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn f_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be an integer"))
+}
+
+fn f_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field {key:?} must be a boolean"))
+}
+
+fn f_str<'v>(v: &'v JsonValue, key: &str) -> Result<&'v str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn f_arr<'v>(v: &'v JsonValue, key: &str) -> Result<&'v [JsonValue], String> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} must be an array"))
+}
+
+fn elem_u64(v: &JsonValue) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| "expected an integer".to_string())
+}
+
+fn u64s(items: &[JsonValue]) -> Result<Vec<u64>, String> {
+    items.iter().map(elem_u64).collect()
+}
+
+fn rng_words(v: &JsonValue, key: &str) -> Result<[u64; 4], String> {
+    let words = u64s(f_arr(v, key)?)?;
+    words
+        .try_into()
+        .map_err(|_| format!("field {key:?} must hold exactly 4 RNG words"))
+}
+
+fn action_to_str(a: FaultAction) -> &'static str {
+    match a {
+        FaultAction::Fail => "fail",
+        FaultAction::Repair => "repair",
+    }
+}
+
+fn action_from_str(s: &str) -> Result<FaultAction, String> {
+    match s {
+        "fail" => Ok(FaultAction::Fail),
+        "repair" => Ok(FaultAction::Repair),
+        other => Err(format!("bad fault action {other:?}")),
+    }
+}
+
+fn hist_to_json(h: &Histogram) -> String {
+    format!(
+        "{{\"buckets\":{},\"count\":{},\"max\":{}}}",
+        u64_arr(h.buckets().iter().copied()),
+        h.count(),
+        h.max(),
+    )
+}
+
+fn hist_from_json(v: &JsonValue) -> Result<Histogram, String> {
+    let buckets: [u64; HIST_BUCKETS] = u64s(f_arr(v, "buckets")?)?
+        .try_into()
+        .map_err(|_| format!("histogram must hold exactly {HIST_BUCKETS} buckets"))?;
+    Ok(Histogram::from_parts(
+        buckets,
+        f_u64(v, "count")?,
+        f_u64(v, "max")?,
+    ))
+}
+
+// --- fault-set / packet representations ---------------------------------
+
+/// A fault set flattened to sorted, order-stable parts.
+#[derive(Clone, Debug, PartialEq)]
+struct FaultsRepr {
+    nodes: Vec<u64>,
+    links: Vec<(u64, u32)>,
+    generation: u64,
+}
+
+impl FaultsRepr {
+    fn capture(f: &FaultSet) -> FaultsRepr {
+        let mut nodes: Vec<u64> = f.faulty_nodes().map(|v| v.0).collect();
+        nodes.sort_unstable();
+        let mut links: Vec<(u64, u32)> = f.faulty_links().map(|l| (l.lo.0, l.dim)).collect();
+        links.sort_unstable();
+        FaultsRepr {
+            nodes,
+            links,
+            generation: f.generation(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let links: Vec<String> = self
+            .links
+            .iter()
+            .map(|(lo, dim)| format!("[{lo},{dim}]"))
+            .collect();
+        format!(
+            "{{\"nodes\":{},\"links\":[{}],\"generation\":{}}}",
+            u64_arr(self.nodes.iter().copied()),
+            links.join(","),
+            self.generation,
+        )
+    }
+
+    fn from_json(v: &JsonValue) -> Result<FaultsRepr, String> {
+        let mut links = Vec::new();
+        for l in f_arr(v, "links")? {
+            let pair = l.as_arr().ok_or("fault link must be [lo, dim]")?;
+            let [lo, dim] = pair else {
+                return Err("fault link must be [lo, dim]".into());
+            };
+            links.push((
+                elem_u64(lo)?,
+                u32::try_from(elem_u64(dim)?).map_err(|_| "link dim out of range")?,
+            ));
+        }
+        Ok(FaultsRepr {
+            nodes: u64s(f_arr(v, "nodes")?)?,
+            links,
+            generation: f_u64(v, "generation")?,
+        })
+    }
+
+    fn rebuild(&self) -> FaultSet {
+        FaultSet::from_parts(
+            self.nodes.iter().map(|&v| NodeId(v)),
+            self.links
+                .iter()
+                .map(|&(lo, dim)| LinkId::new(NodeId(lo), dim)),
+            self.generation,
+        )
+    }
+}
+
+/// One cached collective broadcast tree, flattened for serialization.
+/// The cached tree is *history*, not derivation: regrafting patches the
+/// previous tree in place, so the current shape (and the repair outcome
+/// the next fault event reports) depends on every generation the tree
+/// lived through. `u64::MAX` in `parent` and `depth` marks uncovered
+/// nodes.
+#[derive(Clone, Debug, PartialEq)]
+struct TreeRepr {
+    class: u64,
+    root: u64,
+    generation: u64,
+    regrafted: u64,
+    reattached: u64,
+    lost: u64,
+    rebuilt: bool,
+    parent: Vec<u64>,
+    depth: Vec<u64>,
+    order: Vec<u64>,
+}
+
+impl TreeRepr {
+    fn capture(s: &TreeSnapshot) -> TreeRepr {
+        TreeRepr {
+            class: s.class,
+            root: s.root.0,
+            generation: s.generation,
+            regrafted: s.repair.regrafted_subtrees,
+            reattached: s.repair.reattached_nodes,
+            lost: s.repair.lost_nodes,
+            rebuilt: s.repair.rebuilt,
+            parent: s
+                .tree
+                .parent
+                .iter()
+                .map(|p| p.map_or(u64::MAX, |v| v.0))
+                .collect(),
+            depth: s.tree.depth.iter().map(|&d| u64::from(d)).collect(),
+            order: s.tree.order.iter().map(|v| v.0).collect(),
+        }
+    }
+
+    fn rebuild(&self) -> Result<TreeSnapshot, String> {
+        let depth = self
+            .depth
+            .iter()
+            .map(|&d| u32::try_from(d))
+            .collect::<Result<Vec<u32>, _>>()
+            .map_err(|_| "tree depth out of range".to_string())?;
+        Ok(TreeSnapshot {
+            class: self.class,
+            root: NodeId(self.root),
+            generation: self.generation,
+            repair: RepairOutcome {
+                regrafted_subtrees: self.regrafted,
+                reattached_nodes: self.reattached,
+                lost_nodes: self.lost,
+                rebuilt: self.rebuilt,
+            },
+            tree: BroadcastTree {
+                root: NodeId(self.root),
+                parent: self
+                    .parent
+                    .iter()
+                    .map(|&p| (p != u64::MAX).then_some(NodeId(p)))
+                    .collect(),
+                depth,
+                order: self.order.iter().map(|&v| NodeId(v)).collect(),
+            },
+        })
+    }
+}
+
+/// One in-flight packet: its arena slot and every per-packet column.
+#[derive(Clone, Debug, PartialEq)]
+struct LivePacket {
+    slot: u32,
+    id: u64,
+    injected_at: u64,
+    hop_idx: u32,
+    hops_taken: u32,
+    planned_hops: u32,
+    reroutes: u32,
+    route: Vec<u64>,
+}
+
+// --- the checkpoint -----------------------------------------------------
+
+/// A serialized engine state, restorable bitwise. Build one with
+/// [`Checkpoint::capture`] (or [`crate::session::Stepper::checkpoint`]),
+/// persist with [`Checkpoint::to_text`] / [`Checkpoint::from_text`], and
+/// resume via [`crate::session::SimSession::stepper_from`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    config: SimConfig,
+    strategy: String,
+    trees: usize,
+    trace_mark: u64,
+    cycle: u64,
+    done: bool,
+    ended_at: u64,
+    next_id: u64,
+    in_flight: u64,
+    converge_at: Option<u64>,
+    synced: (u64, u64),
+    traffic_rng: [u64; 4],
+    injector_rng: [u64; 4],
+    monitor_state: HealthState,
+    monitor_downgraded: bool,
+    truth: FaultsRepr,
+    view: FaultsRepr,
+    pending: Vec<(u64, FaultAction, FaultTarget, FaultKind)>,
+    fault_trace: Vec<FaultEvent>,
+    metrics: Metrics,
+    windows: Vec<WindowStat>,
+    arena: usize,
+    free: Vec<u32>,
+    live: Vec<LivePacket>,
+    queues: Vec<(u64, Vec<u32>)>,
+    ledger: Vec<Option<(NodeId, u64)>>,
+    ops: Vec<OpStat>,
+    tree_cache: Vec<TreeRepr>,
+}
+
+impl Checkpoint {
+    /// Snapshot a paused engine. `trace_mark` is how many trace events the
+    /// run's sink holds at this instant (0 for untraced runs). Fails for
+    /// strategies without a wire identity (the e-cube baseline).
+    pub(crate) fn capture(
+        sim: &Simulator,
+        core: &EngineCore,
+        trace_mark: u64,
+    ) -> Result<Checkpoint, String> {
+        let (strategy, trees) = sim.algorithm().wire_spec().ok_or_else(|| {
+            format!(
+                "strategy {:?} has no wire identity and cannot be checkpointed",
+                sim.algorithm().name()
+            )
+        })?;
+
+        // Live packets: every arena slot not on the freelist.
+        let arena = core.store.id.len();
+        let mut is_free = vec![false; arena];
+        for &s in &core.store.free {
+            is_free[s as usize] = true;
+        }
+        let mut live = Vec::with_capacity(core.in_flight as usize);
+        for (slot, free) in is_free.iter().enumerate() {
+            if *free {
+                continue;
+            }
+            let route = core.store.routes[slot]
+                .as_ref()
+                .ok_or_else(|| format!("live packet in slot {slot} has no route"))?;
+            live.push(LivePacket {
+                slot: slot as u32,
+                id: core.store.id[slot],
+                injected_at: core.store.injected_at[slot],
+                hop_idx: core.store.hop_idx[slot],
+                hops_taken: core.store.hops_taken[slot],
+                planned_hops: core.store.planned_hops[slot],
+                reroutes: core.store.reroutes[slot],
+                route: route.nodes().iter().map(|v| v.0).collect(),
+            });
+        }
+
+        // Per-node FIFO order, front to back, non-empty queues only.
+        let n_nodes = sim.cube().num_nodes();
+        let mut queues = Vec::new();
+        for v in 0..n_nodes as usize {
+            let len = core.queues.len(v);
+            if len == 0 {
+                continue;
+            }
+            let mut slots = Vec::with_capacity(len);
+            let mut s = core.queues.front(v).expect("non-empty queue has a front");
+            loop {
+                slots.push(s);
+                match core.store.next[s as usize] {
+                    NIL => break,
+                    nxt => s = nxt,
+                }
+            }
+            if slots.len() != len {
+                return Err(format!("queue {v} chain length mismatch"));
+            }
+            queues.push((v as u64, slots));
+        }
+
+        let mut pending = Vec::new();
+        for (&cycle, ops) in core.injector.pending() {
+            for op in ops {
+                pending.push((cycle, op.action, op.target, op.kind));
+            }
+        }
+
+        Ok(Checkpoint {
+            config: sim.config().clone(),
+            strategy: strategy.to_string(),
+            trees,
+            trace_mark,
+            cycle: core.cycle,
+            done: core.done,
+            ended_at: core.ended_at,
+            next_id: core.next_id,
+            in_flight: core.in_flight,
+            converge_at: core.converge_at,
+            synced: core.synced,
+            traffic_rng: core.traffic.rng_state(),
+            injector_rng: core.injector.rng_state(),
+            monitor_state: core.monitor.state(),
+            monitor_downgraded: core.monitor.downgraded(),
+            truth: FaultsRepr::capture(&core.truth),
+            view: FaultsRepr::capture(&core.view),
+            pending,
+            fault_trace: core.injector.trace().to_vec(),
+            metrics: core.metrics,
+            windows: core.windows.clone(),
+            arena,
+            free: core.store.free.clone(),
+            live,
+            queues,
+            ledger: core.repair_ledger.last().to_vec(),
+            ops: core.op_tracker.ops().to_vec(),
+            tree_cache: core
+                .collective
+                .as_ref()
+                .map(|cp| {
+                    cp.cache()
+                        .tree_snapshots()
+                        .iter()
+                        .map(TreeRepr::capture)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// The run configuration the checkpoint was taken under.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Strategy wire name ([`crate::strategy::build_strategy`] accepts it).
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// Spanning trees per bundle (0 for single-tree strategies).
+    pub fn trees(&self) -> usize {
+        self.trees
+    }
+
+    /// The next cycle the restored engine will execute.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Trace events emitted before capture (see module docs).
+    pub fn trace_mark(&self) -> u64 {
+        self.trace_mark
+    }
+
+    /// The provenance header a checkpoint file is stamped with.
+    pub fn meta(&self) -> ArtifactMeta {
+        ArtifactMeta {
+            kind: ArtifactKind::Checkpoint,
+            format: ARTIFACT_FORMAT,
+            n: u64::from(self.config.n),
+            modulus: self.config.modulus,
+            seed: self.config.seed,
+            threads: 1,
+            strategy: self.strategy.clone(),
+        }
+    }
+
+    // -- serialization ---------------------------------------------------
+
+    /// Render the checkpoint as its line-oriented text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.meta().to_jsonl_line());
+        out.push('\n');
+
+        out.push_str(&format!(
+            "{{\"section\":\"run\",\"strategy\":{},\"trees\":{},\"trace_mark\":{},\
+             \"config\":{}}}\n",
+            proto::quote(&self.strategy),
+            self.trees,
+            self.trace_mark,
+            proto::config_to_json(&self.config),
+        ));
+
+        out.push_str(&format!(
+            "{{\"section\":\"core\",\"cycle\":{},\"done\":{},\"ended_at\":{},\
+             \"next_id\":{},\"in_flight\":{},\"converge_at\":{},\
+             \"synced\":[{},{}],\"traffic_rng\":{},\"injector_rng\":{},\
+             \"monitor_state\":{},\"monitor_downgraded\":{}}}\n",
+            self.cycle,
+            self.done,
+            self.ended_at,
+            self.next_id,
+            self.in_flight,
+            self.converge_at
+                .map_or("null".to_string(), |c| c.to_string()),
+            self.synced.0,
+            self.synced.1,
+            u64_arr(self.traffic_rng),
+            u64_arr(self.injector_rng),
+            proto::quote(self.monitor_state.as_str()),
+            self.monitor_downgraded,
+        ));
+
+        out.push_str(&format!(
+            "{{\"section\":\"faults\",\"truth\":{},\"view\":{}}}\n",
+            self.truth.to_json(),
+            self.view.to_json(),
+        ));
+
+        let pending: Vec<String> = self
+            .pending
+            .iter()
+            .map(|(cycle, action, target, kind)| {
+                format!(
+                    "{{\"cycle\":{cycle},\"action\":{},\"target\":{},\"kind\":{}}}",
+                    proto::quote(action_to_str(*action)),
+                    proto::quote(&proto::target_to_str(*target)),
+                    proto::quote(&proto::kind_to_str(*kind)),
+                )
+            })
+            .collect();
+        let applied: Vec<String> = self
+            .fault_trace
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"cycle\":{},\"action\":{},\"target\":{}}}",
+                    e.cycle,
+                    proto::quote(action_to_str(e.action)),
+                    proto::quote(&proto::target_to_str(e.target)),
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"section\":\"injector\",\"pending\":[{}],\"applied\":[{}]}}\n",
+            pending.join(","),
+            applied.join(","),
+        ));
+
+        let mut parts: Vec<String> = Vec::new();
+        macro_rules! put {
+            ($m:expr; $($f:ident),*) => {
+                $( parts.push(format!("\"{}\":{}", stringify!($f), $m.$f)); )*
+            };
+        }
+        with_metric_fields!(put, &self.metrics);
+        parts.push(format!(
+            "\"tree_routes\":{}",
+            u64_arr(self.metrics.tree_routes)
+        ));
+        parts.push(format!(
+            "\"latency_hist\":{}",
+            hist_to_json(&self.metrics.latency_hist)
+        ));
+        parts.push(format!(
+            "\"hops_hist\":{}",
+            hist_to_json(&self.metrics.hops_hist)
+        ));
+        out.push_str(&format!(
+            "{{\"section\":\"metrics\",{}}}\n",
+            parts.join(","),
+        ));
+
+        let windows: Vec<String> = self
+            .windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "[{},{},{},{},{},{},{}]",
+                    w.start,
+                    w.end,
+                    w.injected,
+                    w.delivered,
+                    w.dropped,
+                    w.tree_switches,
+                    w.collective_delivered,
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"section\":\"windows\",\"items\":[{}]}}\n",
+            windows.join(","),
+        ));
+
+        let live: Vec<String> = self
+            .live
+            .iter()
+            .map(|p| {
+                format!(
+                    "[{},{},{},{},{},{},{},{}]",
+                    p.slot,
+                    p.id,
+                    p.injected_at,
+                    p.hop_idx,
+                    p.hops_taken,
+                    p.planned_hops,
+                    p.reroutes,
+                    u64_arr(p.route.iter().copied()),
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"section\":\"packets\",\"arena\":{},\"free\":{},\"live\":[{}]}}\n",
+            self.arena,
+            u64_arr(self.free.iter().map(|&s| u64::from(s))),
+            live.join(","),
+        ));
+
+        let queues: Vec<String> = self
+            .queues
+            .iter()
+            .map(|(v, slots)| format!("[{v},{}]", u64_arr(slots.iter().map(|&s| u64::from(s)))))
+            .collect();
+        out.push_str(&format!(
+            "{{\"section\":\"queues\",\"items\":[{}]}}\n",
+            queues.join(","),
+        ));
+
+        let ledger: Vec<String> = self
+            .ledger
+            .iter()
+            .map(|e| match e {
+                None => "null".to_string(),
+                Some((v, cycle)) => format!("[{},{cycle}]", v.0),
+            })
+            .collect();
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|o| {
+                format!(
+                    "[{},{},{},{},{},{},{}]",
+                    o.op, o.root, o.started, o.expected, o.delivered, o.dropped, o.last_delivery,
+                )
+            })
+            .collect();
+        let trees: Vec<String> = self
+            .tree_cache
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"class\":{},\"root\":{},\"generation\":{},\"regrafted\":{},\
+                     \"reattached\":{},\"lost\":{},\"rebuilt\":{},\"parent\":{},\
+                     \"depth\":{},\"order\":{}}}",
+                    t.class,
+                    t.root,
+                    t.generation,
+                    t.regrafted,
+                    t.reattached,
+                    t.lost,
+                    t.rebuilt,
+                    u64_arr(t.parent.iter().copied()),
+                    u64_arr(t.depth.iter().copied()),
+                    u64_arr(t.order.iter().copied()),
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"section\":\"collective\",\"ledger\":[{}],\"ops\":[{}],\"trees\":[{}]}}\n",
+            ledger.join(","),
+            ops.join(","),
+            trees.join(","),
+        ));
+
+        out.push_str("{\"section\":\"end\"}\n");
+        out
+    }
+
+    /// Parse a checkpoint file produced by [`Checkpoint::to_text`].
+    pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty checkpoint file")?;
+        let meta = ArtifactMeta::parse(header)
+            .ok_or("checkpoint file has no meta header")?
+            .map_err(|e| format!("bad checkpoint header: {e}"))?;
+        if meta.kind != ArtifactKind::Checkpoint {
+            return Err(format!(
+                "artifact is a {} stream, not a checkpoint",
+                meta.kind
+            ));
+        }
+
+        let mut run = None;
+        let mut core = None;
+        let mut faults = None;
+        let mut injector = None;
+        let mut metrics = None;
+        let mut windows = None;
+        let mut packets = None;
+        let mut queues = None;
+        let mut collective = None;
+        let mut ended = false;
+        for line in lines {
+            if ended {
+                return Err("data after the end marker".into());
+            }
+            let v = parse_json(line)?;
+            match f_str(&v, "section")? {
+                "run" => run = Some(v),
+                "core" => core = Some(v),
+                "faults" => faults = Some(v),
+                "injector" => injector = Some(v),
+                "metrics" => metrics = Some(v),
+                "windows" => windows = Some(v),
+                "packets" => packets = Some(v),
+                "queues" => queues = Some(v),
+                "collective" => collective = Some(v),
+                "end" => ended = true,
+                other => return Err(format!("unknown checkpoint section {other:?}")),
+            }
+        }
+        if !ended {
+            return Err("checkpoint file is truncated (no end marker)".into());
+        }
+        let need = |name: &str, v: Option<JsonValue>| {
+            v.ok_or_else(|| format!("checkpoint missing section {name:?}"))
+        };
+        let run = need("run", run)?;
+        let core = need("core", core)?;
+        let faults = need("faults", faults)?;
+        let injector = need("injector", injector)?;
+        let metrics_v = need("metrics", metrics)?;
+        let windows = need("windows", windows)?;
+        let packets = need("packets", packets)?;
+        let queues = need("queues", queues)?;
+        let collective = need("collective", collective)?;
+
+        let config = proto::config_from_json(field(&run, "config")?)?;
+        let strategy = f_str(&run, "strategy")?.to_string();
+        if (
+            u64::from(config.n),
+            config.modulus,
+            config.seed,
+            strategy.as_str(),
+        ) != (meta.n, meta.modulus, meta.seed, meta.strategy.as_str())
+        {
+            return Err("checkpoint header disagrees with its run section".into());
+        }
+
+        let synced = match f_arr(&core, "synced")? {
+            [a, b] => (elem_u64(a)?, elem_u64(b)?),
+            _ => return Err("field \"synced\" must be [truth_gen, view_gen]".into()),
+        };
+        let converge_at = match field(&core, "converge_at")? {
+            JsonValue::Null => None,
+            f => Some(
+                f.as_u64()
+                    .ok_or("field \"converge_at\" must be an integer or null")?,
+            ),
+        };
+        let monitor_state =
+            HealthState::from_str(f_str(&core, "monitor_state")?).ok_or("bad monitor_state")?;
+
+        let mut pending = Vec::new();
+        for p in f_arr(&injector, "pending")? {
+            pending.push((
+                f_u64(p, "cycle")?,
+                action_from_str(f_str(p, "action")?)?,
+                proto::target_from_str(f_str(p, "target")?)?,
+                proto::kind_from_str(f_str(p, "kind")?)?,
+            ));
+        }
+        let mut fault_trace = Vec::new();
+        for e in f_arr(&injector, "applied")? {
+            fault_trace.push(FaultEvent {
+                cycle: f_u64(e, "cycle")?,
+                action: action_from_str(f_str(e, "action")?)?,
+                target: proto::target_from_str(f_str(e, "target")?)?,
+            });
+        }
+
+        let mut m = Metrics::default();
+        macro_rules! get {
+            ($v:expr; $($f:ident),*) => {
+                $( m.$f = f_u64($v, stringify!($f))?; )*
+            };
+        }
+        with_metric_fields!(get, &metrics_v);
+        m.tree_routes = u64s(f_arr(&metrics_v, "tree_routes")?)?
+            .try_into()
+            .map_err(|_| format!("tree_routes must hold exactly {MAX_TREES} counters"))?;
+        m.latency_hist = hist_from_json(field(&metrics_v, "latency_hist")?)?;
+        m.hops_hist = hist_from_json(field(&metrics_v, "hops_hist")?)?;
+
+        let mut window_stats = Vec::new();
+        for w in f_arr(&windows, "items")? {
+            let cols = u64s(w.as_arr().ok_or("window entry must be an array")?)?;
+            let [start, end, injected, delivered, dropped, tree_switches, collective_delivered] =
+                cols[..]
+            else {
+                return Err("window entry must hold 7 counters".into());
+            };
+            window_stats.push(WindowStat {
+                start,
+                end,
+                injected,
+                delivered,
+                dropped,
+                tree_switches,
+                collective_delivered,
+            });
+        }
+
+        let arena = f_u64(&packets, "arena")? as usize;
+        let to_u32 = |x: u64| u32::try_from(x).map_err(|_| "slot out of u32 range".to_string());
+        let free = u64s(f_arr(&packets, "free")?)?
+            .into_iter()
+            .map(to_u32)
+            .collect::<Result<Vec<u32>, String>>()?;
+        let mut live = Vec::new();
+        for p in f_arr(&packets, "live")? {
+            let cols = p.as_arr().ok_or("live packet must be an array")?;
+            let [slot, id, injected_at, hop_idx, hops_taken, planned_hops, reroutes, route] = cols
+            else {
+                return Err("live packet must hold 8 columns".into());
+            };
+            live.push(LivePacket {
+                slot: to_u32(elem_u64(slot)?)?,
+                id: elem_u64(id)?,
+                injected_at: elem_u64(injected_at)?,
+                hop_idx: to_u32(elem_u64(hop_idx)?)?,
+                hops_taken: to_u32(elem_u64(hops_taken)?)?,
+                planned_hops: to_u32(elem_u64(planned_hops)?)?,
+                reroutes: to_u32(elem_u64(reroutes)?)?,
+                route: u64s(route.as_arr().ok_or("route must be an array")?)?,
+            });
+        }
+
+        let mut queue_items = Vec::new();
+        for q in f_arr(&queues, "items")? {
+            let pair = q.as_arr().ok_or("queue entry must be [node, [slots]]")?;
+            let [node, slots] = pair else {
+                return Err("queue entry must be [node, [slots]]".into());
+            };
+            queue_items.push((
+                elem_u64(node)?,
+                u64s(slots.as_arr().ok_or("queue slots must be an array")?)?
+                    .into_iter()
+                    .map(to_u32)
+                    .collect::<Result<Vec<u32>, String>>()?,
+            ));
+        }
+
+        let mut ledger = Vec::new();
+        for e in f_arr(&collective, "ledger")? {
+            ledger.push(match e {
+                JsonValue::Null => None,
+                other => {
+                    let pair = other.as_arr().ok_or("ledger entry must be [node, cycle]")?;
+                    let [node, cycle] = pair else {
+                        return Err("ledger entry must be [node, cycle]".into());
+                    };
+                    Some((NodeId(elem_u64(node)?), elem_u64(cycle)?))
+                }
+            });
+        }
+        let mut ops = Vec::new();
+        for o in f_arr(&collective, "ops")? {
+            let cols = u64s(o.as_arr().ok_or("op entry must be an array")?)?;
+            let [op, root, started, expected, delivered, dropped, last_delivery] = cols[..] else {
+                return Err("op entry must hold 7 counters".into());
+            };
+            ops.push(OpStat {
+                op,
+                root,
+                started,
+                expected,
+                delivered,
+                dropped,
+                last_delivery,
+            });
+        }
+        let mut tree_cache = Vec::new();
+        for t in f_arr(&collective, "trees")? {
+            tree_cache.push(TreeRepr {
+                class: f_u64(t, "class")?,
+                root: f_u64(t, "root")?,
+                generation: f_u64(t, "generation")?,
+                regrafted: f_u64(t, "regrafted")?,
+                reattached: f_u64(t, "reattached")?,
+                lost: f_u64(t, "lost")?,
+                rebuilt: f_bool(t, "rebuilt")?,
+                parent: u64s(f_arr(t, "parent")?)?,
+                depth: u64s(f_arr(t, "depth")?)?,
+                order: u64s(f_arr(t, "order")?)?,
+            });
+        }
+
+        Ok(Checkpoint {
+            config,
+            strategy,
+            trees: f_u64(&run, "trees")? as usize,
+            trace_mark: f_u64(&run, "trace_mark")?,
+            cycle: f_u64(&core, "cycle")?,
+            done: f_bool(&core, "done")?,
+            ended_at: f_u64(&core, "ended_at")?,
+            next_id: f_u64(&core, "next_id")?,
+            in_flight: f_u64(&core, "in_flight")?,
+            converge_at,
+            synced,
+            traffic_rng: rng_words(&core, "traffic_rng")?,
+            injector_rng: rng_words(&core, "injector_rng")?,
+            monitor_state,
+            monitor_downgraded: f_bool(&core, "monitor_downgraded")?,
+            truth: FaultsRepr::from_json(field(&faults, "truth")?)?,
+            view: FaultsRepr::from_json(field(&faults, "view")?)?,
+            pending,
+            fault_trace,
+            metrics: m,
+            windows: window_stats,
+            arena,
+            free,
+            live,
+            queues: queue_items,
+            ledger,
+            ops,
+            tree_cache,
+        })
+    }
+
+    // -- restore ---------------------------------------------------------
+
+    /// Rebuild a running engine from this checkpoint. `sim` must have been
+    /// constructed from [`Checkpoint::config`] and a strategy matching
+    /// [`Checkpoint::strategy`] / [`Checkpoint::trees`] — derived state
+    /// (cube, link table, plan caches) is rebuilt from it.
+    pub(crate) fn rebuild(&self, sim: &Simulator) -> Result<EngineCore, String> {
+        if sim.config() != &self.config {
+            return Err("simulator config differs from the checkpoint's".into());
+        }
+        match sim.algorithm().wire_spec() {
+            Some((name, trees)) if name == self.strategy && trees == self.trees => {}
+            other => {
+                return Err(format!(
+                    "simulator strategy {other:?} differs from the checkpoint's ({:?}, {})",
+                    self.strategy, self.trees
+                ));
+            }
+        }
+        let n_nodes = sim.cube().num_nodes();
+
+        // Null sinks on purpose: the cycle-0 health event was already
+        // emitted by the original run (it sits before the trace mark).
+        let mut core = EngineCore::new(sim, &mut NullSink, &mut NullTelemetry);
+        core.cycle = self.cycle;
+        core.done = self.done;
+        core.ended_at = self.ended_at;
+        core.next_id = self.next_id;
+        core.in_flight = self.in_flight;
+        core.converge_at = self.converge_at;
+        core.synced = self.synced;
+
+        core.traffic.restore_rng(self.traffic_rng);
+        let mut pending: BTreeMap<u64, Vec<PendingOp>> = BTreeMap::new();
+        for &(cycle, action, target, kind) in &self.pending {
+            pending.entry(cycle).or_default().push(PendingOp {
+                action,
+                target,
+                kind,
+            });
+        }
+        core.injector
+            .restore(self.injector_rng, pending, self.fault_trace.clone());
+        core.monitor = FaultBudgetMonitor::from_parts(
+            self.monitor_state,
+            sim.algorithm().survives_bound_exceeded(),
+            self.monitor_downgraded,
+        );
+
+        core.truth = self.truth.rebuild();
+        core.view = self.view.rebuild();
+        core.links = LinkTable::new(n_nodes, sim.cube().n());
+        core.links.sync(&core.truth);
+
+        core.metrics = self.metrics;
+        core.windows = self.windows.clone();
+
+        // Packet arena: default-fill every column to the captured length
+        // (freed slots hold junk in the original too — allocation
+        // overwrites every column), then overwrite the live slots and
+        // restore the freelist order exactly, since it dictates which slot
+        // the next injection lands in.
+        let mut store = PacketStore::new();
+        store.id.resize(self.arena, 0);
+        store.injected_at.resize(self.arena, 0);
+        store.hop_idx.resize(self.arena, 0);
+        store.hops_taken.resize(self.arena, 0);
+        store.planned_hops.resize(self.arena, 0);
+        store.reroutes.resize(self.arena, 0);
+        store.routes.resize(self.arena, None);
+        store.next.resize(self.arena, NIL);
+        for p in &self.live {
+            let s = p.slot as usize;
+            if s >= self.arena {
+                return Err(format!("live packet slot {s} outside arena"));
+            }
+            store.id[s] = p.id;
+            store.injected_at[s] = p.injected_at;
+            store.hop_idx[s] = p.hop_idx;
+            store.hops_taken[s] = p.hops_taken;
+            store.planned_hops[s] = p.planned_hops;
+            store.reroutes[s] = p.reroutes;
+            store.routes[s] = Some(Route::new(p.route.iter().map(|&v| NodeId(v)).collect()));
+        }
+        store.free = self.free.clone();
+
+        let mut queues = NodeQueues::new(n_nodes);
+        for (v, slots) in &self.queues {
+            let v = *v as usize;
+            if v >= n_nodes as usize {
+                return Err(format!("queue for node {v} outside the cube"));
+            }
+            for &slot in slots {
+                queues.push_back(&mut store, v, slot);
+            }
+            core.class_queued[v & core.cmask] += slots.len() as u64;
+            core.class_occupied[v & core.cmask] += 1;
+        }
+        core.store = store;
+        core.queues = queues;
+
+        core.repair_ledger = crate::collective::RepairLedger::from_last(self.ledger.clone());
+        core.op_tracker = crate::collective::OpTracker::from_ops(self.ops.clone());
+        // Re-seed the collective tree cache: a regraft diffs against the
+        // cached previous tree, so both the next repair outcome and the
+        // patched tree's shape depend on this history.
+        if let Some(cp) = &core.collective {
+            for t in &self.tree_cache {
+                cp.cache().restore_tree(t.rebuild()?);
+            }
+        } else if !self.tree_cache.is_empty() {
+            return Err("checkpoint holds collective trees but the run has no collective".into());
+        }
+        Ok(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CollectiveOp;
+    use crate::injection::{CategoryMix, FaultSchedule};
+    use crate::profiler::NullProfiler;
+    use crate::strategy::build_strategy;
+    use crate::trace::{to_jsonl, MemorySink};
+
+    fn churn_config() -> SimConfig {
+        SimConfig::new(6, 2)
+            .with_rate(0.08)
+            .with_cycles(200, 800, 20)
+            .with_seed(0xc0de)
+            .with_faults(1)
+            .with_schedule(FaultSchedule::Bernoulli {
+                rate: 0.02,
+                kind: FaultKind::Transient { repair_after: 40 },
+                mix: CategoryMix::default(),
+                node_fraction: 0.5,
+            })
+            .with_collective(CollectiveOp::Broadcast)
+            .with_collective_interval(25)
+    }
+
+    /// Run to `pause` cycles, checkpoint, then confirm that (a) the text
+    /// form round-trips to an equal `Checkpoint`, and (b) the restored
+    /// engine replays exactly the uninterrupted run's trace suffix and
+    /// final metrics.
+    fn round_trip_at(pause: u64) {
+        let cfg = churn_config();
+        let algo = build_strategy("ftgcr", 0).unwrap();
+        let sim = Simulator::try_new(cfg.clone(), &*algo).unwrap();
+
+        let mut sink = MemorySink::default();
+        let mut core = EngineCore::new(&sim, &mut sink, &mut NullTelemetry);
+        while core.cycle < pause
+            && !core.step(&sim, &mut sink, &mut NullTelemetry, &mut NullProfiler)
+        {}
+        let ck = Checkpoint::capture(&sim, &core, sink.events().len() as u64).unwrap();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back, ck, "text form must round-trip");
+
+        // Finish the original run untouched.
+        while !core.step(&sim, &mut sink, &mut NullTelemetry, &mut NullProfiler) {}
+        let full = core.finish(&sim, &mut NullTelemetry, &mut NullProfiler);
+
+        // Resume from the parsed checkpoint in a fresh simulator.
+        let algo2 = build_strategy(back.strategy(), back.trees()).unwrap();
+        let sim2 = Simulator::try_new(back.config().clone(), &*algo2).unwrap();
+        let mut sink2 = MemorySink::default();
+        let mut core2 = back.rebuild(&sim2).unwrap();
+        while !core2.step(&sim2, &mut sink2, &mut NullTelemetry, &mut NullProfiler) {}
+        let resumed = core2.finish(&sim2, &mut NullTelemetry, &mut NullProfiler);
+
+        let mark = back.trace_mark() as usize;
+        assert_eq!(
+            to_jsonl(&sink.events()[mark..]),
+            to_jsonl(sink2.events()),
+            "restored run must replay the exact trace suffix (pause {pause})"
+        );
+        assert_eq!(
+            format!("{:?}", full.metrics),
+            format!("{:?}", resumed.metrics),
+            "final metrics must match (pause {pause})"
+        );
+        assert_eq!(
+            format!("{:?}", full.windows),
+            format!("{:?}", resumed.windows),
+            "window series must match (pause {pause})"
+        );
+        assert_eq!(
+            format!("{:?}", full.trace),
+            format!("{:?}", resumed.trace),
+            "fault event history must match (pause {pause})"
+        );
+        assert_eq!(
+            format!("{:?}", full.collectives),
+            format!("{:?}", resumed.collectives),
+            "collective records must match (pause {pause})"
+        );
+    }
+
+    #[test]
+    fn round_trips_mid_injection() {
+        round_trip_at(97);
+    }
+
+    #[test]
+    fn round_trips_during_drain() {
+        round_trip_at(250);
+    }
+
+    #[test]
+    fn round_trips_at_cycle_zero() {
+        round_trip_at(0);
+    }
+
+    #[test]
+    fn rejects_mismatched_simulator() {
+        let cfg = churn_config();
+        let algo = build_strategy("ftgcr", 0).unwrap();
+        let sim = Simulator::try_new(cfg.clone(), &*algo).unwrap();
+        let core = EngineCore::new(&sim, &mut NullSink, &mut NullTelemetry);
+        let ck = Checkpoint::capture(&sim, &core, 0).unwrap();
+
+        let other_cfg = cfg.clone().with_seed(1);
+        let sim_seed = Simulator::try_new(other_cfg, &*algo).unwrap();
+        assert!(
+            ck.rebuild(&sim_seed).is_err(),
+            "wrong config must be refused"
+        );
+
+        let ffgcr = build_strategy("ffgcr", 0).unwrap();
+        let sim_algo = Simulator::try_new(cfg, &*ffgcr).unwrap();
+        assert!(
+            ck.rebuild(&sim_algo).is_err(),
+            "wrong strategy must be refused"
+        );
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_are_rejected() {
+        let cfg = SimConfig::new(6, 2);
+        let algo = build_strategy("ffgcr", 0).unwrap();
+        let sim = Simulator::try_new(cfg, &*algo).unwrap();
+        let core = EngineCore::new(&sim, &mut NullSink, &mut NullTelemetry);
+        let ck = Checkpoint::capture(&sim, &core, 0).unwrap();
+        let text = ck.to_text();
+
+        let no_end = text.replace("{\"section\":\"end\"}\n", "");
+        let err = Checkpoint::from_text(&no_end).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+
+        let headless = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(Checkpoint::from_text(&headless).is_err());
+
+        assert!(Checkpoint::from_text("").is_err());
+    }
+
+    #[test]
+    fn ecube_cannot_be_checkpointed() {
+        let algo = crate::strategy::EcubeBaseline;
+        let sim = Simulator::try_new(SimConfig::new(4, 4), &algo).unwrap();
+        let core = EngineCore::new(&sim, &mut NullSink, &mut NullTelemetry);
+        let err = Checkpoint::capture(&sim, &core, 0).unwrap_err();
+        assert!(err.contains("wire identity"), "{err}");
+    }
+}

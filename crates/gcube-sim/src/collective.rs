@@ -131,6 +131,12 @@ impl CollectivePlanner {
         }
     }
 
+    /// The planner's tree cache — checkpointing captures its stateful
+    /// broadcast-tree entries (regraft history shapes future trees).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
     /// The operation index due at `cycle`, if the schedule fires: one
     /// launch every `interval` cycles while injection is open.
     pub fn due(&self, cycle: u64, inject_cycles: u64) -> Option<u64> {
@@ -272,6 +278,18 @@ impl OpTracker {
     pub fn into_ops(self) -> Vec<OpStat> {
         self.ops
     }
+
+    /// Checkpoint view of the per-operation records.
+    pub fn ops(&self) -> &[OpStat] {
+        &self.ops
+    }
+
+    /// Rebuild a tracker from checkpointed records; the position index is
+    /// derived (it is a pure function of the record list).
+    pub fn from_ops(ops: Vec<OpStat>) -> Self {
+        let pos = ops.iter().enumerate().map(|(i, o)| (o.op, i)).collect();
+        OpTracker { ops, pos }
+    }
 }
 
 /// Coordinator-side repair accounting: decides, per root class, whether
@@ -289,6 +307,16 @@ impl RepairLedger {
         RepairLedger {
             last: vec![None; classes],
         }
+    }
+
+    /// Checkpoint view of the per-class `(root, generation)` memory.
+    pub fn last(&self) -> &[Option<(NodeId, u64)>] {
+        &self.last
+    }
+
+    /// Rebuild a ledger from its checkpointed per-class memory.
+    pub fn from_last(last: Vec<Option<(NodeId, u64)>>) -> Self {
+        RepairLedger { last }
     }
 
     /// Note a launch. Returns `Some(repair)` when the tree changed shape

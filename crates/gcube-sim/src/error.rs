@@ -6,6 +6,12 @@
 //! messages. Invalid parameters fail loudly instead of being silently
 //! clamped (a typo'd `--rate 1.2` used to run as `1.0`).
 //!
+//! Since the daemon protocol ([`crate::proto`]) made these errors part of
+//! the wire surface, every variant also carries a stable machine-readable
+//! [`SimError::code`] shared by server responses and CLI diagnostics, and
+//! the enum is `#[non_exhaustive]` so new refusal kinds can be added
+//! without breaking downstream matches.
+//!
 //! [`SimConfig::validate`]: crate::SimConfig::validate
 //! [`Simulator::try_new`]: crate::Simulator::try_new
 
@@ -13,13 +19,23 @@ use std::fmt;
 
 /// Why a simulation cannot be configured or started.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The injection rate is not a probability in `[0, 1]`.
     InvalidRate(f64),
     /// A Bernoulli churn rate is not a probability in `[0, 1]`.
     InvalidChurnRate(f64),
-    /// The `(n, M)` pair does not describe a valid Gaussian Cube.
-    InvalidTopology(String),
+    /// The `(n, M)` pair does not describe a valid Gaussian Cube. The
+    /// rejected parameters ride along so a server response can say which
+    /// field was wrong without parsing the reason text.
+    InvalidTopology {
+        /// The dimension count that was requested.
+        n: u32,
+        /// The modulus that was requested.
+        modulus: u64,
+        /// Human-readable reason from the topology layer.
+        reason: String,
+    },
     /// Finite per-node buffers (backpressure) are only defined for the
     /// sequential engine: cross-shard capacity checks would need mid-cycle
     /// coordination, so `--threads` above 1 rejects them.
@@ -32,6 +48,22 @@ pub enum SimError {
     Cli(String),
 }
 
+impl SimError {
+    /// Stable machine-readable code for this error kind — the shared
+    /// vocabulary of daemon responses and CLI exit diagnostics. Codes are
+    /// lower_snake, never reused, and survive message-text rewording.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SimError::InvalidRate(_) => "invalid_rate",
+            SimError::InvalidChurnRate(_) => "invalid_churn_rate",
+            SimError::InvalidTopology { .. } => "invalid_topology",
+            SimError::FiniteBuffersRequireSingleThread => "finite_buffers_single_thread",
+            SimError::CollectiveNeedsUnboundedBuffers => "collective_needs_unbounded_buffers",
+            SimError::Cli(_) => "cli",
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -41,7 +73,9 @@ impl fmt::Display for SimError {
             SimError::InvalidChurnRate(v) => {
                 write!(f, "churn rate must be a probability in [0, 1], got {v}")
             }
-            SimError::InvalidTopology(msg) => write!(f, "invalid Gaussian Cube: {msg}"),
+            SimError::InvalidTopology { n, modulus, reason } => {
+                write!(f, "invalid Gaussian Cube GC({n}, {modulus}): {reason}")
+            }
             SimError::FiniteBuffersRequireSingleThread => write!(
                 f,
                 "finite buffer capacity (backpressure) requires a single-threaded run"
@@ -72,8 +106,13 @@ mod tests {
             "churn rate must be a probability in [0, 1], got -0.5"
         );
         assert_eq!(
-            SimError::InvalidTopology("modulus must be a power of two".into()).to_string(),
-            "invalid Gaussian Cube: modulus must be a power of two"
+            SimError::InvalidTopology {
+                n: 6,
+                modulus: 3,
+                reason: "modulus must be a power of two".into()
+            }
+            .to_string(),
+            "invalid Gaussian Cube GC(6, 3): modulus must be a power of two"
         );
         assert!(SimError::FiniteBuffersRequireSingleThread
             .to_string()
@@ -85,6 +124,36 @@ mod tests {
             SimError::Cli("unknown flag".into()).to_string(),
             "unknown flag"
         );
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            SimError::InvalidRate(2.0),
+            SimError::InvalidChurnRate(2.0),
+            SimError::InvalidTopology {
+                n: 0,
+                modulus: 0,
+                reason: String::new(),
+            },
+            SimError::FiniteBuffersRequireSingleThread,
+            SimError::CollectiveNeedsUnboundedBuffers,
+            SimError::Cli(String::new()),
+        ];
+        let codes: Vec<&str> = all.iter().map(|e| e.code()).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "invalid_rate",
+                "invalid_churn_rate",
+                "invalid_topology",
+                "finite_buffers_single_thread",
+                "collective_needs_unbounded_buffers",
+                "cli",
+            ]
+        );
+        let unique: std::collections::HashSet<&str> = codes.iter().copied().collect();
+        assert_eq!(unique.len(), codes.len(), "codes must be distinct");
     }
 
     #[test]

@@ -143,11 +143,13 @@ impl FaultSchedule {
 }
 
 /// Pending operation: what to do to a target when its cycle comes up.
+/// `pub(crate)` so the checkpoint codec can serialize the injector's
+/// future exactly (auto-repairs and re-failures already scheduled).
 #[derive(Clone, Copy, Debug)]
-struct PendingOp {
-    action: FaultAction,
-    target: FaultTarget,
-    kind: FaultKind,
+pub(crate) struct PendingOp {
+    pub(crate) action: FaultAction,
+    pub(crate) target: FaultTarget,
+    pub(crate) kind: FaultKind,
 }
 
 /// Deterministic engine-side driver of a [`FaultSchedule`].
@@ -213,6 +215,32 @@ impl FaultInjector {
     /// The events applied so far, in application order.
     pub fn trace(&self) -> &[FaultEvent] {
         &self.trace
+    }
+
+    /// Checkpoint view: the raw RNG state of the Bernoulli stream.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Checkpoint view: every scheduled-but-unapplied operation, keyed by
+    /// its due cycle.
+    pub(crate) fn pending(&self) -> &BTreeMap<u64, Vec<PendingOp>> {
+        &self.pending
+    }
+
+    /// Overwrite the injector's mutable state from a checkpoint. The
+    /// candidate pools and the schedule are derived from the cube and
+    /// config (rebuilt by [`FaultInjector::new`]); only the stream
+    /// position, the scheduled future, and the applied history move.
+    pub(crate) fn restore(
+        &mut self,
+        rng: [u64; 4],
+        pending: BTreeMap<u64, Vec<PendingOp>>,
+        trace: Vec<FaultEvent>,
+    ) {
+        self.rng = StdRng::from_state(rng);
+        self.pending = pending;
+        self.trace = trace;
     }
 
     /// Advance to `cycle`: draw any Bernoulli arrival, apply every due

@@ -28,6 +28,7 @@
 //! [`FaultSet`]: gcube_routing::FaultSet
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod collective;
 pub mod config;
 pub mod engine;
@@ -36,8 +37,10 @@ pub mod injection;
 pub mod metrics;
 pub mod packet;
 pub mod profiler;
+pub mod proto;
 pub mod replay;
 pub mod runner;
+pub mod server;
 pub mod session;
 mod shard;
 mod soa;
@@ -47,6 +50,7 @@ pub mod trace;
 pub mod traffic;
 
 pub use artifact::{ArtifactKind, ArtifactMeta, ARTIFACT_FORMAT};
+pub use checkpoint::Checkpoint;
 pub use collective::{is_collective, op_of, COLLECTIVE_BIT};
 pub use config::{CollectiveOp, KnowledgeModel, SimConfig};
 pub use engine::Simulator;
@@ -59,13 +63,15 @@ pub use metrics::{ChurnReport, Histogram, Metrics, OpStat, WindowStat};
 pub use profiler::{
     NullProfiler, ProfSample, ProfileCollector, ProfileSample, ProfilerSink, ShardProfile,
 };
+pub use proto::Request;
 pub use replay::{parse_jsonl, parse_jsonl_with_meta, verify_replay, ReplayError};
 pub use runner::{run_churn_sweep, run_sweep, ChurnPoint, SweepPoint};
-pub use session::{effective_shards, resolve_threads, SimSession};
+pub use server::{resolve_strategy_name, serve, ServerConfig};
+pub use session::{effective_shards, resolve_threads, SimSession, Stepper};
 pub use shard::class_ranges;
 pub use strategy::{
-    CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr, MultiTreeStrategy,
-    PlannedRoute, RoutingAlgorithm, TreeChoice, TreeHealth,
+    build_strategy, CachedFfgcr, CachedFtgcr, EcubeBaseline, FaultFreeGcr, FaultTolerantGcr,
+    MultiTreeStrategy, PlannedRoute, RoutingAlgorithm, TreeChoice, TreeHealth,
 };
 pub use telemetry::{
     CycleView, FaultBudgetMonitor, HealthTransition, NullTelemetry, Phase, ShardTelemetry,

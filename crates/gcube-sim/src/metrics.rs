@@ -104,6 +104,20 @@ impl Histogram {
         self.percentile(0.99)
     }
 
+    /// Rebuild a histogram from its checkpointed parts ([`buckets`],
+    /// [`count`], [`max`] — the full observable state).
+    ///
+    /// [`buckets`]: Histogram::buckets
+    /// [`count`]: Histogram::count
+    /// [`max`]: Histogram::max
+    pub fn from_parts(buckets: [u64; HIST_BUCKETS], count: u64, max: u64) -> Histogram {
+        Histogram {
+            buckets,
+            count,
+            max,
+        }
+    }
+
     /// Merge another histogram into this one (bucket-wise sum).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

@@ -22,7 +22,8 @@
 
 use gcube_topology::GaussianCube;
 
-use crate::engine::Simulator;
+use crate::checkpoint::Checkpoint;
+use crate::engine::{EngineCore, Simulator};
 use crate::error::SimError;
 use crate::metrics::ChurnReport;
 use crate::profiler::{NullProfiler, ProfilerSink};
@@ -155,5 +156,113 @@ impl<'s, 'a, S: TraceSink, T: TelemetrySink, P: ProfilerSink> SimSession<'s, 'a,
             self.sim
                 .run_sequential(&mut self.trace, &mut self.telemetry, &mut self.profiler)
         })
+    }
+
+    /// Start the run paused at cycle 0 instead of running it to
+    /// completion: the returned [`Stepper`] advances one cycle per call
+    /// and can checkpoint between cycles.
+    ///
+    /// A stepper always drives the sequential reference engine —
+    /// `threads(n)` is ignored. The deterministic outputs are
+    /// thread-invariant, so this changes nothing observable; callers
+    /// needing parallelism multiplex many steppers (as `gcube serve`
+    /// does) rather than sharding one.
+    pub fn stepper(mut self) -> Stepper<'s, 'a, S, T, P> {
+        let core = EngineCore::new(self.sim, &mut self.trace, &mut self.telemetry);
+        Stepper {
+            sim: self.sim,
+            core,
+            trace: self.trace,
+            telemetry: self.telemetry,
+            profiler: self.profiler,
+        }
+    }
+
+    /// Resume a run from a [`Checkpoint`] instead of cycle 0. The
+    /// session's simulator must match the checkpoint's config and
+    /// strategy; the attached trace sink receives only events from the
+    /// checkpoint's cycle onward (the prefix lives wherever the original
+    /// run recorded it — see [`Checkpoint::trace_mark`]).
+    pub fn stepper_from(self, checkpoint: &Checkpoint) -> Result<Stepper<'s, 'a, S, T, P>, String> {
+        let core = checkpoint.rebuild(self.sim)?;
+        Ok(Stepper {
+            sim: self.sim,
+            core,
+            trace: self.trace,
+            telemetry: self.telemetry,
+            profiler: self.profiler,
+        })
+    }
+}
+
+/// A paused, single-steppable run: the daemon's unit of scheduling.
+/// Created by [`SimSession::stepper`] (fresh at cycle 0, sinks already
+/// holding the cycle-0 events) or [`SimSession::stepper_from`] (resumed
+/// from a checkpoint).
+pub struct Stepper<'s, 'a, S = NullSink, T = NullTelemetry, P = NullProfiler> {
+    sim: &'s Simulator<'a>,
+    core: EngineCore,
+    trace: S,
+    telemetry: T,
+    profiler: P,
+}
+
+impl<'s, 'a, S: TraceSink, T: TelemetrySink, P: ProfilerSink> Stepper<'s, 'a, S, T, P> {
+    /// Execute one cycle. Returns `true` once the run is complete;
+    /// further calls are no-ops returning `true`.
+    pub fn step(&mut self) -> bool {
+        self.core.step(
+            self.sim,
+            &mut self.trace,
+            &mut self.telemetry,
+            &mut self.profiler,
+        )
+    }
+
+    /// Execute up to `cycles` cycles, stopping early when the run
+    /// completes. Returns whether the run is now complete.
+    pub fn step_many(&mut self, cycles: u64) -> bool {
+        for _ in 0..cycles {
+            if self.step() {
+                return true;
+            }
+        }
+        self.is_done()
+    }
+
+    /// The next cycle [`Stepper::step`] will execute.
+    pub fn cycle(&self) -> u64 {
+        self.core.cycle
+    }
+
+    /// Whether the run has executed its last cycle.
+    pub fn is_done(&self) -> bool {
+        self.core.is_done()
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.core.in_flight
+    }
+
+    /// The simulator this run executes on.
+    pub fn sim(&self) -> &'s Simulator<'a> {
+        self.sim
+    }
+
+    /// Serialize the paused state. `trace_mark` is how many trace events
+    /// this run has emitted so far (`sink.events().len()` when recording
+    /// into a [`crate::trace::MemorySink`]; 0 when untraced) — see
+    /// [`Checkpoint::trace_mark`]. Fails for strategies without a wire
+    /// identity (the e-cube baseline).
+    pub fn checkpoint(&self, trace_mark: u64) -> Result<Checkpoint, String> {
+        Checkpoint::capture(self.sim, &self.core, trace_mark)
+    }
+
+    /// Close out the run and build its report (call once done; see
+    /// [`SimSession::try_run`] for the run-to-completion shortcut).
+    pub fn finish(mut self) -> ChurnReport {
+        self.core
+            .finish(self.sim, &mut self.telemetry, &mut self.profiler)
     }
 }

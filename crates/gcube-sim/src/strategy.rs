@@ -86,6 +86,18 @@ pub trait RoutingAlgorithm: Sync {
         let _ = (gc, faults);
         None
     }
+
+    /// Stable wire identity `(name, trees)` for strategies that
+    /// [`build_strategy`] can reconstruct — what a checkpoint records so
+    /// a restored run replans with equivalent routing. `None` marks a
+    /// strategy that cannot be checkpointed (e.g. the e-cube baseline).
+    ///
+    /// Cached and uncached variants share a wire name on purpose: they
+    /// produce identical routes (the cache only amortises planning), so a
+    /// restore may substitute one for the other bitwise-safely.
+    fn wire_spec(&self) -> Option<(&'static str, usize)> {
+        None
+    }
 }
 
 /// FFGCR (Algorithm 3): optimal, fault-oblivious. Used for the fault-free
@@ -106,6 +118,9 @@ impl RoutingAlgorithm for FaultFreeGcr {
     ) -> Result<Route, RoutingError> {
         ffgcr::route(gc, s, d)
     }
+    fn wire_spec(&self) -> Option<(&'static str, usize)> {
+        Some(("ffgcr", 0))
+    }
 }
 
 /// FTGCR (Theorem 5): the fault-tolerant strategy. Used for Figures 7/8.
@@ -124,6 +139,9 @@ impl RoutingAlgorithm for FaultTolerantGcr {
         d: NodeId,
     ) -> Result<Route, RoutingError> {
         ftgcr::route(gc, faults, s, d).map(|(r, _)| r)
+    }
+    fn wire_spec(&self) -> Option<(&'static str, usize)> {
+        Some(("ftgcr", 0))
     }
 }
 
@@ -196,6 +214,9 @@ impl RoutingAlgorithm for CachedFfgcr {
     fn cache_stats(&self) -> Option<CacheStats> {
         self.stats()
     }
+    fn wire_spec(&self) -> Option<(&'static str, usize)> {
+        Some(("ffgcr", 0))
+    }
 }
 
 /// FTGCR with the fault-free planning stage served from a [`PlanCache`];
@@ -234,6 +255,9 @@ impl RoutingAlgorithm for CachedFtgcr {
     }
     fn cache_stats(&self) -> Option<CacheStats> {
         self.stats()
+    }
+    fn wire_spec(&self) -> Option<(&'static str, usize)> {
+        Some(("ftgcr", 0))
     }
 }
 
@@ -404,6 +428,30 @@ impl RoutingAlgorithm for MultiTreeStrategy {
     }
     fn tree_health(&self, gc: &GaussianCube, faults: &FaultSet) -> Option<Vec<TreeHealth>> {
         self.atlas_for(gc).map(|atlas| atlas.tree_health(faults))
+    }
+    fn wire_spec(&self) -> Option<(&'static str, usize)> {
+        Some(("multitree", self.trees))
+    }
+}
+
+/// Build an owned strategy from its wire name — the inverse of
+/// [`RoutingAlgorithm::wire_spec`], shared by the daemon's `open` request
+/// and checkpoint restore. `trees` only matters for `"multitree"`.
+///
+/// `"auto"` is rejected here on purpose: it resolves against a concrete
+/// config (fault count and schedule), so callers must resolve it before a
+/// strategy name goes on the wire or into a checkpoint.
+pub fn build_strategy(
+    name: &str,
+    trees: usize,
+) -> Result<Box<dyn RoutingAlgorithm + Send + Sync>, String> {
+    match name {
+        "ffgcr" => Ok(Box::new(CachedFfgcr::new())),
+        "ftgcr" => Ok(Box::new(CachedFtgcr::new())),
+        "multitree" => Ok(Box::new(MultiTreeStrategy::new(trees))),
+        other => Err(format!(
+            "unknown strategy {other:?} (expected ffgcr, ftgcr, or multitree)"
+        )),
     }
 }
 

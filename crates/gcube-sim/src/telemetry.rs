@@ -411,6 +411,21 @@ impl FaultBudgetMonitor {
         self.downgraded
     }
 
+    /// Rebuild a monitor from checkpointed state. `survives_bound_exceeded`
+    /// comes from the strategy (it is configuration, not history); `state`
+    /// and `downgraded` are the history.
+    pub fn from_parts(
+        state: HealthState,
+        survives_bound_exceeded: bool,
+        downgraded: bool,
+    ) -> FaultBudgetMonitor {
+        FaultBudgetMonitor {
+            state,
+            survives_bound_exceeded,
+            downgraded,
+        }
+    }
+
     /// Re-classify `faults`; returns `Some((from, to))` when the state
     /// changed.
     pub fn update(

@@ -301,6 +301,14 @@ impl MemorySink {
     pub fn into_events(self) -> Vec<TraceEvent> {
         self.events
     }
+
+    /// Drop every event after the first `len` — rewinding the record to a
+    /// checkpoint's trace mark, so a restored run appends its re-executed
+    /// suffix onto exactly the prefix it branched from. No-op when the
+    /// sink already holds `len` events or fewer.
+    pub fn truncate(&mut self, len: usize) {
+        self.events.truncate(len);
+    }
 }
 
 impl TraceSink for MemorySink {

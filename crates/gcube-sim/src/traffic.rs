@@ -91,6 +91,16 @@ impl TrafficGen {
         self.rng.gen_bool(self.rate)
     }
 
+    /// The generator's raw RNG state, for mid-run checkpointing.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Resume the Bernoulli stream from a checkpointed RNG state.
+    pub(crate) fn restore_rng(&mut self, s: [u64; 4]) {
+        self.rng = StdRng::from_state(s);
+    }
+
     /// The destination for a packet injected at `src`: the pattern partner
     /// if healthy and distinct, otherwise a uniform random healthy node.
     /// Returns `None` if no healthy destination exists at all.

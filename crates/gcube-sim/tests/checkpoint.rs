@@ -1,0 +1,173 @@
+//! The snapshot/restore contract, held as a property: checkpoint a run
+//! mid-flight at an arbitrary cycle, serialize through the text codec,
+//! rebuild on a fresh simulator with a fresh strategy instance, finish —
+//! and the final `ChurnReport` plus the composed trace stream (prefix
+//! recorded before the pause + suffix recorded after the restore) must be
+//! bitwise identical to the uninterrupted run, whether that baseline ran
+//! sequentially or on the 4-thread shard engine.
+//!
+//! This is the engine-level guarantee `gcube serve` builds its
+//! `snapshot`/`restore` requests on (DESIGN.md §16); the server's unit
+//! tests pin the wire behaviour, this proptest pins the state capture
+//! itself across random shapes, churn schedules, pause points, and the
+//! collective traffic class (whose broadcast-tree cache is history, not
+//! derivable state, and must ride the checkpoint).
+#![recursion_limit = "1024"]
+
+use proptest::prelude::*;
+
+use gcube_sim::{
+    CategoryMix, Checkpoint, ChurnReport, CollectiveOp, FaultKind, FaultSchedule, KnowledgeModel,
+    MemorySink, RoutingAlgorithm, SimConfig, Simulator, TraceEvent,
+};
+
+fn build_algo(multitree: bool) -> Box<dyn RoutingAlgorithm> {
+    // One fresh instance per run, like the daemon's `open`/`restore`: the
+    // unicast plan cache is derivable state and deliberately not part of
+    // a checkpoint, so sharing a warm instance across runs would not test
+    // what restore actually rebuilds.
+    if multitree {
+        Box::new(gcube_sim::MultiTreeStrategy::new(2))
+    } else {
+        Box::new(gcube_sim::CachedFtgcr::new())
+    }
+}
+
+fn run_uninterrupted(
+    cfg: &SimConfig,
+    multitree: bool,
+    threads: usize,
+) -> (ChurnReport, Vec<TraceEvent>) {
+    let algo = build_algo(multitree);
+    let sim = Simulator::new(cfg.clone(), &*algo);
+    let mut sink = MemorySink::new();
+    let report = sim.session().threads(threads).trace(&mut sink).run();
+    (report, sink.events().to_vec())
+}
+
+/// Step to `pause`, checkpoint, round-trip the checkpoint through its
+/// text serialization, resume on a completely fresh simulator, run to
+/// completion. Returns the report and the prefix+suffix trace stream.
+fn run_interrupted(cfg: &SimConfig, multitree: bool, pause: u64) -> (ChurnReport, Vec<TraceEvent>) {
+    let algo = build_algo(multitree);
+    let sim = Simulator::new(cfg.clone(), &*algo);
+    let mut sink = MemorySink::new();
+    let ck_text = {
+        let mut stepper = sim.session().trace(&mut sink).stepper();
+        stepper.step_many(pause);
+        // The mark is bookkeeping for the daemon's rewind path (how much
+        // trace prefix the holder retains); this test tracks the prefix
+        // directly, so any value round-trips fine.
+        stepper.checkpoint(0).expect("checkpoint mid-run").to_text()
+    };
+    let mut events = sink.events().to_vec();
+
+    let ck = Checkpoint::from_text(&ck_text).expect("checkpoint text must round-trip");
+    let algo2 = build_algo(multitree);
+    let sim2 = Simulator::new(cfg.clone(), &*algo2);
+    let mut suffix = MemorySink::new();
+    let report = {
+        let mut stepper = sim2
+            .session()
+            .trace(&mut suffix)
+            .stepper_from(&ck)
+            .expect("restore onto a matching simulator");
+        while !stepper.step() {}
+        stepper.finish()
+    };
+    events.extend_from_slice(suffix.events());
+    (report, events)
+}
+
+fn arb_schedule() -> impl Strategy<Value = FaultSchedule> {
+    prop_oneof![
+        Just(FaultSchedule::None),
+        (0.005f64..0.04, 20u64..120, 0.0f64..=1.0).prop_map(|(rate, repair, node_fraction)| {
+            FaultSchedule::Bernoulli {
+                rate,
+                kind: FaultKind::Transient {
+                    repair_after: repair,
+                },
+                mix: CategoryMix::default(),
+                node_fraction,
+            }
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (
+        5u32..=6,                         // n
+        prop_oneof![Just(2u64), Just(4)], // modulus
+        0.01f64..0.06,                    // rate
+        60u64..150,                       // inject cycles
+        any::<u64>(),                     // seed
+        0usize..2,                        // static faults
+        arb_schedule(),
+        prop_oneof![
+            Just(KnowledgeModel::Oracle),
+            Just(KnowledgeModel::PaperDelay),
+        ],
+        prop_oneof![Just(None), Just(Some(CollectiveOp::Broadcast))],
+    )
+        .prop_map(
+            |(n, m, rate, inject, seed, faults, schedule, knowledge, collective)| {
+                let mut cfg = SimConfig::new(n, m)
+                    .with_cycles(inject, inject * 20, inject / 10)
+                    .with_rate(rate)
+                    .with_seed(seed)
+                    .with_faults(faults)
+                    .with_schedule(schedule)
+                    .with_knowledge(knowledge)
+                    .with_window(100)
+                    .with_telemetry_interval(50);
+                if let Some(op) = collective {
+                    cfg = cfg.with_collective(op).with_collective_interval(40);
+                }
+                cfg
+            },
+        )
+}
+
+fn check_round_trip(cfg: &SimConfig, multitree: bool, pause: u64) -> Result<(), TestCaseError> {
+    let (seq_report, seq_events) = run_uninterrupted(cfg, multitree, 1);
+    prop_assert!(
+        !seq_events.is_empty(),
+        "vacuous case: the baseline run recorded no trace events"
+    );
+    let (resumed_report, resumed_events) = run_interrupted(cfg, multitree, pause);
+    prop_assert_eq!(
+        &seq_report,
+        &resumed_report,
+        "restored run's ChurnReport diverged from the uninterrupted run (pause={})",
+        pause
+    );
+    prop_assert_eq!(
+        &seq_events,
+        &resumed_events,
+        "restored run's trace stream diverged (pause={})",
+        pause
+    );
+
+    // The stepper always drives the sequential reference engine, but its
+    // outputs are thread-invariant by the shard-equivalence guarantee —
+    // so the resumed run must also match the 4-thread baseline bit for
+    // bit.
+    let (par_report, par_events) = run_uninterrupted(cfg, multitree, 4);
+    prop_assert_eq!(&par_report, &resumed_report, "4-thread baseline diverged");
+    prop_assert_eq!(&par_events, &resumed_events, "4-thread trace diverged");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Checkpoint at a random cycle, restore, finish: report and trace
+    /// bitwise equal to the uninterrupted run — sequential and 4-thread.
+    #[test]
+    fn checkpoint_round_trip_is_bitwise(
+        (cfg, multitree, pause) in (arb_config(), any::<bool>(), 1u64..140)
+    ) {
+        check_round_trip(&cfg, multitree, pause)?;
+    }
+}
